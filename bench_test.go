@@ -1,0 +1,209 @@
+package riot
+
+// Benchmarks that regenerate the paper's figures, one per table/panel,
+// plus ablations for the optimizations DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmark output reports the figure's metric (I/O MB, blocks, or
+// elements) as custom benchmark units so the shape of each result is
+// visible straight from the bench log.
+
+import (
+	"testing"
+
+	"riot/internal/bench"
+	"riot/internal/costmodel"
+	"riot/internal/engine"
+	"riot/internal/riotdb"
+	"riot/internal/rlang"
+)
+
+const fig1Script = `
+xs <- 3; ys <- 4
+xe <- 100; ye <- 200
+d <- sqrt((x-xs)^2+(y-ys)^2) + sqrt((x-xe)^2+(y-ye)^2)
+s <- sample(length(x), 100)
+z <- d[s]
+print(z)
+`
+
+// benchExample1 runs Example 1 once per iteration on a fresh engine.
+func benchExample1(b *testing.B, mk func() engine.Engine, n int64) {
+	b.Helper()
+	var lastIO float64
+	var lastSec float64
+	for i := 0; i < b.N; i++ {
+		e := mk()
+		in := rlang.New(e)
+		x, err := e.NewVector(n, func(i int64) float64 { return float64(i % 9973) })
+		if err != nil {
+			b.Fatal(err)
+		}
+		y, err := e.NewVector(n, func(i int64) float64 { return float64(i % 9967) })
+		if err != nil {
+			b.Fatal(err)
+		}
+		in.SetVector("x", x)
+		in.SetVector("y", y)
+		e.ResetStats()
+		if err := in.Run(fig1Script); err != nil {
+			b.Fatal(err)
+		}
+		rep := e.Report()
+		lastIO = rep.IOMB()
+		lastSec = rep.SimSeconds
+	}
+	b.ReportMetric(lastIO, "IO-MB")
+	b.ReportMetric(lastSec, "sim-sec")
+}
+
+// Figure 1: Example 1 per engine at n=2^18 with the paper's memory
+// recipe (runtime + two vectors).
+func BenchmarkFigure1PlainR(b *testing.B) {
+	const n = 1 << 18
+	benchExample1(b, func() engine.Engine {
+		return engine.NewPlainR(1024, int(n/1024)+24, 24, engine.DefaultTimeModel)
+	}, n)
+}
+
+func BenchmarkFigure1Strawman(b *testing.B) {
+	const n = 1 << 18
+	benchExample1(b, func() engine.Engine {
+		return engine.NewRIOTDB(riotdb.Strawman, 1024, n, engine.DefaultTimeModel)
+	}, n)
+}
+
+func BenchmarkFigure1MatNamed(b *testing.B) {
+	const n = 1 << 18
+	benchExample1(b, func() engine.Engine {
+		return engine.NewRIOTDB(riotdb.MatNamed, 1024, n, engine.DefaultTimeModel)
+	}, n)
+}
+
+func BenchmarkFigure1FullDB(b *testing.B) {
+	const n = 1 << 18
+	benchExample1(b, func() engine.Engine {
+		return engine.NewRIOTDB(riotdb.Full, 1024, n, engine.DefaultTimeModel)
+	}, n)
+}
+
+func BenchmarkFigure1RIOT(b *testing.B) {
+	const n = 1 << 18
+	benchExample1(b, func() engine.Engine {
+		return engine.NewRIOT(1024, n, engine.DefaultTimeModel)
+	}, n)
+}
+
+// Figure 2: elements computed with eager vs deferred updates.
+func BenchmarkFigure2EagerUpdate(b *testing.B) {
+	var elems int64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure2(1<<16, 1024, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		elems = rows[0].Elements
+	}
+	b.ReportMetric(float64(elems), "elements")
+}
+
+func BenchmarkFigure2DeferredUpdate(b *testing.B) {
+	var elems int64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure2(1<<16, 1024, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		elems = rows[1].Elements
+	}
+	b.ReportMetric(float64(elems), "elements")
+}
+
+// Figure 3(a): calculated chain I/O at the paper's parameters.
+func BenchmarkFigure3a(b *testing.B) {
+	var rows []bench.Figure3Row
+	for i := 0; i < b.N; i++ {
+		rows = bench.Figure3a([]float64{100000, 120000}, []float64{2, 4}, nil)
+	}
+	for _, r := range rows {
+		if r.N == 100000 && r.MemGB == 2 {
+			b.ReportMetric(r.IOBlocks, r.Strategy+"-blocks")
+		}
+	}
+}
+
+// Figure 3(b): skew sweep.
+func BenchmarkFigure3b(b *testing.B) {
+	var rows []bench.Figure3Row
+	for i := 0; i < b.N; i++ {
+		rows = bench.Figure3b([]float64{2, 4, 6, 8}, nil)
+	}
+	for _, r := range rows {
+		if r.Skew == 8 {
+			b.ReportMetric(r.IOBlocks, r.Strategy+"-s8-blocks")
+		}
+	}
+}
+
+// E6: measured vs modeled kernel I/O.
+func BenchmarkModelValidation(b *testing.B) {
+	var rows []bench.ValidateRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.ValidateModel([]int64{96, 160}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.N == 160 {
+			b.ReportMetric(r.Measured/r.Predicted, r.Kernel+"-ratio")
+		}
+	}
+}
+
+// Ablation: the chain-reordering rule (Figure 3's Square/Opt-Order vs
+// Square/In-Order) over a range of skews.
+func BenchmarkAblationChainReorder(b *testing.B) {
+	p := costmodel.Params{MemElems: costmodel.GB(2), BlockElems: 1024}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		dims := costmodel.SkewedChainDims(100000, 8)
+		ratio = costmodel.InOrder(dims).IO(costmodel.StrategySquare, p) /
+			costmodel.OptOrder(dims).IO(costmodel.StrategySquare, p)
+	}
+	b.ReportMetric(ratio, "inorder/opt")
+}
+
+// Ablation: fusion on/off for the Example 1 pipeline on the RIOT engine.
+func BenchmarkAblationFusion(b *testing.B) {
+	const n = 1 << 18
+	run := func(fuse bool) float64 {
+		e := engine.NewRIOT(1024, n, engine.DefaultTimeModel)
+		e.Executor().FuseElementwise = fuse
+		in := rlang.New(e)
+		x, err := e.NewVector(n, func(i int64) float64 { return float64(i % 9973) })
+		if err != nil {
+			b.Fatal(err)
+		}
+		y, err := e.NewVector(n, func(i int64) float64 { return float64(i % 9967) })
+		if err != nil {
+			b.Fatal(err)
+		}
+		in.SetVector("x", x)
+		in.SetVector("y", y)
+		e.ResetStats()
+		if err := in.Run("d <- sqrt((x-3)^2+(y-4)^2)\ntotal <- sum(d)\n"); err != nil {
+			b.Fatal(err)
+		}
+		return e.Report().IOMB()
+	}
+	var fused, unfused float64
+	for i := 0; i < b.N; i++ {
+		fused = run(true)
+		unfused = run(false)
+	}
+	b.ReportMetric(fused, "fused-IO-MB")
+	b.ReportMetric(unfused, "unfused-IO-MB")
+}

@@ -1,0 +1,55 @@
+// riot-bench regenerates the paper's tables and figures. By default it
+// runs every experiment at laptop scale; -paper uses the publication
+// parameters for Figures 1 and 3 (Figure 1 then takes minutes: the
+// strawman materializes a dozen multi-million-row tables, faithfully).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"riot/internal/bench"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "which experiment: 1, 2, 3a, 3b, validate, all")
+	paper := flag.Bool("paper", false, "use the paper's full-scale parameters")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		if *figure != "all" && *figure != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "riot-bench: figure %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("1", func() error {
+		sizes := []int64{1 << 17, 1 << 18, 1 << 19}
+		if *paper {
+			sizes = []int64{1 << 21, 1 << 22, 1 << 23}
+		}
+		_, err := bench.Figure1(sizes, 1024, os.Stdout)
+		return err
+	})
+	run("2", func() error {
+		_, err := bench.Figure2(1<<16, 1024, os.Stdout)
+		return err
+	})
+	run("3a", func() error {
+		bench.Figure3a([]float64{100000, 120000}, []float64{2, 4}, os.Stdout)
+		return nil
+	})
+	run("3b", func() error {
+		bench.Figure3b([]float64{2, 4, 6, 8}, os.Stdout)
+		return nil
+	})
+	run("validate", func() error {
+		_, err := bench.ValidateModel([]int64{96, 160, 256}, os.Stdout)
+		return err
+	})
+}

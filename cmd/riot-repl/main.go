@@ -1,0 +1,43 @@
+// riot-repl is an interactive riotscript shell over the RIOT engine.
+// Each line is a statement; `:stats` prints engine counters, `:quit`
+// exits.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"riot"
+)
+
+func main() {
+	s := riot.NewSession(riot.Config{Backend: riot.BackendRIOT})
+	in := s.Interp()
+	fmt.Println("riot — I/O-efficient numerical computing without SQL (CIDR'09 reproduction)")
+	fmt.Println(`type riotscript statements; ":stats" for counters, ":quit" to exit`)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := sc.Text()
+		switch line {
+		case ":quit", ":q":
+			return
+		case ":stats":
+			fmt.Println(s.Report())
+			continue
+		case "":
+			continue
+		}
+		before := in.Out.Len()
+		if err := in.Run(line); err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		fmt.Print(in.Out.String()[before:])
+	}
+}

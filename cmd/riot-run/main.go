@@ -1,0 +1,52 @@
+// riot-run executes a riotscript file on a chosen backend and reports
+// the engine's I/O statistics, the command-line counterpart of the
+// paper's DTrace measurements.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"riot"
+)
+
+func main() {
+	backend := flag.String("engine", "riot", "backend: riot, plain-r, strawman, matnamed, full")
+	mem := flag.Int64("mem", 1<<22, "memory budget in float64 elements (M)")
+	block := flag.Int("block", 1024, "block/page size in float64 elements (B)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: riot-run [-engine X] [-mem M] [-block B] script.R")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "riot-run:", err)
+		os.Exit(1)
+	}
+	var b riot.Backend
+	switch *backend {
+	case "riot":
+		b = riot.BackendRIOT
+	case "plain-r":
+		b = riot.BackendPlainR
+	case "strawman":
+		b = riot.BackendStrawman
+	case "matnamed":
+		b = riot.BackendMatNamed
+	case "full":
+		b = riot.BackendFullDB
+	default:
+		fmt.Fprintf(os.Stderr, "riot-run: unknown engine %q\n", *backend)
+		os.Exit(2)
+	}
+	s := riot.NewSession(riot.Config{Backend: b, MemElems: *mem, BlockElems: *block})
+	out, err := s.RunScript(string(src))
+	fmt.Print(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "riot-run:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "[%s] %s\n", s.EngineName(), s.Report())
+}

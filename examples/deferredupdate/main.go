@@ -1,0 +1,44 @@
+// Deferredupdate reproduces Figure 2: because RIOT models b[b>100] <- 100
+// as a pure operator, the subscript b[1:10] is pushed below the update
+// and only ten elements of a are ever touched. Compare the work counters
+// against the plain R backend, which computes everything.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"riot"
+)
+
+const script = `
+b <- a^2
+b[b > 100] <- 100
+h <- b[1:10]
+print(h)
+`
+
+func main() {
+	const n = 1 << 18
+	for _, be := range []struct {
+		name string
+		b    riot.Backend
+	}{
+		{"plain R (eager)", riot.BackendPlainR},
+		{"RIOT (deferred)", riot.BackendRIOT},
+	} {
+		s := riot.NewSession(riot.Config{Backend: be.b})
+		in := s.Interp()
+		a, err := s.Engine().NewVector(n, func(i int64) float64 { return float64(i) })
+		if err != nil {
+			log.Fatal(err)
+		}
+		in.SetVector("a", a)
+		s.ResetStats()
+		if err := in.Run(script); err != nil {
+			log.Fatalf("%s: %v", be.name, err)
+		}
+		fmt.Printf("%-16s %s\n", be.name, s.Report())
+		fmt.Print(in.Out.String())
+	}
+}

@@ -1,0 +1,53 @@
+// Pathlengths runs the paper's Example 1 — path lengths through a cloud
+// of points, then a 100-element sample — on every backend, printing the
+// I/O and simulated time each one pays. This is Figure 1 in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"riot"
+)
+
+const script = `
+xs <- 3; ys <- 4
+xe <- 100; ye <- 200
+d <- sqrt((x-xs)^2+(y-ys)^2) + sqrt((x-xe)^2+(y-ye)^2)
+s <- sample(length(x), 100)
+z <- d[s]
+print(z)
+`
+
+func main() {
+	const n = 1 << 18
+	backends := []struct {
+		name string
+		b    riot.Backend
+	}{
+		{"plain R", riot.BackendPlainR},
+		{"RIOT-DB strawman", riot.BackendStrawman},
+		{"RIOT-DB matnamed", riot.BackendMatNamed},
+		{"RIOT-DB full", riot.BackendFullDB},
+		{"RIOT", riot.BackendRIOT},
+	}
+	for _, be := range backends {
+		s := riot.NewSession(riot.Config{Backend: be.b, MemElems: n / 2})
+		in := s.Interp()
+		x, err := s.Engine().NewVector(n, func(i int64) float64 { return float64(i % 9973) })
+		if err != nil {
+			log.Fatal(err)
+		}
+		y, err := s.Engine().NewVector(n, func(i int64) float64 { return float64(i % 9967) })
+		if err != nil {
+			log.Fatal(err)
+		}
+		in.SetVector("x", x)
+		in.SetVector("y", y)
+		s.ResetStats()
+		if err := in.Run(script); err != nil {
+			log.Fatalf("%s: %v", be.name, err)
+		}
+		fmt.Printf("%-18s %s\n", be.name, s.Report())
+	}
+}

@@ -1,0 +1,45 @@
+// Quickstart: build a deferred expression over a million-element vector,
+// fetch a selective result, and inspect how little I/O it cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"riot"
+)
+
+func main() {
+	s := riot.NewSession(riot.Config{Backend: riot.BackendRIOT})
+
+	// A million-element vector; nothing is computed yet.
+	x, err := s.SeqVector(1 << 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// d = sqrt((x-3)^2) + 7, still deferred.
+	xm, _ := x.Sub(3)
+	sq, _ := xm.Square()
+	rt, _ := sq.Sqrt()
+	d, _ := rt.Add(7)
+
+	s.ResetStats()
+	head, err := d.Head(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("d[1:5] =", head)
+	fmt.Println("stats  :", s.Report())
+	fmt.Println()
+
+	// The same program as riotscript, on the same engine:
+	out, err := s.RunScript(`
+v <- 1:10
+w <- sqrt(v*v + 3)
+print(w)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,324 @@
+// Package algebra implements RIOT's expression algebra (§5): every host-
+// language operation appends a node to an expression DAG instead of
+// computing anything. Named objects are just references to DAG nodes, so
+// deferral crosses statement boundaries; modifications are modeled by a
+// side-effect-free Update operator ("[]<-") that takes the old state and
+// produces the new one — the representation that makes Figure 2's
+// subscript pushdown possible.
+//
+// The DAG is hash-consed: structurally identical subexpressions share one
+// node (common-subexpression elimination), which is what lets the
+// executor evaluate x appearing four times in Example 1's distance
+// formula with a single scan.
+package algebra
+
+import (
+	"fmt"
+
+	"riot/internal/array"
+)
+
+// Op enumerates DAG node kinds.
+type Op int
+
+// Node kinds.
+const (
+	OpSourceVec  Op = iota // stored vector
+	OpSourceMat            // stored matrix
+	OpElemBinary           // elementwise vector ⊕ vector
+	OpElemUnary            // elementwise fn(vector)
+	OpScalarOp             // elementwise vector ⊕ scalar (either side)
+	OpUpdateMask           // functional x[x ⊕ thresh] <- val
+	OpGather               // x[s] for an index vector s
+	OpRange                // x[lo:hi)
+	OpMatMul               // matrix product
+	OpReduce               // sum/min/max over a vector
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSourceVec:
+		return "vec"
+	case OpSourceMat:
+		return "mat"
+	case OpElemBinary:
+		return "ebin"
+	case OpElemUnary:
+		return "emap"
+	case OpScalarOp:
+		return "escl"
+	case OpUpdateMask:
+		return "update"
+	case OpGather:
+		return "gather"
+	case OpRange:
+		return "range"
+	case OpMatMul:
+		return "matmul"
+	case OpReduce:
+		return "reduce"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Shape describes a node's result.
+type Shape struct {
+	Rows, Cols int64
+	Vector     bool
+}
+
+// Len returns the element count.
+func (s Shape) Len() int64 { return s.Rows * s.Cols }
+
+func (s Shape) String() string {
+	if s.Vector {
+		return fmt.Sprintf("[%d]", s.Rows)
+	}
+	return fmt.Sprintf("[%dx%d]", s.Rows, s.Cols)
+}
+
+// Node is one operator in the DAG. Nodes are immutable once created.
+type Node struct {
+	ID    int
+	Op    Op
+	Kids  []*Node
+	Shape Shape
+
+	Fn         string  // OpElemUnary function, OpReduce kind
+	BinOp      string  // OpElemBinary / OpScalarOp / OpUpdateMask operator
+	Scalar     float64 // OpScalarOp operand, OpUpdateMask threshold
+	Scalar2    float64 // OpUpdateMask replacement value
+	ScalarLeft bool    // OpScalarOp: scalar is the left operand
+	Lo, Hi     int64   // OpRange bounds [Lo, Hi)
+
+	Vec *array.Vector // OpSourceVec backing store
+	Mat *array.Matrix // OpSourceMat backing store
+}
+
+// String renders the subexpression rooted at the node.
+func (n *Node) String() string {
+	switch n.Op {
+	case OpSourceVec:
+		return n.Vec.Name()
+	case OpSourceMat:
+		return n.Mat.Name()
+	case OpElemBinary:
+		return fmt.Sprintf("(%s %s %s)", n.Kids[0], n.BinOp, n.Kids[1])
+	case OpElemUnary:
+		return fmt.Sprintf("%s(%s)", n.Fn, n.Kids[0])
+	case OpScalarOp:
+		if n.ScalarLeft {
+			return fmt.Sprintf("(%g %s %s)", n.Scalar, n.BinOp, n.Kids[0])
+		}
+		return fmt.Sprintf("(%s %s %g)", n.Kids[0], n.BinOp, n.Scalar)
+	case OpUpdateMask:
+		return fmt.Sprintf("update(%s, v %s %g -> %g)", n.Kids[0], n.BinOp, n.Scalar, n.Scalar2)
+	case OpGather:
+		return fmt.Sprintf("%s[%s]", n.Kids[0], n.Kids[1])
+	case OpRange:
+		return fmt.Sprintf("%s[%d:%d]", n.Kids[0], n.Lo, n.Hi)
+	case OpMatMul:
+		return fmt.Sprintf("(%s %%*%% %s)", n.Kids[0], n.Kids[1])
+	case OpReduce:
+		return fmt.Sprintf("%s(%s)", n.Fn, n.Kids[0])
+	}
+	return "?"
+}
+
+// Graph builds and hash-conses nodes.
+type Graph struct {
+	nextID int
+	cse    map[string]*Node
+	// EnableCSE controls hash-consing; disabling it is the ablation knob
+	// for the sharing optimization.
+	EnableCSE bool
+}
+
+// NewGraph creates an empty DAG builder with CSE enabled.
+func NewGraph() *Graph {
+	return &Graph{cse: make(map[string]*Node), EnableCSE: true}
+}
+
+func (g *Graph) intern(key string, mk func() *Node) *Node {
+	if g.EnableCSE {
+		if n, ok := g.cse[key]; ok {
+			return n
+		}
+	}
+	n := mk()
+	g.nextID++
+	n.ID = g.nextID
+	if g.EnableCSE {
+		g.cse[key] = n
+	}
+	return n
+}
+
+// SourceVec wraps a stored vector. Sources are interned by object
+// identity, not name: two distinct stores may share a name.
+func (g *Graph) SourceVec(v *array.Vector) *Node {
+	return g.intern(fmt.Sprintf("v:%p", v), func() *Node {
+		return &Node{Op: OpSourceVec, Vec: v, Shape: Shape{Rows: v.Len(), Cols: 1, Vector: true}}
+	})
+}
+
+// SourceMat wraps a stored matrix.
+func (g *Graph) SourceMat(m *array.Matrix) *Node {
+	return g.intern(fmt.Sprintf("m:%p", m), func() *Node {
+		return &Node{Op: OpSourceMat, Mat: m, Shape: Shape{Rows: m.Rows(), Cols: m.Cols()}}
+	})
+}
+
+// ElemBinary applies a vectorized binary operator.
+func (g *Graph) ElemBinary(op string, x, y *Node) (*Node, error) {
+	if !x.Shape.Vector || !y.Shape.Vector {
+		return nil, fmt.Errorf("algebra: elementwise %s requires vectors", op)
+	}
+	if x.Shape.Rows != y.Shape.Rows {
+		return nil, fmt.Errorf("algebra: length mismatch %d vs %d", x.Shape.Rows, y.Shape.Rows)
+	}
+	key := fmt.Sprintf("b:%s:%d:%d", op, x.ID, y.ID)
+	return g.intern(key, func() *Node {
+		return &Node{Op: OpElemBinary, BinOp: op, Kids: []*Node{x, y}, Shape: x.Shape}
+	}), nil
+}
+
+// ElemUnary applies a vectorized function.
+func (g *Graph) ElemUnary(fn string, x *Node) (*Node, error) {
+	if !x.Shape.Vector {
+		return nil, fmt.Errorf("algebra: %s requires a vector", fn)
+	}
+	key := fmt.Sprintf("u:%s:%d", fn, x.ID)
+	return g.intern(key, func() *Node {
+		return &Node{Op: OpElemUnary, Fn: fn, Kids: []*Node{x}, Shape: x.Shape}
+	}), nil
+}
+
+// ScalarOp applies a vector-scalar operation.
+func (g *Graph) ScalarOp(op string, x *Node, s float64, scalarLeft bool) (*Node, error) {
+	if !x.Shape.Vector {
+		return nil, fmt.Errorf("algebra: scalar %s requires a vector", op)
+	}
+	key := fmt.Sprintf("s:%s:%d:%g:%v", op, x.ID, s, scalarLeft)
+	return g.intern(key, func() *Node {
+		return &Node{Op: OpScalarOp, BinOp: op, Scalar: s, ScalarLeft: scalarLeft,
+			Kids: []*Node{x}, Shape: x.Shape}
+	}), nil
+}
+
+// UpdateMask models x[x ⊕ thresh] <- val without side effects: it
+// returns the new state of x.
+func (g *Graph) UpdateMask(x *Node, cmpOp string, thresh, val float64) (*Node, error) {
+	if !x.Shape.Vector {
+		return nil, fmt.Errorf("algebra: masked update requires a vector")
+	}
+	key := fmt.Sprintf("um:%s:%d:%g:%g", cmpOp, x.ID, thresh, val)
+	return g.intern(key, func() *Node {
+		return &Node{Op: OpUpdateMask, BinOp: cmpOp, Scalar: thresh, Scalar2: val,
+			Kids: []*Node{x}, Shape: x.Shape}
+	}), nil
+}
+
+// Gather models x[s].
+func (g *Graph) Gather(x, idx *Node) (*Node, error) {
+	if !x.Shape.Vector || !idx.Shape.Vector {
+		return nil, fmt.Errorf("algebra: gather requires vectors")
+	}
+	key := fmt.Sprintf("g:%d:%d", x.ID, idx.ID)
+	return g.intern(key, func() *Node {
+		return &Node{Op: OpGather, Kids: []*Node{x, idx},
+			Shape: Shape{Rows: idx.Shape.Rows, Cols: 1, Vector: true}}
+	}), nil
+}
+
+// Range models x[lo:hi) (0-based, half-open).
+func (g *Graph) Range(x *Node, lo, hi int64) (*Node, error) {
+	if !x.Shape.Vector {
+		return nil, fmt.Errorf("algebra: range requires a vector")
+	}
+	if lo < 0 || hi > x.Shape.Rows || lo > hi {
+		return nil, fmt.Errorf("algebra: range [%d,%d) outside vector of %d", lo, hi, x.Shape.Rows)
+	}
+	key := fmt.Sprintf("r:%d:%d:%d", x.ID, lo, hi)
+	return g.intern(key, func() *Node {
+		return &Node{Op: OpRange, Lo: lo, Hi: hi, Kids: []*Node{x},
+			Shape: Shape{Rows: hi - lo, Cols: 1, Vector: true}}
+	}), nil
+}
+
+// MatMul models a %*% b.
+func (g *Graph) MatMul(x, y *Node) (*Node, error) {
+	if x.Shape.Vector || y.Shape.Vector {
+		return nil, fmt.Errorf("algebra: %%*%% requires matrices")
+	}
+	if x.Shape.Cols != y.Shape.Rows {
+		return nil, fmt.Errorf("algebra: dimension mismatch %dx%d %%*%% %dx%d",
+			x.Shape.Rows, x.Shape.Cols, y.Shape.Rows, y.Shape.Cols)
+	}
+	key := fmt.Sprintf("mm:%d:%d", x.ID, y.ID)
+	return g.intern(key, func() *Node {
+		return &Node{Op: OpMatMul, Kids: []*Node{x, y},
+			Shape: Shape{Rows: x.Shape.Rows, Cols: y.Shape.Cols}}
+	}), nil
+}
+
+// Reduce models sum/min/max over a vector, producing a length-1 vector.
+func (g *Graph) Reduce(fn string, x *Node) (*Node, error) {
+	if !x.Shape.Vector {
+		return nil, fmt.Errorf("algebra: %s requires a vector", fn)
+	}
+	switch fn {
+	case "sum", "min", "max":
+	default:
+		return nil, fmt.Errorf("algebra: unknown reduction %q", fn)
+	}
+	key := fmt.Sprintf("red:%s:%d", fn, x.ID)
+	return g.intern(key, func() *Node {
+		return &Node{Op: OpReduce, Fn: fn, Kids: []*Node{x},
+			Shape: Shape{Rows: 1, Cols: 1, Vector: true}}
+	}), nil
+}
+
+// CountRefs returns, for every node reachable from roots, its number of
+// distinct consumers — the statistic the executor's materialization
+// policy is based on.
+func CountRefs(roots ...*Node) map[*Node]int {
+	refs := make(map[*Node]int)
+	seen := make(map[*Node]bool)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, k := range n.Kids {
+			refs[k]++
+			walk(k)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return refs
+}
+
+// Nodes returns every node reachable from roots (each once).
+func Nodes(roots ...*Node) []*Node {
+	var out []*Node
+	seen := make(map[*Node]bool)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		out = append(out, n)
+		for _, k := range n.Kids {
+			walk(k)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"riot/internal/array"
+	"riot/internal/buffer"
+	"riot/internal/disk"
+)
+
+func testVec(t *testing.T, n int64) *array.Vector {
+	t.Helper()
+	pool := buffer.New(disk.NewDevice(16), 8)
+	v, err := array.NewVector(pool, "v", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestShapesPropagate(t *testing.T) {
+	g := NewGraph()
+	x := g.SourceVec(testVec(t, 100))
+	a, err := g.ScalarOp("+", x, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Shape.Rows != 100 || !a.Shape.Vector {
+		t.Fatalf("shape %v", a.Shape)
+	}
+	r, err := g.Range(a, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shape.Rows != 10 {
+		t.Fatalf("range shape %v", r.Shape)
+	}
+	idx := g.SourceVec(testVec(t, 7))
+	gt, err := g.Gather(a, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.Shape.Rows != 7 {
+		t.Fatalf("gather shape %v", gt.Shape)
+	}
+	red, err := g.Reduce("sum", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Shape.Rows != 1 {
+		t.Fatalf("reduce shape %v", red.Shape)
+	}
+}
+
+func TestMatMulShape(t *testing.T) {
+	g := NewGraph()
+	pool := buffer.New(disk.NewDevice(16), 8)
+	a, _ := array.NewMatrix(pool, "a", 5, 7, array.Options{Shape: array.SquareTiles})
+	b, _ := array.NewMatrix(pool, "b", 7, 3, array.Options{Shape: array.SquareTiles})
+	an, bn := g.SourceMat(a), g.SourceMat(b)
+	mm, err := g.MatMul(an, bn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.Shape.Rows != 5 || mm.Shape.Cols != 3 || mm.Shape.Vector {
+		t.Fatalf("matmul shape %v", mm.Shape)
+	}
+}
+
+func TestCSESharesAndDistinguishes(t *testing.T) {
+	g := NewGraph()
+	x := g.SourceVec(testVec(t, 10))
+	a1, _ := g.ScalarOp("+", x, 2, false)
+	a2, _ := g.ScalarOp("+", x, 2, false)
+	if a1 != a2 {
+		t.Fatal("identical nodes not shared")
+	}
+	b, _ := g.ScalarOp("+", x, 3, false)
+	if a1 == b {
+		t.Fatal("different scalars shared")
+	}
+	c, _ := g.ScalarOp("+", x, 2, true)
+	if a1 == c {
+		t.Fatal("scalar side ignored in hash")
+	}
+	u1, _ := g.UpdateMask(x, ">", 5, 0)
+	u2, _ := g.UpdateMask(x, ">", 5, 1)
+	if u1 == u2 {
+		t.Fatal("update value ignored in hash")
+	}
+}
+
+func TestCountRefs(t *testing.T) {
+	g := NewGraph()
+	x := g.SourceVec(testVec(t, 10))
+	a, _ := g.ScalarOp("-", x, 1, false)
+	sq, _ := g.ElemBinary("*", a, a)
+	refs := CountRefs(sq)
+	if refs[a] != 2 {
+		t.Fatalf("refs[a]=%d, want 2 (used twice by the square)", refs[a])
+	}
+	if refs[x] != 1 {
+		t.Fatalf("refs[x]=%d, want 1 (CSE collapses the two uses)", refs[x])
+	}
+}
+
+func TestNodesWalk(t *testing.T) {
+	g := NewGraph()
+	x := g.SourceVec(testVec(t, 10))
+	a, _ := g.ScalarOp("-", x, 1, false)
+	b, _ := g.ElemUnary("sqrt", a)
+	all := Nodes(b)
+	if len(all) != 3 {
+		t.Fatalf("walk found %d nodes, want 3", len(all))
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	g := NewGraph()
+	x := g.SourceVec(testVec(t, 10))
+	a, _ := g.ScalarOp("^", x, 2, false)
+	u, _ := g.UpdateMask(a, ">", 100, 100)
+	r, _ := g.Range(u, 0, 10)
+	out := r.String()
+	for _, frag := range []string{"update", "^ 2", "[0:10]"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("render %q missing %q", out, frag)
+		}
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	g := NewGraph()
+	x := g.SourceVec(testVec(t, 10))
+	y := g.SourceVec(testVec(t, 20))
+	if _, err := g.ElemBinary("+", x, y); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := g.Range(x, -1, 5); err == nil {
+		t.Error("negative range accepted")
+	}
+	if _, err := g.Range(x, 5, 30); err == nil {
+		t.Error("overlong range accepted")
+	}
+	if _, err := g.Reduce("median", x); err == nil {
+		t.Error("unknown reduction accepted")
+	}
+	pool := buffer.New(disk.NewDevice(16), 8)
+	m, _ := array.NewMatrix(pool, "m", 4, 4, array.Options{Shape: array.SquareTiles})
+	mn := g.SourceMat(m)
+	if _, err := g.Gather(mn, x); err == nil {
+		t.Error("gather over matrix accepted")
+	}
+}
+
+// Property: CSE never merges nodes with different structure — rebuilding
+// a random chain twice yields the same node, and any parameter tweak
+// yields a different one.
+func TestCSESoundnessProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		if len(ops) > 10 {
+			ops = ops[:10]
+		}
+		g := NewGraph()
+		x := g.SourceVec(testVec(t, 16))
+		build := func(delta float64) *Node {
+			n := x
+			for _, op := range ops {
+				var err error
+				n, err = g.ScalarOp("+", n, float64(op)+delta, false)
+				if err != nil {
+					return nil
+				}
+			}
+			return n
+		}
+		a, b := build(0), build(0)
+		if a != b {
+			return false
+		}
+		if len(ops) > 0 {
+			c := build(1)
+			if c == a {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

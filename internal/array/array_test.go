@@ -1,0 +1,321 @@
+package array
+
+import (
+	"testing"
+	"testing/quick"
+
+	"riot/internal/buffer"
+	"riot/internal/disk"
+)
+
+func pool16(frames int) *buffer.Pool {
+	dev := disk.NewDevice(16) // tiny blocks: 16 elems, square tile 4×4
+	return buffer.New(dev, frames)
+}
+
+func TestMatrixFillAndReadBack(t *testing.T) {
+	for _, shape := range []TileShape{RowTiles, ColTiles, SquareTiles} {
+		for _, lin := range []Linearization{RowOrder, ColOrder, ZOrder, HilbertOrder} {
+			p := pool16(4)
+			m, err := NewMatrix(p, "m", 10, 7, Options{Shape: shape, Lin: lin})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Fill(func(i, j int64) float64 { return float64(i*100 + j) }); err != nil {
+				t.Fatal(err)
+			}
+			for i := int64(0); i < 10; i++ {
+				for j := int64(0); j < 7; j++ {
+					got, err := m.At(i, j)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != float64(i*100+j) {
+						t.Fatalf("%v/%v: m[%d,%d]=%v, want %v", shape, lin, i, j, got, i*100+j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOrderIsPermutation(t *testing.T) {
+	for _, lin := range []Linearization{RowOrder, ColOrder, ZOrder, HilbertOrder} {
+		for _, dims := range [][2]int{{1, 1}, {3, 5}, {8, 8}, {7, 2}, {16, 9}} {
+			order := buildOrder(dims[0], dims[1], lin)
+			seen := make([]bool, len(order))
+			for _, o := range order {
+				if o < 0 || int(o) >= len(order) {
+					t.Fatalf("%v %v: offset %d out of range", lin, dims, o)
+				}
+				if seen[o] {
+					t.Fatalf("%v %v: offset %d duplicated", lin, dims, o)
+				}
+				seen[o] = true
+			}
+		}
+	}
+}
+
+func TestOrderPermutationProperty(t *testing.T) {
+	f := func(gr, gc uint8, which uint8) bool {
+		r := int(gr%12) + 1
+		c := int(gc%12) + 1
+		lin := Linearization(which % 4)
+		order := buildOrder(r, c, lin)
+		seen := make(map[int32]bool, len(order))
+		for _, o := range order {
+			if o < 0 || int(o) >= len(order) || seen[o] {
+				return false
+			}
+			seen[o] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSquareTileGeometry(t *testing.T) {
+	p := pool16(4)
+	m, err := NewMatrix(p, "m", 9, 9, Options{Shape: SquareTiles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, tc := m.TileDims()
+	if tr != 4 || tc != 4 {
+		t.Fatalf("tile dims %d×%d, want 4×4 for B=16", tr, tc)
+	}
+	gr, gc := m.GridDims()
+	if gr != 3 || gc != 3 {
+		t.Fatalf("grid %d×%d, want 3×3", gr, gc)
+	}
+	if m.Blocks() != 9 {
+		t.Fatalf("blocks=%d, want 9", m.Blocks())
+	}
+}
+
+func TestRowColTileGeometry(t *testing.T) {
+	p := pool16(4)
+	r, _ := NewMatrix(p, "r", 5, 40, Options{Shape: RowTiles})
+	if tr, tc := r.TileDims(); tr != 1 || tc != 16 {
+		t.Fatalf("row tile %d×%d, want 1×16", tr, tc)
+	}
+	if gr, gc := r.GridDims(); gr != 5 || gc != 3 {
+		t.Fatalf("row grid %d×%d, want 5×3", gr, gc)
+	}
+	c, _ := NewMatrix(p, "c", 40, 5, Options{Shape: ColTiles})
+	if tr, tc := c.TileDims(); tr != 16 || tc != 1 {
+		t.Fatalf("col tile %d×%d, want 16×1", tr, tc)
+	}
+	if gr, gc := c.GridDims(); gr != 3 || gc != 5 {
+		t.Fatalf("col grid %d×%d, want 3×5", gr, gc)
+	}
+}
+
+func TestEdgeTileClipping(t *testing.T) {
+	p := pool16(4)
+	m, _ := NewMatrix(p, "m", 6, 6, Options{Shape: SquareTiles})
+	tile, err := m.PinTile(1, 1) // covers rows 4..6, cols 4..6 (clipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tile.Release()
+	if tile.RowLo != 4 || tile.RowHi != 6 || tile.ColLo != 4 || tile.ColHi != 6 {
+		t.Fatalf("tile span rows[%d,%d) cols[%d,%d), want [4,6)[4,6)",
+			tile.RowLo, tile.RowHi, tile.ColLo, tile.ColHi)
+	}
+}
+
+func TestTileOutOfRange(t *testing.T) {
+	p := pool16(4)
+	m, _ := NewMatrix(p, "m", 6, 6, Options{Shape: SquareTiles})
+	if _, err := m.PinTile(2, 0); err == nil {
+		t.Fatal("expected out-of-range tile error")
+	}
+	if _, err := m.At(6, 0); err == nil {
+		t.Fatal("expected out-of-range At error")
+	}
+	if err := m.Set(0, -1, 1); err == nil {
+		t.Fatal("expected out-of-range Set error")
+	}
+}
+
+func TestFillWritesEachBlockOnce(t *testing.T) {
+	p := pool16(3)
+	m, _ := NewMatrix(p, "m", 12, 12, Options{Shape: SquareTiles})
+	dev := p.Device()
+	dev.ResetStats()
+	if err := m.Fill(func(i, j int64) float64 { return 1 }); err != nil {
+		t.Fatal(err)
+	}
+	s := dev.Stats()
+	if s.BlocksRead != 0 {
+		t.Fatalf("fill read %d blocks, want 0", s.BlocksRead)
+	}
+	if s.BlocksWritten != int64(m.Blocks()) {
+		t.Fatalf("fill wrote %d blocks, want %d", s.BlocksWritten, m.Blocks())
+	}
+}
+
+func TestLinearizationAffectsDiskOrder(t *testing.T) {
+	// Column-order linearization must make a column-wise tile walk
+	// sequential on disk, and a row-wise walk scattered.
+	dev := disk.NewDevice(16)
+	p := buffer.New(dev, 3)
+	m, _ := NewMatrix(p, "m", 16, 16, Options{Shape: SquareTiles, Lin: ColOrder})
+	if err := m.Fill(func(i, j int64) float64 { return 0 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	dev.ResetStats()
+	gr, gc := m.GridDims()
+	for tj := 0; tj < gc; tj++ {
+		for ti := 0; ti < gr; ti++ {
+			tile, err := m.PinTile(ti, tj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tile.Release()
+		}
+	}
+	s := dev.Stats()
+	if s.SeqReads < s.RandReads {
+		t.Fatalf("column walk under ColOrder: seq=%d rand=%d, want mostly sequential", s.SeqReads, s.RandReads)
+	}
+}
+
+func TestMatrixFreeReleasesDisk(t *testing.T) {
+	p := pool16(4)
+	m, _ := NewMatrix(p, "m", 8, 8, Options{Shape: SquareTiles})
+	if err := m.Fill(func(i, j int64) float64 { return 1 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	m.Free()
+	if p.Device().OwnedBlocks("m") != 0 {
+		t.Fatal("matrix blocks not freed")
+	}
+}
+
+func TestVectorFillScan(t *testing.T) {
+	p := pool16(3)
+	v, err := NewVector(p, "v", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Blocks() != 4 {
+		t.Fatalf("blocks=%d, want 4", v.Blocks())
+	}
+	if err := v.Fill(func(i int64) float64 { return float64(i) * 2 }); err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	err = v.Scan(func(lo int64, data []float64) error {
+		for _, x := range data {
+			sum += x
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != float64(49*50) { // 2 * sum(0..49)
+		t.Fatalf("sum=%v, want %v", sum, 49*50)
+	}
+}
+
+func TestVectorAtSet(t *testing.T) {
+	p := pool16(3)
+	v, _ := NewVector(p, "v", 20)
+	if err := v.Set(17, 3.5); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.At(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3.5 {
+		t.Fatalf("v[17]=%v, want 3.5", got)
+	}
+	if _, err := v.At(20); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestVectorScanIsSequential(t *testing.T) {
+	dev := disk.NewDevice(16)
+	p := buffer.New(dev, 3)
+	v, _ := NewVector(p, "v", 160)
+	if err := v.Fill(func(i int64) float64 { return 1 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	dev.ResetStats()
+	if err := v.Scan(func(lo int64, data []float64) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	s := dev.Stats()
+	if s.RandReads > 1 { // only the first block may be classified random
+		t.Fatalf("vector scan had %d random reads", s.RandReads)
+	}
+	if s.BlocksRead != int64(v.Blocks()) {
+		t.Fatalf("read %d blocks, want %d", s.BlocksRead, v.Blocks())
+	}
+}
+
+func TestZeroLengthVector(t *testing.T) {
+	p := pool16(3)
+	v, err := NewVector(p, "v", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Scan(func(lo int64, data []float64) error {
+		if len(data) != 0 {
+			t.Fatalf("zero-length vector scanned %d elems", len(data))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matrix writes followed by reads behave like an in-memory
+// [][]float64, whatever the tile shape/linearization.
+func TestMatrixModelProperty(t *testing.T) {
+	f := func(writes []uint16, shape, lin uint8) bool {
+		p := pool16(3)
+		m, err := NewMatrix(p, "m", 9, 11,
+			Options{Shape: TileShape(shape % 3), Lin: Linearization(lin % 4)})
+		if err != nil {
+			return false
+		}
+		model := make(map[[2]int64]float64)
+		for k, w := range writes {
+			i := int64(w) % 9
+			j := int64(w>>4) % 11
+			v := float64(k + 1)
+			if err := m.Set(i, j, v); err != nil {
+				return false
+			}
+			model[[2]int64{i, j}] = v
+		}
+		for ij, want := range model {
+			got, err := m.At(ij[0], ij[1])
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+// Space-filling curves used to linearize tiles on disk.
+//
+// The paper (§5): "RIOT also provides advanced linearization options for
+// controlling the order in which tiles are stored on disk. ... RIOT plans
+// to support linearizations based on space-filling curves, for arrays
+// whose access patterns are not known in advance."
+
+package array
+
+// mortonEncode interleaves the bits of x and y (x in the even positions),
+// producing the Z-order index of cell (x, y). Inputs must fit in 31 bits.
+func mortonEncode(x, y uint32) uint64 {
+	return spread(x) | spread(y)<<1
+}
+
+// mortonDecode is the inverse of mortonEncode.
+func mortonDecode(z uint64) (x, y uint32) {
+	return compact(z), compact(z >> 1)
+}
+
+// spread inserts a zero bit above every bit of v.
+func spread(v uint32) uint64 {
+	x := uint64(v)
+	x = (x | x<<16) & 0x0000ffff0000ffff
+	x = (x | x<<8) & 0x00ff00ff00ff00ff
+	x = (x | x<<4) & 0x0f0f0f0f0f0f0f0f
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}
+
+// compact drops every other bit of v, inverting spread.
+func compact(v uint64) uint32 {
+	x := v & 0x5555555555555555
+	x = (x | x>>1) & 0x3333333333333333
+	x = (x | x>>2) & 0x0f0f0f0f0f0f0f0f
+	x = (x | x>>4) & 0x00ff00ff00ff00ff
+	x = (x | x>>8) & 0x0000ffff0000ffff
+	x = (x | x>>16) & 0x00000000ffffffff
+	return uint32(x)
+}
+
+// hilbertEncode returns the distance along a Hilbert curve of order k
+// (a 2^k × 2^k grid) at cell (x, y).
+func hilbertEncode(k uint, x, y uint32) uint64 {
+	var d uint64
+	for s := uint32(1) << (k - 1); s > 0; s >>= 1 {
+		var rx, ry uint32
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		x, y = hilbertRot(s, x, y, rx, ry)
+	}
+	return d
+}
+
+// hilbertDecode is the inverse of hilbertEncode.
+func hilbertDecode(k uint, d uint64) (x, y uint32) {
+	t := d
+	for s := uint32(1); s < 1<<k; s <<= 1 {
+		rx := uint32(1) & uint32(t/2)
+		ry := uint32(1) & uint32(t^uint64(rx))
+		x, y = hilbertRot(s, x, y, rx, ry)
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y
+}
+
+// hilbertRot rotates/flips a quadrant appropriately.
+func hilbertRot(s, x, y, rx, ry uint32) (nx, ny uint32) {
+	if ry == 0 {
+		if rx == 1 {
+			x = s - 1 - x
+			y = s - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}
+
+// log2ceil returns the smallest k with 2^k >= n.
+func log2ceil(n uint32) uint {
+	var k uint
+	for (uint32(1) << k) < n {
+		k++
+	}
+	return k
+}

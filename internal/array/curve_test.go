@@ -1,0 +1,112 @@
+package array
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMortonKnownValues(t *testing.T) {
+	cases := []struct {
+		x, y uint32
+		z    uint64
+	}{
+		{0, 0, 0}, {1, 0, 1}, {0, 1, 2}, {1, 1, 3},
+		{2, 0, 4}, {3, 0, 5}, {2, 1, 6}, {3, 1, 7},
+		{0, 2, 8}, {7, 7, 63},
+	}
+	for _, c := range cases {
+		if got := mortonEncode(c.x, c.y); got != c.z {
+			t.Errorf("mortonEncode(%d,%d)=%d, want %d", c.x, c.y, got, c.z)
+		}
+	}
+}
+
+func TestMortonRoundTripProperty(t *testing.T) {
+	f := func(x, y uint32) bool {
+		x &= 0x7fffffff
+		y &= 0x7fffffff
+		gx, gy := mortonDecode(mortonEncode(x, y))
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHilbertRoundTripProperty(t *testing.T) {
+	const k = 10 // 1024×1024 grid
+	f := func(x, y uint16) bool {
+		gx := uint32(x) & 1023
+		gy := uint32(y) & 1023
+		dx, dy := hilbertDecode(k, hilbertEncode(k, gx, gy))
+		return dx == gx && dy == gy
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHilbertIsBijective(t *testing.T) {
+	const k = 4 // 16×16
+	seen := make(map[uint64]bool)
+	for x := uint32(0); x < 16; x++ {
+		for y := uint32(0); y < 16; y++ {
+			d := hilbertEncode(k, x, y)
+			if d >= 256 {
+				t.Fatalf("hilbert(%d,%d)=%d out of range", x, y, d)
+			}
+			if seen[d] {
+				t.Fatalf("hilbert(%d,%d)=%d is a duplicate", x, y, d)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+// The defining property of a Hilbert curve: consecutive distances map to
+// grid cells that are orthogonal neighbours (Manhattan distance exactly 1).
+func TestHilbertAdjacency(t *testing.T) {
+	const k = 5 // 32×32
+	px, py := hilbertDecode(k, 0)
+	for d := uint64(1); d < 32*32; d++ {
+		x, y := hilbertDecode(k, d)
+		dist := absDiff(x, px) + absDiff(y, py)
+		if dist != 1 {
+			t.Fatalf("step %d: (%d,%d)->(%d,%d) manhattan=%d", d, px, py, x, y, dist)
+		}
+		px, py = x, y
+	}
+}
+
+func TestZOrderLocality(t *testing.T) {
+	// Z-order should keep 2×2 blocks of cells in 4 consecutive slots.
+	base := mortonEncode(4, 6)
+	if base%4 != 0 {
+		t.Skipf("cell (4,6) not 4-aligned: %d", base)
+	}
+	got := map[uint64]bool{
+		mortonEncode(4, 6): true, mortonEncode(5, 6): true,
+		mortonEncode(4, 7): true, mortonEncode(5, 7): true,
+	}
+	for d := base; d < base+4; d++ {
+		if !got[d] {
+			t.Fatalf("z-order 2x2 block not contiguous at %d", d)
+		}
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[uint32]uint{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := log2ceil(n); got != want {
+			t.Errorf("log2ceil(%d)=%d, want %d", n, got, want)
+		}
+	}
+}
+
+func absDiff(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

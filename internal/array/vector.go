@@ -1,0 +1,183 @@
+package array
+
+import (
+	"fmt"
+
+	"riot/internal/buffer"
+	"riot/internal/disk"
+)
+
+// Vector is a dense one-dimensional array stored as consecutive blocks of
+// B elements, in index order. Vectors are always linearized sequentially:
+// the paper's vector workloads (Example 1) are streaming scans, for which
+// index-order storage is optimal.
+type Vector struct {
+	pool *buffer.Pool
+	name string
+	n    int64
+	base disk.BlockID
+}
+
+// NewVector allocates an n-element vector owned by name.
+func NewVector(pool *buffer.Pool, name string, n int64) (*Vector, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("array: negative vector length %d", n)
+	}
+	b := int64(pool.Device().BlockElems())
+	nb := int((n + b - 1) / b)
+	if nb == 0 {
+		nb = 1
+	}
+	return &Vector{
+		pool: pool,
+		name: name,
+		n:    n,
+		base: pool.Device().Alloc(name, nb),
+	}, nil
+}
+
+// Len returns the number of elements.
+func (v *Vector) Len() int64 { return v.n }
+
+// Name returns the owner name used for disk accounting.
+func (v *Vector) Name() string { return v.name }
+
+// Pool returns the vector's buffer pool.
+func (v *Vector) Pool() *buffer.Pool { return v.pool }
+
+// Blocks returns the number of blocks the vector occupies.
+func (v *Vector) Blocks() int {
+	b := int64(v.pool.Device().BlockElems())
+	nb := int((v.n + b - 1) / b)
+	if nb == 0 {
+		nb = 1
+	}
+	return nb
+}
+
+// Chunk is a pinned run of vector elements.
+type Chunk struct {
+	frame *buffer.Frame
+	v     *Vector
+	// Lo and Hi delimit the global element range [Lo, Hi) in the chunk.
+	Lo, Hi int64
+}
+
+// PinChunk pins the k-th block of the vector.
+func (v *Vector) PinChunk(k int) (*Chunk, error) {
+	return v.pinChunk(k, false)
+}
+
+// PinChunkNew pins the k-th block without read I/O (it will be fully
+// overwritten).
+func (v *Vector) PinChunkNew(k int) (*Chunk, error) {
+	return v.pinChunk(k, true)
+}
+
+func (v *Vector) pinChunk(k int, fresh bool) (*Chunk, error) {
+	if k < 0 || k >= v.Blocks() {
+		return nil, fmt.Errorf("array: chunk %d outside vector %q (%d blocks)", k, v.name, v.Blocks())
+	}
+	var f *buffer.Frame
+	var err error
+	if fresh {
+		f, err = v.pool.PinNew(v.base + disk.BlockID(k))
+	} else {
+		f, err = v.pool.Pin(v.base + disk.BlockID(k))
+	}
+	if err != nil {
+		return nil, err
+	}
+	b := int64(v.pool.Device().BlockElems())
+	c := &Chunk{frame: f, v: v, Lo: int64(k) * b}
+	c.Hi = min(c.Lo+b, v.n)
+	return c, nil
+}
+
+// Release unpins the chunk.
+func (c *Chunk) Release() { c.v.pool.Unpin(c.frame) }
+
+// MarkDirty flags the chunk for write-back.
+func (c *Chunk) MarkDirty() { c.frame.MarkDirty() }
+
+// Data returns the chunk's elements for global indices [Lo, Hi).
+func (c *Chunk) Data() []float64 { return c.frame.Data[:c.Hi-c.Lo] }
+
+// At reads element i, which must lie in [Lo, Hi).
+func (c *Chunk) At(i int64) float64 { return c.frame.Data[i-c.Lo] }
+
+// Set writes element i and marks the chunk dirty.
+func (c *Chunk) Set(i int64, x float64) {
+	c.frame.Data[i-c.Lo] = x
+	c.frame.MarkDirty()
+}
+
+// At reads one element through the buffer pool.
+func (v *Vector) At(i int64) (float64, error) {
+	if i < 0 || i >= v.n {
+		return 0, fmt.Errorf("array: index %d outside vector %q of length %d", i, v.name, v.n)
+	}
+	b := int64(v.pool.Device().BlockElems())
+	c, err := v.PinChunk(int(i / b))
+	if err != nil {
+		return 0, err
+	}
+	x := c.At(i)
+	c.Release()
+	return x, nil
+}
+
+// Set writes one element through the buffer pool.
+func (v *Vector) Set(i int64, x float64) error {
+	if i < 0 || i >= v.n {
+		return fmt.Errorf("array: index %d outside vector %q of length %d", i, v.name, v.n)
+	}
+	b := int64(v.pool.Device().BlockElems())
+	c, err := v.PinChunk(int(i / b))
+	if err != nil {
+		return err
+	}
+	c.Set(i, x)
+	c.Release()
+	return nil
+}
+
+// Fill streams f(i) into the vector, writing each block exactly once.
+func (v *Vector) Fill(f func(i int64) float64) error {
+	for k := 0; k < v.Blocks(); k++ {
+		c, err := v.PinChunkNew(k)
+		if err != nil {
+			return err
+		}
+		for i := c.Lo; i < c.Hi; i++ {
+			c.Set(i, f(i))
+		}
+		c.Release()
+	}
+	return v.pool.FlushAll()
+}
+
+// Scan streams the vector in index order, calling f once per chunk.
+// It is the I/O pattern of every fused elementwise pipeline.
+func (v *Vector) Scan(f func(lo int64, data []float64) error) error {
+	for k := 0; k < v.Blocks(); k++ {
+		c, err := v.PinChunk(k)
+		if err != nil {
+			return err
+		}
+		err = f(c.Lo, c.Data())
+		c.Release()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Free drops resident chunks and releases the vector's disk extent.
+func (v *Vector) Free() {
+	for k := 0; k < v.Blocks(); k++ {
+		v.pool.Invalidate(v.base + disk.BlockID(k))
+	}
+	v.pool.Device().Free(v.name)
+}

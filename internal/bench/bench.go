@@ -1,0 +1,377 @@
+// Package bench regenerates every table and figure in the paper's
+// evaluation: Figure 1 (Example 1 across the four systems), Figure 2
+// (update pushdown), Figure 3 (matrix-chain I/O costs), plus the model-
+// validation experiment E6 that cross-checks the analytic formulas
+// against measured kernel I/O. See DESIGN.md's per-experiment index.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"riot/internal/algebra"
+	"riot/internal/array"
+	"riot/internal/buffer"
+	"riot/internal/costmodel"
+	"riot/internal/disk"
+	"riot/internal/engine"
+	"riot/internal/exec"
+	"riot/internal/linalg"
+	"riot/internal/opt"
+	"riot/internal/riotdb"
+	"riot/internal/rlang"
+)
+
+// example1Script is the paper's Example 1, in riotscript.
+const example1Script = `
+xs <- 3; ys <- 4
+xe <- 100; ye <- 200
+d <- sqrt((x-xs)^2+(y-ys)^2) + sqrt((x-xe)^2+(y-ye)^2)
+s <- sample(length(x), 100)
+z <- d[s]
+print(z)
+`
+
+// Figure1Row is one (engine, n) measurement.
+type Figure1Row struct {
+	Engine  string
+	N       int64
+	IOMB    float64
+	Seconds float64
+}
+
+// Figure1 runs Example 1 on every engine for each vector size, with the
+// paper's memory recipe: memory holds the runtime plus two vectors of
+// 2^22 elements (scaled down by the same ratio when maxN is smaller).
+// It returns one row per (engine, n).
+func Figure1(sizes []int64, blockElems int, w io.Writer) ([]Figure1Row, error) {
+	var rows []Figure1Row
+	maxN := sizes[len(sizes)-1]
+	memElems := 2 * (maxN / 2) // two vectors of the middle size
+	if len(sizes) >= 2 {
+		memElems = 2 * sizes[len(sizes)-2]
+	}
+	runtimePages := 24
+	tm := engine.DefaultTimeModel
+	for _, n := range sizes {
+		engines := []engine.Engine{
+			engine.NewPlainR(blockElems, int(memElems/int64(blockElems))+runtimePages, runtimePages, tm),
+			engine.NewRIOTDB(riotdb.Strawman, blockElems, memElems, tm),
+			engine.NewRIOTDB(riotdb.MatNamed, blockElems, memElems, tm),
+			engine.NewRIOTDB(riotdb.Full, blockElems, memElems, tm),
+			engine.NewRIOT(blockElems, memElems, tm),
+		}
+		for _, e := range engines {
+			rep, err := runExample1(e, n)
+			if err != nil {
+				return nil, fmt.Errorf("%s n=%d: %w", e.Name(), n, err)
+			}
+			rows = append(rows, Figure1Row{Engine: e.Name(), N: n, IOMB: rep.IOMB(), Seconds: rep.SimSeconds})
+		}
+	}
+	if w != nil {
+		fmt.Fprintln(w, "Figure 1(a): Disk I/O (MB) — Example 1")
+		printFig1(w, rows, func(r Figure1Row) float64 { return r.IOMB })
+		fmt.Fprintln(w, "\nFigure 1(b): Computation time (simulated sec) — Example 1")
+		printFig1(w, rows, func(r Figure1Row) float64 { return r.Seconds })
+	}
+	return rows, nil
+}
+
+func printFig1(w io.Writer, rows []Figure1Row, metric func(Figure1Row) float64) {
+	var sizes []int64
+	seen := map[int64]bool{}
+	for _, r := range rows {
+		if !seen[r.N] {
+			seen[r.N] = true
+			sizes = append(sizes, r.N)
+		}
+	}
+	fmt.Fprintf(w, "%-18s", "engine \\ n")
+	for _, n := range sizes {
+		fmt.Fprintf(w, "%14d", n)
+	}
+	fmt.Fprintln(w)
+	var names []string
+	seenE := map[string]bool{}
+	for _, r := range rows {
+		if !seenE[r.Engine] {
+			seenE[r.Engine] = true
+			names = append(names, r.Engine)
+		}
+	}
+	for _, name := range names {
+		fmt.Fprintf(w, "%-18s", name)
+		for _, n := range sizes {
+			for _, r := range rows {
+				if r.Engine == name && r.N == n {
+					fmt.Fprintf(w, "%14.1f", metric(r))
+				}
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// runExample1 executes the script on e with fresh inputs of size n,
+// measuring only the computation (inputs pre-loaded, as in the paper).
+func runExample1(e engine.Engine, n int64) (engine.Report, error) {
+	in := rlang.New(e)
+	x, err := e.NewVector(n, func(i int64) float64 { return float64(i % 9973) })
+	if err != nil {
+		return engine.Report{}, err
+	}
+	y, err := e.NewVector(n, func(i int64) float64 { return float64(i % 9967) })
+	if err != nil {
+		return engine.Report{}, err
+	}
+	in.SetVector("x", x)
+	in.SetVector("y", y)
+	e.ResetStats()
+	if err := in.Run(example1Script); err != nil {
+		return engine.Report{}, err
+	}
+	return e.Report(), nil
+}
+
+// Figure2Row is one configuration of the update-pushdown experiment.
+type Figure2Row struct {
+	Config   string
+	Elements int64 // elements computed to produce b[1:10]
+	IOBlocks int64
+}
+
+// Figure2 compares deferred functional updates plus subscript pushdown
+// (RIOT) against eager update semantics (R / RIOT-DB) on the §5 example
+// b <- a^2; b[b>100] <- 100; print(b[1:10]).
+func Figure2(n int64, blockElems int, w io.Writer) ([]Figure2Row, error) {
+	run := func(deferred bool) (Figure2Row, error) {
+		dev := disk.NewDevice(blockElems)
+		pool := buffer.New(dev, 64)
+		ex := exec.New(pool)
+		ex.EagerUpdates = !deferred
+		g := algebra.NewGraph()
+		a, err := array.NewVector(pool, "a", n)
+		if err != nil {
+			return Figure2Row{}, err
+		}
+		if err := a.Fill(func(i int64) float64 { return float64(i) }); err != nil {
+			return Figure2Row{}, err
+		}
+		an := g.SourceVec(a)
+		b, err := g.ScalarOp("^", an, 2, false)
+		if err != nil {
+			return Figure2Row{}, err
+		}
+		b2, err := g.UpdateMask(b, ">", 100, 100)
+		if err != nil {
+			return Figure2Row{}, err
+		}
+		head, err := g.Range(b2, 0, 10)
+		if err != nil {
+			return Figure2Row{}, err
+		}
+		cfg := opt.DefaultConfig()
+		cfg.PushdownRange = deferred
+		cfg.PushdownGather = deferred
+		root, err := opt.New(g, cfg).Optimize(head)
+		if err != nil {
+			return Figure2Row{}, err
+		}
+		if err := pool.DropAll(); err != nil {
+			return Figure2Row{}, err
+		}
+		dev.ResetStats()
+		if _, err := ex.Fetch(root, -1); err != nil {
+			return Figure2Row{}, err
+		}
+		name := "eager update (R / RIOT-DB)"
+		if deferred {
+			name = "deferred update + pushdown (RIOT)"
+		}
+		return Figure2Row{Config: name, Elements: ex.Stats().ElementsComputed, IOBlocks: dev.Stats().TotalBlocks()}, nil
+	}
+	eager, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	deferred, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	rows := []Figure2Row{eager, deferred}
+	if w != nil {
+		fmt.Fprintf(w, "Figure 2: b <- a^2; b[b>100] <- 100; print(b[1:10])   (n = %d)\n", n)
+		fmt.Fprintf(w, "%-36s %16s %12s\n", "configuration", "elements computed", "I/O blocks")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-36s %16d %12d\n", r.Config, r.Elements, r.IOBlocks)
+		}
+	}
+	return rows, nil
+}
+
+// Figure3Row is one (strategy, configuration) calculated cost.
+type Figure3Row struct {
+	Strategy string
+	N        float64
+	MemGB    float64
+	Skew     float64
+	IOBlocks float64
+}
+
+// Figure3a computes the calculated I/O costs of the three-matrix chain
+// for n ∈ sizes and memories mems (GB), at skew s=2, exactly as the
+// paper's Figure 3(a).
+func Figure3a(sizes []float64, memsGB []float64, w io.Writer) []Figure3Row {
+	var rows []Figure3Row
+	for _, n := range sizes {
+		for _, gb := range memsGB {
+			p := costmodel.Params{MemElems: costmodel.GB(gb), BlockElems: 1024}
+			dims := costmodel.SkewedChainDims(n, 2)
+			rows = append(rows,
+				Figure3Row{"RIOT-DB", n, gb, 2, costmodel.InOrder(dims).IO(costmodel.StrategyRIOTDB, p)},
+				Figure3Row{"BNLJ-Inspired", n, gb, 2, costmodel.InOrder(dims).IO(costmodel.StrategyBNLJ, p)},
+				Figure3Row{"Square/In-Order", n, gb, 2, costmodel.InOrder(dims).IO(costmodel.StrategySquare, p)},
+				Figure3Row{"Square/Opt-Order", n, gb, 2, costmodel.OptOrder(dims).IO(costmodel.StrategySquare, p)},
+			)
+		}
+	}
+	if w != nil {
+		fmt.Fprintln(w, "Figure 3(a): chain A(n x n/2) B(n/2 x n) C(n x n), I/O in blocks (B=1024)")
+		fmt.Fprintf(w, "%-18s", "strategy")
+		for _, n := range sizes {
+			for _, gb := range memsGB {
+				fmt.Fprintf(w, "  n=%g/%gGB", n, gb)
+			}
+		}
+		fmt.Fprintln(w)
+		for _, s := range []string{"RIOT-DB", "BNLJ-Inspired", "Square/In-Order", "Square/Opt-Order"} {
+			fmt.Fprintf(w, "%-18s", s)
+			for _, n := range sizes {
+				for _, gb := range memsGB {
+					for _, r := range rows {
+						if r.Strategy == s && r.N == n && r.MemGB == gb {
+							fmt.Fprintf(w, "  %12.3e", r.IOBlocks)
+						}
+					}
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return rows
+}
+
+// Figure3b varies the skewness factor at n=100000 and 2 GB memory,
+// dropping RIOT-DB as the paper does ("it performs far worse").
+func Figure3b(skews []float64, w io.Writer) []Figure3Row {
+	p := costmodel.Params{MemElems: costmodel.GB(2), BlockElems: 1024}
+	var rows []Figure3Row
+	for _, s := range skews {
+		dims := costmodel.SkewedChainDims(100000, s)
+		rows = append(rows,
+			Figure3Row{"BNLJ-Inspired", 100000, 2, s, costmodel.InOrder(dims).IO(costmodel.StrategyBNLJ, p)},
+			Figure3Row{"Square/In-Order", 100000, 2, s, costmodel.InOrder(dims).IO(costmodel.StrategySquare, p)},
+			Figure3Row{"Square/Opt-Order", 100000, 2, s, costmodel.OptOrder(dims).IO(costmodel.StrategySquare, p)},
+		)
+	}
+	if w != nil {
+		fmt.Fprintln(w, "Figure 3(b): skewness sweep, n=100000, M=2GB, I/O in blocks")
+		fmt.Fprintf(w, "%-18s", "strategy")
+		for _, s := range skews {
+			fmt.Fprintf(w, "       s=%g", s)
+		}
+		fmt.Fprintln(w)
+		for _, name := range []string{"BNLJ-Inspired", "Square/In-Order", "Square/Opt-Order"} {
+			fmt.Fprintf(w, "%-18s", name)
+			for _, s := range skews {
+				for _, r := range rows {
+					if r.Strategy == name && r.Skew == s {
+						fmt.Fprintf(w, " %9.3e", r.IOBlocks)
+					}
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return rows
+}
+
+// ValidateRow compares measured kernel I/O against the analytic model.
+type ValidateRow struct {
+	N         int64
+	Kernel    string
+	Measured  float64
+	Predicted float64
+}
+
+// ValidateModel executes the square-tiled and BNLJ kernels on real tiled
+// matrices at laptop scale and reports measured vs predicted blocks
+// (experiment E6).
+func ValidateModel(sizes []int64, w io.Writer) ([]ValidateRow, error) {
+	const blockElems = 64
+	const frames = 48
+	var rows []ValidateRow
+	for _, n := range sizes {
+		for _, kernel := range []string{"square-tiled", "bnlj"} {
+			dev := disk.NewDevice(blockElems)
+			pool := buffer.New(dev, frames)
+			var a, b *array.Matrix
+			var err error
+			if kernel == "square-tiled" {
+				a, err = array.NewMatrix(pool, "a", n, n, array.Options{Shape: array.SquareTiles})
+			} else {
+				a, err = array.NewMatrix(pool, "a", n, n, array.Options{Shape: array.RowTiles})
+			}
+			if err != nil {
+				return nil, err
+			}
+			if kernel == "square-tiled" {
+				b, err = array.NewMatrix(pool, "b", n, n, array.Options{Shape: array.SquareTiles})
+			} else {
+				b, err = array.NewMatrix(pool, "b", n, n, array.Options{Shape: array.ColTiles})
+			}
+			if err != nil {
+				return nil, err
+			}
+			if err := a.Fill(func(i, j int64) float64 { return float64((i + j) % 7) }); err != nil {
+				return nil, err
+			}
+			if err := b.Fill(func(i, j int64) float64 { return float64((i * j) % 5) }); err != nil {
+				return nil, err
+			}
+			if err := pool.DropAll(); err != nil {
+				return nil, err
+			}
+			dev.ResetStats()
+			if kernel == "square-tiled" {
+				_, err = linalg.MatMulTiled(pool, "c", a, b)
+			} else {
+				_, err = linalg.MatMulBNLJ(pool, "c", a, b, array.Options{Shape: array.RowTiles})
+			}
+			if err != nil {
+				return nil, err
+			}
+			p := costmodel.Params{MemElems: float64(pool.MemoryElems()), BlockElems: blockElems}
+			var predicted float64
+			if kernel == "square-tiled" {
+				predicted = costmodel.SquareTiled(float64(n), float64(n), float64(n), p)
+			} else {
+				predicted = costmodel.BNLJ(float64(n), float64(n), float64(n), p)
+			}
+			rows = append(rows, ValidateRow{
+				N: n, Kernel: kernel,
+				Measured:  float64(dev.Stats().TotalBlocks()),
+				Predicted: predicted,
+			})
+		}
+	}
+	if w != nil {
+		fmt.Fprintln(w, "E6: measured kernel I/O vs analytic model (blocks; B=64, M=3072)")
+		fmt.Fprintf(w, "%8s %-14s %10s %10s %7s\n", "n", "kernel", "measured", "model", "ratio")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%8d %-14s %10.0f %10.0f %7.2f\n", r.N, r.Kernel, r.Measured, r.Predicted, r.Measured/r.Predicted)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1ShapesAndOutput(t *testing.T) {
+	var sb strings.Builder
+	rows, err := Figure1([]int64{1 << 14, 1 << 15}, 256, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 { // 5 engines × 2 sizes
+		t.Fatalf("%d rows", len(rows))
+	}
+	get := func(engine string, n int64) Figure1Row {
+		for _, r := range rows {
+			if r.Engine == engine && r.N == n {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%d", engine, n)
+		return Figure1Row{}
+	}
+	for _, n := range []int64{1 << 14, 1 << 15} {
+		straw := get("riot-db/strawman", n)
+		matnamed := get("riot-db/matnamed", n)
+		full := get("riot-db/full", n)
+		if !(straw.IOMB > matnamed.IOMB && matnamed.IOMB > full.IOMB) {
+			t.Fatalf("n=%d: IO ordering violated: %.1f / %.1f / %.1f",
+				n, straw.IOMB, matnamed.IOMB, full.IOMB)
+		}
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Figure 1(a)") || !strings.Contains(out, "plain-r") {
+		t.Fatalf("table output malformed:\n%s", out)
+	}
+}
+
+func TestFigure2Reduction(t *testing.T) {
+	rows, err := Figure2(1<<14, 256, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, deferred := rows[0], rows[1]
+	if deferred.Elements*100 > eager.Elements {
+		t.Fatalf("pushdown saved too little: %d vs %d elements", deferred.Elements, eager.Elements)
+	}
+	if deferred.IOBlocks >= eager.IOBlocks {
+		t.Fatalf("pushdown did not reduce I/O: %d vs %d", deferred.IOBlocks, eager.IOBlocks)
+	}
+}
+
+func TestFigure3aOrdering(t *testing.T) {
+	rows := Figure3a([]float64{100000}, []float64{2}, nil)
+	byName := map[string]float64{}
+	for _, r := range rows {
+		byName[r.Strategy] = r.IOBlocks
+	}
+	if !(byName["RIOT-DB"] > byName["BNLJ-Inspired"] &&
+		byName["BNLJ-Inspired"] > byName["Square/In-Order"] &&
+		byName["Square/In-Order"] > byName["Square/Opt-Order"]) {
+		t.Fatalf("figure 3a ordering violated: %v", byName)
+	}
+	// The paper's magnitudes: RIOT-DB in the 1e12..1e13 band.
+	if byName["RIOT-DB"] < 1e11 || byName["RIOT-DB"] > 1e14 {
+		t.Fatalf("RIOT-DB cost %e outside the paper's band", byName["RIOT-DB"])
+	}
+}
+
+func TestFigure3bGapWidens(t *testing.T) {
+	rows := Figure3b([]float64{2, 8}, nil)
+	ratio := func(s float64) float64 {
+		var in, opt float64
+		for _, r := range rows {
+			if r.Skew == s && r.Strategy == "Square/In-Order" {
+				in = r.IOBlocks
+			}
+			if r.Skew == s && r.Strategy == "Square/Opt-Order" {
+				opt = r.IOBlocks
+			}
+		}
+		return in / opt
+	}
+	if ratio(8) <= ratio(2) {
+		t.Fatalf("gap did not widen with skew: %.2f vs %.2f", ratio(2), ratio(8))
+	}
+}
+
+func TestValidateModelCloseForSquare(t *testing.T) {
+	rows, err := ValidateModel([]int64{96}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Kernel == "square-tiled" {
+			ratio := r.Measured / r.Predicted
+			if ratio < 0.8 || ratio > 1.2 {
+				t.Fatalf("square-tiled measured/model = %.2f, want ~1", ratio)
+			}
+		}
+	}
+}

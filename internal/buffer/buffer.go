@@ -1,0 +1,229 @@
+// Package buffer implements a pinning buffer pool over a simulated disk
+// device. The pool's frame budget is the paper's "available memory M":
+// a pool of capacity M/B frames can hold M scalar numbers at once, and
+// any access beyond that evicts via LRU, charging real device I/O.
+//
+// RIOT's out-of-core kernels (internal/linalg), the array store
+// (internal/array), and the relational storage layer (internal/rstore)
+// all draw frames from a pool, so "how much memory an algorithm uses" is
+// an enforced budget rather than an honour system.
+package buffer
+
+import (
+	"container/list"
+	"fmt"
+
+	"riot/internal/disk"
+)
+
+// Frame is a pinned in-memory copy of one disk block. The Data slice is
+// valid until Unpin; writers must call MarkDirty so the frame is flushed
+// on eviction.
+type Frame struct {
+	id    disk.BlockID
+	Data  []float64
+	pins  int
+	dirty bool
+	elem  *list.Element
+}
+
+// ID returns the disk block this frame caches.
+func (f *Frame) ID() disk.BlockID { return f.id }
+
+// MarkDirty records that Data has been modified and must be written back.
+func (f *Frame) MarkDirty() { f.dirty = true }
+
+// Stats counts buffer pool events.
+type Stats struct {
+	Hits      int64 // requests satisfied without device I/O
+	Misses    int64 // requests that read the block from the device
+	Evictions int64 // frames dropped to make room
+	Flushes   int64 // dirty frames written back
+}
+
+// Pool is a fixed-capacity buffer pool with LRU replacement and pinning.
+// It is not safe for concurrent use; RIOT's executors are single-threaded
+// per pool, like the paper's single-machine setting.
+type Pool struct {
+	dev      *disk.Device
+	capacity int // frames
+	frames   map[disk.BlockID]*Frame
+	lru      *list.List // unpinned frames, front = least recently used
+	stats    Stats
+}
+
+// New creates a pool holding at most capacity frames over dev.
+func New(dev *disk.Device, capacity int) *Pool {
+	if capacity <= 0 {
+		panic("buffer: capacity must be positive")
+	}
+	return &Pool{
+		dev:      dev,
+		capacity: capacity,
+		frames:   make(map[disk.BlockID]*Frame),
+		lru:      list.New(),
+	}
+}
+
+// NewWithMemory creates a pool sized so it holds memElems scalar numbers:
+// capacity = memElems / blockElems, at least 3 frames (the minimum any
+// out-of-core algorithm in this repo needs).
+func NewWithMemory(dev *disk.Device, memElems int64) *Pool {
+	frames := int(memElems / int64(dev.BlockElems()))
+	if frames < 3 {
+		frames = 3
+	}
+	return New(dev, frames)
+}
+
+// Capacity returns the frame budget.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// MemoryElems returns the budget expressed in scalar numbers (M).
+func (p *Pool) MemoryElems() int64 {
+	return int64(p.capacity) * int64(p.dev.BlockElems())
+}
+
+// Device returns the underlying device.
+func (p *Pool) Device() *disk.Device { return p.dev }
+
+// Stats returns a snapshot of pool counters.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// ResetStats zeroes the pool counters (resident frames are kept).
+func (p *Pool) ResetStats() { p.stats = Stats{} }
+
+// Resident returns the number of frames currently held.
+func (p *Pool) Resident() int { return len(p.frames) }
+
+// Pinned returns how many frames are currently pinned.
+func (p *Pool) Pinned() int { return len(p.frames) - p.lru.Len() }
+
+// Pin fetches block id into the pool, pins it, and returns its frame.
+// A pinned frame is exempt from eviction until Unpin. Pinning more
+// frames than the capacity is an error: it means an algorithm is using
+// more memory than its budget.
+func (p *Pool) Pin(id disk.BlockID) (*Frame, error) {
+	if f, ok := p.frames[id]; ok {
+		p.stats.Hits++
+		if f.pins == 0 && f.elem != nil {
+			p.lru.Remove(f.elem)
+			f.elem = nil
+		}
+		f.pins++
+		return f, nil
+	}
+	if err := p.makeRoom(); err != nil {
+		return nil, err
+	}
+	f := &Frame{id: id, Data: make([]float64, p.dev.BlockElems()), pins: 1}
+	if err := p.dev.Read(id, f.Data); err != nil {
+		return nil, err
+	}
+	p.stats.Misses++
+	p.frames[id] = f
+	return f, nil
+}
+
+// PinNew pins block id without reading it from the device, for blocks
+// about to be fully overwritten. It still counts as a miss for residency
+// purposes but performs no read I/O (the paper's write-only traffic for
+// result matrices depends on this).
+func (p *Pool) PinNew(id disk.BlockID) (*Frame, error) {
+	if f, ok := p.frames[id]; ok {
+		p.stats.Hits++
+		if f.pins == 0 && f.elem != nil {
+			p.lru.Remove(f.elem)
+			f.elem = nil
+		}
+		f.pins++
+		return f, nil
+	}
+	if err := p.makeRoom(); err != nil {
+		return nil, err
+	}
+	f := &Frame{id: id, Data: make([]float64, p.dev.BlockElems()), pins: 1}
+	p.stats.Misses++
+	p.frames[id] = f
+	return f, nil
+}
+
+// Unpin releases one pin on f. When the pin count reaches zero the frame
+// becomes evictable.
+func (p *Pool) Unpin(f *Frame) {
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("buffer: unpin of unpinned frame %d", f.id))
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.elem = p.lru.PushBack(f)
+	}
+}
+
+// makeRoom ensures at least one free slot exists, evicting the LRU
+// unpinned frame if necessary.
+func (p *Pool) makeRoom() error {
+	if len(p.frames) < p.capacity {
+		return nil
+	}
+	front := p.lru.Front()
+	if front == nil {
+		return fmt.Errorf("buffer: pool over budget: all %d frames pinned", p.capacity)
+	}
+	victim := front.Value.(*Frame)
+	p.lru.Remove(front)
+	victim.elem = nil
+	if victim.dirty {
+		if err := p.dev.Write(victim.id, victim.Data); err != nil {
+			return err
+		}
+		p.stats.Flushes++
+	}
+	delete(p.frames, victim.id)
+	p.stats.Evictions++
+	return nil
+}
+
+// FlushAll writes back every dirty frame (pinned or not) without evicting.
+func (p *Pool) FlushAll() error {
+	for _, f := range p.frames {
+		if f.dirty {
+			if err := p.dev.Write(f.id, f.Data); err != nil {
+				return err
+			}
+			f.dirty = false
+			p.stats.Flushes++
+		}
+	}
+	return nil
+}
+
+// Invalidate drops any resident (unpinned) copy of block id without
+// writing it back. Used when an owner's extent is freed.
+func (p *Pool) Invalidate(id disk.BlockID) {
+	f, ok := p.frames[id]
+	if !ok {
+		return
+	}
+	if f.pins > 0 {
+		panic(fmt.Sprintf("buffer: invalidate of pinned frame %d", id))
+	}
+	if f.elem != nil {
+		p.lru.Remove(f.elem)
+	}
+	delete(p.frames, id)
+}
+
+// DropAll evicts every unpinned frame, flushing dirty ones. It returns an
+// error if any frame is still pinned.
+func (p *Pool) DropAll() error {
+	if p.Pinned() > 0 {
+		return fmt.Errorf("buffer: DropAll with %d pinned frames", p.Pinned())
+	}
+	if err := p.FlushAll(); err != nil {
+		return err
+	}
+	p.frames = make(map[disk.BlockID]*Frame)
+	p.lru.Init()
+	return nil
+}

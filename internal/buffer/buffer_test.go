@@ -1,0 +1,285 @@
+package buffer
+
+import (
+	"testing"
+
+	"riot/internal/disk"
+)
+
+func newPool(t *testing.T, blockElems, frames, blocks int) (*Pool, *disk.Device) {
+	t.Helper()
+	dev := disk.NewDevice(blockElems)
+	dev.Alloc("test", blocks)
+	return New(dev, frames), dev
+}
+
+func TestPinReadsThrough(t *testing.T) {
+	p, dev := newPool(t, 4, 2, 4)
+	if err := dev.Write(1, []float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	dev.ResetStats()
+	f, err := p.Pin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Data[2] != 3 {
+		t.Fatalf("Data[2]=%v, want 3", f.Data[2])
+	}
+	p.Unpin(f)
+	if got := dev.Stats().BlocksRead; got != 1 {
+		t.Fatalf("device reads=%d, want 1", got)
+	}
+}
+
+func TestHitAvoidsIO(t *testing.T) {
+	p, dev := newPool(t, 4, 2, 4)
+	f, _ := p.Pin(0)
+	p.Unpin(f)
+	dev.ResetStats()
+	f2, _ := p.Pin(0)
+	p.Unpin(f2)
+	if got := dev.Stats().BlocksRead; got != 0 {
+		t.Fatalf("device reads=%d on hit, want 0", got)
+	}
+	if s := p.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", s.Hits, s.Misses)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	p, _ := newPool(t, 2, 2, 4)
+	a, _ := p.Pin(0)
+	p.Unpin(a)
+	b, _ := p.Pin(1)
+	p.Unpin(b)
+	// Touch 0 again so 1 becomes LRU.
+	a2, _ := p.Pin(0)
+	p.Unpin(a2)
+	c, _ := p.Pin(2) // must evict block 1
+	p.Unpin(c)
+	if _, ok := p.frames[1]; ok {
+		t.Fatal("block 1 should have been evicted")
+	}
+	if _, ok := p.frames[0]; !ok {
+		t.Fatal("block 0 should still be resident")
+	}
+	if p.Stats().Evictions != 1 {
+		t.Fatalf("evictions=%d, want 1", p.Stats().Evictions)
+	}
+}
+
+func TestDirtyWriteBackOnEviction(t *testing.T) {
+	p, dev := newPool(t, 2, 1, 3)
+	f, _ := p.Pin(0)
+	f.Data[0] = 42
+	f.MarkDirty()
+	p.Unpin(f)
+	g, _ := p.Pin(1) // evicts 0, flushing it
+	p.Unpin(g)
+	buf := make([]float64, 2)
+	if err := dev.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 42 {
+		t.Fatalf("flushed value=%v, want 42", buf[0])
+	}
+	if p.Stats().Flushes != 1 {
+		t.Fatalf("flushes=%d, want 1", p.Stats().Flushes)
+	}
+}
+
+func TestCleanEvictionNoWrite(t *testing.T) {
+	p, dev := newPool(t, 2, 1, 3)
+	f, _ := p.Pin(0)
+	p.Unpin(f)
+	dev.ResetStats()
+	g, _ := p.Pin(1)
+	p.Unpin(g)
+	if w := dev.Stats().BlocksWritten; w != 0 {
+		t.Fatalf("clean eviction wrote %d blocks", w)
+	}
+}
+
+func TestPinnedFramesNotEvicted(t *testing.T) {
+	p, _ := newPool(t, 2, 2, 4)
+	a, _ := p.Pin(0)
+	b, _ := p.Pin(1)
+	if _, err := p.Pin(2); err == nil {
+		t.Fatal("expected over-budget error with all frames pinned")
+	}
+	p.Unpin(a)
+	c, err := p.Pin(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(b)
+	p.Unpin(c)
+}
+
+func TestPinNewSkipsRead(t *testing.T) {
+	p, dev := newPool(t, 2, 2, 4)
+	dev.ResetStats()
+	f, err := p.PinNew(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Data[0] = 7
+	f.MarkDirty()
+	p.Unpin(f)
+	if r := dev.Stats().BlocksRead; r != 0 {
+		t.Fatalf("PinNew read %d blocks, want 0", r)
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 2)
+	if err := dev.Read(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 7 {
+		t.Fatalf("flushed=%v, want 7", buf[0])
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	p, _ := newPool(t, 2, 3, 32)
+	for i := 0; i < 32; i++ {
+		f, err := p.Pin(disk.BlockID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(f)
+		if p.Resident() > 3 {
+			t.Fatalf("resident=%d exceeds capacity 3", p.Resident())
+		}
+	}
+}
+
+func TestMultiplePins(t *testing.T) {
+	p, _ := newPool(t, 2, 2, 4)
+	a, _ := p.Pin(0)
+	b, _ := p.Pin(0)
+	if a != b {
+		t.Fatal("same block pinned twice should share a frame")
+	}
+	p.Unpin(a)
+	if p.Pinned() != 1 {
+		t.Fatalf("pinned=%d, want 1 after one unpin", p.Pinned())
+	}
+	p.Unpin(b)
+	if p.Pinned() != 0 {
+		t.Fatalf("pinned=%d, want 0", p.Pinned())
+	}
+}
+
+func TestUnpinUnderflowPanics(t *testing.T) {
+	p, _ := newPool(t, 2, 2, 4)
+	f, _ := p.Pin(0)
+	p.Unpin(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double unpin")
+		}
+	}()
+	p.Unpin(f)
+}
+
+func TestDropAllFlushes(t *testing.T) {
+	p, dev := newPool(t, 2, 4, 4)
+	f, _ := p.Pin(0)
+	f.Data[1] = 9
+	f.MarkDirty()
+	p.Unpin(f)
+	if err := p.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Resident() != 0 {
+		t.Fatalf("resident=%d after DropAll", p.Resident())
+	}
+	buf := make([]float64, 2)
+	if err := dev.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[1] != 9 {
+		t.Fatalf("flushed=%v, want 9", buf[1])
+	}
+}
+
+func TestDropAllWithPinnedFails(t *testing.T) {
+	p, _ := newPool(t, 2, 2, 4)
+	f, _ := p.Pin(0)
+	if err := p.DropAll(); err == nil {
+		t.Fatal("expected error")
+	}
+	p.Unpin(f)
+}
+
+func TestInvalidateDiscardsDirtyData(t *testing.T) {
+	p, dev := newPool(t, 2, 2, 4)
+	f, _ := p.Pin(2)
+	f.Data[0] = 5
+	f.MarkDirty()
+	p.Unpin(f)
+	p.Invalidate(2)
+	buf := make([]float64, 2)
+	if err := dev.Read(2, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 {
+		t.Fatalf("invalidated frame leaked write: %v", buf[0])
+	}
+}
+
+func TestNewWithMemory(t *testing.T) {
+	dev := disk.NewDevice(1024)
+	p := NewWithMemory(dev, 1<<20) // 1M elements
+	if got := p.Capacity(); got != 1024 {
+		t.Fatalf("capacity=%d, want 1024", got)
+	}
+	if got := p.MemoryElems(); got != 1<<20 {
+		t.Fatalf("MemoryElems=%d, want %d", got, 1<<20)
+	}
+	tiny := NewWithMemory(dev, 100) // under 3 frames -> clamp
+	if tiny.Capacity() != 3 {
+		t.Fatalf("tiny capacity=%d, want 3", tiny.Capacity())
+	}
+}
+
+// Pool contents must survive arbitrary interleavings of pin/unpin/evict:
+// whatever was last written to a block through a dirty frame is what a
+// later pin observes, even after eviction cycles through a tiny pool.
+func TestWriteReadConsistencyUnderEviction(t *testing.T) {
+	p, _ := newPool(t, 2, 3, 16)
+	want := make(map[disk.BlockID]float64)
+	seq := []struct {
+		id disk.BlockID
+		v  float64
+	}{
+		{0, 1}, {5, 2}, {9, 3}, {0, 4}, {12, 5}, {5, 6}, {7, 7}, {9, 8},
+		{15, 9}, {0, 10}, {3, 11}, {5, 12},
+	}
+	for _, op := range seq {
+		f, err := p.Pin(op.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, ok := want[op.id]; ok && f.Data[0] != prev {
+			t.Fatalf("block %d read %v, want %v", op.id, f.Data[0], prev)
+		}
+		f.Data[0] = op.v
+		f.MarkDirty()
+		want[op.id] = op.v
+		p.Unpin(f)
+	}
+	for id, v := range want {
+		f, err := p.Pin(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Data[0] != v {
+			t.Fatalf("final: block %d = %v, want %v", id, f.Data[0], v)
+		}
+		p.Unpin(f)
+	}
+}

@@ -1,0 +1,247 @@
+// Package costmodel implements the paper's analytic I/O cost formulas:
+// the Θ(lmn/(B√M)) square-tiled matrix multiply and its lower bound
+// (Appendix A), the chain lower bound Θ(N/(B√M)) (Appendix B), the
+// block-nested-loop-inspired algorithm of §3, the hash-join + external-
+// sort + aggregate plan RIOT-DB bottoms out in (§4.1), and the dynamic
+// program that picks the cheapest multiplication order (§5).
+//
+// All costs are in disk blocks, the unit of Figure 3. Parameters follow
+// the paper: M is memory capacity in scalar numbers, B is block capacity
+// in scalar numbers.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params carries the machine model.
+type Params struct {
+	MemElems   float64 // M: memory capacity in numbers
+	BlockElems float64 // B: numbers per disk block
+}
+
+// GB returns the number of float64 elements in g gibibytes, for
+// paper-style "2GB / 4GB memory" parameters.
+func GB(g float64) float64 { return g * (1 << 30) / 8 }
+
+// SquareTiled returns the I/O cost (blocks) of multiplying an l×m matrix
+// by an m×n matrix with the Appendix A schedule: square p×p submatrices,
+// p = √(M/3), square tiling on disk. Cost = 2√3·lmn/(B√M) + ln/B
+// (reads of A and B sub-blocks, plus one write of each result block).
+func SquareTiled(l, m, n float64, p Params) float64 {
+	read := 2 * math.Sqrt(3) * l * m * n / (p.BlockElems * math.Sqrt(p.MemElems))
+	write := l * n / p.BlockElems
+	return read + write
+}
+
+// LowerBoundMultiply is Appendix A's bound for a single multiply.
+func LowerBoundMultiply(l, m, n float64, p Params) float64 {
+	return l * m * n / (p.BlockElems * math.Sqrt(p.MemElems))
+}
+
+// LowerBoundChain is Appendix B's bound for a chain performing N scalar
+// multiplications.
+func LowerBoundChain(nMults float64, p Params) float64 {
+	return nMults / (p.BlockElems * math.Sqrt(p.MemElems))
+}
+
+// BNLJ returns the I/O cost (blocks) of the §3 algorithm inspired by
+// block nested-loop join: A in row layout is read once in chunks of r
+// rows, where each chunk leaves room for the matching result rows and
+// one block of column-major B; B is rescanned once per chunk.
+func BNLJ(l, m, n float64, p Params) float64 {
+	r := math.Floor((p.MemElems - p.BlockElems) / (m + n))
+	if r < 1 {
+		r = 1
+	}
+	passes := math.Ceil(l / r)
+	readA := l * m / p.BlockElems
+	readB := passes * m * n / p.BlockElems
+	writeT := l * n / p.BlockElems
+	return readA + readB + writeT
+}
+
+// NaiveColumn returns the I/O cost of R's own algorithm from Example 2
+// with both matrices in column layout: computing each column of the
+// result scans A in row-major order, so nearly every access to A is a
+// fault — Θ(lmn) block I/Os.
+func NaiveColumn(l, m, n float64, p Params) float64 {
+	// One fault per A element access (l·m per result column, n columns),
+	// plus a sequential read of B and write of T.
+	return l*m*n + m*n/p.BlockElems + l*n/p.BlockElems
+}
+
+// RIOTDBMatMul returns the I/O cost (blocks) of the §4.1 SQL plan: hash
+// join A⋈B on A.J=B.I (Grace-partitioned when inputs exceed memory),
+// whose n1·n2·n3-tuple output is externally sorted for the group-by,
+// then aggregated. Following the paper's Figure 3 adjustment, array
+// index storage overhead is excluded: tuples are costed at one number
+// each.
+func RIOTDBMatMul(l, m, n float64, p Params) float64 {
+	aBlocks := l * m / p.BlockElems
+	bBlocks := m * n / p.BlockElems
+	join := aBlocks + bBlocks
+	if (l*m+m*n)/2 > p.MemElems {
+		// Grace partitioning: write and re-read both inputs.
+		join += 2 * (aBlocks + bBlocks)
+	}
+	// External sort of the join output (T numbers), pipelined in: run
+	// generation writes T/B blocks; each merge pass reads and writes all
+	// runs; the final pass pipes into the aggregate.
+	t := l * m * n
+	tBlocks := t / p.BlockElems
+	runs := math.Ceil(t / p.MemElems)
+	fan := math.Max(2, p.MemElems/p.BlockElems-1)
+	passes := 0.0
+	if runs > 1 {
+		// Fractional passes model partially-filled final merges, so more
+		// memory always helps (as in the paper's Figure 3a).
+		passes = math.Log(runs) / math.Log(fan)
+	}
+	sort := tBlocks // write initial runs
+	if passes > 0 {
+		// Each pass reads everything and writes everything; the final
+		// pass's write is replaced by the pipelined aggregate.
+		sort += (2*passes - 1) * tBlocks
+	}
+	writeC := l * n / p.BlockElems
+	return join + sort + writeC
+}
+
+// Strategy selects a per-multiply cost function for chain evaluation.
+type Strategy int
+
+// Chain evaluation strategies compared in Figure 3.
+const (
+	StrategyRIOTDB Strategy = iota
+	StrategyBNLJ
+	StrategySquare
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyRIOTDB:
+		return "RIOT-DB"
+	case StrategyBNLJ:
+		return "BNLJ-Inspired"
+	case StrategySquare:
+		return "Square"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// multiplyCost dispatches to the per-strategy formula.
+func multiplyCost(s Strategy, l, m, n float64, p Params) float64 {
+	switch s {
+	case StrategyRIOTDB:
+		return RIOTDBMatMul(l, m, n, p)
+	case StrategyBNLJ:
+		return BNLJ(l, m, n, p)
+	case StrategySquare:
+		return SquareTiled(l, m, n, p)
+	}
+	panic("costmodel: unknown strategy")
+}
+
+// Tree is a parenthesization of a matrix chain. Leaves are input matrix
+// indexes; internal nodes are multiplications.
+type Tree struct {
+	Leaf       int // valid when L == nil
+	L, R       *Tree
+	rows, cols float64
+}
+
+// IsLeaf reports whether the node is an input matrix.
+func (t *Tree) IsLeaf() bool { return t.L == nil }
+
+func (t *Tree) String() string {
+	if t.IsLeaf() {
+		return fmt.Sprintf("A%d", t.Leaf+1)
+	}
+	return "(" + t.L.String() + " " + t.R.String() + ")"
+}
+
+// InOrder builds the left-deep tree (A1 A2) A3 ... — the order R itself
+// evaluates a %*% chain.
+func InOrder(dims []float64) *Tree {
+	k := len(dims) - 1
+	t := leaf(0, dims)
+	for i := 1; i < k; i++ {
+		t = node(t, leaf(i, dims))
+	}
+	return t
+}
+
+func leaf(i int, dims []float64) *Tree {
+	return &Tree{Leaf: i, rows: dims[i], cols: dims[i+1]}
+}
+
+func node(l, r *Tree) *Tree {
+	return &Tree{L: l, R: r, rows: l.rows, cols: r.cols}
+}
+
+// Mults returns the number of scalar multiplications the tree performs.
+func (t *Tree) Mults() float64 {
+	if t.IsLeaf() {
+		return 0
+	}
+	return t.L.Mults() + t.R.Mults() + t.L.rows*t.L.cols*t.R.cols
+}
+
+// IO returns the total I/O (blocks) of evaluating the tree, charging
+// each multiplication with the strategy's formula. Intermediate results
+// are materialized between multiplies, as Appendix B's optimal schedule
+// does ("one active matrix multiplication at a time").
+func (t *Tree) IO(s Strategy, p Params) float64 {
+	if t.IsLeaf() {
+		return 0
+	}
+	return t.L.IO(s, p) + t.R.IO(s, p) +
+		multiplyCost(s, t.L.rows, t.L.cols, t.R.cols, p)
+}
+
+// OptOrder runs the classic O(k³) dynamic program over multiplication
+// counts (the paper's §5 "with dynamic programming, we can find a
+// multiplication order that minimizes the total number of
+// multiplications") and returns the optimal tree.
+func OptOrder(dims []float64) *Tree {
+	k := len(dims) - 1
+	if k == 0 {
+		return nil
+	}
+	cost := make([][]float64, k)
+	split := make([][]int, k)
+	for i := range cost {
+		cost[i] = make([]float64, k)
+		split[i] = make([]int, k)
+	}
+	for span := 1; span < k; span++ {
+		for i := 0; i+span < k; i++ {
+			j := i + span
+			cost[i][j] = math.Inf(1)
+			for s := i; s < j; s++ {
+				c := cost[i][s] + cost[s+1][j] + dims[i]*dims[s+1]*dims[j+1]
+				if c < cost[i][j] {
+					cost[i][j] = c
+					split[i][j] = s
+				}
+			}
+		}
+	}
+	var build func(i, j int) *Tree
+	build = func(i, j int) *Tree {
+		if i == j {
+			return leaf(i, dims)
+		}
+		s := split[i][j]
+		return node(build(i, s), build(s+1, j))
+	}
+	return build(0, k-1)
+}
+
+// SkewedChainDims returns the Figure 3 input: A (n × n/s), B (n/s × n),
+// C (n × n).
+func SkewedChainDims(n, s float64) []float64 {
+	return []float64{n, n / s, n, n}
+}

@@ -1,0 +1,183 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var paper = Params{MemElems: GB(2), BlockElems: 1024}
+
+func TestSquareTiledMagnitude(t *testing.T) {
+	// Figure 3(a) scale: n=100000, s=2 → in-order chain costs a few 1e8
+	// blocks with 2GB memory.
+	dims := SkewedChainDims(100000, 2)
+	io := InOrder(dims).IO(StrategySquare, paper)
+	if io < 1e8 || io > 1e9 {
+		t.Fatalf("Square/In-Order = %.3g blocks; expected ~1e8-1e9", io)
+	}
+}
+
+func TestRIOTDBMagnitude(t *testing.T) {
+	dims := SkewedChainDims(100000, 2)
+	io := InOrder(dims).IO(StrategyRIOTDB, paper)
+	if io < 1e11 || io > 1e14 {
+		t.Fatalf("RIOT-DB = %.3g blocks; paper's Figure 3(a) shows ~1e12-1e13", io)
+	}
+}
+
+func TestFigure3Ordering(t *testing.T) {
+	// The paper's progression: RIOT-DB >> BNLJ > Square/In-Order >
+	// Square/Opt-Order, "consistent for all parameter settings tested".
+	for _, n := range []float64{100000, 120000} {
+		for _, mem := range []float64{GB(2), GB(4)} {
+			p := Params{MemElems: mem, BlockElems: 1024}
+			dims := SkewedChainDims(n, 2)
+			riotdb := InOrder(dims).IO(StrategyRIOTDB, p)
+			bnlj := InOrder(dims).IO(StrategyBNLJ, p)
+			sqIn := InOrder(dims).IO(StrategySquare, p)
+			sqOpt := OptOrder(dims).IO(StrategySquare, p)
+			if !(riotdb > bnlj && bnlj > sqIn && sqIn > sqOpt) {
+				t.Fatalf("n=%g M=%g: ordering violated: %g, %g, %g, %g",
+					n, mem, riotdb, bnlj, sqIn, sqOpt)
+			}
+			if riotdb < 100*bnlj {
+				t.Fatalf("RIOT-DB should be orders of magnitude worse: %g vs %g", riotdb, bnlj)
+			}
+		}
+	}
+}
+
+func TestFigure3bSkewWidensGap(t *testing.T) {
+	// As s grows, Square/Opt-Order pulls away from Square/In-Order.
+	p := paper
+	prevRatio := 0.0
+	for _, s := range []float64{2, 4, 6, 8} {
+		dims := SkewedChainDims(100000, s)
+		in := InOrder(dims).IO(StrategySquare, p)
+		opt := OptOrder(dims).IO(StrategySquare, p)
+		ratio := in / opt
+		if ratio <= prevRatio {
+			t.Fatalf("s=%g: gap ratio %g did not widen (prev %g)", s, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+	if prevRatio < 3 {
+		t.Fatalf("s=8 gap only %.2fx; paper shows a wide margin", prevRatio)
+	}
+}
+
+func TestOptOrderPicksABC(t *testing.T) {
+	// With skew s>1, A(BC) is optimal (the text calls this out).
+	tree := OptOrder(SkewedChainDims(100000, 4))
+	if got := tree.String(); got != "(A1 (A2 A3))" {
+		t.Fatalf("opt order = %s, want (A1 (A2 A3))", got)
+	}
+}
+
+func TestMultsMatchTextbookFormulas(t *testing.T) {
+	n, s := 100000.0, 2.0
+	dims := SkewedChainDims(n, s)
+	inOrder := InOrder(dims).Mults()
+	wantIn := n*(n/s)*n + n*n*n // (AB) then (AB)C
+	if inOrder != wantIn {
+		t.Fatalf("in-order mults=%g, want %g", inOrder, wantIn)
+	}
+	opt := OptOrder(dims).Mults()
+	wantOpt := (n/s)*n*n + n*(n/s)*n // (BC) then A(BC)
+	if opt != wantOpt {
+		t.Fatalf("opt mults=%g, want %g", opt, wantOpt)
+	}
+}
+
+func TestOptOrderMatchesBruteForceProperty(t *testing.T) {
+	// For random 4-chains, DP must equal exhaustive enumeration of the
+	// 5 parenthesizations.
+	f := func(a, b, c, d, e uint16) bool {
+		dims := []float64{float64(a%50 + 1), float64(b%50 + 1), float64(c%50 + 1),
+			float64(d%50 + 1), float64(e%50 + 1)}
+		best := OptOrder(dims).Mults()
+		min := math.Inf(1)
+		for _, t := range allTrees(dims, 0, 3) {
+			if m := t.Mults(); m < min {
+				min = m
+			}
+		}
+		return best == min
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// allTrees enumerates all parenthesizations of dims[i..j+1].
+func allTrees(dims []float64, i, j int) []*Tree {
+	if i == j {
+		return []*Tree{leaf(i, dims)}
+	}
+	var out []*Tree
+	for s := i; s < j; s++ {
+		for _, l := range allTrees(dims, i, s) {
+			for _, r := range allTrees(dims, s+1, j) {
+				out = append(out, node(l, r))
+			}
+		}
+	}
+	return out
+}
+
+func TestSquareAboveLowerBound(t *testing.T) {
+	// The schedule is within a constant (2√3) of the lower bound.
+	l, m, n := 50000.0, 25000.0, 50000.0
+	io := SquareTiled(l, m, n, paper)
+	lb := LowerBoundMultiply(l, m, n, paper)
+	if io < lb {
+		t.Fatalf("cost %g below lower bound %g", io, lb)
+	}
+	if io > 5*lb {
+		t.Fatalf("cost %g too far above lower bound %g", io, lb)
+	}
+}
+
+func TestChainAboveLowerBound(t *testing.T) {
+	dims := SkewedChainDims(100000, 4)
+	tree := OptOrder(dims)
+	io := tree.IO(StrategySquare, paper)
+	lb := LowerBoundChain(tree.Mults(), paper)
+	if io < lb {
+		t.Fatalf("chain cost %g below bound %g", io, lb)
+	}
+}
+
+func TestMoreMemoryHelps(t *testing.T) {
+	dims := SkewedChainDims(100000, 2)
+	p2 := Params{MemElems: GB(2), BlockElems: 1024}
+	p4 := Params{MemElems: GB(4), BlockElems: 1024}
+	for _, s := range []Strategy{StrategyRIOTDB, StrategyBNLJ, StrategySquare} {
+		io2 := InOrder(dims).IO(s, p2)
+		io4 := InOrder(dims).IO(s, p4)
+		if io4 >= io2 {
+			t.Fatalf("%v: 4GB (%g) not cheaper than 2GB (%g)", s, io4, io2)
+		}
+	}
+}
+
+func TestBNLJBeatsNaiveColumn(t *testing.T) {
+	l, m, n := 10000.0, 10000.0, 10000.0
+	if BNLJ(l, m, n, paper) >= NaiveColumn(l, m, n, paper) {
+		t.Fatal("BNLJ should beat the naive column-layout algorithm")
+	}
+}
+
+func TestTreeStringAndInOrderShape(t *testing.T) {
+	dims := []float64{2, 3, 4, 5}
+	if got := InOrder(dims).String(); got != "((A1 A2) A3)" {
+		t.Fatalf("in-order = %s", got)
+	}
+}
+
+func TestGB(t *testing.T) {
+	if GB(2) != 2*(1<<30)/8 {
+		t.Fatalf("GB(2)=%g", GB(2))
+	}
+}

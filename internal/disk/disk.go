@@ -1,0 +1,273 @@
+// Package disk provides a simulated block device with detailed I/O
+// accounting. Every persistent byte in RIOT — relational heap files,
+// B+tree pages, and array tiles — bottoms out here, so all engines are
+// measured with the same ruler.
+//
+// The device stores blocks in memory but charges for them as if they
+// lived on a 2009-era disk: a block read or write is classified as
+// sequential when it targets the block immediately following the previous
+// access, and random otherwise. The distinction matters because the
+// paper's Figure 1 discussion hinges on it: MySQL-managed I/O is "mostly
+// bulky and sequential", while R's virtual-memory paging is random.
+package disk
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ElemSize is the size in bytes of one scalar number (float64).
+const ElemSize = 8
+
+// BlockID identifies a block on a device. Blocks are allocated densely
+// starting from zero and never freed individually (extents are).
+type BlockID int64
+
+// Stats accumulates I/O counters for a device. All counts are in blocks
+// unless the field name says otherwise.
+type Stats struct {
+	BlocksRead        int64 // total block reads
+	BlocksWritten     int64 // total block writes
+	SeqReads          int64 // reads at prevBlock+1
+	RandReads         int64 // reads anywhere else
+	SeqWrites         int64 // writes at prevBlock+1
+	RandWrites        int64 // writes anywhere else
+	BytesRead         int64
+	BytesWritten      int64
+	AllocatedBlocks   int64 // high-water mark of allocation
+	allocatedByOwner  map[string]int64
+	transferredByFile map[string]int64
+}
+
+// TotalBlocks returns reads plus writes.
+func (s Stats) TotalBlocks() int64 { return s.BlocksRead + s.BlocksWritten }
+
+// TotalBytes returns bytes read plus bytes written.
+func (s Stats) TotalBytes() int64 { return s.BytesRead + s.BytesWritten }
+
+// TotalMB returns total traffic in mebibytes.
+func (s Stats) TotalMB() float64 { return float64(s.TotalBytes()) / (1 << 20) }
+
+// String renders the counters in a compact single line.
+func (s Stats) String() string {
+	return fmt.Sprintf("read=%d (seq=%d rand=%d) written=%d (seq=%d rand=%d) total=%.1fMB",
+		s.BlocksRead, s.SeqReads, s.RandReads,
+		s.BlocksWritten, s.SeqWrites, s.RandWrites, s.TotalMB())
+}
+
+// CostModel converts counted I/O events into simulated seconds. The
+// defaults approximate a 2009 commodity SATA disk: ~100 MB/s sequential
+// transfer and ~8 ms per random positioning.
+type CostModel struct {
+	SeqBytesPerSec float64 // sequential transfer rate
+	RandSeekSec    float64 // cost of one random positioning
+}
+
+// DefaultCostModel is the disk timing used for simulated wall-clock.
+var DefaultCostModel = CostModel{
+	SeqBytesPerSec: 100 << 20,
+	RandSeekSec:    0.008,
+}
+
+// Seconds returns the simulated time to perform the I/O recorded in s,
+// given the device block size in bytes.
+func (c CostModel) Seconds(s Stats, blockBytes int) float64 {
+	transfer := float64(s.TotalBytes()) / c.SeqBytesPerSec
+	seeks := float64(s.RandReads+s.RandWrites) * c.RandSeekSec
+	return transfer + seeks
+}
+
+// Device is a simulated block device. It is safe for concurrent use.
+type Device struct {
+	mu         sync.Mutex
+	blockElems int // block size in float64 elements
+	blocks     map[BlockID][]float64
+	next       BlockID
+	prevAccess BlockID // last block touched, for seq/random classification
+	hasPrev    bool
+	stats      Stats
+	owners     map[string]*extentSet
+}
+
+type extentSet struct {
+	blocks []BlockID
+}
+
+// NewDevice creates a device whose blocks hold blockElems float64 values
+// each (the paper's parameter B). blockElems must be positive.
+func NewDevice(blockElems int) *Device {
+	if blockElems <= 0 {
+		panic("disk: block size must be positive")
+	}
+	return &Device{
+		blockElems: blockElems,
+		blocks:     make(map[BlockID][]float64),
+		owners:     make(map[string]*extentSet),
+	}
+}
+
+// BlockElems returns the block size in elements.
+func (d *Device) BlockElems() int { return d.blockElems }
+
+// BlockBytes returns the block size in bytes.
+func (d *Device) BlockBytes() int { return d.blockElems * ElemSize }
+
+// Alloc reserves n fresh blocks for the named owner and returns the ID of
+// the first; the blocks are contiguous. Owner names are used only for
+// accounting and extent release.
+func (d *Device) Alloc(owner string, n int) BlockID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	first := d.next
+	es := d.owners[owner]
+	if es == nil {
+		es = &extentSet{}
+		d.owners[owner] = es
+	}
+	for i := 0; i < n; i++ {
+		id := d.next
+		d.next++
+		d.blocks[id] = nil // lazily materialized on first write
+		es.blocks = append(es.blocks, id)
+	}
+	if int64(d.next) > d.stats.AllocatedBlocks {
+		d.stats.AllocatedBlocks = int64(d.next)
+	}
+	return first
+}
+
+// Free releases every block owned by owner. Reading a freed block is an
+// error; block IDs are never reused.
+func (d *Device) Free(owner string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	es := d.owners[owner]
+	if es == nil {
+		return
+	}
+	for _, id := range es.blocks {
+		delete(d.blocks, id)
+	}
+	delete(d.owners, owner)
+}
+
+// Read copies block id into dst (which must have length BlockElems) and
+// charges one block read. Never-written blocks read as zeros.
+func (d *Device) Read(id BlockID, dst []float64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b, ok := d.blocks[id]
+	if !ok {
+		if id < 0 || id >= d.next {
+			return fmt.Errorf("disk: read of unallocated block %d", id)
+		}
+		return fmt.Errorf("disk: read of freed block %d", id)
+	}
+	if len(dst) != d.blockElems {
+		return fmt.Errorf("disk: read buffer has %d elems, want %d", len(dst), d.blockElems)
+	}
+	if b == nil {
+		for i := range dst {
+			dst[i] = 0
+		}
+	} else {
+		copy(dst, b)
+	}
+	d.charge(id, false)
+	return nil
+}
+
+// Write copies src (length BlockElems) into block id and charges one
+// block write.
+func (d *Device) Write(id BlockID, src []float64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.blocks[id]; !ok {
+		if id < 0 || id >= d.next {
+			return fmt.Errorf("disk: write of unallocated block %d", id)
+		}
+		return fmt.Errorf("disk: write of freed block %d", id)
+	}
+	if len(src) != d.blockElems {
+		return fmt.Errorf("disk: write buffer has %d elems, want %d", len(src), d.blockElems)
+	}
+	b := d.blocks[id]
+	if b == nil {
+		b = make([]float64, d.blockElems)
+		d.blocks[id] = b
+	}
+	copy(b, src)
+	d.charge(id, true)
+	return nil
+}
+
+// charge records one access to id. Callers hold d.mu.
+func (d *Device) charge(id BlockID, write bool) {
+	seq := d.hasPrev && id == d.prevAccess+1
+	d.prevAccess = id
+	d.hasPrev = true
+	bytes := int64(d.BlockBytes())
+	if write {
+		d.stats.BlocksWritten++
+		d.stats.BytesWritten += bytes
+		if seq {
+			d.stats.SeqWrites++
+		} else {
+			d.stats.RandWrites++
+		}
+	} else {
+		d.stats.BlocksRead++
+		d.stats.BytesRead += bytes
+		if seq {
+			d.stats.SeqReads++
+		} else {
+			d.stats.RandReads++
+		}
+	}
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the counters (allocation high-water mark included).
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+	d.hasPrev = false
+}
+
+// Owners returns the owner names with live extents, sorted.
+func (d *Device) Owners() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := make([]string, 0, len(d.owners))
+	for n := range d.owners {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// OwnedBlocks returns how many blocks the named owner currently holds.
+func (d *Device) OwnedBlocks(owner string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	es := d.owners[owner]
+	if es == nil {
+		return 0
+	}
+	return len(es.blocks)
+}
+
+// LiveBlocks returns the number of currently allocated (un-freed) blocks.
+func (d *Device) LiveBlocks() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.blocks)
+}

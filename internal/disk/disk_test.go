@@ -1,0 +1,211 @@
+package disk
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocReadWrite(t *testing.T) {
+	d := NewDevice(4)
+	id := d.Alloc("t", 2)
+	if id != 0 {
+		t.Fatalf("first alloc = %d, want 0", id)
+	}
+	src := []float64{1, 2, 3, 4}
+	if err := d.Write(id, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 4)
+	if err := d.Read(id, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("dst[%d]=%v, want %v", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestZeroFillOnFirstRead(t *testing.T) {
+	d := NewDevice(3)
+	id := d.Alloc("t", 1)
+	dst := []float64{9, 9, 9}
+	if err := d.Read(id, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("dst[%d]=%v, want 0", i, v)
+		}
+	}
+}
+
+func TestReadUnallocated(t *testing.T) {
+	d := NewDevice(2)
+	if err := d.Read(5, make([]float64, 2)); err == nil {
+		t.Fatal("expected error reading unallocated block")
+	}
+}
+
+func TestReadFreed(t *testing.T) {
+	d := NewDevice(2)
+	id := d.Alloc("a", 1)
+	d.Free("a")
+	if err := d.Read(id, make([]float64, 2)); err == nil {
+		t.Fatal("expected error reading freed block")
+	}
+	if d.LiveBlocks() != 0 {
+		t.Fatalf("LiveBlocks=%d, want 0", d.LiveBlocks())
+	}
+}
+
+func TestBadBufferSize(t *testing.T) {
+	d := NewDevice(4)
+	id := d.Alloc("t", 1)
+	if err := d.Read(id, make([]float64, 3)); err == nil {
+		t.Fatal("expected size error on read")
+	}
+	if err := d.Write(id, make([]float64, 5)); err == nil {
+		t.Fatal("expected size error on write")
+	}
+}
+
+func TestSequentialVsRandomClassification(t *testing.T) {
+	d := NewDevice(2)
+	d.Alloc("t", 10)
+	buf := make([]float64, 2)
+	// First access is always random (no predecessor).
+	mustRead(t, d, 0, buf)
+	mustRead(t, d, 1, buf) // sequential
+	mustRead(t, d, 2, buf) // sequential
+	mustRead(t, d, 7, buf) // random
+	mustRead(t, d, 8, buf) // sequential
+	mustRead(t, d, 3, buf) // random
+	s := d.Stats()
+	if s.SeqReads != 3 || s.RandReads != 3 {
+		t.Fatalf("seq=%d rand=%d, want 3/3", s.SeqReads, s.RandReads)
+	}
+	if s.BlocksRead != 6 {
+		t.Fatalf("BlocksRead=%d, want 6", s.BlocksRead)
+	}
+}
+
+func TestWriteClassification(t *testing.T) {
+	d := NewDevice(2)
+	d.Alloc("t", 4)
+	buf := make([]float64, 2)
+	mustWrite(t, d, 0, buf)
+	mustWrite(t, d, 1, buf)
+	mustWrite(t, d, 3, buf)
+	s := d.Stats()
+	if s.SeqWrites != 1 || s.RandWrites != 2 {
+		t.Fatalf("seqW=%d randW=%d, want 1/2", s.SeqWrites, s.RandWrites)
+	}
+}
+
+func TestStatsBytesAndReset(t *testing.T) {
+	d := NewDevice(1024) // 8 KiB blocks
+	d.Alloc("t", 2)
+	buf := make([]float64, 1024)
+	mustWrite(t, d, 0, buf)
+	mustRead(t, d, 0, buf)
+	s := d.Stats()
+	if s.BytesWritten != 8192 || s.BytesRead != 8192 {
+		t.Fatalf("bytes=%d/%d, want 8192/8192", s.BytesRead, s.BytesWritten)
+	}
+	if got := s.TotalMB(); got != 16384.0/(1<<20) {
+		t.Fatalf("TotalMB=%v", got)
+	}
+	d.ResetStats()
+	if d.Stats().TotalBlocks() != 0 {
+		t.Fatal("reset did not clear counters")
+	}
+}
+
+func TestOwnersAccounting(t *testing.T) {
+	d := NewDevice(2)
+	d.Alloc("a", 3)
+	d.Alloc("b", 2)
+	d.Alloc("a", 1)
+	if got := d.OwnedBlocks("a"); got != 4 {
+		t.Fatalf("a owns %d, want 4", got)
+	}
+	owners := d.Owners()
+	if len(owners) != 2 || owners[0] != "a" || owners[1] != "b" {
+		t.Fatalf("Owners=%v", owners)
+	}
+	d.Free("a")
+	if got := d.OwnedBlocks("a"); got != 0 {
+		t.Fatalf("a owns %d after free, want 0", got)
+	}
+	if d.LiveBlocks() != 2 {
+		t.Fatalf("LiveBlocks=%d, want 2", d.LiveBlocks())
+	}
+}
+
+func TestAllocContiguous(t *testing.T) {
+	d := NewDevice(2)
+	first := d.Alloc("t", 5)
+	second := d.Alloc("t", 5)
+	if second != first+5 {
+		t.Fatalf("second extent starts at %d, want %d", second, first+5)
+	}
+}
+
+func TestCostModelSeconds(t *testing.T) {
+	s := Stats{BytesRead: 100 << 20, RandReads: 10}
+	c := CostModel{SeqBytesPerSec: 100 << 20, RandSeekSec: 0.01}
+	got := c.Seconds(s, 8192)
+	want := 1.0 + 0.1
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("Seconds=%v, want %v", got, want)
+	}
+}
+
+// Property: data written to a block is read back unchanged, regardless of
+// content, and counters line up with the number of operations performed.
+func TestRoundTripProperty(t *testing.T) {
+	d := NewDevice(8)
+	d.Alloc("q", 64)
+	n := 0
+	f := func(raw [8]float64, blk uint8) bool {
+		id := BlockID(blk % 64)
+		src := raw[:]
+		if err := d.Write(id, src); err != nil {
+			return false
+		}
+		dst := make([]float64, 8)
+		if err := d.Read(id, dst); err != nil {
+			return false
+		}
+		n++
+		for i := range src {
+			// NaN-safe comparison: a NaN must read back as NaN.
+			if src[i] != dst[i] && (src[i] == src[i] || dst[i] == dst[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.BlocksRead != int64(n) || s.BlocksWritten != int64(n) {
+		t.Fatalf("counters %d/%d after %d ops", s.BlocksRead, s.BlocksWritten, n)
+	}
+}
+
+func mustRead(t *testing.T, d *Device, id BlockID, buf []float64) {
+	t.Helper()
+	if err := d.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustWrite(t *testing.T, d *Device, id BlockID, buf []float64) {
+	t.Helper()
+	if err := d.Write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+}

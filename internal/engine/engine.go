@@ -1,0 +1,100 @@
+// Package engine defines the common evaluation interface implemented by
+// the four systems the paper compares (§4.2) — Plain R, RIOT-DB/Strawman,
+// RIOT-DB/MatNamed, RIOT-DB (full) — plus the next-generation RIOT engine
+// of §5. The riotscript interpreter dispatches host-language operations
+// through this interface, which is the repo's version of R's generics
+// mechanism: the same program runs unchanged on every engine
+// (transparency), and only the backend determines the I/O behaviour.
+package engine
+
+import (
+	"fmt"
+)
+
+// Value is an engine-specific object handle (dbvector, DAG node, eager
+// vector, ...). Engines type-assert their own values.
+type Value interface{}
+
+// TimeModel converts counted events into simulated 2009-era seconds.
+type TimeModel struct {
+	SeqMBps     float64 // sequential disk transfer MB/s
+	RandSeekSec float64 // one random disk positioning
+	FlopsPerSec float64 // interpreter-grade vector arithmetic rate
+	DBTupleSec  float64 // per-tuple DBMS processing overhead
+}
+
+// DefaultTimeModel approximates the paper's testbed-era hardware.
+var DefaultTimeModel = TimeModel{
+	SeqMBps:     100,
+	RandSeekSec: 0.008,
+	FlopsPerSec: 2e8,
+	DBTupleSec:  2.5e-6,
+}
+
+// Report summarizes an engine's resource usage since the last reset.
+type Report struct {
+	IOBytes    int64   // total bytes moved between memory and disk/swap
+	SeqOps     int64   // sequential block/page transfers
+	RandOps    int64   // random block/page transfers
+	Flops      int64   // scalar arithmetic operations
+	Tuples     int64   // tuples processed by a DBMS backend (0 otherwise)
+	SimSeconds float64 // simulated wall-clock under the time model
+}
+
+// IOMB returns the traffic in mebibytes (Figure 1a's unit).
+func (r Report) IOMB() float64 { return float64(r.IOBytes) / (1 << 20) }
+
+func (r Report) String() string {
+	return fmt.Sprintf("io=%.1fMB (seq=%d rand=%d) flops=%d sim=%.2fs",
+		r.IOMB(), r.SeqOps, r.RandOps, r.Flops, r.SimSeconds)
+}
+
+// Engine is the evaluation backend interface. All indices are 0-based;
+// ranges are half-open. Operations may defer arbitrarily: only Fetch,
+// Sum, and Materialize are required to produce results.
+type Engine interface {
+	// Name identifies the engine in experiment output.
+	Name() string
+
+	// NewVector creates a stored vector of length n with values gen(i).
+	NewVector(n int64, gen func(i int64) float64) (Value, error)
+	// NewMatrix creates a stored rows×cols matrix with values gen(i, j).
+	NewMatrix(rows, cols int64, gen func(i, j int64) float64) (Value, error)
+	// Sample creates the index vector sample(n, k) with a fixed seed.
+	Sample(n, k int64, seed uint64) (Value, error)
+
+	// Arith applies a vectorized binary operator elementwise.
+	Arith(op string, a, b Value) (Value, error)
+	// ArithScalar applies op with a scalar operand on the given side.
+	ArithScalar(op string, a Value, s float64, scalarLeft bool) (Value, error)
+	// Map applies a unary function (sqrt, abs, exp, log, ...) elementwise.
+	Map(fn string, a Value) (Value, error)
+	// MatMul multiplies two matrices.
+	MatMul(a, b Value) (Value, error)
+	// IndexBy gathers d[s] for an index vector s.
+	IndexBy(d, s Value) (Value, error)
+	// Range slices a[lo:hi).
+	Range(a Value, lo, hi int64) (Value, error)
+	// UpdateWhere performs a[a cmp thresh] <- val, returning the new state.
+	UpdateWhere(a Value, cmp string, thresh, val float64) (Value, error)
+
+	// Assign is the named-binding hook (MatNamed materializes here).
+	Assign(v Value) (Value, error)
+	// Release drops a binding (the dependency hook of §4.1).
+	Release(v Value)
+
+	// Fetch forces evaluation and returns up to limit elements in index
+	// order (limit < 0 for all).
+	Fetch(v Value, limit int64) ([]float64, error)
+	// Sum forces evaluation of the sum of all elements.
+	Sum(v Value) (float64, error)
+	// Length returns the element count (vectors) or rows*cols.
+	Length(v Value) int64
+	// Dims returns the shape; vector reports (n, 1, true).
+	Dims(v Value) (rows, cols int64, isVector bool)
+
+	// Report returns resource usage since the last ResetStats.
+	Report() Report
+	// ResetStats zeroes the usage counters.
+	ResetStats()
+}

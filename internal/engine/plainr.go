@@ -1,0 +1,217 @@
+package engine
+
+import (
+	"fmt"
+
+	"riot/internal/riotdb"
+	"riot/internal/rvec"
+)
+
+// PlainR is the paper's baseline: eager vectorized evaluation in paged
+// virtual memory.
+type PlainR struct {
+	eng  *rvec.Engine
+	time TimeModel
+}
+
+// NewPlainR creates a Plain R engine. Memory geometry is in elements:
+// pages of pageElems, capacityPages physical frames, runtimePages locked
+// by the interpreter itself.
+func NewPlainR(pageElems, capacityPages, runtimePages int, tm TimeModel) *PlainR {
+	return &PlainR{eng: rvec.New(pageElems, capacityPages, runtimePages), time: tm}
+}
+
+// Name implements Engine.
+func (p *PlainR) Name() string { return "plain-r" }
+
+// Inner exposes the underlying evaluator for white-box tests.
+func (p *PlainR) Inner() *rvec.Engine { return p.eng }
+
+func (p *PlainR) vec(v Value) (*rvec.Vector, error) {
+	if x, ok := v.(*rvec.Vector); ok {
+		return x, nil
+	}
+	return nil, fmt.Errorf("plain-r: not a vector: %T", v)
+}
+
+func (p *PlainR) mat(v Value) (*rvec.Matrix, error) {
+	if x, ok := v.(*rvec.Matrix); ok {
+		return x, nil
+	}
+	return nil, fmt.Errorf("plain-r: not a matrix: %T", v)
+}
+
+// NewVector implements Engine.
+func (p *PlainR) NewVector(n int64, gen func(int64) float64) (Value, error) {
+	return p.eng.NewVector(n, gen), nil
+}
+
+// NewMatrix implements Engine.
+func (p *PlainR) NewMatrix(rows, cols int64, gen func(i, j int64) float64) (Value, error) {
+	return p.eng.NewMatrix(rows, cols, gen), nil
+}
+
+// Sample implements Engine.
+func (p *PlainR) Sample(n, k int64, seed uint64) (Value, error) {
+	idx := riotdb.SampleIndices(n, k, seed)
+	return p.eng.NewVector(int64(len(idx)), func(i int64) float64 { return float64(idx[i]) }), nil
+}
+
+// Arith implements Engine.
+func (p *PlainR) Arith(op string, a, b Value) (Value, error) {
+	av, err := p.vec(a)
+	if err != nil {
+		return nil, err
+	}
+	bv, err := p.vec(b)
+	if err != nil {
+		return nil, err
+	}
+	return p.eng.Arith(op, av, bv)
+}
+
+// ArithScalar implements Engine.
+func (p *PlainR) ArithScalar(op string, a Value, s float64, scalarLeft bool) (Value, error) {
+	av, err := p.vec(a)
+	if err != nil {
+		return nil, err
+	}
+	return p.eng.ArithScalar(op, av, s, scalarLeft)
+}
+
+// Map implements Engine.
+func (p *PlainR) Map(fn string, a Value) (Value, error) {
+	av, err := p.vec(a)
+	if err != nil {
+		return nil, err
+	}
+	return p.eng.Map(fn, av)
+}
+
+// MatMul implements Engine.
+func (p *PlainR) MatMul(a, b Value) (Value, error) {
+	am, err := p.mat(a)
+	if err != nil {
+		return nil, err
+	}
+	bm, err := p.mat(b)
+	if err != nil {
+		return nil, err
+	}
+	return p.eng.MatMul(am, bm)
+}
+
+// IndexBy implements Engine.
+func (p *PlainR) IndexBy(d, s Value) (Value, error) {
+	dv, err := p.vec(d)
+	if err != nil {
+		return nil, err
+	}
+	sv, err := p.vec(s)
+	if err != nil {
+		return nil, err
+	}
+	return p.eng.IndexBy(dv, sv)
+}
+
+// Range implements Engine: eager copy, as R's subsetting does.
+func (p *PlainR) Range(a Value, lo, hi int64) (Value, error) {
+	av, err := p.vec(a)
+	if err != nil {
+		return nil, err
+	}
+	if lo < 0 || hi > av.Len() || lo > hi {
+		return nil, fmt.Errorf("plain-r: range [%d,%d) outside vector of %d", lo, hi, av.Len())
+	}
+	return p.eng.NewVector(hi-lo, func(i int64) float64 { return av.At(lo + i) }), nil
+}
+
+// UpdateWhere implements Engine. R updates in place on unshared values;
+// we copy first to keep Value semantics uniform across engines.
+func (p *PlainR) UpdateWhere(a Value, cmp string, thresh, val float64) (Value, error) {
+	av, err := p.vec(a)
+	if err != nil {
+		return nil, err
+	}
+	cp := p.eng.NewVector(av.Len(), av.At)
+	if err := p.eng.UpdateWhere(cp, cmp, thresh, val); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// Assign implements Engine (no-op: R binds eagerly computed values).
+func (p *PlainR) Assign(v Value) (Value, error) { return v, nil }
+
+// Release implements Engine: frees the object's pages, like R's GC.
+func (p *PlainR) Release(v Value) {
+	switch x := v.(type) {
+	case *rvec.Vector:
+		p.eng.Free(x)
+	case *rvec.Matrix:
+		p.eng.FreeMatrix(x)
+	}
+}
+
+// Fetch implements Engine.
+func (p *PlainR) Fetch(v Value, limit int64) ([]float64, error) {
+	av, err := p.vec(v)
+	if err != nil {
+		return nil, err
+	}
+	return p.eng.Fetch(av, limit), nil
+}
+
+// Sum implements Engine.
+func (p *PlainR) Sum(v Value) (float64, error) {
+	av, err := p.vec(v)
+	if err != nil {
+		return 0, err
+	}
+	return p.eng.Sum(av), nil
+}
+
+// Length implements Engine.
+func (p *PlainR) Length(v Value) int64 {
+	switch x := v.(type) {
+	case *rvec.Vector:
+		return x.Len()
+	case *rvec.Matrix:
+		r, c := x.Dims()
+		return r * c
+	}
+	return 0
+}
+
+// Dims implements Engine.
+func (p *PlainR) Dims(v Value) (int64, int64, bool) {
+	switch x := v.(type) {
+	case *rvec.Vector:
+		return x.Len(), 1, true
+	case *rvec.Matrix:
+		r, c := x.Dims()
+		return r, c, false
+	}
+	return 0, 0, false
+}
+
+// Report implements Engine: swap traffic plus CPU time.
+func (p *PlainR) Report() Report {
+	st := p.eng.Stats()
+	pageBytes := p.eng.Space().PageBytes()
+	r := Report{
+		IOBytes: st.IOBytes(),
+		SeqOps:  st.SeqIO,
+		RandOps: st.RandIO,
+		Flops:   p.eng.Flops(),
+	}
+	seqSec := float64(st.SeqIO) * float64(pageBytes) / (p.time.SeqMBps * (1 << 20))
+	randSec := float64(st.RandIO) * (p.time.RandSeekSec + float64(pageBytes)/(p.time.SeqMBps*(1<<20)))
+	r.SimSeconds = seqSec + randSec + float64(r.Flops)/p.time.FlopsPerSec
+	return r
+}
+
+// ResetStats implements Engine.
+func (p *PlainR) ResetStats() { p.eng.ResetStats() }
+
+var _ Engine = (*PlainR)(nil)

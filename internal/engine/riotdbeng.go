@@ -1,0 +1,228 @@
+package engine
+
+import (
+	"fmt"
+
+	"riot/internal/buffer"
+	"riot/internal/disk"
+	"riot/internal/relation"
+	"riot/internal/riotdb"
+	"riot/internal/sql"
+)
+
+// RIOTDB adapts the database-backed prototype (strawman, matnamed, or
+// full deferral) to the Engine interface.
+type RIOTDB struct {
+	eng  *riotdb.Engine
+	dev  *disk.Device
+	time TimeModel
+	name string
+}
+
+// NewRIOTDB creates a RIOT-DB engine over a fresh simulated database
+// with blocks of blockElems numbers and memElems numbers of memory
+// (buffer pool plus operator working memory, like the paper's shared cap
+// for R + MySQL).
+func NewRIOTDB(mode riotdb.Mode, blockElems int, memElems int64, tm TimeModel) *RIOTDB {
+	dev := disk.NewDevice(blockElems)
+	pool := buffer.NewWithMemory(dev, memElems)
+	db := sql.NewDatabase(relation.NewContext(pool, memElems))
+	return &RIOTDB{
+		eng:  riotdb.New(db, mode),
+		dev:  dev,
+		time: tm,
+		name: "riot-db/" + mode.String(),
+	}
+}
+
+// Name implements Engine.
+func (r *RIOTDB) Name() string { return r.name }
+
+// Inner exposes the riotdb engine for white-box tests.
+func (r *RIOTDB) Inner() *riotdb.Engine { return r.eng }
+
+func (r *RIOTDB) obj(v Value) (*riotdb.Object, error) {
+	if o, ok := v.(*riotdb.Object); ok {
+		return o, nil
+	}
+	return nil, fmt.Errorf("%s: not a database object: %T", r.name, v)
+}
+
+// NewVector implements Engine.
+func (r *RIOTDB) NewVector(n int64, gen func(int64) float64) (Value, error) {
+	return r.eng.NewVector(n, gen)
+}
+
+// NewMatrix implements Engine.
+func (r *RIOTDB) NewMatrix(rows, cols int64, gen func(i, j int64) float64) (Value, error) {
+	return r.eng.NewMatrix(rows, cols, gen)
+}
+
+// Sample implements Engine.
+func (r *RIOTDB) Sample(n, k int64, seed uint64) (Value, error) {
+	return r.eng.Sample(n, k, seed)
+}
+
+// Arith implements Engine.
+func (r *RIOTDB) Arith(op string, a, b Value) (Value, error) {
+	ao, err := r.obj(a)
+	if err != nil {
+		return nil, err
+	}
+	bo, err := r.obj(b)
+	if err != nil {
+		return nil, err
+	}
+	return r.eng.Arith(op, ao, bo)
+}
+
+// ArithScalar implements Engine.
+func (r *RIOTDB) ArithScalar(op string, a Value, s float64, scalarLeft bool) (Value, error) {
+	ao, err := r.obj(a)
+	if err != nil {
+		return nil, err
+	}
+	return r.eng.ArithScalar(op, ao, s, scalarLeft)
+}
+
+// Map implements Engine.
+func (r *RIOTDB) Map(fn string, a Value) (Value, error) {
+	ao, err := r.obj(a)
+	if err != nil {
+		return nil, err
+	}
+	return r.eng.Map(fn, ao)
+}
+
+// MatMul implements Engine.
+func (r *RIOTDB) MatMul(a, b Value) (Value, error) {
+	ao, err := r.obj(a)
+	if err != nil {
+		return nil, err
+	}
+	bo, err := r.obj(b)
+	if err != nil {
+		return nil, err
+	}
+	return r.eng.MatMul(ao, bo)
+}
+
+// IndexBy implements Engine.
+func (r *RIOTDB) IndexBy(d, s Value) (Value, error) {
+	do, err := r.obj(d)
+	if err != nil {
+		return nil, err
+	}
+	so, err := r.obj(s)
+	if err != nil {
+		return nil, err
+	}
+	return r.eng.IndexBy(do, so)
+}
+
+// Range implements Engine: a[lo:hi) is IndexBy with a literal index
+// vector, mirroring how the SQL backend expresses subscripting.
+func (r *RIOTDB) Range(a Value, lo, hi int64) (Value, error) {
+	ao, err := r.obj(a)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := r.eng.NewVector(hi-lo, func(i int64) float64 { return float64(lo + i) })
+	if err != nil {
+		return nil, err
+	}
+	return r.eng.IndexBy(ao, idx)
+}
+
+// UpdateWhere implements Engine.
+func (r *RIOTDB) UpdateWhere(a Value, cmp string, thresh, val float64) (Value, error) {
+	ao, err := r.obj(a)
+	if err != nil {
+		return nil, err
+	}
+	return r.eng.UpdateWhere(ao, cmp, thresh, val)
+}
+
+// Assign implements Engine.
+func (r *RIOTDB) Assign(v Value) (Value, error) {
+	o, err := r.obj(v)
+	if err != nil {
+		return nil, err
+	}
+	return r.eng.Assign(o)
+}
+
+// Release implements Engine.
+func (r *RIOTDB) Release(v Value) {
+	if o, ok := v.(*riotdb.Object); ok {
+		r.eng.Release(o)
+	}
+}
+
+// Fetch implements Engine.
+func (r *RIOTDB) Fetch(v Value, limit int64) ([]float64, error) {
+	o, err := r.obj(v)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := r.eng.Fetch(o, limit)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(rows))
+	for i, row := range rows {
+		out[i] = row[len(row)-1] // V is the last column
+	}
+	return out, nil
+}
+
+// Sum implements Engine.
+func (r *RIOTDB) Sum(v Value) (float64, error) {
+	o, err := r.obj(v)
+	if err != nil {
+		return 0, err
+	}
+	return r.eng.Sum(o)
+}
+
+// Length implements Engine.
+func (r *RIOTDB) Length(v Value) int64 {
+	if o, ok := v.(*riotdb.Object); ok {
+		rows, cols := o.Dims()
+		return rows * cols
+	}
+	return 0
+}
+
+// Dims implements Engine.
+func (r *RIOTDB) Dims(v Value) (int64, int64, bool) {
+	if o, ok := v.(*riotdb.Object); ok {
+		rows, cols := o.Dims()
+		return rows, cols, o.Kind() == riotdb.KindVector
+	}
+	return 0, 0, false
+}
+
+// Report implements Engine: device traffic plus per-tuple DBMS overhead
+// estimated from the data volume moved (each stored number passes
+// through the row-at-a-time executor).
+func (r *RIOTDB) Report() Report {
+	st := r.dev.Stats()
+	tuples := st.TotalBytes() / 16 // (I, V) rows: 16 bytes each
+	rep := Report{
+		IOBytes: st.TotalBytes(),
+		SeqOps:  st.SeqReads + st.SeqWrites,
+		RandOps: st.RandReads + st.RandWrites,
+		Tuples:  tuples,
+	}
+	blockBytes := float64(r.dev.BlockBytes())
+	seqSec := float64(rep.SeqOps) * blockBytes / (r.time.SeqMBps * (1 << 20))
+	randSec := float64(rep.RandOps) * (r.time.RandSeekSec + blockBytes/(r.time.SeqMBps*(1<<20)))
+	rep.SimSeconds = seqSec + randSec + float64(tuples)*r.time.DBTupleSec
+	return rep
+}
+
+// ResetStats implements Engine.
+func (r *RIOTDB) ResetStats() { r.dev.ResetStats() }
+
+var _ Engine = (*RIOTDB)(nil)

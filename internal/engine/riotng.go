@@ -1,0 +1,294 @@
+package engine
+
+import (
+	"fmt"
+
+	"riot/internal/algebra"
+	"riot/internal/array"
+	"riot/internal/buffer"
+	"riot/internal/disk"
+	"riot/internal/exec"
+	"riot/internal/opt"
+	"riot/internal/riotdb"
+)
+
+// RIOT is the next-generation engine of §5: operations build an
+// expression DAG over the tiled array store; forcing a result optimizes
+// the DAG (pushdown, CSE, chain reordering) and runs the fused,
+// selective executor.
+type RIOT struct {
+	g    *algebra.Graph
+	ex   *exec.Executor
+	cfg  opt.Config
+	dev  *disk.Device
+	time TimeModel
+	seq  int
+}
+
+// NewRIOT creates a RIOT engine with blockElems-sized blocks and
+// memElems numbers of buffer-pool memory.
+func NewRIOT(blockElems int, memElems int64, tm TimeModel) *RIOT {
+	dev := disk.NewDevice(blockElems)
+	pool := buffer.NewWithMemory(dev, memElems)
+	return &RIOT{
+		g:    algebra.NewGraph(),
+		ex:   exec.New(pool),
+		cfg:  opt.DefaultConfig(),
+		dev:  dev,
+		time: tm,
+	}
+}
+
+// Name implements Engine.
+func (r *RIOT) Name() string { return "riot" }
+
+// Config returns a pointer to the optimizer configuration so ablation
+// benchmarks can toggle rules.
+func (r *RIOT) Config() *opt.Config { return &r.cfg }
+
+// Executor exposes the executor for ablations (fusion, eager updates).
+func (r *RIOT) Executor() *exec.Executor { return r.ex }
+
+func (r *RIOT) fresh(prefix string) string {
+	r.seq++
+	return fmt.Sprintf("%s%d", prefix, r.seq)
+}
+
+func (r *RIOT) node(v Value) (*algebra.Node, error) {
+	if n, ok := v.(*algebra.Node); ok {
+		return n, nil
+	}
+	return nil, fmt.Errorf("riot: not a DAG node: %T", v)
+}
+
+// NewVector implements Engine.
+func (r *RIOT) NewVector(n int64, gen func(int64) float64) (Value, error) {
+	v, err := array.NewVector(r.ex.Pool(), r.fresh("x"), n)
+	if err != nil {
+		return nil, err
+	}
+	if err := v.Fill(gen); err != nil {
+		return nil, err
+	}
+	return r.g.SourceVec(v), nil
+}
+
+// NewMatrix implements Engine: stored with square tiles, the layout the
+// optimizer's multiply kernel wants.
+func (r *RIOT) NewMatrix(rows, cols int64, gen func(i, j int64) float64) (Value, error) {
+	m, err := array.NewMatrix(r.ex.Pool(), r.fresh("m"), rows, cols, array.Options{Shape: array.SquareTiles})
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Fill(gen); err != nil {
+		return nil, err
+	}
+	return r.g.SourceMat(m), nil
+}
+
+// Sample implements Engine.
+func (r *RIOT) Sample(n, k int64, seed uint64) (Value, error) {
+	idx := riotdb.SampleIndices(n, k, seed)
+	return r.NewVector(int64(len(idx)), func(i int64) float64 { return float64(idx[i]) })
+}
+
+// Arith implements Engine.
+func (r *RIOT) Arith(op string, a, b Value) (Value, error) {
+	an, err := r.node(a)
+	if err != nil {
+		return nil, err
+	}
+	bn, err := r.node(b)
+	if err != nil {
+		return nil, err
+	}
+	return r.g.ElemBinary(op, an, bn)
+}
+
+// ArithScalar implements Engine.
+func (r *RIOT) ArithScalar(op string, a Value, s float64, scalarLeft bool) (Value, error) {
+	an, err := r.node(a)
+	if err != nil {
+		return nil, err
+	}
+	return r.g.ScalarOp(op, an, s, scalarLeft)
+}
+
+// Map implements Engine.
+func (r *RIOT) Map(fn string, a Value) (Value, error) {
+	an, err := r.node(a)
+	if err != nil {
+		return nil, err
+	}
+	return r.g.ElemUnary(fn, an)
+}
+
+// MatMul implements Engine.
+func (r *RIOT) MatMul(a, b Value) (Value, error) {
+	an, err := r.node(a)
+	if err != nil {
+		return nil, err
+	}
+	bn, err := r.node(b)
+	if err != nil {
+		return nil, err
+	}
+	return r.g.MatMul(an, bn)
+}
+
+// IndexBy implements Engine.
+func (r *RIOT) IndexBy(d, s Value) (Value, error) {
+	dn, err := r.node(d)
+	if err != nil {
+		return nil, err
+	}
+	sn, err := r.node(s)
+	if err != nil {
+		return nil, err
+	}
+	return r.g.Gather(dn, sn)
+}
+
+// Range implements Engine.
+func (r *RIOT) Range(a Value, lo, hi int64) (Value, error) {
+	an, err := r.node(a)
+	if err != nil {
+		return nil, err
+	}
+	return r.g.Range(an, lo, hi)
+}
+
+// UpdateWhere implements Engine: the functional []<- operator.
+func (r *RIOT) UpdateWhere(a Value, cmp string, thresh, val float64) (Value, error) {
+	an, err := r.node(a)
+	if err != nil {
+		return nil, err
+	}
+	return r.g.UpdateMask(an, cmp, thresh, val)
+}
+
+// Assign implements Engine: deferral crosses assignments, so this is a
+// no-op.
+func (r *RIOT) Assign(v Value) (Value, error) { return v, nil }
+
+// Release implements Engine. Stored sources are freed when the host
+// drops them; derived nodes own no storage.
+func (r *RIOT) Release(v Value) {
+	n, ok := v.(*algebra.Node)
+	if !ok {
+		return
+	}
+	// Sources referenced by other live expressions must not be freed;
+	// the engine is conservative and never frees shared sources. (A
+	// production system would track liveness; experiments reset the
+	// whole engine between runs.)
+	_ = n
+}
+
+// optimize runs the rewrite rules on a root.
+func (r *RIOT) optimize(n *algebra.Node) (*algebra.Node, error) {
+	return opt.New(r.g, r.cfg).Optimize(n)
+}
+
+// Fetch implements Engine.
+func (r *RIOT) Fetch(v Value, limit int64) ([]float64, error) {
+	n, err := r.node(v)
+	if err != nil {
+		return nil, err
+	}
+	if !n.Shape.Vector {
+		m, err := r.forceMat(n)
+		if err != nil {
+			return nil, err
+		}
+		count := m.Rows() * m.Cols()
+		if limit >= 0 && limit < count {
+			count = limit
+		}
+		out := make([]float64, count)
+		for k := int64(0); k < count; k++ {
+			val, err := m.At(k/m.Cols(), k%m.Cols())
+			if err != nil {
+				return nil, err
+			}
+			out[k] = val
+		}
+		return out, nil
+	}
+	root, err := r.optimize(n)
+	if err != nil {
+		return nil, err
+	}
+	return r.ex.Fetch(root, limit)
+}
+
+// Sum implements Engine.
+func (r *RIOT) Sum(v Value) (float64, error) {
+	n, err := r.node(v)
+	if err != nil {
+		return 0, err
+	}
+	root, err := r.optimize(n)
+	if err != nil {
+		return 0, err
+	}
+	return r.ex.Reduce("sum", root)
+}
+
+func (r *RIOT) forceMat(n *algebra.Node) (*array.Matrix, error) {
+	root, err := r.optimize(n)
+	if err != nil {
+		return nil, err
+	}
+	return r.ex.ForceMatrix(root, r.fresh("res"))
+}
+
+// ForceMatrix materializes a matrix-valued expression (for examples and
+// tests that need the stored result).
+func (r *RIOT) ForceMatrix(v Value) (*array.Matrix, error) {
+	n, err := r.node(v)
+	if err != nil {
+		return nil, err
+	}
+	return r.forceMat(n)
+}
+
+// Length implements Engine.
+func (r *RIOT) Length(v Value) int64 {
+	if n, ok := v.(*algebra.Node); ok {
+		return n.Shape.Len()
+	}
+	return 0
+}
+
+// Dims implements Engine.
+func (r *RIOT) Dims(v Value) (int64, int64, bool) {
+	if n, ok := v.(*algebra.Node); ok {
+		return n.Shape.Rows, n.Shape.Cols, n.Shape.Vector
+	}
+	return 0, 0, false
+}
+
+// Report implements Engine.
+func (r *RIOT) Report() Report {
+	st := r.dev.Stats()
+	rep := Report{
+		IOBytes: st.TotalBytes(),
+		SeqOps:  st.SeqReads + st.SeqWrites,
+		RandOps: st.RandReads + st.RandWrites,
+		Flops:   r.ex.Stats().Flops,
+	}
+	blockBytes := float64(r.dev.BlockBytes())
+	seqSec := float64(rep.SeqOps) * blockBytes / (r.time.SeqMBps * (1 << 20))
+	randSec := float64(rep.RandOps) * (r.time.RandSeekSec + blockBytes/(r.time.SeqMBps*(1<<20)))
+	rep.SimSeconds = seqSec + randSec + float64(rep.Flops)/r.time.FlopsPerSec
+	return rep
+}
+
+// ResetStats implements Engine.
+func (r *RIOT) ResetStats() {
+	r.dev.ResetStats()
+	r.ex.ResetStats()
+}
+
+var _ Engine = (*RIOT)(nil)

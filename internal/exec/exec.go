@@ -1,0 +1,536 @@
+// Package exec evaluates optimized expression DAGs over the tiled array
+// store. Its two core behaviours are the ones the paper identifies as
+// the sources of RIOT's wins (§3, §5):
+//
+//   - Fusion: maximal elementwise regions of the DAG are evaluated in a
+//     single streaming pass, block by block, with no intermediate vector
+//     ever materialized — the hand-coded loop of Example 1, derived
+//     automatically.
+//   - Selective evaluation: Range and Gather nodes (after pushdown)
+//     compute only the elements actually demanded, touching only the
+//     blocks that hold them.
+//
+// Shared subexpressions (more than one consumer) are materialized once
+// into temporaries and reused — the materialization policy that
+// "complements deferred evaluation" (§5). Matrix multiplies dispatch to
+// the out-of-core kernels in internal/linalg, choosing the algorithm by
+// analytic cost.
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"riot/internal/algebra"
+	"riot/internal/array"
+	"riot/internal/buffer"
+	"riot/internal/costmodel"
+	"riot/internal/linalg"
+)
+
+// Stats counts evaluation work.
+type Stats struct {
+	ElementsComputed int64 // elements produced across all node evaluations
+	Materialized     int64 // temporaries written to the store
+	Flops            int64 // scalar arithmetic operations
+}
+
+// Executor evaluates DAGs over a buffer pool.
+type Executor struct {
+	pool *buffer.Pool
+	seq  int
+	// FuseElementwise can be disabled to materialize every intermediate
+	// (the ablation that mimics plain R's evaluation inside RIOT).
+	FuseElementwise bool
+	// EagerUpdates makes []<-(x) materialize the whole new state before
+	// any element is read — the semantics of R and RIOT-DB, where a
+	// modification forces evaluation (§5). RIOT's functional updates
+	// leave it false; Figure 2 compares the two.
+	EagerUpdates bool
+	stats        Stats
+	// temps caches materialized shared subexpressions per Force call.
+	temps map[*algebra.Node]*array.Vector
+	refs  map[*algebra.Node]int
+}
+
+// New creates an executor with fusion enabled.
+func New(pool *buffer.Pool) *Executor {
+	return &Executor{pool: pool, FuseElementwise: true}
+}
+
+// Pool returns the executor's buffer pool.
+func (e *Executor) Pool() *buffer.Pool { return e.pool }
+
+// Stats returns the work counters.
+func (e *Executor) Stats() Stats { return e.stats }
+
+// ResetStats zeroes the counters.
+func (e *Executor) ResetStats() { e.stats = Stats{} }
+
+func (e *Executor) fresh(prefix string) string {
+	e.seq++
+	return fmt.Sprintf("%s#%d", prefix, e.seq)
+}
+
+// ForceVector evaluates a vector-shaped DAG into a stored vector.
+func (e *Executor) ForceVector(n *algebra.Node, name string) (*array.Vector, error) {
+	if !n.Shape.Vector {
+		return nil, fmt.Errorf("exec: ForceVector of matrix node")
+	}
+	e.begin(n)
+	defer e.end()
+	if n.Op == algebra.OpSourceVec {
+		return n.Vec, nil
+	}
+	out, err := array.NewVector(e.pool, name, n.Shape.Rows)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.streamInto(n, out); err != nil {
+		return nil, err
+	}
+	return out, e.pool.FlushAll()
+}
+
+// Fetch evaluates up to limit elements of a vector node (limit < 0 for
+// all) into memory. Small selective results never touch the store.
+func (e *Executor) Fetch(n *algebra.Node, limit int64) ([]float64, error) {
+	if !n.Shape.Vector {
+		return nil, fmt.Errorf("exec: Fetch of matrix node")
+	}
+	e.begin(n)
+	defer e.end()
+	count := n.Shape.Rows
+	if limit >= 0 && limit < count {
+		count = limit
+	}
+	out := make([]float64, count)
+	const block = 4096
+	buf := make([]float64, 0, block)
+	for lo := int64(0); lo < count; lo += block {
+		hi := min(lo+block, count)
+		buf = buf[:hi-lo]
+		if err := e.evalRange(n, lo, hi, buf); err != nil {
+			return nil, err
+		}
+		copy(out[lo:hi], buf)
+	}
+	return out, nil
+}
+
+// Reduce evaluates a reduction over a vector node.
+func (e *Executor) Reduce(fn string, n *algebra.Node) (float64, error) {
+	e.begin(n)
+	defer e.end()
+	return e.reduce(fn, n)
+}
+
+func (e *Executor) reduce(fn string, n *algebra.Node) (float64, error) {
+	acc := 0.0
+	switch fn {
+	case "min":
+		acc = math.Inf(1)
+	case "max":
+		acc = math.Inf(-1)
+	case "sum":
+	default:
+		return 0, fmt.Errorf("exec: unknown reduction %q", fn)
+	}
+	const block = 4096
+	buf := make([]float64, block)
+	nelem := n.Shape.Rows
+	for lo := int64(0); lo < nelem; lo += block {
+		hi := min(lo+block, nelem)
+		b := buf[:hi-lo]
+		if err := e.evalRange(n, lo, hi, b); err != nil {
+			return 0, err
+		}
+		switch fn {
+		case "sum":
+			for _, v := range b {
+				acc += v
+			}
+		case "min":
+			for _, v := range b {
+				if v < acc {
+					acc = v
+				}
+			}
+		case "max":
+			for _, v := range b {
+				if v > acc {
+					acc = v
+				}
+			}
+		}
+	}
+	e.stats.Flops += nelem
+	return acc, nil
+}
+
+// ForceMatrix evaluates a matrix-shaped DAG into a stored matrix.
+func (e *Executor) ForceMatrix(n *algebra.Node, name string) (*array.Matrix, error) {
+	if n.Shape.Vector {
+		return nil, fmt.Errorf("exec: ForceMatrix of vector node")
+	}
+	e.begin(n)
+	defer e.end()
+	return e.forceMatrix(n, name)
+}
+
+func (e *Executor) begin(roots ...*algebra.Node) {
+	e.temps = make(map[*algebra.Node]*array.Vector)
+	e.refs = algebra.CountRefs(roots...)
+}
+
+func (e *Executor) end() {
+	for _, v := range e.temps {
+		v.Free()
+	}
+	e.temps = nil
+	e.refs = nil
+}
+
+// streamInto evaluates n block by block into out.
+func (e *Executor) streamInto(n *algebra.Node, out *array.Vector) error {
+	for k := 0; k < out.Blocks(); k++ {
+		c, err := out.PinChunkNew(k)
+		if err != nil {
+			return err
+		}
+		err = e.evalRange(n, c.Lo, c.Hi, c.Data())
+		c.MarkDirty()
+		c.Release()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalRange computes elements [lo, hi) of n into buf (len hi-lo). This
+// is the fused pipeline: one recursive descent per output block, no
+// intermediate storage.
+func (e *Executor) evalRange(n *algebra.Node, lo, hi int64, buf []float64) error {
+	e.stats.ElementsComputed += hi - lo
+	// A shared, expensive subexpression is materialized once and then
+	// served from its temporary. Cheap shared elementwise work is
+	// recomputed instead: re-deriving a block costs a few flops, while a
+	// temporary costs a full write and re-read of the vector.
+	if v, ok := e.temps[n]; ok {
+		return readVecRange(v, lo, hi, buf)
+	}
+	materialize := e.refs[n] > 1 && worthMaterializing(n)
+	if !e.FuseElementwise && n.Op != algebra.OpSourceVec && n.Shape.Vector && n.Op != algebra.OpReduce {
+		// Ablation: no fusion means every interior node becomes a
+		// full-length temporary, exactly like plain R's evaluator.
+		materialize = true
+	}
+	if e.EagerUpdates && n.Op == algebra.OpUpdateMask {
+		materialize = true
+	}
+	if materialize {
+		tmp, err := array.NewVector(e.pool, e.fresh("tmp"), n.Shape.Rows)
+		if err != nil {
+			return err
+		}
+		if err := e.streamIntoRaw(n, tmp); err != nil {
+			return err
+		}
+		e.temps[n] = tmp
+		e.stats.Materialized++
+		return readVecRange(tmp, lo, hi, buf)
+	}
+	return e.evalRangeRaw(n, lo, hi, buf)
+}
+
+// streamIntoRaw is streamInto without the memoization check (used to
+// fill the memo itself).
+func (e *Executor) streamIntoRaw(n *algebra.Node, out *array.Vector) error {
+	for k := 0; k < out.Blocks(); k++ {
+		c, err := out.PinChunkNew(k)
+		if err != nil {
+			return err
+		}
+		err = e.evalRangeRaw(n, c.Lo, c.Hi, c.Data())
+		c.MarkDirty()
+		c.Release()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Executor) evalRangeRaw(n *algebra.Node, lo, hi int64, buf []float64) error {
+	switch n.Op {
+	case algebra.OpSourceVec:
+		return readVecRange(n.Vec, lo, hi, buf)
+	case algebra.OpElemUnary:
+		if err := e.evalRange(n.Kids[0], lo, hi, buf); err != nil {
+			return err
+		}
+		f, err := unaryFn(n.Fn)
+		if err != nil {
+			return err
+		}
+		for i := range buf {
+			buf[i] = f(buf[i])
+		}
+		e.stats.Flops += hi - lo
+		return nil
+	case algebra.OpScalarOp:
+		if err := e.evalRange(n.Kids[0], lo, hi, buf); err != nil {
+			return err
+		}
+		f, err := binFn(n.BinOp)
+		if err != nil {
+			return err
+		}
+		s := n.Scalar
+		if n.ScalarLeft {
+			for i := range buf {
+				buf[i] = f(s, buf[i])
+			}
+		} else {
+			for i := range buf {
+				buf[i] = f(buf[i], s)
+			}
+		}
+		e.stats.Flops += hi - lo
+		return nil
+	case algebra.OpElemBinary:
+		if err := e.evalRange(n.Kids[0], lo, hi, buf); err != nil {
+			return err
+		}
+		rbuf := make([]float64, hi-lo)
+		if err := e.evalRange(n.Kids[1], lo, hi, rbuf); err != nil {
+			return err
+		}
+		f, err := binFn(n.BinOp)
+		if err != nil {
+			return err
+		}
+		for i := range buf {
+			buf[i] = f(buf[i], rbuf[i])
+		}
+		e.stats.Flops += hi - lo
+		return nil
+	case algebra.OpUpdateMask:
+		if err := e.evalRange(n.Kids[0], lo, hi, buf); err != nil {
+			return err
+		}
+		f, err := binFn(n.BinOp)
+		if err != nil {
+			return err
+		}
+		for i := range buf {
+			if f(buf[i], n.Scalar) != 0 {
+				buf[i] = n.Scalar2
+			}
+		}
+		e.stats.Flops += hi - lo
+		return nil
+	case algebra.OpRange:
+		return e.evalRange(n.Kids[0], n.Lo+lo, n.Lo+hi, buf)
+	case algebra.OpGather:
+		idx := make([]float64, hi-lo)
+		if err := e.evalRange(n.Kids[1], lo, hi, idx); err != nil {
+			return err
+		}
+		return e.gather(n.Kids[0], idx, buf)
+	case algebra.OpReduce:
+		v, err := e.reduce(n.Fn, n.Kids[0])
+		if err != nil {
+			return err
+		}
+		if lo == 0 && hi == 1 {
+			buf[0] = v
+		}
+		return nil
+	case algebra.OpMatMul, algebra.OpSourceMat:
+		return fmt.Errorf("exec: matrix node %s in vector pipeline", n.Op)
+	}
+	return fmt.Errorf("exec: unhandled op %s", n.Op)
+}
+
+// gather fetches data[idx[k]] for each k. The data child is a source
+// after pushdown; anything else is materialized first.
+func (e *Executor) gather(data *algebra.Node, idx []float64, buf []float64) error {
+	var src *array.Vector
+	switch {
+	case data.Op == algebra.OpSourceVec:
+		src = data.Vec
+	case e.temps[data] != nil:
+		src = e.temps[data]
+	default:
+		tmp, err := array.NewVector(e.pool, e.fresh("tmp"), data.Shape.Rows)
+		if err != nil {
+			return err
+		}
+		if err := e.streamIntoRaw(data, tmp); err != nil {
+			return err
+		}
+		e.temps[data] = tmp
+		e.stats.Materialized++
+		src = tmp
+	}
+	for k, fi := range idx {
+		i := int64(fi)
+		if i < 0 || i >= src.Len() {
+			return fmt.Errorf("exec: gather index %d outside vector of %d", i, src.Len())
+		}
+		v, err := src.At(i)
+		if err != nil {
+			return err
+		}
+		buf[k] = v
+	}
+	return nil
+}
+
+// forceMatrix materializes a matrix node, dispatching multiplies to the
+// cheaper of the square-tiled and BNLJ kernels by analytic cost.
+func (e *Executor) forceMatrix(n *algebra.Node, name string) (*array.Matrix, error) {
+	switch n.Op {
+	case algebra.OpSourceMat:
+		return n.Mat, nil
+	case algebra.OpMatMul:
+		a, err := e.forceMatrix(n.Kids[0], e.fresh(name+"_l"))
+		if err != nil {
+			return nil, err
+		}
+		b, err := e.forceMatrix(n.Kids[1], e.fresh(name+"_r"))
+		if err != nil {
+			return nil, err
+		}
+		defer func() {
+			// Intermediates (not sources) are freed after use.
+			if n.Kids[0].Op != algebra.OpSourceMat {
+				a.Free()
+			}
+			if n.Kids[1].Op != algebra.OpSourceMat {
+				b.Free()
+			}
+		}()
+		e.stats.Flops += a.Rows() * a.Cols() * b.Cols()
+		e.stats.ElementsComputed += a.Rows() * b.Cols()
+		p := costmodel.Params{
+			MemElems:   float64(e.pool.MemoryElems()),
+			BlockElems: float64(e.pool.Device().BlockElems()),
+		}
+		l, m, k := float64(a.Rows()), float64(a.Cols()), float64(b.Cols())
+		atr, atc := a.TileDims()
+		btr, btc := b.TileDims()
+		squareOK := atr == atc && btr == btc && atr == btr
+		if squareOK && costmodel.SquareTiled(l, m, k, p) <= costmodel.BNLJ(l, m, k, p) {
+			return linalg.MatMulTiled(e.pool, name, a, b)
+		}
+		if squareOK {
+			// Square tiling but BNLJ is cheaper at this size.
+			return linalg.MatMulBNLJ(e.pool, name, a, b, array.Options{Shape: array.SquareTiles, Lin: a.Lin()})
+		}
+		return linalg.MatMulBNLJ(e.pool, name, a, b, array.Options{Shape: array.RowTiles})
+	}
+	return nil, fmt.Errorf("exec: cannot force matrix op %s", n.Op)
+}
+
+// worthMaterializing gates the shared-subexpression memo. Recomputing a
+// fused elementwise block costs a handful of flops per element, while a
+// temporary costs a full write plus re-read; only subtrees containing
+// genuinely expensive operators (gathers, reductions, multiplies) pay
+// for materialization.
+func worthMaterializing(n *algebra.Node) bool {
+	switch n.Op {
+	case algebra.OpSourceVec, algebra.OpSourceMat:
+		return false
+	case algebra.OpGather, algebra.OpReduce, algebra.OpMatMul:
+		return true
+	}
+	for _, k := range n.Kids {
+		if worthMaterializing(k) {
+			return true
+		}
+	}
+	return false
+}
+
+func readVecRange(v *array.Vector, lo, hi int64, buf []float64) error {
+	b := int64(v.Pool().Device().BlockElems())
+	for lo < hi {
+		k := int(lo / b)
+		c, err := v.PinChunk(k)
+		if err != nil {
+			return err
+		}
+		n := min(hi, c.Hi) - lo
+		copy(buf[:n], c.Data()[lo-c.Lo:lo-c.Lo+n])
+		c.Release()
+		buf = buf[n:]
+		lo += n
+	}
+	return nil
+}
+
+func binFn(op string) (func(a, b float64) float64, error) {
+	switch op {
+	case "+":
+		return func(a, b float64) float64 { return a + b }, nil
+	case "-":
+		return func(a, b float64) float64 { return a - b }, nil
+	case "*":
+		return func(a, b float64) float64 { return a * b }, nil
+	case "/":
+		return func(a, b float64) float64 { return a / b }, nil
+	case "^":
+		return math.Pow, nil
+	case "%%":
+		return math.Mod, nil
+	case "==":
+		return func(a, b float64) float64 { return b2f(a == b) }, nil
+	case "!=":
+		return func(a, b float64) float64 { return b2f(a != b) }, nil
+	case "<":
+		return func(a, b float64) float64 { return b2f(a < b) }, nil
+	case "<=":
+		return func(a, b float64) float64 { return b2f(a <= b) }, nil
+	case ">":
+		return func(a, b float64) float64 { return b2f(a > b) }, nil
+	case ">=":
+		return func(a, b float64) float64 { return b2f(a >= b) }, nil
+	case "&":
+		return func(a, b float64) float64 { return b2f(a != 0 && b != 0) }, nil
+	case "|":
+		return func(a, b float64) float64 { return b2f(a != 0 || b != 0) }, nil
+	}
+	return nil, fmt.Errorf("exec: unknown operator %q", op)
+}
+
+func unaryFn(name string) (func(float64) float64, error) {
+	switch name {
+	case "sqrt":
+		return math.Sqrt, nil
+	case "abs":
+		return math.Abs, nil
+	case "exp":
+		return math.Exp, nil
+	case "log":
+		return math.Log, nil
+	case "sin":
+		return math.Sin, nil
+	case "cos":
+		return math.Cos, nil
+	case "floor":
+		return math.Floor, nil
+	case "ceiling":
+		return math.Ceil, nil
+	}
+	return nil, fmt.Errorf("exec: unknown function %q", name)
+}
+
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,423 @@
+package exec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"riot/internal/algebra"
+	"riot/internal/array"
+	"riot/internal/buffer"
+	"riot/internal/disk"
+	"riot/internal/opt"
+)
+
+func newExec(blockElems, frames int) *Executor {
+	return New(buffer.New(disk.NewDevice(blockElems), frames))
+}
+
+func srcVec(t *testing.T, e *Executor, g *algebra.Graph, name string, n int64, f func(i int64) float64) *algebra.Node {
+	t.Helper()
+	v, err := array.NewVector(e.Pool(), name, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Fill(f); err != nil {
+		t.Fatal(err)
+	}
+	return g.SourceVec(v)
+}
+
+func TestFusedPipelineCorrectness(t *testing.T) {
+	e := newExec(64, 16)
+	g := algebra.NewGraph()
+	x := srcVec(t, e, g, "x", 1000, func(i int64) float64 { return float64(i) })
+	// sqrt((x-3)^2 + 7)
+	d, err := g.ScalarOp("-", x, 3, false)
+	ok(t, err)
+	sq, err := g.ElemBinary("*", d, d)
+	ok(t, err)
+	pl, err := g.ScalarOp("+", sq, 7, false)
+	ok(t, err)
+	r, err := g.ElemUnary("sqrt", pl)
+	ok(t, err)
+	out, err := e.Fetch(r, -1)
+	ok(t, err)
+	for i, v := range out {
+		want := math.Sqrt(float64(i-3)*float64(i-3) + 7)
+		if math.Abs(v-want) > 1e-12 {
+			t.Fatalf("out[%d]=%v want %v", i, v, want)
+		}
+	}
+	if e.Stats().Materialized != 0 {
+		t.Fatalf("fused pipeline materialized %d temporaries", e.Stats().Materialized)
+	}
+}
+
+func TestFusionAvoidsIntermediateIO(t *testing.T) {
+	// Example 1's line (1): twelve-ish operations, one pass, zero
+	// intermediate I/O beyond reading x,y and writing d.
+	e := newExec(64, 16)
+	g := algebra.NewGraph()
+	n := int64(64 * 100)
+	x := srcVec(t, e, g, "x", n, func(i int64) float64 { return float64(i % 997) })
+	y := srcVec(t, e, g, "y", n, func(i int64) float64 { return float64(i % 991) })
+	d := example1(t, g, x, y)
+	ok(t, e.Pool().DropAll())
+	e.Pool().Device().ResetStats()
+	v, err := e.ForceVector(d, "d")
+	ok(t, err)
+	defer v.Free()
+	s := e.Pool().Device().Stats()
+	// Reads: x and y once each (CSE collapses their four uses). Writes: d.
+	xBlocks := int64(100)
+	if s.BlocksRead > 2*xBlocks+2 {
+		t.Fatalf("read %d blocks; single pass over x,y is %d", s.BlocksRead, 2*xBlocks)
+	}
+	if s.BlocksWritten > xBlocks+1 {
+		t.Fatalf("wrote %d blocks; d alone is %d", s.BlocksWritten, xBlocks)
+	}
+}
+
+func example1(t *testing.T, g *algebra.Graph, x, y *algebra.Node) *algebra.Node {
+	t.Helper()
+	sq := func(v *algebra.Node, c float64) *algebra.Node {
+		d, err := g.ScalarOp("-", v, c, false)
+		ok(t, err)
+		s, err := g.ElemBinary("*", d, d)
+		ok(t, err)
+		return s
+	}
+	s1, err := g.ElemBinary("+", sq(x, 3), sq(y, 4))
+	ok(t, err)
+	r1, err := g.ElemUnary("sqrt", s1)
+	ok(t, err)
+	s2, err := g.ElemBinary("+", sq(x, 100), sq(y, 200))
+	ok(t, err)
+	r2, err := g.ElemUnary("sqrt", s2)
+	ok(t, err)
+	d, err := g.ElemBinary("+", r1, r2)
+	ok(t, err)
+	return d
+}
+
+func TestGatherSelectiveIO(t *testing.T) {
+	// z <- d[s] with pushdown: only the blocks containing the sampled
+	// indices are read.
+	e := newExec(64, 32)
+	g := algebra.NewGraph()
+	n := int64(64 * 1000)
+	x := srcVec(t, e, g, "x", n, func(i int64) float64 { return float64(i % 997) })
+	y := srcVec(t, e, g, "y", n, func(i int64) float64 { return float64(i % 991) })
+	d := example1(t, g, x, y)
+	idx := srcVec(t, e, g, "s", 10, func(i int64) float64 { return float64(i * 5000) })
+	z, err := g.Gather(d, idx)
+	ok(t, err)
+	o := opt.New(g, opt.DefaultConfig())
+	zopt, err := o.Optimize(z)
+	ok(t, err)
+	ok(t, e.Pool().DropAll())
+	e.Pool().Device().ResetStats()
+	out, err := e.Fetch(zopt, -1)
+	ok(t, err)
+	if len(out) != 10 {
+		t.Fatalf("%d elements", len(out))
+	}
+	for k, v := range out {
+		i := int64(k * 5000)
+		xi, yi := float64(i%997), float64(i%991)
+		want := math.Sqrt((xi-3)*(xi-3)+(yi-4)*(yi-4)) +
+			math.Sqrt((xi-100)*(xi-100)+(yi-200)*(yi-200))
+		if math.Abs(v-want) > 1e-9 {
+			t.Fatalf("z[%d]=%v want %v", k, v, want)
+		}
+	}
+	reads := e.Pool().Device().Stats().BlocksRead
+	if reads > 50 { // 10 samples × (x block + y block) + index + slack
+		t.Fatalf("selective gather read %d blocks of a %d-block dataset", reads, 2000)
+	}
+}
+
+func TestFigure2Pushdown(t *testing.T) {
+	// b <- a^2; b[b>100] <- 100; print(b[1:10]): with functional updates
+	// plus pushdown, the update and the square run on 10 elements; with
+	// R/RIOT-DB semantics (a modification forces evaluation), the whole
+	// vector is computed first.
+	run := func(deferred bool) (int64, []float64) {
+		e := newExec(64, 16)
+		e.EagerUpdates = !deferred
+		g := algebra.NewGraph()
+		n := int64(64 * 200)
+		a := srcVec(t, e, g, "a", n, func(i int64) float64 { return float64(i) })
+		b, err := g.ScalarOp("^", a, 2, false)
+		ok(t, err)
+		b2, err := g.UpdateMask(b, ">", 100, 100)
+		ok(t, err)
+		head, err := g.Range(b2, 0, 10)
+		ok(t, err)
+		cfg := opt.DefaultConfig()
+		cfg.PushdownRange = deferred
+		cfg.PushdownGather = deferred
+		root, err := opt.New(g, cfg).Optimize(head)
+		ok(t, err)
+		out, err := e.Fetch(root, -1)
+		ok(t, err)
+		return e.Stats().ElementsComputed, out
+	}
+	withOpt, outOpt := run(true)
+	without, outNo := run(false)
+	for i := range outOpt {
+		want := math.Min(float64(i*i), 100)
+		if outOpt[i] != want || outNo[i] != want {
+			t.Fatalf("values wrong at %d: %v / %v want %v", i, outOpt[i], outNo[i], want)
+		}
+	}
+	if withOpt >= without {
+		t.Fatalf("pushdown did not reduce work: %d vs %d elements", withOpt, without)
+	}
+	if withOpt > 100 {
+		t.Fatalf("optimized plan computed %d elements; should be ~30", withOpt)
+	}
+}
+
+func TestSharedExpensiveSubtreeMaterializedOnce(t *testing.T) {
+	// A gather used by two consumers is evaluated once.
+	e := newExec(64, 16)
+	g := algebra.NewGraph()
+	data := srcVec(t, e, g, "d", 64*10, func(i int64) float64 { return float64(i) })
+	idx := srcVec(t, e, g, "s", 64*2, func(i int64) float64 { return float64(i * 3) })
+	gth, err := g.Gather(data, idx)
+	ok(t, err)
+	l, err := g.ScalarOp("+", gth, 1, false)
+	ok(t, err)
+	r, err := g.ScalarOp("*", gth, 2, false)
+	ok(t, err)
+	both, err := g.ElemBinary("+", l, r)
+	ok(t, err)
+	out, err := e.Fetch(both, -1)
+	ok(t, err)
+	for k, v := range out {
+		base := float64(k * 3)
+		if v != (base+1)+(base*2) {
+			t.Fatalf("out[%d]=%v", k, v)
+		}
+	}
+	if e.Stats().Materialized != 1 {
+		t.Fatalf("materialized %d temps, want exactly 1 (the shared gather)", e.Stats().Materialized)
+	}
+}
+
+func TestNoFusionAblationMaterializesEverything(t *testing.T) {
+	e := newExec(64, 32)
+	e.FuseElementwise = false
+	g := algebra.NewGraph()
+	x := srcVec(t, e, g, "x", 64*10, func(i int64) float64 { return float64(i) })
+	a, err := g.ScalarOp("+", x, 1, false)
+	ok(t, err)
+	b, err := g.ElemUnary("sqrt", a)
+	ok(t, err)
+	c, err := g.ScalarOp("*", b, 2, false)
+	ok(t, err)
+	out, err := e.Fetch(c, -1)
+	ok(t, err)
+	if out[3] != 4 {
+		t.Fatalf("out[3]=%v", out[3])
+	}
+	if e.Stats().Materialized != 3 {
+		t.Fatalf("ablation materialized %d temps, want 3", e.Stats().Materialized)
+	}
+}
+
+func TestRangeComposition(t *testing.T) {
+	e := newExec(64, 16)
+	g := algebra.NewGraph()
+	x := srcVec(t, e, g, "x", 100, func(i int64) float64 { return float64(i) })
+	r1, err := g.Range(x, 20, 80)
+	ok(t, err)
+	r2, err := g.Range(r1, 5, 15)
+	ok(t, err)
+	root, err := opt.New(g, opt.DefaultConfig()).Optimize(r2)
+	ok(t, err)
+	out, err := e.Fetch(root, -1)
+	ok(t, err)
+	if len(out) != 10 || out[0] != 25 || out[9] != 34 {
+		t.Fatalf("out=%v", out)
+	}
+	// Composition must collapse to a single range over the source.
+	if root.Op != algebra.OpRange || root.Kids[0].Op != algebra.OpSourceVec {
+		t.Fatalf("ranges not collapsed: %s", root)
+	}
+}
+
+func TestReduceOverPipeline(t *testing.T) {
+	e := newExec(64, 16)
+	g := algebra.NewGraph()
+	x := srcVec(t, e, g, "x", 1000, func(i int64) float64 { return float64(i) })
+	d, err := g.ScalarOp("*", x, 2, false)
+	ok(t, err)
+	sum, err := e.Reduce("sum", d)
+	ok(t, err)
+	if sum != 999000 {
+		t.Fatalf("sum=%v", sum)
+	}
+	mn, err := e.Reduce("min", d)
+	ok(t, err)
+	mx, err := e.Reduce("max", d)
+	ok(t, err)
+	if mn != 0 || mx != 1998 {
+		t.Fatalf("min/max = %v/%v", mn, mx)
+	}
+}
+
+func TestMatMulChainReorderedAndCorrect(t *testing.T) {
+	e := newExec(64, 48)
+	g := algebra.NewGraph()
+	// Skewed chain: A 30×6, B 6×30, C 30×30 → optimal is A(BC).
+	mk := func(name string, r, c int64, seed int64) *algebra.Node {
+		m, err := array.NewMatrix(e.Pool(), name, r, c, array.Options{Shape: array.SquareTiles})
+		ok(t, err)
+		ok(t, m.Fill(func(i, j int64) float64 {
+			return float64((i*31+j*17+seed)%13) - 6
+		}))
+		return g.SourceMat(m)
+	}
+	a := mk("A", 30, 6, 1)
+	b := mk("B", 6, 30, 2)
+	c := mk("C", 30, 30, 3)
+	ab, err := g.MatMul(a, b)
+	ok(t, err)
+	abc, err := g.MatMul(ab, c)
+	ok(t, err)
+	root, err := opt.New(g, opt.DefaultConfig()).Optimize(abc)
+	ok(t, err)
+	// The optimizer must have re-parenthesized to A(BC).
+	if root.Kids[0] != a || root.Kids[1].Op != algebra.OpMatMul {
+		t.Fatalf("chain not reordered: %s", root)
+	}
+	got, err := e.ForceMatrix(root, "out")
+	ok(t, err)
+	// Reference via in-order evaluation without reordering.
+	cfg := opt.DefaultConfig()
+	cfg.ChainReorder = false
+	root2, err := opt.New(g, cfg).Optimize(abc)
+	ok(t, err)
+	want, err := e.ForceMatrix(root2, "out2")
+	ok(t, err)
+	for i := int64(0); i < 30; i++ {
+		for j := int64(0); j < 30; j++ {
+			v1, _ := got.At(i, j)
+			v2, _ := want.At(i, j)
+			if math.Abs(v1-v2) > 1e-9 {
+				t.Fatalf("reordered product differs at (%d,%d): %v vs %v", i, j, v1, v2)
+			}
+		}
+	}
+}
+
+func TestCSECollapsesIdenticalSubtrees(t *testing.T) {
+	g := algebra.NewGraph()
+	pool := buffer.New(disk.NewDevice(16), 8)
+	v, err := array.NewVector(pool, "x", 10)
+	ok(t, err)
+	x := g.SourceVec(v)
+	a1, err := g.ScalarOp("-", x, 3, false)
+	ok(t, err)
+	a2, err := g.ScalarOp("-", x, 3, false)
+	ok(t, err)
+	if a1 != a2 {
+		t.Fatal("CSE failed to share identical nodes")
+	}
+	g2 := algebra.NewGraph()
+	g2.EnableCSE = false
+	x2 := g2.SourceVec(v)
+	b1, _ := g2.ScalarOp("-", x2, 3, false)
+	b2, _ := g2.ScalarOp("-", x2, 3, false)
+	if b1 == b2 {
+		t.Fatal("CSE disabled but nodes shared")
+	}
+}
+
+func TestShapeErrors(t *testing.T) {
+	g := algebra.NewGraph()
+	pool := buffer.New(disk.NewDevice(16), 8)
+	v1, _ := array.NewVector(pool, "a", 10)
+	v2, _ := array.NewVector(pool, "b", 20)
+	x, y := g.SourceVec(v1), g.SourceVec(v2)
+	if _, err := g.ElemBinary("+", x, y); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if _, err := g.Range(x, 5, 20); err == nil {
+		t.Fatal("expected range error")
+	}
+	m, _ := array.NewMatrix(pool, "m", 4, 5, array.Options{Shape: array.SquareTiles})
+	mn := g.SourceMat(m)
+	if _, err := g.MatMul(mn, mn); err == nil {
+		t.Fatal("expected dimension mismatch")
+	}
+	if _, err := g.ElemUnary("sqrt", mn); err == nil {
+		t.Fatal("expected vector-required error")
+	}
+}
+
+// Property: for random elementwise expression trees, the fused executor
+// agrees with a direct in-memory evaluation.
+func TestFusedMatchesModelProperty(t *testing.T) {
+	f := func(ops []uint8, scalars []int8) bool {
+		if len(ops) == 0 || len(ops) > 12 {
+			return true
+		}
+		e := newExec(16, 8)
+		g := algebra.NewGraph()
+		n := int64(100)
+		x := srcVec(t, e, g, "x", n, func(i int64) float64 { return float64(i%17) + 1 })
+		model := make([]float64, n)
+		for i := range model {
+			model[i] = float64(int64(i)%17) + 1
+		}
+		node := x
+		binops := []string{"+", "-", "*"}
+		for k, op := range ops {
+			s := float64(int(scalars[k%max(len(scalars), 1)])%5 + 6) // 1..10, nonzero
+			name := binops[int(op)%3]
+			var err error
+			node, err = g.ScalarOp(name, node, s, op%2 == 0)
+			if err != nil {
+				return false
+			}
+			for i := range model {
+				a, b := model[i], s
+				if op%2 == 0 {
+					a, b = b, a
+				}
+				switch name {
+				case "+":
+					model[i] = a + b
+				case "-":
+					model[i] = a - b
+				case "*":
+					model[i] = a * b
+				}
+			}
+		}
+		out, err := e.Fetch(node, -1)
+		if err != nil {
+			return false
+		}
+		for i := range model {
+			if math.Abs(out[i]-model[i]) > 1e-6*math.Max(1, math.Abs(model[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ok(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,271 @@
+// Package linalg implements RIOT's out-of-core linear algebra kernels
+// over the tiled array store, under an enforced buffer-pool budget:
+//
+//   - MatMulTiled: the Appendix A schedule — square p×p submatrices with
+//     p ≈ √(M/3), three submatrices pinned at a time, achieving
+//     Θ(lmn/(B√M)) block I/Os with square tiling.
+//   - MatMulBNLJ: the §3 algorithm inspired by block nested-loop join —
+//     as many rows of A as fit, re-scanning B once per chunk.
+//   - MatMulNaive: R's own Example 2 triple loop, honoring whatever
+//     layout the operands have (the baseline that melts down with
+//     column-major A).
+//   - LU: blocked right-looking LU decomposition (the algebra's direct
+//     solver), Transpose, and triangular solves.
+//
+// Every kernel works tile-by-tile through the pool, so its measured I/O
+// can be compared against internal/costmodel's formulas (experiment E6).
+package linalg
+
+import (
+	"fmt"
+	"math"
+
+	"riot/internal/array"
+	"riot/internal/buffer"
+)
+
+// MatMulNaive multiplies a (l×m) by b (m×n) into a fresh matrix with
+// opts layout, using the element-at-a-time loop of Example 2. Intended
+// for small inputs and layout experiments; its I/O profile depends
+// entirely on the operand layouts.
+func MatMulNaive(pool *buffer.Pool, name string, a, b *array.Matrix, opts array.Options) (*array.Matrix, error) {
+	if a.Cols() != b.Rows() {
+		return nil, fmt.Errorf("linalg: dimension mismatch %dx%d * %dx%d", a.Rows(), a.Cols(), b.Rows(), b.Cols())
+	}
+	t, err := array.NewMatrix(pool, name, a.Rows(), b.Cols(), opts)
+	if err != nil {
+		return nil, err
+	}
+	for j := int64(0); j < b.Cols(); j++ {
+		for i := int64(0); i < a.Rows(); i++ {
+			var sum float64
+			for k := int64(0); k < a.Cols(); k++ {
+				av, err := a.At(i, k)
+				if err != nil {
+					return nil, err
+				}
+				bv, err := b.At(k, j)
+				if err != nil {
+					return nil, err
+				}
+				sum += av * bv
+			}
+			if err := t.Set(i, j, sum); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, pool.FlushAll()
+}
+
+// MatMulBNLJ multiplies with the block-nested-loop-join-inspired
+// schedule: chunks of rows of A stay pinned while B streams by column.
+// A should be row-tiled and B column-tiled for the intended I/O profile.
+func MatMulBNLJ(pool *buffer.Pool, name string, a, b *array.Matrix, opts array.Options) (*array.Matrix, error) {
+	if a.Cols() != b.Rows() {
+		return nil, fmt.Errorf("linalg: dimension mismatch %dx%d * %dx%d", a.Rows(), a.Cols(), b.Rows(), b.Cols())
+	}
+	l, m, n := a.Rows(), a.Cols(), b.Cols()
+	t, err := array.NewMatrix(pool, name, l, n, opts)
+	if err != nil {
+		return nil, err
+	}
+	// How many rows of A fit: the chunk's A rows and T rows stay in
+	// host buffers (counted against M), plus one block for streaming B.
+	memElems := pool.MemoryElems()
+	rows := (memElems - int64(pool.Device().BlockElems())) / (m + n)
+	if rows < 1 {
+		rows = 1
+	}
+	achunk := make([]float64, 0)
+	tchunk := make([]float64, 0)
+	for r0 := int64(0); r0 < l; r0 += rows {
+		r1 := min(r0+rows, l)
+		h := r1 - r0
+		// Load A rows [r0, r1) into a host-side chunk (charged as reads
+		// of A's tiles).
+		achunk = achunk[:0]
+		if cap(achunk) < int(h*m) {
+			achunk = make([]float64, 0, h*m)
+		}
+		for i := r0; i < r1; i++ {
+			for k := int64(0); k < m; k++ {
+				v, err := a.At(i, k)
+				if err != nil {
+					return nil, err
+				}
+				achunk = append(achunk, v)
+			}
+		}
+		tchunk = tchunk[:0]
+		if cap(tchunk) < int(h*n) {
+			tchunk = make([]float64, 0, h*n)
+		}
+		tchunk = append(tchunk, make([]float64, h*n)...)
+		// Stream B column by column.
+		for j := int64(0); j < n; j++ {
+			for k := int64(0); k < m; k++ {
+				bv, err := b.At(k, j)
+				if err != nil {
+					return nil, err
+				}
+				if bv == 0 {
+					continue
+				}
+				for i := int64(0); i < h; i++ {
+					tchunk[i*n+j] += achunk[i*m+k] * bv
+				}
+			}
+		}
+		for i := int64(0); i < h; i++ {
+			for j := int64(0); j < n; j++ {
+				if err := t.Set(r0+i, j, tchunk[i*n+j]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return t, pool.FlushAll()
+}
+
+// MatMulTiled multiplies square-tiled matrices with the Appendix A
+// schedule. Memory is split three ways; each part holds a q×q block of
+// tiles (q = √(frames/3)), i.e. a p×p submatrix with p = q·√B ≈ √(M/3).
+func MatMulTiled(pool *buffer.Pool, name string, a, b *array.Matrix) (*array.Matrix, error) {
+	if a.Cols() != b.Rows() {
+		return nil, fmt.Errorf("linalg: dimension mismatch %dx%d * %dx%d", a.Rows(), a.Cols(), b.Rows(), b.Cols())
+	}
+	atr, atc := a.TileDims()
+	btr, btc := b.TileDims()
+	if atr != atc || btr != btc || atr != btr {
+		return nil, fmt.Errorf("linalg: MatMulTiled requires square tiles (got %dx%d and %dx%d)", atr, atc, btr, btc)
+	}
+	t, err := array.NewMatrix(pool, name, a.Rows(), b.Cols(), array.Options{Shape: array.SquareTiles, Lin: a.Lin()})
+	if err != nil {
+		return nil, err
+	}
+	q := int(math.Sqrt(float64(pool.Capacity()) / 3))
+	if q < 1 {
+		q = 1
+	}
+	agr, agc := a.GridDims()
+	_, bgc := b.GridDims()
+	// Loop over q×q super-blocks of the result.
+	for ti0 := 0; ti0 < agr; ti0 += q {
+		ti1 := minInt(ti0+q, agr)
+		for tj0 := 0; tj0 < bgc; tj0 += q {
+			tj1 := minInt(tj0+q, bgc)
+			// Pin the result super-block once; accumulate across k.
+			ctiles, err := pinBlock(t, ti0, ti1, tj0, tj1, true)
+			if err != nil {
+				return nil, err
+			}
+			for tk0 := 0; tk0 < agc; tk0 += q {
+				tk1 := minInt(tk0+q, agc)
+				atiles, err := pinBlock(a, ti0, ti1, tk0, tk1, false)
+				if err != nil {
+					return nil, err
+				}
+				btiles, err := pinBlock(b, tk0, tk1, tj0, tj1, false)
+				if err != nil {
+					return nil, err
+				}
+				// Multiply the pinned super-blocks tile by tile.
+				for ti := ti0; ti < ti1; ti++ {
+					for tj := tj0; tj < tj1; tj++ {
+						ct := ctiles[(ti-ti0)*(tj1-tj0)+(tj-tj0)]
+						for tk := tk0; tk < tk1; tk++ {
+							at := atiles[(ti-ti0)*(tk1-tk0)+(tk-tk0)]
+							bt := btiles[(tk-tk0)*(tj1-tj0)+(tj-tj0)]
+							multiplyTilePair(at, bt, ct)
+						}
+					}
+				}
+				releaseBlock(atiles)
+				releaseBlock(btiles)
+			}
+			for _, ct := range ctiles {
+				ct.MarkDirty()
+			}
+			releaseBlock(ctiles)
+		}
+	}
+	return t, pool.FlushAll()
+}
+
+// pinBlock pins the tile rectangle [ti0,ti1)×[tj0,tj1) of m, row-major.
+func pinBlock(m *array.Matrix, ti0, ti1, tj0, tj1 int, fresh bool) ([]*array.Tile, error) {
+	tiles := make([]*array.Tile, 0, (ti1-ti0)*(tj1-tj0))
+	for ti := ti0; ti < ti1; ti++ {
+		for tj := tj0; tj < tj1; tj++ {
+			var t *array.Tile
+			var err error
+			if fresh {
+				t, err = m.PinTileNew(ti, tj)
+			} else {
+				t, err = m.PinTile(ti, tj)
+			}
+			if err != nil {
+				releaseBlock(tiles)
+				return nil, err
+			}
+			tiles = append(tiles, t)
+		}
+	}
+	return tiles, nil
+}
+
+func releaseBlock(tiles []*array.Tile) {
+	for _, t := range tiles {
+		t.Release()
+	}
+}
+
+// multiplyTilePair accumulates at×bt into ct, respecting edge clipping.
+func multiplyTilePair(at, bt, ct *array.Tile) {
+	for i := ct.RowLo; i < ct.RowHi; i++ {
+		for k := at.ColLo; k < at.ColHi; k++ {
+			av := at.At(i, k)
+			if av == 0 {
+				continue
+			}
+			for j := ct.ColLo; j < ct.ColHi; j++ {
+				ct.Set(i, j, ct.At(i, j)+av*bt.At(k, j))
+			}
+		}
+	}
+}
+
+// Transpose produces the transpose of a with the same tiling options.
+func Transpose(pool *buffer.Pool, name string, a *array.Matrix) (*array.Matrix, error) {
+	t, err := array.NewMatrix(pool, name, a.Cols(), a.Rows(), array.Options{Shape: array.SquareTiles, Lin: a.Lin()})
+	if err != nil {
+		return nil, err
+	}
+	gr, gc := a.GridDims()
+	for ti := 0; ti < gr; ti++ {
+		for tj := 0; tj < gc; tj++ {
+			src, err := a.PinTile(ti, tj)
+			if err != nil {
+				return nil, err
+			}
+			for i := src.RowLo; i < src.RowHi; i++ {
+				for j := src.ColLo; j < src.ColHi; j++ {
+					if err := t.Set(j, i, src.At(i, j)); err != nil {
+						src.Release()
+						return nil, err
+					}
+				}
+			}
+			src.Release()
+		}
+	}
+	return t, pool.FlushAll()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,221 @@
+package linalg
+
+import (
+	"fmt"
+
+	"riot/internal/array"
+	"riot/internal/buffer"
+)
+
+// LU computes a blocked right-looking LU decomposition of the square
+// matrix a, returning a new matrix holding L (unit lower triangle,
+// diagonal implicit) and U (upper triangle) packed together, as LAPACK
+// does. No pivoting is performed — callers must supply matrices with
+// nonzero leading minors (e.g. diagonally dominant systems); this
+// restriction is documented in DESIGN.md and matches the paper's scope,
+// which names LU as an algebra operator without specifying pivoting.
+//
+// The schedule is tile-blocked: factor the diagonal tile, solve the
+// panel tiles against it, then apply a rank-q update to the trailing
+// submatrix — the standard out-of-core pattern from Toledo's survey
+// [17], which the paper builds on.
+func LU(pool *buffer.Pool, name string, a *array.Matrix) (*array.Matrix, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("linalg: LU of non-square %dx%d matrix", a.Rows(), a.Cols())
+	}
+	tr, tc := a.TileDims()
+	if tr != tc {
+		return nil, fmt.Errorf("linalg: LU requires square tiles, got %dx%d", tr, tc)
+	}
+	// Work on a copy: factorization is destructive.
+	lu, err := array.NewMatrix(pool, name, a.Rows(), a.Cols(), array.Options{Shape: array.SquareTiles, Lin: a.Lin()})
+	if err != nil {
+		return nil, err
+	}
+	gr, gc := a.GridDims()
+	for ti := 0; ti < gr; ti++ {
+		for tj := 0; tj < gc; tj++ {
+			src, err := a.PinTile(ti, tj)
+			if err != nil {
+				return nil, err
+			}
+			dst, err := lu.PinTileNew(ti, tj)
+			if err != nil {
+				src.Release()
+				return nil, err
+			}
+			copy(dst.Data(), src.Data())
+			dst.MarkDirty()
+			src.Release()
+			dst.Release()
+		}
+	}
+
+	g, _ := lu.GridDims()
+	for k := 0; k < g; k++ {
+		// 1. Factor the diagonal tile in place.
+		dk, err := lu.PinTile(k, k)
+		if err != nil {
+			return nil, err
+		}
+		if err := factorTile(dk); err != nil {
+			dk.Release()
+			return nil, err
+		}
+		dk.MarkDirty()
+		// 2. Column panel: L[i][k] = A[i][k] · U(kk)^-1.
+		for i := k + 1; i < g; i++ {
+			t, err := lu.PinTile(i, k)
+			if err != nil {
+				dk.Release()
+				return nil, err
+			}
+			solveRightUpper(dk, t)
+			t.MarkDirty()
+			t.Release()
+		}
+		// 3. Row panel: U[k][j] = L(kk)^-1 · A[k][j].
+		for j := k + 1; j < g; j++ {
+			t, err := lu.PinTile(k, j)
+			if err != nil {
+				dk.Release()
+				return nil, err
+			}
+			solveLeftUnitLower(dk, t)
+			t.MarkDirty()
+			t.Release()
+		}
+		dk.Release()
+		// 4. Trailing update: A[i][j] -= L[i][k] · U[k][j].
+		for i := k + 1; i < g; i++ {
+			lt, err := lu.PinTile(i, k)
+			if err != nil {
+				return nil, err
+			}
+			for j := k + 1; j < g; j++ {
+				ut, err := lu.PinTile(k, j)
+				if err != nil {
+					lt.Release()
+					return nil, err
+				}
+				ct, err := lu.PinTile(i, j)
+				if err != nil {
+					ut.Release()
+					lt.Release()
+					return nil, err
+				}
+				subtractProduct(lt, ut, ct)
+				ct.MarkDirty()
+				ct.Release()
+				ut.Release()
+			}
+			lt.Release()
+		}
+	}
+	return lu, pool.FlushAll()
+}
+
+// factorTile performs dense, unpivoted LU inside the diagonal tile.
+func factorTile(t *array.Tile) error {
+	for p := t.RowLo; p < t.RowHi; p++ {
+		piv := t.At(p, p)
+		if piv == 0 {
+			return fmt.Errorf("linalg: zero pivot at %d (LU is unpivoted)", p)
+		}
+		for i := p + 1; i < t.RowHi; i++ {
+			l := t.At(i, p) / piv
+			t.Set(i, p, l)
+			for j := p + 1; j < t.ColHi; j++ {
+				t.Set(i, j, t.At(i, j)-l*t.At(p, j))
+			}
+		}
+	}
+	return nil
+}
+
+// solveRightUpper solves X · U = T for X in place of T, where U is the
+// upper triangle of the diagonal tile dk.
+func solveRightUpper(dk, t *array.Tile) {
+	for i := t.RowLo; i < t.RowHi; i++ {
+		for j := dk.ColLo; j < dk.ColHi; j++ {
+			sum := t.At(i, j)
+			for p := dk.ColLo; p < j; p++ {
+				sum -= t.At(i, p) * dk.At(dk.RowLo+(p-dk.ColLo), j)
+			}
+			t.Set(i, j, sum/dk.At(dk.RowLo+(j-dk.ColLo), j))
+		}
+	}
+}
+
+// solveLeftUnitLower solves L · X = T for X in place of T, where L is
+// the unit lower triangle of dk.
+func solveLeftUnitLower(dk, t *array.Tile) {
+	for j := t.ColLo; j < t.ColHi; j++ {
+		for i := dk.RowLo; i < dk.RowHi; i++ {
+			sum := t.At(t.RowLo+(i-dk.RowLo), j)
+			for p := dk.RowLo; p < i; p++ {
+				sum -= dk.At(i, dk.ColLo+(p-dk.RowLo)) * t.At(t.RowLo+(p-dk.RowLo), j)
+			}
+			t.Set(t.RowLo+(i-dk.RowLo), j, sum)
+		}
+	}
+}
+
+// subtractProduct computes C -= L·U over one tile triple.
+func subtractProduct(lt, ut, ct *array.Tile) {
+	for i := ct.RowLo; i < ct.RowHi; i++ {
+		for p := lt.ColLo; p < lt.ColHi; p++ {
+			lv := lt.At(i, p)
+			if lv == 0 {
+				continue
+			}
+			up := ut.RowLo + (p - lt.ColLo)
+			if up >= ut.RowHi {
+				continue
+			}
+			for j := ct.ColLo; j < ct.ColHi; j++ {
+				ct.Set(i, j, ct.At(i, j)-lv*ut.At(up, j))
+			}
+		}
+	}
+}
+
+// SolveLU solves A·x = b given the packed LU factors, by forward then
+// backward substitution. b has length n; the result is a fresh slice.
+func SolveLU(lu *array.Matrix, b []float64) ([]float64, error) {
+	n := lu.Rows()
+	if int64(len(b)) != n {
+		return nil, fmt.Errorf("linalg: rhs length %d for %dx%d system", len(b), n, n)
+	}
+	y := make([]float64, n)
+	// Ly = b (unit diagonal).
+	for i := int64(0); i < n; i++ {
+		sum := b[i]
+		for j := int64(0); j < i; j++ {
+			v, err := lu.At(i, j)
+			if err != nil {
+				return nil, err
+			}
+			sum -= v * y[j]
+		}
+		y[i] = sum
+	}
+	// Ux = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for j := i + 1; j < n; j++ {
+			v, err := lu.At(i, j)
+			if err != nil {
+				return nil, err
+			}
+			sum -= v * x[j]
+		}
+		d, err := lu.At(i, i)
+		if err != nil {
+			return nil, err
+		}
+		x[i] = sum / d
+	}
+	return x, nil
+}

@@ -1,0 +1,257 @@
+// Package opt is RIOT's rule-based optimizer over the expression DAG
+// (§5): subscript pushdown (Figure 2's transformation, where b[1:10] of
+// a modified b ends up touching 10 elements of a instead of all of
+// them), matrix-chain reordering by dynamic programming, and the
+// algorithm-selection hook for matrix multiplication. Each rule can be
+// toggled independently, which is how the ablation benchmarks isolate
+// each optimization's contribution.
+package opt
+
+import (
+	"riot/internal/algebra"
+	"riot/internal/costmodel"
+)
+
+// Config toggles individual rewrite rules.
+type Config struct {
+	PushdownRange  bool // push x[lo:hi] below elementwise ops and updates
+	PushdownGather bool // push x[s] below elementwise ops and updates
+	ChainReorder   bool // reorder %*% chains with the DP of §5
+}
+
+// DefaultConfig enables every rule.
+func DefaultConfig() Config {
+	return Config{PushdownRange: true, PushdownGather: true, ChainReorder: true}
+}
+
+// Optimizer rewrites DAGs.
+type Optimizer struct {
+	g   *algebra.Graph
+	cfg Config
+}
+
+// New creates an optimizer that builds rewritten nodes in g.
+func New(g *algebra.Graph, cfg Config) *Optimizer {
+	return &Optimizer{g: g, cfg: cfg}
+}
+
+// Optimize rewrites the DAG rooted at n, preserving sharing.
+func (o *Optimizer) Optimize(n *algebra.Node) (*algebra.Node, error) {
+	memo := make(map[*algebra.Node]*algebra.Node)
+	return o.rewrite(n, memo)
+}
+
+func (o *Optimizer) rewrite(n *algebra.Node, memo map[*algebra.Node]*algebra.Node) (*algebra.Node, error) {
+	if r, ok := memo[n]; ok {
+		return r, nil
+	}
+	var out *algebra.Node
+	var err error
+	switch {
+	case n.Op == algebra.OpRange && o.cfg.PushdownRange:
+		out, err = o.pushRange(n.Kids[0], n.Lo, n.Hi, memo)
+	case n.Op == algebra.OpGather && o.cfg.PushdownGather:
+		out, err = o.pushGather(n.Kids[0], n.Kids[1], memo)
+	case n.Op == algebra.OpMatMul && o.cfg.ChainReorder:
+		out, err = o.reorderChain(n, memo)
+	default:
+		out, err = o.rebuild(n, memo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	memo[n] = out
+	return out, nil
+}
+
+// rebuild rewrites children and re-interns the node.
+func (o *Optimizer) rebuild(n *algebra.Node, memo map[*algebra.Node]*algebra.Node) (*algebra.Node, error) {
+	kids := make([]*algebra.Node, len(n.Kids))
+	changed := false
+	for i, k := range n.Kids {
+		nk, err := o.rewrite(k, memo)
+		if err != nil {
+			return nil, err
+		}
+		kids[i] = nk
+		if nk != k {
+			changed = true
+		}
+	}
+	if !changed {
+		return n, nil
+	}
+	return o.clone(n, kids)
+}
+
+// clone re-creates n over new children through the graph builder (so
+// hash-consing still applies).
+func (o *Optimizer) clone(n *algebra.Node, kids []*algebra.Node) (*algebra.Node, error) {
+	switch n.Op {
+	case algebra.OpSourceVec, algebra.OpSourceMat:
+		return n, nil
+	case algebra.OpElemBinary:
+		return o.g.ElemBinary(n.BinOp, kids[0], kids[1])
+	case algebra.OpElemUnary:
+		return o.g.ElemUnary(n.Fn, kids[0])
+	case algebra.OpScalarOp:
+		return o.g.ScalarOp(n.BinOp, kids[0], n.Scalar, n.ScalarLeft)
+	case algebra.OpUpdateMask:
+		return o.g.UpdateMask(kids[0], n.BinOp, n.Scalar, n.Scalar2)
+	case algebra.OpGather:
+		return o.g.Gather(kids[0], kids[1])
+	case algebra.OpRange:
+		return o.g.Range(kids[0], n.Lo, n.Hi)
+	case algebra.OpMatMul:
+		return o.g.MatMul(kids[0], kids[1])
+	case algebra.OpReduce:
+		return o.g.Reduce(n.Fn, kids[0])
+	}
+	return n, nil
+}
+
+// pushRange rewrites take(x, lo, hi) by pushing the subscript toward the
+// sources: Figure 2(a) → 2(b).
+func (o *Optimizer) pushRange(x *algebra.Node, lo, hi int64, memo map[*algebra.Node]*algebra.Node) (*algebra.Node, error) {
+	switch x.Op {
+	case algebra.OpElemUnary:
+		k, err := o.pushRange(x.Kids[0], lo, hi, memo)
+		if err != nil {
+			return nil, err
+		}
+		return o.g.ElemUnary(x.Fn, k)
+	case algebra.OpScalarOp:
+		k, err := o.pushRange(x.Kids[0], lo, hi, memo)
+		if err != nil {
+			return nil, err
+		}
+		return o.g.ScalarOp(x.BinOp, k, x.Scalar, x.ScalarLeft)
+	case algebra.OpUpdateMask:
+		// The crux of Figure 2: the selection moves below the update, so
+		// the modification executes on hi-lo elements only.
+		k, err := o.pushRange(x.Kids[0], lo, hi, memo)
+		if err != nil {
+			return nil, err
+		}
+		return o.g.UpdateMask(k, x.BinOp, x.Scalar, x.Scalar2)
+	case algebra.OpElemBinary:
+		l, err := o.pushRange(x.Kids[0], lo, hi, memo)
+		if err != nil {
+			return nil, err
+		}
+		r, err := o.pushRange(x.Kids[1], lo, hi, memo)
+		if err != nil {
+			return nil, err
+		}
+		return o.g.ElemBinary(x.BinOp, l, r)
+	case algebra.OpRange:
+		// take(take(x, a, b), lo, hi) = take(x, a+lo, a+hi).
+		return o.pushRange(x.Kids[0], x.Lo+lo, x.Lo+hi, memo)
+	default:
+		// Source (or a barrier like gather/matmul): optimize below, then
+		// subscript the result.
+		nx, err := o.rewrite(x, memo)
+		if err != nil {
+			return nil, err
+		}
+		return o.g.Range(nx, lo, hi)
+	}
+}
+
+// pushGather rewrites x[s] by pushing the gather toward the sources, so
+// only the selected elements are ever computed (Example 1's deferred and
+// selective evaluation).
+func (o *Optimizer) pushGather(x, idx *algebra.Node, memo map[*algebra.Node]*algebra.Node) (*algebra.Node, error) {
+	nidx, err := o.rewrite(idx, memo)
+	if err != nil {
+		return nil, err
+	}
+	return o.pushGatherIdx(x, nidx, memo)
+}
+
+func (o *Optimizer) pushGatherIdx(x, idx *algebra.Node, memo map[*algebra.Node]*algebra.Node) (*algebra.Node, error) {
+	switch x.Op {
+	case algebra.OpElemUnary:
+		k, err := o.pushGatherIdx(x.Kids[0], idx, memo)
+		if err != nil {
+			return nil, err
+		}
+		return o.g.ElemUnary(x.Fn, k)
+	case algebra.OpScalarOp:
+		k, err := o.pushGatherIdx(x.Kids[0], idx, memo)
+		if err != nil {
+			return nil, err
+		}
+		return o.g.ScalarOp(x.BinOp, k, x.Scalar, x.ScalarLeft)
+	case algebra.OpUpdateMask:
+		k, err := o.pushGatherIdx(x.Kids[0], idx, memo)
+		if err != nil {
+			return nil, err
+		}
+		return o.g.UpdateMask(k, x.BinOp, x.Scalar, x.Scalar2)
+	case algebra.OpElemBinary:
+		l, err := o.pushGatherIdx(x.Kids[0], idx, memo)
+		if err != nil {
+			return nil, err
+		}
+		r, err := o.pushGatherIdx(x.Kids[1], idx, memo)
+		if err != nil {
+			return nil, err
+		}
+		return o.g.ElemBinary(x.BinOp, l, r)
+	default:
+		nx, err := o.rewrite(x, memo)
+		if err != nil {
+			return nil, err
+		}
+		return o.g.Gather(nx, idx)
+	}
+}
+
+// reorderChain flattens a tree of MatMul nodes into a chain and rebuilds
+// it in the order the DP of §5 picks.
+func (o *Optimizer) reorderChain(n *algebra.Node, memo map[*algebra.Node]*algebra.Node) (*algebra.Node, error) {
+	leaves := flattenChain(n)
+	if len(leaves) < 3 {
+		return o.rebuild(n, memo)
+	}
+	// Optimize the leaves themselves first.
+	opt := make([]*algebra.Node, len(leaves))
+	for i, l := range leaves {
+		nl, err := o.rewrite(l, memo)
+		if err != nil {
+			return nil, err
+		}
+		opt[i] = nl
+	}
+	dims := make([]float64, len(opt)+1)
+	dims[0] = float64(opt[0].Shape.Rows)
+	for i, l := range opt {
+		dims[i+1] = float64(l.Shape.Cols)
+	}
+	tree := costmodel.OptOrder(dims)
+	return o.buildTree(tree, opt)
+}
+
+func (o *Optimizer) buildTree(t *costmodel.Tree, leaves []*algebra.Node) (*algebra.Node, error) {
+	if t.IsLeaf() {
+		return leaves[t.Leaf], nil
+	}
+	l, err := o.buildTree(t.L, leaves)
+	if err != nil {
+		return nil, err
+	}
+	r, err := o.buildTree(t.R, leaves)
+	if err != nil {
+		return nil, err
+	}
+	return o.g.MatMul(l, r)
+}
+
+// flattenChain returns the in-order leaves of a maximal MatMul tree.
+func flattenChain(n *algebra.Node) []*algebra.Node {
+	if n.Op != algebra.OpMatMul {
+		return []*algebra.Node{n}
+	}
+	return append(flattenChain(n.Kids[0]), flattenChain(n.Kids[1])...)
+}

@@ -1,0 +1,187 @@
+package opt
+
+import (
+	"testing"
+
+	"riot/internal/algebra"
+	"riot/internal/array"
+	"riot/internal/buffer"
+	"riot/internal/disk"
+)
+
+func vec(t *testing.T, pool *buffer.Pool, name string, n int64) *array.Vector {
+	t.Helper()
+	v, err := array.NewVector(pool, name, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func mat(t *testing.T, pool *buffer.Pool, name string, r, c int64) *array.Matrix {
+	t.Helper()
+	m, err := array.NewMatrix(pool, name, r, c, array.Options{Shape: array.SquareTiles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRangePushesThroughElementwise(t *testing.T) {
+	pool := buffer.New(disk.NewDevice(16), 8)
+	g := algebra.NewGraph()
+	x := g.SourceVec(vec(t, pool, "x", 1000))
+	a, _ := g.ScalarOp("^", x, 2, false)
+	u, _ := g.UpdateMask(a, ">", 100, 100)
+	r, _ := g.Range(u, 0, 10)
+	root, err := New(g, DefaultConfig()).Optimize(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected: update(scalar^2(range(x))) — range at the bottom.
+	if root.Op != algebra.OpUpdateMask {
+		t.Fatalf("root is %s, want update", root.Op)
+	}
+	inner := root.Kids[0]
+	if inner.Op != algebra.OpScalarOp {
+		t.Fatalf("inner is %s, want scalar op", inner.Op)
+	}
+	leaf := inner.Kids[0]
+	if leaf.Op != algebra.OpRange || leaf.Kids[0].Op != algebra.OpSourceVec {
+		t.Fatalf("range not pushed to source: %s", root)
+	}
+	if root.Shape.Rows != 10 {
+		t.Fatalf("shape %v after pushdown", root.Shape)
+	}
+}
+
+func TestGatherPushesThroughBinary(t *testing.T) {
+	pool := buffer.New(disk.NewDevice(16), 8)
+	g := algebra.NewGraph()
+	x := g.SourceVec(vec(t, pool, "x", 1000))
+	y := g.SourceVec(vec(t, pool, "y", 1000))
+	sum, _ := g.ElemBinary("+", x, y)
+	idx := g.SourceVec(vec(t, pool, "s", 5))
+	gt, _ := g.Gather(sum, idx)
+	root, err := New(g, DefaultConfig()).Optimize(gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Op != algebra.OpElemBinary {
+		t.Fatalf("root %s, want binary over gathers", root.Op)
+	}
+	for _, k := range root.Kids {
+		if k.Op != algebra.OpGather || k.Kids[0].Op != algebra.OpSourceVec {
+			t.Fatalf("gather not pushed to sources: %s", root)
+		}
+	}
+}
+
+func TestPushdownDisabled(t *testing.T) {
+	pool := buffer.New(disk.NewDevice(16), 8)
+	g := algebra.NewGraph()
+	x := g.SourceVec(vec(t, pool, "x", 100))
+	a, _ := g.ScalarOp("+", x, 1, false)
+	r, _ := g.Range(a, 0, 10)
+	cfg := DefaultConfig()
+	cfg.PushdownRange = false
+	root, err := New(g, cfg).Optimize(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Op != algebra.OpRange {
+		t.Fatalf("range moved despite disabled rule: %s", root)
+	}
+}
+
+func TestChainReorderPicksDPOrder(t *testing.T) {
+	pool := buffer.New(disk.NewDevice(16), 64)
+	g := algebra.NewGraph()
+	// Skewed: (A·B)·C is 100·10·100 + 100·100·100 mults; A·(B·C) is
+	// 10·100·100 + 100·10·100 — the DP must choose the latter.
+	a := g.SourceMat(mat(t, pool, "a", 100, 10))
+	b := g.SourceMat(mat(t, pool, "b", 10, 100))
+	c := g.SourceMat(mat(t, pool, "c", 100, 100))
+	ab, _ := g.MatMul(a, b)
+	abc, _ := g.MatMul(ab, c)
+	root, err := New(g, DefaultConfig()).Optimize(abc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Kids[0] != a || root.Kids[1].Op != algebra.OpMatMul {
+		t.Fatalf("chain not reordered to A(BC): %s", root)
+	}
+	if root.Shape.Rows != 100 || root.Shape.Cols != 100 {
+		t.Fatalf("reordered shape %v", root.Shape)
+	}
+}
+
+func TestChainReorderDisabled(t *testing.T) {
+	pool := buffer.New(disk.NewDevice(16), 64)
+	g := algebra.NewGraph()
+	a := g.SourceMat(mat(t, pool, "a", 100, 10))
+	b := g.SourceMat(mat(t, pool, "b", 10, 100))
+	c := g.SourceMat(mat(t, pool, "c", 100, 100))
+	ab, _ := g.MatMul(a, b)
+	abc, _ := g.MatMul(ab, c)
+	cfg := DefaultConfig()
+	cfg.ChainReorder = false
+	root, err := New(g, cfg).Optimize(abc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Kids[0].Op != algebra.OpMatMul {
+		t.Fatalf("chain reordered despite disabled rule: %s", root)
+	}
+}
+
+func TestTwoMatrixChainUntouched(t *testing.T) {
+	pool := buffer.New(disk.NewDevice(16), 64)
+	g := algebra.NewGraph()
+	a := g.SourceMat(mat(t, pool, "a", 10, 10))
+	b := g.SourceMat(mat(t, pool, "b", 10, 10))
+	ab, _ := g.MatMul(a, b)
+	root, err := New(g, DefaultConfig()).Optimize(ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != ab {
+		t.Fatalf("two-matrix product rewritten: %s", root)
+	}
+}
+
+func TestSharingPreservedAcrossRewrite(t *testing.T) {
+	pool := buffer.New(disk.NewDevice(16), 8)
+	g := algebra.NewGraph()
+	x := g.SourceVec(vec(t, pool, "x", 100))
+	shared, _ := g.ScalarOp("+", x, 1, false)
+	l, _ := g.ElemUnary("sqrt", shared)
+	r, _ := g.ScalarOp("*", shared, 2, false)
+	both, _ := g.ElemBinary("+", l, r)
+	root, err := New(g, DefaultConfig()).Optimize(both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shared node must still be shared after the (identity) rewrite.
+	if root.Kids[0].Kids[0] != root.Kids[1].Kids[0] {
+		t.Fatal("sharing lost across rewrite")
+	}
+}
+
+func TestRangeOverGatherBarrier(t *testing.T) {
+	// Range over gather: the gather is a barrier, the range stays above
+	// it (it would reorder the selected elements otherwise).
+	pool := buffer.New(disk.NewDevice(16), 8)
+	g := algebra.NewGraph()
+	x := g.SourceVec(vec(t, pool, "x", 100))
+	idx := g.SourceVec(vec(t, pool, "s", 50))
+	gt, _ := g.Gather(x, idx)
+	r, _ := g.Range(gt, 0, 5)
+	root, err := New(g, DefaultConfig()).Optimize(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Op != algebra.OpRange || root.Kids[0].Op != algebra.OpGather {
+		t.Fatalf("range crossed a gather barrier: %s", root)
+	}
+}

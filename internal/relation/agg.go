@@ -1,0 +1,234 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+)
+
+// AggFn enumerates aggregate functions.
+type AggFn int
+
+// Aggregate functions.
+const (
+	AggSum AggFn = iota
+	AggCount
+	AggAvg
+	AggMin
+	AggMax
+)
+
+func (f AggFn) String() string {
+	switch f {
+	case AggSum:
+		return "SUM"
+	case AggCount:
+		return "COUNT"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	}
+	return fmt.Sprintf("AggFn(%d)", int(f))
+}
+
+// AggFnByName resolves an aggregate name.
+func AggFnByName(name string) (AggFn, bool) {
+	switch name {
+	case "SUM", "sum":
+		return AggSum, true
+	case "COUNT", "count":
+		return AggCount, true
+	case "AVG", "avg":
+		return AggAvg, true
+	case "MIN", "min":
+		return AggMin, true
+	case "MAX", "max":
+		return AggMax, true
+	}
+	return 0, false
+}
+
+// AggSpec is one aggregate in a GROUP BY's select list.
+type AggSpec struct {
+	Fn  AggFn
+	Arg Expr // ignored for COUNT(*), which may pass Const{1}
+}
+
+type aggState struct {
+	sum   float64
+	count int64
+	min   float64
+	max   float64
+}
+
+func newAggState() aggState {
+	return aggState{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+func (s *aggState) add(v float64) {
+	s.sum += v
+	s.count++
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+}
+
+func (s *aggState) result(fn AggFn) float64 {
+	switch fn {
+	case AggSum:
+		return s.sum
+	case AggCount:
+		return float64(s.count)
+	case AggAvg:
+		if s.count == 0 {
+			return math.NaN()
+		}
+		return s.sum / float64(s.count)
+	case AggMin:
+		return s.min
+	case AggMax:
+		return s.max
+	}
+	panic(fmt.Sprintf("relation: unknown aggregate %d", fn))
+}
+
+// SortedGroupAgg aggregates an input that is already sorted on the group
+// columns, emitting one tuple per group: group values followed by
+// aggregate results. Combined with Sort this is the classic sort-group
+// plan the paper's RIOT-DB matrix multiply bottoms out in.
+type SortedGroupAgg struct {
+	Input     Iterator
+	GroupCols []int
+	Aggs      []AggSpec
+
+	cur    Tuple // pending input row not yet consumed
+	curOK  bool
+	done   bool
+	out    Tuple
+	opened bool
+}
+
+// Open opens the input and primes the first row.
+func (g *SortedGroupAgg) Open() error {
+	if err := g.Input.Open(); err != nil {
+		return err
+	}
+	g.done = false
+	g.out = make(Tuple, len(g.GroupCols)+len(g.Aggs))
+	t, ok, err := g.Input.Next()
+	if err != nil {
+		return err
+	}
+	g.curOK = ok
+	if ok {
+		g.cur = make(Tuple, len(t))
+		copy(g.cur, t)
+	}
+	g.opened = true
+	return nil
+}
+
+// Next returns the aggregate row for the next group.
+func (g *SortedGroupAgg) Next() (Tuple, bool, error) {
+	if !g.curOK || g.done {
+		return nil, false, nil
+	}
+	states := make([]aggState, len(g.Aggs))
+	for i := range states {
+		states[i] = newAggState()
+	}
+	for i, c := range g.GroupCols {
+		g.out[i] = g.cur[c]
+	}
+	for {
+		for i, a := range g.Aggs {
+			states[i].add(a.Arg.Eval(g.cur))
+		}
+		t, ok, err := g.Input.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			g.curOK = false
+			break
+		}
+		same := true
+		for _, c := range g.GroupCols {
+			if t[c] != g.out[indexOf(g.GroupCols, c)] {
+				same = false
+				break
+			}
+		}
+		copy(g.cur, t)
+		if !same {
+			break
+		}
+	}
+	for i, a := range g.Aggs {
+		g.out[len(g.GroupCols)+i] = states[i].result(a.Fn)
+	}
+	return g.out, true, nil
+}
+
+func indexOf(cols []int, c int) int {
+	for i, x := range cols {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// Close closes the input.
+func (g *SortedGroupAgg) Close() error { return g.Input.Close() }
+
+// ScalarAgg aggregates the whole input into a single tuple (one column
+// per aggregate), for queries like SELECT SUM(V) FROM T.
+type ScalarAgg struct {
+	Input Iterator
+	Aggs  []AggSpec
+	done  bool
+}
+
+// Open opens the input.
+func (g *ScalarAgg) Open() error {
+	g.done = false
+	return g.Input.Open()
+}
+
+// Next computes all aggregates in one pass.
+func (g *ScalarAgg) Next() (Tuple, bool, error) {
+	if g.done {
+		return nil, false, nil
+	}
+	states := make([]aggState, len(g.Aggs))
+	for i := range states {
+		states[i] = newAggState()
+	}
+	for {
+		t, ok, err := g.Input.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			break
+		}
+		for i, a := range g.Aggs {
+			states[i].add(a.Arg.Eval(t))
+		}
+	}
+	out := make(Tuple, len(g.Aggs))
+	for i, a := range g.Aggs {
+		out[i] = states[i].result(a.Fn)
+	}
+	g.done = true
+	return out, true, nil
+}
+
+// Close closes the input.
+func (g *ScalarAgg) Close() error { return g.Input.Close() }

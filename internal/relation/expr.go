@@ -1,0 +1,270 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Expr is a scalar expression over a tuple. Comparisons and logical
+// operators produce 1 (true) or 0 (false), SQL-style three-valued logic
+// being unnecessary because this engine has no NULLs.
+type Expr interface {
+	Eval(row Tuple) float64
+	String() string
+}
+
+// Col references a tuple column by position.
+type Col struct {
+	Idx  int
+	Name string
+}
+
+// Eval returns the column value.
+func (c Col) Eval(row Tuple) float64 { return row[c.Idx] }
+
+func (c Col) String() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("$%d", c.Idx)
+}
+
+// Const is a literal value.
+type Const struct{ V float64 }
+
+// Eval returns the literal.
+func (c Const) Eval(Tuple) float64 { return c.V }
+
+func (c Const) String() string { return fmt.Sprintf("%g", c.V) }
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpPow
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var binOpNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpPow: "^", OpMod: "%",
+	OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "AND", OpOr: "OR",
+}
+
+func (op BinOp) String() string { return binOpNames[op] }
+
+// Binary applies a binary operator to two subexpressions.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Eval evaluates the operation.
+func (b Binary) Eval(row Tuple) float64 {
+	l := b.L.Eval(row)
+	// Short-circuit logical operators.
+	switch b.Op {
+	case OpAnd:
+		if l == 0 {
+			return 0
+		}
+		return b1(b.R.Eval(row) != 0)
+	case OpOr:
+		if l != 0 {
+			return 1
+		}
+		return b1(b.R.Eval(row) != 0)
+	}
+	r := b.R.Eval(row)
+	switch b.Op {
+	case OpAdd:
+		return l + r
+	case OpSub:
+		return l - r
+	case OpMul:
+		return l * r
+	case OpDiv:
+		return l / r
+	case OpPow:
+		return math.Pow(l, r)
+	case OpMod:
+		return math.Mod(l, r)
+	case OpEq:
+		return b1(l == r)
+	case OpNe:
+		return b1(l != r)
+	case OpLt:
+		return b1(l < r)
+	case OpLe:
+		return b1(l <= r)
+	case OpGt:
+		return b1(l > r)
+	case OpGe:
+		return b1(l >= r)
+	}
+	panic(fmt.Sprintf("relation: unknown binary op %d", b.Op))
+}
+
+func (b Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+func b1(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// Neg negates its operand.
+type Neg struct{ X Expr }
+
+// Eval returns -X.
+func (n Neg) Eval(row Tuple) float64 { return -n.X.Eval(row) }
+
+func (n Neg) String() string { return fmt.Sprintf("(-%s)", n.X) }
+
+// Not logically negates its operand.
+type Not struct{ X Expr }
+
+// Eval returns 1 if X is zero, else 0.
+func (n Not) Eval(row Tuple) float64 { return b1(n.X.Eval(row) == 0) }
+
+func (n Not) String() string { return fmt.Sprintf("(NOT %s)", n.X) }
+
+// Func names a built-in scalar function.
+type Func string
+
+// Built-in scalar functions mirroring the ones RIOT-DB's SQL generator
+// emits (SQRT, POW, …).
+const (
+	FnSqrt  Func = "SQRT"
+	FnPow   Func = "POW"
+	FnAbs   Func = "ABS"
+	FnExp   Func = "EXP"
+	FnLog   Func = "LOG"
+	FnSin   Func = "SIN"
+	FnCos   Func = "COS"
+	FnFloor Func = "FLOOR"
+	FnCeil  Func = "CEIL"
+	FnMin   Func = "LEAST"
+	FnMax   Func = "GREATEST"
+)
+
+// Call applies a scalar function to its arguments.
+type Call struct {
+	Fn   Func
+	Args []Expr
+}
+
+// Eval evaluates the call.
+func (c Call) Eval(row Tuple) float64 {
+	switch c.Fn {
+	case FnSqrt:
+		return math.Sqrt(c.Args[0].Eval(row))
+	case FnPow:
+		return math.Pow(c.Args[0].Eval(row), c.Args[1].Eval(row))
+	case FnAbs:
+		return math.Abs(c.Args[0].Eval(row))
+	case FnExp:
+		return math.Exp(c.Args[0].Eval(row))
+	case FnLog:
+		return math.Log(c.Args[0].Eval(row))
+	case FnSin:
+		return math.Sin(c.Args[0].Eval(row))
+	case FnCos:
+		return math.Cos(c.Args[0].Eval(row))
+	case FnFloor:
+		return math.Floor(c.Args[0].Eval(row))
+	case FnCeil:
+		return math.Ceil(c.Args[0].Eval(row))
+	case FnMin:
+		return math.Min(c.Args[0].Eval(row), c.Args[1].Eval(row))
+	case FnMax:
+		return math.Max(c.Args[0].Eval(row), c.Args[1].Eval(row))
+	}
+	panic(fmt.Sprintf("relation: unknown function %q", c.Fn))
+}
+
+func (c Call) String() string {
+	args := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", c.Fn, strings.Join(args, ", "))
+}
+
+// KnownFunc reports whether name is a supported scalar function and how
+// many arguments it takes.
+func KnownFunc(name string) (Func, int, bool) {
+	switch Func(strings.ToUpper(name)) {
+	case FnSqrt, FnAbs, FnExp, FnLog, FnSin, FnCos, FnFloor, FnCeil:
+		return Func(strings.ToUpper(name)), 1, true
+	case FnPow, FnMin, FnMax:
+		return Func(strings.ToUpper(name)), 2, true
+	}
+	return "", 0, false
+}
+
+// RemapCols rewrites column references through idx (old position → new
+// position). It returns a new expression; the input is not modified.
+func RemapCols(e Expr, idx map[int]int) Expr {
+	switch t := e.(type) {
+	case Col:
+		if n, ok := idx[t.Idx]; ok {
+			return Col{Idx: n, Name: t.Name}
+		}
+		return t
+	case Const:
+		return t
+	case Neg:
+		return Neg{X: RemapCols(t.X, idx)}
+	case Not:
+		return Not{X: RemapCols(t.X, idx)}
+	case Binary:
+		return Binary{Op: t.Op, L: RemapCols(t.L, idx), R: RemapCols(t.R, idx)}
+	case Call:
+		args := make([]Expr, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = RemapCols(a, idx)
+		}
+		return Call{Fn: t.Fn, Args: args}
+	}
+	panic(fmt.Sprintf("relation: RemapCols of unknown expr %T", e))
+}
+
+// ColsUsed collects the column indexes referenced by e.
+func ColsUsed(e Expr, set map[int]bool) {
+	switch t := e.(type) {
+	case Col:
+		set[t.Idx] = true
+	case Const:
+	case Neg:
+		ColsUsed(t.X, set)
+	case Not:
+		ColsUsed(t.X, set)
+	case Binary:
+		ColsUsed(t.L, set)
+		ColsUsed(t.R, set)
+	case Call:
+		for _, a := range t.Args {
+			ColsUsed(a, set)
+		}
+	default:
+		panic(fmt.Sprintf("relation: ColsUsed of unknown expr %T", e))
+	}
+}

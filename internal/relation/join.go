@@ -1,0 +1,503 @@
+package relation
+
+import (
+	"encoding/binary"
+	"math"
+
+	"riot/internal/rstore"
+)
+
+// compareAcross compares a[acols] with b[bcols] lexicographically.
+func compareAcross(a Tuple, acols []int, b Tuple, bcols []int) int {
+	for i := range acols {
+		av, bv := a[acols[i]], b[bcols[i]]
+		if av < bv {
+			return -1
+		}
+		if av > bv {
+			return 1
+		}
+	}
+	return 0
+}
+
+// hashKey encodes the key columns of t into a map key.
+func hashKey(t Tuple, cols []int) string {
+	buf := make([]byte, 8*len(cols))
+	for i, c := range cols {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(t[c]))
+	}
+	return string(buf)
+}
+
+// MergeJoin equijoins two inputs already sorted on their join columns
+// (composite keys compared lexicographically). When RIOT-DB joins two
+// vectors on their index columns — the SQL its elementwise operators
+// generate — both sides arrive clustered by I, and the join is a single
+// synchronized pass with no working memory: this is the pipelined plan
+// behind RIOT-DB/MatNamed's "single pass over x and y" (§4.1).
+type MergeJoin struct {
+	Left, Right         Iterator
+	LeftCols, RightCols []int
+
+	lrow, rrow Tuple
+	lok, rok   bool
+	group      []Tuple // buffered right group with equal key
+	gpos       int
+	gkey       Tuple // left-side image of the group key (by LeftCols order)
+	inGroup    bool
+	out        Tuple
+	started    bool
+}
+
+// Open opens both inputs.
+func (j *MergeJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	j.started = false
+	j.inGroup = false
+	j.group = nil
+	return nil
+}
+
+func (j *MergeJoin) advanceLeft() error {
+	t, ok, err := j.Left.Next()
+	if err != nil {
+		return err
+	}
+	j.lok = ok
+	if ok {
+		if j.lrow == nil {
+			j.lrow = make(Tuple, len(t))
+		}
+		copy(j.lrow, t)
+	}
+	return nil
+}
+
+func (j *MergeJoin) advanceRight() error {
+	t, ok, err := j.Right.Next()
+	if err != nil {
+		return err
+	}
+	j.rok = ok
+	if ok {
+		if j.rrow == nil {
+			j.rrow = make(Tuple, len(t))
+		}
+		copy(j.rrow, t)
+	}
+	return nil
+}
+
+// leftMatchesGroup reports whether the current left row has the group key.
+func (j *MergeJoin) leftMatchesGroup() bool {
+	for i, c := range j.LeftCols {
+		if j.lrow[c] != j.gkey[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Next produces the next joined tuple (left columns then right columns).
+func (j *MergeJoin) Next() (Tuple, bool, error) {
+	if !j.started {
+		j.started = true
+		if err := j.advanceLeft(); err != nil {
+			return nil, false, err
+		}
+		if err := j.advanceRight(); err != nil {
+			return nil, false, err
+		}
+	}
+	for {
+		if j.inGroup && j.lok && j.leftMatchesGroup() {
+			if j.gpos < len(j.group) {
+				r := j.group[j.gpos]
+				j.gpos++
+				return j.emit(j.lrow, r), true, nil
+			}
+			if err := j.advanceLeft(); err != nil {
+				return nil, false, err
+			}
+			j.gpos = 0
+			continue
+		}
+		j.inGroup = false
+		if !j.lok || !j.rok {
+			return nil, false, nil
+		}
+		switch cmp := compareAcross(j.lrow, j.LeftCols, j.rrow, j.RightCols); {
+		case cmp < 0:
+			if err := j.advanceLeft(); err != nil {
+				return nil, false, err
+			}
+		case cmp > 0:
+			if err := j.advanceRight(); err != nil {
+				return nil, false, err
+			}
+		default:
+			// Buffer the right group sharing this key.
+			if j.gkey == nil {
+				j.gkey = make(Tuple, len(j.LeftCols))
+			}
+			for i, c := range j.LeftCols {
+				j.gkey[i] = j.lrow[c]
+			}
+			j.group = j.group[:0]
+			for j.rok && compareAcross(j.lrow, j.LeftCols, j.rrow, j.RightCols) == 0 {
+				cp := make(Tuple, len(j.rrow))
+				copy(cp, j.rrow)
+				j.group = append(j.group, cp)
+				if err := j.advanceRight(); err != nil {
+					return nil, false, err
+				}
+			}
+			j.gpos = 0
+			j.inGroup = true
+		}
+	}
+}
+
+func (j *MergeJoin) emit(l, r Tuple) Tuple {
+	if j.out == nil {
+		j.out = make(Tuple, len(l)+len(r))
+	}
+	copy(j.out, l)
+	copy(j.out[len(l):], r)
+	return j.out
+}
+
+// Close closes both inputs.
+func (j *MergeJoin) Close() error {
+	err1 := j.Left.Close()
+	err2 := j.Right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// HashJoin equijoins by building a hash table on the right input. If the
+// build side exceeds the working-memory budget it degrades to a Grace
+// hash join: both inputs are hash-partitioned to temporary files and each
+// partition pair is joined in memory. Output is left ++ right.
+type HashJoin struct {
+	Left, Right         Iterator
+	LeftCols, RightCols []int
+	LeftArity           int
+	RightArity          int
+	Ctx                 *Context
+
+	table    map[string][]Tuple
+	lrow     Tuple
+	matches  []Tuple
+	mpos     int
+	out      Tuple
+	lparts   []*rstore.HeapFile
+	rparts   []*rstore.HeapFile
+	curPart  int
+	lcur     *rstore.Cursor
+	spilling bool
+}
+
+const hashPartitions = 16
+
+// Open builds the hash table (or partitions on overflow).
+func (j *HashJoin) Open() error {
+	j.table = make(map[string][]Tuple)
+	j.matches = nil
+	j.mpos = 0
+	j.spilling = false
+	j.curPart = 0
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	budgetRows := j.Ctx.WorkMem / int64(j.RightArity)
+	if budgetRows < 16 {
+		budgetRows = 16
+	}
+	var rows int64
+	for {
+		t, ok, err := j.Right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		cp := make(Tuple, len(t))
+		copy(cp, t)
+		k := hashKey(cp, j.RightCols)
+		j.table[k] = append(j.table[k], cp)
+		rows++
+		if rows > budgetRows {
+			if err := j.spill(); err != nil {
+				return err
+			}
+			break
+		}
+	}
+	if err := j.Right.Close(); err != nil {
+		return err
+	}
+	if j.spilling {
+		return j.partitionLeft()
+	}
+	return j.Left.Open()
+}
+
+// spill switches to Grace mode: dump the in-memory table and the rest of
+// the right input into hash partitions.
+func (j *HashJoin) spill() error {
+	j.spilling = true
+	j.rparts = make([]*rstore.HeapFile, hashPartitions)
+	for i := range j.rparts {
+		h, err := rstore.NewHeapFile(j.Ctx.Pool, j.Ctx.TempName("hjR"), j.RightArity)
+		if err != nil {
+			return err
+		}
+		j.rparts[i] = h
+	}
+	for _, bucket := range j.table {
+		for _, t := range bucket {
+			if _, err := j.rparts[partOf(t, j.RightCols)].Append(t); err != nil {
+				return err
+			}
+		}
+	}
+	j.table = nil
+	for {
+		t, ok, err := j.Right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if _, err := j.rparts[partOf(t, j.RightCols)].Append(t); err != nil {
+			return err
+		}
+	}
+	for _, h := range j.rparts {
+		if err := h.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (j *HashJoin) partitionLeft() error {
+	j.lparts = make([]*rstore.HeapFile, hashPartitions)
+	for i := range j.lparts {
+		h, err := rstore.NewHeapFile(j.Ctx.Pool, j.Ctx.TempName("hjL"), j.LeftArity)
+		if err != nil {
+			return err
+		}
+		j.lparts[i] = h
+	}
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	defer j.Left.Close()
+	for {
+		t, ok, err := j.Left.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if _, err := j.lparts[partOf(t, j.LeftCols)].Append(t); err != nil {
+			return err
+		}
+	}
+	for _, h := range j.lparts {
+		if err := h.Flush(); err != nil {
+			return err
+		}
+	}
+	j.curPart = -1
+	return j.nextPartition()
+}
+
+// nextPartition loads the hash table for the next partition pair.
+func (j *HashJoin) nextPartition() error {
+	for {
+		j.curPart++
+		if j.curPart >= hashPartitions {
+			j.lcur = nil
+			return nil
+		}
+		if j.lparts[j.curPart].NumRecords() == 0 {
+			continue
+		}
+		j.table = make(map[string][]Tuple)
+		cur := j.rparts[j.curPart].NewCursor()
+		for {
+			t, ok, err := cur.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			cp := make(Tuple, len(t))
+			copy(cp, t)
+			k := hashKey(cp, j.RightCols)
+			j.table[k] = append(j.table[k], cp)
+		}
+		j.lcur = j.lparts[j.curPart].NewCursor()
+		return nil
+	}
+}
+
+func partOf(t Tuple, cols []int) int {
+	var h uint64 = 14695981039346656037 // FNV offset basis
+	for _, c := range cols {
+		b := math.Float64bits(t[c])
+		for i := 0; i < 8; i++ {
+			h ^= b & 0xff
+			h *= 1099511628211
+			b >>= 8
+		}
+	}
+	return int(h % hashPartitions)
+}
+
+// Next returns the next joined tuple.
+func (j *HashJoin) Next() (Tuple, bool, error) {
+	for {
+		if j.mpos < len(j.matches) {
+			r := j.matches[j.mpos]
+			j.mpos++
+			return j.emit(j.lrow, r), true, nil
+		}
+		var t Tuple
+		var ok bool
+		var err error
+		if j.spilling {
+			if j.lcur == nil {
+				return nil, false, nil
+			}
+			t, ok, err = j.lcur.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				if err := j.nextPartition(); err != nil {
+					return nil, false, err
+				}
+				if j.lcur == nil {
+					return nil, false, nil
+				}
+				continue
+			}
+		} else {
+			t, ok, err = j.Left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+		}
+		if j.lrow == nil {
+			j.lrow = make(Tuple, len(t))
+		}
+		copy(j.lrow, t)
+		j.matches = j.table[hashKey(t, j.LeftCols)]
+		j.mpos = 0
+	}
+}
+
+func (j *HashJoin) emit(l, r Tuple) Tuple {
+	if j.out == nil {
+		j.out = make(Tuple, len(l)+len(r))
+	}
+	copy(j.out, l)
+	copy(j.out[len(l):], r)
+	return j.out
+}
+
+// Close releases inputs and spill files.
+func (j *HashJoin) Close() error {
+	var first error
+	if !j.spilling {
+		first = j.Left.Close()
+	}
+	for _, h := range j.lparts {
+		if h != nil {
+			h.Free()
+		}
+	}
+	for _, h := range j.rparts {
+		if h != nil {
+			h.Free()
+		}
+	}
+	j.lparts, j.rparts, j.table = nil, nil, nil
+	return first
+}
+
+// IndexedTable pairs a heap file with a B+tree primary index, the
+// MyISAM-style "data file + index file" unit RIOT-DB tables are made of.
+type IndexedTable struct {
+	Heap  *rstore.HeapFile
+	Index *rstore.BTree
+}
+
+// INLJoin is an index-nested-loop join: for each outer tuple it probes
+// the inner table's primary index. This is the plan a "reasonable
+// database query optimizer" picks for RIOT-DB's selective queries — the
+// 100-element sample probing two 2^23-element vectors (§4.1).
+type INLJoin struct {
+	Outer     Iterator
+	Inner     *IndexedTable
+	OuterCols []int // outer columns forming the probe key
+
+	key []float64
+	out Tuple
+}
+
+// Open opens the outer input.
+func (j *INLJoin) Open() error {
+	j.key = make([]float64, len(j.OuterCols))
+	return j.Outer.Open()
+}
+
+// Next probes the inner index with the next outer tuple. Outer tuples
+// with no match are dropped (inner join).
+func (j *INLJoin) Next() (Tuple, bool, error) {
+	for {
+		t, ok, err := j.Outer.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		for i, c := range j.OuterCols {
+			j.key[i] = t[c]
+		}
+		rid, found, err := j.Inner.Index.Probe(j.key)
+		if err != nil {
+			return nil, false, err
+		}
+		if !found {
+			continue
+		}
+		inner, err := j.Inner.Heap.Get(rid)
+		if err != nil {
+			return nil, false, err
+		}
+		if j.out == nil {
+			j.out = make(Tuple, len(t)+len(inner))
+		}
+		copy(j.out, t)
+		copy(j.out[len(t):], inner)
+		return j.out, true, nil
+	}
+}
+
+// Close closes the outer input.
+func (j *INLJoin) Close() error { return j.Outer.Close() }

@@ -1,0 +1,547 @@
+package relation
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"riot/internal/buffer"
+	"riot/internal/disk"
+	"riot/internal/rstore"
+)
+
+func ctx(blockElems, frames int, workMem int64) *Context {
+	dev := disk.NewDevice(blockElems)
+	pool := buffer.New(dev, frames)
+	return NewContext(pool, workMem)
+}
+
+func loadHeap(t *testing.T, c *Context, name string, rows []Tuple) *rstore.HeapFile {
+	t.Helper()
+	if len(rows) == 0 {
+		t.Fatal("loadHeap: empty input")
+	}
+	h, err := rstore.NewHeapFile(c.Pool, name, len(rows[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if _, err := h.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func vecRows(n int, f func(i int) float64) []Tuple {
+	rows := make([]Tuple, n)
+	for i := range rows {
+		rows[i] = Tuple{float64(i), f(i)}
+	}
+	return rows
+}
+
+func TestSeqScanFilterProject(t *testing.T) {
+	c := ctx(16, 4, 0)
+	h := loadHeap(t, c, "x", vecRows(100, func(i int) float64 { return float64(i * i) }))
+	var it Iterator = NewSeqScan(h)
+	it = &Filter{Input: it, Pred: Binary{Op: OpGt, L: Col{Idx: 1}, R: Const{V: 9000}}}
+	it = &Project{Input: it, Exprs: []Expr{Col{Idx: 0}, Call{Fn: FnSqrt, Args: []Expr{Col{Idx: 1}}}}}
+	rows, err := Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// i*i > 9000 for i >= 95.
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(rows))
+	}
+	if rows[0][0] != 95 || rows[0][1] != 95 {
+		t.Fatalf("rows[0]=%v", rows[0])
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	row := Tuple{3, 4}
+	cases := []struct {
+		e    Expr
+		want float64
+	}{
+		{Binary{Op: OpAdd, L: Col{Idx: 0}, R: Col{Idx: 1}}, 7},
+		{Binary{Op: OpSub, L: Col{Idx: 0}, R: Col{Idx: 1}}, -1},
+		{Binary{Op: OpMul, L: Col{Idx: 0}, R: Col{Idx: 1}}, 12},
+		{Binary{Op: OpDiv, L: Col{Idx: 1}, R: Const{2}}, 2},
+		{Binary{Op: OpPow, L: Col{Idx: 0}, R: Const{2}}, 9},
+		{Binary{Op: OpMod, L: Const{7}, R: Const{3}}, 1},
+		{Binary{Op: OpLt, L: Col{Idx: 0}, R: Col{Idx: 1}}, 1},
+		{Binary{Op: OpGe, L: Col{Idx: 0}, R: Col{Idx: 1}}, 0},
+		{Binary{Op: OpEq, L: Col{Idx: 0}, R: Const{3}}, 1},
+		{Binary{Op: OpNe, L: Col{Idx: 0}, R: Const{3}}, 0},
+		{Binary{Op: OpAnd, L: Const{1}, R: Const{0}}, 0},
+		{Binary{Op: OpOr, L: Const{0}, R: Const{2}}, 1},
+		{Not{Const{0}}, 1},
+		{Neg{Col{Idx: 0}}, -3},
+		{Call{Fn: FnSqrt, Args: []Expr{Const{16}}}, 4},
+		{Call{Fn: FnPow, Args: []Expr{Const{2}, Const{10}}}, 1024},
+		{Call{Fn: FnAbs, Args: []Expr{Const{-5}}}, 5},
+		{Call{Fn: FnMin, Args: []Expr{Const{2}, Const{-1}}}, -1},
+		{Call{Fn: FnMax, Args: []Expr{Const{2}, Const{-1}}}, 2},
+	}
+	for _, tc := range cases {
+		if got := tc.e.Eval(row); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.e, got, tc.want)
+		}
+	}
+}
+
+func TestExprShortCircuit(t *testing.T) {
+	// The right side of AND/OR must not be evaluated when unnecessary;
+	// division by zero would produce Inf which we can detect.
+	e := Binary{Op: OpAnd, L: Const{0}, R: Binary{Op: OpDiv, L: Const{1}, R: Const{0}}}
+	if got := e.Eval(nil); got != 0 {
+		t.Fatalf("AND: got %v", got)
+	}
+}
+
+func TestRemapColsAndColsUsed(t *testing.T) {
+	e := Binary{Op: OpAdd, L: Col{Idx: 0}, R: Call{Fn: FnSqrt, Args: []Expr{Col{Idx: 2}}}}
+	r := RemapCols(e, map[int]int{0: 5, 2: 7})
+	used := map[int]bool{}
+	ColsUsed(r, used)
+	if !used[5] || !used[7] || len(used) != 2 {
+		t.Fatalf("used=%v", used)
+	}
+	if got := r.Eval(Tuple{0, 0, 0, 0, 0, 3, 0, 16}); got != 7 {
+		t.Fatalf("remapped eval=%v, want 7", got)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	it := &Limit{Input: NewSliceIter(vecRows(10, func(i int) float64 { return 0 })), N: 3}
+	rows, err := Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("limit returned %d rows", len(rows))
+	}
+}
+
+func TestSortInMemory(t *testing.T) {
+	c := ctx(16, 4, 1<<20)
+	rows := []Tuple{{3, 1}, {1, 2}, {2, 3}}
+	s := &Sort{Input: NewSliceIter(rows), Arity: 2, Cols: []int{0}, Ctx: c}
+	got, err := Drain(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][0] != 1 || got[1][0] != 2 || got[2][0] != 3 {
+		t.Fatalf("sorted=%v", got)
+	}
+	// No spill expected: budget is huge.
+	if c.Pool.Device().Stats().BlocksWritten != 0 {
+		t.Fatal("in-memory sort wrote to disk")
+	}
+}
+
+func TestSortExternalSpills(t *testing.T) {
+	c := ctx(16, 8, 64) // tiny budget: 32 rows of arity 2
+	n := 2000
+	rows := make([]Tuple, n)
+	for i := range rows {
+		rows[i] = Tuple{float64((i * 7919) % n), float64(i)}
+	}
+	s := &Sort{Input: NewSliceIter(rows), Arity: 2, Cols: []int{0}, Ctx: c}
+	got, err := Drain(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("sorted %d rows, want %d", len(got), n)
+	}
+	for i := 1; i < n; i++ {
+		if got[i][0] < got[i-1][0] {
+			t.Fatalf("out of order at %d: %v < %v", i, got[i][0], got[i-1][0])
+		}
+	}
+	if c.Pool.Device().Stats().BlocksWritten == 0 {
+		t.Fatal("external sort did not spill despite tiny budget")
+	}
+	// Temp runs must be freed after Close (Drain closes).
+	for _, owner := range c.Pool.Device().Owners() {
+		t.Fatalf("leaked temp file %q", owner)
+	}
+}
+
+func TestSortStabilityAndDuplicates(t *testing.T) {
+	c := ctx(16, 8, 1<<20)
+	rows := []Tuple{{1, 10}, {1, 20}, {0, 30}, {1, 40}}
+	s := &Sort{Input: NewSliceIter(rows), Arity: 2, Cols: []int{0}, Ctx: c}
+	got, err := Drain(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][1] != 30 || got[1][1] != 10 || got[2][1] != 20 || got[3][1] != 40 {
+		t.Fatalf("stability violated: %v", got)
+	}
+}
+
+// Property: external sort output equals sort.Slice on the same data for
+// any input and any (tiny) memory budget.
+func TestSortMatchesModelProperty(t *testing.T) {
+	f := func(vals []uint16, budget uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		c := ctx(16, 8, int64(budget%100)+8)
+		rows := make([]Tuple, len(vals))
+		model := make([]float64, len(vals))
+		for i, v := range vals {
+			rows[i] = Tuple{float64(v % 97), float64(i)}
+			model[i] = float64(v % 97)
+		}
+		s := &Sort{Input: NewSliceIter(rows), Arity: 2, Cols: []int{0}, Ctx: c}
+		got, err := Drain(s)
+		if err != nil || len(got) != len(model) {
+			return false
+		}
+		sort.Float64s(model)
+		for i := range model {
+			if got[i][0] != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeJoinOneToOne(t *testing.T) {
+	left := vecRows(50, func(i int) float64 { return float64(i) })
+	right := vecRows(50, func(i int) float64 { return float64(i * 2) })
+	j := &MergeJoin{
+		Left: NewSliceIter(left), Right: NewSliceIter(right),
+		LeftCols: []int{0}, RightCols: []int{0},
+	}
+	rows, err := Drain(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 50 {
+		t.Fatalf("joined %d rows, want 50", len(rows))
+	}
+	for _, r := range rows {
+		if r[0] != r[2] || r[3] != 2*r[0] {
+			t.Fatalf("bad join row %v", r)
+		}
+	}
+}
+
+func TestMergeJoinManyToMany(t *testing.T) {
+	left := []Tuple{{1, 0}, {1, 1}, {2, 2}, {4, 3}}
+	right := []Tuple{{1, 10}, {1, 11}, {3, 12}, {4, 13}}
+	j := &MergeJoin{Left: NewSliceIter(left), Right: NewSliceIter(right), LeftCols: []int{0}, RightCols: []int{0}}
+	rows, err := Drain(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// key 1: 2x2=4 matches; key 4: 1. Total 5.
+	if len(rows) != 5 {
+		t.Fatalf("joined %d rows, want 5: %v", len(rows), rows)
+	}
+}
+
+func TestMergeJoinDisjointKeys(t *testing.T) {
+	left := []Tuple{{1, 0}, {3, 1}}
+	right := []Tuple{{2, 0}, {4, 1}}
+	j := &MergeJoin{Left: NewSliceIter(left), Right: NewSliceIter(right), LeftCols: []int{0}, RightCols: []int{0}}
+	rows, err := Drain(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("joined %d rows, want 0", len(rows))
+	}
+}
+
+func TestHashJoinInMemory(t *testing.T) {
+	c := ctx(16, 8, 1<<20)
+	left := vecRows(100, func(i int) float64 { return float64(i) })
+	right := vecRows(100, func(i int) float64 { return float64(i * 3) })
+	j := &HashJoin{
+		Left: NewSliceIter(left), Right: NewSliceIter(right),
+		LeftCols: []int{0}, RightCols: []int{0}, LeftArity: 2, RightArity: 2, Ctx: c,
+	}
+	rows, err := Drain(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 100 {
+		t.Fatalf("joined %d rows", len(rows))
+	}
+	if c.Pool.Device().Stats().BlocksWritten != 0 {
+		t.Fatal("in-memory hash join spilled")
+	}
+}
+
+func TestHashJoinGraceSpill(t *testing.T) {
+	c := ctx(16, 8, 64) // force spill
+	n := 3000
+	left := vecRows(n, func(i int) float64 { return float64(i) })
+	right := vecRows(n, func(i int) float64 { return float64(i * 3) })
+	j := &HashJoin{
+		Left: NewSliceIter(left), Right: NewSliceIter(right),
+		LeftCols: []int{0}, RightCols: []int{0}, LeftArity: 2, RightArity: 2, Ctx: c,
+	}
+	rows, err := Drain(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != n {
+		t.Fatalf("joined %d rows, want %d", len(rows), n)
+	}
+	sum := 0.0
+	for _, r := range rows {
+		if r[0] != r[2] {
+			t.Fatalf("key mismatch %v", r)
+		}
+		sum += r[3] - 3*r[1]
+	}
+	if sum != 0 {
+		t.Fatalf("payload mismatch, sum=%v", sum)
+	}
+	if c.Pool.Device().Stats().BlocksWritten == 0 {
+		t.Fatal("grace join did not write partitions")
+	}
+	for _, owner := range c.Pool.Device().Owners() {
+		t.Fatalf("leaked partition file %q", owner)
+	}
+}
+
+// Property: hash join row multiplicity equals the product of per-key
+// multiplicities, spill or not.
+func TestHashJoinMultiplicityProperty(t *testing.T) {
+	f := func(lkeys, rkeys []uint8, budget uint16) bool {
+		c := ctx(16, 8, int64(budget%256)+16)
+		var left, right []Tuple
+		lcount := map[float64]int{}
+		rcount := map[float64]int{}
+		for i, k := range lkeys {
+			v := float64(k % 8)
+			left = append(left, Tuple{v, float64(i)})
+			lcount[v]++
+		}
+		for i, k := range rkeys {
+			v := float64(k % 8)
+			right = append(right, Tuple{v, float64(i)})
+			rcount[v]++
+		}
+		want := 0
+		for k, lc := range lcount {
+			want += lc * rcount[k]
+		}
+		j := &HashJoin{Left: NewSliceIter(left), Right: NewSliceIter(right),
+			LeftCols: []int{0}, RightCols: []int{0}, LeftArity: 2, RightArity: 2, Ctx: c}
+		rows, err := Drain(j)
+		return err == nil && len(rows) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestINLJoin(t *testing.T) {
+	c := ctx(32, 8, 0)
+	// Inner table: 1000 rows keyed 0..999.
+	heap := loadHeap(t, c, "inner", vecRows(1000, func(i int) float64 { return float64(i) + 0.5 }))
+	idx, err := rstore.NewBTree(c.Pool, "inner_pk", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.BulkLoad(1000, func(i int64) ([]float64, rstore.RID) {
+		return []float64{float64(i)}, rstore.RID(i)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	outer := []Tuple{{0, 17}, {1, 999}, {2, 500}, {3, 1234}} // last probe misses
+	j := &INLJoin{
+		Outer:     NewSliceIter(outer),
+		Inner:     &IndexedTable{Heap: heap, Index: idx},
+		OuterCols: []int{1},
+	}
+	rows, err := Drain(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("joined %d rows, want 3", len(rows))
+	}
+	if rows[0][3] != 17.5 || rows[1][3] != 999.5 || rows[2][3] != 500.5 {
+		t.Fatalf("rows=%v", rows)
+	}
+}
+
+func TestINLJoinIsSelective(t *testing.T) {
+	// Probing 10 of 100000 rows must touch far fewer blocks than a scan.
+	c := ctx(128, 32, 0)
+	n := 100000
+	heap := loadHeap(t, c, "inner", vecRows(n, func(i int) float64 { return float64(i) }))
+	idx, _ := rstore.NewBTree(c.Pool, "pk", 1)
+	if err := idx.BulkLoad(int64(n), func(i int64) ([]float64, rstore.RID) {
+		return []float64{float64(i)}, rstore.RID(i)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Pool.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	c.Pool.Device().ResetStats()
+	rng := rand.New(rand.NewSource(42))
+	outer := make([]Tuple, 10)
+	for i := range outer {
+		outer[i] = Tuple{float64(i), float64(rng.Intn(n))}
+	}
+	j := &INLJoin{Outer: NewSliceIter(outer), Inner: &IndexedTable{Heap: heap, Index: idx}, OuterCols: []int{1}}
+	if _, err := Drain(j); err != nil {
+		t.Fatal(err)
+	}
+	reads := c.Pool.Device().Stats().BlocksRead
+	if reads > 100 {
+		t.Fatalf("INL join read %d blocks for 10 probes", reads)
+	}
+	if int(reads) >= heap.Blocks() {
+		t.Fatalf("INL join read %d blocks, scan would be %d", reads, heap.Blocks())
+	}
+}
+
+func TestSortedGroupAgg(t *testing.T) {
+	rows := []Tuple{
+		{1, 10}, {1, 20}, {2, 5}, {3, 7}, {3, 7}, {3, 1},
+	}
+	g := &SortedGroupAgg{
+		Input:     NewSliceIter(rows),
+		GroupCols: []int{0},
+		Aggs: []AggSpec{
+			{Fn: AggSum, Arg: Col{Idx: 1}},
+			{Fn: AggCount, Arg: Col{Idx: 1}},
+			{Fn: AggMin, Arg: Col{Idx: 1}},
+			{Fn: AggMax, Arg: Col{Idx: 1}},
+			{Fn: AggAvg, Arg: Col{Idx: 1}},
+		},
+	}
+	got, err := Drain(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Tuple{
+		{1, 30, 2, 10, 20, 15},
+		{2, 5, 1, 5, 5, 5},
+		{3, 15, 3, 1, 7, 5},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("groups=%d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for k := range want[i] {
+			if got[i][k] != want[i][k] {
+				t.Fatalf("group %d col %d: got %v want %v", i, k, got[i][k], want[i][k])
+			}
+		}
+	}
+}
+
+func TestScalarAgg(t *testing.T) {
+	rows := vecRows(100, func(i int) float64 { return float64(i) })
+	g := &ScalarAgg{Input: NewSliceIter(rows), Aggs: []AggSpec{
+		{Fn: AggSum, Arg: Col{Idx: 1}},
+		{Fn: AggCount, Arg: Const{1}},
+	}}
+	got, err := Drain(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0][0] != 4950 || got[0][1] != 100 {
+		t.Fatalf("got=%v", got)
+	}
+}
+
+func TestScalarAggEmptyInput(t *testing.T) {
+	g := &ScalarAgg{Input: NewSliceIter(nil), Aggs: []AggSpec{{Fn: AggAvg, Arg: Col{Idx: 0}}}}
+	got, err := Drain(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !math.IsNaN(got[0][0]) {
+		t.Fatalf("avg of empty = %v, want NaN", got)
+	}
+}
+
+func TestMaterializeRoundTrip(t *testing.T) {
+	c := ctx(16, 4, 0)
+	rows := vecRows(200, func(i int) float64 { return float64(i) * 1.5 })
+	h, err := Materialize(c, NewSliceIter(rows), 2, "mat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumRecords() != 200 {
+		t.Fatalf("materialized %d records", h.NumRecords())
+	}
+	got, err := Drain(NewSeqScan(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range got {
+		if r[0] != float64(i) || r[1] != float64(i)*1.5 {
+			t.Fatalf("row %d = %v", i, r)
+		}
+	}
+}
+
+// The matmul query plan end-to-end at small scale: hash join A.J=B.I,
+// project, sort by (I,J), group-aggregate — RIOT-DB's plan from §4.1.
+func TestMatMulPlanSmall(t *testing.T) {
+	c := ctx(64, 16, 4096)
+	const n = 8 // 8×8 matrices
+	var arows, brows []Tuple
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			arows = append(arows, Tuple{float64(i), float64(j), float64(i + j)})
+			brows = append(brows, Tuple{float64(i), float64(j), float64(i - j)})
+		}
+	}
+	// A: (I, J, V); B: (I, J, V). Join A.J = B.I.
+	join := &HashJoin{
+		Left: NewSliceIter(arows), Right: NewSliceIter(brows),
+		LeftCols: []int{1}, RightCols: []int{0}, LeftArity: 3, RightArity: 3, Ctx: c,
+	}
+	// Project (A.I, B.J, A.V*B.V).
+	proj := &Project{Input: join, Exprs: []Expr{
+		Col{Idx: 0}, Col{Idx: 4},
+		Binary{Op: OpMul, L: Col{Idx: 2}, R: Col{Idx: 5}},
+	}}
+	srt := &Sort{Input: proj, Arity: 3, Cols: []int{0, 1}, Ctx: c}
+	agg := &SortedGroupAgg{Input: srt, GroupCols: []int{0, 1}, Aggs: []AggSpec{{Fn: AggSum, Arg: Col{Idx: 2}}}}
+	got, err := Drain(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n*n {
+		t.Fatalf("result has %d cells, want %d", len(got), n*n)
+	}
+	for _, r := range got {
+		i, j := int(r[0]), int(r[1])
+		want := 0.0
+		for k := 0; k < n; k++ {
+			want += float64(i+k) * float64(k-j)
+		}
+		if math.Abs(r[2]-want) > 1e-9 {
+			t.Fatalf("C[%d,%d]=%v, want %v", i, j, r[2], want)
+		}
+	}
+}

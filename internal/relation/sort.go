@@ -1,0 +1,281 @@
+package relation
+
+import (
+	"container/heap"
+	"sort"
+
+	"riot/internal/rstore"
+)
+
+// compareOn orders tuples lexicographically on the given columns.
+func compareOn(a, b Tuple, cols []int) int {
+	for _, c := range cols {
+		if a[c] < b[c] {
+			return -1
+		}
+		if a[c] > b[c] {
+			return 1
+		}
+	}
+	return 0
+}
+
+// compareOnDir is compareOn with a per-column descending flag; desc may
+// be nil (all ascending) or match cols in length.
+func compareOnDir(a, b Tuple, cols []int, desc []bool) int {
+	for i, c := range cols {
+		cmp := 0
+		if a[c] < b[c] {
+			cmp = -1
+		} else if a[c] > b[c] {
+			cmp = 1
+		}
+		if cmp != 0 {
+			if desc != nil && desc[i] {
+				return -cmp
+			}
+			return cmp
+		}
+	}
+	return 0
+}
+
+// Sort is an external merge sort: runs of WorkMem elements are sorted in
+// memory and spilled to temporary heap files, then merged. This is the
+// operator that dominates RIOT-DB's matrix-multiply plan — the paper's
+// "hash join ... then sorts the result by (A.I, B.J)" — and the reason
+// that plan is "far from the optimum" (§4.1).
+type Sort struct {
+	Input Iterator
+	Arity int
+	Cols  []int  // sort key columns, compared lexicographically
+	Desc  []bool // optional per-column descending flags
+	Ctx   *Context
+
+	mem   []Tuple // in-memory result when everything fits
+	pos   int
+	runs  []*rstore.HeapFile
+	merge *mergeState
+}
+
+// Open drains the input, forms runs, and prepares the merge.
+func (s *Sort) Open() error {
+	if err := s.Input.Open(); err != nil {
+		return err
+	}
+	defer s.Input.Close()
+	s.mem = nil
+	s.pos = 0
+	s.runs = nil
+	s.merge = nil
+
+	budgetRows := s.Ctx.WorkMem / int64(s.Arity)
+	if budgetRows < 2 {
+		budgetRows = 2
+	}
+	var buf []Tuple
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		sort.SliceStable(buf, func(i, j int) bool { return compareOnDir(buf[i], buf[j], s.Cols, s.Desc) < 0 })
+		run, err := rstore.NewHeapFile(s.Ctx.Pool, s.Ctx.TempName("sortrun"), s.Arity)
+		if err != nil {
+			return err
+		}
+		for _, t := range buf {
+			if _, err := run.Append(t); err != nil {
+				return err
+			}
+		}
+		if err := run.Flush(); err != nil {
+			return err
+		}
+		s.runs = append(s.runs, run)
+		buf = buf[:0]
+		return nil
+	}
+	for {
+		t, ok, err := s.Input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		cp := make(Tuple, len(t))
+		copy(cp, t)
+		buf = append(buf, cp)
+		if int64(len(buf)) >= budgetRows {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.runs) == 0 {
+		// Everything fit: sort in memory, no I/O at all.
+		sort.SliceStable(buf, func(i, j int) bool { return compareOnDir(buf[i], buf[j], s.Cols, s.Desc) < 0 })
+		s.mem = buf
+		return nil
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	// Multi-pass merge down to a fan-in the budget can stream.
+	fan := int(s.Ctx.WorkMem / int64(s.Ctx.Pool.Device().BlockElems()))
+	if fan < 2 {
+		fan = 2
+	}
+	if fan > 64 {
+		fan = 64
+	}
+	for len(s.runs) > fan {
+		var next []*rstore.HeapFile
+		for i := 0; i < len(s.runs); i += fan {
+			group := s.runs[i:min(i+fan, len(s.runs))]
+			if len(group) == 1 {
+				next = append(next, group[0])
+				continue
+			}
+			merged, err := s.mergeRuns(group)
+			if err != nil {
+				return err
+			}
+			next = append(next, merged)
+		}
+		s.runs = next
+	}
+	m, err := newMergeState(s.runs, s.Cols, s.Desc)
+	if err != nil {
+		return err
+	}
+	s.merge = m
+	return nil
+}
+
+// mergeRuns merges a group of runs into a single new run and frees the
+// inputs.
+func (s *Sort) mergeRuns(group []*rstore.HeapFile) (*rstore.HeapFile, error) {
+	m, err := newMergeState(group, s.Cols, s.Desc)
+	if err != nil {
+		return nil, err
+	}
+	out, err := rstore.NewHeapFile(s.Ctx.Pool, s.Ctx.TempName("sortrun"), s.Arity)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok, err := m.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if _, err := out.Append(t); err != nil {
+			return nil, err
+		}
+	}
+	if err := out.Flush(); err != nil {
+		return nil, err
+	}
+	for _, r := range group {
+		r.Free()
+	}
+	return out, nil
+}
+
+// Next returns tuples in sorted order.
+func (s *Sort) Next() (Tuple, bool, error) {
+	if s.merge != nil {
+		return s.merge.next()
+	}
+	if s.pos >= len(s.mem) {
+		return nil, false, nil
+	}
+	t := s.mem[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+// Close frees any remaining spill files.
+func (s *Sort) Close() error {
+	for _, r := range s.runs {
+		r.Free()
+	}
+	s.runs = nil
+	s.mem = nil
+	s.merge = nil
+	return nil
+}
+
+// mergeState is a k-way merge over sorted runs.
+type mergeState struct {
+	cols []int
+	h    mergeHeap
+}
+
+type mergeEntry struct {
+	cur *rstore.Cursor
+	row Tuple
+}
+
+type mergeHeap struct {
+	entries []*mergeEntry
+	cols    []int
+	desc    []bool
+}
+
+func (m mergeHeap) Len() int { return len(m.entries) }
+func (m mergeHeap) Less(i, j int) bool {
+	return compareOnDir(m.entries[i].row, m.entries[j].row, m.cols, m.desc) < 0
+}
+func (m mergeHeap) Swap(i, j int) { m.entries[i], m.entries[j] = m.entries[j], m.entries[i] }
+func (m *mergeHeap) Push(x any)   { m.entries = append(m.entries, x.(*mergeEntry)) }
+func (m *mergeHeap) Pop() any {
+	e := m.entries[len(m.entries)-1]
+	m.entries = m.entries[:len(m.entries)-1]
+	return e
+}
+
+func newMergeState(runs []*rstore.HeapFile, cols []int, desc []bool) (*mergeState, error) {
+	m := &mergeState{cols: cols}
+	m.h.cols = cols
+	m.h.desc = desc
+	for _, r := range runs {
+		cur := r.NewCursor()
+		row, ok, err := cur.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		cp := make(Tuple, len(row))
+		copy(cp, row)
+		m.h.entries = append(m.h.entries, &mergeEntry{cur: cur, row: cp})
+	}
+	heap.Init(&m.h)
+	return m, nil
+}
+
+func (m *mergeState) next() (Tuple, bool, error) {
+	if m.h.Len() == 0 {
+		return nil, false, nil
+	}
+	e := m.h.entries[0]
+	out := e.row
+	row, ok, err := e.cur.Next()
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		cp := make(Tuple, len(row))
+		copy(cp, row)
+		e.row = cp
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+	return out, true, nil
+}

@@ -1,0 +1,455 @@
+// Package riotdb implements the paper's RIOT-DB prototype: R objects
+// (dbvector, dbmatrix) transparently backed by a relational database.
+// Every host-language operation is translated to SQL, and — in the full
+// configuration — recorded as a view so that evaluation is deferred,
+// intermediate results are pipelined away, and the database optimizer
+// sees whole multi-operation expressions at once (§4).
+//
+// Three configurations reproduce the paper's comparison (§4.2):
+//
+//   - Strawman: every operation executes immediately, materializing its
+//     result into a table (CREATE TABLE AS SELECT).
+//   - MatNamed: operations build views (pipelining unnamed intermediates)
+//     but every *named* object is materialized on assignment.
+//   - Full: assignments just bind names to views; computation happens
+//     only when a result is actually consumed, letting selective queries
+//     (Example 1's z <- d[s]) skip almost all work.
+package riotdb
+
+import (
+	"fmt"
+	"strings"
+
+	"riot/internal/relation"
+	"riot/internal/sql"
+)
+
+// Mode selects the evaluation strategy.
+type Mode int
+
+// Evaluation modes, in increasing order of deferral.
+const (
+	Strawman Mode = iota
+	MatNamed
+	Full
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Strawman:
+		return "strawman"
+	case MatNamed:
+		return "matnamed"
+	case Full:
+		return "full"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Kind distinguishes vectors from matrices.
+type Kind int
+
+// Object kinds.
+const (
+	KindVector Kind = iota
+	KindMatrix
+)
+
+// Object is a handle to a dbvector or dbmatrix: a named table or view in
+// the backend. Objects are refcounted; operations retain their operands
+// so that dropping an R variable cannot invalidate views built on it
+// (the dependency hook the paper had to add to R).
+type Object struct {
+	eng     *Engine
+	rel     string // backend relation name
+	kind    Kind
+	n       int64 // length (vector) or rows (matrix)
+	m       int64 // cols (matrix), 1 for vectors
+	isTable bool
+	deps    []*Object
+	refs    int
+	dropped bool
+}
+
+// Len returns the vector length (or number of matrix elements' rows).
+func (o *Object) Len() int64 { return o.n }
+
+// Dims returns (rows, cols); vectors report (n, 1).
+func (o *Object) Dims() (int64, int64) { return o.n, o.m }
+
+// Kind returns the object kind.
+func (o *Object) Kind() Kind { return o.kind }
+
+// Rel returns the backend relation name (for tests and EXPLAIN).
+func (o *Object) Rel() string { return o.rel }
+
+// IsView reports whether the object is still an unevaluated view.
+func (o *Object) IsView() bool { return !o.isTable }
+
+// Engine is a RIOT-DB instance: an embedded SQL database plus the
+// op-to-SQL translation layer.
+type Engine struct {
+	db   *sql.Database
+	mode Mode
+	seq  int
+}
+
+// New creates a RIOT-DB engine in the given mode over db.
+func New(db *sql.Database, mode Mode) *Engine {
+	return &Engine{db: db, mode: mode}
+}
+
+// DB exposes the underlying database (tests, EXPLAIN).
+func (e *Engine) DB() *sql.Database { return e.db }
+
+// Mode returns the evaluation mode.
+func (e *Engine) Mode() Mode { return e.mode }
+
+func (e *Engine) fresh(prefix string) string {
+	e.seq++
+	return fmt.Sprintf("%s_%d", prefix, e.seq)
+}
+
+// retain increments o's refcount.
+func retain(o *Object) *Object {
+	if o != nil {
+		o.refs++
+	}
+	return o
+}
+
+// Release decrements the object's refcount, dropping its backend
+// relation (and releasing its operands) when it reaches zero. This is
+// the dependency tracking that lets RIOT-DB "safely drop views".
+func (e *Engine) Release(o *Object) {
+	if o == nil || o.dropped {
+		return
+	}
+	o.refs--
+	if o.refs > 0 {
+		return
+	}
+	o.dropped = true
+	_ = e.db.Drop(o.rel, !o.isTable, true)
+	for _, d := range o.deps {
+		e.Release(d)
+	}
+}
+
+// newObject wraps a fresh backend relation, retaining operands.
+func (e *Engine) newObject(rel string, kind Kind, n, m int64, isTable bool, deps ...*Object) *Object {
+	o := &Object{eng: e, rel: rel, kind: kind, n: n, m: m, isTable: isTable, refs: 1}
+	for _, d := range deps {
+		o.deps = append(o.deps, retain(d))
+	}
+	return o
+}
+
+// define creates the op's result relation from its SQL definition: a
+// table (strawman) or a view (deferred modes).
+func (e *Engine) define(query string, kind Kind, n, m int64, deps ...*Object) (*Object, error) {
+	if e.mode == Strawman {
+		name := e.fresh("tmp")
+		pk := []string{"I"}
+		if kind == KindMatrix {
+			pk = []string{"I", "J"}
+		}
+		sel, err := sql.ParseSelect(query)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := e.db.CreateTableAs(name, sel, pk); err != nil {
+			return nil, err
+		}
+		// Materialized: no live dependency on the operands.
+		return e.newObject(name, kind, n, m, true), nil
+	}
+	name := e.fresh("v")
+	cols := []string{"I", "V"}
+	if kind == KindMatrix {
+		cols = []string{"I", "J", "V"}
+	}
+	sel, err := sql.ParseSelect(query)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.db.CreateView(name, cols, sel); err != nil {
+		return nil, err
+	}
+	return e.newObject(name, kind, n, m, false, deps...), nil
+}
+
+// NewVector creates a dbvector of length n with values gen(i), stored as
+// a table (I, V) clustered and indexed by I.
+func (e *Engine) NewVector(n int64, gen func(i int64) float64) (*Object, error) {
+	name := e.fresh("vec")
+	t, err := e.db.CreateTable(name, []string{"I", "V"}, []string{"I"})
+	if err != nil {
+		return nil, err
+	}
+	row := make([]float64, 2)
+	if err := e.db.BulkLoad(t, n, func(i int64) []float64 {
+		row[0], row[1] = float64(i), gen(i)
+		return row
+	}); err != nil {
+		return nil, err
+	}
+	return e.newObject(name, KindVector, n, 1, true), nil
+}
+
+// NewMatrix creates a dbmatrix (rows×cols) stored as (I, J, V) in
+// row-major key order.
+func (e *Engine) NewMatrix(rows, cols int64, gen func(i, j int64) float64) (*Object, error) {
+	name := e.fresh("mat")
+	t, err := e.db.CreateTable(name, []string{"I", "J", "V"}, []string{"I", "J"})
+	if err != nil {
+		return nil, err
+	}
+	row := make([]float64, 3)
+	if err := e.db.BulkLoad(t, rows*cols, func(k int64) []float64 {
+		row[0], row[1], row[2] = float64(k/cols), float64(k%cols), gen(k/cols, k%cols)
+		return row
+	}); err != nil {
+		return nil, err
+	}
+	return e.newObject(name, KindMatrix, rows, cols, true), nil
+}
+
+// sqlOp maps host operators to SQL.
+var sqlOp = map[string]string{
+	"+": "+", "-": "-", "*": "*", "/": "/", "^": "^", "%%": "%",
+	"==": "=", "!=": "<>", "<": "<", "<=": "<=", ">": ">", ">=": ">=",
+	"&": "AND", "|": "OR",
+}
+
+// Arith applies a vectorized binary operator to two objects of equal
+// shape: the strawman's SELECT E1.I, E1.V+E2.V FROM E1, E2 WHERE E1.I=E2.I.
+func (e *Engine) Arith(op string, a, b *Object) (*Object, error) {
+	sop, ok := sqlOp[op]
+	if !ok {
+		return nil, fmt.Errorf("riotdb: unknown operator %q", op)
+	}
+	if a.kind != b.kind || a.n != b.n || a.m != b.m {
+		return nil, fmt.Errorf("riotdb: shape mismatch %dx%d vs %dx%d", a.n, a.m, b.n, b.m)
+	}
+	// Operands are always aliased: the two sides may be the same
+	// relation (x*x), and SQL requires distinct bindings.
+	if a.kind == KindMatrix {
+		q := fmt.Sprintf(
+			"SELECT e1.I AS I, e1.J AS J, e1.V %[3]s e2.V AS V FROM %[1]s e1, %[2]s e2 WHERE e1.I=e2.I AND e1.J=e2.J",
+			a.rel, b.rel, sop)
+		return e.define(q, KindMatrix, a.n, a.m, a, b)
+	}
+	q := fmt.Sprintf(
+		"SELECT e1.I AS I, e1.V %[3]s e2.V AS V FROM %[1]s e1, %[2]s e2 WHERE e1.I=e2.I",
+		a.rel, b.rel, sop)
+	return e.define(q, KindVector, a.n, 1, a, b)
+}
+
+// ArithScalar applies op with a scalar operand; scalarLeft places the
+// scalar on the left (for s - x and the like).
+func (e *Engine) ArithScalar(op string, a *Object, s float64, scalarLeft bool) (*Object, error) {
+	sop, ok := sqlOp[op]
+	if !ok {
+		return nil, fmt.Errorf("riotdb: unknown operator %q", op)
+	}
+	lhs, rhs := "e1.V", fmt.Sprintf("%g", s)
+	if scalarLeft {
+		lhs, rhs = rhs, lhs
+	}
+	if a.kind == KindMatrix {
+		q := fmt.Sprintf("SELECT e1.I AS I, e1.J AS J, %[2]s %[3]s %[4]s AS V FROM %[1]s e1",
+			a.rel, lhs, sop, rhs)
+		return e.define(q, KindMatrix, a.n, a.m, a)
+	}
+	q := fmt.Sprintf("SELECT e1.I AS I, %[2]s %[3]s %[4]s AS V FROM %[1]s e1", a.rel, lhs, sop, rhs)
+	return e.define(q, KindVector, a.n, 1, a)
+}
+
+// Map applies a unary SQL function (SQRT, ABS, EXP, LOG, SIN, COS) to
+// every element.
+func (e *Engine) Map(fn string, a *Object) (*Object, error) {
+	fn = strings.ToUpper(fn)
+	switch fn {
+	case "SQRT", "ABS", "EXP", "LOG", "SIN", "COS", "FLOOR", "CEIL":
+	default:
+		return nil, fmt.Errorf("riotdb: unknown function %q", fn)
+	}
+	if a.kind == KindMatrix {
+		q := fmt.Sprintf("SELECT e1.I AS I, e1.J AS J, %[2]s(e1.V) AS V FROM %[1]s e1", a.rel, fn)
+		return e.define(q, KindMatrix, a.n, a.m, a)
+	}
+	q := fmt.Sprintf("SELECT e1.I AS I, %[2]s(e1.V) AS V FROM %[1]s e1", a.rel, fn)
+	return e.define(q, KindVector, a.n, 1, a)
+}
+
+// IndexBy implements z <- d[s]: dereferencing vector d with the index
+// vector s translates to a join between them (§4.1).
+func (e *Engine) IndexBy(d, s *Object) (*Object, error) {
+	if d.kind != KindVector || s.kind != KindVector {
+		return nil, fmt.Errorf("riotdb: IndexBy requires vectors")
+	}
+	q := fmt.Sprintf(
+		"SELECT e2.I AS I, e1.V AS V FROM %[1]s e1, %[2]s e2 WHERE e1.I=e2.V",
+		d.rel, s.rel)
+	return e.define(q, KindVector, s.n, 1, d, s)
+}
+
+// UpdateWhere implements b[b > k] <- val style masked assignment. As the
+// paper notes (§5), RIOT-DB must force materialization before modifying;
+// the update itself is computed with branch-free arithmetic because the
+// SQL subset has no CASE.
+func (e *Engine) UpdateWhere(a *Object, cmpOp string, threshold, val float64) (*Object, error) {
+	if _, err := e.Force(a); err != nil {
+		return nil, err
+	}
+	sop, ok := sqlOp[cmpOp]
+	if !ok {
+		return nil, fmt.Errorf("riotdb: unknown comparison %q", cmpOp)
+	}
+	cond := fmt.Sprintf("(e1.V %s %g)", sop, threshold)
+	expr := fmt.Sprintf("e1.V*(1-%[1]s) + %[2]g*%[1]s", cond, val)
+	name := e.fresh("tmp")
+	q := fmt.Sprintf("SELECT e1.I AS I, %[2]s AS V FROM %[1]s e1", a.rel, expr)
+	sel, err := sql.ParseSelect(q)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := e.db.CreateTableAs(name, sel, []string{"I"}); err != nil {
+		return nil, err
+	}
+	return e.newObject(name, KindVector, a.n, 1, true), nil
+}
+
+// MatMul multiplies two dbmatrix objects with the aggregation query of
+// §4.1. The GROUP BY makes the view non-mergeable, so each multiply in a
+// chain is its own hash-join + sort + aggregate step — exactly the plan
+// the paper criticizes.
+func (e *Engine) MatMul(a, b *Object) (*Object, error) {
+	if a.kind != KindMatrix || b.kind != KindMatrix {
+		return nil, fmt.Errorf("riotdb: %%*%% requires matrices")
+	}
+	if a.m != b.n {
+		return nil, fmt.Errorf("riotdb: dimension mismatch %dx%d %%*%% %dx%d", a.n, a.m, b.n, b.m)
+	}
+	q := fmt.Sprintf(
+		"SELECT e1.I AS I, e2.J AS J, SUM(e1.V*e2.V) AS V FROM %[1]s e1, %[2]s e2 WHERE e1.J=e2.I GROUP BY e1.I, e2.J",
+		a.rel, b.rel)
+	return e.define(q, KindMatrix, a.n, b.m, a, b)
+}
+
+// Sample creates the index vector of R's sample(n, k): k distinct values
+// drawn from [0, n) with a deterministic generator, stored as a table
+// (I, V) where V is the sampled index.
+func (e *Engine) Sample(n, k int64, seed uint64) (*Object, error) {
+	idx := SampleIndices(n, k, seed)
+	name := e.fresh("smp")
+	t, err := e.db.CreateTable(name, []string{"I", "V"}, []string{"I"})
+	if err != nil {
+		return nil, err
+	}
+	if err := e.db.BulkLoad(t, k, func(i int64) []float64 {
+		return []float64{float64(i), float64(idx[i])}
+	}); err != nil {
+		return nil, err
+	}
+	return e.newObject(name, KindVector, k, 1, true), nil
+}
+
+// SampleIndices returns k distinct pseudo-random values in [0, n),
+// using a seeded xorshift generator (deterministic across runs).
+func SampleIndices(n, k int64, seed uint64) []int64 {
+	if k > n {
+		k = n
+	}
+	state := seed | 1
+	rng := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	// Floyd's algorithm: k distinct samples without building [0,n).
+	chosen := make(map[int64]bool, k)
+	out := make([]int64, 0, k)
+	for j := n - k; j < n; j++ {
+		t := int64(rng() % uint64(j+1))
+		if chosen[t] {
+			t = j
+		}
+		chosen[t] = true
+		out = append(out, t)
+	}
+	return out
+}
+
+// Assign is called when the host language binds the object to a name.
+// MatNamed forces materialization (the paper's "materializes all named
+// objects"); Full and Strawman leave the object as is (Strawman results
+// are tables already).
+func (e *Engine) Assign(o *Object) (*Object, error) {
+	if e.mode == MatNamed && !o.isTable {
+		return e.Force(o)
+	}
+	return o, nil
+}
+
+// Force materializes a view-backed object into a table, in place: the
+// object's relation becomes the new table and its dependencies are
+// released.
+func (e *Engine) Force(o *Object) (*Object, error) {
+	if o.isTable {
+		return o, nil
+	}
+	name := e.fresh("mat")
+	v, ok := e.db.ViewDef(o.rel)
+	if !ok {
+		return nil, fmt.Errorf("riotdb: view %q missing", o.rel)
+	}
+	pk := []string{"I"}
+	if o.kind == KindMatrix {
+		pk = []string{"I", "J"}
+	}
+	if _, err := e.db.CreateTableAs(name, v.Def, pk); err != nil {
+		return nil, err
+	}
+	_ = e.db.Drop(o.rel, true, true)
+	for _, d := range o.deps {
+		e.Release(d)
+	}
+	o.deps = nil
+	o.rel = name
+	o.isTable = true
+	return o, nil
+}
+
+// Fetch evaluates the object (running its accumulated view expansion
+// through the optimizer) and returns up to limit elements in index
+// order; limit < 0 fetches everything. This is what print(z) triggers.
+func (e *Engine) Fetch(o *Object, limit int64) ([]relation.Tuple, error) {
+	order := "ORDER BY I"
+	if o.kind == KindMatrix {
+		order = "ORDER BY I, J"
+	}
+	q := fmt.Sprintf("SELECT * FROM %s %s", o.rel, order)
+	if limit >= 0 {
+		q += fmt.Sprintf(" LIMIT %d", limit)
+	}
+	rows, _, err := e.db.QueryAll(q)
+	return rows, err
+}
+
+// Sum evaluates SUM(V) over the object, a cheap way for tests and
+// examples to force full evaluation.
+func (e *Engine) Sum(o *Object) (float64, error) {
+	rows, _, err := e.db.QueryAll(fmt.Sprintf("SELECT SUM(e1.V) AS S FROM %s e1", o.rel))
+	if err != nil {
+		return 0, err
+	}
+	return rows[0][0], nil
+}
+
+// Explain returns the physical plan for evaluating the object.
+func (e *Engine) Explain(o *Object) (string, error) {
+	return e.db.Explain(fmt.Sprintf("SELECT * FROM %s", o.rel))
+}

@@ -1,0 +1,334 @@
+package riotdb
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"riot/internal/buffer"
+	"riot/internal/disk"
+	"riot/internal/relation"
+	"riot/internal/sql"
+)
+
+func newEngine(mode Mode, blockElems, frames int, workMem int64) *Engine {
+	dev := disk.NewDevice(blockElems)
+	pool := buffer.New(dev, frames)
+	db := sql.NewDatabase(relation.NewContext(pool, workMem))
+	return New(db, mode)
+}
+
+func TestVectorArithAllModes(t *testing.T) {
+	for _, mode := range []Mode{Strawman, MatNamed, Full} {
+		e := newEngine(mode, 64, 32, 0)
+		x, err := e.NewVector(100, func(i int64) float64 { return float64(i) })
+		must(t, err)
+		y, err := e.NewVector(100, func(i int64) float64 { return 2 })
+		must(t, err)
+		sum, err := e.Arith("+", x, y)
+		must(t, err)
+		sq, err := e.Arith("*", sum, sum)
+		must(t, err)
+		rows, err := e.Fetch(sq, -1)
+		must(t, err)
+		if len(rows) != 100 {
+			t.Fatalf("%v: %d rows", mode, len(rows))
+		}
+		for _, r := range rows {
+			want := (r[0] + 2) * (r[0] + 2)
+			if r[1] != want {
+				t.Fatalf("%v: row %v want %v", mode, r, want)
+			}
+		}
+	}
+}
+
+func TestStrawmanMaterializesEverything(t *testing.T) {
+	e := newEngine(Strawman, 64, 32, 0)
+	x, _ := e.NewVector(50, func(i int64) float64 { return float64(i) })
+	y, err := e.ArithScalar("-", x, 3, false)
+	must(t, err)
+	if y.IsView() {
+		t.Fatal("strawman result should be a table")
+	}
+	// Materialization writes the result to disk immediately.
+	if e.DB().Context().Pool.Device().Stats().BlocksWritten == 0 {
+		t.Fatal("no writes recorded for strawman materialization")
+	}
+}
+
+func TestFullModeDefersEverything(t *testing.T) {
+	e := newEngine(Full, 64, 32, 0)
+	x, _ := e.NewVector(50, func(i int64) float64 { return float64(i) })
+	e.DB().Context().Pool.Device().ResetStats()
+	a, err := e.ArithScalar("-", x, 1, false)
+	must(t, err)
+	b, err := e.Map("SQRT", a)
+	must(t, err)
+	c, err := e.Arith("+", b, b)
+	must(t, err)
+	if !a.IsView() || !b.IsView() || !c.IsView() {
+		t.Fatal("full mode should build views only")
+	}
+	s := e.DB().Context().Pool.Device().Stats()
+	if s.TotalBlocks() != 0 {
+		t.Fatalf("deferred ops performed %d block I/Os", s.TotalBlocks())
+	}
+}
+
+func TestMatNamedAssignMaterializes(t *testing.T) {
+	e := newEngine(MatNamed, 64, 32, 0)
+	x, _ := e.NewVector(50, func(i int64) float64 { return float64(i) })
+	a, err := e.ArithScalar("*", x, 2, false)
+	must(t, err)
+	if !a.IsView() {
+		t.Fatal("unnamed intermediate should be a view")
+	}
+	a2, err := e.Assign(a)
+	must(t, err)
+	if a2.IsView() {
+		t.Fatal("named object should be materialized in MatNamed mode")
+	}
+	rows, err := e.Fetch(a2, 3)
+	must(t, err)
+	if len(rows) != 3 || rows[2][1] != 4 {
+		t.Fatalf("rows=%v", rows)
+	}
+}
+
+func TestFullAssignKeepsView(t *testing.T) {
+	e := newEngine(Full, 64, 32, 0)
+	x, _ := e.NewVector(50, func(i int64) float64 { return float64(i) })
+	a, _ := e.ArithScalar("*", x, 2, false)
+	a2, err := e.Assign(a)
+	must(t, err)
+	if !a2.IsView() {
+		t.Fatal("full mode assign must not materialize")
+	}
+}
+
+func TestExample1PipelineAndSelectivity(t *testing.T) {
+	// Example 1 of the paper, end to end in Full mode: the final fetch
+	// of z should evaluate selectively via index probes.
+	e := newEngine(Full, 128, 64, 0)
+	n := int64(1 << 20) // large enough that index probes beat re-scanning
+
+	x, _ := e.NewVector(n, func(i int64) float64 { return float64(i % 997) })
+	y, _ := e.NewVector(n, func(i int64) float64 { return float64(i % 991) })
+
+	dist := func(v *Object, s float64) *Object {
+		d, err := e.ArithScalar("-", v, s, false)
+		must(t, err)
+		sq, err := e.Arith("*", d, d)
+		must(t, err)
+		return sq
+	}
+	dx1, dy1 := dist(x, 3), dist(y, 4)
+	sum1, err := e.Arith("+", dx1, dy1)
+	must(t, err)
+	r1, err := e.Map("SQRT", sum1)
+	must(t, err)
+	dx2, dy2 := dist(x, 100), dist(y, 200)
+	sum2, err := e.Arith("+", dx2, dy2)
+	must(t, err)
+	r2, err := e.Map("SQRT", sum2)
+	must(t, err)
+	d, err := e.Arith("+", r1, r2)
+	must(t, err)
+	d, err = e.Assign(d)
+	must(t, err)
+
+	s, err := e.Sample(n, 100, 42)
+	must(t, err)
+	z, err := e.IndexBy(d, s)
+	must(t, err)
+	z, err = e.Assign(z)
+	must(t, err)
+
+	if err := e.DB().Context().Pool.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	e.DB().Context().Pool.Device().ResetStats()
+	rows, err := e.Fetch(z, -1)
+	must(t, err)
+	if len(rows) != 100 {
+		t.Fatalf("z has %d elements", len(rows))
+	}
+	// Verify values against direct computation.
+	idx := SampleIndices(n, 100, 42)
+	for k, r := range rows {
+		i := idx[int(r[0])]
+		xi := float64(i % 997)
+		yi := float64(i % 991)
+		want := math.Sqrt((xi-3)*(xi-3)+(yi-4)*(yi-4)) +
+			math.Sqrt((xi-100)*(xi-100)+(yi-200)*(yi-200))
+		if math.Abs(r[1]-want) > 1e-9 {
+			t.Fatalf("row %d: got %v want %v", k, r[1], want)
+		}
+	}
+	// Selectivity: far fewer blocks than one scan of x.
+	reads := e.DB().Context().Pool.Device().Stats().BlocksRead
+	xt, _ := e.DB().Table(x.Rel())
+	if int(reads) >= xt.Heap.Blocks() {
+		t.Fatalf("full-mode fetch read %d blocks; x alone has %d", reads, xt.Heap.Blocks())
+	}
+}
+
+func TestIndexByExplainsAsINL(t *testing.T) {
+	e := newEngine(Full, 128, 64, 0)
+	x, _ := e.NewVector(50000, func(i int64) float64 { return float64(i) })
+	d, err := e.Map("SQRT", x)
+	must(t, err)
+	s, err := e.Sample(50000, 10, 7)
+	must(t, err)
+	z, err := e.IndexBy(d, s)
+	must(t, err)
+	desc, err := e.Explain(z)
+	must(t, err)
+	if !strings.Contains(desc, "INLJoin") {
+		t.Fatalf("expected INL plan for selective fetch: %s", desc)
+	}
+}
+
+func TestMatMulChainViaSQL(t *testing.T) {
+	e := newEngine(Full, 64, 32, 4096)
+	const n = 5
+	a, err := e.NewMatrix(n, n, func(i, j int64) float64 { return float64(i + j) })
+	must(t, err)
+	b, err := e.NewMatrix(n, n, func(i, j int64) float64 { return float64(i - j) })
+	must(t, err)
+	c, err := e.NewMatrix(n, n, func(i, j int64) float64 { return float64(i * j) })
+	must(t, err)
+	ab, err := e.MatMul(a, b)
+	must(t, err)
+	abc, err := e.MatMul(ab, c)
+	must(t, err)
+	rows, err := e.Fetch(abc, -1)
+	must(t, err)
+	if len(rows) != n*n {
+		t.Fatalf("%d cells", len(rows))
+	}
+	// Reference product.
+	var am, bm, cm [n][n]float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			am[i][j] = float64(i + j)
+			bm[i][j] = float64(i - j)
+			cm[i][j] = float64(i * j)
+		}
+	}
+	var abm, abcm [n][n]float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				abm[i][j] += am[i][k] * bm[k][j]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				abcm[i][j] += abm[i][k] * cm[k][j]
+			}
+		}
+	}
+	for _, r := range rows {
+		if math.Abs(r[2]-abcm[int(r[0])][int(r[1])]) > 1e-9 {
+			t.Fatalf("cell %v want %v", r, abcm[int(r[0])][int(r[1])])
+		}
+	}
+}
+
+func TestUpdateWhere(t *testing.T) {
+	e := newEngine(Full, 64, 32, 0)
+	a, _ := e.NewVector(20, func(i int64) float64 { return float64(i) })
+	b, err := e.Arith("*", a, a)
+	must(t, err)
+	bu, err := e.UpdateWhere(b, ">", 100, 100)
+	must(t, err)
+	rows, err := e.Fetch(bu, -1)
+	must(t, err)
+	for _, r := range rows {
+		want := r[0] * r[0]
+		if want > 100 {
+			want = 100
+		}
+		if r[1] != want {
+			t.Fatalf("row %v want %v", r, want)
+		}
+	}
+	if bu.IsView() {
+		t.Fatal("update must force materialization in RIOT-DB")
+	}
+}
+
+func TestReleaseDropsCascade(t *testing.T) {
+	e := newEngine(Full, 64, 32, 0)
+	x, _ := e.NewVector(10, func(i int64) float64 { return 1 })
+	a, _ := e.ArithScalar("+", x, 1, false)
+	b, _ := e.Map("SQRT", a)
+	// Dropping x and a should not invalidate b: b retains them.
+	e.Release(x)
+	e.Release(a)
+	rows, err := e.Fetch(b, -1)
+	must(t, err)
+	if len(rows) != 10 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Releasing b cascades: all views and the base table go away.
+	e.Release(b)
+	if e.DB().HasRelation(x.Rel()) || e.DB().HasRelation(a.Rel()) || e.DB().HasRelation(b.Rel()) {
+		t.Fatal("cascade release left relations behind")
+	}
+}
+
+func TestSampleIndicesDistinctAndDeterministic(t *testing.T) {
+	a := SampleIndices(1000, 100, 7)
+	b := SampleIndices(1000, 100, 7)
+	if len(a) != 100 {
+		t.Fatalf("%d samples", len(a))
+	}
+	seen := map[int64]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sampling not deterministic")
+		}
+		if seen[a[i]] {
+			t.Fatalf("duplicate sample %d", a[i])
+		}
+		if a[i] < 0 || a[i] >= 1000 {
+			t.Fatalf("sample %d out of range", a[i])
+		}
+		seen[a[i]] = true
+	}
+	c := SampleIndices(1000, 100, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical samples")
+	}
+}
+
+func TestSumForcesEvaluation(t *testing.T) {
+	e := newEngine(Full, 64, 32, 0)
+	x, _ := e.NewVector(100, func(i int64) float64 { return float64(i) })
+	d, err := e.ArithScalar("*", x, 2, false)
+	must(t, err)
+	s, err := e.Sum(d)
+	must(t, err)
+	if s != 9900 {
+		t.Fatalf("sum=%v", s)
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

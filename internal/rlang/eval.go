@@ -1,0 +1,479 @@
+package rlang
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// exec executes one statement.
+func (in *Interp) exec(s stmt) error {
+	switch t := s.(type) {
+	case assignStmt:
+		v, err := in.eval(t.expr)
+		if err != nil {
+			return err
+		}
+		if old, ok := in.env[t.name]; ok && !old.IsScalar {
+			// Rebinding drops the old object (the assignment hook of §4.1).
+			if old.Obj != v.Obj {
+				in.eng.Release(old.Obj)
+			}
+		}
+		if !v.IsScalar {
+			nv, err := in.eng.Assign(v.Obj)
+			if err != nil {
+				return err
+			}
+			v.Obj = nv
+		}
+		in.env[t.name] = v
+		return nil
+	case maskAssign:
+		cur, ok := in.env[t.name]
+		if !ok || cur.IsScalar {
+			return fmt.Errorf("rlang: %s is not a vector", t.name)
+		}
+		thresh, err := in.evalScalar(t.thresh)
+		if err != nil {
+			return err
+		}
+		val, err := in.evalScalar(t.value)
+		if err != nil {
+			return err
+		}
+		nv, err := in.eng.UpdateWhere(cur.Obj, t.cmpOp, thresh, val)
+		if err != nil {
+			return err
+		}
+		in.env[t.name] = Value{Obj: nv}
+		return nil
+	case exprStmt:
+		_, err := in.eval(t.e)
+		return err
+	}
+	return fmt.Errorf("rlang: unknown statement %T", s)
+}
+
+func (in *Interp) evalScalar(e expr) (float64, error) {
+	v, err := in.eval(e)
+	if err != nil {
+		return 0, err
+	}
+	if !v.IsScalar {
+		return 0, fmt.Errorf("rlang: expected a scalar")
+	}
+	return v.Scalar, nil
+}
+
+// eval evaluates an expression to a Value.
+func (in *Interp) eval(e expr) (Value, error) {
+	switch t := e.(type) {
+	case numExpr:
+		return scalar(t.v), nil
+	case varExpr:
+		v, ok := in.env[t.name]
+		if !ok {
+			return Value{}, fmt.Errorf("rlang: object %q not found", t.name)
+		}
+		return v, nil
+	case unaryExpr:
+		v, err := in.eval(t.x)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsScalar {
+			return scalar(-v.Scalar), nil
+		}
+		obj, err := in.eng.ArithScalar("*", v.Obj, -1, false)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Obj: obj}, nil
+	case rangeExpr:
+		lo, err := in.evalScalar(t.lo)
+		if err != nil {
+			return Value{}, err
+		}
+		hi, err := in.evalScalar(t.hi)
+		if err != nil {
+			return Value{}, err
+		}
+		if hi < lo {
+			return Value{}, fmt.Errorf("rlang: descending ranges unsupported (%g:%g)", lo, hi)
+		}
+		n := int64(hi-lo) + 1
+		obj, err := in.eng.NewVector(n, func(i int64) float64 { return lo + float64(i) })
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Obj: obj}, nil
+	case binExpr:
+		return in.evalBin(t)
+	case indexExpr:
+		return in.evalIndex(t)
+	case callExpr:
+		return in.evalCall(t)
+	}
+	return Value{}, fmt.Errorf("rlang: unknown expression %T", e)
+}
+
+func (in *Interp) evalBin(t binExpr) (Value, error) {
+	l, err := in.eval(t.l)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := in.eval(t.r)
+	if err != nil {
+		return Value{}, err
+	}
+	if t.op == "%*%" {
+		if l.IsScalar || r.IsScalar {
+			return Value{}, fmt.Errorf("rlang: %%*%% requires matrices")
+		}
+		obj, err := in.eng.MatMul(l.Obj, r.Obj)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Obj: obj}, nil
+	}
+	switch {
+	case l.IsScalar && r.IsScalar:
+		return scalar(scalarBin(t.op, l.Scalar, r.Scalar)), nil
+	case l.IsScalar:
+		obj, err := in.eng.ArithScalar(t.op, r.Obj, l.Scalar, true)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Obj: obj}, nil
+	case r.IsScalar:
+		obj, err := in.eng.ArithScalar(t.op, l.Obj, r.Scalar, false)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Obj: obj}, nil
+	default:
+		obj, err := in.eng.Arith(t.op, l.Obj, r.Obj)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Obj: obj}, nil
+	}
+}
+
+func scalarBin(op string, a, b float64) float64 {
+	switch op {
+	case "+":
+		return a + b
+	case "-":
+		return a - b
+	case "*":
+		return a * b
+	case "/":
+		return a / b
+	case "^":
+		return math.Pow(a, b)
+	case "%%":
+		return math.Mod(a, b)
+	case "==":
+		return b2f(a == b)
+	case "!=":
+		return b2f(a != b)
+	case "<":
+		return b2f(a < b)
+	case "<=":
+		return b2f(a <= b)
+	case ">":
+		return b2f(a > b)
+	case ">=":
+		return b2f(a >= b)
+	}
+	return math.NaN()
+}
+
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// evalIndex handles x[s] and x[a:b] with R's 1-based conventions.
+func (in *Interp) evalIndex(t indexExpr) (Value, error) {
+	x, err := in.eval(t.x)
+	if err != nil {
+		return Value{}, err
+	}
+	if x.IsScalar {
+		return Value{}, fmt.Errorf("rlang: cannot index a scalar")
+	}
+	// x[a:b]: translate to a 0-based half-open range.
+	if r, ok := t.sub.(rangeExpr); ok {
+		lo, err := in.evalScalar(r.lo)
+		if err != nil {
+			return Value{}, err
+		}
+		hi, err := in.evalScalar(r.hi)
+		if err != nil {
+			return Value{}, err
+		}
+		obj, err := in.eng.Range(x.Obj, int64(lo)-1, int64(hi))
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Obj: obj}, nil
+	}
+	sub, err := in.eval(t.sub)
+	if err != nil {
+		return Value{}, err
+	}
+	if sub.IsScalar {
+		// Single-element access.
+		obj, err := in.eng.Range(x.Obj, int64(sub.Scalar)-1, int64(sub.Scalar))
+		if err != nil {
+			return Value{}, err
+		}
+		vals, err := in.eng.Fetch(obj, 1)
+		if err != nil {
+			return Value{}, err
+		}
+		return scalar(vals[0]), nil
+	}
+	// Index vector holds 1-based positions: shift before gathering.
+	zeroBased, err := in.eng.ArithScalar("-", sub.Obj, 1, false)
+	if err != nil {
+		return Value{}, err
+	}
+	obj, err := in.eng.IndexBy(x.Obj, zeroBased)
+	if err != nil {
+		return Value{}, err
+	}
+	return Value{Obj: obj}, nil
+}
+
+func (in *Interp) evalCall(t callExpr) (Value, error) {
+	switch t.fn {
+	case "c":
+		vals := make([]float64, len(t.args))
+		for i, a := range t.args {
+			v, err := in.evalScalar(a)
+			if err != nil {
+				return Value{}, fmt.Errorf("rlang: c() supports scalar arguments only")
+			}
+			vals[i] = v
+		}
+		obj, err := in.eng.NewVector(int64(len(vals)), func(i int64) float64 { return vals[i] })
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Obj: obj}, nil
+	case "sqrt", "abs", "exp", "log", "sin", "cos", "floor", "ceiling":
+		if len(t.args) != 1 {
+			return Value{}, fmt.Errorf("rlang: %s takes one argument", t.fn)
+		}
+		v, err := in.eval(t.args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsScalar {
+			return scalar(scalarFn(t.fn, v.Scalar)), nil
+		}
+		obj, err := in.eng.Map(t.fn, v.Obj)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Obj: obj}, nil
+	case "length":
+		v, err := in.eval(t.args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsScalar {
+			return scalar(1), nil
+		}
+		return scalar(float64(in.eng.Length(v.Obj))), nil
+	case "nrow", "ncol":
+		v, err := in.eval(t.args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		r, c, _ := in.eng.Dims(v.Obj)
+		if t.fn == "nrow" {
+			return scalar(float64(r)), nil
+		}
+		return scalar(float64(c)), nil
+	case "sum", "min", "max":
+		v, err := in.eval(t.args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsScalar {
+			return v, nil
+		}
+		if t.fn == "sum" {
+			s, err := in.eng.Sum(v.Obj)
+			if err != nil {
+				return Value{}, err
+			}
+			return scalar(s), nil
+		}
+		vals, err := in.eng.Fetch(v.Obj, -1)
+		if err != nil {
+			return Value{}, err
+		}
+		acc := vals[0]
+		for _, x := range vals[1:] {
+			if (t.fn == "min" && x < acc) || (t.fn == "max" && x > acc) {
+				acc = x
+			}
+		}
+		return scalar(acc), nil
+	case "sample":
+		if len(t.args) != 2 {
+			return Value{}, fmt.Errorf("rlang: sample(n, k) takes two arguments")
+		}
+		n, err := in.evalScalar(t.args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		k, err := in.evalScalar(t.args[1])
+		if err != nil {
+			return Value{}, err
+		}
+		obj, err := in.eng.Sample(int64(n), int64(k), in.seed)
+		if err != nil {
+			return Value{}, err
+		}
+		// Engine samples are 0-based; R's are 1-based.
+		shifted, err := in.eng.ArithScalar("+", obj, 1, false)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Obj: shifted}, nil
+	case "runif":
+		n, err := in.evalScalar(t.args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		state := in.seed*2654435761 + 1
+		obj, err := in.eng.NewVector(int64(n), func(i int64) float64 {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			return float64(state%1000003) / 1000003
+		})
+		if err != nil {
+			return Value{}, err
+		}
+		in.seed++
+		return Value{Obj: obj}, nil
+	case "seq_len":
+		n, err := in.evalScalar(t.args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		obj, err := in.eng.NewVector(int64(n), func(i int64) float64 { return float64(i + 1) })
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Obj: obj}, nil
+	case "matrix":
+		if len(t.args) != 3 {
+			return Value{}, fmt.Errorf("rlang: matrix(data, nrow, ncol) takes three arguments")
+		}
+		data, err := in.eval(t.args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		r, err := in.evalScalar(t.args[1])
+		if err != nil {
+			return Value{}, err
+		}
+		c, err := in.evalScalar(t.args[2])
+		if err != nil {
+			return Value{}, err
+		}
+		rows, cols := int64(r), int64(c)
+		if data.IsScalar {
+			v := data.Scalar
+			obj, err := in.eng.NewMatrix(rows, cols, func(i, j int64) float64 { return v })
+			if err != nil {
+				return Value{}, err
+			}
+			return Value{Obj: obj}, nil
+		}
+		vals, err := in.eng.Fetch(data.Obj, -1)
+		if err != nil {
+			return Value{}, err
+		}
+		if int64(len(vals)) != rows*cols {
+			return Value{}, fmt.Errorf("rlang: matrix data length %d != %d*%d", len(vals), rows, cols)
+		}
+		// R fills column-major.
+		obj, err := in.eng.NewMatrix(rows, cols, func(i, j int64) float64 { return vals[j*rows+i] })
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Obj: obj}, nil
+	case "print":
+		v, err := in.eval(t.args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		return v, in.print(v)
+	}
+	return Value{}, fmt.Errorf("rlang: unknown function %q", t.fn)
+}
+
+func scalarFn(fn string, v float64) float64 {
+	switch fn {
+	case "sqrt":
+		return math.Sqrt(v)
+	case "abs":
+		return math.Abs(v)
+	case "exp":
+		return math.Exp(v)
+	case "log":
+		return math.Log(v)
+	case "sin":
+		return math.Sin(v)
+	case "cos":
+		return math.Cos(v)
+	case "floor":
+		return math.Floor(v)
+	case "ceiling":
+		return math.Ceil(v)
+	}
+	return math.NaN()
+}
+
+// print forces evaluation (the paper's trigger for computing z) and
+// renders up to 20 elements.
+func (in *Interp) print(v Value) error {
+	if in.Out == nil {
+		in.Out = &strings.Builder{}
+	}
+	if v.IsScalar {
+		fmt.Fprintf(in.Out, "[1] %g\n", v.Scalar)
+		return nil
+	}
+	const headLimit = 20
+	vals, err := in.eng.Fetch(v.Obj, headLimit+1)
+	if err != nil {
+		return err
+	}
+	trunc := false
+	if len(vals) > headLimit {
+		vals = vals[:headLimit]
+		trunc = true
+	}
+	fmt.Fprintf(in.Out, "[1]")
+	for _, x := range vals {
+		fmt.Fprintf(in.Out, " %g", x)
+	}
+	if trunc {
+		fmt.Fprintf(in.Out, " ...")
+	}
+	fmt.Fprintln(in.Out)
+	return nil
+}

@@ -1,0 +1,508 @@
+// Package rlang implements riotscript, the R-subset front end that makes
+// the transparency claim concrete: the same script — Example 1 verbatim,
+// up to R's 1-based indexing — runs unchanged on plain R, any RIOT-DB
+// variant, or the next-generation RIOT engine. The interpreter performs
+// no computation itself; every vectorized operation dispatches through
+// engine.Engine, exactly as R's generics mechanism dispatches dbvector
+// operations to RIOT-DB (§4).
+//
+// Supported forms: numeric literals; variables; `<-`/`=` assignment;
+// vectorized + - * / ^ %% and comparisons; unary minus; a:b ranges
+// (1-based, inclusive, as values and as subscripts); x[s], x[a:b],
+// x[x > k] <- v; %*%; and the builtins c, sqrt, abs, exp, log, sin, cos,
+// floor, ceiling, length, sum, min, max, sample, runif, seq_len, matrix,
+// nrow, ncol, print.
+package rlang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"riot/internal/engine"
+)
+
+// Value is a riotscript value: a scalar or an engine object.
+type Value struct {
+	Scalar   float64
+	IsScalar bool
+	Obj      engine.Value
+}
+
+func scalar(v float64) Value { return Value{Scalar: v, IsScalar: true} }
+
+// Interp interprets riotscript over a backend engine.
+type Interp struct {
+	eng  engine.Engine
+	env  map[string]Value
+	Out  *strings.Builder // print output (nil: discarded)
+	seed uint64
+}
+
+// New creates an interpreter over e.
+func New(e engine.Engine) *Interp {
+	return &Interp{eng: e, env: make(map[string]Value), Out: &strings.Builder{}, seed: 42}
+}
+
+// Engine returns the backend.
+func (in *Interp) Engine() engine.Engine { return in.eng }
+
+// Get returns a variable's value.
+func (in *Interp) Get(name string) (Value, bool) {
+	v, ok := in.env[name]
+	return v, ok
+}
+
+// SetVector binds a pre-built engine vector (for benchmarks that load
+// inputs out-of-band).
+func (in *Interp) SetVector(name string, obj engine.Value) {
+	in.env[name] = Value{Obj: obj}
+}
+
+// SetScalar binds a scalar variable.
+func (in *Interp) SetScalar(name string, v float64) {
+	in.env[name] = scalar(v)
+}
+
+// Run executes a whole script (statements separated by newlines or ;).
+func (in *Interp) Run(src string) error {
+	p := &rparser{src: src}
+	stmts, err := p.parseProgram()
+	if err != nil {
+		return err
+	}
+	for _, s := range stmts {
+		if err := in.exec(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- AST ----
+
+type stmt interface{ stmt() }
+
+type assignStmt struct {
+	name string
+	expr expr
+}
+
+type maskAssign struct { // x[x > k] <- v
+	name   string
+	cmpVar string
+	cmpOp  string
+	thresh expr
+	value  expr
+}
+
+type exprStmt struct{ e expr }
+
+func (assignStmt) stmt() {}
+func (maskAssign) stmt() {}
+func (exprStmt) stmt()   {}
+
+type expr interface{ expr() }
+
+type numExpr struct{ v float64 }
+type varExpr struct{ name string }
+type binExpr struct {
+	op   string
+	l, r expr
+}
+type unaryExpr struct{ x expr }
+type callExpr struct {
+	fn   string
+	args []expr
+}
+type indexExpr struct {
+	x   expr
+	sub expr // subscript expression (vector of 1-based indices)
+}
+type rangeExpr struct{ lo, hi expr } // a:b inclusive
+
+func (numExpr) expr()   {}
+func (varExpr) expr()   {}
+func (binExpr) expr()   {}
+func (unaryExpr) expr() {}
+func (callExpr) expr()  {}
+func (indexExpr) expr() {}
+func (rangeExpr) expr() {}
+
+// ---- parser ----
+
+type rparser struct {
+	src string
+	pos int
+}
+
+func (p *rparser) ws() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\r' {
+			p.pos++
+		} else if c == '#' {
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		} else {
+			break
+		}
+	}
+}
+
+func (p *rparser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *rparser) parseProgram() ([]stmt, error) {
+	var out []stmt
+	for {
+		p.ws()
+		for p.pos < len(p.src) && (p.src[p.pos] == '\n' || p.src[p.pos] == ';') {
+			p.pos++
+			p.ws()
+		}
+		if p.pos >= len(p.src) {
+			return out, nil
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		p.ws()
+		if p.pos < len(p.src) && p.src[p.pos] != '\n' && p.src[p.pos] != ';' {
+			return nil, fmt.Errorf("rlang: unexpected %q at %d", p.src[p.pos], p.pos)
+		}
+	}
+}
+
+func (p *rparser) parseStmt() (stmt, error) {
+	start := p.pos
+	if name, ok := p.tryIdent(); ok {
+		p.ws()
+		// x[...] <- value  (masked update)
+		if p.peek() == '[' {
+			save := p.pos
+			p.pos++
+			if ma, ok := p.tryMaskAssign(name); ok {
+				return ma, nil
+			}
+			p.pos = save
+		}
+		if p.eat("<-") || p.eatAssignEq() {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return assignStmt{name: name, expr: e}, nil
+		}
+	}
+	p.pos = start
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return exprStmt{e: e}, nil
+}
+
+// tryMaskAssign parses `var cmp expr ] <- expr` after `name[`.
+func (p *rparser) tryMaskAssign(name string) (stmt, bool) {
+	save := p.pos
+	p.ws()
+	inner, ok := p.tryIdent()
+	if !ok || inner != name {
+		p.pos = save
+		return nil, false
+	}
+	p.ws()
+	var op string
+	for _, cand := range []string{">=", "<=", "==", "!=", ">", "<"} {
+		if p.eat(cand) {
+			op = cand
+			break
+		}
+	}
+	if op == "" {
+		p.pos = save
+		return nil, false
+	}
+	thresh, err := p.parseExpr()
+	if err != nil {
+		p.pos = save
+		return nil, false
+	}
+	p.ws()
+	if !p.eat("]") {
+		p.pos = save
+		return nil, false
+	}
+	p.ws()
+	if !p.eat("<-") && !p.eatAssignEq() {
+		p.pos = save
+		return nil, false
+	}
+	val, err := p.parseExpr()
+	if err != nil {
+		p.pos = save
+		return nil, false
+	}
+	return maskAssign{name: name, cmpVar: inner, cmpOp: op, thresh: thresh, value: val}, true
+}
+
+func (p *rparser) eat(tok string) bool {
+	p.ws()
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+// eatAssignEq accepts `=` but not `==`.
+func (p *rparser) eatAssignEq() bool {
+	p.ws()
+	if p.peek() == '=' && !(p.pos+1 < len(p.src) && p.src[p.pos+1] == '=') {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *rparser) tryIdent() (string, bool) {
+	p.ws()
+	start := p.pos
+	if p.pos < len(p.src) && (isAlpha(p.src[p.pos]) || p.src[p.pos] == '.') {
+		p.pos++
+		for p.pos < len(p.src) && (isAlpha(p.src[p.pos]) || isDig(p.src[p.pos]) || p.src[p.pos] == '.' || p.src[p.pos] == '_') {
+			p.pos++
+		}
+		return p.src[start:p.pos], true
+	}
+	return "", false
+}
+
+func isAlpha(c byte) bool { return c|0x20 >= 'a' && c|0x20 <= 'z' }
+func isDig(c byte) bool   { return c >= '0' && c <= '9' }
+
+// Precedence: compare < range(:) is handled inside, R's actual order is
+// ^ > unary- > : > %% %*% * / > + - > comparisons.
+func (p *rparser) parseExpr() (expr, error) { return p.parseCmp() }
+
+func (p *rparser) parseCmp() (expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.ws()
+		var op string
+		for _, cand := range []string{">=", "<=", "==", "!=", ">", "<"} {
+			if strings.HasPrefix(p.src[p.pos:], cand) {
+				op = cand
+				break
+			}
+		}
+		if op == "" {
+			return l, nil
+		}
+		p.pos += len(op)
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		l = binExpr{op: op, l: l, r: r}
+	}
+}
+
+func (p *rparser) parseAdd() (expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.ws()
+		c := p.peek()
+		if c == '+' || (c == '-' && !strings.HasPrefix(p.src[p.pos:], "<-")) {
+			p.pos++
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{op: string(c), l: l, r: r}
+		} else {
+			return l, nil
+		}
+	}
+}
+
+func (p *rparser) parseMul() (expr, error) {
+	l, err := p.parseRange()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.ws()
+		switch {
+		case strings.HasPrefix(p.src[p.pos:], "%*%"):
+			p.pos += 3
+			r, err := p.parseRange()
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{op: "%*%", l: l, r: r}
+		case strings.HasPrefix(p.src[p.pos:], "%%"):
+			p.pos += 2
+			r, err := p.parseRange()
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{op: "%%", l: l, r: r}
+		case p.peek() == '*' || p.peek() == '/':
+			op := string(p.src[p.pos])
+			p.pos++
+			r, err := p.parseRange()
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{op: op, l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *rparser) parseRange() (expr, error) {
+	l, err := p.parsePow()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if p.peek() == ':' {
+		p.pos++
+		r, err := p.parsePow()
+		if err != nil {
+			return nil, err
+		}
+		return rangeExpr{lo: l, hi: r}, nil
+	}
+	return l, nil
+}
+
+func (p *rparser) parsePow() (expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if p.peek() == '^' {
+		p.pos++
+		r, err := p.parsePow() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return binExpr{op: "^", l: l, r: r}, nil
+	}
+	return l, nil
+}
+
+func (p *rparser) parseUnary() (expr, error) {
+	p.ws()
+	if p.peek() == '-' {
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{x: x}, nil
+	}
+	if p.peek() == '+' {
+		p.pos++
+		return p.parseUnary()
+	}
+	return p.parsePostfix()
+}
+
+func (p *rparser) parsePostfix() (expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.ws()
+		if p.peek() == '[' {
+			p.pos++
+			sub, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			p.ws()
+			if !p.eat("]") {
+				return nil, fmt.Errorf("rlang: missing ] at %d", p.pos)
+			}
+			e = indexExpr{x: e, sub: sub}
+		} else {
+			return e, nil
+		}
+	}
+}
+
+func (p *rparser) parsePrimary() (expr, error) {
+	p.ws()
+	c := p.peek()
+	switch {
+	case c == '(':
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eat(")") {
+			return nil, fmt.Errorf("rlang: missing ) at %d", p.pos)
+		}
+		return e, nil
+	case isDig(c) || c == '.':
+		start := p.pos
+		for p.pos < len(p.src) && (isDig(p.src[p.pos]) || p.src[p.pos] == '.' ||
+			p.src[p.pos] == 'e' || p.src[p.pos] == 'E' ||
+			((p.src[p.pos] == '+' || p.src[p.pos] == '-') && p.pos > start && (p.src[p.pos-1] == 'e' || p.src[p.pos-1] == 'E'))) {
+			p.pos++
+		}
+		v, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+		if err != nil {
+			return nil, fmt.Errorf("rlang: bad number %q", p.src[start:p.pos])
+		}
+		return numExpr{v: v}, nil
+	case isAlpha(c) || c == '.':
+		name, _ := p.tryIdent()
+		p.ws()
+		if p.peek() == '(' {
+			p.pos++
+			var args []expr
+			p.ws()
+			if p.peek() != ')' {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					p.ws()
+					if !p.eat(",") {
+						break
+					}
+				}
+			}
+			if !p.eat(")") {
+				return nil, fmt.Errorf("rlang: missing ) after %s(", name)
+			}
+			return callExpr{fn: name, args: args}, nil
+		}
+		return varExpr{name: name}, nil
+	}
+	return nil, fmt.Errorf("rlang: unexpected %q at %d", c, p.pos)
+}

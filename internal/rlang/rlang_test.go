@@ -1,0 +1,259 @@
+package rlang
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"riot/internal/engine"
+	"riot/internal/riotdb"
+)
+
+func engines() []engine.Engine {
+	tm := engine.DefaultTimeModel
+	return []engine.Engine{
+		engine.NewPlainR(1024, 1<<14, 0, tm),
+		engine.NewRIOTDB(riotdb.Full, 1024, 1<<22, tm),
+		engine.NewRIOT(1024, 1<<22, tm),
+	}
+}
+
+func fetchVar(t *testing.T, in *Interp, name string) []float64 {
+	t.Helper()
+	v, ok := in.Get(name)
+	if !ok || v.IsScalar {
+		t.Fatalf("variable %q missing or scalar", name)
+	}
+	vals, err := in.Engine().Fetch(v.Obj, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vals
+}
+
+func TestScalarArithmetic(t *testing.T) {
+	in := New(engine.NewRIOT(64, 1<<16, engine.DefaultTimeModel))
+	if err := in.Run("a <- 2 + 3 * 4 ^ 2\nb = a %% 7\n"); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := in.Get("a")
+	if !a.IsScalar || a.Scalar != 50 {
+		t.Fatalf("a=%v", a)
+	}
+	b, _ := in.Get("b")
+	if b.Scalar != 1 {
+		t.Fatalf("b=%v", b)
+	}
+}
+
+func TestVectorizedOpsAllEngines(t *testing.T) {
+	src := `
+x <- 1:10
+y <- x * 2
+z <- sqrt(y + x*x)   # element-wise
+total <- sum(z)
+`
+	for _, e := range engines() {
+		in := New(e)
+		if err := in.Run(src); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		want := 0.0
+		for i := 1.0; i <= 10; i++ {
+			want += math.Sqrt(2*i + i*i)
+		}
+		got, _ := in.Get("total")
+		if math.Abs(got.Scalar-want) > 1e-9 {
+			t.Fatalf("%s: total=%v want %v", e.Name(), got.Scalar, want)
+		}
+	}
+}
+
+func TestExample1Script(t *testing.T) {
+	// The paper's Example 1, almost verbatim (R's sample() is seeded
+	// deterministically here).
+	src := `
+xs <- 3; ys <- 4
+xe <- 100; ye <- 200
+d <- sqrt((x-xs)^2+(y-ys)^2) + sqrt((x-xe)^2+(y-ye)^2)
+s <- sample(length(x), 100)
+z <- d[s]
+print(z)
+`
+	const n = 20000
+	idx := riotdb.SampleIndices(n, 100, 42)
+	for _, e := range engines() {
+		in := New(e)
+		x, err := e.NewVector(n, func(i int64) float64 { return float64(i % 997) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := e.NewVector(n, func(i int64) float64 { return float64(i % 991) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.SetVector("x", x)
+		in.SetVector("y", y)
+		if err := in.Run(src); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		z := fetchVar(t, in, "z")
+		if len(z) != 100 {
+			t.Fatalf("%s: %d elements", e.Name(), len(z))
+		}
+		for p, i := range idx {
+			xi, yi := float64(i%997), float64(i%991)
+			want := math.Sqrt((xi-3)*(xi-3)+(yi-4)*(yi-4)) +
+				math.Sqrt((xi-100)*(xi-100)+(yi-200)*(yi-200))
+			if math.Abs(z[p]-want) > 1e-9 {
+				t.Fatalf("%s: z[%d]=%v want %v", e.Name(), p, z[p], want)
+			}
+		}
+		if !strings.Contains(in.Out.String(), "[1]") {
+			t.Fatalf("%s: print produced no output", e.Name())
+		}
+	}
+}
+
+func TestFigure2Script(t *testing.T) {
+	src := `
+b <- a^2
+b[b > 100] <- 100
+h <- b[1:10]
+`
+	for _, e := range engines() {
+		in := New(e)
+		a, err := e.NewVector(1000, func(i int64) float64 { return float64(i) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.SetVector("a", a)
+		if err := in.Run(src); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		h := fetchVar(t, in, "h")
+		if len(h) != 10 {
+			t.Fatalf("%s: %d elements", e.Name(), len(h))
+		}
+		for i, v := range h {
+			want := math.Min(float64(i*i), 100)
+			if v != want {
+				t.Fatalf("%s: h[%d]=%v want %v", e.Name(), i, v, want)
+			}
+		}
+	}
+}
+
+func TestMatrixScript(t *testing.T) {
+	src := `
+A <- matrix(1:6, 2, 3)
+B <- matrix(1:6, 3, 2)
+C <- A %*% B
+`
+	e := engine.NewRIOT(64, 1<<18, engine.DefaultTimeModel)
+	in := New(e)
+	if err := in.Run(src); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := in.Get("C")
+	r, cc, _ := e.Dims(c.Obj)
+	if r != 2 || cc != 2 {
+		t.Fatalf("C is %dx%d", r, cc)
+	}
+	vals, err := e.Fetch(c.Obj, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column-major fill: A = [1 3 5; 2 4 6], B = [1 4; 2 5; 3 6].
+	want := []float64{22, 49, 28, 64} // row-major C
+	for i, v := range vals {
+		if v != want[i] {
+			t.Fatalf("C[%d]=%v want %v (all %v)", i, v, want[i], vals)
+		}
+	}
+}
+
+func TestIndexingSemantics(t *testing.T) {
+	for _, e := range engines() {
+		in := New(e)
+		if err := in.Run("v <- 10:20\nfirst <- v[1]\nmid <- v[3:5]\n"); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		first, _ := in.Get("first")
+		if !first.IsScalar || first.Scalar != 10 {
+			t.Fatalf("%s: v[1]=%v, want 10 (1-based)", e.Name(), first)
+		}
+		mid := fetchVar(t, in, "mid")
+		if len(mid) != 3 || mid[0] != 12 || mid[2] != 14 {
+			t.Fatalf("%s: v[3:5]=%v", e.Name(), mid)
+		}
+	}
+}
+
+func TestCFunctionAndMinMax(t *testing.T) {
+	in := New(engine.NewRIOT(64, 1<<16, engine.DefaultTimeModel))
+	if err := in.Run("v <- c(3, 1, 4, 1, 5)\nlo <- min(v)\nhi <- max(v)\nn <- length(v)\n"); err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := in.Get("lo")
+	hi, _ := in.Get("hi")
+	n, _ := in.Get("n")
+	if lo.Scalar != 1 || hi.Scalar != 5 || n.Scalar != 5 {
+		t.Fatalf("lo=%v hi=%v n=%v", lo.Scalar, hi.Scalar, n.Scalar)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	in := New(engine.NewRIOT(64, 1<<16, engine.DefaultTimeModel))
+	for _, src := range []string{
+		"x <- (1 + ",
+		"x <- [3]",
+		"x <- foo(1,",
+		"v <- 1:5\nv[2",
+	} {
+		if err := in.Run(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	in := New(engine.NewRIOT(64, 1<<16, engine.DefaultTimeModel))
+	if err := in.Run("y <- nope + 1"); err == nil {
+		t.Error("expected undefined-variable error")
+	}
+	if err := in.Run("z <- unknownfn(1)"); err == nil {
+		t.Error("expected unknown-function error")
+	}
+}
+
+func TestCommentsAndSemicolons(t *testing.T) {
+	in := New(engine.NewRIOT(64, 1<<16, engine.DefaultTimeModel))
+	if err := in.Run("# setup\na <- 1; b <- 2 # trailing\nc <- a + b\n"); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := in.Get("c")
+	if c.Scalar != 3 {
+		t.Fatalf("c=%v", c.Scalar)
+	}
+}
+
+func TestRunifDeterministicPerInterp(t *testing.T) {
+	e := engine.NewRIOT(64, 1<<18, engine.DefaultTimeModel)
+	in1 := New(e)
+	if err := in1.Run("u <- runif(100)\ns <- sum(u)\n"); err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := in1.Get("s")
+	in2 := New(engine.NewRIOT(64, 1<<18, engine.DefaultTimeModel))
+	if err := in2.Run("u <- runif(100)\ns <- sum(u)\n"); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := in2.Get("s")
+	if s1.Scalar != s2.Scalar {
+		t.Fatalf("runif not deterministic: %v vs %v", s1.Scalar, s2.Scalar)
+	}
+	if s1.Scalar <= 0 || s1.Scalar >= 100 {
+		t.Fatalf("runif sum out of range: %v", s1.Scalar)
+	}
+}

@@ -1,0 +1,518 @@
+package rstore
+
+import (
+	"fmt"
+
+	"riot/internal/buffer"
+	"riot/internal/disk"
+)
+
+// BTree is a B+tree mapping composite float64 keys to RIDs. Nodes live
+// in disk blocks accessed through the buffer pool, so index probes charge
+// real (simulated) I/O — the cost that makes index-nested-loop joins
+// cheap for selective queries and expensive for full scans, exactly the
+// trade-off RIOT-DB's deferred evaluation exploits (§4.1).
+//
+// Node layout inside a block of B float64 slots:
+//
+//	slot 0: kind (0 = leaf, 1 = internal)
+//	slot 1: number of keys n
+//	leaf:     slot 2: next-leaf block id (-1 if none), then n × (key…, rid)
+//	internal: n × key…  separators followed by n+1 child block ids
+type BTree struct {
+	pool     *buffer.Pool
+	name     string
+	keyArity int
+	root     disk.BlockID
+	height   int
+	nkeys    int64
+	leafCap  int
+	intCap   int
+	nextIn   int
+	nextID   disk.BlockID
+	nodes    []disk.BlockID
+}
+
+const (
+	kindLeaf     = 0.0
+	kindInternal = 1.0
+)
+
+// NewBTree creates an empty tree over keys of keyArity columns.
+func NewBTree(pool *buffer.Pool, name string, keyArity int) (*BTree, error) {
+	if keyArity <= 0 {
+		return nil, fmt.Errorf("rstore: key arity must be positive")
+	}
+	b := pool.Device().BlockElems()
+	// One entry of headroom is reserved in leaves: the insert path writes
+	// the overflowing entry in place before splitting.
+	leafCap := (b-3)/(keyArity+1) - 1
+	intCap := (b - 3) / (keyArity + 1) // keys + children, conservatively
+	if leafCap < 2 || intCap < 3 {
+		return nil, fmt.Errorf("rstore: block size %d too small for key arity %d", b, keyArity)
+	}
+	t := &BTree{pool: pool, name: name, keyArity: keyArity, leafCap: leafCap, intCap: intCap}
+	root, err := t.newNode(kindLeaf)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	t.height = 1
+	return t, nil
+}
+
+// Name returns the tree name (disk owner).
+func (t *BTree) Name() string { return t.name }
+
+// NumKeys returns the number of entries.
+func (t *BTree) NumKeys() int64 { return t.nkeys }
+
+// Height returns the number of levels.
+func (t *BTree) Height() int { return t.height }
+
+// Blocks returns an upper bound on the blocks allocated to the tree.
+func (t *BTree) Blocks() int { return t.pool.Device().OwnedBlocks(t.name) }
+
+func (t *BTree) grow() disk.BlockID {
+	if t.nextIn == 0 {
+		t.nextID = t.pool.Device().Alloc(t.name, extentBlocks)
+		t.nextIn = extentBlocks
+	}
+	id := t.nextID
+	t.nextID++
+	t.nextIn--
+	t.nodes = append(t.nodes, id)
+	return id
+}
+
+func (t *BTree) newNode(kind float64) (disk.BlockID, error) {
+	id := t.grow()
+	f, err := t.pool.PinNew(id)
+	if err != nil {
+		return 0, err
+	}
+	f.Data[0] = kind
+	f.Data[1] = 0
+	if kind == kindLeaf {
+		f.Data[2] = -1
+	}
+	f.MarkDirty()
+	t.pool.Unpin(f)
+	return id, nil
+}
+
+// compareKeys orders composite keys lexicographically.
+func compareKeys(a, b []float64) int {
+	for i := range a {
+		if a[i] < b[i] {
+			return -1
+		}
+		if a[i] > b[i] {
+			return 1
+		}
+	}
+	return 0
+}
+
+// leaf accessors; k is the key arity.
+
+func leafKey(data []float64, k, i int) []float64 { return data[3+i*(k+1) : 3+i*(k+1)+k] }
+func leafRID(data []float64, k, i int) RID       { return RID(data[3+i*(k+1)+k]) }
+func leafSetEntry(data []float64, k, i int, key []float64, rid RID) {
+	copy(data[3+i*(k+1):], key)
+	data[3+i*(k+1)+k] = float64(rid)
+}
+
+// internal node accessors. Keys first (n of them), then n+1 children.
+
+func intKey(data []float64, k, cap, i int) []float64 { return data[2+i*k : 2+i*k+k] }
+func intChild(data []float64, k, cap, i int) disk.BlockID {
+	return disk.BlockID(data[2+cap*k+i])
+}
+func intSetKey(data []float64, k, cap, i int, key []float64) { copy(data[2+i*k:], key) }
+func intSetChild(data []float64, k, cap, i int, c disk.BlockID) {
+	data[2+cap*k+i] = float64(c)
+}
+
+// Probe returns the RID stored under key, if present.
+func (t *BTree) Probe(key []float64) (RID, bool, error) {
+	if len(key) != t.keyArity {
+		return 0, false, fmt.Errorf("rstore: probe key arity %d, want %d", len(key), t.keyArity)
+	}
+	id := t.root
+	for {
+		f, err := t.pool.Pin(id)
+		if err != nil {
+			return 0, false, err
+		}
+		if f.Data[0] == kindLeaf {
+			n := int(f.Data[1])
+			lo, hi := 0, n
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if compareKeys(leafKey(f.Data, t.keyArity, mid), key) < 0 {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo < n && compareKeys(leafKey(f.Data, t.keyArity, lo), key) == 0 {
+				rid := leafRID(f.Data, t.keyArity, lo)
+				t.pool.Unpin(f)
+				return rid, true, nil
+			}
+			t.pool.Unpin(f)
+			return 0, false, nil
+		}
+		n := int(f.Data[1])
+		lo, hi := 0, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if compareKeys(intKey(f.Data, t.keyArity, t.intCap, mid), key) <= 0 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		next := intChild(f.Data, t.keyArity, t.intCap, lo)
+		t.pool.Unpin(f)
+		id = next
+	}
+}
+
+// Insert adds key → rid. Duplicate keys overwrite the stored RID.
+func (t *BTree) Insert(key []float64, rid RID) error {
+	if len(key) != t.keyArity {
+		return fmt.Errorf("rstore: insert key arity %d, want %d", len(key), t.keyArity)
+	}
+	sepKey, sepChild, grew, replaced, err := t.insertAt(t.root, key, rid)
+	if err != nil {
+		return err
+	}
+	if grew {
+		// Root split: make a new internal root.
+		newRoot, err := t.newNode(kindInternal)
+		if err != nil {
+			return err
+		}
+		f, err := t.pool.Pin(newRoot)
+		if err != nil {
+			return err
+		}
+		f.Data[1] = 1
+		intSetKey(f.Data, t.keyArity, t.intCap, 0, sepKey)
+		intSetChild(f.Data, t.keyArity, t.intCap, 0, t.root)
+		intSetChild(f.Data, t.keyArity, t.intCap, 1, sepChild)
+		f.MarkDirty()
+		t.pool.Unpin(f)
+		t.root = newRoot
+		t.height++
+	}
+	if !replaced {
+		t.nkeys++
+	}
+	return nil
+}
+
+// insertAt inserts into the subtree rooted at id. If the node split, it
+// returns the separator key and new right sibling.
+func (t *BTree) insertAt(id disk.BlockID, key []float64, rid RID) (sepKey []float64, sepChild disk.BlockID, grew, replaced bool, err error) {
+	f, err := t.pool.Pin(id)
+	if err != nil {
+		return nil, 0, false, false, err
+	}
+	k := t.keyArity
+	if f.Data[0] == kindLeaf {
+		n := int(f.Data[1])
+		lo, hi := 0, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if compareKeys(leafKey(f.Data, k, mid), key) < 0 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < n && compareKeys(leafKey(f.Data, k, lo), key) == 0 {
+			leafSetEntry(f.Data, k, lo, key, rid)
+			f.MarkDirty()
+			t.pool.Unpin(f)
+			return nil, 0, false, true, nil
+		}
+		// Shift entries right and insert.
+		for i := n; i > lo; i-- {
+			copy(f.Data[3+i*(k+1):3+(i+1)*(k+1)], f.Data[3+(i-1)*(k+1):3+i*(k+1)])
+		}
+		leafSetEntry(f.Data, k, lo, key, rid)
+		f.Data[1] = float64(n + 1)
+		f.MarkDirty()
+		if n+1 <= t.leafCap {
+			t.pool.Unpin(f)
+			return nil, 0, false, false, nil
+		}
+		// Split the leaf.
+		rightID, err := t.newNode(kindLeaf)
+		if err != nil {
+			t.pool.Unpin(f)
+			return nil, 0, false, false, err
+		}
+		rf, err := t.pool.Pin(rightID)
+		if err != nil {
+			t.pool.Unpin(f)
+			return nil, 0, false, false, err
+		}
+		total := n + 1
+		left := total / 2
+		rightN := total - left
+		for i := 0; i < rightN; i++ {
+			copy(rf.Data[3+i*(k+1):3+(i+1)*(k+1)], f.Data[3+(left+i)*(k+1):3+(left+i+1)*(k+1)])
+		}
+		rf.Data[1] = float64(rightN)
+		rf.Data[2] = f.Data[2] // next-leaf chain
+		f.Data[2] = float64(rightID)
+		f.Data[1] = float64(left)
+		sep := make([]float64, k)
+		copy(sep, leafKey(rf.Data, k, 0))
+		rf.MarkDirty()
+		f.MarkDirty()
+		t.pool.Unpin(rf)
+		t.pool.Unpin(f)
+		return sep, rightID, true, false, nil
+	}
+
+	// Internal node: descend.
+	n := int(f.Data[1])
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if compareKeys(intKey(f.Data, k, t.intCap, mid), key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	child := intChild(f.Data, k, t.intCap, lo)
+	t.pool.Unpin(f) // release during recursion to respect pin budget
+	csep, cchild, cgrew, creplaced, err := t.insertAt(child, key, rid)
+	if err != nil || !cgrew {
+		return nil, 0, false, creplaced, err
+	}
+	f, err = t.pool.Pin(id)
+	if err != nil {
+		return nil, 0, false, false, err
+	}
+	n = int(f.Data[1])
+	// Re-find the insertion point (the node cannot have changed, but the
+	// code stays correct if it someday can).
+	lo, hi = 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if compareKeys(intKey(f.Data, k, t.intCap, mid), csep) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for i := n; i > lo; i-- {
+		intSetKey(f.Data, k, t.intCap, i, intKey(f.Data, k, t.intCap, i-1))
+	}
+	for i := n + 1; i > lo+1; i-- {
+		intSetChild(f.Data, k, t.intCap, i, intChild(f.Data, k, t.intCap, i-1))
+	}
+	intSetKey(f.Data, k, t.intCap, lo, csep)
+	intSetChild(f.Data, k, t.intCap, lo+1, cchild)
+	f.Data[1] = float64(n + 1)
+	f.MarkDirty()
+	n++
+	if n <= t.intCap-1 {
+		t.pool.Unpin(f)
+		return nil, 0, false, creplaced, nil
+	}
+	// Split internal node: middle key moves up.
+	rightID, err := t.newNode(kindInternal)
+	if err != nil {
+		t.pool.Unpin(f)
+		return nil, 0, false, false, err
+	}
+	rf, err := t.pool.Pin(rightID)
+	if err != nil {
+		t.pool.Unpin(f)
+		return nil, 0, false, false, err
+	}
+	mid := n / 2
+	sep := make([]float64, k)
+	copy(sep, intKey(f.Data, k, t.intCap, mid))
+	rightN := n - mid - 1
+	for i := 0; i < rightN; i++ {
+		intSetKey(rf.Data, k, t.intCap, i, intKey(f.Data, k, t.intCap, mid+1+i))
+	}
+	for i := 0; i <= rightN; i++ {
+		intSetChild(rf.Data, k, t.intCap, i, intChild(f.Data, k, t.intCap, mid+1+i))
+	}
+	rf.Data[1] = float64(rightN)
+	f.Data[1] = float64(mid)
+	rf.MarkDirty()
+	f.MarkDirty()
+	t.pool.Unpin(rf)
+	t.pool.Unpin(f)
+	return sep, rightID, true, creplaced, nil
+}
+
+// BulkLoad builds the tree from entries already sorted by key, replacing
+// the current contents. This is how RIOT-DB loads vectors: elements
+// arrive in index order, so the index is built bottom-up with sequential
+// writes only.
+func (t *BTree) BulkLoad(n int64, entry func(i int64) (key []float64, rid RID)) error {
+	k := t.keyArity
+	fill := t.leafCap // pack leaves full: loads are final in this system
+	type levelNode struct {
+		firstKey []float64
+		id       disk.BlockID
+	}
+	var leaves []levelNode
+	var prevLeaf disk.BlockID = -1
+	for i := int64(0); i < n; {
+		id, err := t.newNode(kindLeaf)
+		if err != nil {
+			return err
+		}
+		f, err := t.pool.Pin(id)
+		if err != nil {
+			return err
+		}
+		cnt := 0
+		var first []float64
+		for cnt < fill && i < n {
+			key, rid := entry(i)
+			if cnt == 0 {
+				first = append([]float64(nil), key...)
+			}
+			leafSetEntry(f.Data, k, cnt, key, rid)
+			cnt++
+			i++
+		}
+		f.Data[1] = float64(cnt)
+		f.Data[2] = -1
+		f.MarkDirty()
+		t.pool.Unpin(f)
+		if prevLeaf >= 0 {
+			pf, err := t.pool.Pin(prevLeaf)
+			if err != nil {
+				return err
+			}
+			pf.Data[2] = float64(id)
+			pf.MarkDirty()
+			t.pool.Unpin(pf)
+		}
+		prevLeaf = id
+		leaves = append(leaves, levelNode{firstKey: first, id: id})
+	}
+	if len(leaves) == 0 {
+		root, err := t.newNode(kindLeaf)
+		if err != nil {
+			return err
+		}
+		t.root = root
+		t.height = 1
+		t.nkeys = 0
+		return nil
+	}
+	level := leaves
+	height := 1
+	fanout := t.intCap - 1
+	for len(level) > 1 {
+		var next []levelNode
+		for i := 0; i < len(level); {
+			id, err := t.newNode(kindInternal)
+			if err != nil {
+				return err
+			}
+			f, err := t.pool.Pin(id)
+			if err != nil {
+				return err
+			}
+			group := len(level) - i
+			if group > fanout+1 {
+				group = fanout + 1
+			}
+			intSetChild(f.Data, k, t.intCap, 0, level[i].id)
+			for c := 1; c < group; c++ {
+				intSetKey(f.Data, k, t.intCap, c-1, level[i+c].firstKey)
+				intSetChild(f.Data, k, t.intCap, c, level[i+c].id)
+			}
+			f.Data[1] = float64(group - 1)
+			f.MarkDirty()
+			t.pool.Unpin(f)
+			next = append(next, levelNode{firstKey: level[i].firstKey, id: id})
+			i += group
+		}
+		level = next
+		height++
+	}
+	t.root = level[0].id
+	t.height = height
+	t.nkeys = n
+	return nil
+}
+
+// ScanFrom visits entries with key >= from in key order until f returns
+// false or the tree is exhausted.
+func (t *BTree) ScanFrom(from []float64, f func(key []float64, rid RID) (bool, error)) error {
+	id := t.root
+	for {
+		fr, err := t.pool.Pin(id)
+		if err != nil {
+			return err
+		}
+		if fr.Data[0] == kindLeaf {
+			t.pool.Unpin(fr)
+			break
+		}
+		n := int(fr.Data[1])
+		lo, hi := 0, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if compareKeys(intKey(fr.Data, t.keyArity, t.intCap, mid), from) <= 0 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		next := intChild(fr.Data, t.keyArity, t.intCap, lo)
+		t.pool.Unpin(fr)
+		id = next
+	}
+	key := make([]float64, t.keyArity)
+	for id >= 0 {
+		fr, err := t.pool.Pin(id)
+		if err != nil {
+			return err
+		}
+		n := int(fr.Data[1])
+		for i := 0; i < n; i++ {
+			copy(key, leafKey(fr.Data, t.keyArity, i))
+			if compareKeys(key, from) < 0 {
+				continue
+			}
+			ok, err := f(key, leafRID(fr.Data, t.keyArity, i))
+			if err != nil || !ok {
+				t.pool.Unpin(fr)
+				return err
+			}
+		}
+		next := disk.BlockID(fr.Data[2])
+		t.pool.Unpin(fr)
+		id = next
+	}
+	return nil
+}
+
+// Free releases the tree's disk space. No node may be pinned.
+func (t *BTree) Free() {
+	for _, id := range t.nodes {
+		t.pool.Invalidate(id)
+	}
+	t.pool.Device().Free(t.name)
+	t.nodes = nil
+	t.nkeys = 0
+}

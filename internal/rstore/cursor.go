@@ -1,0 +1,37 @@
+package rstore
+
+// Cursor iterates a heap file record by record, holding a pin on one
+// page at a time. It is the pull-based counterpart of HeapFile.Scan,
+// needed by Volcano-style operators.
+type Cursor struct {
+	h    *HeapFile
+	rid  int64
+	page int
+	rec  []float64
+}
+
+// NewCursor returns a cursor positioned before the first record.
+func (h *HeapFile) NewCursor() *Cursor {
+	return &Cursor{h: h, page: -1, rec: make([]float64, h.arity)}
+}
+
+// Next returns the next record, or ok=false at end of file. The returned
+// slice is reused across calls.
+func (c *Cursor) Next() (rec []float64, ok bool, err error) {
+	if c.rid >= c.h.nrec {
+		return nil, false, nil
+	}
+	page := int(c.rid / int64(c.h.rpp))
+	slot := int(c.rid % int64(c.h.rpp))
+	f, err := c.h.pool.Pin(c.h.blocks[page])
+	if err != nil {
+		return nil, false, err
+	}
+	copy(c.rec, f.Data[slot*c.h.arity:(slot+1)*c.h.arity])
+	c.h.pool.Unpin(f)
+	c.rid++
+	return c.rec, true, nil
+}
+
+// Reset repositions the cursor at the beginning.
+func (c *Cursor) Reset() { c.rid = 0 }

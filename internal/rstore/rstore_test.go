@@ -1,0 +1,348 @@
+package rstore
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"riot/internal/buffer"
+	"riot/internal/disk"
+)
+
+func testPool(blockElems, frames int) *buffer.Pool {
+	return buffer.New(disk.NewDevice(blockElems), frames)
+}
+
+func TestHeapAppendGet(t *testing.T) {
+	p := testPool(16, 4)
+	h, err := NewHeapFile(p, "h", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.RecordsPerPage() != 8 {
+		t.Fatalf("rpp=%d, want 8", h.RecordsPerPage())
+	}
+	for i := 0; i < 100; i++ {
+		rid, err := h.Append([]float64{float64(i), float64(i) * 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rid != RID(i) {
+			t.Fatalf("rid=%d, want %d", rid, i)
+		}
+	}
+	if h.NumRecords() != 100 {
+		t.Fatalf("nrec=%d", h.NumRecords())
+	}
+	rec, err := h.Get(57)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec[0] != 57 || rec[1] != 570 {
+		t.Fatalf("rec=%v", rec)
+	}
+	if _, err := h.Get(100); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestHeapScanOrderAndValues(t *testing.T) {
+	p := testPool(16, 4)
+	h, _ := NewHeapFile(p, "h", 3)
+	for i := 0; i < 37; i++ {
+		if _, err := h.Append([]float64{float64(i), 1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []float64
+	err := h.Scan(func(rid RID, rec []float64) error {
+		if int64(rid) != int64(len(got)) {
+			t.Fatalf("rid=%d at position %d", rid, len(got))
+		}
+		got = append(got, rec[0])
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 37 {
+		t.Fatalf("scanned %d records", len(got))
+	}
+	for i, v := range got {
+		if v != float64(i) {
+			t.Fatalf("got[%d]=%v", i, v)
+		}
+	}
+}
+
+func TestHeapScanIsMostlySequential(t *testing.T) {
+	dev := disk.NewDevice(128)
+	p := buffer.New(dev, 4)
+	h, _ := NewHeapFile(p, "h", 2)
+	for i := 0; i < 10000; i++ {
+		if _, err := h.Append([]float64{float64(i), 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	dev.ResetStats()
+	if err := h.Scan(func(rid RID, rec []float64) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	s := dev.Stats()
+	if s.RandReads > 8 { // one random jump per extent boundary at worst
+		t.Fatalf("heap scan: %d random reads of %d total", s.RandReads, s.BlocksRead)
+	}
+}
+
+func TestHeapArityMismatch(t *testing.T) {
+	p := testPool(16, 4)
+	h, _ := NewHeapFile(p, "h", 2)
+	if _, err := h.Append([]float64{1}); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestHeapFree(t *testing.T) {
+	p := testPool(16, 4)
+	h, _ := NewHeapFile(p, "h", 2)
+	for i := 0; i < 50; i++ {
+		if _, err := h.Append([]float64{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Free()
+	if h.NumRecords() != 0 || p.Device().OwnedBlocks("h") != 0 {
+		t.Fatal("free did not release")
+	}
+}
+
+func TestBTreeInsertProbe(t *testing.T) {
+	p := testPool(32, 8)
+	bt, err := NewBTree(p, "idx", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	perm := rand.New(rand.NewSource(7)).Perm(n)
+	for _, k := range perm {
+		if err := bt.Insert([]float64{float64(k)}, RID(k*3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bt.NumKeys() != n {
+		t.Fatalf("nkeys=%d, want %d", bt.NumKeys(), n)
+	}
+	if bt.Height() < 2 {
+		t.Fatalf("height=%d, expected a multi-level tree", bt.Height())
+	}
+	for k := 0; k < n; k++ {
+		rid, ok, err := bt.Probe([]float64{float64(k)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || rid != RID(k*3) {
+			t.Fatalf("probe(%d)=(%d,%v), want (%d,true)", k, rid, ok, k*3)
+		}
+	}
+	if _, ok, _ := bt.Probe([]float64{float64(n) + 5}); ok {
+		t.Fatal("probe of absent key returned ok")
+	}
+}
+
+func TestBTreeDuplicateInsertOverwrites(t *testing.T) {
+	p := testPool(32, 8)
+	bt, _ := NewBTree(p, "idx", 1)
+	if err := bt.Insert([]float64{5}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Insert([]float64{5}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if bt.NumKeys() != 1 {
+		t.Fatalf("nkeys=%d, want 1", bt.NumKeys())
+	}
+	rid, ok, _ := bt.Probe([]float64{5})
+	if !ok || rid != 2 {
+		t.Fatalf("probe=(%d,%v), want (2,true)", rid, ok)
+	}
+}
+
+func TestBTreeCompositeKeys(t *testing.T) {
+	p := testPool(32, 8)
+	bt, _ := NewBTree(p, "idx", 2)
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			if err := bt.Insert([]float64{float64(i), float64(j)}, RID(i*20+j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rid, ok, _ := bt.Probe([]float64{7, 13})
+	if !ok || rid != 7*20+13 {
+		t.Fatalf("probe=(%d,%v)", rid, ok)
+	}
+}
+
+func TestBTreeBulkLoadAndScan(t *testing.T) {
+	p := testPool(32, 8)
+	bt, _ := NewBTree(p, "idx", 1)
+	const n = 5000
+	if err := bt.BulkLoad(n, func(i int64) ([]float64, RID) {
+		return []float64{float64(i)}, RID(i)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int64{0, 1, 2499, 4998, 4999} {
+		rid, ok, err := bt.Probe([]float64{float64(k)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || rid != RID(k) {
+			t.Fatalf("probe(%d)=(%d,%v)", k, rid, ok)
+		}
+	}
+	// Range scan from 4000 should see exactly 1000 keys in order.
+	var seen []float64
+	err := bt.ScanFrom([]float64{4000}, func(key []float64, rid RID) (bool, error) {
+		seen = append(seen, key[0])
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("scan saw %d keys, want 1000", len(seen))
+	}
+	if !sort.Float64sAreSorted(seen) {
+		t.Fatal("scan out of order")
+	}
+	if seen[0] != 4000 || seen[999] != 4999 {
+		t.Fatalf("scan range [%v,%v]", seen[0], seen[999])
+	}
+}
+
+func TestBTreeScanEarlyStop(t *testing.T) {
+	p := testPool(32, 8)
+	bt, _ := NewBTree(p, "idx", 1)
+	if err := bt.BulkLoad(100, func(i int64) ([]float64, RID) {
+		return []float64{float64(i)}, RID(i)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	err := bt.ScanFrom([]float64{10}, func(key []float64, rid RID) (bool, error) {
+		count++
+		return count < 5, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("count=%d, want 5", count)
+	}
+}
+
+func TestBTreeEmptyProbe(t *testing.T) {
+	p := testPool(32, 8)
+	bt, _ := NewBTree(p, "idx", 1)
+	if _, ok, err := bt.Probe([]float64{1}); err != nil || ok {
+		t.Fatalf("empty probe=(%v,%v)", ok, err)
+	}
+	if err := bt.ScanFrom([]float64{0}, func(k []float64, r RID) (bool, error) {
+		t.Fatal("scan of empty tree visited a key")
+		return false, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeInsertAfterBulkLoad(t *testing.T) {
+	p := testPool(32, 8)
+	bt, _ := NewBTree(p, "idx", 1)
+	if err := bt.BulkLoad(500, func(i int64) ([]float64, RID) {
+		return []float64{float64(i * 2)}, RID(i)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Insert odd keys between existing ones.
+	for i := 0; i < 500; i++ {
+		if err := bt.Insert([]float64{float64(i*2 + 1)}, RID(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		rid, ok, _ := bt.Probe([]float64{float64(i*2 + 1)})
+		if !ok || rid != RID(1000+i) {
+			t.Fatalf("probe odd %d=(%d,%v)", i*2+1, rid, ok)
+		}
+		rid, ok, _ = bt.Probe([]float64{float64(i * 2)})
+		if !ok || rid != RID(i) {
+			t.Fatalf("probe even %d=(%d,%v)", i*2, rid, ok)
+		}
+	}
+}
+
+// Property: the tree agrees with a map model under random inserts,
+// probes, and a final ordered scan.
+func TestBTreeModelProperty(t *testing.T) {
+	f := func(keys []uint16) bool {
+		p := testPool(32, 8)
+		bt, err := NewBTree(p, "idx", 1)
+		if err != nil {
+			return false
+		}
+		model := make(map[float64]RID)
+		for i, kv := range keys {
+			k := float64(kv % 512)
+			if err := bt.Insert([]float64{k}, RID(i)); err != nil {
+				return false
+			}
+			model[k] = RID(i)
+		}
+		if bt.NumKeys() != int64(len(model)) {
+			return false
+		}
+		for k, want := range model {
+			rid, ok, err := bt.Probe([]float64{k})
+			if err != nil || !ok || rid != want {
+				return false
+			}
+		}
+		// Full scan must be sorted and complete.
+		var prev float64 = -1
+		count := 0
+		err = bt.ScanFrom([]float64{-1e300}, func(key []float64, rid RID) (bool, error) {
+			if key[0] <= prev {
+				t.Fatalf("scan out of order: %v after %v", key[0], prev)
+			}
+			prev = key[0]
+			count++
+			return true, nil
+		})
+		return err == nil && count == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeFree(t *testing.T) {
+	p := testPool(32, 8)
+	bt, _ := NewBTree(p, "idx", 1)
+	if err := bt.BulkLoad(1000, func(i int64) ([]float64, RID) {
+		return []float64{float64(i)}, RID(i)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bt.Free()
+	if p.Device().OwnedBlocks("idx") != 0 {
+		t.Fatal("btree blocks not freed")
+	}
+}

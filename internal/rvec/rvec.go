@@ -1,0 +1,352 @@
+// Package rvec is the "plain R" baseline: an eager, vectorized evaluator
+// whose every object — inputs and all intermediate results — lives in
+// simulated virtual memory (internal/vmem). It reproduces the behaviour
+// the paper measures for R in Figure 1: each operation in a compound
+// expression materializes a full-length temporary, temporaries crowd out
+// the working set, and once physical memory is exceeded the page
+// replacement policy starts thrashing.
+//
+// Like R itself, evaluation here is best-case in one respect: a
+// temporary is freed as soon as its consumer has read it ("even with a
+// smart garbage collector that immediately reclaims memory ... there can
+// be multiple intermediate results alive at the same time", §3).
+package rvec
+
+import (
+	"fmt"
+	"math"
+
+	"riot/internal/vmem"
+)
+
+// Engine evaluates vector programs eagerly over a vmem.Space.
+type Engine struct {
+	space *vmem.Space
+	flops int64
+	seq   int
+}
+
+// New creates an engine with pages of pageElems elements, a physical
+// budget of capacityPages, of which runtimePages are locked by the
+// language runtime itself (the paper's "R runtime" share of the 84 MB
+// cap).
+func New(pageElems, capacityPages, runtimePages int) *Engine {
+	s := vmem.NewSpace(pageElems, capacityPages)
+	if runtimePages > 0 {
+		s.ReserveLocked(runtimePages)
+	}
+	return &Engine{space: s}
+}
+
+// Space exposes the underlying virtual memory (for stats).
+func (e *Engine) Space() *vmem.Space { return e.space }
+
+// Flops returns the number of element operations performed so far; the
+// simulated-time model converts it to CPU seconds.
+func (e *Engine) Flops() int64 { return e.flops }
+
+// ResetStats zeroes paging counters and the flop count.
+func (e *Engine) ResetStats() {
+	e.space.ResetStats()
+	e.flops = 0
+}
+
+// Stats returns the paging counters (Figure 1's I/O for plain R).
+func (e *Engine) Stats() vmem.Stats { return e.space.Stats() }
+
+// Vector is an eager in-memory vector.
+type Vector struct {
+	eng *Engine
+	arr *vmem.Array
+	n   int64
+}
+
+// Len returns the vector length.
+func (v *Vector) Len() int64 { return v.n }
+
+func (e *Engine) alloc(n int64) *Vector {
+	e.seq++
+	return &Vector{eng: e, arr: e.space.Alloc(fmt.Sprintf("obj%d", e.seq), n), n: n}
+}
+
+// Free releases the vector's pages, as R's collector does once an object
+// is unreachable.
+func (e *Engine) Free(v *Vector) {
+	if v != nil && v.arr != nil {
+		e.space.Free(v.arr)
+		v.arr = nil
+	}
+}
+
+// NewVector materializes gen(i) for i in [0, n).
+func (e *Engine) NewVector(n int64, gen func(i int64) float64) *Vector {
+	v := e.alloc(n)
+	for p := 0; p < v.arr.NumPages(); p++ {
+		lo, _ := v.arr.PageSpan(p)
+		data := v.arr.WritePage(p)
+		for k := range data {
+			data[k] = gen(lo + int64(k))
+		}
+	}
+	return v
+}
+
+// At reads one element (faulting its page if needed).
+func (v *Vector) At(i int64) float64 { return v.arr.At(i) }
+
+// binOps implements R's vectorized arithmetic and comparisons.
+func binOp(op string) (func(a, b float64) float64, error) {
+	switch op {
+	case "+":
+		return func(a, b float64) float64 { return a + b }, nil
+	case "-":
+		return func(a, b float64) float64 { return a - b }, nil
+	case "*":
+		return func(a, b float64) float64 { return a * b }, nil
+	case "/":
+		return func(a, b float64) float64 { return a / b }, nil
+	case "^":
+		return math.Pow, nil
+	case "%%":
+		return math.Mod, nil
+	case "==":
+		return func(a, b float64) float64 { return b2f(a == b) }, nil
+	case "!=":
+		return func(a, b float64) float64 { return b2f(a != b) }, nil
+	case "<":
+		return func(a, b float64) float64 { return b2f(a < b) }, nil
+	case "<=":
+		return func(a, b float64) float64 { return b2f(a <= b) }, nil
+	case ">":
+		return func(a, b float64) float64 { return b2f(a > b) }, nil
+	case ">=":
+		return func(a, b float64) float64 { return b2f(a >= b) }, nil
+	case "&":
+		return func(a, b float64) float64 { return b2f(a != 0 && b != 0) }, nil
+	case "|":
+		return func(a, b float64) float64 { return b2f(a != 0 || b != 0) }, nil
+	}
+	return nil, fmt.Errorf("rvec: unknown operator %q", op)
+}
+
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// Arith eagerly computes a op b into a fresh full-length temporary —
+// exactly what R does, and the root of its memory pressure.
+func (e *Engine) Arith(op string, a, b *Vector) (*Vector, error) {
+	if a.n != b.n {
+		return nil, fmt.Errorf("rvec: length mismatch %d vs %d", a.n, b.n)
+	}
+	f, err := binOp(op)
+	if err != nil {
+		return nil, err
+	}
+	out := e.alloc(a.n)
+	for p := 0; p < out.arr.NumPages(); p++ {
+		pa := a.arr.ReadPage(p)
+		pb := b.arr.ReadPage(p)
+		po := out.arr.WritePage(p)
+		for k := range po {
+			po[k] = f(pa[k], pb[k])
+		}
+	}
+	e.flops += a.n
+	return out, nil
+}
+
+// ArithScalar computes a op s (or s op a if scalarLeft).
+func (e *Engine) ArithScalar(op string, a *Vector, s float64, scalarLeft bool) (*Vector, error) {
+	f, err := binOp(op)
+	if err != nil {
+		return nil, err
+	}
+	out := e.alloc(a.n)
+	for p := 0; p < out.arr.NumPages(); p++ {
+		pa := a.arr.ReadPage(p)
+		po := out.arr.WritePage(p)
+		for k := range po {
+			if scalarLeft {
+				po[k] = f(s, pa[k])
+			} else {
+				po[k] = f(pa[k], s)
+			}
+		}
+	}
+	e.flops += a.n
+	return out, nil
+}
+
+// unaryFns are the vectorized math functions.
+func unaryFn(name string) (func(float64) float64, error) {
+	switch name {
+	case "sqrt", "SQRT":
+		return math.Sqrt, nil
+	case "abs", "ABS":
+		return math.Abs, nil
+	case "exp", "EXP":
+		return math.Exp, nil
+	case "log", "LOG":
+		return math.Log, nil
+	case "sin", "SIN":
+		return math.Sin, nil
+	case "cos", "COS":
+		return math.Cos, nil
+	case "floor", "FLOOR":
+		return math.Floor, nil
+	case "ceil", "CEIL", "ceiling":
+		return math.Ceil, nil
+	}
+	return nil, fmt.Errorf("rvec: unknown function %q", name)
+}
+
+// Map applies a unary function elementwise into a fresh temporary.
+func (e *Engine) Map(name string, a *Vector) (*Vector, error) {
+	f, err := unaryFn(name)
+	if err != nil {
+		return nil, err
+	}
+	out := e.alloc(a.n)
+	for p := 0; p < out.arr.NumPages(); p++ {
+		pa := a.arr.ReadPage(p)
+		po := out.arr.WritePage(p)
+		for k := range po {
+			po[k] = f(pa[k])
+		}
+	}
+	e.flops += a.n
+	return out, nil
+}
+
+// IndexBy gathers d[s]: one random access into d per element of s.
+func (e *Engine) IndexBy(d, s *Vector) (*Vector, error) {
+	out := e.alloc(s.n)
+	for p := 0; p < out.arr.NumPages(); p++ {
+		ps := s.arr.ReadPage(p)
+		po := out.arr.WritePage(p)
+		for k := range po {
+			idx := int64(ps[k])
+			if idx < 0 || idx >= d.n {
+				return nil, fmt.Errorf("rvec: index %d out of range [0,%d)", idx, d.n)
+			}
+			po[k] = d.arr.At(idx)
+		}
+	}
+	e.flops += s.n
+	return out, nil
+}
+
+// UpdateWhere implements b[b > k] <- val in place, as R's `[<-` does on
+// an unshared object: a full pass over b.
+func (e *Engine) UpdateWhere(a *Vector, cmpOp string, threshold, val float64) error {
+	f, err := binOp(cmpOp)
+	if err != nil {
+		return err
+	}
+	for p := 0; p < a.arr.NumPages(); p++ {
+		pa := a.arr.WritePage(p)
+		for k := range pa {
+			if f(pa[k], threshold) != 0 {
+				pa[k] = val
+			}
+		}
+	}
+	e.flops += a.n
+	return nil
+}
+
+// Sum reduces the vector (used to force full evaluation in benchmarks).
+func (e *Engine) Sum(a *Vector) float64 {
+	var s float64
+	for p := 0; p < a.arr.NumPages(); p++ {
+		for _, x := range a.arr.ReadPage(p) {
+			s += x
+		}
+	}
+	e.flops += a.n
+	return s
+}
+
+// Fetch copies up to limit elements (limit < 0: all) out of the vector.
+func (e *Engine) Fetch(a *Vector, limit int64) []float64 {
+	n := a.n
+	if limit >= 0 && limit < n {
+		n = limit
+	}
+	out := make([]float64, n)
+	for i := int64(0); i < n; i++ {
+		out[i] = a.arr.At(i)
+	}
+	return out
+}
+
+// Sample returns k distinct indices in [0, n) as a vector, matching
+// riotdb.SampleIndices for cross-engine comparability.
+func (e *Engine) Sample(n, k int64, seed uint64, indices []int64) *Vector {
+	return e.NewVector(int64(len(indices)), func(i int64) float64 {
+		return float64(indices[i])
+	})
+}
+
+// Matrix is an eager column-major matrix, R's default layout (§3).
+type Matrix struct {
+	eng  *Engine
+	arr  *vmem.Array
+	r, c int64
+}
+
+// NewMatrix materializes gen(i, j) in column-major order.
+func (e *Engine) NewMatrix(rows, cols int64, gen func(i, j int64) float64) *Matrix {
+	e.seq++
+	m := &Matrix{eng: e, arr: e.space.Alloc(fmt.Sprintf("mat%d", e.seq), rows*cols), r: rows, c: cols}
+	for p := 0; p < m.arr.NumPages(); p++ {
+		lo, _ := m.arr.PageSpan(p)
+		data := m.arr.WritePage(p)
+		for k := range data {
+			off := lo + int64(k)
+			data[k] = gen(off%rows, off/rows)
+		}
+	}
+	return m
+}
+
+// Dims returns (rows, cols).
+func (m *Matrix) Dims() (int64, int64) { return m.r, m.c }
+
+// At reads element (i, j), faulting the containing page.
+func (m *Matrix) At(i, j int64) float64 { return m.arr.At(j*m.r + i) }
+
+// FreeMatrix releases the matrix's pages.
+func (e *Engine) FreeMatrix(m *Matrix) {
+	if m != nil && m.arr != nil {
+		e.space.Free(m.arr)
+		m.arr = nil
+	}
+}
+
+// MatMul is R's built-in matrix multiply from Example 2: the textbook
+// triple loop over column-major operands. For each column of the result
+// it walks A in row-major order — the worst case for column layout, and
+// the paper's motivating example for layout-aware algorithms.
+func (e *Engine) MatMul(a, b *Matrix) (*Matrix, error) {
+	if a.c != b.r {
+		return nil, fmt.Errorf("rvec: dimension mismatch %dx%d %%*%% %dx%d", a.r, a.c, b.r, b.c)
+	}
+	e.seq++
+	t := &Matrix{eng: e, arr: e.space.Alloc(fmt.Sprintf("mat%d", e.seq), a.r*b.c), r: a.r, c: b.c}
+	for j := int64(0); j < b.c; j++ {
+		for i := int64(0); i < a.r; i++ {
+			var sum float64
+			for k := int64(0); k < a.c; k++ {
+				sum += a.arr.At(k*a.r+i) * b.arr.At(j*b.r+k)
+			}
+			t.arr.Set(j*t.r+i, sum)
+		}
+	}
+	e.flops += a.r * a.c * b.c
+	return t, nil
+}

@@ -1,0 +1,286 @@
+package rvec
+
+import (
+	"math"
+	"testing"
+
+	"riot/internal/riotdb"
+)
+
+func TestArithCorrectness(t *testing.T) {
+	e := New(64, 1024, 0)
+	a := e.NewVector(100, func(i int64) float64 { return float64(i) })
+	b := e.NewVector(100, func(i int64) float64 { return 3 })
+	ops := map[string]func(x, y float64) float64{
+		"+": func(x, y float64) float64 { return x + y },
+		"-": func(x, y float64) float64 { return x - y },
+		"*": func(x, y float64) float64 { return x * y },
+		"/": func(x, y float64) float64 { return x / y },
+		"^": math.Pow,
+	}
+	for op, f := range ops {
+		out, err := e.Arith(op, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 100; i += 17 {
+			if got, want := out.At(i), f(float64(i), 3); got != want {
+				t.Fatalf("%s: [%d]=%v want %v", op, i, got, want)
+			}
+		}
+		e.Free(out)
+	}
+}
+
+func TestComparisonAndLogical(t *testing.T) {
+	e := New(64, 1024, 0)
+	a := e.NewVector(10, func(i int64) float64 { return float64(i) })
+	gt, err := e.ArithScalar(">", a, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		want := 0.0
+		if i > 4 {
+			want = 1
+		}
+		if gt.At(i) != want {
+			t.Fatalf("gt[%d]=%v", i, gt.At(i))
+		}
+	}
+}
+
+func TestScalarLeft(t *testing.T) {
+	e := New(64, 1024, 0)
+	a := e.NewVector(5, func(i int64) float64 { return float64(i) })
+	out, err := e.ArithScalar("-", a, 10, true) // 10 - a
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(3) != 7 {
+		t.Fatalf("10-3=%v", out.At(3))
+	}
+}
+
+func TestMapAndSum(t *testing.T) {
+	e := New(64, 1024, 0)
+	a := e.NewVector(100, func(i int64) float64 { return float64(i * i) })
+	s, err := e.Map("sqrt", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Sum(s); got != 4950 {
+		t.Fatalf("sum=%v", got)
+	}
+}
+
+func TestIndexByGather(t *testing.T) {
+	e := New(64, 1024, 0)
+	d := e.NewVector(1000, func(i int64) float64 { return float64(i) * 2 })
+	s := e.NewVector(5, func(i int64) float64 { return float64(i * 100) })
+	z, err := e.IndexBy(d, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 5; i++ {
+		if z.At(i) != float64(i*100*2) {
+			t.Fatalf("z[%d]=%v", i, z.At(i))
+		}
+	}
+	s2 := e.NewVector(1, func(int64) float64 { return 5000 })
+	if _, err := e.IndexBy(d, s2); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestUpdateWhere(t *testing.T) {
+	e := New(64, 1024, 0)
+	b := e.NewVector(20, func(i int64) float64 { return float64(i * i) })
+	if err := e.UpdateWhere(b, ">", 100, 100); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 20; i++ {
+		want := float64(i * i)
+		if want > 100 {
+			want = 100
+		}
+		if b.At(i) != want {
+			t.Fatalf("b[%d]=%v want %v", i, b.At(i), want)
+		}
+	}
+}
+
+func TestThrashingWhenTemporariesExceedMemory(t *testing.T) {
+	// Physical memory holds ~2 vectors; Example 1's line (1) needs ~5
+	// alive at once, so plain R must page heavily while a run that fits
+	// must not page at all.
+	pageElems := 64
+	n := int64(64 * 64) // 64 pages per vector
+	run := func(capacityPages int) (int64, float64) {
+		e := New(pageElems, capacityPages, 0)
+		x := e.NewVector(n, func(i int64) float64 { return float64(i % 91) })
+		y := e.NewVector(n, func(i int64) float64 { return float64(i % 83) })
+		d := example1Distance(t, e, x, y)
+		sum := e.Sum(d)
+		return e.Stats().SwapOps(), sum
+	}
+	ioSmall, sumSmall := run(2*64 + 40) // ~2 vectors + slack: must thrash
+	ioBig, sumBig := run(64 * 64)       // plenty: no paging at all
+	if sumSmall != sumBig {
+		t.Fatalf("results differ under memory pressure: %v vs %v", sumSmall, sumBig)
+	}
+	if ioBig != 0 {
+		t.Fatalf("ample-memory run paged %d times", ioBig)
+	}
+	if ioSmall == 0 {
+		t.Fatal("constrained run did not page")
+	}
+}
+
+// example1Distance computes line (1) of Example 1 the way R does,
+// freeing each temporary as soon as its consumer is done.
+func example1Distance(t *testing.T, e *Engine, x, y *Vector) *Vector {
+	t.Helper()
+	sq := func(v *Vector, c float64) *Vector {
+		d, err := e.ArithScalar("-", v, c, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := e.Arith("*", d, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Free(d)
+		return s
+	}
+	a1, b1 := sq(x, 3), sq(y, 4)
+	s1, err := e.Arith("+", a1, b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Free(a1)
+	e.Free(b1)
+	r1, err := e.Map("sqrt", s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Free(s1)
+	a2, b2 := sq(x, 100), sq(y, 200)
+	s2, err := e.Arith("+", a2, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Free(a2)
+	e.Free(b2)
+	r2, err := e.Map("sqrt", s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Free(s2)
+	d, err := e.Arith("+", r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Free(r1)
+	e.Free(r2)
+	return d
+}
+
+func TestAgreesWithRIOTDBOnExample1(t *testing.T) {
+	// Cross-engine check: plain R and RIOT-DB compute identical d[s].
+	n := int64(5000)
+	e := New(64, 1<<16, 0)
+	x := e.NewVector(n, func(i int64) float64 { return float64(i % 997) })
+	y := e.NewVector(n, func(i int64) float64 { return float64(i % 991) })
+	d := example1Distance(t, e, x, y)
+	idx := riotdb.SampleIndices(n, 50, 42)
+	s := e.NewVector(int64(len(idx)), func(i int64) float64 { return float64(idx[i]) })
+	z, err := e.IndexBy(d, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range idx {
+		i := idx[k]
+		xi, yi := float64(i%997), float64(i%991)
+		want := math.Sqrt((xi-3)*(xi-3)+(yi-4)*(yi-4)) +
+			math.Sqrt((xi-100)*(xi-100)+(yi-200)*(yi-200))
+		if math.Abs(z.At(int64(k))-want) > 1e-9 {
+			t.Fatalf("z[%d]=%v want %v", k, z.At(int64(k)), want)
+		}
+	}
+}
+
+func TestFlopAccounting(t *testing.T) {
+	e := New(64, 1024, 0)
+	a := e.NewVector(100, func(i int64) float64 { return 1 })
+	b := e.NewVector(100, func(i int64) float64 { return 2 })
+	if _, err := e.Arith("+", a, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Map("sqrt", a); err != nil {
+		t.Fatal(err)
+	}
+	if e.Flops() != 200 {
+		t.Fatalf("flops=%d, want 200", e.Flops())
+	}
+	e.ResetStats()
+	if e.Flops() != 0 {
+		t.Fatal("reset did not clear flops")
+	}
+}
+
+func TestMatrixColumnMajorAndMatMul(t *testing.T) {
+	e := New(64, 1<<16, 0)
+	a := e.NewMatrix(3, 4, func(i, j int64) float64 { return float64(i*10 + j) })
+	if a.At(2, 3) != 23 {
+		t.Fatalf("a[2,3]=%v", a.At(2, 3))
+	}
+	b := e.NewMatrix(4, 2, func(i, j int64) float64 { return float64(i + j) })
+	c, err := e.MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, cc := c.Dims()
+	if r != 3 || cc != 2 {
+		t.Fatalf("dims %dx%d", r, cc)
+	}
+	for i := int64(0); i < 3; i++ {
+		for j := int64(0); j < 2; j++ {
+			var want float64
+			for k := int64(0); k < 4; k++ {
+				want += float64(i*10+k) * float64(k+j)
+			}
+			if c.At(i, j) != want {
+				t.Fatalf("c[%d,%d]=%v want %v", i, j, c.At(i, j), want)
+			}
+		}
+	}
+	if _, err := e.MatMul(b, a); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestMatMulColumnLayoutPagesMoreThanRowFriendly(t *testing.T) {
+	// Example 2's point: with column-major A and a tight memory budget,
+	// the naive multiply faults heavily because it reads A row-wise.
+	pageElems := 16
+	n := int64(48)
+	run := func(capacityPages int) int64 {
+		e := New(pageElems, capacityPages, 0)
+		a := e.NewMatrix(n, n, func(i, j int64) float64 { return 1 })
+		b := e.NewMatrix(n, n, func(i, j int64) float64 { return 1 })
+		e.ResetStats()
+		if _, err := e.MatMul(a, b); err != nil {
+			t.Fatal(err)
+		}
+		return e.Stats().SwapOps()
+	}
+	tight := run(int(3*n*n/int64(pageElems)/2 + 4)) // half the data fits
+	ample := run(1 << 12)
+	if ample != 0 {
+		t.Fatalf("ample run paged %d", ample)
+	}
+	if tight == 0 {
+		t.Fatal("tight run did not page")
+	}
+}

@@ -1,0 +1,249 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stmt is any parsed SQL statement.
+type Stmt interface{ stmt() }
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    []TableRef
+	Where   Expr // nil if absent
+	GroupBy []Expr
+	OrderBy []OrderItem
+	Limit   int64 // -1 if absent
+}
+
+func (*SelectStmt) stmt() {}
+
+// SelectItem is one output expression with an optional alias. A bare
+// `*` is represented by Star=true.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool
+}
+
+// TableRef names a table or view in FROM, with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// Bind returns the effective name the reference is known by.
+func (t TableRef) Bind() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// CreateTableStmt creates a table, either from a column list or from a
+// query (CREATE TABLE name AS SELECT...). PK lists primary-key columns;
+// empty means the first column (RIOT-DB's convention: array index first).
+type CreateTableStmt struct {
+	Name string
+	Cols []string
+	PK   []string
+	As   *SelectStmt
+}
+
+func (*CreateTableStmt) stmt() {}
+
+// CreateViewStmt records a view definition without evaluating it.
+type CreateViewStmt struct {
+	Name string
+	Cols []string // optional output column names
+	As   *SelectStmt
+}
+
+func (*CreateViewStmt) stmt() {}
+
+// InsertStmt inserts literal rows.
+type InsertStmt struct {
+	Table string
+	Rows  [][]float64
+}
+
+func (*InsertStmt) stmt() {}
+
+// DropStmt drops a table or view.
+type DropStmt struct {
+	Name     string
+	View     bool
+	IfExists bool
+}
+
+func (*DropStmt) stmt() {}
+
+// Expr is a parsed scalar (or aggregate) expression.
+type Expr interface {
+	fmt.Stringer
+	expr()
+}
+
+// NumLit is a numeric literal.
+type NumLit struct{ V float64 }
+
+func (NumLit) expr()            {}
+func (n NumLit) String() string { return fmt.Sprintf("%g", n.V) }
+
+// ColRef references a column, optionally qualified by table alias.
+type ColRef struct {
+	Table string // "" if unqualified
+	Name  string
+}
+
+func (ColRef) expr() {}
+func (c ColRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// BinExpr is a binary operation; Op is the SQL token ("+", "AND", "<=").
+type BinExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (BinExpr) expr() {}
+func (b BinExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// UnaryExpr is negation or NOT.
+type UnaryExpr struct {
+	Op string // "-" or "NOT"
+	X  Expr
+}
+
+func (UnaryExpr) expr() {}
+func (u UnaryExpr) String() string {
+	return fmt.Sprintf("(%s %s)", u.Op, u.X)
+}
+
+// FuncExpr is a function call: scalar (SQRT, POW, …) or aggregate
+// (SUM, COUNT, AVG, MIN, MAX). Star marks COUNT(*).
+type FuncExpr struct {
+	Name string // upper-cased
+	Args []Expr
+	Star bool
+}
+
+func (FuncExpr) expr() {}
+func (f FuncExpr) String() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	args := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.String()
+	}
+	return f.Name + "(" + strings.Join(args, ", ") + ")"
+}
+
+// aggFuncs are the aggregate function names.
+var aggFuncs = map[string]bool{
+	"SUM": true, "COUNT": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// hasAggregate reports whether e contains an aggregate call.
+func hasAggregate(e Expr) bool {
+	switch t := e.(type) {
+	case NumLit, ColRef:
+		return false
+	case BinExpr:
+		return hasAggregate(t.L) || hasAggregate(t.R)
+	case UnaryExpr:
+		return hasAggregate(t.X)
+	case FuncExpr:
+		if aggFuncs[t.Name] {
+			return true
+		}
+		for _, a := range t.Args {
+			if hasAggregate(a) {
+				return true
+			}
+		}
+		return false
+	}
+	panic(fmt.Sprintf("sql: hasAggregate of %T", e))
+}
+
+// substituteCols rewrites column references using sub; references not in
+// sub are kept. Used for view expansion.
+func substituteCols(e Expr, sub func(c ColRef) (Expr, bool)) Expr {
+	switch t := e.(type) {
+	case NumLit:
+		return t
+	case ColRef:
+		if r, ok := sub(t); ok {
+			return r
+		}
+		return t
+	case BinExpr:
+		return BinExpr{Op: t.Op, L: substituteCols(t.L, sub), R: substituteCols(t.R, sub)}
+	case UnaryExpr:
+		return UnaryExpr{Op: t.Op, X: substituteCols(t.X, sub)}
+	case FuncExpr:
+		args := make([]Expr, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = substituteCols(a, sub)
+		}
+		return FuncExpr{Name: t.Name, Args: args, Star: t.Star}
+	}
+	panic(fmt.Sprintf("sql: substituteCols of %T", e))
+}
+
+// conjuncts splits a predicate on AND.
+func conjuncts(e Expr) []Expr {
+	if b, ok := e.(BinExpr); ok && b.Op == "AND" {
+		return append(conjuncts(b.L), conjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// andAll joins conjuncts back with AND; nil for an empty list.
+func andAll(cs []Expr) Expr {
+	var out Expr
+	for _, c := range cs {
+		if out == nil {
+			out = c
+		} else {
+			out = BinExpr{Op: "AND", L: out, R: c}
+		}
+	}
+	return out
+}
+
+// colRefsIn collects every ColRef in e.
+func colRefsIn(e Expr, out *[]ColRef) {
+	switch t := e.(type) {
+	case NumLit:
+	case ColRef:
+		*out = append(*out, t)
+	case BinExpr:
+		colRefsIn(t.L, out)
+		colRefsIn(t.R, out)
+	case UnaryExpr:
+		colRefsIn(t.X, out)
+	case FuncExpr:
+		for _, a := range t.Args {
+			colRefsIn(a, out)
+		}
+	default:
+		panic(fmt.Sprintf("sql: colRefsIn of %T", e))
+	}
+}

@@ -1,0 +1,366 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"riot/internal/relation"
+	"riot/internal/rstore"
+)
+
+// Table is a base table: a heap file clustered by primary key plus a
+// B+tree primary index (MyISAM-style data file + index file).
+type Table struct {
+	Name   string
+	Schema relation.Schema
+	PK     []int // primary-key column positions
+	Heap   *rstore.HeapFile
+	Index  *rstore.BTree // may be nil for index-less temporaries
+}
+
+// Rows returns the table cardinality.
+func (t *Table) Rows() int64 { return t.Heap.NumRecords() }
+
+// View is a recorded query, unevaluated until referenced — the deferral
+// mechanism the paper builds RIOT-DB on.
+type View struct {
+	Name string
+	Cols []string // output column names (defaults to the select aliases)
+	Def  *SelectStmt
+}
+
+// Database is a catalog of tables and views plus an execution context.
+type Database struct {
+	ctx    *relation.Context
+	tables map[string]*Table
+	views  map[string]*View
+	seq    int
+}
+
+// NewDatabase creates an empty database over ctx.
+func NewDatabase(ctx *relation.Context) *Database {
+	return &Database{
+		ctx:    ctx,
+		tables: make(map[string]*Table),
+		views:  make(map[string]*View),
+	}
+}
+
+// Context exposes the execution context (pool, working memory).
+func (db *Database) Context() *relation.Context { return db.ctx }
+
+// Table looks up a base table.
+func (db *Database) Table(name string) (*Table, bool) {
+	t, ok := db.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// ViewDef looks up a view.
+func (db *Database) ViewDef(name string) (*View, bool) {
+	v, ok := db.views[strings.ToLower(name)]
+	return v, ok
+}
+
+// HasRelation reports whether name is a table or view.
+func (db *Database) HasRelation(name string) bool {
+	key := strings.ToLower(name)
+	_, t := db.tables[key]
+	_, v := db.views[key]
+	return t || v
+}
+
+// CreateTable registers an empty table with the given columns and
+// primary key (nil pk means no index).
+func (db *Database) CreateTable(name string, cols []string, pk []string) (*Table, error) {
+	key := strings.ToLower(name)
+	if db.HasRelation(name) {
+		return nil, fmt.Errorf("sql: relation %q already exists", name)
+	}
+	heap, err := rstore.NewHeapFile(db.ctx.Pool, "tbl:"+key, len(cols))
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Name: name, Schema: relation.NewSchema(cols...), Heap: heap}
+	for _, p := range pk {
+		i := t.Schema.ColIndex(p)
+		if i < 0 {
+			return nil, fmt.Errorf("sql: primary key column %q not in table %q", p, name)
+		}
+		t.PK = append(t.PK, i)
+	}
+	if len(t.PK) > 0 {
+		idx, err := rstore.NewBTree(db.ctx.Pool, "idx:"+key, len(t.PK))
+		if err != nil {
+			return nil, err
+		}
+		t.Index = idx
+	}
+	db.tables[key] = t
+	return t, nil
+}
+
+// BulkLoad appends rows already sorted by primary key and rebuilds the
+// index bottom-up. It is the fast path RIOT-DB uses to store vectors and
+// matrices, whose elements arrive in index order.
+func (db *Database) BulkLoad(t *Table, n int64, row func(i int64) []float64) error {
+	start := t.Heap.NumRecords()
+	for i := int64(0); i < n; i++ {
+		if _, err := t.Heap.Append(row(i)); err != nil {
+			return err
+		}
+	}
+	if err := t.Heap.Flush(); err != nil {
+		return err
+	}
+	if t.Index != nil {
+		total := t.Heap.NumRecords()
+		if start != 0 {
+			return fmt.Errorf("sql: bulk load into non-empty table %q", t.Name)
+		}
+		key := make([]float64, len(t.PK))
+		err := t.Index.BulkLoad(total, func(i int64) ([]float64, rstore.RID) {
+			rec, err := t.Heap.Get(rstore.RID(i))
+			if err != nil {
+				panic(err) // heap read of just-written record cannot fail
+			}
+			for k, c := range t.PK {
+				key[k] = rec[c]
+			}
+			return key, rstore.RID(i)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Insert appends rows one by one, maintaining the index. Rows need not
+// be sorted; the heap stays in insertion order (so clustering is only
+// guaranteed for sorted loads).
+func (db *Database) Insert(t *Table, rows [][]float64) error {
+	for _, r := range rows {
+		if len(r) != t.Schema.Arity() {
+			return fmt.Errorf("sql: insert arity %d into table %q of arity %d", len(r), t.Name, t.Schema.Arity())
+		}
+		rid, err := t.Heap.Append(r)
+		if err != nil {
+			return err
+		}
+		if t.Index != nil {
+			key := make([]float64, len(t.PK))
+			for k, c := range t.PK {
+				key[k] = r[c]
+			}
+			if err := t.Index.Insert(key, rid); err != nil {
+				return err
+			}
+		}
+	}
+	return t.Heap.Flush()
+}
+
+// CreateView registers a view definition; nothing is evaluated.
+func (db *Database) CreateView(name string, cols []string, def *SelectStmt) error {
+	if db.HasRelation(name) {
+		return fmt.Errorf("sql: relation %q already exists", name)
+	}
+	if len(cols) == 0 {
+		for i, item := range def.Items {
+			if item.Alias != "" {
+				cols = append(cols, item.Alias)
+			} else if c, ok := item.Expr.(ColRef); ok {
+				cols = append(cols, c.Name)
+			} else {
+				cols = append(cols, fmt.Sprintf("c%d", i+1))
+			}
+		}
+	}
+	if len(cols) != len(def.Items) {
+		return fmt.Errorf("sql: view %q has %d columns for %d select items", name, len(cols), len(def.Items))
+	}
+	db.views[strings.ToLower(name)] = &View{Name: name, Cols: cols, Def: def}
+	return nil
+}
+
+// Drop removes a table or view and frees its storage.
+func (db *Database) Drop(name string, isView, ifExists bool) error {
+	key := strings.ToLower(name)
+	if isView {
+		if _, ok := db.views[key]; !ok {
+			if ifExists {
+				return nil
+			}
+			return fmt.Errorf("sql: view %q does not exist", name)
+		}
+		delete(db.views, key)
+		return nil
+	}
+	t, ok := db.tables[key]
+	if !ok {
+		if ifExists {
+			return nil
+		}
+		return fmt.Errorf("sql: table %q does not exist", name)
+	}
+	t.Heap.Free()
+	if t.Index != nil {
+		t.Index.Free()
+	}
+	delete(db.tables, key)
+	return nil
+}
+
+// Exec parses and executes a DDL/DML statement. SELECT is rejected —
+// use Query.
+func (db *Database) Exec(src string) error {
+	st, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	switch s := st.(type) {
+	case *CreateTableStmt:
+		if s.As != nil {
+			_, err := db.CreateTableAs(s.Name, s.As, nil)
+			return err
+		}
+		pk := s.PK
+		if len(pk) == 0 && len(s.Cols) > 0 {
+			// RIOT-DB convention: the leading column(s) up to V form the key.
+			pk = []string{s.Cols[0]}
+		}
+		_, err := db.CreateTable(s.Name, s.Cols, pk)
+		return err
+	case *CreateViewStmt:
+		return db.CreateView(s.Name, s.Cols, s.As)
+	case *InsertStmt:
+		t, ok := db.Table(s.Table)
+		if !ok {
+			return fmt.Errorf("sql: table %q does not exist", s.Table)
+		}
+		return db.Insert(t, s.Rows)
+	case *DropStmt:
+		return db.Drop(s.Name, s.View, s.IfExists)
+	case *SelectStmt:
+		return fmt.Errorf("sql: use Query for SELECT")
+	}
+	return fmt.Errorf("sql: unhandled statement %T", st)
+}
+
+// CreateTableAs materializes a query into a new table. pk names the
+// primary-key columns of the result; nil means the first column.
+func (db *Database) CreateTableAs(name string, sel *SelectStmt, pk []string) (*Table, error) {
+	p, err := db.planSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, len(p.schema))
+	for i, c := range p.schema {
+		cols[i] = c.name
+	}
+	if pk == nil && len(cols) > 0 {
+		pk = []string{cols[0]}
+	}
+	t, err := db.CreateTable(name, cols, pk)
+	if err != nil {
+		return nil, err
+	}
+	// The heap must be clustered by primary key: if the plan does not
+	// already deliver PK order, sort before materializing (MySQL's
+	// clustered bulk load does the same).
+	if len(t.PK) > 0 && !p.sortedCovers(t.PK) {
+		p = &plan{
+			it:     &relation.Sort{Input: p.it, Arity: p.arity(), Cols: append([]int(nil), t.PK...), Ctx: db.ctx},
+			schema: p.schema,
+			sorted: append([]int(nil), t.PK...),
+			rows:   p.rows,
+			desc:   fmt.Sprintf("Sort(%s)", p.desc),
+		}
+	}
+	if err := p.it.Open(); err != nil {
+		return nil, err
+	}
+	defer p.it.Close()
+	for {
+		row, ok, err := p.it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if _, err := t.Heap.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.Heap.Flush(); err != nil {
+		return nil, err
+	}
+	if t.Index != nil {
+		key := make([]float64, len(t.PK))
+		if err := t.Index.BulkLoad(t.Heap.NumRecords(), func(i int64) ([]float64, rstore.RID) {
+			rec, err := t.Heap.Get(rstore.RID(i))
+			if err != nil {
+				panic(err)
+			}
+			for k, c := range t.PK {
+				key[k] = rec[c]
+			}
+			return key, rstore.RID(i)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Query plans a SELECT and returns the iterator, output schema, and the
+// plan description (for EXPLAIN-style assertions).
+func (db *Database) Query(src string) (relation.Iterator, relation.Schema, string, error) {
+	sel, err := ParseSelect(src)
+	if err != nil {
+		return nil, relation.Schema{}, "", err
+	}
+	return db.QueryStmt(sel)
+}
+
+// QueryStmt plans an already-parsed SELECT.
+func (db *Database) QueryStmt(sel *SelectStmt) (relation.Iterator, relation.Schema, string, error) {
+	p, err := db.planSelect(sel)
+	if err != nil {
+		return nil, relation.Schema{}, "", err
+	}
+	cols := make([]string, len(p.schema))
+	for i, c := range p.schema {
+		cols[i] = c.name
+	}
+	return p.it, relation.NewSchema(cols...), p.desc, nil
+}
+
+// QueryAll runs a SELECT and drains the result into memory.
+func (db *Database) QueryAll(src string) ([]relation.Tuple, relation.Schema, error) {
+	it, schema, _, err := db.Query(src)
+	if err != nil {
+		return nil, relation.Schema{}, err
+	}
+	rows, err := relation.Drain(it)
+	return rows, schema, err
+}
+
+// Explain returns the physical plan chosen for a SELECT.
+func (db *Database) Explain(src string) (string, error) {
+	sel, err := ParseSelect(src)
+	if err != nil {
+		return "", err
+	}
+	p, err := db.planSelect(sel)
+	if err != nil {
+		return "", err
+	}
+	return p.desc, nil
+}
+
+func (db *Database) tempName(prefix string) string {
+	db.seq++
+	return fmt.Sprintf("%s_%d", prefix, db.seq)
+}

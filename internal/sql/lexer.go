@@ -1,0 +1,170 @@
+// Package sql implements the SQL subset RIOT-DB generates: CREATE TABLE
+// (optionally AS SELECT), CREATE VIEW, INSERT, DROP, and SELECT with
+// joins expressed in the WHERE clause, GROUP BY, ORDER BY, and LIMIT.
+//
+// The paper's RIOT-DB never shows users SQL, but it speaks SQL to its
+// backend: every R operation becomes a view definition, and forcing a
+// result optimizes and executes the accumulated view expansion (§4.1).
+// This package is that backend: parsing, view expansion, logical
+// planning, and a small cost-based physical optimizer that chooses among
+// merge join, index-nested-loop join, and (Grace) hash join.
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol  // punctuation and operators
+	tokKeyword // reserved words, upper-cased
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "AS": true, "AND": true, "OR": true,
+	"NOT": true, "CREATE": true, "TABLE": true, "VIEW": true, "INSERT": true,
+	"INTO": true, "VALUES": true, "DROP": true, "PRIMARY": true, "KEY": true,
+	"ASC": true, "DESC": true, "DOUBLE": true, "IF": true, "EXISTS": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src. It is strict: any unexpected byte is an error.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(c):
+			l.lexIdent()
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexSymbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c|0x20 >= 'a' && c|0x20 <= 'z') }
+func isIdentCont(c byte) bool  { return isIdentStart(c) || isDigit(c) || c == '#' }
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isDigit(c) {
+			l.pos++
+		} else if c == '.' && !seenDot && !seenExp {
+			seenDot = true
+			l.pos++
+		} else if (c == 'e' || c == 'E') && !seenExp && l.pos > start {
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		} else {
+			break
+		}
+	}
+	text := l.src[start:l.pos]
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return fmt.Errorf("sql: bad number %q at %d", text, start)
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: text, num: v, pos: start})
+	return nil
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentCont(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	up := strings.ToUpper(text)
+	if keywords[up] {
+		l.toks = append(l.toks, token{kind: tokKeyword, text: up, pos: start})
+	} else {
+		l.toks = append(l.toks, token{kind: tokIdent, text: text, pos: start})
+	}
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string at %d", start)
+}
+
+func (l *lexer) lexSymbol() error {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		t := two
+		if t == "!=" {
+			t = "<>"
+		}
+		l.toks = append(l.toks, token{kind: tokSymbol, text: t, pos: l.pos})
+		l.pos += 2
+		return nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '.', '*', '+', '-', '/', '=', '<', '>', ';', '^', '%':
+		l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: l.pos})
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("sql: unexpected character %q at %d", c, l.pos)
+}

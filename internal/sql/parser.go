@@ -1,0 +1,532 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses a single SQL statement (a trailing semicolon is allowed).
+func Parse(src string) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	st, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokSymbol, ";")
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	return st, nil
+}
+
+// ParseSelect parses a SELECT statement only.
+func ParseSelect(src string) (*SelectStmt, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: expected SELECT, got %T", st)
+	}
+	return sel, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (at offset %d)", fmt.Sprintf(format, args...), p.cur().pos)
+}
+
+// accept consumes the current token if it matches.
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.cur().kind == kind && (text == "" || p.cur().text == text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.cur().kind == kind && (text == "" || p.cur().text == text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return token{}, p.errf("expected %s, got %q", want, p.cur().text)
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.cur().kind == tokKeyword && p.cur().text == "SELECT":
+		return p.parseSelect()
+	case p.cur().kind == tokKeyword && p.cur().text == "CREATE":
+		return p.parseCreate()
+	case p.cur().kind == tokKeyword && p.cur().text == "INSERT":
+		return p.parseInsert()
+	case p.cur().kind == tokKeyword && p.cur().text == "DROP":
+		return p.parseDrop()
+	}
+	return nil, p.errf("expected statement, got %q", p.cur().text)
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStmt{Limit: -1}
+	for {
+		if p.accept(tokSymbol, "*") {
+			sel.Items = append(sel.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.accept(tokKeyword, "AS") {
+				id, err := p.expect(tokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = id.text
+			} else if p.cur().kind == tokIdent {
+				// Implicit alias: SELECT a.I I
+				item.Alias = p.next().text
+			}
+			sel.Items = append(sel.Items, item)
+		}
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		id, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		ref := TableRef{Name: id.text}
+		if p.cur().kind == tokIdent {
+			ref.Alias = p.next().text
+		}
+		sel.From = append(sel.From, ref)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(tokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		n, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = int64(n.num)
+	}
+	return sel, nil
+}
+
+func (p *parser) parseCreate() (Stmt, error) {
+	if _, err := p.expect(tokKeyword, "CREATE"); err != nil {
+		return nil, err
+	}
+	if p.accept(tokKeyword, "VIEW") {
+		id, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		v := &CreateViewStmt{Name: id.text}
+		if p.accept(tokSymbol, "(") {
+			for {
+				c, err := p.expect(tokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				v.Cols = append(v.Cols, c.text)
+				if !p.accept(tokSymbol, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokKeyword, "AS"); err != nil {
+			return nil, err
+		}
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		v.As = sel
+		return v, nil
+	}
+	if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	id, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	ct := &CreateTableStmt{Name: id.text}
+	if p.accept(tokKeyword, "AS") {
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		ct.As = sel
+		return ct, nil
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	for {
+		if p.accept(tokKeyword, "PRIMARY") {
+			if _, err := p.expect(tokKeyword, "KEY"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, "("); err != nil {
+				return nil, err
+			}
+			for {
+				c, err := p.expect(tokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				ct.PK = append(ct.PK, c.text)
+				if !p.accept(tokSymbol, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+		} else {
+			c, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			ct.Cols = append(ct.Cols, c.text)
+			p.accept(tokKeyword, "DOUBLE") // optional type annotation
+		}
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+func (p *parser) parseInsert() (Stmt, error) {
+	if _, err := p.expect(tokKeyword, "INSERT"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	id, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	ins := &InsertStmt{Table: id.text}
+	if _, err := p.expect(tokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []float64
+		for {
+			neg := p.accept(tokSymbol, "-")
+			n, err := p.expect(tokNumber, "")
+			if err != nil {
+				return nil, err
+			}
+			v := n.num
+			if neg {
+				v = -v
+			}
+			row = append(row, v)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) parseDrop() (Stmt, error) {
+	if _, err := p.expect(tokKeyword, "DROP"); err != nil {
+		return nil, err
+	}
+	d := &DropStmt{}
+	if p.accept(tokKeyword, "VIEW") {
+		d.View = true
+	} else if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	if p.accept(tokKeyword, "IF") {
+		if _, err := p.expect(tokKeyword, "EXISTS"); err != nil {
+			return nil, err
+		}
+		d.IfExists = true
+	}
+	id, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	d.Name = id.text
+	return d, nil
+}
+
+// Expression grammar, lowest to highest precedence:
+// OR, AND, NOT, comparison, additive, multiplicative, power, unary, primary.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokSymbol {
+		op := p.cur().text
+		if op != "=" && op != "<" && op != ">" && op != "<=" && op != ">=" && op != "<>" {
+			break
+		}
+		p.next()
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokSymbol && (p.cur().text == "+" || p.cur().text == "-") {
+		op := p.next().text
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parsePow()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokSymbol && (p.cur().text == "*" || p.cur().text == "/" || p.cur().text == "%") {
+		op := p.next().text
+		r, err := p.parsePow()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parsePow() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	// Right-associative.
+	if p.cur().kind == tokSymbol && p.cur().text == "^" {
+		p.next()
+		r, err := p.parsePow()
+		if err != nil {
+			return nil, err
+		}
+		return BinExpr{Op: "^", L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.cur().kind == tokSymbol && p.cur().text == "-" {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return UnaryExpr{Op: "-", X: x}, nil
+	}
+	if p.cur().kind == tokSymbol && p.cur().text == "+" {
+		p.next()
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		return NumLit{V: t.num}, nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		p.next()
+		// Function call?
+		if p.cur().kind == tokSymbol && p.cur().text == "(" {
+			p.next()
+			f := FuncExpr{Name: strings.ToUpper(t.text)}
+			if p.accept(tokSymbol, "*") {
+				f.Star = true
+			} else if !(p.cur().kind == tokSymbol && p.cur().text == ")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					f.Args = append(f.Args, a)
+					if !p.accept(tokSymbol, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return f, nil
+		}
+		// Qualified column?
+		if p.accept(tokSymbol, ".") {
+			col, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return ColRef{Table: t.text, Name: col.text}, nil
+		}
+		return ColRef{Name: t.text}, nil
+	}
+	return nil, p.errf("expected expression, got %q", t.text)
+}

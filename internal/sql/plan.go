@@ -1,0 +1,615 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"riot/internal/relation"
+)
+
+// colInfo is one output column of a plan: its binding qualifier (table
+// alias) and column name.
+type colInfo struct {
+	qual string
+	name string
+}
+
+// plan is a physical plan fragment with the properties the optimizer
+// tracks: output schema, interesting order (sorted prefix), uniqueness of
+// that prefix, and a cardinality estimate.
+type plan struct {
+	it     relation.Iterator
+	schema []colInfo
+	sorted []int // positions of the prefix the output is ordered by
+	unique bool  // the sorted prefix is a unique key
+	rows   int64
+	desc   string
+}
+
+func (p *plan) arity() int { return len(p.schema) }
+
+// find resolves a column reference against the plan's schema.
+// Unqualified names must be unambiguous.
+func (p *plan) find(qual, name string) (int, error) {
+	found := -1
+	for i, c := range p.schema {
+		if !strings.EqualFold(c.name, name) {
+			continue
+		}
+		if qual != "" && !strings.EqualFold(c.qual, qual) {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("sql: ambiguous column %q", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		if qual != "" {
+			return 0, fmt.Errorf("sql: unknown column %s.%s", qual, name)
+		}
+		return 0, fmt.Errorf("sql: unknown column %q", name)
+	}
+	return found, nil
+}
+
+// sortedCovers reports whether the plan's sorted prefix covers cols in
+// order (so a merge join / group-by on cols needs no sort).
+func (p *plan) sortedCovers(cols []int) bool {
+	if len(p.sorted) < len(cols) {
+		return false
+	}
+	for i, c := range cols {
+		if p.sorted[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// planSelect turns a SELECT into a physical plan. Views referenced in
+// FROM are merged into the query when possible (no GROUP BY / ORDER BY /
+// LIMIT in the view), exactly the expansion the paper relies on to
+// optimize across R operations; non-mergeable views become subplan
+// barriers, which is how the two hash-join-sort-aggregate steps of the
+// RIOT-DB matrix chain arise.
+func (db *Database) planSelect(sel *SelectStmt) (*plan, error) {
+	sel, err := db.expandViews(sel, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	// Plan each FROM item.
+	items := make([]*plan, len(sel.From))
+	for i, ref := range sel.From {
+		p, err := db.planFrom(ref)
+		if err != nil {
+			return nil, err
+		}
+		items[i] = p
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("sql: SELECT without FROM")
+	}
+
+	// Classify WHERE conjuncts.
+	var joins []joinEdge
+	var residual []Expr
+	locate := func(c ColRef) (int, int, error) {
+		for i, p := range items {
+			if pos, err := p.find(c.Table, c.Name); err == nil {
+				// Check for cross-item ambiguity of unqualified names.
+				if c.Table == "" {
+					for k := i + 1; k < len(items); k++ {
+						if _, err2 := items[k].find("", c.Name); err2 == nil {
+							return 0, 0, fmt.Errorf("sql: ambiguous column %q", c.Name)
+						}
+					}
+				}
+				return i, pos, nil
+			}
+		}
+		return 0, 0, fmt.Errorf("sql: unknown column %s", c)
+	}
+	// itemOf returns the single item an expression's references live in,
+	// or -1 when the expression is constant or spans items.
+	itemOf := func(e Expr) (int, error) {
+		var refs []ColRef
+		colRefsIn(e, &refs)
+		item := -1
+		for _, rf := range refs {
+			i, _, err := locate(rf)
+			if err != nil {
+				return 0, err
+			}
+			if item == -1 {
+				item = i
+			} else if item != i {
+				return -1, nil
+			}
+		}
+		return item, nil
+	}
+	// sideCol resolves one side of an equijoin to a column position in
+	// its item, appending a computed column when the side is a non-
+	// trivial expression (e.g. the paper's D.I = S.V - 1 after an index
+	// shift).
+	sideCol := func(item int, e Expr) (int, error) {
+		if c, ok := e.(ColRef); ok {
+			return items[item].find(c.Table, c.Name)
+		}
+		pe, err := db.toPhysExpr(e, items[item])
+		if err != nil {
+			return 0, err
+		}
+		p := items[item]
+		exprs := make([]relation.Expr, 0, p.arity()+1)
+		schema := make([]colInfo, 0, p.arity()+1)
+		for i, ci := range p.schema {
+			exprs = append(exprs, relation.Col{Idx: i})
+			schema = append(schema, ci)
+		}
+		exprs = append(exprs, pe)
+		schema = append(schema, colInfo{})
+		items[item] = &plan{
+			it:     &relation.Project{Input: p.it, Exprs: exprs},
+			schema: schema,
+			sorted: p.sorted,
+			unique: p.unique,
+			rows:   p.rows,
+			desc:   p.desc, // computed columns don't change the plan shape
+		}
+		return p.arity(), nil
+	}
+	if sel.Where != nil {
+		for _, c := range conjuncts(sel.Where) {
+			if b, ok := c.(BinExpr); ok && b.Op == "=" {
+				li, err := itemOf(b.L)
+				if err != nil {
+					return nil, err
+				}
+				ri, err := itemOf(b.R)
+				if err != nil {
+					return nil, err
+				}
+				if li >= 0 && ri >= 0 && li != ri {
+					lpos, err := sideCol(li, b.L)
+					if err != nil {
+						return nil, err
+					}
+					rpos, err := sideCol(ri, b.R)
+					if err != nil {
+						return nil, err
+					}
+					joins = append(joins, joinEdge{a: li, acol: lpos, b: ri, bcol: rpos})
+					continue
+				}
+			}
+			// Single-item predicate? Push it down; else keep residual.
+			var refs []ColRef
+			colRefsIn(c, &refs)
+			item := -1
+			single := true
+			for _, r := range refs {
+				i, _, err := locate(r)
+				if err != nil {
+					return nil, err
+				}
+				if item == -1 {
+					item = i
+				} else if item != i {
+					single = false
+					break
+				}
+			}
+			if single && item >= 0 {
+				pred, err := db.toPhysExpr(c, items[item])
+				if err != nil {
+					return nil, err
+				}
+				items[item] = &plan{
+					it:     &relation.Filter{Input: items[item].it, Pred: pred},
+					schema: items[item].schema,
+					sorted: items[item].sorted,
+					unique: items[item].unique,
+					rows:   items[item].rows/3 + 1,
+					desc:   fmt.Sprintf("Filter(%s)", items[item].desc),
+				}
+			} else {
+				residual = append(residual, c)
+			}
+		}
+	}
+
+	// Join the items greedily, cheapest estimated result first.
+	joined, err := db.joinItems(sel, items, joins)
+	if err != nil {
+		return nil, err
+	}
+	cur := joined
+
+	// Residual predicates.
+	for _, c := range residual {
+		pred, err := db.toPhysExpr(c, cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = &plan{
+			it:     &relation.Filter{Input: cur.it, Pred: pred},
+			schema: cur.schema,
+			sorted: cur.sorted,
+			unique: cur.unique,
+			rows:   cur.rows/3 + 1,
+			desc:   fmt.Sprintf("Filter(%s)", cur.desc),
+		}
+	}
+
+	// Star expansion.
+	itemsOut := sel.Items
+	if len(itemsOut) == 1 && itemsOut[0].Star {
+		itemsOut = nil
+		for _, c := range cur.schema {
+			itemsOut = append(itemsOut, SelectItem{Expr: ColRef{Table: c.qual, Name: c.name}, Alias: c.name})
+		}
+	}
+
+	grouped := len(sel.GroupBy) > 0
+	if !grouped {
+		for _, it := range itemsOut {
+			if !it.Star && hasAggregate(it.Expr) {
+				grouped = true
+				break
+			}
+		}
+		if grouped && len(sel.GroupBy) == 0 {
+			return db.planScalarAgg(sel, cur, itemsOut)
+		}
+	}
+	if grouped {
+		return db.planGroupBy(sel, cur, itemsOut)
+	}
+
+	// Plain projection.
+	exprs := make([]relation.Expr, len(itemsOut))
+	outSchema := make([]colInfo, len(itemsOut))
+	var outSorted []int
+	for i, item := range itemsOut {
+		e, err := db.toPhysExpr(item.Expr, cur)
+		if err != nil {
+			return nil, err
+		}
+		exprs[i] = e
+		outSchema[i] = colInfo{name: db.itemName(item, i)}
+		if c, ok := item.Expr.(ColRef); ok {
+			outSchema[i].qual = c.Table
+		}
+	}
+	// Order preservation: if the projection keeps the sorted prefix
+	// columns (as bare references, in some positions), the output stays
+	// ordered by them.
+	if len(cur.sorted) > 0 {
+		posOf := make(map[int]int) // input position -> output position
+		for outPos, item := range itemsOut {
+			if c, ok := item.Expr.(ColRef); ok {
+				if inPos, err := cur.find(c.Table, c.Name); err == nil {
+					if _, dup := posOf[inPos]; !dup {
+						posOf[inPos] = outPos
+					}
+				}
+			}
+		}
+		for _, inPos := range cur.sorted {
+			op, ok := posOf[inPos]
+			if !ok {
+				break
+			}
+			outSorted = append(outSorted, op)
+		}
+	}
+	out := &plan{
+		it:     &relation.Project{Input: cur.it, Exprs: exprs},
+		schema: outSchema,
+		sorted: outSorted,
+		unique: cur.unique && len(outSorted) > 0,
+		rows:   cur.rows,
+		desc:   fmt.Sprintf("Project(%s)", cur.desc),
+	}
+	return db.finishOrderLimit(sel, out)
+}
+
+// finishOrderLimit applies ORDER BY and LIMIT on top of a plan whose
+// schema is the final output schema.
+func (db *Database) finishOrderLimit(sel *SelectStmt, p *plan) (*plan, error) {
+	if len(sel.OrderBy) > 0 {
+		cols := make([]int, len(sel.OrderBy))
+		desc := make([]bool, len(sel.OrderBy))
+		for i, o := range sel.OrderBy {
+			c, ok := o.Expr.(ColRef)
+			if !ok {
+				return nil, fmt.Errorf("sql: ORDER BY supports column references only, got %s", o.Expr)
+			}
+			pos, err := p.find(c.Table, c.Name)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = pos
+			desc[i] = o.Desc
+		}
+		needSort := true
+		if !anyDesc(desc) && p.sortedCovers(cols) {
+			needSort = false
+		}
+		if needSort {
+			p = &plan{
+				it:     &relation.Sort{Input: p.it, Arity: p.arity(), Cols: cols, Desc: desc, Ctx: db.ctx},
+				schema: p.schema,
+				sorted: cols,
+				rows:   p.rows,
+				desc:   fmt.Sprintf("Sort(%s)", p.desc),
+			}
+		}
+	}
+	if sel.Limit >= 0 {
+		p = &plan{
+			it:     &relation.Limit{Input: p.it, N: sel.Limit},
+			schema: p.schema,
+			sorted: p.sorted,
+			rows:   min64(p.rows, sel.Limit),
+			desc:   fmt.Sprintf("Limit(%d, %s)", sel.Limit, p.desc),
+		}
+	}
+	return p, nil
+}
+
+func anyDesc(d []bool) bool {
+	for _, v := range d {
+		if v {
+			return true
+		}
+	}
+	return false
+}
+
+// planGroupBy lowers GROUP BY + aggregates: project group keys and
+// aggregate arguments, sort on the keys unless already ordered, stream-
+// aggregate, and project the final select list.
+func (db *Database) planGroupBy(sel *SelectStmt, cur *plan, items []SelectItem) (*plan, error) {
+	// Columns for group keys.
+	groupCols := make([]int, len(sel.GroupBy))
+	for i, g := range sel.GroupBy {
+		c, ok := g.(ColRef)
+		if !ok {
+			return nil, fmt.Errorf("sql: GROUP BY supports column references only, got %s", g)
+		}
+		pos, err := cur.find(c.Table, c.Name)
+		if err != nil {
+			return nil, err
+		}
+		groupCols[i] = pos
+	}
+	// Classify select items: group column or single aggregate.
+	type outCol struct {
+		isAgg    bool
+		groupIdx int // index into groupCols
+		aggIdx   int // index into aggs
+	}
+	var aggs []relation.AggSpec
+	outs := make([]outCol, len(items))
+	outSchema := make([]colInfo, len(items))
+	for i, item := range items {
+		outSchema[i] = colInfo{name: db.itemName(item, i)}
+		if c, ok := item.Expr.(ColRef); ok && !hasAggregate(item.Expr) {
+			pos, err := cur.find(c.Table, c.Name)
+			if err != nil {
+				return nil, err
+			}
+			gi := -1
+			for k, gc := range groupCols {
+				if gc == pos {
+					gi = k
+					break
+				}
+			}
+			if gi < 0 {
+				return nil, fmt.Errorf("sql: column %s not in GROUP BY", c)
+			}
+			outs[i] = outCol{groupIdx: gi}
+			outSchema[i].qual = c.Table
+			continue
+		}
+		f, ok := item.Expr.(FuncExpr)
+		if !ok || !aggFuncs[f.Name] {
+			return nil, fmt.Errorf("sql: select item %s must be a group column or aggregate", item.Expr)
+		}
+		fn, _ := relation.AggFnByName(f.Name)
+		var arg relation.Expr = relation.Const{V: 1}
+		if !f.Star {
+			if len(f.Args) != 1 {
+				return nil, fmt.Errorf("sql: aggregate %s takes one argument", f.Name)
+			}
+			a, err := db.toPhysExpr(f.Args[0], cur)
+			if err != nil {
+				return nil, err
+			}
+			arg = a
+		}
+		outs[i] = outCol{isAgg: true, aggIdx: len(aggs)}
+		aggs = append(aggs, relation.AggSpec{Fn: fn, Arg: arg})
+	}
+
+	input := cur.it
+	descStr := cur.desc
+	if !cur.sortedCovers(groupCols) {
+		// Project to (groups..., agg args...) then sort: sorting narrow
+		// tuples is what the paper's RIOT-DB plan does after the join.
+		pre := make([]relation.Expr, 0, len(groupCols)+len(aggs))
+		for _, gc := range groupCols {
+			pre = append(pre, relation.Col{Idx: gc})
+		}
+		for _, a := range aggs {
+			pre = append(pre, a.Arg)
+		}
+		narrow := &relation.Project{Input: input, Exprs: pre}
+		sortCols := make([]int, len(groupCols))
+		for i := range sortCols {
+			sortCols[i] = i
+		}
+		srt := &relation.Sort{Input: narrow, Arity: len(pre), Cols: sortCols, Ctx: db.ctx}
+		// After narrowing, group cols are 0..k-1 and args k..k+n-1.
+		for i := range aggs {
+			aggs[i].Arg = relation.Col{Idx: len(groupCols) + i}
+		}
+		input = srt
+		for i := range sortCols {
+			groupCols[i] = i
+		}
+		descStr = fmt.Sprintf("Sort(Project(%s))", descStr)
+	}
+	agg := &relation.SortedGroupAgg{Input: input, GroupCols: groupCols, Aggs: aggs}
+	// Aggregate output: group values then agg values; map to select order.
+	finalExprs := make([]relation.Expr, len(items))
+	for i, oc := range outs {
+		if oc.isAgg {
+			finalExprs[i] = relation.Col{Idx: len(groupCols) + oc.aggIdx}
+		} else {
+			finalExprs[i] = relation.Col{Idx: oc.groupIdx}
+		}
+	}
+	var outSorted []int
+	for gi := range groupCols {
+		// Output ordered by group keys; find where each lands.
+		for i, oc := range outs {
+			if !oc.isAgg && oc.groupIdx == gi {
+				outSorted = append(outSorted, i)
+				break
+			}
+		}
+	}
+	if len(outSorted) != len(groupCols) {
+		outSorted = nil
+	}
+	p := &plan{
+		it:     &relation.Project{Input: agg, Exprs: finalExprs},
+		schema: outSchema,
+		sorted: outSorted,
+		unique: len(outSorted) == len(groupCols),
+		rows:   cur.rows/4 + 1,
+		desc:   fmt.Sprintf("GroupAgg(%s)", descStr),
+	}
+	return db.finishOrderLimit(sel, p)
+}
+
+// planScalarAgg lowers aggregates without GROUP BY.
+func (db *Database) planScalarAgg(sel *SelectStmt, cur *plan, items []SelectItem) (*plan, error) {
+	var aggs []relation.AggSpec
+	outSchema := make([]colInfo, len(items))
+	for i, item := range items {
+		f, ok := item.Expr.(FuncExpr)
+		if !ok || !aggFuncs[f.Name] {
+			return nil, fmt.Errorf("sql: select item %s must be an aggregate", item.Expr)
+		}
+		fn, _ := relation.AggFnByName(f.Name)
+		var arg relation.Expr = relation.Const{V: 1}
+		if !f.Star {
+			a, err := db.toPhysExpr(f.Args[0], cur)
+			if err != nil {
+				return nil, err
+			}
+			arg = a
+		}
+		aggs = append(aggs, relation.AggSpec{Fn: fn, Arg: arg})
+		outSchema[i] = colInfo{name: db.itemName(item, i)}
+	}
+	p := &plan{
+		it:     &relation.ScalarAgg{Input: cur.it, Aggs: aggs},
+		schema: outSchema,
+		rows:   1,
+		desc:   fmt.Sprintf("ScalarAgg(%s)", cur.desc),
+	}
+	return db.finishOrderLimit(sel, p)
+}
+
+// itemName picks the output column name for a select item.
+func (db *Database) itemName(item SelectItem, i int) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if c, ok := item.Expr.(ColRef); ok {
+		return c.Name
+	}
+	return fmt.Sprintf("c%d", i+1)
+}
+
+// toPhysExpr translates an AST expression into a physical expression
+// bound to p's schema.
+func (db *Database) toPhysExpr(e Expr, p *plan) (relation.Expr, error) {
+	switch t := e.(type) {
+	case NumLit:
+		return relation.Const{V: t.V}, nil
+	case ColRef:
+		pos, err := p.find(t.Table, t.Name)
+		if err != nil {
+			return nil, err
+		}
+		return relation.Col{Idx: pos, Name: t.String()}, nil
+	case UnaryExpr:
+		x, err := db.toPhysExpr(t.X, p)
+		if err != nil {
+			return nil, err
+		}
+		if t.Op == "NOT" {
+			return relation.Not{X: x}, nil
+		}
+		return relation.Neg{X: x}, nil
+	case BinExpr:
+		l, err := db.toPhysExpr(t.L, p)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.toPhysExpr(t.R, p)
+		if err != nil {
+			return nil, err
+		}
+		op, ok := sqlBinOps[t.Op]
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown operator %q", t.Op)
+		}
+		return relation.Binary{Op: op, L: l, R: r}, nil
+	case FuncExpr:
+		if aggFuncs[t.Name] {
+			return nil, fmt.Errorf("sql: aggregate %s not allowed here", t.Name)
+		}
+		fn, nargs, ok := relation.KnownFunc(t.Name)
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown function %q", t.Name)
+		}
+		if len(t.Args) != nargs {
+			return nil, fmt.Errorf("sql: %s takes %d arguments, got %d", t.Name, nargs, len(t.Args))
+		}
+		args := make([]relation.Expr, len(t.Args))
+		for i, a := range t.Args {
+			x, err := db.toPhysExpr(a, p)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = x
+		}
+		return relation.Call{Fn: fn, Args: args}, nil
+	}
+	return nil, fmt.Errorf("sql: cannot translate %T", e)
+}
+
+var sqlBinOps = map[string]relation.BinOp{
+	"+": relation.OpAdd, "-": relation.OpSub, "*": relation.OpMul,
+	"/": relation.OpDiv, "^": relation.OpPow, "%": relation.OpMod,
+	"=": relation.OpEq, "<>": relation.OpNe, "<": relation.OpLt,
+	"<=": relation.OpLe, ">": relation.OpGt, ">=": relation.OpGe,
+	"AND": relation.OpAnd, "OR": relation.OpOr,
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,464 @@
+package sql
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"riot/internal/buffer"
+	"riot/internal/disk"
+	"riot/internal/relation"
+)
+
+func testDB(blockElems, frames int, workMem int64) *Database {
+	dev := disk.NewDevice(blockElems)
+	pool := buffer.New(dev, frames)
+	return NewDatabase(relation.NewContext(pool, workMem))
+}
+
+// loadVector creates table name(I, V) clustered by I with values f(i).
+func loadVector(t *testing.T, db *Database, name string, n int64, f func(i int64) float64) *Table {
+	t.Helper()
+	tbl, err := db.CreateTable(name, []string{"I", "V"}, []string{"I"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float64, 2)
+	if err := db.BulkLoad(tbl, n, func(i int64) []float64 {
+		row[0], row[1] = float64(i), f(i)
+		return row
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("SELECT a.I, SQRT(V) FROM t WHERE x <= 3.5e2 -- comment\nAND y <> 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	if toks[len(toks)-1].kind != tokEOF {
+		t.Fatal("missing EOF")
+	}
+	// Spot checks.
+	if toks[0].kind != tokKeyword || toks[0].text != "SELECT" {
+		t.Fatalf("tok0=%v", toks[0])
+	}
+	if toks[1].kind != tokIdent || toks[1].text != "a" {
+		t.Fatalf("tok1=%v", toks[1])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lex("SELECT @"); err == nil {
+		t.Fatal("expected error for @")
+	}
+	if _, err := lex("'unterminated"); err == nil {
+		t.Fatal("expected error for unterminated string")
+	}
+}
+
+func TestParseSelectShape(t *testing.T) {
+	sel, err := ParseSelect(`SELECT E1.I, E1.V+E2.V AS V FROM E1, E2 WHERE E1.I=E2.I`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Items) != 2 || sel.Items[1].Alias != "V" {
+		t.Fatalf("items=%+v", sel.Items)
+	}
+	if len(sel.From) != 2 || sel.From[0].Name != "E1" {
+		t.Fatalf("from=%+v", sel.From)
+	}
+	if sel.Where == nil {
+		t.Fatal("missing where")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	sel, err := ParseSelect(`SELECT 1+2*3^2 FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sel.Items[0].Expr.String(); got != "(1 + (2 * (3 ^ 2)))" {
+		t.Fatalf("precedence: %s", got)
+	}
+	sel, err = ParseSelect(`SELECT a FROM t WHERE x > 1 AND y < 2 OR NOT z = 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "(((x > 1) AND (y < 2)) OR (NOT (z = 3)))"
+	if got := sel.Where.String(); got != want {
+		t.Fatalf("got %s want %s", got, want)
+	}
+}
+
+func TestParseGroupOrderLimit(t *testing.T) {
+	sel, err := ParseSelect(`SELECT A.I, SUM(A.V*B.V) AS V FROM A, B WHERE A.J=B.I GROUP BY A.I, B.J ORDER BY A.I DESC LIMIT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.GroupBy) != 2 || len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc || sel.Limit != 10 {
+		t.Fatalf("parsed: %+v", sel)
+	}
+}
+
+func TestParseCreateInsertDrop(t *testing.T) {
+	st, err := Parse(`CREATE TABLE v (I, V, PRIMARY KEY (I))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*CreateTableStmt)
+	if len(ct.Cols) != 2 || len(ct.PK) != 1 || ct.PK[0] != "I" {
+		t.Fatalf("create: %+v", ct)
+	}
+	st, err = Parse(`INSERT INTO v VALUES (1, 2.5), (2, -3)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*InsertStmt)
+	if len(ins.Rows) != 2 || ins.Rows[1][1] != -3 {
+		t.Fatalf("insert: %+v", ins)
+	}
+	st, err = Parse(`DROP VIEW IF EXISTS foo`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr := st.(*DropStmt)
+	if !dr.View || !dr.IfExists || dr.Name != "foo" {
+		t.Fatalf("drop: %+v", dr)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"SELECT",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"CREATE TABLE",
+		"INSERT INTO t VALUES 1",
+		"SELECT a FROM t GROUP",
+		"banana",
+		"SELECT a FROM t; SELECT b FROM t",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestEndToEndVectorAdd(t *testing.T) {
+	db := testDB(64, 16, 0)
+	loadVector(t, db, "E1", 100, func(i int64) float64 { return float64(i) })
+	loadVector(t, db, "E2", 100, func(i int64) float64 { return float64(i * 10) })
+	rows, _, err := db.QueryAll(`SELECT E1.I, E1.V+E2.V AS V FROM E1, E2 WHERE E1.I=E2.I`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 100 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r[1] != r[0]*11 {
+			t.Fatalf("row %v", r)
+		}
+	}
+}
+
+func TestVectorJoinUsesMergeJoin(t *testing.T) {
+	db := testDB(64, 16, 0)
+	loadVector(t, db, "E1", 50, func(i int64) float64 { return 1 })
+	loadVector(t, db, "E2", 50, func(i int64) float64 { return 2 })
+	desc, err := db.Explain(`SELECT E1.I, E1.V+E2.V AS V FROM E1, E2 WHERE E1.I=E2.I`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(desc, "MergeJoin") {
+		t.Fatalf("expected MergeJoin in plan, got %s", desc)
+	}
+}
+
+func TestSmallOuterUsesINLJoin(t *testing.T) {
+	db := testDB(64, 16, 0)
+	loadVector(t, db, "X", 10000, func(i int64) float64 { return float64(i) })
+	s, err := db.CreateTable("S", []string{"I", "V"}, []string{"I"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BulkLoad(s, 5, func(i int64) []float64 {
+		return []float64{float64(i), float64(i * 1000)}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	desc, err := db.Explain(`SELECT S.I, X.V FROM X, S WHERE X.I=S.V`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(desc, "INLJoin") {
+		t.Fatalf("expected INLJoin in plan, got %s", desc)
+	}
+	rows, _, err := db.QueryAll(`SELECT S.I, X.V FROM X, S WHERE X.I=S.V`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r[1] != r[0]*1000 {
+			t.Fatalf("row %v", r)
+		}
+	}
+}
+
+func TestViewExpansionPipelines(t *testing.T) {
+	db := testDB(64, 16, 0)
+	loadVector(t, db, "X", 200, func(i int64) float64 { return float64(i) })
+	loadVector(t, db, "Y", 200, func(i int64) float64 { return float64(i) * 2 })
+	// Build the paper's nested view structure, one op at a time.
+	must(t, db.Exec(`CREATE VIEW T1(I, V) AS SELECT X.I, X.V*X.V AS V FROM X`))
+	must(t, db.Exec(`CREATE VIEW T2(I, V) AS SELECT Y.I, Y.V*Y.V AS V FROM Y`))
+	must(t, db.Exec(`CREATE VIEW D(I, V) AS SELECT T1.I, SQRT(T1.V+T2.V) AS V FROM T1, T2 WHERE T1.I=T2.I`))
+	desc, err := db.Explain(`SELECT D.I, D.V FROM D`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The nested views must flatten into a single merge join over the
+	// base tables — no view materialization barrier.
+	if !strings.Contains(desc, "MergeJoin") || strings.Contains(desc, "View(") {
+		t.Fatalf("plan not flattened: %s", desc)
+	}
+	rows, _, err := db.QueryAll(`SELECT D.I, D.V FROM D`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		i := r[0]
+		want := math.Sqrt(i*i + 4*i*i)
+		if math.Abs(r[1]-want) > 1e-12 {
+			t.Fatalf("D[%v]=%v, want %v", i, r[1], want)
+		}
+	}
+}
+
+func TestViewOverViewSelectiveProbe(t *testing.T) {
+	// The headline RIOT-DB optimization (§4.1): after expansion, probing
+	// D with a tiny S uses index nested loops into the base tables and
+	// touches almost nothing.
+	db := testDB(64, 64, 0)
+	loadVector(t, db, "X", 20000, func(i int64) float64 { return float64(i) })
+	loadVector(t, db, "Y", 20000, func(i int64) float64 { return float64(i) })
+	must(t, db.Exec(`CREATE VIEW D(I, V) AS SELECT X.I, SQRT(X.V)+SQRT(Y.V) AS V FROM X, Y WHERE X.I=Y.I`))
+	s, err := db.CreateTable("S", []string{"I", "V"}, []string{"I"})
+	must(t, err)
+	must(t, db.BulkLoad(s, 10, func(i int64) []float64 { return []float64{float64(i), float64(i * 777)} }))
+
+	if err := db.Context().Pool.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	db.Context().Pool.Device().ResetStats()
+	rows, _, err := db.QueryAll(`SELECT S.I, D.V FROM D, S WHERE D.I=S.V`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		want := 2 * math.Sqrt(r[0]*777)
+		if math.Abs(r[1]-want) > 1e-9 {
+			t.Fatalf("row %v want %v", r, want)
+		}
+	}
+	reads := db.Context().Pool.Device().Stats().BlocksRead
+	xTbl, _ := db.Table("X")
+	if int(reads) >= xTbl.Heap.Blocks() {
+		t.Fatalf("selective probe read %d blocks; full scan of X alone is %d", reads, xTbl.Heap.Blocks())
+	}
+}
+
+func TestMatMulViaSQL(t *testing.T) {
+	db := testDB(64, 32, 2048)
+	const n = 6
+	a, err := db.CreateTable("A", []string{"I", "J", "V"}, []string{"I", "J"})
+	must(t, err)
+	must(t, db.BulkLoad(a, n*n, func(k int64) []float64 {
+		i, j := k/n, k%n
+		return []float64{float64(i), float64(j), float64(i + 2*j)}
+	}))
+	b, err := db.CreateTable("B", []string{"I", "J", "V"}, []string{"I", "J"})
+	must(t, err)
+	must(t, db.BulkLoad(b, n*n, func(k int64) []float64 {
+		i, j := k/n, k%n
+		return []float64{float64(i), float64(j), float64(i*j - 3)}
+	}))
+	rows, _, err := db.QueryAll(
+		`SELECT A.I, B.J, SUM(A.V*B.V) AS V FROM A, B WHERE A.J=B.I GROUP BY A.I, B.J`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != n*n {
+		t.Fatalf("%d cells", len(rows))
+	}
+	for _, r := range rows {
+		i, j := r[0], r[1]
+		want := 0.0
+		for k := 0.0; k < n; k++ {
+			want += (i + 2*k) * (k*j - 3)
+		}
+		if math.Abs(r[2]-want) > 1e-9 {
+			t.Fatalf("C[%v,%v]=%v, want %v", i, j, r[2], want)
+		}
+	}
+}
+
+func TestMatrixElementwiseCompositeMergeJoin(t *testing.T) {
+	db := testDB(64, 16, 0)
+	const n = 5
+	mk := func(name string, f func(i, j int64) float64) {
+		tb, err := db.CreateTable(name, []string{"I", "J", "V"}, []string{"I", "J"})
+		must(t, err)
+		must(t, db.BulkLoad(tb, n*n, func(k int64) []float64 {
+			i, j := k/n, k%n
+			return []float64{float64(i), float64(j), f(i, j)}
+		}))
+	}
+	mk("MA", func(i, j int64) float64 { return float64(i + j) })
+	mk("MB", func(i, j int64) float64 { return float64(i * j) })
+	q := `SELECT MA.I, MA.J, MA.V+MB.V AS V FROM MA, MB WHERE MA.I=MB.I AND MA.J=MB.J`
+	desc, err := db.Explain(q)
+	must(t, err)
+	if !strings.Contains(desc, "MergeJoin") {
+		t.Fatalf("expected composite merge join: %s", desc)
+	}
+	rows, _, err := db.QueryAll(q)
+	must(t, err)
+	if len(rows) != n*n {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r[2] != r[0]+r[1]+r[0]*r[1] {
+			t.Fatalf("row %v", r)
+		}
+	}
+}
+
+func TestScalarAggQuery(t *testing.T) {
+	db := testDB(64, 16, 0)
+	loadVector(t, db, "E", 100, func(i int64) float64 { return float64(i) })
+	rows, _, err := db.QueryAll(`SELECT SUM(E.V) AS S, COUNT(*) AS N, MIN(E.V) AS LO, MAX(E.V) AS HI FROM E`)
+	must(t, err)
+	r := rows[0]
+	if r[0] != 4950 || r[1] != 100 || r[2] != 0 || r[3] != 99 {
+		t.Fatalf("agg row %v", r)
+	}
+}
+
+func TestOrderByDescAndLimit(t *testing.T) {
+	db := testDB(64, 16, 0)
+	loadVector(t, db, "E", 50, func(i int64) float64 { return float64((i * 37) % 50) })
+	rows, _, err := db.QueryAll(`SELECT E.I, E.V FROM E ORDER BY V DESC LIMIT 3`)
+	must(t, err)
+	if len(rows) != 3 || rows[0][1] != 49 || rows[1][1] != 48 {
+		t.Fatalf("rows=%v", rows)
+	}
+}
+
+func TestOrderByOnClusteredKeyIsFree(t *testing.T) {
+	db := testDB(64, 16, 0)
+	loadVector(t, db, "E", 50, func(i int64) float64 { return 1 })
+	desc, err := db.Explain(`SELECT E.I, E.V FROM E ORDER BY I`)
+	must(t, err)
+	if strings.Contains(desc, "Sort(") {
+		t.Fatalf("redundant sort on clustered key: %s", desc)
+	}
+}
+
+func TestInsertAndQuery(t *testing.T) {
+	db := testDB(64, 16, 0)
+	must(t, db.Exec(`CREATE TABLE pts (I, V, PRIMARY KEY (I))`))
+	must(t, db.Exec(`INSERT INTO pts VALUES (0, 5), (1, 6), (2, 7)`))
+	rows, _, err := db.QueryAll(`SELECT pts.I, pts.V FROM pts WHERE V > 5.5`)
+	must(t, err)
+	if len(rows) != 2 {
+		t.Fatalf("rows=%v", rows)
+	}
+}
+
+func TestCreateTableAs(t *testing.T) {
+	db := testDB(64, 16, 0)
+	loadVector(t, db, "E", 100, func(i int64) float64 { return float64(i) })
+	must(t, db.Exec(`CREATE TABLE sq AS SELECT E.I, E.V*E.V AS V FROM E`))
+	tbl, ok := db.Table("sq")
+	if !ok {
+		t.Fatal("table not created")
+	}
+	if tbl.Rows() != 100 || tbl.Index == nil {
+		t.Fatalf("rows=%d index=%v", tbl.Rows(), tbl.Index != nil)
+	}
+	rows, _, err := db.QueryAll(`SELECT sq.I, sq.V FROM sq WHERE sq.I = 7`)
+	must(t, err)
+	if len(rows) != 1 || rows[0][1] != 49 {
+		t.Fatalf("rows=%v", rows)
+	}
+}
+
+func TestDropViewAndTable(t *testing.T) {
+	db := testDB(64, 16, 0)
+	loadVector(t, db, "E", 10, func(i int64) float64 { return 0 })
+	must(t, db.Exec(`CREATE VIEW W(I, V) AS SELECT E.I, E.V FROM E`))
+	must(t, db.Exec(`DROP VIEW W`))
+	if _, ok := db.ViewDef("W"); ok {
+		t.Fatal("view not dropped")
+	}
+	must(t, db.Exec(`DROP TABLE E`))
+	if db.HasRelation("E") {
+		t.Fatal("table not dropped")
+	}
+	if err := db.Exec(`DROP TABLE E`); err == nil {
+		t.Fatal("expected error dropping missing table")
+	}
+	must(t, db.Exec(`DROP TABLE IF EXISTS E`))
+}
+
+func TestStarSelect(t *testing.T) {
+	db := testDB(64, 16, 0)
+	loadVector(t, db, "E", 5, func(i int64) float64 { return float64(i) })
+	rows, schema, err := db.QueryAll(`SELECT * FROM E`)
+	must(t, err)
+	if len(rows) != 5 || schema.Arity() != 2 || schema.Cols[0] != "I" {
+		t.Fatalf("rows=%d schema=%v", len(rows), schema)
+	}
+}
+
+func TestUnknownRelationAndColumn(t *testing.T) {
+	db := testDB(64, 16, 0)
+	if _, _, err := db.QueryAll(`SELECT a.I FROM nope a`); err == nil {
+		t.Fatal("expected unknown relation error")
+	}
+	loadVector(t, db, "E", 5, func(i int64) float64 { return 0 })
+	if _, _, err := db.QueryAll(`SELECT E.nope FROM E`); err == nil {
+		t.Fatal("expected unknown column error")
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	db := testDB(64, 16, 0)
+	loadVector(t, db, "E1", 5, func(i int64) float64 { return 0 })
+	loadVector(t, db, "E2", 5, func(i int64) float64 { return 0 })
+	if _, _, err := db.QueryAll(`SELECT V FROM E1, E2 WHERE E1.I=E2.I`); err == nil {
+		t.Fatal("expected ambiguity error")
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

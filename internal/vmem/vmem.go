@@ -1,0 +1,328 @@
+// Package vmem simulates operating-system virtual memory with demand
+// paging. It exists to reproduce plain R's failure mode from the paper:
+// R assumes all data fits in main memory, and when eager whole-vector
+// temporaries exceed physical memory the OS starts swapping, "often
+// causing the program to thrash and run unbearably slow" (§1).
+//
+// The Plain R engine (internal/rvec) allocates every vector — inputs and
+// all intermediates — inside a Space with a fixed physical-page budget.
+// Page residency follows LRU; evicting a dirty page charges a swap-out,
+// re-touching an evicted page that has a swap copy charges a swap-in.
+// The resulting counters are the moral equivalent of the DTrace
+// virtual-memory paging statistics the paper collected for R.
+package vmem
+
+import "fmt"
+
+// Stats counts paging activity for a Space.
+type Stats struct {
+	MinorFaults int64 // first touch of a zero page: no I/O, consumes a frame
+	MajorFaults int64 // page read back from swap
+	Writebacks  int64 // dirty page written to swap on eviction
+	SeqIO       int64 // major faults/writebacks adjacent to the previous one
+	RandIO      int64 // all other swap traffic
+	pageBytes   int64
+}
+
+// SwapOps returns the number of page-sized I/O operations performed.
+func (s Stats) SwapOps() int64 { return s.MajorFaults + s.Writebacks }
+
+// IOBytes returns the swap traffic in bytes.
+func (s Stats) IOBytes() int64 { return s.SwapOps() * s.pageBytes }
+
+// IOMB returns the swap traffic in mebibytes, the unit of Figure 1(a).
+func (s Stats) IOMB() float64 { return float64(s.IOBytes()) / (1 << 20) }
+
+func (s Stats) String() string {
+	return fmt.Sprintf("minor=%d major=%d writeback=%d io=%.1fMB",
+		s.MinorFaults, s.MajorFaults, s.Writebacks, s.IOMB())
+}
+
+type pageState uint8
+
+const (
+	pageUntouched pageState = iota // never touched: zero-fill on demand
+	pageResident                   // in physical memory
+	pageSwapped                    // evicted with a valid swap copy
+	pageDropped                    // evicted clean with no swap copy (still zero or rebuilt)
+)
+
+type page struct {
+	state pageState
+	dirty bool
+	// LRU intrusive doubly-linked list (resident pages only).
+	prev, next *page
+	arr        *Array
+	idx        int
+}
+
+// Array is a contiguous allocation of float64 elements inside a Space.
+// Element data is always materialized in host memory; the Space only
+// simulates which pages would be resident.
+type Array struct {
+	space *Space
+	name  string
+	data  []float64
+	pages []page
+	freed bool
+}
+
+// Space models physical memory: a budget of page frames shared by all
+// arrays allocated from it.
+type Space struct {
+	pageElems int
+	capacity  int // frames available to pageable data
+	locked    int // frames permanently consumed (the "R runtime")
+	resident  int
+	lruHead   *page // least recently used
+	lruTail   *page // most recently used
+	stats     Stats
+	lastSwap  int64 // last swap "slot" for seq/random classification
+	hasSwap   bool
+	nextSlot  map[*page]int64 // swap slot assigned per page
+	slotSeq   int64
+}
+
+// NewSpace creates a Space with pages of pageElems float64s and a
+// physical budget of capacityPages frames.
+func NewSpace(pageElems, capacityPages int) *Space {
+	if pageElems <= 0 || capacityPages <= 0 {
+		panic("vmem: page size and capacity must be positive")
+	}
+	return &Space{
+		pageElems: pageElems,
+		capacity:  capacityPages,
+		nextSlot:  make(map[*page]int64),
+	}
+}
+
+// PageElems returns the page size in elements.
+func (s *Space) PageElems() int { return s.pageElems }
+
+// PageBytes returns the page size in bytes.
+func (s *Space) PageBytes() int64 { return int64(s.pageElems) * 8 }
+
+// CapacityPages returns the pageable frame budget (after locking).
+func (s *Space) CapacityPages() int { return s.capacity }
+
+// ReserveLocked permanently removes pages frames from the budget,
+// simulating memory pinned by the language runtime itself (the paper
+// caps memory at "the R runtime plus two vectors").
+func (s *Space) ReserveLocked(pages int) {
+	if pages >= s.capacity {
+		panic("vmem: locking more pages than capacity")
+	}
+	s.capacity -= pages
+	s.locked += pages
+}
+
+// LockedPages returns how many frames are reserved for the runtime.
+func (s *Space) LockedPages() int { return s.locked }
+
+// Stats returns a snapshot of the paging counters.
+func (s *Space) Stats() Stats {
+	st := s.stats
+	st.pageBytes = s.PageBytes()
+	return st
+}
+
+// ResetStats zeroes the counters without changing residency.
+func (s *Space) ResetStats() { s.stats = Stats{} }
+
+// ResidentPages returns the number of frames currently in use.
+func (s *Space) ResidentPages() int { return s.resident }
+
+// Alloc creates an array of n elements. Allocation itself performs no
+// I/O: pages are zero-fill-on-demand, exactly like anonymous mmap.
+func (s *Space) Alloc(name string, n int64) *Array {
+	if n < 0 {
+		panic("vmem: negative allocation")
+	}
+	np := int((n + int64(s.pageElems) - 1) / int64(s.pageElems))
+	a := &Array{
+		space: s,
+		name:  name,
+		data:  make([]float64, n),
+		pages: make([]page, np),
+	}
+	for i := range a.pages {
+		a.pages[i].arr = a
+		a.pages[i].idx = i
+	}
+	return a
+}
+
+// Free releases the array's frames. Dropping pages needs no I/O: the OS
+// discards anonymous pages of an unmapped region, dirty or not.
+func (s *Space) Free(a *Array) {
+	if a.freed {
+		return
+	}
+	a.freed = true
+	for i := range a.pages {
+		p := &a.pages[i]
+		if p.state == pageResident {
+			s.lruRemove(p)
+			s.resident--
+		}
+		delete(s.nextSlot, p)
+		p.state = pageDropped
+	}
+	a.data = nil
+}
+
+// Len returns the number of elements in the array.
+func (a *Array) Len() int64 { return int64(cap(a.data)) }
+
+// Name returns the allocation label.
+func (a *Array) Name() string { return a.name }
+
+// NumPages returns the number of pages backing the array.
+func (a *Array) NumPages() int { return len(a.pages) }
+
+// PageSpan returns the element range [lo, hi) covered by page i.
+func (a *Array) PageSpan(i int) (lo, hi int64) {
+	pe := int64(a.space.pageElems)
+	lo = int64(i) * pe
+	hi = lo + pe
+	if hi > a.Len() {
+		hi = a.Len()
+	}
+	return lo, hi
+}
+
+// ReadPage touches page i for reading and returns its element slice.
+// The slice is valid until the next Space operation evicts the page —
+// callers should finish with it before touching other pages in bulk, as
+// an eager interpreter does.
+func (a *Array) ReadPage(i int) []float64 {
+	a.touch(i, false)
+	lo, hi := a.PageSpan(i)
+	return a.data[lo:hi]
+}
+
+// WritePage touches page i for writing (marking it dirty) and returns
+// its element slice.
+func (a *Array) WritePage(i int) []float64 {
+	a.touch(i, true)
+	lo, hi := a.PageSpan(i)
+	return a.data[lo:hi]
+}
+
+// At reads one element, faulting its page if needed.
+func (a *Array) At(i int64) float64 {
+	a.touch(int(i/int64(a.space.pageElems)), false)
+	return a.data[i]
+}
+
+// Set writes one element, faulting its page if needed.
+func (a *Array) Set(i int64, v float64) {
+	a.touch(int(i/int64(a.space.pageElems)), true)
+	a.data[i] = v
+}
+
+// PageOfElem returns the page index containing element i.
+func (a *Array) PageOfElem(i int64) int { return int(i / int64(a.space.pageElems)) }
+
+func (a *Array) touch(i int, write bool) {
+	if a.freed {
+		panic(fmt.Sprintf("vmem: access to freed array %q", a.name))
+	}
+	s := a.space
+	p := &a.pages[i]
+	switch p.state {
+	case pageResident:
+		s.lruRemove(p)
+		s.lruPush(p)
+	case pageUntouched, pageDropped:
+		s.makeRoom()
+		p.state = pageResident
+		s.resident++
+		s.lruPush(p)
+		s.stats.MinorFaults++
+	case pageSwapped:
+		s.makeRoom()
+		p.state = pageResident
+		s.resident++
+		s.lruPush(p)
+		s.stats.MajorFaults++
+		s.chargeSwapIO(p)
+	}
+	if write {
+		p.dirty = true
+	}
+}
+
+// makeRoom evicts the LRU page if the budget is exhausted.
+func (s *Space) makeRoom() {
+	for s.resident >= s.capacity {
+		victim := s.lruHead
+		if victim == nil {
+			panic("vmem: no evictable page")
+		}
+		s.lruRemove(victim)
+		s.resident--
+		if victim.dirty {
+			victim.state = pageSwapped
+			victim.dirty = false
+			s.stats.Writebacks++
+			s.chargeSwapIO(victim)
+		} else if victim.state == pageResident && s.hasSwapCopy(victim) {
+			victim.state = pageSwapped
+		} else {
+			victim.state = pageDropped
+		}
+	}
+}
+
+// hasSwapCopy reports whether the page was ever written to swap (so a
+// clean eviction can keep the swap copy instead of dropping).
+func (s *Space) hasSwapCopy(p *page) bool {
+	_, ok := s.nextSlot[p]
+	return ok
+}
+
+// chargeSwapIO classifies one page of swap traffic as sequential or
+// random based on swap-slot adjacency. Slots are assigned on first
+// writeback in eviction order, which is how swap files behave.
+func (s *Space) chargeSwapIO(p *page) {
+	slot, ok := s.nextSlot[p]
+	if !ok {
+		slot = s.slotSeq
+		s.slotSeq++
+		s.nextSlot[p] = slot
+	}
+	if s.hasSwap && slot == s.lastSwap+1 {
+		s.stats.SeqIO++
+	} else {
+		s.stats.RandIO++
+	}
+	s.lastSwap = slot
+	s.hasSwap = true
+}
+
+func (s *Space) lruPush(p *page) {
+	p.prev = s.lruTail
+	p.next = nil
+	if s.lruTail != nil {
+		s.lruTail.next = p
+	}
+	s.lruTail = p
+	if s.lruHead == nil {
+		s.lruHead = p
+	}
+}
+
+func (s *Space) lruRemove(p *page) {
+	if p.prev != nil {
+		p.prev.next = p.next
+	} else if s.lruHead == p {
+		s.lruHead = p.next
+	}
+	if p.next != nil {
+		p.next.prev = p.prev
+	} else if s.lruTail == p {
+		s.lruTail = p.prev
+	}
+	p.prev, p.next = nil, nil
+}

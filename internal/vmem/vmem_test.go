@@ -1,0 +1,249 @@
+package vmem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocNoIO(t *testing.T) {
+	s := NewSpace(4, 8)
+	s.Alloc("x", 100)
+	st := s.Stats()
+	if st.SwapOps() != 0 || st.MinorFaults != 0 {
+		t.Fatalf("allocation caused activity: %v", st)
+	}
+}
+
+func TestFirstTouchIsMinorFault(t *testing.T) {
+	s := NewSpace(4, 8)
+	a := s.Alloc("x", 8)
+	a.Set(0, 1)
+	a.Set(5, 2) // second page
+	st := s.Stats()
+	if st.MinorFaults != 2 || st.MajorFaults != 0 {
+		t.Fatalf("minor=%d major=%d, want 2/0", st.MinorFaults, st.MajorFaults)
+	}
+}
+
+func TestDataSurvivesEviction(t *testing.T) {
+	s := NewSpace(2, 2)
+	a := s.Alloc("a", 4) // 2 pages
+	b := s.Alloc("b", 4) // 2 pages
+	a.Set(0, 10)
+	a.Set(2, 20)
+	b.Set(0, 30) // evicts a's pages
+	b.Set(2, 40)
+	if got := a.At(0); got != 10 {
+		t.Fatalf("a[0]=%v, want 10", got)
+	}
+	if got := a.At(2); got != 20 {
+		t.Fatalf("a[2]=%v, want 20", got)
+	}
+}
+
+func TestThrashingAccounting(t *testing.T) {
+	// 2 frames; two 2-page arrays written then re-read alternately.
+	s := NewSpace(2, 2)
+	a := s.Alloc("a", 4)
+	b := s.Alloc("b", 4)
+	a.Set(0, 1) // minor
+	a.Set(2, 1) // minor
+	b.Set(0, 1) // minor, evicts a/p0 dirty -> writeback
+	b.Set(2, 1) // minor, evicts a/p1 dirty -> writeback
+	_ = a.At(0) // major (swap-in), evicts b/p0 dirty -> writeback
+	st := s.Stats()
+	if st.MinorFaults != 4 {
+		t.Fatalf("minor=%d, want 4", st.MinorFaults)
+	}
+	if st.Writebacks != 3 {
+		t.Fatalf("writebacks=%d, want 3", st.Writebacks)
+	}
+	if st.MajorFaults != 1 {
+		t.Fatalf("major=%d, want 1", st.MajorFaults)
+	}
+}
+
+func TestCleanReReadOfZeroPagesNoIO(t *testing.T) {
+	// Pages touched only for reading are zero and clean: eviction drops
+	// them and re-touching is another minor fault, never swap traffic.
+	s := NewSpace(2, 2)
+	a := s.Alloc("a", 8) // 4 pages
+	for i := 0; i < 4; i++ {
+		_ = a.ReadPage(i)
+	}
+	_ = a.ReadPage(0) // was dropped; minor again
+	st := s.Stats()
+	if st.SwapOps() != 0 {
+		t.Fatalf("zero-page churn produced I/O: %v", st)
+	}
+	if st.MinorFaults != 5 {
+		t.Fatalf("minor=%d, want 5", st.MinorFaults)
+	}
+}
+
+func TestCleanEvictionWithSwapCopy(t *testing.T) {
+	// A page written back once and swapped in clean keeps its swap copy:
+	// the next eviction is free, the next touch is a major fault.
+	s := NewSpace(1, 1)
+	a := s.Alloc("a", 1)
+	b := s.Alloc("b", 1)
+	a.Set(0, 7) // resident, dirty
+	_ = b.At(0) // evict a (writeback 1)
+	_ = a.At(0) // major 1 (clean now), evicts b (dropped: zero)
+	_ = b.At(0) // minor, evicts a — clean, swap copy retained, no writeback
+	_ = a.At(0) // major 2
+	if got := a.At(0); got != 7 {
+		t.Fatalf("a[0]=%v, want 7", got)
+	}
+	st := s.Stats()
+	if st.Writebacks != 1 {
+		t.Fatalf("writebacks=%d, want 1", st.Writebacks)
+	}
+	if st.MajorFaults != 2 {
+		t.Fatalf("major=%d, want 2", st.MajorFaults)
+	}
+}
+
+func TestFreeReleasesFramesWithoutIO(t *testing.T) {
+	s := NewSpace(2, 4)
+	a := s.Alloc("a", 8)
+	for i := 0; i < 4; i++ {
+		a.WritePage(i)
+	}
+	if s.ResidentPages() != 4 {
+		t.Fatalf("resident=%d, want 4", s.ResidentPages())
+	}
+	before := s.Stats().SwapOps()
+	s.Free(a)
+	if s.ResidentPages() != 0 {
+		t.Fatalf("resident=%d after free", s.ResidentPages())
+	}
+	if got := s.Stats().SwapOps() - before; got != 0 {
+		t.Fatalf("free caused %d swap ops", got)
+	}
+}
+
+func TestUseAfterFreePanics(t *testing.T) {
+	s := NewSpace(2, 4)
+	a := s.Alloc("a", 4)
+	s.Free(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.At(0)
+}
+
+func TestReserveLocked(t *testing.T) {
+	s := NewSpace(2, 10)
+	s.ReserveLocked(6)
+	if s.CapacityPages() != 4 {
+		t.Fatalf("capacity=%d, want 4", s.CapacityPages())
+	}
+	if s.LockedPages() != 6 {
+		t.Fatalf("locked=%d, want 6", s.LockedPages())
+	}
+	// Workload that fits in 10 pages but not 4 must now swap.
+	a := s.Alloc("a", 12) // 6 pages
+	for i := 0; i < 6; i++ {
+		a.WritePage(i)
+	}
+	for i := 0; i < 6; i++ {
+		a.ReadPage(i)
+	}
+	if s.Stats().MajorFaults == 0 {
+		t.Fatal("expected major faults under locked memory")
+	}
+}
+
+func TestSequentialScanOfBigArrayEvictsInOrder(t *testing.T) {
+	// Writing a large array sequentially then rescanning it produces
+	// sequential swap traffic (slots assigned in eviction order).
+	s := NewSpace(2, 4)
+	a := s.Alloc("a", 32) // 16 pages
+	for i := 0; i < 16; i++ {
+		a.WritePage(i)
+	}
+	for i := 0; i < 16; i++ {
+		a.ReadPage(i)
+	}
+	st := s.Stats()
+	if st.SeqIO == 0 {
+		t.Fatal("expected some sequential swap I/O")
+	}
+	if st.SeqIO < st.RandIO {
+		t.Fatalf("seq=%d < rand=%d; scan pattern should be mostly sequential", st.SeqIO, st.RandIO)
+	}
+}
+
+func TestPageSpanAndStats(t *testing.T) {
+	s := NewSpace(4, 4)
+	a := s.Alloc("a", 10)
+	if a.NumPages() != 3 {
+		t.Fatalf("pages=%d, want 3", a.NumPages())
+	}
+	lo, hi := a.PageSpan(2)
+	if lo != 8 || hi != 10 {
+		t.Fatalf("span=(%d,%d), want (8,10)", lo, hi)
+	}
+	if a.PageOfElem(9) != 2 {
+		t.Fatalf("PageOfElem(9)=%d", a.PageOfElem(9))
+	}
+	a.Set(9, 3)
+	st := s.Stats()
+	if st.IOBytes() != 0 {
+		t.Fatalf("unexpected IO: %v", st)
+	}
+}
+
+// Property: values written through the paging layer always read back,
+// regardless of the access pattern and eviction pressure.
+func TestReadYourWritesProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := NewSpace(2, 3)
+		a := s.Alloc("a", 64)
+		model := make([]float64, 64)
+		for k, op := range ops {
+			i := int64(op % 64)
+			if op%2 == 0 {
+				v := float64(k + 1)
+				a.Set(i, v)
+				model[i] = v
+			} else if a.At(i) != model[i] {
+				return false
+			}
+		}
+		for i := range model {
+			if a.At(int64(i)) != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: resident page count never exceeds capacity.
+func TestResidencyBudgetProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := NewSpace(2, 3)
+		a := s.Alloc("a", 64)
+		for _, op := range ops {
+			if op%2 == 0 {
+				a.Set(int64(op%64), 1)
+			} else {
+				a.At(int64(op % 64))
+			}
+			if s.ResidentPages() > 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

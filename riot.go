@@ -1,0 +1,258 @@
+// Package riot is the public API of the RIOT reproduction: I/O-efficient
+// numerical computing without SQL (Zhang, Herodotou, Yang — CIDR 2009).
+//
+// A Session wraps one evaluation backend. The Backend selects which of
+// the paper's systems executes the work: plain R semantics over paged
+// virtual memory, one of the three RIOT-DB variants over an embedded
+// relational engine, or the next-generation RIOT engine (expression DAG,
+// rule-based optimizer, tiled array store). Programs can be written
+// either against the Go API (Vector/Matrix handles) or as riotscript —
+// an R subset — via RunScript; the same script runs on every backend.
+//
+//	s := riot.NewSession(riot.Config{Backend: riot.BackendRIOT})
+//	x, _ := s.SeqVector(1 << 20)
+//	d, _ := x.Sub(3).Square().Add(x.Sub(4).Square()).Sqrt()
+//	head, _ := d.Head(10)
+package riot
+
+import (
+	"fmt"
+
+	"riot/internal/engine"
+	"riot/internal/riotdb"
+	"riot/internal/rlang"
+)
+
+// Backend selects the evaluation engine.
+type Backend int
+
+// Available backends.
+const (
+	// BackendRIOT is the next-generation engine of §5 (default).
+	BackendRIOT Backend = iota
+	// BackendPlainR emulates R: eager evaluation in paged virtual memory.
+	BackendPlainR
+	// BackendStrawman is RIOT-DB materializing every operation.
+	BackendStrawman
+	// BackendMatNamed is RIOT-DB materializing named objects only.
+	BackendMatNamed
+	// BackendFullDB is RIOT-DB with full view deferral.
+	BackendFullDB
+)
+
+// Config sizes the simulated machine.
+type Config struct {
+	Backend Backend
+	// BlockElems is the disk block / VM page size in float64 elements
+	// (the paper's B). Default 1024.
+	BlockElems int
+	// MemElems is the memory budget in float64 elements (the paper's M).
+	// Default 1<<22 (32 MiB).
+	MemElems int64
+	// RuntimePages reserves part of memory for the language runtime
+	// (plain R backend only). Default 24 pages.
+	RuntimePages int
+	// Time is the simulated-hardware model; zero value uses defaults.
+	Time engine.TimeModel
+}
+
+// Session is a handle to one engine instance.
+type Session struct {
+	eng engine.Engine
+}
+
+// NewSession creates a session with the given configuration.
+func NewSession(cfg Config) *Session {
+	if cfg.BlockElems == 0 {
+		cfg.BlockElems = 1024
+	}
+	if cfg.MemElems == 0 {
+		cfg.MemElems = 1 << 22
+	}
+	if cfg.RuntimePages == 0 {
+		cfg.RuntimePages = 24
+	}
+	if cfg.Time == (engine.TimeModel{}) {
+		cfg.Time = engine.DefaultTimeModel
+	}
+	var e engine.Engine
+	switch cfg.Backend {
+	case BackendPlainR:
+		pages := int(cfg.MemElems/int64(cfg.BlockElems)) + cfg.RuntimePages
+		e = engine.NewPlainR(cfg.BlockElems, pages, cfg.RuntimePages, cfg.Time)
+	case BackendStrawman:
+		e = engine.NewRIOTDB(riotdb.Strawman, cfg.BlockElems, cfg.MemElems, cfg.Time)
+	case BackendMatNamed:
+		e = engine.NewRIOTDB(riotdb.MatNamed, cfg.BlockElems, cfg.MemElems, cfg.Time)
+	case BackendFullDB:
+		e = engine.NewRIOTDB(riotdb.Full, cfg.BlockElems, cfg.MemElems, cfg.Time)
+	default:
+		e = engine.NewRIOT(cfg.BlockElems, cfg.MemElems, cfg.Time)
+	}
+	return &Session{eng: e}
+}
+
+// EngineName reports which backend the session runs on.
+func (s *Session) EngineName() string { return s.eng.Name() }
+
+// Engine exposes the underlying engine for advanced use (stats, ablation
+// knobs on the RIOT backend).
+func (s *Session) Engine() engine.Engine { return s.eng }
+
+// Report returns resource usage since the last ResetStats.
+func (s *Session) Report() engine.Report { return s.eng.Report() }
+
+// ResetStats zeroes the usage counters.
+func (s *Session) ResetStats() { s.eng.ResetStats() }
+
+// RunScript executes a riotscript program and returns its printed output.
+func (s *Session) RunScript(src string) (string, error) {
+	in := rlang.New(s.eng)
+	if err := in.Run(src); err != nil {
+		return in.Out.String(), err
+	}
+	return in.Out.String(), nil
+}
+
+// Interp returns a fresh riotscript interpreter bound to the session's
+// engine, for callers that want to pre-bind variables.
+func (s *Session) Interp() *rlang.Interp { return rlang.New(s.eng) }
+
+// Vector is a deferred (or eager, depending on backend) vector handle.
+type Vector struct {
+	s   *Session
+	val engine.Value
+}
+
+// Matrix is a matrix handle.
+type Matrix struct {
+	s   *Session
+	val engine.Value
+}
+
+// NewVector creates a vector of length n with values gen(i) (0-based).
+func (s *Session) NewVector(n int64, gen func(i int64) float64) (*Vector, error) {
+	v, err := s.eng.NewVector(n, gen)
+	if err != nil {
+		return nil, err
+	}
+	return &Vector{s: s, val: v}, nil
+}
+
+// SeqVector creates the vector 0, 1, ..., n-1.
+func (s *Session) SeqVector(n int64) (*Vector, error) {
+	return s.NewVector(n, func(i int64) float64 { return float64(i) })
+}
+
+// NewMatrix creates a rows×cols matrix with values gen(i, j).
+func (s *Session) NewMatrix(rows, cols int64, gen func(i, j int64) float64) (*Matrix, error) {
+	m, err := s.eng.NewMatrix(rows, cols, gen)
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix{s: s, val: m}, nil
+}
+
+// Sample draws k distinct indices from [0, n) deterministically.
+func (s *Session) Sample(n, k int64, seed uint64) (*Vector, error) {
+	v, err := s.eng.Sample(n, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Vector{s: s, val: v}, nil
+}
+
+// Len returns the vector length.
+func (v *Vector) Len() int64 { return v.s.eng.Length(v.val) }
+
+func (v *Vector) lift(val engine.Value, err error) (*Vector, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &Vector{s: v.s, val: val}, nil
+}
+
+// AddV adds two vectors elementwise.
+func (v *Vector) AddV(o *Vector) (*Vector, error) { return v.lift(v.s.eng.Arith("+", v.val, o.val)) }
+
+// MulV multiplies two vectors elementwise.
+func (v *Vector) MulV(o *Vector) (*Vector, error) { return v.lift(v.s.eng.Arith("*", v.val, o.val)) }
+
+// Add adds a scalar.
+func (v *Vector) Add(c float64) (*Vector, error) {
+	return v.lift(v.s.eng.ArithScalar("+", v.val, c, false))
+}
+
+// Sub subtracts a scalar.
+func (v *Vector) Sub(c float64) (*Vector, error) {
+	return v.lift(v.s.eng.ArithScalar("-", v.val, c, false))
+}
+
+// Mul multiplies by a scalar.
+func (v *Vector) Mul(c float64) (*Vector, error) {
+	return v.lift(v.s.eng.ArithScalar("*", v.val, c, false))
+}
+
+// Square squares elementwise.
+func (v *Vector) Square() (*Vector, error) { return v.lift(v.s.eng.Arith("*", v.val, v.val)) }
+
+// Sqrt takes elementwise square roots.
+func (v *Vector) Sqrt() (*Vector, error) { return v.lift(v.s.eng.Map("sqrt", v.val)) }
+
+// Apply maps a named function (sqrt, abs, exp, log, sin, cos).
+func (v *Vector) Apply(fn string) (*Vector, error) { return v.lift(v.s.eng.Map(fn, v.val)) }
+
+// Gather returns v[idx] for a 0-based index vector.
+func (v *Vector) Gather(idx *Vector) (*Vector, error) {
+	return v.lift(v.s.eng.IndexBy(v.val, idx.val))
+}
+
+// Slice returns v[lo:hi) (0-based).
+func (v *Vector) Slice(lo, hi int64) (*Vector, error) {
+	return v.lift(v.s.eng.Range(v.val, lo, hi))
+}
+
+// UpdateWhere returns a new state with v[v cmp thresh] <- val.
+func (v *Vector) UpdateWhere(cmp string, thresh, val float64) (*Vector, error) {
+	return v.lift(v.s.eng.UpdateWhere(v.val, cmp, thresh, val))
+}
+
+// Head fetches the first k values, forcing evaluation.
+func (v *Vector) Head(k int64) ([]float64, error) { return v.s.eng.Fetch(v.val, k) }
+
+// Values fetches every value, forcing evaluation.
+func (v *Vector) Values() ([]float64, error) { return v.s.eng.Fetch(v.val, -1) }
+
+// Sum forces evaluation of the total.
+func (v *Vector) Sum() (float64, error) { return v.s.eng.Sum(v.val) }
+
+// Dims returns (rows, cols).
+func (m *Matrix) Dims() (int64, int64) {
+	r, c, _ := m.s.eng.Dims(m.val)
+	return r, c
+}
+
+// MatMul multiplies two matrices.
+func (m *Matrix) MatMul(o *Matrix) (*Matrix, error) {
+	v, err := m.s.eng.MatMul(m.val, o.val)
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix{s: m.s, val: v}, nil
+}
+
+// Values fetches the full matrix row-major, forcing evaluation.
+func (m *Matrix) Values() ([]float64, error) { return m.s.eng.Fetch(m.val, -1) }
+
+// At forces evaluation of a single cell.
+func (m *Matrix) At(i, j int64) (float64, error) {
+	r, c, _ := m.s.eng.Dims(m.val)
+	if i < 0 || i >= r || j < 0 || j >= c {
+		return 0, fmt.Errorf("riot: index (%d,%d) outside %dx%d matrix", i, j, r, c)
+	}
+	vals, err := m.s.eng.Fetch(m.val, i*c+j+1)
+	if err != nil {
+		return 0, err
+	}
+	return vals[i*c+j], nil
+}

@@ -1,0 +1,203 @@
+package riot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func backends() []Backend {
+	return []Backend{BackendRIOT, BackendPlainR, BackendStrawman, BackendMatNamed, BackendFullDB}
+}
+
+func TestSessionVectorPipeline(t *testing.T) {
+	for _, b := range backends() {
+		s := NewSession(Config{Backend: b})
+		x, err := s.SeqVector(1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xm, err := x.Sub(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sq, err := xm.Square()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := sq.Sqrt()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := rt.Add(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		head, err := d.Head(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range head {
+			want := math.Abs(float64(i)-3) + 7
+			if math.Abs(v-want) > 1e-12 {
+				t.Fatalf("%s: head[%d]=%v want %v", s.EngineName(), i, v, want)
+			}
+		}
+		sum, err := d.Sum()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0.0
+		for i := 0; i < 1000; i++ {
+			want += math.Abs(float64(i)-3) + 7
+		}
+		if math.Abs(sum-want) > 1e-6 {
+			t.Fatalf("%s: sum=%v want %v", s.EngineName(), sum, want)
+		}
+	}
+}
+
+func TestSessionGatherAndSlice(t *testing.T) {
+	for _, b := range backends() {
+		s := NewSession(Config{Backend: b})
+		x, err := s.NewVector(500, func(i int64) float64 { return float64(i * 2) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := s.NewVector(4, func(i int64) float64 { return float64(i * 100) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := x.Gather(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals, err := g.Values()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range vals {
+			if v != float64(i*200) {
+				t.Fatalf("%s: gather[%d]=%v", s.EngineName(), i, v)
+			}
+		}
+		sl, err := x.Slice(10, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svals, err := sl.Values()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(svals) != 3 || svals[0] != 20 || svals[2] != 24 {
+			t.Fatalf("%s: slice=%v", s.EngineName(), svals)
+		}
+	}
+}
+
+func TestSessionUpdateWhere(t *testing.T) {
+	for _, b := range backends() {
+		s := NewSession(Config{Backend: b})
+		x, err := s.SeqVector(50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sq, err := x.Square()
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := sq.UpdateWhere(">", 100, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals, err := u.Head(15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range vals {
+			want := math.Min(float64(i*i), 100)
+			if v != want {
+				t.Fatalf("%s: u[%d]=%v want %v", s.EngineName(), i, v, want)
+			}
+		}
+	}
+}
+
+func TestSessionMatMul(t *testing.T) {
+	s := NewSession(Config{Backend: BackendRIOT, BlockElems: 64, MemElems: 1 << 16})
+	a, err := s.NewMatrix(6, 4, func(i, j int64) float64 { return float64(i + j) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := s.NewMatrix(4, 5, func(i, j int64) float64 { return float64(i - j) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := a.MatMul(bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, cc := c.Dims()
+	if r != 6 || cc != 5 {
+		t.Fatalf("dims %dx%d", r, cc)
+	}
+	got, err := c.At(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for k := 0; k < 4; k++ {
+		want += float64(2+k) * float64(k-3)
+	}
+	if got != want {
+		t.Fatalf("C[2,3]=%v want %v", got, want)
+	}
+}
+
+func TestRunScript(t *testing.T) {
+	s := NewSession(Config{Backend: BackendRIOT})
+	out, err := s.RunScript(`
+x <- 1:5
+y <- x * x
+print(y)
+total <- sum(y)
+print(total)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1 4 9 16 25") {
+		t.Fatalf("output missing squares: %q", out)
+	}
+	if !strings.Contains(out, "55") {
+		t.Fatalf("output missing sum: %q", out)
+	}
+}
+
+func TestReportAndReset(t *testing.T) {
+	s := NewSession(Config{Backend: BackendFullDB, MemElems: 1 << 14})
+	x, err := s.SeqVector(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Report().IOBytes == 0 {
+		t.Fatal("loading a vector should do I/O on the DB backend")
+	}
+	s.ResetStats()
+	if s.Report().IOBytes != 0 {
+		t.Fatal("reset did not clear counters")
+	}
+	if _, err := x.Sum(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Report().IOBytes == 0 {
+		t.Fatal("forcing a sum should read the table")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	s := NewSession(Config{})
+	if s.EngineName() != "riot" {
+		t.Fatalf("default backend = %s", s.EngineName())
+	}
+}
