@@ -2,54 +2,221 @@
 // runs every experiment at laptop scale; -paper uses the publication
 // parameters for Figures 1 and 3 (Figure 1 then takes minutes: the
 // strawman materializes a dozen multi-million-row tables, faithfully).
+//
+// Besides the human-readable tables, riot-bench writes one
+// machine-readable record per measurement to a JSON file (default
+// BENCH_results.json, disable with -json "") so the performance
+// trajectory is tracked across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"riot/internal/bench"
 )
 
+// Result is one machine-readable benchmark record.
+type Result struct {
+	// Name identifies the measurement, e.g. "figure1/riot/n=131072".
+	Name string `json:"name"`
+	// IOMB is the simulated device traffic in mebibytes (0 when the
+	// experiment is an analytic calculation with no measured I/O).
+	IOMB float64 `json:"io_mb"`
+	// SimSec is the simulated wall-clock under the 2009 time model.
+	SimSec float64 `json:"sim_sec"`
+	// WallNSPerOp is the real wall-clock of one run of the experiment.
+	WallNSPerOp int64 `json:"wall_ns_per_op"`
+	// Workers is the parallelism the measurement ran with.
+	Workers int `json:"workers"`
+}
+
 func main() {
-	figure := flag.String("figure", "all", "which experiment: 1, 2, 3a, 3b, validate, all")
+	figure := flag.String("figure", "all", "which experiment: 1, 2, 3a, 3b, validate, workers, all")
 	paper := flag.Bool("paper", false, "use the paper's full-scale parameters")
+	jsonPath := flag.String("json", "BENCH_results.json", "write machine-readable results to this file (empty to disable)")
 	flag.Parse()
 
-	run := func(name string, f func() error) {
+	var results []Result
+
+	run := func(name string, f func() ([]Result, error)) {
 		if *figure != "all" && *figure != name {
 			return
 		}
-		if err := f(); err != nil {
+		start := time.Now()
+		rows, err := f()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "riot-bench: figure %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		wall := time.Since(start).Nanoseconds()
+		for i := range rows {
+			if rows[i].WallNSPerOp == 0 {
+				// Experiments that don't time themselves get the whole
+				// run's wall-clock split evenly across their rows.
+				rows[i].WallNSPerOp = wall / int64(len(rows))
+			}
+			if rows[i].Workers == 0 {
+				rows[i].Workers = 1
+			}
+		}
+		results = append(results, rows...)
 		fmt.Println()
 	}
 
-	run("1", func() error {
+	run("1", func() ([]Result, error) {
 		sizes := []int64{1 << 17, 1 << 18, 1 << 19}
 		if *paper {
 			sizes = []int64{1 << 21, 1 << 22, 1 << 23}
 		}
-		_, err := bench.Figure1(sizes, 1024, os.Stdout)
-		return err
+		rows, err := bench.Figure1(sizes, 1024, os.Stdout)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Result, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, Result{
+				Name:   fmt.Sprintf("figure1/%s/n=%d", r.Engine, r.N),
+				IOMB:   r.IOMB,
+				SimSec: r.Seconds,
+			})
+		}
+		return out, nil
 	})
-	run("2", func() error {
-		_, err := bench.Figure2(1<<16, 1024, os.Stdout)
-		return err
+	run("2", func() ([]Result, error) {
+		const blockElems = 1024
+		rows, err := bench.Figure2(1<<16, blockElems, os.Stdout)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Result, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, Result{
+				Name: fmt.Sprintf("figure2/%s", r.Config),
+				IOMB: float64(r.IOBlocks) * blockElems * 8 / (1 << 20),
+			})
+		}
+		return out, nil
 	})
-	run("3a", func() error {
-		bench.Figure3a([]float64{100000, 120000}, []float64{2, 4}, os.Stdout)
-		return nil
+	run("3a", func() ([]Result, error) {
+		rows := bench.Figure3a([]float64{100000, 120000}, []float64{2, 4}, os.Stdout)
+		out := make([]Result, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, Result{
+				Name: fmt.Sprintf("figure3a/%s/n=%g/mem=%gGB", r.Strategy, r.N, r.MemGB),
+				IOMB: r.IOBlocks * bench.Fig3BlockElems * 8 / (1 << 20),
+			})
+		}
+		return out, nil
 	})
-	run("3b", func() error {
-		bench.Figure3b([]float64{2, 4, 6, 8}, os.Stdout)
-		return nil
+	run("3b", func() ([]Result, error) {
+		rows := bench.Figure3b([]float64{2, 4, 6, 8}, os.Stdout)
+		out := make([]Result, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, Result{
+				Name: fmt.Sprintf("figure3b/%s/skew=%g", r.Strategy, r.Skew),
+				IOMB: r.IOBlocks * bench.Fig3BlockElems * 8 / (1 << 20),
+			})
+		}
+		return out, nil
 	})
-	run("validate", func() error {
-		_, err := bench.ValidateModel([]int64{96, 160, 256}, os.Stdout)
-		return err
+	run("validate", func() ([]Result, error) {
+		rows, err := bench.ValidateModel([]int64{96, 160, 256}, os.Stdout)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Result, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, Result{
+				Name: fmt.Sprintf("validate/%s/n=%d", r.Kernel, r.N),
+				IOMB: r.Measured * bench.ValidateBlockElems * 8 / (1 << 20),
+			})
+		}
+		return out, nil
 	})
+	run("workers", func() ([]Result, error) {
+		n := int64(512)
+		if *paper {
+			n = 1024
+		}
+		if runtime.GOMAXPROCS(0) == 1 {
+			// One core: the sweep still verifies correctness and budget
+			// behaviour, but wall-clock speedup needs real parallelism.
+			fmt.Println("(single CPU: workers ablation measures scheduling overhead, not speedup)")
+		}
+		rows, err := bench.WorkersAblation(n, []int{1, 2, 4, 8}, os.Stdout)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Result, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, Result{
+				Name:        fmt.Sprintf("workers/matmul-tiled/n=%d", n),
+				IOMB:        r.IOMB,
+				WallNSPerOp: r.WallNS,
+				Workers:     r.Workers,
+			})
+		}
+		return out, nil
+	})
+
+	if *jsonPath != "" && len(results) > 0 {
+		merged := mergeResults(*jsonPath, results)
+		data, err := json.MarshalIndent(merged, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "riot-bench: marshal results: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "riot-bench: write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d results to %s (%d from this run)\n", len(merged), *jsonPath, len(results))
+	}
+}
+
+// mergeResults folds this run's records into any existing results file,
+// so a partial run (-figure X) refreshes its own rows without discarding
+// the rest of the tracked trajectory. Records are keyed by (name,
+// workers); fresh records replace stale ones in place, new ones append.
+func mergeResults(path string, fresh []Result) []Result {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fresh
+	}
+	var old []Result
+	if err := json.Unmarshal(data, &old); err != nil {
+		fmt.Fprintf(os.Stderr, "riot-bench: ignoring unparsable %s: %v\n", path, err)
+		return fresh
+	}
+	type key struct {
+		name    string
+		workers int
+	}
+	incoming := make(map[key]Result, len(fresh))
+	for _, r := range fresh {
+		incoming[key{r.Name, r.Workers}] = r
+	}
+	merged := make([]Result, 0, len(old)+len(fresh))
+	seen := make(map[key]bool)
+	for _, r := range old {
+		k := key{r.Name, r.Workers}
+		if nr, ok := incoming[k]; ok {
+			merged = append(merged, nr)
+			seen[k] = true
+		} else {
+			merged = append(merged, r)
+		}
+	}
+	for _, r := range fresh {
+		if !seen[key{r.Name, r.Workers}] {
+			merged = append(merged, r)
+		}
+	}
+	return merged
 }

@@ -15,6 +15,7 @@ func main() {
 	backend := flag.String("engine", "riot", "backend: riot, plain-r, strawman, matnamed, full")
 	mem := flag.Int64("mem", 1<<22, "memory budget in float64 elements (M)")
 	block := flag.Int("block", 1024, "block/page size in float64 elements (B)")
+	workers := flag.Int("workers", 1, "worker goroutines for the riot backend (1 = deterministic I/O counts, 0 = GOMAXPROCS)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: riot-run [-engine X] [-mem M] [-block B] script.R")
@@ -41,7 +42,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "riot-run: unknown engine %q\n", *backend)
 		os.Exit(2)
 	}
-	s := riot.NewSession(riot.Config{Backend: b, MemElems: *mem, BlockElems: *block})
+	s := riot.NewSession(riot.Config{Backend: b, MemElems: *mem, BlockElems: *block, Workers: *workers})
 	out, err := s.RunScript(string(src))
 	fmt.Print(out)
 	if err != nil {

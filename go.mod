@@ -1,0 +1,3 @@
+module riot
+
+go 1.21

@@ -7,11 +7,42 @@
 // (internal/array), and the relational storage layer (internal/rstore)
 // all draw frames from a pool, so "how much memory an algorithm uses" is
 // an enforced budget rather than an honour system.
+//
+// # Concurrency
+//
+// The pool is safe for concurrent use. It is partitioned into a power-of
+// -two number of lock-striped shards; a block's shard is a pure function
+// of its BlockID, so a frame lives in exactly one shard for its whole
+// lifetime — in particular, a pinned frame never moves across shards
+// (tests assert this invariant). Each shard has its own mutex and LRU
+// list; the frame budget is global, enforced with an atomic residency
+// counter, so a burst of activity in one shard may evict frames from
+// another rather than fail while the pool as a whole is under budget.
+// Counters are atomics, so Stats is safe to read concurrently.
+//
+// Concurrent Pins of the same absent block collapse into a single device
+// read: the first pinner inserts a frame and loads it while later
+// pinners wait on the frame's ready channel (they count as hits — they
+// caused no device I/O).
+//
+// Callers that write through Frame.Data must coordinate among
+// themselves: the pool guarantees that a pinned frame is stable and
+// never evicted, but two writers mutating the same frame's payload
+// concurrently are a data race in the caller. RIOT's parallel executors
+// partition output blocks across workers so each output frame has
+// exactly one writer; input frames are shared read-only.
+//
+// A single-shard pool driven by one goroutine behaves exactly like the
+// original sequential pool: same hit/miss/eviction/flush counts in the
+// same order. This is what makes Workers=1 runs reproduce the paper's
+// deterministic I/O measurements.
 package buffer
 
 import (
 	"container/list"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"riot/internal/disk"
 )
@@ -20,18 +51,26 @@ import (
 // valid until Unpin; writers must call MarkDirty so the frame is flushed
 // on eviction.
 type Frame struct {
-	id    disk.BlockID
-	Data  []float64
-	pins  int
-	dirty bool
-	elem  *list.Element
+	id   disk.BlockID
+	Data []float64
+	// pins and elem are guarded by the owning shard's mutex.
+	pins int
+	elem *list.Element
+	// dirty is atomic: MarkDirty is called by pinners without the shard
+	// lock, while eviction and FlushAll read it under the lock.
+	dirty atomic.Bool
+	// ready is closed once Data holds the block contents. Concurrent
+	// pinners of a block being loaded wait on it; loadErr is set before
+	// the close if the device read failed.
+	ready   chan struct{}
+	loadErr error
 }
 
 // ID returns the disk block this frame caches.
 func (f *Frame) ID() disk.BlockID { return f.id }
 
 // MarkDirty records that Data has been modified and must be written back.
-func (f *Frame) MarkDirty() { f.dirty = true }
+func (f *Frame) MarkDirty() { f.dirty.Store(true) }
 
 // Stats counts buffer pool events.
 type Stats struct {
@@ -41,43 +80,100 @@ type Stats struct {
 	Flushes   int64 // dirty frames written back
 }
 
-// Pool is a fixed-capacity buffer pool with LRU replacement and pinning.
-// It is not safe for concurrent use; RIOT's executors are single-threaded
-// per pool, like the paper's single-machine setting.
-type Pool struct {
-	dev      *disk.Device
-	capacity int // frames
-	frames   map[disk.BlockID]*Frame
-	lru      *list.List // unpinned frames, front = least recently used
-	stats    Stats
+// shard is one lock stripe of the pool: a map of resident frames plus an
+// LRU list of the unpinned ones.
+type shard struct {
+	mu     sync.Mutex
+	frames map[disk.BlockID]*Frame
+	lru    *list.List // unpinned frames, front = least recently used
 }
 
-// New creates a pool holding at most capacity frames over dev.
+// Pool is a fixed-capacity buffer pool with LRU replacement and pinning,
+// sharded for concurrent access (see the package comment).
+type Pool struct {
+	dev      *disk.Device
+	capacity int // frames, global across shards
+	shards   []*shard
+	mask     uint64 // len(shards)-1; len(shards) is a power of two
+	resident atomic.Int64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	flushes   atomic.Int64
+}
+
+// maxShards bounds lock striping; beyond this the per-shard LRU lists
+// become too short to approximate global LRU.
+const maxShards = 64
+
+// New creates a single-shard pool holding at most capacity frames over
+// dev. Single-shard, single-goroutine use reproduces the original
+// sequential pool's behaviour exactly.
 func New(dev *disk.Device, capacity int) *Pool {
+	return NewSharded(dev, capacity, 1)
+}
+
+// NewSharded creates a pool with the given frame capacity striped over
+// shards lock shards. The shard count is rounded up to a power of two
+// and clamped to [1, maxShards]; it never exceeds the capacity.
+func NewSharded(dev *disk.Device, capacity, shards int) *Pool {
 	if capacity <= 0 {
 		panic("buffer: capacity must be positive")
 	}
-	return &Pool{
+	n := 1
+	for n < shards && n < maxShards {
+		n <<= 1
+	}
+	for n > capacity && n > 1 {
+		n >>= 1
+	}
+	p := &Pool{
 		dev:      dev,
 		capacity: capacity,
-		frames:   make(map[disk.BlockID]*Frame),
-		lru:      list.New(),
+		shards:   make([]*shard, n),
+		mask:     uint64(n - 1),
 	}
+	for i := range p.shards {
+		p.shards[i] = &shard{frames: make(map[disk.BlockID]*Frame), lru: list.New()}
+	}
+	return p
 }
 
-// NewWithMemory creates a pool sized so it holds memElems scalar numbers:
-// capacity = memElems / blockElems, at least 3 frames (the minimum any
-// out-of-core algorithm in this repo needs).
+// NewWithMemory creates a single-shard pool sized so it holds memElems
+// scalar numbers: capacity = memElems / blockElems, at least 3 frames
+// (the minimum any out-of-core algorithm in this repo needs).
 func NewWithMemory(dev *disk.Device, memElems int64) *Pool {
+	return NewShardedWithMemory(dev, memElems, 1)
+}
+
+// NewShardedWithMemory is NewWithMemory with a shard count, for
+// concurrent executors.
+func NewShardedWithMemory(dev *disk.Device, memElems int64, shards int) *Pool {
 	frames := int(memElems / int64(dev.BlockElems()))
 	if frames < 3 {
 		frames = 3
 	}
-	return New(dev, frames)
+	return NewSharded(dev, frames, shards)
+}
+
+// shardOf returns the shard owning block id. This is a pure function of
+// the id, which is what pins a frame to one shard for its lifetime.
+func (p *Pool) shardOf(id disk.BlockID) *shard {
+	return p.shards[p.shardIndex(id)]
+}
+
+// shardIndex spreads sequential block IDs across shards with a
+// Fibonacci-style multiplicative hash.
+func (p *Pool) shardIndex(id disk.BlockID) int {
+	return int((uint64(id) * 0x9E3779B97F4A7C15 >> 32) & p.mask)
 }
 
 // Capacity returns the frame budget.
 func (p *Pool) Capacity() int { return p.capacity }
+
+// Shards returns the number of lock stripes.
+func (p *Pool) Shards() int { return len(p.shards) }
 
 // MemoryElems returns the budget expressed in scalar numbers (M).
 func (p *Pool) MemoryElems() int64 {
@@ -88,41 +184,51 @@ func (p *Pool) MemoryElems() int64 {
 func (p *Pool) Device() *disk.Device { return p.dev }
 
 // Stats returns a snapshot of pool counters.
-func (p *Pool) Stats() Stats { return p.stats }
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Hits:      p.hits.Load(),
+		Misses:    p.misses.Load(),
+		Evictions: p.evictions.Load(),
+		Flushes:   p.flushes.Load(),
+	}
+}
 
 // ResetStats zeroes the pool counters (resident frames are kept).
-func (p *Pool) ResetStats() { p.stats = Stats{} }
+func (p *Pool) ResetStats() {
+	p.hits.Store(0)
+	p.misses.Store(0)
+	p.evictions.Store(0)
+	p.flushes.Store(0)
+}
 
 // Resident returns the number of frames currently held.
-func (p *Pool) Resident() int { return len(p.frames) }
+func (p *Pool) Resident() int {
+	n := 0
+	for _, s := range p.shards {
+		s.mu.Lock()
+		n += len(s.frames)
+		s.mu.Unlock()
+	}
+	return n
+}
 
 // Pinned returns how many frames are currently pinned.
-func (p *Pool) Pinned() int { return len(p.frames) - p.lru.Len() }
+func (p *Pool) Pinned() int {
+	n := 0
+	for _, s := range p.shards {
+		s.mu.Lock()
+		n += len(s.frames) - s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
 
 // Pin fetches block id into the pool, pins it, and returns its frame.
 // A pinned frame is exempt from eviction until Unpin. Pinning more
 // frames than the capacity is an error: it means an algorithm is using
 // more memory than its budget.
 func (p *Pool) Pin(id disk.BlockID) (*Frame, error) {
-	if f, ok := p.frames[id]; ok {
-		p.stats.Hits++
-		if f.pins == 0 && f.elem != nil {
-			p.lru.Remove(f.elem)
-			f.elem = nil
-		}
-		f.pins++
-		return f, nil
-	}
-	if err := p.makeRoom(); err != nil {
-		return nil, err
-	}
-	f := &Frame{id: id, Data: make([]float64, p.dev.BlockElems()), pins: 1}
-	if err := p.dev.Read(id, f.Data); err != nil {
-		return nil, err
-	}
-	p.stats.Misses++
-	p.frames[id] = f
-	return f, nil
+	return p.pin(id, false)
 }
 
 // PinNew pins block id without reading it from the device, for blocks
@@ -130,70 +236,155 @@ func (p *Pool) Pin(id disk.BlockID) (*Frame, error) {
 // purposes but performs no read I/O (the paper's write-only traffic for
 // result matrices depends on this).
 func (p *Pool) PinNew(id disk.BlockID) (*Frame, error) {
-	if f, ok := p.frames[id]; ok {
-		p.stats.Hits++
-		if f.pins == 0 && f.elem != nil {
-			p.lru.Remove(f.elem)
-			f.elem = nil
-		}
-		f.pins++
-		return f, nil
+	return p.pin(id, true)
+}
+
+func (p *Pool) pin(id disk.BlockID, fresh bool) (*Frame, error) {
+	s := p.shardOf(id)
+	s.mu.Lock()
+	if f, ok := s.frames[id]; ok {
+		p.pinResident(s, f)
+		return p.await(f)
 	}
-	if err := p.makeRoom(); err != nil {
+	s.mu.Unlock()
+
+	// Miss: reserve a slot under the global budget, evicting if needed.
+	if err := p.makeRoom(id); err != nil {
 		return nil, err
 	}
-	f := &Frame{id: id, Data: make([]float64, p.dev.BlockElems()), pins: 1}
-	p.stats.Misses++
-	p.frames[id] = f
+	f := &Frame{
+		id:    id,
+		Data:  make([]float64, p.dev.BlockElems()),
+		pins:  1,
+		ready: make(chan struct{}),
+	}
+	s.mu.Lock()
+	if existing, ok := s.frames[id]; ok {
+		// Another goroutine loaded the block while we were evicting.
+		// Give the reserved slot back (before releasing the shard lock,
+		// so a concurrent makeRoom never sees an inflated counter with
+		// nothing to evict) and share the frame.
+		p.resident.Add(-1)
+		p.pinResident(s, existing)
+		return p.await(existing)
+	}
+	s.frames[id] = f
+	s.mu.Unlock()
+	p.misses.Add(1)
+	if !fresh {
+		if err := p.dev.Read(id, f.Data); err != nil {
+			f.loadErr = err
+			close(f.ready)
+			s.mu.Lock()
+			delete(s.frames, id)
+			p.resident.Add(-1)
+			s.mu.Unlock()
+			return nil, err
+		}
+	}
+	close(f.ready)
 	return f, nil
+}
+
+// pinResident bumps the pin count of a frame already in s and counts a
+// hit. It takes over (and releases) s.mu, which the caller holds.
+func (p *Pool) pinResident(s *shard, f *Frame) {
+	if f.pins == 0 && f.elem != nil {
+		s.lru.Remove(f.elem)
+		f.elem = nil
+	}
+	f.pins++
+	s.mu.Unlock()
+	p.hits.Add(1)
+}
+
+// await blocks until f's contents are loaded (a no-op for frames past
+// their first load).
+func (p *Pool) await(f *Frame) (*Frame, error) {
+	<-f.ready
+	if f.loadErr != nil {
+		return nil, f.loadErr
+	}
+	return f, nil
+}
+
+// makeRoom reserves one frame slot in the global budget, evicting an
+// unpinned frame if the pool is full. Eviction prefers the shard that
+// will receive the new block (preserving exact sequential LRU behaviour
+// in the single-shard case) and falls back to scanning the other shards
+// so one hot shard cannot fail while the pool is globally under budget.
+func (p *Pool) makeRoom(id disk.BlockID) error {
+	if p.resident.Add(1) <= int64(p.capacity) {
+		return nil
+	}
+	start := p.shardIndex(id)
+	for i := range p.shards {
+		s := p.shards[(start+i)&int(p.mask)]
+		s.mu.Lock()
+		front := s.lru.Front()
+		if front == nil {
+			s.mu.Unlock()
+			continue
+		}
+		victim := front.Value.(*Frame)
+		s.lru.Remove(front)
+		victim.elem = nil
+		// Write back before the frame leaves the map: once it is gone a
+		// concurrent Pin of the same block re-reads the device, and must
+		// see these contents.
+		if victim.dirty.Load() {
+			if err := p.dev.Write(victim.id, victim.Data); err != nil {
+				s.lru.PushFront(victim)
+				victim.elem = s.lru.Front()
+				s.mu.Unlock()
+				p.resident.Add(-1)
+				return err
+			}
+			victim.dirty.Store(false)
+			p.flushes.Add(1)
+		}
+		delete(s.frames, victim.id)
+		s.mu.Unlock()
+		p.resident.Add(-1)
+		p.evictions.Add(1)
+		return nil
+	}
+	p.resident.Add(-1)
+	return fmt.Errorf("buffer: pool over budget: all %d frames pinned", p.capacity)
 }
 
 // Unpin releases one pin on f. When the pin count reaches zero the frame
 // becomes evictable.
 func (p *Pool) Unpin(f *Frame) {
+	s := p.shardOf(f.id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if f.pins <= 0 {
 		panic(fmt.Sprintf("buffer: unpin of unpinned frame %d", f.id))
 	}
 	f.pins--
 	if f.pins == 0 {
-		f.elem = p.lru.PushBack(f)
+		f.elem = s.lru.PushBack(f)
 	}
 }
 
-// makeRoom ensures at least one free slot exists, evicting the LRU
-// unpinned frame if necessary.
-func (p *Pool) makeRoom() error {
-	if len(p.frames) < p.capacity {
-		return nil
-	}
-	front := p.lru.Front()
-	if front == nil {
-		return fmt.Errorf("buffer: pool over budget: all %d frames pinned", p.capacity)
-	}
-	victim := front.Value.(*Frame)
-	p.lru.Remove(front)
-	victim.elem = nil
-	if victim.dirty {
-		if err := p.dev.Write(victim.id, victim.Data); err != nil {
-			return err
-		}
-		p.stats.Flushes++
-	}
-	delete(p.frames, victim.id)
-	p.stats.Evictions++
-	return nil
-}
-
-// FlushAll writes back every dirty frame (pinned or not) without evicting.
+// FlushAll writes back every dirty frame (pinned or not) without
+// evicting. It must not run concurrently with writers still mutating
+// pinned frames.
 func (p *Pool) FlushAll() error {
-	for _, f := range p.frames {
-		if f.dirty {
-			if err := p.dev.Write(f.id, f.Data); err != nil {
-				return err
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if f.dirty.Load() {
+				if err := p.dev.Write(f.id, f.Data); err != nil {
+					s.mu.Unlock()
+					return err
+				}
+				f.dirty.Store(false)
+				p.flushes.Add(1)
 			}
-			f.dirty = false
-			p.stats.Flushes++
 		}
+		s.mu.Unlock()
 	}
 	return nil
 }
@@ -201,7 +392,10 @@ func (p *Pool) FlushAll() error {
 // Invalidate drops any resident (unpinned) copy of block id without
 // writing it back. Used when an owner's extent is freed.
 func (p *Pool) Invalidate(id disk.BlockID) {
-	f, ok := p.frames[id]
+	s := p.shardOf(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[id]
 	if !ok {
 		return
 	}
@@ -209,21 +403,31 @@ func (p *Pool) Invalidate(id disk.BlockID) {
 		panic(fmt.Sprintf("buffer: invalidate of pinned frame %d", id))
 	}
 	if f.elem != nil {
-		p.lru.Remove(f.elem)
+		s.lru.Remove(f.elem)
+		f.elem = nil
 	}
-	delete(p.frames, id)
+	delete(s.frames, id)
+	p.resident.Add(-1)
 }
 
 // DropAll evicts every unpinned frame, flushing dirty ones. It returns an
-// error if any frame is still pinned.
+// error if any frame is still pinned. Like FlushAll it requires a
+// quiescent pool: the pinned check and the per-shard clearing are not
+// atomic against concurrent Pins, so callers must not race it with
+// other pool users (experiments call it between runs).
 func (p *Pool) DropAll() error {
-	if p.Pinned() > 0 {
-		return fmt.Errorf("buffer: DropAll with %d pinned frames", p.Pinned())
+	if n := p.Pinned(); n > 0 {
+		return fmt.Errorf("buffer: DropAll with %d pinned frames", n)
 	}
 	if err := p.FlushAll(); err != nil {
 		return err
 	}
-	p.frames = make(map[disk.BlockID]*Frame)
-	p.lru.Init()
+	for _, s := range p.shards {
+		s.mu.Lock()
+		p.resident.Add(-int64(len(s.frames)))
+		s.frames = make(map[disk.BlockID]*Frame)
+		s.lru.Init()
+		s.mu.Unlock()
+	}
 	return nil
 }

@@ -58,10 +58,10 @@ func TestLRUEvictionOrder(t *testing.T) {
 	p.Unpin(a2)
 	c, _ := p.Pin(2) // must evict block 1
 	p.Unpin(c)
-	if _, ok := p.frames[1]; ok {
+	if _, ok := p.shardOf(1).frames[1]; ok {
 		t.Fatal("block 1 should have been evicted")
 	}
-	if _, ok := p.frames[0]; !ok {
+	if _, ok := p.shardOf(0).frames[0]; !ok {
 		t.Fatal("block 0 should still be resident")
 	}
 	if p.Stats().Evictions != 1 {

@@ -1,0 +1,231 @@
+package buffer
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"riot/internal/disk"
+)
+
+// TestShardRoundingAndClamping checks the shard-count normalization.
+func TestShardRoundingAndClamping(t *testing.T) {
+	dev := disk.NewDevice(4)
+	cases := []struct {
+		capacity, shards, want int
+	}{
+		{16, 1, 1},
+		{16, 3, 4}, // rounded up to a power of two
+		{16, 4, 4},
+		{2, 8, 2}, // clamped to capacity
+		{1024, 1 << 20, maxShards},
+		{16, 0, 1},
+	}
+	for _, c := range cases {
+		p := NewSharded(dev, c.capacity, c.shards)
+		if p.Shards() != c.want {
+			t.Errorf("NewSharded(cap=%d, shards=%d).Shards()=%d, want %d",
+				c.capacity, c.shards, p.Shards(), c.want)
+		}
+	}
+}
+
+// TestPinnedFrameStaysInShard asserts the documented invariant: a frame's
+// shard is a pure function of its BlockID, so a pinned frame never moves
+// across shards, and re-pinning a resident block always lands on the same
+// frame in the same shard.
+func TestPinnedFrameStaysInShard(t *testing.T) {
+	dev := disk.NewDevice(4)
+	dev.Alloc("test", 64)
+	p := NewSharded(dev, 32, 8)
+	for id := disk.BlockID(0); id < 64; id += 7 {
+		f, err := p.Pin(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		home := p.shardIndex(id)
+		if _, ok := p.shards[home].frames[id]; !ok {
+			t.Fatalf("block %d not resident in its home shard %d", id, home)
+		}
+		// Re-pinning while pinned returns the identical frame, still in
+		// the home shard.
+		g, err := p.Pin(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != f {
+			t.Fatalf("block %d re-pin returned a different frame", id)
+		}
+		for si, s := range p.shards {
+			_, ok := s.frames[id]
+			if ok != (si == home) {
+				t.Fatalf("block %d resident in shard %d, home is %d", id, si, home)
+			}
+		}
+		p.Unpin(f)
+		p.Unpin(g)
+	}
+}
+
+// TestConcurrentPinUnpinStress hammers a small sharded pool from many
+// goroutines under -race: shared read-only blocks are re-validated on
+// every pin, and each goroutine owns one private block it writes through
+// eviction cycles. Run with -race to check the locking discipline.
+func TestConcurrentPinUnpinStress(t *testing.T) {
+	const (
+		workers    = 8
+		sharedN    = 24
+		iterations = 2000
+		capacity   = 12 // far below the working set, forcing evictions
+	)
+	dev := disk.NewDevice(4)
+	dev.Alloc("shared", sharedN)
+	dev.Alloc("private", workers)
+	p := NewSharded(dev, capacity, 4)
+
+	// Seed the shared blocks with a recognizable pattern.
+	for i := 0; i < sharedN; i++ {
+		if err := dev.Write(disk.BlockID(i), []float64{float64(i), float64(i * 2), 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			own := disk.BlockID(sharedN + w)
+			counter := 0.0
+			for i := 0; i < iterations; i++ {
+				if rng.Intn(4) == 0 {
+					// Bump the private block; only this goroutine writes it.
+					f, err := p.Pin(own)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if f.Data[0] != counter {
+						errs <- fmt.Errorf("worker %d: private block read %v, want %v", w, f.Data[0], counter)
+						p.Unpin(f)
+						return
+					}
+					counter++
+					f.Data[0] = counter
+					f.MarkDirty()
+					p.Unpin(f)
+				} else {
+					id := disk.BlockID(rng.Intn(sharedN))
+					f, err := p.Pin(id)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if f.Data[0] != float64(id) || f.Data[1] != float64(id*2) {
+						errs <- fmt.Errorf("worker %d: shared block %d corrupted: %v", w, id, f.Data[:2])
+						p.Unpin(f)
+						return
+					}
+					p.Unpin(f)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if p.Pinned() != 0 {
+		t.Fatalf("pinned=%d after stress, want 0", p.Pinned())
+	}
+	if r := p.Resident(); r > capacity {
+		t.Fatalf("resident=%d exceeds capacity %d", r, capacity)
+	}
+	st := p.Stats()
+	if st.Hits+st.Misses != int64(workers*iterations) {
+		t.Fatalf("hits+misses=%d, want %d pins", st.Hits+st.Misses, workers*iterations)
+	}
+	// Every private counter must have survived its eviction round-trips.
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentSameBlockSingleflight checks that concurrent pins of one
+// absent block collapse into a single device read.
+func TestConcurrentSameBlockSingleflight(t *testing.T) {
+	dev := disk.NewDevice(4)
+	dev.Alloc("test", 4)
+	if err := dev.Write(2, []float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 50; round++ {
+		p := NewSharded(dev, 8, 4)
+		dev.ResetStats()
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				f, err := p.Pin(2)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if f.Data[3] != 4 {
+					t.Errorf("stale data %v", f.Data)
+				}
+				p.Unpin(f)
+			}()
+		}
+		wg.Wait()
+		if r := dev.Stats().BlocksRead; r != 1 {
+			t.Fatalf("round %d: %d device reads for one block, want 1", round, r)
+		}
+		st := p.Stats()
+		if st.Misses != 1 || st.Hits != 7 {
+			t.Fatalf("round %d: hits=%d misses=%d, want 7/1", round, st.Hits, st.Misses)
+		}
+	}
+}
+
+// TestCrossShardEviction: a pool whose budget is exhausted by pins in
+// other shards must still be able to evict from any shard rather than
+// fail while globally under budget.
+func TestCrossShardEviction(t *testing.T) {
+	dev := disk.NewDevice(4)
+	dev.Alloc("test", 256)
+	p := NewSharded(dev, 8, 4)
+	// Fill the pool with unpinned frames spread over shards.
+	for i := 0; i < 8; i++ {
+		f, err := p.Pin(disk.BlockID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(f)
+	}
+	// Now pin 8 more blocks: every one needs an eviction, and the victim
+	// may live in any shard.
+	frames := make([]*Frame, 0, 8)
+	for i := 8; i < 16; i++ {
+		f, err := p.Pin(disk.BlockID(i))
+		if err != nil {
+			t.Fatalf("pin %d: %v", i, err)
+		}
+		frames = append(frames, f)
+	}
+	if _, err := p.Pin(100); err == nil {
+		t.Fatal("expected over-budget error with all frames pinned")
+	}
+	for _, f := range frames {
+		p.Unpin(f)
+	}
+	if p.Stats().Evictions < 8 {
+		t.Fatalf("evictions=%d, want >= 8", p.Stats().Evictions)
+	}
+}

@@ -1,0 +1,111 @@
+package engine_test
+
+import (
+	"testing"
+
+	"riot/internal/engine"
+	"riot/internal/rlang"
+)
+
+// example1 is the paper's Example 1 in riotscript, the workload whose
+// I/O counts the paper (and this repo's bench suite) treat as ground
+// truth.
+const example1 = `
+xs <- 3; ys <- 4
+xe <- 100; ye <- 200
+d <- sqrt((x-xs)^2+(y-ys)^2) + sqrt((x-xe)^2+(y-ye)^2)
+s <- sample(length(x), 100)
+z <- d[s]
+print(z)
+`
+
+func runExample1Workers(t *testing.T, workers int, n int64) (*engine.RIOT, string) {
+	t.Helper()
+	e := engine.NewRIOTWorkers(1024, n, engine.DefaultTimeModel, workers)
+	in := rlang.New(e)
+	x, err := e.NewVector(n, func(i int64) float64 { return float64(i % 9973) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := e.NewVector(n, func(i int64) float64 { return float64(i % 9967) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.SetVector("x", x)
+	in.SetVector("y", y)
+	e.ResetStats()
+	e.Executor().Pool().ResetStats()
+	if err := in.Run(example1); err != nil {
+		t.Fatal(err)
+	}
+	return e, in.Out.String()
+}
+
+// TestWorkers1ReproducesSeedIOCounts pins the exact buffer-pool counters
+// of the original single-threaded engine on Example 1. These golden
+// values were captured from the seed implementation before the pool was
+// sharded; Workers: 1 must reproduce them forever — it is the
+// configuration every paper experiment runs under.
+func TestWorkers1ReproducesSeedIOCounts(t *testing.T) {
+	golden := []struct {
+		n                                int64
+		hits, misses, evictions, flushes int64
+	}{
+		{1 << 17, 78, 131, 131, 1},
+		{1 << 18, 84, 125, 125, 1},
+	}
+	for _, g := range golden {
+		e, _ := runExample1Workers(t, 1, g.n)
+		st := e.Executor().Pool().Stats()
+		if st.Hits != g.hits || st.Misses != g.misses || st.Evictions != g.evictions || st.Flushes != g.flushes {
+			t.Errorf("n=%d: hits/misses/evictions/flushes = %d/%d/%d/%d, want %d/%d/%d/%d (seed golden)",
+				g.n, st.Hits, st.Misses, st.Evictions, st.Flushes,
+				g.hits, g.misses, g.evictions, g.flushes)
+		}
+		if got := e.Executor().Pool().Shards(); got != 1 {
+			t.Errorf("Workers=1 pool has %d shards, want 1", got)
+		}
+	}
+}
+
+// TestParallelEngineMatchesSequential runs Example 1 with several worker
+// counts: the printed result (the gather of 100 sampled distances) must
+// be identical to the sequential engine's.
+func TestParallelEngineMatchesSequential(t *testing.T) {
+	const n = 1 << 18
+	_, want := runExample1Workers(t, 1, n)
+	for _, w := range []int{2, 4} {
+		e, got := runExample1Workers(t, w, n)
+		if got != want {
+			t.Errorf("workers=%d: output differs from sequential\n got: %.120s\nwant: %.120s", w, got, want)
+		}
+		if e.Executor().Pool().Shards() < 2 {
+			t.Errorf("workers=%d pool has %d shards, want >= 2", w, e.Executor().Pool().Shards())
+		}
+	}
+}
+
+// TestParallelSum checks a full-length parallel reduction end to end
+// through the engine interface.
+func TestParallelSum(t *testing.T) {
+	const n = 1 << 16
+	sum := func(workers int) float64 {
+		e := engine.NewRIOTWorkers(1024, 1<<14, engine.DefaultTimeModel, workers)
+		x, err := e.NewVector(n, func(i int64) float64 { return float64(i) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := e.Sum(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	want := float64(n) * float64(n-1) / 2
+	if got := sum(1); got != want {
+		t.Fatalf("sequential sum=%v, want %v", got, want)
+	}
+	if got := sum(4); got != want {
+		t.Fatalf("parallel sum=%v, want %v", got, want)
+	}
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 
 	"riot/internal/algebra"
 	"riot/internal/array"
@@ -26,13 +27,27 @@ type RIOT struct {
 }
 
 // NewRIOT creates a RIOT engine with blockElems-sized blocks and
-// memElems numbers of buffer-pool memory.
+// memElems numbers of buffer-pool memory. It runs single-worker — the
+// deterministic configuration every paper experiment uses.
 func NewRIOT(blockElems int, memElems int64, tm TimeModel) *RIOT {
+	return NewRIOTWorkers(blockElems, memElems, tm, 1)
+}
+
+// NewRIOTWorkers creates a RIOT engine whose executor and kernels use up
+// to workers goroutines over a buffer pool sharded to match. workers < 1
+// selects runtime.GOMAXPROCS(0). workers == 1 reproduces the sequential
+// engine's I/O counts exactly (single shard, single goroutine).
+func NewRIOTWorkers(blockElems int, memElems int64, tm TimeModel, workers int) *RIOT {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	dev := disk.NewDevice(blockElems)
-	pool := buffer.NewWithMemory(dev, memElems)
+	pool := buffer.NewShardedWithMemory(dev, memElems, workers)
+	ex := exec.New(pool)
+	ex.Workers = workers
 	return &RIOT{
 		g:    algebra.NewGraph(),
-		ex:   exec.New(pool),
+		ex:   ex,
 		cfg:  opt.DefaultConfig(),
 		dev:  dev,
 		time: tm,

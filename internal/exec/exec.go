@@ -15,11 +15,27 @@
 // "complements deferred evaluation" (§5). Matrix multiplies dispatch to
 // the out-of-core kernels in internal/linalg, choosing the algorithm by
 // analytic cost.
+//
+// # Parallelism
+//
+// When Workers > 1, full-length evaluations (ForceVector, Fetch of many
+// blocks, reductions) partition the output into block-aligned ranges and
+// dispatch them to a bounded pool of goroutines over the shared
+// (sharded) buffer pool. Each worker owns the output blocks it produces
+// and carries its own scratch buffers; reductions combine per-worker
+// partials in worker order. Shared subexpressions are materialized
+// up-front by a sequential preparation pass, so during the parallel
+// phase the memo table is read-only. Workers == 1 takes the exact
+// sequential code path of the original executor, reproducing its
+// deterministic I/O counts; parallel runs compute identical values but
+// may schedule I/O differently (and so see different hit/miss splits).
 package exec
 
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"riot/internal/algebra"
 	"riot/internal/array"
@@ -38,7 +54,10 @@ type Stats struct {
 // Executor evaluates DAGs over a buffer pool.
 type Executor struct {
 	pool *buffer.Pool
-	seq  int
+	seq  atomic.Int64
+	// Workers bounds the goroutines used for full-length evaluation.
+	// 1 (the default) is the sequential, I/O-deterministic executor.
+	Workers int
 	// FuseElementwise can be disabled to materialize every intermediate
 	// (the ablation that mimics plain R's evaluation inside RIOT).
 	FuseElementwise bool
@@ -47,29 +66,98 @@ type Executor struct {
 	// modification forces evaluation (§5). RIOT's functional updates
 	// leave it false; Figure 2 compares the two.
 	EagerUpdates bool
-	stats        Stats
+
+	elementsComputed atomic.Int64
+	materialized     atomic.Int64
+	flops            atomic.Int64
+
 	// temps caches materialized shared subexpressions per Force call.
-	temps map[*algebra.Node]*array.Vector
-	refs  map[*algebra.Node]int
+	// During a parallel section the map is read-only except for the rare
+	// fallback in storeTemp, which takes tempsMu; lookups in parallel
+	// mode take the read lock.
+	temps      map[*algebra.Node]*array.Vector
+	tempsMu    sync.RWMutex
+	inParallel bool
+	refs       map[*algebra.Node]int
 }
 
 // New creates an executor with fusion enabled.
 func New(pool *buffer.Pool) *Executor {
-	return &Executor{pool: pool, FuseElementwise: true}
+	return &Executor{pool: pool, FuseElementwise: true, Workers: 1}
 }
 
 // Pool returns the executor's buffer pool.
 func (e *Executor) Pool() *buffer.Pool { return e.pool }
 
 // Stats returns the work counters.
-func (e *Executor) Stats() Stats { return e.stats }
+func (e *Executor) Stats() Stats {
+	return Stats{
+		ElementsComputed: e.elementsComputed.Load(),
+		Materialized:     e.materialized.Load(),
+		Flops:            e.flops.Load(),
+	}
+}
 
 // ResetStats zeroes the counters.
-func (e *Executor) ResetStats() { e.stats = Stats{} }
+func (e *Executor) ResetStats() {
+	e.elementsComputed.Store(0)
+	e.materialized.Store(0)
+	e.flops.Store(0)
+}
 
 func (e *Executor) fresh(prefix string) string {
-	e.seq++
-	return fmt.Sprintf("%s#%d", prefix, e.seq)
+	return fmt.Sprintf("%s#%d", prefix, e.seq.Add(1))
+}
+
+// workerCount bounds the parallelism for a job of tasks block-sized
+// units. Inside an already-parallel section nested jobs run sequentially.
+// Workers are also capped at a third of the pool's frame budget: a
+// streaming worker holds one pinned output chunk, one transient input
+// chunk, and (while filling a memoized temporary) one more output
+// chunk, so capacity/3 in-flight workers can never pin the pool shut.
+func (e *Executor) workerCount(tasks int) int {
+	w := e.Workers
+	if w < 1 || e.inParallel {
+		w = 1
+	}
+	if frames := e.pool.Capacity() / 3; w > frames && frames >= 1 {
+		w = frames
+	}
+	if w > tasks {
+		w = tasks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runParallel splits [0, n) into w contiguous ranges and runs fn on each
+// from its own goroutine. Contiguous ranges keep each worker's device
+// access as sequential as a lone scan. The first error wins.
+func (e *Executor) runParallel(w, n int, fn func(worker, lo, hi int) error) error {
+	if w <= 1 {
+		return fn(0, 0, n)
+	}
+	e.inParallel = true
+	defer func() { e.inParallel = false }()
+	errs := make([]error, w)
+	var wg sync.WaitGroup
+	for j := 0; j < w; j++ {
+		lo, hi := n*j/w, n*(j+1)/w
+		wg.Add(1)
+		go func(j, lo, hi int) {
+			defer wg.Done()
+			errs[j] = fn(j, lo, hi)
+		}(j, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ForceVector evaluates a vector-shaped DAG into a stored vector.
@@ -106,14 +194,28 @@ func (e *Executor) Fetch(n *algebra.Node, limit int64) ([]float64, error) {
 	}
 	out := make([]float64, count)
 	const block = 4096
-	buf := make([]float64, 0, block)
-	for lo := int64(0); lo < count; lo += block {
-		hi := min(lo+block, count)
-		buf = buf[:hi-lo]
-		if err := e.evalRange(n, lo, hi, buf); err != nil {
+	nchunks := int((count + block - 1) / block)
+	w := e.workerCount(nchunks)
+	if w > 1 {
+		if err := e.prepareShared(n); err != nil {
 			return nil, err
 		}
-		copy(out[lo:hi], buf)
+	}
+	err := e.runParallel(w, nchunks, func(_, clo, chi int) error {
+		buf := make([]float64, 0, block)
+		for c := clo; c < chi; c++ {
+			lo := int64(c) * block
+			hi := min(lo+block, count)
+			buf = buf[:hi-lo]
+			if err := e.evalRange(n, lo, hi, buf); err != nil {
+				return err
+			}
+			copy(out[lo:hi], buf)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -126,45 +228,79 @@ func (e *Executor) Reduce(fn string, n *algebra.Node) (float64, error) {
 }
 
 func (e *Executor) reduce(fn string, n *algebra.Node) (float64, error) {
-	acc := 0.0
+	var identity float64
 	switch fn {
 	case "min":
-		acc = math.Inf(1)
+		identity = math.Inf(1)
 	case "max":
-		acc = math.Inf(-1)
+		identity = math.Inf(-1)
 	case "sum":
 	default:
 		return 0, fmt.Errorf("exec: unknown reduction %q", fn)
 	}
 	const block = 4096
-	buf := make([]float64, block)
 	nelem := n.Shape.Rows
-	for lo := int64(0); lo < nelem; lo += block {
-		hi := min(lo+block, nelem)
-		b := buf[:hi-lo]
-		if err := e.evalRange(n, lo, hi, b); err != nil {
+	nchunks := int((nelem + block - 1) / block)
+	w := e.workerCount(nchunks)
+	if w > 1 {
+		if err := e.prepareShared(n); err != nil {
 			return 0, err
 		}
+	}
+	// Per-worker partials, combined in worker order so a given worker
+	// count reduces deterministically.
+	partials := make([]float64, w)
+	err := e.runParallel(w, nchunks, func(worker, clo, chi int) error {
+		acc := identity
+		buf := make([]float64, block)
+		for c := clo; c < chi; c++ {
+			lo := int64(c) * block
+			hi := min(lo+block, nelem)
+			b := buf[:hi-lo]
+			if err := e.evalRange(n, lo, hi, b); err != nil {
+				return err
+			}
+			switch fn {
+			case "sum":
+				for _, v := range b {
+					acc += v
+				}
+			case "min":
+				for _, v := range b {
+					if v < acc {
+						acc = v
+					}
+				}
+			case "max":
+				for _, v := range b {
+					if v > acc {
+						acc = v
+					}
+				}
+			}
+		}
+		partials[worker] = acc
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	acc := partials[0]
+	for _, p := range partials[1:] {
 		switch fn {
 		case "sum":
-			for _, v := range b {
-				acc += v
-			}
+			acc += p
 		case "min":
-			for _, v := range b {
-				if v < acc {
-					acc = v
-				}
+			if p < acc {
+				acc = p
 			}
 		case "max":
-			for _, v := range b {
-				if v > acc {
-					acc = v
-				}
+			if p > acc {
+				acc = p
 			}
 		}
 	}
-	e.stats.Flops += nelem
+	e.flops.Add(nelem)
 	return acc, nil
 }
 
@@ -191,54 +327,155 @@ func (e *Executor) end() {
 	e.refs = nil
 }
 
-// streamInto evaluates n block by block into out.
+// streamInto evaluates n block by block into out. With Workers > 1 the
+// output blocks are partitioned into contiguous block-aligned ranges,
+// one range per worker; each output block has exactly one writer, so no
+// two workers ever mutate the same frame.
 func (e *Executor) streamInto(n *algebra.Node, out *array.Vector) error {
-	for k := 0; k < out.Blocks(); k++ {
-		c, err := out.PinChunkNew(k)
-		if err != nil {
-			return err
-		}
-		err = e.evalRange(n, c.Lo, c.Hi, c.Data())
-		c.MarkDirty()
-		c.Release()
-		if err != nil {
+	w := e.workerCount(out.Blocks())
+	if w > 1 {
+		if err := e.prepareShared(n); err != nil {
 			return err
 		}
 	}
-	return nil
+	return e.runParallel(w, out.Blocks(), func(_, klo, khi int) error {
+		for k := klo; k < khi; k++ {
+			c, err := out.PinChunkNew(k)
+			if err != nil {
+				return err
+			}
+			err = e.evalRange(n, c.Lo, c.Hi, c.Data())
+			c.MarkDirty()
+			c.Release()
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// lookupTemp reads the shared-subexpression memo; in a parallel section
+// it takes the read lock.
+func (e *Executor) lookupTemp(n *algebra.Node) (*array.Vector, bool) {
+	if e.inParallel {
+		e.tempsMu.RLock()
+		defer e.tempsMu.RUnlock()
+	}
+	v, ok := e.temps[n]
+	return v, ok
+}
+
+// storeTemp publishes a freshly materialized temporary. If a racing
+// worker published the node first, the duplicate is freed and the
+// winner's copy returned.
+func (e *Executor) storeTemp(n *algebra.Node, v *array.Vector) *array.Vector {
+	if e.inParallel {
+		e.tempsMu.Lock()
+		defer e.tempsMu.Unlock()
+		if winner, ok := e.temps[n]; ok {
+			v.Free()
+			return winner
+		}
+	}
+	e.temps[n] = v
+	e.materialized.Add(1)
+	return v
+}
+
+// shouldMaterialize is the materialization policy: shared expensive
+// subexpressions are stored once; the no-fusion ablation stores every
+// interior vector node (exactly like plain R's evaluator); eager-update
+// semantics store the whole updated state.
+func (e *Executor) shouldMaterialize(n *algebra.Node) bool {
+	if n.Op == algebra.OpSourceVec || !n.Shape.Vector {
+		return false
+	}
+	if e.refs[n] > 1 && worthMaterializing(n) {
+		return true
+	}
+	if !e.FuseElementwise && n.Op != algebra.OpReduce {
+		return true
+	}
+	if e.EagerUpdates && n.Op == algebra.OpUpdateMask {
+		return true
+	}
+	return false
+}
+
+// materializeNode evaluates n into a fresh stored temporary and
+// publishes it in the memo.
+func (e *Executor) materializeNode(n *algebra.Node) (*array.Vector, error) {
+	tmp, err := array.NewVector(e.pool, e.fresh("tmp"), n.Shape.Rows)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.streamIntoRaw(n, tmp); err != nil {
+		return nil, err
+	}
+	return e.storeTemp(n, tmp), nil
+}
+
+// prepareShared runs before a parallel section: it materializes, in
+// dependency order, every subexpression the sequential evaluator would
+// have materialized lazily (plus the random-access source a gather
+// needs), so the memo is read-only while workers run.
+func (e *Executor) prepareShared(root *algebra.Node) error {
+	seen := make(map[*algebra.Node]bool)
+	var walk func(n *algebra.Node) error
+	walk = func(n *algebra.Node) error {
+		if seen[n] {
+			return nil
+		}
+		seen[n] = true
+		for _, k := range n.Kids {
+			if err := walk(k); err != nil {
+				return err
+			}
+		}
+		if !n.Shape.Vector {
+			return nil
+		}
+		if n.Op == algebra.OpGather {
+			// gather needs random access to its data child.
+			if d := n.Kids[0]; d.Op != algebra.OpSourceVec {
+				if _, ok := e.temps[d]; !ok {
+					if _, err := e.materializeNode(d); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		if _, ok := e.temps[n]; ok {
+			return nil
+		}
+		if e.shouldMaterialize(n) {
+			if _, err := e.materializeNode(n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(root)
 }
 
 // evalRange computes elements [lo, hi) of n into buf (len hi-lo). This
 // is the fused pipeline: one recursive descent per output block, no
 // intermediate storage.
 func (e *Executor) evalRange(n *algebra.Node, lo, hi int64, buf []float64) error {
-	e.stats.ElementsComputed += hi - lo
+	e.elementsComputed.Add(hi - lo)
 	// A shared, expensive subexpression is materialized once and then
 	// served from its temporary. Cheap shared elementwise work is
 	// recomputed instead: re-deriving a block costs a few flops, while a
 	// temporary costs a full write and re-read of the vector.
-	if v, ok := e.temps[n]; ok {
+	if v, ok := e.lookupTemp(n); ok {
 		return readVecRange(v, lo, hi, buf)
 	}
-	materialize := e.refs[n] > 1 && worthMaterializing(n)
-	if !e.FuseElementwise && n.Op != algebra.OpSourceVec && n.Shape.Vector && n.Op != algebra.OpReduce {
-		// Ablation: no fusion means every interior node becomes a
-		// full-length temporary, exactly like plain R's evaluator.
-		materialize = true
-	}
-	if e.EagerUpdates && n.Op == algebra.OpUpdateMask {
-		materialize = true
-	}
-	if materialize {
-		tmp, err := array.NewVector(e.pool, e.fresh("tmp"), n.Shape.Rows)
+	if e.shouldMaterialize(n) {
+		tmp, err := e.materializeNode(n)
 		if err != nil {
 			return err
 		}
-		if err := e.streamIntoRaw(n, tmp); err != nil {
-			return err
-		}
-		e.temps[n] = tmp
-		e.stats.Materialized++
 		return readVecRange(tmp, lo, hi, buf)
 	}
 	return e.evalRangeRaw(n, lo, hi, buf)
@@ -277,7 +514,7 @@ func (e *Executor) evalRangeRaw(n *algebra.Node, lo, hi int64, buf []float64) er
 		for i := range buf {
 			buf[i] = f(buf[i])
 		}
-		e.stats.Flops += hi - lo
+		e.flops.Add(hi - lo)
 		return nil
 	case algebra.OpScalarOp:
 		if err := e.evalRange(n.Kids[0], lo, hi, buf); err != nil {
@@ -297,7 +534,7 @@ func (e *Executor) evalRangeRaw(n *algebra.Node, lo, hi int64, buf []float64) er
 				buf[i] = f(buf[i], s)
 			}
 		}
-		e.stats.Flops += hi - lo
+		e.flops.Add(hi - lo)
 		return nil
 	case algebra.OpElemBinary:
 		if err := e.evalRange(n.Kids[0], lo, hi, buf); err != nil {
@@ -314,7 +551,7 @@ func (e *Executor) evalRangeRaw(n *algebra.Node, lo, hi int64, buf []float64) er
 		for i := range buf {
 			buf[i] = f(buf[i], rbuf[i])
 		}
-		e.stats.Flops += hi - lo
+		e.flops.Add(hi - lo)
 		return nil
 	case algebra.OpUpdateMask:
 		if err := e.evalRange(n.Kids[0], lo, hi, buf); err != nil {
@@ -329,7 +566,7 @@ func (e *Executor) evalRangeRaw(n *algebra.Node, lo, hi int64, buf []float64) er
 				buf[i] = n.Scalar2
 			}
 		}
-		e.stats.Flops += hi - lo
+		e.flops.Add(hi - lo)
 		return nil
 	case algebra.OpRange:
 		return e.evalRange(n.Kids[0], n.Lo+lo, n.Lo+hi, buf)
@@ -358,21 +595,15 @@ func (e *Executor) evalRangeRaw(n *algebra.Node, lo, hi int64, buf []float64) er
 // after pushdown; anything else is materialized first.
 func (e *Executor) gather(data *algebra.Node, idx []float64, buf []float64) error {
 	var src *array.Vector
-	switch {
-	case data.Op == algebra.OpSourceVec:
+	if data.Op == algebra.OpSourceVec {
 		src = data.Vec
-	case e.temps[data] != nil:
-		src = e.temps[data]
-	default:
-		tmp, err := array.NewVector(e.pool, e.fresh("tmp"), data.Shape.Rows)
+	} else if v, ok := e.lookupTemp(data); ok {
+		src = v
+	} else {
+		tmp, err := e.materializeNode(data)
 		if err != nil {
 			return err
 		}
-		if err := e.streamIntoRaw(data, tmp); err != nil {
-			return err
-		}
-		e.temps[data] = tmp
-		e.stats.Materialized++
 		src = tmp
 	}
 	for k, fi := range idx {
@@ -413,8 +644,8 @@ func (e *Executor) forceMatrix(n *algebra.Node, name string) (*array.Matrix, err
 				b.Free()
 			}
 		}()
-		e.stats.Flops += a.Rows() * a.Cols() * b.Cols()
-		e.stats.ElementsComputed += a.Rows() * b.Cols()
+		e.flops.Add(a.Rows() * a.Cols() * b.Cols())
+		e.elementsComputed.Add(a.Rows() * b.Cols())
 		p := costmodel.Params{
 			MemElems:   float64(e.pool.MemoryElems()),
 			BlockElems: float64(e.pool.Device().BlockElems()),
@@ -424,7 +655,7 @@ func (e *Executor) forceMatrix(n *algebra.Node, name string) (*array.Matrix, err
 		btr, btc := b.TileDims()
 		squareOK := atr == atc && btr == btc && atr == btr
 		if squareOK && costmodel.SquareTiled(l, m, k, p) <= costmodel.BNLJ(l, m, k, p) {
-			return linalg.MatMulTiled(e.pool, name, a, b)
+			return linalg.MatMulTiledWorkers(e.pool, name, a, b, e.Workers)
 		}
 		if squareOK {
 			// Square tiling but BNLJ is cheaper at this size.

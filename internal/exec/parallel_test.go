@@ -1,0 +1,231 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"riot/internal/algebra"
+	"riot/internal/buffer"
+	"riot/internal/disk"
+)
+
+// newExecWorkers builds an executor with a sharded pool and the given
+// worker count.
+func newExecWorkers(blockElems, frames, workers int) *Executor {
+	e := New(buffer.NewSharded(disk.NewDevice(blockElems), frames, workers))
+	e.Workers = workers
+	return e
+}
+
+// buildPipeline constructs the Example-1-style DAG
+// sqrt((x-3)^2) + sqrt((x-4)^2) with a shared gather and an update mask,
+// exercising every vector operator the parallel path must handle.
+func buildPipeline(t *testing.T, e *Executor, g *algebra.Graph, n int64) *algebra.Node {
+	t.Helper()
+	x := srcVec(t, e, g, "x", n, func(i int64) float64 { return float64(i % 9973) })
+	y := srcVec(t, e, g, "y", n, func(i int64) float64 { return float64(i % 9967) })
+	dist := func(v *algebra.Node, c float64) *algebra.Node {
+		d, err := g.ScalarOp("-", v, c, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sq, err := g.ElemBinary("*", d, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sq
+	}
+	s1, err := g.ElemBinary("+", dist(x, 3), dist(y, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := g.ElemUnary("sqrt", s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd, err := g.UpdateMask(r1, ">", 5000, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return upd
+}
+
+// TestParallelForceVectorMatchesSequential forces the same DAG with one
+// and with several workers and compares every element.
+func TestParallelForceVectorMatchesSequential(t *testing.T) {
+	const n = 1 << 15
+	run := func(workers int) []float64 {
+		e := newExecWorkers(1024, 16, workers)
+		g := algebra.NewGraph()
+		root := buildPipeline(t, e, g, n)
+		v, err := e.ForceVector(root, "out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := e.Fetch(g.SourceVec(v), -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, w := range []int{2, 4, 8} {
+		got := run(w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: element %d = %v, want %v", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestParallelFetchMatchesSequential covers the parallel Fetch path,
+// which needs several 4096-element chunks before it fans out.
+func TestParallelFetchMatchesSequential(t *testing.T) {
+	const n = 1 << 15
+	run := func(workers int) []float64 {
+		e := newExecWorkers(1024, 16, workers)
+		g := algebra.NewGraph()
+		root := buildPipeline(t, e, g, n)
+		out, err := e.Fetch(root, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	got := run(4)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestParallelReduceMatchesSequential: per-worker partials reassociate
+// the sum, so allow a relative error at float64 rounding scale.
+func TestParallelReduceMatchesSequential(t *testing.T) {
+	const n = 1 << 15
+	run := func(workers int) float64 {
+		e := newExecWorkers(1024, 16, workers)
+		g := algebra.NewGraph()
+		root := buildPipeline(t, e, g, n)
+		s, err := e.Reduce("sum", root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	want := run(1)
+	for _, w := range []int{2, 4} {
+		got := run(w)
+		if math.Abs(got-want) > 1e-9*math.Abs(want) {
+			t.Fatalf("workers=%d: sum=%v, want %v", w, got, want)
+		}
+	}
+	for _, fn := range []string{"min", "max"} {
+		runF := func(workers int) float64 {
+			e := newExecWorkers(1024, 16, workers)
+			g := algebra.NewGraph()
+			root := buildPipeline(t, e, g, n)
+			s, err := e.Reduce(fn, root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+		if got, want := runF(4), runF(1); got != want {
+			t.Fatalf("%s: workers=4 got %v, want %v", fn, got, want)
+		}
+	}
+}
+
+// TestParallelSharedSubexpression: a shared expensive subtree (a gather)
+// must be materialized exactly once by the preparation pass, then served
+// read-only to all workers.
+func TestParallelSharedSubexpression(t *testing.T) {
+	const n = 1 << 15
+	run := func(workers int) ([]float64, int64) {
+		e := newExecWorkers(1024, 16, workers)
+		g := algebra.NewGraph()
+		x := srcVec(t, e, g, "x", n, func(i int64) float64 { return float64(i) })
+		idx := srcVec(t, e, g, "idx", n, func(i int64) float64 { return float64((i * 7) % n) })
+		gat, err := g.Gather(x, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The gather feeds two consumers, making it a shared expensive node.
+		a, err := g.ScalarOp("*", gat, 2, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := g.ScalarOp("+", gat, 1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := g.ElemBinary("+", a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := e.Fetch(sum, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, e.Stats().Materialized
+	}
+	want, _ := run(1)
+	got, mat := run(4)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if mat != 1 {
+		t.Fatalf("parallel run materialized %d temps, want exactly 1 (the shared gather)", mat)
+	}
+}
+
+// TestParallelNoFusionAblation: the ablation that materializes every
+// interior node must agree across worker counts too.
+func TestParallelNoFusionAblation(t *testing.T) {
+	const n = 1 << 14
+	run := func(workers int) []float64 {
+		e := newExecWorkers(1024, 16, workers)
+		e.FuseElementwise = false
+		g := algebra.NewGraph()
+		root := buildPipeline(t, e, g, n)
+		out, err := e.Fetch(root, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	got := run(4)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWorkers1PathUnchanged pins the executor's Workers=1 I/O shape: the
+// fused pipeline must stream with zero temporaries and the exact same
+// device traffic as the seed executor.
+func TestWorkers1PathUnchanged(t *testing.T) {
+	const n = 1 << 15
+	e := newExecWorkers(1024, 16, 1)
+	g := algebra.NewGraph()
+	root := buildPipeline(t, e, g, n)
+	e.Pool().Device().ResetStats()
+	if _, err := e.Fetch(root, -1); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Materialized != 0 {
+		t.Fatalf("fused Workers=1 run materialized %d temps", e.Stats().Materialized)
+	}
+	// Reads: x and y once each (32 blocks each at 1024 elems/block).
+	if r := e.Pool().Device().Stats().BlocksRead; r != 64 {
+		t.Fatalf("Workers=1 fused pipeline read %d blocks, want 64", r)
+	}
+}

@@ -19,6 +19,8 @@ package linalg
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"riot/internal/array"
 	"riot/internal/buffer"
@@ -132,6 +134,20 @@ func MatMulBNLJ(pool *buffer.Pool, name string, a, b *array.Matrix, opts array.O
 // schedule. Memory is split three ways; each part holds a q×q block of
 // tiles (q = √(frames/3)), i.e. a p×p submatrix with p = q·√B ≈ √(M/3).
 func MatMulTiled(pool *buffer.Pool, name string, a, b *array.Matrix) (*array.Matrix, error) {
+	return MatMulTiledWorkers(pool, name, a, b, 1)
+}
+
+// MatMulTiledWorkers is MatMulTiled with the output super-blocks
+// dispatched to up to workers goroutines. Each in-flight worker pins
+// three q×q tile blocks at once, so the super-block side is shrunk to
+// q = √(capacity/(3·W)) and the in-flight worker count is capped at
+// capacity / (3·q²): the kernel never holds more pinned frames than the
+// pool's budget no matter how many workers are requested. Workers
+// produce disjoint output super-blocks (input tiles are shared
+// read-only), and each output tile accumulates its k-products in the
+// same order as the sequential schedule, so the result is bit-identical
+// for any worker count. workers <= 1 runs the exact sequential schedule.
+func MatMulTiledWorkers(pool *buffer.Pool, name string, a, b *array.Matrix, workers int) (*array.Matrix, error) {
 	if a.Cols() != b.Rows() {
 		return nil, fmt.Errorf("linalg: dimension mismatch %dx%d * %dx%d", a.Rows(), a.Cols(), b.Rows(), b.Cols())
 	}
@@ -144,53 +160,136 @@ func MatMulTiled(pool *buffer.Pool, name string, a, b *array.Matrix) (*array.Mat
 	if err != nil {
 		return nil, err
 	}
-	q := int(math.Sqrt(float64(pool.Capacity()) / 3))
-	if q < 1 {
-		q = 1
-	}
 	agr, agc := a.GridDims()
 	_, bgc := b.GridDims()
-	// Loop over q×q super-blocks of the result.
-	for ti0 := 0; ti0 < agr; ti0 += q {
-		ti1 := minInt(ti0+q, agr)
-		for tj0 := 0; tj0 < bgc; tj0 += q {
-			tj1 := minInt(tj0+q, bgc)
-			// Pin the result super-block once; accumulate across k.
-			ctiles, err := pinBlock(t, ti0, ti1, tj0, tj1, true)
-			if err != nil {
-				return nil, err
-			}
-			for tk0 := 0; tk0 < agc; tk0 += q {
-				tk1 := minInt(tk0+q, agc)
-				atiles, err := pinBlock(a, ti0, ti1, tk0, tk1, false)
-				if err != nil {
-					return nil, err
-				}
-				btiles, err := pinBlock(b, tk0, tk1, tj0, tj1, false)
-				if err != nil {
-					return nil, err
-				}
-				// Multiply the pinned super-blocks tile by tile.
-				for ti := ti0; ti < ti1; ti++ {
-					for tj := tj0; tj < tj1; tj++ {
-						ct := ctiles[(ti-ti0)*(tj1-tj0)+(tj-tj0)]
-						for tk := tk0; tk < tk1; tk++ {
-							at := atiles[(ti-ti0)*(tk1-tk0)+(tk-tk0)]
-							bt := btiles[(tk-tk0)*(tj1-tj0)+(tj-tj0)]
-							multiplyTilePair(at, bt, ct)
-						}
-					}
-				}
-				releaseBlock(atiles)
-				releaseBlock(btiles)
-			}
-			for _, ct := range ctiles {
-				ct.MarkDirty()
-			}
-			releaseBlock(ctiles)
+
+	w := workers
+	if w < 1 {
+		w = 1
+	}
+	// Split the frame budget across in-flight workers, three ways each.
+	// When the task count (which depends on q) clamps w down, recompute
+	// q from the smaller w so the remaining workers use the freed
+	// budget: fewer, larger super-blocks mean fewer k-passes and less
+	// I/O. The loop converges because w only ever shrinks.
+	var q, superCols, tasks int
+	for {
+		q = int(math.Sqrt(float64(pool.Capacity()) / float64(3*w)))
+		if q < 1 {
+			q = 1
 		}
+		if inFlight := pool.Capacity() / (3 * q * q); w > inFlight && inFlight >= 1 {
+			w = inFlight
+		}
+		superRows := (agr + q - 1) / q
+		superCols = (bgc + q - 1) / q
+		tasks = superRows * superCols
+		if w <= tasks {
+			break
+		}
+		w = tasks
+	}
+	if w <= 1 {
+		// Sequential: use the full budget for one worker.
+		q = int(math.Sqrt(float64(pool.Capacity()) / 3))
+		if q < 1 {
+			q = 1
+		}
+		for ti0 := 0; ti0 < agr; ti0 += q {
+			for tj0 := 0; tj0 < bgc; tj0 += q {
+				if err := multiplySuperBlock(t, a, b, ti0, tj0, q, agr, agc, bgc); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return t, pool.FlushAll()
+	}
+
+	// Parallel: workers pull output super-blocks from a shared queue.
+	var next atomic.Int64
+	var failed atomic.Bool
+	err = runWorkers(w, func(int) error {
+		for !failed.Load() {
+			task := int(next.Add(1)) - 1
+			if task >= tasks {
+				return nil
+			}
+			ti0 := (task / superCols) * q
+			tj0 := (task % superCols) * q
+			if err := multiplySuperBlock(t, a, b, ti0, tj0, q, agr, agc, bgc); err != nil {
+				failed.Store(true)
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, pool.FlushAll()
+}
+
+// runWorkers spawns w goroutines running fn(j) and returns the first
+// error any of them produced.
+func runWorkers(w int, fn func(j int) error) error {
+	errs := make([]error, w)
+	var wg sync.WaitGroup
+	for j := 0; j < w; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			errs[j] = fn(j)
+		}(j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// multiplySuperBlock computes the q×q-tile output super-block anchored at
+// (ti0, tj0): it pins the result super-block once and accumulates across
+// the k dimension, pinning one a and one b super-block at a time.
+func multiplySuperBlock(t, a, b *array.Matrix, ti0, tj0, q, agr, agc, bgc int) error {
+	ti1 := min(ti0+q, agr)
+	tj1 := min(tj0+q, bgc)
+	ctiles, err := pinBlock(t, ti0, ti1, tj0, tj1, true)
+	if err != nil {
+		return err
+	}
+	defer releaseBlock(ctiles)
+	for tk0 := 0; tk0 < agc; tk0 += q {
+		tk1 := min(tk0+q, agc)
+		atiles, err := pinBlock(a, ti0, ti1, tk0, tk1, false)
+		if err != nil {
+			return err
+		}
+		btiles, err := pinBlock(b, tk0, tk1, tj0, tj1, false)
+		if err != nil {
+			releaseBlock(atiles)
+			return err
+		}
+		// Multiply the pinned super-blocks tile by tile.
+		for ti := ti0; ti < ti1; ti++ {
+			for tj := tj0; tj < tj1; tj++ {
+				ct := ctiles[(ti-ti0)*(tj1-tj0)+(tj-tj0)]
+				for tk := tk0; tk < tk1; tk++ {
+					at := atiles[(ti-ti0)*(tk1-tk0)+(tk-tk0)]
+					bt := btiles[(tk-tk0)*(tj1-tj0)+(tj-tj0)]
+					multiplyTilePair(at, bt, ct)
+				}
+			}
+		}
+		releaseBlock(atiles)
+		releaseBlock(btiles)
+	}
+	for _, ct := range ctiles {
+		ct.MarkDirty()
+	}
+	return nil
 }
 
 // pinBlock pins the tile rectangle [ti0,ti1)×[tj0,tj1) of m, row-major.
@@ -238,34 +337,61 @@ func multiplyTilePair(at, bt, ct *array.Tile) {
 
 // Transpose produces the transpose of a with the same tiling options.
 func Transpose(pool *buffer.Pool, name string, a *array.Matrix) (*array.Matrix, error) {
+	return TransposeWorkers(pool, name, a, 1)
+}
+
+// TransposeWorkers is Transpose with the source tile columns partitioned
+// across up to workers goroutines. Every source element lives in exactly
+// one tile, so workers handling disjoint column stripes write disjoint
+// output elements; when two stripes share an output tile, the writes
+// land on different offsets of the (pinned, never-moving) frame and the
+// dirty write-back on eviction keeps partial updates ordered. Each
+// worker holds at most two pinned frames (one source tile, one output
+// tile inside Set), so the in-flight worker count is capped at
+// capacity/2. workers <= 1 runs the exact sequential loop.
+func TransposeWorkers(pool *buffer.Pool, name string, a *array.Matrix, workers int) (*array.Matrix, error) {
 	t, err := array.NewMatrix(pool, name, a.Cols(), a.Rows(), array.Options{Shape: array.SquareTiles, Lin: a.Lin()})
 	if err != nil {
 		return nil, err
 	}
 	gr, gc := a.GridDims()
-	for ti := 0; ti < gr; ti++ {
-		for tj := 0; tj < gc; tj++ {
-			src, err := a.PinTile(ti, tj)
-			if err != nil {
-				return nil, err
-			}
-			for i := src.RowLo; i < src.RowHi; i++ {
-				for j := src.ColLo; j < src.ColHi; j++ {
-					if err := t.Set(j, i, src.At(i, j)); err != nil {
-						src.Release()
-						return nil, err
+	transposeCols := func(tjLo, tjHi int) error {
+		for ti := 0; ti < gr; ti++ {
+			for tj := tjLo; tj < tjHi; tj++ {
+				src, err := a.PinTile(ti, tj)
+				if err != nil {
+					return err
+				}
+				for i := src.RowLo; i < src.RowHi; i++ {
+					for j := src.ColLo; j < src.ColHi; j++ {
+						if err := t.Set(j, i, src.At(i, j)); err != nil {
+							src.Release()
+							return err
+						}
 					}
 				}
+				src.Release()
 			}
-			src.Release()
 		}
+		return nil
+	}
+	w := workers
+	if w > gc {
+		w = gc
+	}
+	if inFlight := pool.Capacity() / 2; w > inFlight && inFlight >= 1 {
+		w = inFlight
+	}
+	if w <= 1 {
+		if err := transposeCols(0, gc); err != nil {
+			return nil, err
+		}
+		return t, pool.FlushAll()
+	}
+	if err := runWorkers(w, func(j int) error {
+		return transposeCols(gc*j/w, gc*(j+1)/w)
+	}); err != nil {
+		return nil, err
 	}
 	return t, pool.FlushAll()
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

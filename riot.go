@@ -17,6 +17,7 @@ package riot
 
 import (
 	"fmt"
+	"runtime"
 
 	"riot/internal/engine"
 	"riot/internal/riotdb"
@@ -52,6 +53,13 @@ type Config struct {
 	// RuntimePages reserves part of memory for the language runtime
 	// (plain R backend only). Default 24 pages.
 	RuntimePages int
+	// Workers bounds the goroutines the RIOT backend uses for fused
+	// streaming, reductions, and the tiled matrix kernels (the buffer
+	// pool is sharded to match). Default runtime.GOMAXPROCS(0).
+	// Workers: 1 runs the sequential executor, whose I/O counts are
+	// deterministic and reproduce the paper's measurements exactly.
+	// Other backends are single-threaded and ignore it.
+	Workers int
 	// Time is the simulated-hardware model; zero value uses defaults.
 	Time engine.TimeModel
 }
@@ -72,6 +80,9 @@ func NewSession(cfg Config) *Session {
 	if cfg.RuntimePages == 0 {
 		cfg.RuntimePages = 24
 	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
 	if cfg.Time == (engine.TimeModel{}) {
 		cfg.Time = engine.DefaultTimeModel
 	}
@@ -87,7 +98,7 @@ func NewSession(cfg Config) *Session {
 	case BackendFullDB:
 		e = engine.NewRIOTDB(riotdb.Full, cfg.BlockElems, cfg.MemElems, cfg.Time)
 	default:
-		e = engine.NewRIOT(cfg.BlockElems, cfg.MemElems, cfg.Time)
+		e = engine.NewRIOTWorkers(cfg.BlockElems, cfg.MemElems, cfg.Time, cfg.Workers)
 	}
 	return &Session{eng: e}
 }

@@ -201,3 +201,46 @@ func TestDefaultsApplied(t *testing.T) {
 		t.Fatalf("default backend = %s", s.EngineName())
 	}
 }
+
+func TestSessionWorkersConfig(t *testing.T) {
+	// Workers: 4 must produce the same results as the deterministic
+	// Workers: 1 session on a full pipeline plus a reduction.
+	run := func(workers int) ([]float64, float64) {
+		s := NewSession(Config{Backend: BackendRIOT, MemElems: 1 << 14, Workers: workers})
+		x, err := s.SeqVector(1 << 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := x.Sub(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sq, err := d.Square()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := sq.Sqrt()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals, err := rt.Values()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := rt.Sum()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vals, sum
+	}
+	wantVals, wantSum := run(1)
+	gotVals, gotSum := run(4)
+	for i := range wantVals {
+		if gotVals[i] != wantVals[i] {
+			t.Fatalf("element %d = %v, want %v", i, gotVals[i], wantVals[i])
+		}
+	}
+	if math.Abs(gotSum-wantSum) > 1e-9*math.Abs(wantSum) {
+		t.Fatalf("sum=%v, want %v", gotSum, wantSum)
+	}
+}
