@@ -33,10 +33,16 @@ type Result struct {
 	WallNSPerOp int64 `json:"wall_ns_per_op"`
 	// Workers is the parallelism the measurement ran with.
 	Workers int `json:"workers"`
+	// RandReads counts random-classified block reads (readahead
+	// ablation rows; 0 elsewhere).
+	RandReads int64 `json:"rand_reads,omitempty"`
+	// PrefetchHitPct is the prefetch hit rate in percent (readahead
+	// ablation rows with the scheduler on; 0 elsewhere).
+	PrefetchHitPct float64 `json:"prefetch_hit_pct,omitempty"`
 }
 
 func main() {
-	figure := flag.String("figure", "all", "which experiment: 1, 2, 3a, 3b, validate, workers, all")
+	figure := flag.String("figure", "all", "which experiment: 1, 2, 3a, 3b, validate, workers, readahead, all")
 	paper := flag.Bool("paper", false, "use the paper's full-scale parameters")
 	jsonPath := flag.String("json", "BENCH_results.json", "write machine-readable results to this file (empty to disable)")
 	flag.Parse()
@@ -164,6 +170,29 @@ func main() {
 		return out, nil
 	})
 
+	run("readahead", func() ([]Result, error) {
+		rows, err := bench.ReadaheadAblation(4, os.Stdout)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Result, 0, len(rows))
+		for _, r := range rows {
+			mode := "off"
+			if r.Readahead {
+				mode = "on"
+			}
+			out = append(out, Result{
+				Name:           fmt.Sprintf("readahead/%s/%s", r.Workload, mode),
+				IOMB:           r.IOMB,
+				SimSec:         r.SimSec,
+				Workers:        r.Workers,
+				RandReads:      r.RandReads,
+				PrefetchHitPct: 100 * safeDiv(float64(r.PrefetchHits), float64(r.Prefetched)),
+			})
+		}
+		return out, nil
+	})
+
 	if *jsonPath != "" && len(results) > 0 {
 		merged := mergeResults(*jsonPath, results)
 		data, err := json.MarshalIndent(merged, "", "  ")
@@ -178,6 +207,13 @@ func main() {
 		}
 		fmt.Printf("wrote %d results to %s (%d from this run)\n", len(merged), *jsonPath, len(results))
 	}
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
 }
 
 // mergeResults folds this run's records into any existing results file,

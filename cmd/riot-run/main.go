@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"riot"
+	"riot/internal/engine"
 )
 
 func main() {
@@ -16,6 +17,7 @@ func main() {
 	mem := flag.Int64("mem", 1<<22, "memory budget in float64 elements (M)")
 	block := flag.Int("block", 1024, "block/page size in float64 elements (B)")
 	workers := flag.Int("workers", 1, "worker goroutines for the riot backend (1 = deterministic I/O counts, 0 = GOMAXPROCS)")
+	readahead := flag.Bool("readahead", false, "enable the riot backend's I/O scheduler (async readahead + elevator write-back)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: riot-run [-engine X] [-mem M] [-block B] script.R")
@@ -42,7 +44,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "riot-run: unknown engine %q\n", *backend)
 		os.Exit(2)
 	}
-	s := riot.NewSession(riot.Config{Backend: b, MemElems: *mem, BlockElems: *block, Workers: *workers})
+	s := riot.NewSession(riot.Config{
+		Backend: b, MemElems: *mem, BlockElems: *block,
+		Workers: *workers, Readahead: *readahead,
+	})
 	out, err := s.RunScript(string(src))
 	fmt.Print(out)
 	if err != nil {
@@ -50,4 +55,10 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "[%s] %s\n", s.EngineName(), s.Report())
+	// The RIOT backend also exposes buffer-pool counters, including the
+	// scheduler's prefetch hit-rate — the numbers readahead ablations
+	// compare.
+	if rt, ok := s.Engine().(*engine.RIOT); ok {
+		fmt.Fprintf(os.Stderr, "[%s] pool: %s\n", s.EngineName(), rt.Executor().Pool().Stats())
+	}
 }

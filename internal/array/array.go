@@ -314,6 +314,30 @@ func (t *Tile) Set(i, j int64, v float64) {
 // Data exposes the raw tile payload in tile-row-major order.
 func (t *Tile) Data() []float64 { return t.frame.Data }
 
+// PrefetchTiles hints to the pool's I/O scheduler that the tile
+// rectangle [ti0,ti1)×[tj0,tj1) will be read soon. The tiles' blocks are
+// loaded asynchronously; the scheduler sorts them by BlockID, so
+// whatever runs the linearization makes contiguous are read with one
+// seek each. A no-op when the scheduler is disabled; the rectangle is
+// clipped to the grid.
+func (m *Matrix) PrefetchTiles(ti0, ti1, tj0, tj1 int) {
+	if !m.pool.ReadaheadEnabled() {
+		return
+	}
+	ti0, tj0 = max(ti0, 0), max(tj0, 0)
+	ti1, tj1 = min(ti1, m.gridR), min(tj1, m.gridC)
+	if ti0 >= ti1 || tj0 >= tj1 {
+		return
+	}
+	ids := make([]disk.BlockID, 0, (ti1-ti0)*(tj1-tj0))
+	for ti := ti0; ti < ti1; ti++ {
+		for tj := tj0; tj < tj1; tj++ {
+			ids = append(ids, m.tileBlock(ti, tj))
+		}
+	}
+	m.pool.Prefetch(ids)
+}
+
 // At reads a single element through the buffer pool.
 func (m *Matrix) At(i, j int64) (float64, error) {
 	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {

@@ -157,6 +157,32 @@ func (v *Vector) Fill(f func(i int64) float64) error {
 	return v.pool.FlushAll()
 }
 
+// PrefetchRange hints to the pool's I/O scheduler that elements
+// [lo, hi) will be read soon: the blocks holding them are loaded
+// asynchronously, as vectored sequential reads. A no-op when the
+// scheduler is disabled; the range is clipped to the vector.
+func (v *Vector) PrefetchRange(lo, hi int64) {
+	if !v.pool.ReadaheadEnabled() {
+		return
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > v.n {
+		hi = v.n
+	}
+	if lo >= hi {
+		return
+	}
+	b := int64(v.pool.Device().BlockElems())
+	k0, k1 := lo/b, (hi-1)/b
+	ids := make([]disk.BlockID, 0, k1-k0+1)
+	for k := k0; k <= k1; k++ {
+		ids = append(ids, v.base+disk.BlockID(k))
+	}
+	v.pool.Prefetch(ids)
+}
+
 // Scan streams the vector in index order, calling f once per chunk.
 // It is the I/O pattern of every fused elementwise pipeline.
 func (v *Vector) Scan(f func(lo int64, data []float64) error) error {

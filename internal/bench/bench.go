@@ -385,6 +385,198 @@ func ValidateModel(sizes []int64, w io.Writer) ([]ValidateRow, error) {
 	return rows, nil
 }
 
+// ReadaheadRow is one configuration of the I/O-scheduler ablation.
+type ReadaheadRow struct {
+	Workload  string // "scan" or "matmul"
+	Readahead bool
+	Workers   int
+	SeqReads  int64
+	RandReads int64
+	IOMB      float64
+	SimSec    float64 // disk.DefaultCostModel over the measured stats
+	// Prefetch effectiveness (zero with readahead off).
+	Prefetched   int64
+	PrefetchHits int64
+	Wasted       int64
+}
+
+// ReadaheadAblation measures the I/O scheduler on the two workloads the
+// paper's I/O argument is about: Example 1's fused streaming pipeline
+// over two stored vectors, and the square-tiled out-of-core multiply.
+// Both run with the scheduler off (the seed's exact I/O) and on, at one
+// worker (the deterministic paper configuration) and at maxWorkers.
+//
+// Both workloads issue structurally random I/O even single-threaded —
+// the fused pipeline alternates between x's and y's block runs every
+// chunk, and the multiply interleaves tile reads with write-backs of
+// evicted result tiles — which is exactly what the scheduler repairs:
+// readahead turns each stream into bulky vectored reads, and elevator
+// write-back groups the flushes. RandReads and the cost-model seconds
+// must drop with the scheduler on.
+func ReadaheadAblation(maxWorkers int, w io.Writer) ([]ReadaheadRow, error) {
+	var rows []ReadaheadRow
+
+	// Workload 1: Example 1's pattern, (x-3)² + (y-4)² summed, vectors
+	// 8× the pool.
+	scan := func(workers int, readahead bool) (ReadaheadRow, error) {
+		const blockElems = 1024
+		const frames = 64
+		const n = int64(frames*4) * blockElems
+		dev := disk.NewDevice(blockElems)
+		pool := buffer.NewSharded(dev, frames, workers)
+		if readahead {
+			pool.SetReadahead(buffer.ReadaheadConfig{Enabled: true})
+		}
+		ex := exec.New(pool)
+		ex.Workers = workers
+		g := algebra.NewGraph()
+		x, err := array.NewVector(pool, "x", n)
+		if err != nil {
+			return ReadaheadRow{}, err
+		}
+		y, err := array.NewVector(pool, "y", n)
+		if err != nil {
+			return ReadaheadRow{}, err
+		}
+		if err := x.Fill(func(i int64) float64 { return float64(i % 97) }); err != nil {
+			return ReadaheadRow{}, err
+		}
+		if err := y.Fill(func(i int64) float64 { return float64(i % 89) }); err != nil {
+			return ReadaheadRow{}, err
+		}
+		if err := pool.DropAll(); err != nil {
+			return ReadaheadRow{}, err
+		}
+		dev.ResetStats()
+		pool.ResetStats()
+		xn, yn := g.SourceVec(x), g.SourceVec(y)
+		xs, err := g.ScalarOp("-", xn, 3, false)
+		if err != nil {
+			return ReadaheadRow{}, err
+		}
+		ys, err := g.ScalarOp("-", yn, 4, false)
+		if err != nil {
+			return ReadaheadRow{}, err
+		}
+		xq, err := g.ElemBinary("*", xs, xs)
+		if err != nil {
+			return ReadaheadRow{}, err
+		}
+		yq, err := g.ElemBinary("*", ys, ys)
+		if err != nil {
+			return ReadaheadRow{}, err
+		}
+		d, err := g.ElemBinary("+", xq, yq)
+		if err != nil {
+			return ReadaheadRow{}, err
+		}
+		if _, err := ex.Reduce("sum", d); err != nil {
+			return ReadaheadRow{}, err
+		}
+		pool.DrainPrefetch()
+		st := dev.Stats()
+		ps := pool.Stats()
+		return ReadaheadRow{
+			Workload: "scan", Readahead: readahead, Workers: workers,
+			SeqReads: st.SeqReads, RandReads: st.RandReads,
+			IOMB:       st.TotalMB(),
+			SimSec:     disk.DefaultCostModel.Seconds(st),
+			Prefetched: ps.Prefetched, PrefetchHits: ps.PrefetchHits, Wasted: ps.WastedPrefetch,
+		}, nil
+	}
+
+	// Workload 2: square-tiled multiply over matrices that exceed the
+	// pool budget (the WorkersAblation configuration).
+	matmul := func(workers int, readahead bool) (ReadaheadRow, error) {
+		const blockElems = 4096
+		const frames = 48
+		const n = int64(512)
+		dev := disk.NewDevice(blockElems)
+		pool := buffer.NewSharded(dev, frames, workers)
+		if readahead {
+			pool.SetReadahead(buffer.ReadaheadConfig{Enabled: true})
+		}
+		a, err := array.NewMatrix(pool, "a", n, n, array.Options{Shape: array.SquareTiles})
+		if err != nil {
+			return ReadaheadRow{}, err
+		}
+		b, err := array.NewMatrix(pool, "b", n, n, array.Options{Shape: array.SquareTiles})
+		if err != nil {
+			return ReadaheadRow{}, err
+		}
+		if err := a.Fill(func(i, j int64) float64 { return float64((i + j) % 13) }); err != nil {
+			return ReadaheadRow{}, err
+		}
+		if err := b.Fill(func(i, j int64) float64 { return float64((i * j) % 11) }); err != nil {
+			return ReadaheadRow{}, err
+		}
+		if err := pool.DropAll(); err != nil {
+			return ReadaheadRow{}, err
+		}
+		dev.ResetStats()
+		pool.ResetStats()
+		c, err := linalg.MatMulTiledWorkers(pool, "c", a, b, workers)
+		if err != nil {
+			return ReadaheadRow{}, err
+		}
+		pool.DrainPrefetch()
+		st := dev.Stats()
+		ps := pool.Stats()
+		row := ReadaheadRow{
+			Workload: "matmul", Readahead: readahead, Workers: workers,
+			SeqReads: st.SeqReads, RandReads: st.RandReads,
+			IOMB:       st.TotalMB(),
+			SimSec:     disk.DefaultCostModel.Seconds(st),
+			Prefetched: ps.Prefetched, PrefetchHits: ps.PrefetchHits, Wasted: ps.WastedPrefetch,
+		}
+		// Spot-check the product so the ablation cannot silently trade
+		// correctness for I/O.
+		v, err := c.At(n/2, n/3)
+		if err != nil {
+			return ReadaheadRow{}, err
+		}
+		var want float64
+		for k := int64(0); k < n; k++ {
+			want += float64(((n/2)+k)%13) * float64((k*(n/3))%11)
+		}
+		if v != want {
+			return ReadaheadRow{}, fmt.Errorf("bench: readahead matmul diverged: %v != %v", v, want)
+		}
+		return row, nil
+	}
+
+	workerList := []int{1}
+	if maxWorkers > 1 {
+		workerList = append(workerList, maxWorkers)
+	}
+	for _, f := range []func(int, bool) (ReadaheadRow, error){scan, matmul} {
+		for _, workers := range workerList {
+			for _, ra := range []bool{false, true} {
+				row, err := f(workers, ra)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	if w != nil {
+		fmt.Fprintf(w, "Readahead ablation: I/O scheduler off vs on\n")
+		fmt.Fprintf(w, "%-8s %7s %-10s %10s %10s %8s %8s %11s %7s %7s\n",
+			"workload", "workers", "readahead", "seq-reads", "rand-reads", "IO-MB", "sim-sec", "prefetched", "hits", "wasted")
+		for _, r := range rows {
+			on := "off"
+			if r.Readahead {
+				on = "on"
+			}
+			fmt.Fprintf(w, "%-8s %7d %-10s %10d %10d %8.1f %8.2f %11d %7d %7d\n",
+				r.Workload, r.Workers, on, r.SeqReads, r.RandReads, r.IOMB, r.SimSec,
+				r.Prefetched, r.PrefetchHits, r.Wasted)
+		}
+	}
+	return rows, nil
+}
+
 // WorkersRow is one configuration of the parallel-execution ablation.
 type WorkersRow struct {
 	Workers int     // worker goroutines (and pool shards)

@@ -36,11 +36,39 @@
 // original sequential pool: same hit/miss/eviction/flush counts in the
 // same order. This is what makes Workers=1 runs reproduce the paper's
 // deterministic I/O measurements.
+//
+// # I/O scheduler (readahead, elevator write-back)
+//
+// SetReadahead enables an I/O scheduler between the pool and the device,
+// off by default so the seed's exact I/O counters are preserved:
+//
+//   - Prefetch(ids) is an explicit hint: the named blocks are loaded
+//     asynchronously, off the caller's goroutine, through the same
+//     singleflight frame path as Pin, and parked unpinned on the LRU.
+//     Contiguous runs are read with one vectored device request, so they
+//     charge one seek plus sequential transfers.
+//   - Automatic sequential readahead watches the Pin stream; two
+//     consecutive block IDs trigger prefetch of the next window blocks,
+//     and the window doubles on every further sequential access (up to a
+//     clamp), the classic adaptive readahead policy.
+//   - Eviction of a dirty frame flushes a batch of dirty frames sorted
+//     by BlockID (elevator write-back) via one vectored write, instead of
+//     one random write per eviction. FlushAll likewise writes in sorted
+//     batches when the scheduler is on.
+//
+// Prefetched frames never exceed the global frame budget: a prefetch
+// that cannot claim a free or evictable frame is dropped (it is a hint),
+// and a real Pin that finds the budget exhausted drains in-flight
+// prefetches — which are unpinned and evictable the moment they land —
+// and retries, so readahead can never fail an algorithm that stays
+// within its budget. Stats reports Prefetched / PrefetchHits /
+// WastedPrefetch so ablations can see whether readahead paid off.
 package buffer
 
 import (
 	"container/list"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -64,6 +92,22 @@ type Frame struct {
 	// the close if the device read failed.
 	ready   chan struct{}
 	loadErr error
+	// loading marks a frame whose device read is still in flight on a
+	// prefetch goroutine; such frames are in the shard map (so Pins
+	// collapse onto them) but not on the LRU (so eviction skips them).
+	// doomed is set by Invalidate/DropAll racing an in-flight load: the
+	// prefetcher discards the frame on completion instead of parking it.
+	// prefetched marks a frame loaded by the scheduler and not yet used
+	// by any Pin; it feeds the PrefetchHits / WastedPrefetch counters.
+	// hinted distinguishes an explicit Prefetch claim from one made by
+	// the automatic detector: consuming a detector frame keeps the
+	// detector running ahead, consuming a hinted frame does not (the
+	// hinter will hint again). All four are guarded by the owning
+	// shard's mutex.
+	loading    bool
+	doomed     bool
+	prefetched bool
+	hinted     bool
 }
 
 // ID returns the disk block this frame caches.
@@ -78,6 +122,32 @@ type Stats struct {
 	Misses    int64 // requests that read the block from the device
 	Evictions int64 // frames dropped to make room
 	Flushes   int64 // dirty frames written back
+
+	// Scheduler counters (all zero while readahead is off).
+	Prefetched     int64 // blocks loaded by the prefetcher
+	PrefetchHits   int64 // pins served from a prefetched frame
+	WastedPrefetch int64 // prefetched frames evicted or dropped unused
+}
+
+// PrefetchHitRate returns the fraction of prefetched blocks that a Pin
+// actually consumed (0 when nothing was prefetched).
+func (s Stats) PrefetchHitRate() float64 {
+	if s.Prefetched == 0 {
+		return 0
+	}
+	return float64(s.PrefetchHits) / float64(s.Prefetched)
+}
+
+// String renders the counters in one line; scheduler counters appear
+// only when the prefetcher did any work.
+func (s Stats) String() string {
+	out := fmt.Sprintf("hits=%d misses=%d evictions=%d flushes=%d",
+		s.Hits, s.Misses, s.Evictions, s.Flushes)
+	if s.Prefetched > 0 || s.WastedPrefetch > 0 {
+		out += fmt.Sprintf(" prefetched=%d prefetch-hits=%d (%.0f%%) wasted=%d",
+			s.Prefetched, s.PrefetchHits, 100*s.PrefetchHitRate(), s.WastedPrefetch)
+	}
+	return out
 }
 
 // shard is one lock stripe of the pool: a map of resident frames plus an
@@ -101,7 +171,128 @@ type Pool struct {
 	misses    atomic.Int64
 	evictions atomic.Int64
 	flushes   atomic.Int64
+
+	// I/O scheduler state (see the package comment). raEnabled gates
+	// every scheduler code path so the disabled pool is byte-for-byte
+	// the seed pool.
+	raEnabled      atomic.Bool
+	raCfg          ReadaheadConfig
+	ra             raState
+	drain          drainGroup
+	inflight       atomic.Int64 // prefetch batches currently running
+	prefetched     atomic.Int64
+	prefetchHits   atomic.Int64
+	wastedPrefetch atomic.Int64
 }
+
+// drainGroup tracks in-flight prefetch batches. It is a WaitGroup whose
+// Add and Wait may race freely: new batches may start while a drainer is
+// waiting (the drainer observes some zero crossing, which is all the
+// makeRoom retry needs).
+type drainGroup struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	n    int
+}
+
+func (g *drainGroup) add() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func (g *drainGroup) done() {
+	g.mu.Lock()
+	g.n--
+	if g.n == 0 {
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+func (g *drainGroup) wait() {
+	g.mu.Lock()
+	for g.n > 0 {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// ReadaheadConfig tunes the I/O scheduler. The zero value of each field
+// selects its default.
+type ReadaheadConfig struct {
+	// Enabled turns the scheduler on: explicit Prefetch hints, automatic
+	// sequential readahead, and elevator write-back.
+	Enabled bool
+	// MinWindow is the readahead window (blocks) when a sequential run
+	// is first detected. Default 4.
+	MinWindow int
+	// MaxWindow clamps the adaptive window. Default 64 divided by the
+	// shard count (shards approximate concurrent streams), and never
+	// more than capacity/(2·shards), so all streams' readahead together
+	// cannot flush the working set.
+	MaxWindow int
+	// FlushBatch is how many dirty frames one eviction writes back in a
+	// sorted batch. Default 8.
+	FlushBatch int
+}
+
+// raState is the sequential-pattern detector for automatic readahead.
+type raState struct {
+	mu      sync.Mutex
+	last    disk.BlockID // last block in the detected stream
+	hasLast bool
+	streak  int          // consecutive +1 accesses in the stream
+	window  int          // current readahead window, in blocks
+	next    disk.BlockID // first block not yet scheduled in this run
+}
+
+// raMinStreak is how many consecutive block IDs the detector wants
+// before it starts prefetching: short runs (a tiled kernel walking the
+// tiles of a super-block row) are not streams, and prefetching past
+// them only wastes frames.
+const raMinStreak = 5
+
+// maxInflightPrefetch bounds concurrent prefetch batches; beyond this,
+// hints are dropped rather than queued (prefetch is advisory).
+const maxInflightPrefetch = 64
+
+// SetReadahead configures the I/O scheduler. It must be called before
+// the pool is shared between goroutines (it is a setup knob, not a
+// runtime toggle). Disabled (the default) the pool behaves exactly like
+// the seed pool.
+func (p *Pool) SetReadahead(cfg ReadaheadConfig) {
+	if cfg.MinWindow <= 0 {
+		cfg.MinWindow = 4
+	}
+	if cfg.MaxWindow <= 0 {
+		cfg.MaxWindow = 64 / len(p.shards)
+	}
+	if cfg.MaxWindow < cfg.MinWindow {
+		cfg.MaxWindow = cfg.MinWindow
+	}
+	// The working-set clamp is applied last so nothing can override it:
+	// with many concurrent streams in a small pool, both windows shrink
+	// rather than letting their combined readahead flush the pool.
+	if lim := p.capacity / (2 * len(p.shards)); lim >= 1 {
+		if cfg.MaxWindow > lim {
+			cfg.MaxWindow = lim
+		}
+		if cfg.MinWindow > lim {
+			cfg.MinWindow = lim
+		}
+	}
+	if cfg.FlushBatch <= 0 {
+		cfg.FlushBatch = 8
+	}
+	p.raCfg = cfg
+	p.ra.window = cfg.MinWindow
+	p.raEnabled.Store(cfg.Enabled)
+}
+
+// ReadaheadEnabled reports whether the I/O scheduler is on, so callers
+// can skip the work of computing hints when it is not.
+func (p *Pool) ReadaheadEnabled() bool { return p.raEnabled.Load() }
 
 // maxShards bounds lock striping; beyond this the per-shard LRU lists
 // become too short to approximate global LRU.
@@ -137,6 +328,7 @@ func NewSharded(dev *disk.Device, capacity, shards int) *Pool {
 	for i := range p.shards {
 		p.shards[i] = &shard{frames: make(map[disk.BlockID]*Frame), lru: list.New()}
 	}
+	p.drain.cond.L = &p.drain.mu
 	return p
 }
 
@@ -186,10 +378,13 @@ func (p *Pool) Device() *disk.Device { return p.dev }
 // Stats returns a snapshot of pool counters.
 func (p *Pool) Stats() Stats {
 	return Stats{
-		Hits:      p.hits.Load(),
-		Misses:    p.misses.Load(),
-		Evictions: p.evictions.Load(),
-		Flushes:   p.flushes.Load(),
+		Hits:           p.hits.Load(),
+		Misses:         p.misses.Load(),
+		Evictions:      p.evictions.Load(),
+		Flushes:        p.flushes.Load(),
+		Prefetched:     p.prefetched.Load(),
+		PrefetchHits:   p.prefetchHits.Load(),
+		WastedPrefetch: p.wastedPrefetch.Load(),
 	}
 }
 
@@ -199,6 +394,9 @@ func (p *Pool) ResetStats() {
 	p.misses.Store(0)
 	p.evictions.Store(0)
 	p.flushes.Store(0)
+	p.prefetched.Store(0)
+	p.prefetchHits.Store(0)
+	p.wastedPrefetch.Store(0)
 }
 
 // Resident returns the number of frames currently held.
@@ -212,12 +410,18 @@ func (p *Pool) Resident() int {
 	return n
 }
 
-// Pinned returns how many frames are currently pinned.
+// Pinned returns how many frames are currently pinned. Frames whose
+// prefetch load is still in flight are not pinned (they hold no caller
+// reference and become evictable the moment they land).
 func (p *Pool) Pinned() int {
 	n := 0
 	for _, s := range p.shards {
 		s.mu.Lock()
-		n += len(s.frames) - s.lru.Len()
+		for _, f := range s.frames {
+			if f.pins > 0 {
+				n++
+			}
+		}
 		s.mu.Unlock()
 	}
 	return n
@@ -243,7 +447,14 @@ func (p *Pool) pin(id disk.BlockID, fresh bool) (*Frame, error) {
 	s := p.shardOf(id)
 	s.mu.Lock()
 	if f, ok := s.frames[id]; ok {
-		p.pinResident(s, f)
+		if p.pinResident(s, f) == consumedAuto && !fresh {
+			// Consuming a detector-prefetched frame: the readahead is
+			// paying off, keep it running ahead of this stream (the
+			// claims overlap with our wait for the frame's own load).
+			// Hinted frames don't feed the detector — their hinter will
+			// hint again.
+			p.noteAccess(id)
+		}
 		return p.await(f)
 	}
 	s.mu.Unlock()
@@ -265,12 +476,17 @@ func (p *Pool) pin(id disk.BlockID, fresh bool) (*Frame, error) {
 		// so a concurrent makeRoom never sees an inflated counter with
 		// nothing to evict) and share the frame.
 		p.resident.Add(-1)
-		p.pinResident(s, existing)
+		if p.pinResident(s, existing) == consumedAuto && !fresh {
+			p.noteAccess(id)
+		}
 		return p.await(existing)
 	}
 	s.frames[id] = f
 	s.mu.Unlock()
 	p.misses.Add(1)
+	if !fresh && p.raEnabled.Load() {
+		p.noteAccess(id)
+	}
 	if !fresh {
 		if err := p.dev.Read(id, f.Data); err != nil {
 			f.loadErr = err
@@ -286,16 +502,37 @@ func (p *Pool) pin(id disk.BlockID, fresh bool) (*Frame, error) {
 	return f, nil
 }
 
+// Consumption kinds reported by pinResident.
+const (
+	consumedNone   = iota // plain hit on a non-prefetched frame
+	consumedHinted        // consumed an explicitly hinted frame
+	consumedAuto          // consumed a detector-prefetched frame
+)
+
 // pinResident bumps the pin count of a frame already in s and counts a
-// hit. It takes over (and releases) s.mu, which the caller holds.
-func (p *Pool) pinResident(s *shard, f *Frame) {
+// hit. It takes over (and releases) s.mu, which the caller holds, and
+// reports what kind of prefetched frame (if any) this pin consumed —
+// the detector's cue to keep readahead running for a stream it started.
+func (p *Pool) pinResident(s *shard, f *Frame) int {
 	if f.pins == 0 && f.elem != nil {
 		s.lru.Remove(f.elem)
 		f.elem = nil
 	}
 	f.pins++
+	consumed := consumedNone
+	if f.prefetched {
+		consumed = consumedAuto
+		if f.hinted {
+			consumed = consumedHinted
+		}
+	}
+	f.prefetched = false
 	s.mu.Unlock()
 	p.hits.Add(1)
+	if consumed != consumedNone {
+		p.prefetchHits.Add(1)
+	}
+	return consumed
 }
 
 // await blocks until f's contents are loaded (a no-op for frames past
@@ -308,12 +545,27 @@ func (p *Pool) await(f *Frame) (*Frame, error) {
 	return f, nil
 }
 
-// makeRoom reserves one frame slot in the global budget, evicting an
+// makeRoom reserves one frame slot in the global budget for a real Pin,
+// evicting an unpinned frame if the pool is full. If the scheduler is on
+// and every frame looks pinned, in-flight prefetch loads (which hold
+// budget but are not yet evictable) are drained and the reservation
+// retried, so readahead can never fail an algorithm that stays within
+// its budget.
+func (p *Pool) makeRoom(id disk.BlockID) error {
+	err := p.tryMakeRoom(id)
+	for i := 0; err != nil && p.raEnabled.Load() && i < 3; i++ {
+		p.drain.wait()
+		err = p.tryMakeRoom(id)
+	}
+	return err
+}
+
+// tryMakeRoom reserves one frame slot in the global budget, evicting an
 // unpinned frame if the pool is full. Eviction prefers the shard that
 // will receive the new block (preserving exact sequential LRU behaviour
 // in the single-shard case) and falls back to scanning the other shards
 // so one hot shard cannot fail while the pool is globally under budget.
-func (p *Pool) makeRoom(id disk.BlockID) error {
+func (p *Pool) tryMakeRoom(id disk.BlockID) error {
 	if p.resident.Add(1) <= int64(p.capacity) {
 		return nil
 	}
@@ -332,6 +584,7 @@ func (p *Pool) makeRoom(id disk.BlockID) error {
 		// Write back before the frame leaves the map: once it is gone a
 		// concurrent Pin of the same block re-reads the device, and must
 		// see these contents.
+		flushedDirty := false
 		if victim.dirty.Load() {
 			if err := p.dev.Write(victim.id, victim.Data); err != nil {
 				s.lru.PushFront(victim)
@@ -342,15 +595,326 @@ func (p *Pool) makeRoom(id disk.BlockID) error {
 			}
 			victim.dirty.Store(false)
 			p.flushes.Add(1)
+			flushedDirty = true
+		}
+		if victim.prefetched {
+			p.wastedPrefetch.Add(1)
 		}
 		delete(s.frames, victim.id)
 		s.mu.Unlock()
 		p.resident.Add(-1)
 		p.evictions.Add(1)
+		if flushedDirty && p.raEnabled.Load() && p.raCfg.FlushBatch > 1 {
+			p.elevatorSweep(victim.id)
+		}
 		return nil
 	}
 	p.resident.Add(-1)
 	return fmt.Errorf("buffer: pool over budget: all %d frames pinned", p.capacity)
+}
+
+// elevatorSweep is the write half of the I/O scheduler: after an
+// eviction pays for one dirty write-back anyway, the sweep flushes up to
+// FlushBatch-1 more dirty unpinned frames — across all shards, in
+// ascending BlockID order starting at the victim's block and wrapping,
+// like a disk elevator — so write-backs leave as one sorted vectored
+// request and later evictions find their victims already clean. The
+// caller holds no locks; the sweep locks the involved shards in index
+// order (the pool's only multi-shard lock site, so the ordering is a
+// total one) to keep the frames stable across the vectored write.
+func (p *Pool) elevatorSweep(afterID disk.BlockID) {
+	// Collection is bounded so a huge pool does not turn every dirty
+	// eviction into a full O(capacity) scan: examine at most
+	// sweepScanLimit LRU entries across the shards (oldest first within
+	// each, which is where the frames the elevator wants live anyway).
+	const sweepScanLimit = 256
+	scanned := 0
+	var cands []*Frame
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for e := s.lru.Front(); e != nil && scanned < sweepScanLimit; e = e.Next() {
+			scanned++
+			if f := e.Value.(*Frame); f.dirty.Load() {
+				cands = append(cands, f)
+			}
+		}
+		s.mu.Unlock()
+		if scanned >= sweepScanLimit {
+			break
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		// Ascending from afterID, wrapping: the elevator keeps moving in
+		// the direction the eviction write was already heading.
+		ai, aj := cands[i].id > afterID, cands[j].id > afterID
+		if ai != aj {
+			return ai
+		}
+		return cands[i].id < cands[j].id
+	})
+	if len(cands) > p.raCfg.FlushBatch-1 {
+		cands = cands[:p.raCfg.FlushBatch-1]
+	}
+	// Lock every involved shard in index order, then re-validate: a
+	// frame may have been pinned, evicted, or flushed since collection.
+	// Unpinned frames are never mutated by callers (the pool contract),
+	// so writing them under their shard locks is not torn.
+	shardIdx := make([]int, 0, len(cands))
+	seen := make(map[int]bool, len(cands))
+	for _, f := range cands {
+		if i := p.shardIndex(f.id); !seen[i] {
+			seen[i] = true
+			shardIdx = append(shardIdx, i)
+		}
+	}
+	sort.Ints(shardIdx)
+	for _, i := range shardIdx {
+		p.shards[i].mu.Lock()
+	}
+	var ids []disk.BlockID
+	var srcs [][]float64
+	var valid []*Frame
+	for _, f := range cands {
+		s := p.shardOf(f.id)
+		if f.pins == 0 && s.frames[f.id] == f && f.dirty.Load() {
+			ids = append(ids, f.id)
+			srcs = append(srcs, f.Data)
+			valid = append(valid, f)
+		}
+	}
+	if len(ids) > 0 {
+		// On error the unwritten frames stay dirty and are simply
+		// written again later; the first n completed and are clean.
+		n, _ := p.dev.WriteBlocks(ids, srcs)
+		for _, f := range valid[:n] {
+			f.dirty.Store(false)
+		}
+		p.flushes.Add(int64(n))
+	}
+	for i := len(shardIdx) - 1; i >= 0; i-- {
+		p.shards[shardIdx[i]].mu.Unlock()
+	}
+}
+
+// Prefetch hints that the named blocks will be read soon. When the
+// scheduler is enabled, frames for the absent blocks are claimed
+// immediately — on the caller's goroutine, so a Pin issued right after
+// the hint collapses onto the loading frame via the singleflight path
+// instead of racing a duplicate device read — while the device reads
+// themselves happen on a background goroutine, one vectored request per
+// contiguous run. Claims never exceed the frame budget (a hint that
+// finds only pinned frames is dropped) and loaded frames are parked
+// unpinned on the LRU. Blocks already resident or loading are skipped;
+// when the scheduler is disabled, or too many batches are in flight, the
+// hint is dropped. Prefetch never returns an error: it is advisory, and
+// a block that cannot be loaded is simply read by the Pin that actually
+// needs it.
+func (p *Pool) Prefetch(ids []disk.BlockID) {
+	if len(ids) == 0 || !p.raEnabled.Load() {
+		return
+	}
+	if half := p.capacity / 2; len(ids) > half && half >= 1 {
+		ids = ids[:half]
+	}
+	p.schedulePrefetch(ids, true)
+}
+
+// schedulePrefetch claims frames synchronously and hands them to a
+// background goroutine for loading. hinted records whether the claims
+// come from an explicit Prefetch (as opposed to the detector). The
+// drain group is entered before the first claim: claimed frames hold
+// budget, so a drain.wait must not return between a claim and the
+// loader goroutine's registration (a Pin retrying after the wait would
+// spuriously report the pool over budget).
+func (p *Pool) schedulePrefetch(ids []disk.BlockID, hinted bool) {
+	if p.inflight.Load() >= maxInflightPrefetch {
+		return
+	}
+	p.drain.add()
+	frames := make([]*Frame, 0, len(ids))
+	for _, id := range ids {
+		if f := p.claimForPrefetch(id, hinted); f != nil {
+			frames = append(frames, f)
+		}
+	}
+	if len(frames) == 0 {
+		p.drain.done()
+		return
+	}
+	p.inflight.Add(1)
+	go func() {
+		defer p.drain.done()
+		defer p.inflight.Add(-1)
+		p.loadPrefetched(frames)
+	}()
+}
+
+// loadPrefetched reads the claimed frames off the hinting goroutine,
+// with one vectored request per contiguous run of block IDs.
+func (p *Pool) loadPrefetched(frames []*Frame) {
+	sort.Slice(frames, func(i, j int) bool { return frames[i].id < frames[j].id })
+	for lo := 0; lo < len(frames); {
+		hi := lo + 1
+		for hi < len(frames) && frames[hi].id == frames[hi-1].id+1 {
+			hi++
+		}
+		run := frames[lo:hi]
+		runIDs := make([]disk.BlockID, len(run))
+		dsts := make([][]float64, len(run))
+		for i, f := range run {
+			runIDs[i] = f.id
+			dsts[i] = f.Data
+		}
+		n, err := p.dev.ReadBlocks(runIDs, dsts)
+		// The first n blocks completed and must not be re-charged. A
+		// later block vanished (freed between claim and read): retry the
+		// rest individually so one bad block cannot poison its whole run
+		// — a Pin may be waiting on any of them.
+		for i, f := range run {
+			switch {
+			case i < n:
+				p.finishPrefetch(f, nil)
+			case err != nil && i == n:
+				p.finishPrefetch(f, err)
+			default:
+				p.finishPrefetch(f, p.dev.Read(f.id, f.Data))
+			}
+		}
+		lo = hi
+	}
+}
+
+// claimForPrefetch inserts a loading frame for id under the global
+// budget. It returns nil when the block is already resident or loading,
+// or when no frame can be claimed without touching pinned frames — a
+// dropped hint, not an error.
+func (p *Pool) claimForPrefetch(id disk.BlockID, hinted bool) *Frame {
+	if !p.dev.Readable(id) {
+		// Readahead ran past the end of an extent (or into freed space):
+		// not an error, just nothing to fetch.
+		return nil
+	}
+	s := p.shardOf(id)
+	s.mu.Lock()
+	_, present := s.frames[id]
+	s.mu.Unlock()
+	if present {
+		return nil
+	}
+	// tryMakeRoom, not makeRoom: the prefetcher must never wait on its
+	// own WaitGroup.
+	if err := p.tryMakeRoom(id); err != nil {
+		return nil
+	}
+	f := &Frame{
+		id:         id,
+		Data:       make([]float64, p.dev.BlockElems()),
+		ready:      make(chan struct{}),
+		loading:    true,
+		prefetched: true,
+		hinted:     hinted,
+	}
+	s.mu.Lock()
+	if _, ok := s.frames[id]; ok {
+		// A Pin loaded the block while we were evicting; give the slot
+		// back before releasing the shard lock (same discipline as pin).
+		p.resident.Add(-1)
+		s.mu.Unlock()
+		return nil
+	}
+	s.frames[id] = f
+	s.mu.Unlock()
+	p.prefetched.Add(1)
+	return f
+}
+
+// finishPrefetch publishes a loaded prefetch frame: on success it parks
+// the frame on the LRU (unless a Pin grabbed it mid-load), on failure or
+// doom (Invalidate/DropAll raced the load) it discards the frame.
+func (p *Pool) finishPrefetch(f *Frame, err error) {
+	s := p.shardOf(f.id)
+	s.mu.Lock()
+	f.loading = false
+	f.loadErr = err
+	close(f.ready)
+	switch {
+	case err != nil:
+		// Any waiting pinners observe loadErr; the frame leaves the map
+		// so the next Pin retries the device read.
+		if s.frames[f.id] == f {
+			delete(s.frames, f.id)
+		}
+		p.resident.Add(-1)
+	case f.doomed && f.pins == 0:
+		delete(s.frames, f.id)
+		p.resident.Add(-1)
+		p.wastedPrefetch.Add(1)
+	case f.pins == 0:
+		f.elem = s.lru.PushBack(f)
+	}
+	// pins > 0: a Pin collapsed onto the loading frame; its Unpin will
+	// park the frame on the LRU.
+	s.mu.Unlock()
+}
+
+// noteAccess is the automatic-readahead detector. raMinStreak
+// consecutive block IDs in the miss/consume stream start prefetching
+// ahead of the reader; after that the detector refills only when the
+// reader comes within half a window of the prefetched frontier (the
+// async trigger — refilling on every access would fragment the vectored
+// reads), doubling the window on each refill up to the clamp.
+func (p *Pool) noteAccess(id disk.BlockID) {
+	ra := &p.ra
+	ra.mu.Lock()
+	seq := ra.hasLast && id == ra.last+1
+	ra.hasLast = true
+	ra.last = id
+	if !seq {
+		ra.streak = 1
+		ra.window = p.raCfg.MinWindow
+		ra.next = id + 1
+		ra.mu.Unlock()
+		return
+	}
+	ra.streak++
+	if ra.streak < raMinStreak {
+		ra.next = id + 1
+		ra.mu.Unlock()
+		return
+	}
+	if ra.next <= id {
+		ra.next = id + 1
+	}
+	if ra.next-id > disk.BlockID(ra.window/2) {
+		// Frontier comfortably ahead of the reader: nothing to do yet.
+		ra.mu.Unlock()
+		return
+	}
+	target := id + disk.BlockID(ra.window)
+	ids := make([]disk.BlockID, 0, target-ra.next+1)
+	for b := ra.next; b <= target; b++ {
+		ids = append(ids, b)
+	}
+	ra.next = target + 1
+	ra.window *= 2
+	if ra.window > p.raCfg.MaxWindow {
+		ra.window = p.raCfg.MaxWindow
+	}
+	ra.mu.Unlock()
+	p.schedulePrefetch(ids, false)
+}
+
+// DrainPrefetch blocks until every in-flight prefetch batch has
+// completed and its frames are resident or discarded. Benchmarks call it
+// before reading counters so asynchronous loads do not straddle the
+// measurement; DropAll calls it so a quiesced pool really is quiet. The
+// caller must not race it with new Pins (which could schedule more
+// readahead).
+func (p *Pool) DrainPrefetch() {
+	p.drain.wait()
 }
 
 // Unpin releases one pin on f. When the pin count reaches zero the frame
@@ -370,8 +934,13 @@ func (p *Pool) Unpin(f *Frame) {
 
 // FlushAll writes back every dirty frame (pinned or not) without
 // evicting. It must not run concurrently with writers still mutating
-// pinned frames.
+// pinned frames. With the scheduler enabled each shard's dirty frames go
+// out as one vectored write sorted by BlockID, so contiguous dirty runs
+// are charged sequentially instead of in map-iteration (random) order.
 func (p *Pool) FlushAll() error {
+	if p.raEnabled.Load() {
+		return p.flushAllSorted()
+	}
 	for _, s := range p.shards {
 		s.mu.Lock()
 		for _, f := range s.frames {
@@ -389,14 +958,57 @@ func (p *Pool) FlushAll() error {
 	return nil
 }
 
+// flushAllSorted is FlushAll under the scheduler: dirty frames from all
+// shards are written in one globally ascending BlockID pass, each under
+// its own shard lock, so contiguous dirty regions leave as sequential
+// runs regardless of how the shard hash scattered them.
+func (p *Pool) flushAllSorted() error {
+	type cand struct {
+		f *Frame
+		s *shard
+	}
+	var cands []cand
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if f.dirty.Load() {
+				cands = append(cands, cand{f, s})
+			}
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].f.id < cands[j].f.id })
+	for _, c := range cands {
+		c.s.mu.Lock()
+		f := c.f
+		if c.s.frames[f.id] == f && f.dirty.Load() {
+			if err := p.dev.Write(f.id, f.Data); err != nil {
+				c.s.mu.Unlock()
+				return err
+			}
+			f.dirty.Store(false)
+			p.flushes.Add(1)
+		}
+		c.s.mu.Unlock()
+	}
+	return nil
+}
+
 // Invalidate drops any resident (unpinned) copy of block id without
-// writing it back. Used when an owner's extent is freed.
+// writing it back. Used when an owner's extent is freed. A frame whose
+// prefetch load is still in flight is doomed instead of dropped: the
+// prefetcher discards it (and its budget reservation) when the load
+// completes, so racing a Free against readahead is safe.
 func (p *Pool) Invalidate(id disk.BlockID) {
 	s := p.shardOf(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	f, ok := s.frames[id]
 	if !ok {
+		return
+	}
+	if f.loading && f.pins == 0 {
+		f.doomed = true
 		return
 	}
 	if f.pins > 0 {
@@ -408,14 +1020,20 @@ func (p *Pool) Invalidate(id disk.BlockID) {
 	}
 	delete(s.frames, id)
 	p.resident.Add(-1)
+	if f.prefetched {
+		p.wastedPrefetch.Add(1)
+	}
 }
 
 // DropAll evicts every unpinned frame, flushing dirty ones. It returns an
 // error if any frame is still pinned. Like FlushAll it requires a
 // quiescent pool: the pinned check and the per-shard clearing are not
 // atomic against concurrent Pins, so callers must not race it with
-// other pool users (experiments call it between runs).
+// other pool users (experiments call it between runs). In-flight
+// prefetches are drained first, so after DropAll the pool is truly empty
+// and the device truly idle.
 func (p *Pool) DropAll() error {
+	p.DrainPrefetch()
 	if n := p.Pinned(); n > 0 {
 		return fmt.Errorf("buffer: DropAll with %d pinned frames", n)
 	}
@@ -424,6 +1042,11 @@ func (p *Pool) DropAll() error {
 	}
 	for _, s := range p.shards {
 		s.mu.Lock()
+		for _, f := range s.frames {
+			if f.prefetched {
+				p.wastedPrefetch.Add(1)
+			}
+		}
 		p.resident.Add(-int64(len(s.frames)))
 		s.frames = make(map[disk.BlockID]*Frame)
 		s.lru.Init()

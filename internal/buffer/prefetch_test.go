@@ -1,0 +1,337 @@
+package buffer
+
+import (
+	"sync"
+	"testing"
+
+	"riot/internal/disk"
+)
+
+func newRAPool(t *testing.T, blockElems, frames, blocks int, cfg ReadaheadConfig) (*Pool, *disk.Device) {
+	t.Helper()
+	dev := disk.NewDevice(blockElems)
+	dev.Alloc("test", blocks)
+	p := New(dev, frames)
+	cfg.Enabled = true
+	p.SetReadahead(cfg)
+	return p, dev
+}
+
+func TestPrefetchLoadsAndHits(t *testing.T) {
+	p, dev := newRAPool(t, 4, 8, 16, ReadaheadConfig{})
+	for i := 0; i < 16; i++ {
+		if err := dev.Write(disk.BlockID(i), []float64{float64(i), 0, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev.ResetStats()
+	p.Prefetch([]disk.BlockID{3, 4, 5})
+	p.DrainPrefetch()
+	st := p.Stats()
+	if st.Prefetched != 3 {
+		t.Fatalf("Prefetched=%d, want 3", st.Prefetched)
+	}
+	// The contiguous run must have been read vectored: one seek, two
+	// sequential transfers.
+	ds := dev.Stats()
+	if ds.RandReads != 1 || ds.SeqReads != 2 {
+		t.Fatalf("device seq=%d rand=%d, want 2/1", ds.SeqReads, ds.RandReads)
+	}
+	for _, id := range []disk.BlockID{3, 4, 5} {
+		f, err := p.Pin(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Data[0] != float64(id) {
+			t.Fatalf("block %d holds %v, want %d", id, f.Data[0], id)
+		}
+		p.Unpin(f)
+	}
+	st = p.Stats()
+	if st.PrefetchHits != 3 {
+		t.Fatalf("PrefetchHits=%d, want 3", st.PrefetchHits)
+	}
+	if st.Misses != 0 {
+		t.Fatalf("Misses=%d, want 0 (all pins served from prefetch)", st.Misses)
+	}
+	if ds := dev.Stats(); ds.BlocksRead != 3 {
+		t.Fatalf("device reads=%d, want 3 (pins must not re-read)", ds.BlocksRead)
+	}
+}
+
+func TestPrefetchDisabledIsNoop(t *testing.T) {
+	p, dev := newPool(t, 4, 4, 8)
+	p.Prefetch([]disk.BlockID{0, 1, 2})
+	p.DrainPrefetch()
+	if st := p.Stats(); st.Prefetched != 0 {
+		t.Fatalf("Prefetched=%d with scheduler off, want 0", st.Prefetched)
+	}
+	if ds := dev.Stats(); ds.BlocksRead != 0 {
+		t.Fatalf("device reads=%d with scheduler off, want 0", ds.BlocksRead)
+	}
+}
+
+func TestAutoReadaheadSequentialScan(t *testing.T) {
+	const blocks = 64
+	p, dev := newRAPool(t, 4, 16, blocks, ReadaheadConfig{MinWindow: 2, MaxWindow: 8})
+	dev.ResetStats()
+	for i := 0; i < blocks; i++ {
+		f, err := p.Pin(disk.BlockID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(f)
+		// Drain each step so the scan deterministically consumes what the
+		// detector scheduled.
+		p.DrainPrefetch()
+	}
+	st := p.Stats()
+	if st.Prefetched == 0 {
+		t.Fatal("sequential scan triggered no readahead")
+	}
+	if st.PrefetchHits == 0 {
+		t.Fatal("sequential scan consumed no prefetched frames")
+	}
+	// Almost all device reads should be sequential: the scan itself is
+	// in order and readahead batches extend it.
+	ds := dev.Stats()
+	if ds.RandReads > 3 {
+		t.Fatalf("RandReads=%d on a pure sequential scan with readahead, want <= 3 (seq=%d)",
+			ds.RandReads, ds.SeqReads)
+	}
+}
+
+func TestAutoReadaheadResetsOnRandomAccess(t *testing.T) {
+	p, _ := newRAPool(t, 4, 16, 64, ReadaheadConfig{MinWindow: 2, MaxWindow: 8})
+	// Random-looking access pattern: no two consecutive IDs.
+	for _, id := range []disk.BlockID{0, 7, 2, 9, 4, 11} {
+		f, err := p.Pin(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(f)
+	}
+	p.DrainPrefetch()
+	if st := p.Stats(); st.Prefetched != 0 {
+		t.Fatalf("Prefetched=%d on a random pattern, want 0", st.Prefetched)
+	}
+}
+
+func TestPrefetchRespectsBudgetWhenAllPinned(t *testing.T) {
+	p, _ := newRAPool(t, 4, 4, 16, ReadaheadConfig{})
+	var pinned []*Frame
+	// Stride-2 pins: no consecutive IDs, so the automatic detector stays
+	// quiet and only the explicit hint below could prefetch.
+	for i := 0; i < 8; i += 2 {
+		f, err := p.Pin(disk.BlockID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pinned = append(pinned, f)
+	}
+	p.Prefetch([]disk.BlockID{8, 9, 10, 11})
+	p.DrainPrefetch()
+	if got := p.Resident(); got > 4 {
+		t.Fatalf("resident=%d frames exceeds capacity 4", got)
+	}
+	if st := p.Stats(); st.Prefetched != 0 {
+		t.Fatalf("Prefetched=%d with every frame pinned, want 0 (hint dropped)", st.Prefetched)
+	}
+	for _, f := range pinned {
+		p.Unpin(f)
+	}
+}
+
+// TestPinDrainsInflightPrefetchForBudget pins the whole budget while a
+// prefetch is in flight: the Pin must wait out the prefetch (whose
+// frames are evictable once landed) rather than fail over budget.
+func TestPinDrainsInflightPrefetchForBudget(t *testing.T) {
+	p, _ := newRAPool(t, 4, 4, 16, ReadaheadConfig{})
+	p.Prefetch([]disk.BlockID{8, 9, 10, 11})
+	var pinned []*Frame
+	for i := 0; i < 4; i++ {
+		f, err := p.Pin(disk.BlockID(i))
+		if err != nil {
+			t.Fatalf("pin %d: %v (prefetch must never steal the budget)", i, err)
+		}
+		pinned = append(pinned, f)
+	}
+	for _, f := range pinned {
+		p.Unpin(f)
+	}
+}
+
+func TestWastedPrefetchCountedOnEviction(t *testing.T) {
+	p, _ := newRAPool(t, 4, 8, 32, ReadaheadConfig{})
+	p.Prefetch([]disk.BlockID{16, 17, 18, 19})
+	p.DrainPrefetch()
+	if st := p.Stats(); st.Prefetched != 4 {
+		t.Fatalf("Prefetched=%d, want 4", st.Prefetched)
+	}
+	// Fill the pool with other blocks (stride 2, so the automatic
+	// detector adds no prefetches of its own): every prefetched frame is
+	// evicted unused.
+	for i := 0; i < 16; i += 2 {
+		f, err := p.Pin(disk.BlockID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(f)
+	}
+	st := p.Stats()
+	if st.WastedPrefetch != 4 {
+		t.Fatalf("WastedPrefetch=%d, want 4", st.WastedPrefetch)
+	}
+	if st.PrefetchHits != 0 {
+		t.Fatalf("PrefetchHits=%d, want 0", st.PrefetchHits)
+	}
+}
+
+func TestElevatorWriteBack(t *testing.T) {
+	p, dev := newRAPool(t, 4, 8, 32, ReadaheadConfig{FlushBatch: 8})
+	// Dirty the first 8 blocks in a scrambled order, then force evictions:
+	// the elevator must write them sorted, i.e. mostly sequentially.
+	for _, id := range []disk.BlockID{5, 1, 7, 3, 0, 6, 2, 4} {
+		f, err := p.PinNew(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range f.Data {
+			f.Data[i] = float64(id)
+		}
+		f.MarkDirty()
+		p.Unpin(f)
+	}
+	dev.ResetStats()
+	// One miss evicts one frame; its dirty flush takes the whole batch.
+	f, err := p.Pin(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(f)
+	ds := dev.Stats()
+	if ds.BlocksWritten != 8 {
+		t.Fatalf("BlocksWritten=%d, want 8 (one elevator batch)", ds.BlocksWritten)
+	}
+	// The victim (block 5, the LRU-oldest) goes first; the elevator then
+	// sweeps ascending from it and wraps: 5,6,7,0,1,2,3,4 — one seek for
+	// the start, one for the wrap.
+	if ds.SeqWrites != 6 || ds.RandWrites != 2 {
+		t.Fatalf("seqW=%d randW=%d, want 6/2 (sorted batch with one wrap)", ds.SeqWrites, ds.RandWrites)
+	}
+	if st := p.Stats(); st.Flushes != 8 {
+		t.Fatalf("Flushes=%d, want 8", st.Flushes)
+	}
+	// Contents must be intact on the device.
+	buf := make([]float64, 4)
+	for id := disk.BlockID(0); id < 8; id++ {
+		if err := dev.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != float64(id) {
+			t.Fatalf("block %d holds %v after elevator flush, want %d", id, buf[0], id)
+		}
+	}
+}
+
+// TestInvalidateRacesInflightPrefetch frees extents while prefetches of
+// the same blocks are in flight. Run under -race; the pool must neither
+// panic nor leak budget.
+func TestInvalidateRacesInflightPrefetch(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		dev := disk.NewDevice(4)
+		dev.Alloc("v", 32)
+		p := New(dev, 16)
+		p.SetReadahead(ReadaheadConfig{Enabled: true})
+		ids := make([]disk.BlockID, 32)
+		for i := range ids {
+			ids[i] = disk.BlockID(i)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			p.Prefetch(ids[:16])
+			p.Prefetch(ids[16:])
+		}()
+		go func() {
+			defer wg.Done()
+			for _, id := range ids {
+				p.Invalidate(id)
+			}
+		}()
+		wg.Wait()
+		p.DrainPrefetch()
+		for _, id := range ids {
+			p.Invalidate(id)
+		}
+		if got := p.Resident(); got != 0 {
+			t.Fatalf("iter %d: resident=%d after invalidating everything, want 0", iter, got)
+		}
+	}
+}
+
+// TestDropAllRacesInflightPrefetch calls DropAll concurrently with
+// prefetch batches; DropAll drains them and must leave an empty pool.
+func TestDropAllRacesInflightPrefetch(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		dev := disk.NewDevice(4)
+		dev.Alloc("v", 64)
+		p := New(dev, 16)
+		p.SetReadahead(ReadaheadConfig{Enabled: true})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := 0; b < 4; b++ {
+				ids := make([]disk.BlockID, 8)
+				for i := range ids {
+					ids[i] = disk.BlockID(b*8 + i)
+				}
+				p.Prefetch(ids)
+			}
+		}()
+		if err := p.DropAll(); err != nil {
+			t.Fatalf("iter %d: DropAll: %v", iter, err)
+		}
+		wg.Wait()
+		if err := p.DropAll(); err != nil {
+			t.Fatalf("iter %d: final DropAll: %v", iter, err)
+		}
+		if got := p.Resident(); got != 0 {
+			t.Fatalf("iter %d: resident=%d after DropAll, want 0", iter, got)
+		}
+	}
+}
+
+// TestConcurrentScanWithReadahead is the race stress for the full
+// scheduler: several goroutines scan overlapping ranges while readahead
+// fires, then the pool drains clean.
+func TestConcurrentScanWithReadahead(t *testing.T) {
+	dev := disk.NewDevice(8)
+	dev.Alloc("v", 256)
+	p := NewSharded(dev, 32, 4)
+	p.SetReadahead(ReadaheadConfig{Enabled: true})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 256; i++ {
+				f, err := p.Pin(disk.BlockID(i))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				p.Unpin(f)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := p.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Resident(); got != 0 {
+		t.Fatalf("resident=%d after DropAll, want 0", got)
+	}
+}

@@ -70,9 +70,11 @@ var DefaultCostModel = CostModel{
 	RandSeekSec:    0.008,
 }
 
-// Seconds returns the simulated time to perform the I/O recorded in s,
-// given the device block size in bytes.
-func (c CostModel) Seconds(s Stats, blockBytes int) float64 {
+// Seconds returns the simulated time to perform the I/O recorded in s:
+// every byte moves at the sequential transfer rate, and every random
+// access additionally pays one positioning. Block size does not appear
+// because Stats already counts bytes.
+func (c CostModel) Seconds(s Stats) float64 {
 	transfer := float64(s.TotalBytes()) / c.SeqBytesPerSec
 	seeks := float64(s.RandReads+s.RandWrites) * c.RandSeekSec
 	return transfer + seeks
@@ -157,6 +159,10 @@ func (d *Device) Free(owner string) {
 func (d *Device) Read(id BlockID, dst []float64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.readLocked(id, dst)
+}
+
+func (d *Device) readLocked(id BlockID, dst []float64) error {
 	b, ok := d.blocks[id]
 	if !ok {
 		if id < 0 || id >= d.next {
@@ -183,6 +189,10 @@ func (d *Device) Read(id BlockID, dst []float64) error {
 func (d *Device) Write(id BlockID, src []float64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.writeLocked(id, src)
+}
+
+func (d *Device) writeLocked(id BlockID, src []float64) error {
 	if _, ok := d.blocks[id]; !ok {
 		if id < 0 || id >= d.next {
 			return fmt.Errorf("disk: write of unallocated block %d", id)
@@ -200,6 +210,49 @@ func (d *Device) Write(id BlockID, src []float64) error {
 	copy(b, src)
 	d.charge(id, true)
 	return nil
+}
+
+// ReadBlocks reads ids[k] into dsts[k] for every k as one vectored
+// request: the whole batch is classified under a single lock hold, so a
+// contiguous ascending run of IDs is charged one seek plus sequential
+// transfers for the rest, no matter how many other goroutines are
+// hammering the device in between. This is what turns a scheduler's
+// batched readahead into the "bulky and sequential" I/O the paper wants.
+// It returns how many blocks completed: on error the first n blocks
+// have been read and charged, and callers must not re-issue them (the
+// device's entire output is its accounting).
+func (d *Device) ReadBlocks(ids []BlockID, dsts [][]float64) (int, error) {
+	if len(ids) != len(dsts) {
+		return 0, fmt.Errorf("disk: ReadBlocks with %d ids but %d buffers", len(ids), len(dsts))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for k, id := range ids {
+		if err := d.readLocked(id, dsts[k]); err != nil {
+			return k, err
+		}
+	}
+	return len(ids), nil
+}
+
+// WriteBlocks writes srcs[k] to ids[k] for every k as one vectored
+// request, with the same single-lock-hold classification as ReadBlocks:
+// callers that sort a dirty batch by BlockID (elevator write-back) are
+// charged one seek per contiguous run instead of one per block. It
+// returns how many blocks completed: on error the first n blocks have
+// been written and charged, and callers should treat them as clean.
+func (d *Device) WriteBlocks(ids []BlockID, srcs [][]float64) (int, error) {
+	if len(ids) != len(srcs) {
+		return 0, fmt.Errorf("disk: WriteBlocks with %d ids but %d buffers", len(ids), len(srcs))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for k, id := range ids {
+		if err := d.writeLocked(id, srcs[k]); err != nil {
+			return k, err
+		}
+	}
+	return len(ids), nil
 }
 
 // charge records one access to id. Callers hold d.mu.
@@ -225,6 +278,16 @@ func (d *Device) charge(id BlockID, write bool) {
 			d.stats.RandReads++
 		}
 	}
+}
+
+// Readable reports whether id is currently allocated (and not freed),
+// i.e. whether a Read of it would succeed. Prefetchers use it to avoid
+// charging doomed reads past the end of an extent.
+func (d *Device) Readable(id BlockID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.blocks[id]
+	return ok
 }
 
 // Stats returns a snapshot of the device counters.

@@ -155,10 +155,102 @@ func TestAllocContiguous(t *testing.T) {
 func TestCostModelSeconds(t *testing.T) {
 	s := Stats{BytesRead: 100 << 20, RandReads: 10}
 	c := CostModel{SeqBytesPerSec: 100 << 20, RandSeekSec: 0.01}
-	got := c.Seconds(s, 8192)
+	got := c.Seconds(s)
 	want := 1.0 + 0.1
 	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
 		t.Fatalf("Seconds=%v, want %v", got, want)
+	}
+}
+
+func TestReadBlocksContiguousRunChargesOneSeek(t *testing.T) {
+	d := NewDevice(2)
+	d.Alloc("t", 10)
+	ids := []BlockID{3, 4, 5, 6}
+	dsts := make([][]float64, len(ids))
+	for i := range dsts {
+		dsts[i] = make([]float64, 2)
+	}
+	n, err := d.ReadBlocks(ids, dsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("ReadBlocks completed %d, want 4", n)
+	}
+	s := d.Stats()
+	if s.RandReads != 1 || s.SeqReads != 3 {
+		t.Fatalf("seq=%d rand=%d, want 3/1", s.SeqReads, s.RandReads)
+	}
+	if s.BlocksRead != 4 {
+		t.Fatalf("BlocksRead=%d, want 4", s.BlocksRead)
+	}
+}
+
+func TestWriteBlocksSortedRuns(t *testing.T) {
+	d := NewDevice(2)
+	d.Alloc("t", 20)
+	// Two contiguous runs with a gap: 2 seeks, 4 sequential transfers.
+	ids := []BlockID{2, 3, 4, 10, 11, 12}
+	srcs := make([][]float64, len(ids))
+	for i := range srcs {
+		srcs[i] = []float64{float64(i), float64(i)}
+	}
+	if _, err := d.WriteBlocks(ids, srcs); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.RandWrites != 2 || s.SeqWrites != 4 {
+		t.Fatalf("seqW=%d randW=%d, want 4/2", s.SeqWrites, s.RandWrites)
+	}
+	// Contents must land block by block.
+	dst := make([]float64, 2)
+	mustRead(t, d, 11, dst)
+	if dst[0] != 4 {
+		t.Fatalf("block 11 holds %v, want 4", dst[0])
+	}
+}
+
+func TestReadBlocksLengthMismatch(t *testing.T) {
+	d := NewDevice(2)
+	d.Alloc("t", 2)
+	if _, err := d.ReadBlocks([]BlockID{0, 1}, [][]float64{make([]float64, 2)}); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	if _, err := d.WriteBlocks([]BlockID{0}, nil); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}
+
+func TestReadBlocksErrorOnFreed(t *testing.T) {
+	d := NewDevice(2)
+	d.Alloc("a", 4)
+	d.Free("a")
+	dsts := [][]float64{make([]float64, 2)}
+	if _, err := d.ReadBlocks([]BlockID{1}, dsts); err == nil {
+		t.Fatal("expected error reading freed block")
+	}
+}
+
+// TestReadBlocksPartialCompletion checks the completed-count contract:
+// blocks before the failing one are read and charged exactly once, and
+// the count tells the caller where the batch stopped.
+func TestReadBlocksPartialCompletion(t *testing.T) {
+	d := NewDevice(2)
+	d.Alloc("t", 3) // blocks 0,1,2 allocated; 3 is not
+	ids := []BlockID{0, 1, 2, 3}
+	dsts := make([][]float64, len(ids))
+	for i := range dsts {
+		dsts[i] = make([]float64, 2)
+	}
+	n, err := d.ReadBlocks(ids, dsts)
+	if err == nil {
+		t.Fatal("expected error on unallocated tail block")
+	}
+	if n != 3 {
+		t.Fatalf("completed %d blocks, want 3", n)
+	}
+	if s := d.Stats(); s.BlocksRead != 3 {
+		t.Fatalf("BlocksRead=%d, want 3 (prefix charged once)", s.BlocksRead)
 	}
 }
 

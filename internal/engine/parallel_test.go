@@ -68,6 +68,68 @@ func TestWorkers1ReproducesSeedIOCounts(t *testing.T) {
 	}
 }
 
+// TestReadaheadOffReproducesSeedIOCounters pins the exact device
+// counters of Example 1 under the paper configuration — Workers: 1,
+// Readahead off (the Config zero values). The I/O scheduler must be
+// invisible until it is switched on: these are the numbers the seed
+// produced, and they must never drift.
+func TestReadaheadOffReproducesSeedIOCounters(t *testing.T) {
+	golden := []struct {
+		n                   int64
+		reads, randReads    int64
+		writes, randWrites  int64
+		seqReads, seqWrites int64
+	}{
+		{1 << 17, 128, 128, 1, 1, 0, 0},
+		{1 << 18, 122, 122, 1, 1, 0, 0},
+	}
+	for _, g := range golden {
+		e, _ := runExample1Workers(t, 1, g.n)
+		st := e.Executor().Pool().Device().Stats()
+		if st.BlocksRead != g.reads || st.RandReads != g.randReads ||
+			st.SeqReads != g.seqReads || st.BlocksWritten != g.writes ||
+			st.RandWrites != g.randWrites || st.SeqWrites != g.seqWrites {
+			t.Errorf("n=%d: device counters read=%d (seq=%d rand=%d) written=%d (seq=%d rand=%d), want read=%d (seq=%d rand=%d) written=%d (seq=%d rand=%d) (seed golden)",
+				g.n, st.BlocksRead, st.SeqReads, st.RandReads,
+				st.BlocksWritten, st.SeqWrites, st.RandWrites,
+				g.reads, g.seqReads, g.randReads, g.writes, g.seqWrites, g.randWrites)
+		}
+		if ps := e.Executor().Pool().Stats(); ps.Prefetched != 0 || ps.PrefetchHits != 0 || ps.WastedPrefetch != 0 {
+			t.Errorf("n=%d: scheduler counters %d/%d/%d with readahead off, want 0/0/0",
+				g.n, ps.Prefetched, ps.PrefetchHits, ps.WastedPrefetch)
+		}
+	}
+}
+
+// TestReadaheadMatchesSequentialOutput runs Example 1 with the I/O
+// scheduler on: values must be identical to the scheduler-off run (the
+// scheduler may only move I/O around, never change data).
+func TestReadaheadMatchesSequentialOutput(t *testing.T) {
+	const n = 1 << 18
+	_, want := runExample1Workers(t, 1, n)
+	for _, workers := range []int{1, 4} {
+		e := engine.NewRIOTConfigured(1024, n, engine.DefaultTimeModel,
+			engine.RIOTOptions{Workers: workers, Readahead: true})
+		in := rlang.New(e)
+		x, err := e.NewVector(n, func(i int64) float64 { return float64(i % 9973) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := e.NewVector(n, func(i int64) float64 { return float64(i % 9967) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.SetVector("x", x)
+		in.SetVector("y", y)
+		if err := in.Run(example1); err != nil {
+			t.Fatal(err)
+		}
+		if got := in.Out.String(); got != want {
+			t.Errorf("workers=%d readahead: output differs\n got: %.120s\nwant: %.120s", workers, got, want)
+		}
+	}
+}
+
 // TestParallelEngineMatchesSequential runs Example 1 with several worker
 // counts: the printed result (the gather of 100 sampled distances) must
 // be identical to the sequential engine's.

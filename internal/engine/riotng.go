@@ -33,16 +33,38 @@ func NewRIOT(blockElems int, memElems int64, tm TimeModel) *RIOT {
 	return NewRIOTWorkers(blockElems, memElems, tm, 1)
 }
 
+// RIOTOptions configures a RIOT engine beyond block and memory sizing.
+type RIOTOptions struct {
+	// Workers bounds the executor and kernel goroutines; < 1 selects
+	// runtime.GOMAXPROCS(0). 1 reproduces the sequential engine's I/O
+	// counts exactly (single shard, single goroutine).
+	Workers int
+	// Readahead enables the buffer pool's I/O scheduler: asynchronous
+	// prefetch with adaptive sequential readahead, vectored device
+	// reads, and elevator write-back. Off, the I/O counters are
+	// identical to the seed engine's.
+	Readahead bool
+}
+
 // NewRIOTWorkers creates a RIOT engine whose executor and kernels use up
 // to workers goroutines over a buffer pool sharded to match. workers < 1
 // selects runtime.GOMAXPROCS(0). workers == 1 reproduces the sequential
 // engine's I/O counts exactly (single shard, single goroutine).
 func NewRIOTWorkers(blockElems int, memElems int64, tm TimeModel, workers int) *RIOT {
+	return NewRIOTConfigured(blockElems, memElems, tm, RIOTOptions{Workers: workers})
+}
+
+// NewRIOTConfigured creates a RIOT engine with full options.
+func NewRIOTConfigured(blockElems int, memElems int64, tm TimeModel, opts RIOTOptions) *RIOT {
+	workers := opts.Workers
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	dev := disk.NewDevice(blockElems)
 	pool := buffer.NewShardedWithMemory(dev, memElems, workers)
+	if opts.Readahead {
+		pool.SetReadahead(buffer.ReadaheadConfig{Enabled: true})
+	}
 	ex := exec.New(pool)
 	ex.Workers = workers
 	return &RIOT{
@@ -284,8 +306,10 @@ func (r *RIOT) Dims(v Value) (int64, int64, bool) {
 	return 0, 0, false
 }
 
-// Report implements Engine.
+// Report implements Engine. In-flight prefetches are drained first so
+// asynchronous loads never straddle a measurement.
 func (r *RIOT) Report() Report {
+	r.ex.Pool().DrainPrefetch()
 	st := r.dev.Stats()
 	rep := Report{
 		IOBytes: st.TotalBytes(),
@@ -302,6 +326,7 @@ func (r *RIOT) Report() Report {
 
 // ResetStats implements Engine.
 func (r *RIOT) ResetStats() {
+	r.ex.Pool().DrainPrefetch()
 	r.dev.ResetStats()
 	r.ex.ResetStats()
 }

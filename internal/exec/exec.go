@@ -201,11 +201,15 @@ func (e *Executor) Fetch(n *algebra.Node, limit int64) ([]float64, error) {
 			return nil, err
 		}
 	}
+	win := e.announceWindow(w, n)
 	err := e.runParallel(w, nchunks, func(_, clo, chi int) error {
+		partEnd := min(int64(chi)*block, count)
+		announced := int64(clo) * block
 		buf := make([]float64, 0, block)
 		for c := clo; c < chi; c++ {
 			lo := int64(c) * block
 			hi := min(lo+block, count)
+			announced = e.announceAhead(n, lo, announced, win, partEnd)
 			buf = buf[:hi-lo]
 			if err := e.evalRange(n, lo, hi, buf); err != nil {
 				return err
@@ -250,12 +254,16 @@ func (e *Executor) reduce(fn string, n *algebra.Node) (float64, error) {
 	// Per-worker partials, combined in worker order so a given worker
 	// count reduces deterministically.
 	partials := make([]float64, w)
+	win := e.announceWindow(w, n)
 	err := e.runParallel(w, nchunks, func(worker, clo, chi int) error {
+		partEnd := min(int64(chi)*block, nelem)
+		announced := int64(clo) * block
 		acc := identity
 		buf := make([]float64, block)
 		for c := clo; c < chi; c++ {
 			lo := int64(c) * block
 			hi := min(lo+block, nelem)
+			announced = e.announceAhead(n, lo, announced, win, partEnd)
 			b := buf[:hi-lo]
 			if err := e.evalRange(n, lo, hi, b); err != nil {
 				return err
@@ -338,12 +346,17 @@ func (e *Executor) streamInto(n *algebra.Node, out *array.Vector) error {
 			return err
 		}
 	}
+	b := int64(e.pool.Device().BlockElems())
+	win := e.announceWindow(w, n)
 	return e.runParallel(w, out.Blocks(), func(_, klo, khi int) error {
+		partEnd := min(int64(khi)*b, n.Shape.Rows)
+		announced := int64(klo) * b
 		for k := klo; k < khi; k++ {
 			c, err := out.PinChunkNew(k)
 			if err != nil {
 				return err
 			}
+			announced = e.announceAhead(n, c.Lo, announced, win, partEnd)
 			err = e.evalRange(n, c.Lo, c.Hi, c.Data())
 			c.MarkDirty()
 			c.Release()
@@ -457,6 +470,112 @@ func (e *Executor) prepareShared(root *algebra.Node) error {
 		return nil
 	}
 	return walk(root)
+}
+
+// announceRange tells the pool's I/O scheduler which source blocks the
+// fused pipeline will stream to produce elements [lo, hi) of n: each
+// parallel worker announces the window of its partition it is about to
+// evaluate, so the scheduler sees bulky sequential requests per source
+// instead of the interleaved single-block reads the workers would
+// otherwise issue. Materialized temporaries are announced in place of
+// their definitions; gathers (random access) and reductions/matrix ops
+// (separate pipelines) are not announced. A no-op when the scheduler is
+// disabled.
+func (e *Executor) announceRange(n *algebra.Node, lo, hi int64) {
+	if !e.pool.ReadaheadEnabled() {
+		return
+	}
+	e.announce(n, lo, hi, make(map[*algebra.Node]bool))
+}
+
+// announceWindow sizes a worker's rolling announcement so that all w
+// workers' prefetched windows across every source stream of n together
+// stay well under the frame budget: prefetch that outruns the pool only
+// evicts itself (a pipeline over x and y prefetching half the pool per
+// stream would have each stream's claims flushing the other's). Returns
+// the window in elements.
+func (e *Executor) announceWindow(w int, n *algebra.Node) int64 {
+	if w < 1 {
+		w = 1
+	}
+	streams := countStreams(n, make(map[*algebra.Node]bool))
+	if streams < 1 {
+		streams = 1
+	}
+	blocks := e.pool.Capacity() / (2 * w * streams)
+	if blocks < 2 {
+		blocks = 2
+	}
+	return int64(blocks) * int64(e.pool.Device().BlockElems())
+}
+
+// countStreams counts the distinct stored vectors a fused pipeline will
+// stream: the source leaves the announcement walk reaches.
+func countStreams(n *algebra.Node, seen map[*algebra.Node]bool) int {
+	if seen[n] {
+		return 0
+	}
+	seen[n] = true
+	switch n.Op {
+	case algebra.OpSourceVec:
+		return 1
+	case algebra.OpGather, algebra.OpReduce, algebra.OpMatMul, algebra.OpSourceMat:
+		return 0
+	}
+	total := 0
+	for _, k := range n.Kids {
+		total += countStreams(k, seen)
+	}
+	return total
+}
+
+// announceAhead keeps a worker's announced region ~win elements ahead of
+// its cursor lo: it announces [announced, lo+win) and returns the new
+// high-water mark. Announcing ahead (not at) the cursor lets the loads
+// overlap the worker's compute, and the half-window hysteresis keeps the
+// hints chunky — many small extensions would fragment the scheduler's
+// vectored reads into short runs and waste the seeks readahead exists to
+// save.
+func (e *Executor) announceAhead(n *algebra.Node, lo, announced, win, partEnd int64) int64 {
+	target := lo + win
+	if target > partEnd {
+		target = partEnd
+	}
+	if announced < lo {
+		announced = lo
+	}
+	if announced >= target {
+		return announced
+	}
+	if announced > lo && target-announced < win/2 {
+		// Not yet half a window behind: wait so the next hint is bulky.
+		return announced
+	}
+	e.announceRange(n, announced, target)
+	return target
+}
+
+func (e *Executor) announce(n *algebra.Node, lo, hi int64, seen map[*algebra.Node]bool) {
+	if seen[n] {
+		return
+	}
+	seen[n] = true
+	if v, ok := e.lookupTemp(n); ok {
+		v.PrefetchRange(lo, hi)
+		return
+	}
+	switch n.Op {
+	case algebra.OpSourceVec:
+		n.Vec.PrefetchRange(lo, hi)
+	case algebra.OpRange:
+		e.announce(n.Kids[0], n.Lo+lo, n.Lo+hi, seen)
+	case algebra.OpGather, algebra.OpReduce, algebra.OpMatMul, algebra.OpSourceMat:
+		// Random access or a separate pipeline: no linear hint to give.
+	default:
+		for _, k := range n.Kids {
+			e.announce(k, lo, hi, seen)
+		}
+	}
 }
 
 // evalRange computes elements [lo, hi) of n into buf (len hi-lo). This

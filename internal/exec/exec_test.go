@@ -363,7 +363,7 @@ func TestShapeErrors(t *testing.T) {
 // agrees with a direct in-memory evaluation.
 func TestFusedMatchesModelProperty(t *testing.T) {
 	f := func(ops []uint8, scalars []int8) bool {
-		if len(ops) == 0 || len(ops) > 12 {
+		if len(ops) == 0 || len(ops) > 12 || len(scalars) == 0 {
 			return true
 		}
 		e := newExec(16, 8)

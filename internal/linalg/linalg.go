@@ -190,14 +190,17 @@ func MatMulTiledWorkers(pool *buffer.Pool, name string, a, b *array.Matrix, work
 		w = tasks
 	}
 	if w <= 1 {
-		// Sequential: use the full budget for one worker.
+		// Sequential: use the full budget for one worker. This is the
+		// configuration where the I/O scheduler hints pay off — the
+		// prefetched super-blocks are consumed by the same goroutine
+		// that announced them.
 		q = int(math.Sqrt(float64(pool.Capacity()) / 3))
 		if q < 1 {
 			q = 1
 		}
 		for ti0 := 0; ti0 < agr; ti0 += q {
 			for tj0 := 0; tj0 < bgc; tj0 += q {
-				if err := multiplySuperBlock(t, a, b, ti0, tj0, q, agr, agc, bgc); err != nil {
+				if err := multiplySuperBlock(t, a, b, ti0, tj0, q, agr, agc, bgc, true); err != nil {
 					return nil, err
 				}
 			}
@@ -216,7 +219,11 @@ func MatMulTiledWorkers(pool *buffer.Pool, name string, a, b *array.Matrix, work
 			}
 			ti0 := (task / superCols) * q
 			tj0 := (task % superCols) * q
-			if err := multiplySuperBlock(t, a, b, ti0, tj0, q, agr, agc, bgc); err != nil {
+			// Prefetch hints are disabled in parallel mode: with every
+			// worker's three super-blocks pinned the budget has no slack,
+			// and on oversubscribed CPUs one worker's claims evict
+			// another's prefetched tiles before they are consumed.
+			if err := multiplySuperBlock(t, a, b, ti0, tj0, q, agr, agc, bgc, false); err != nil {
 				failed.Store(true)
 				return err
 			}
@@ -252,10 +259,23 @@ func runWorkers(w int, fn func(j int) error) error {
 
 // multiplySuperBlock computes the q×q-tile output super-block anchored at
 // (ti0, tj0): it pins the result super-block once and accumulates across
-// the k dimension, pinning one a and one b super-block at a time.
-func multiplySuperBlock(t, a, b *array.Matrix, ti0, tj0, q, agr, agc, bgc int) error {
+// the k dimension, pinning one a and one b super-block at a time. With
+// the I/O scheduler enabled, the next k-step's input super-blocks are
+// announced the moment the current step's tiles are released: the
+// prefetch claims recycle exactly those just-released frames (the
+// schedule and its budget are unchanged) and the next pins collapse onto
+// two sorted vectored reads instead of issuing 2q² single-tile requests
+// interleaved with write-backs.
+func multiplySuperBlock(t, a, b *array.Matrix, ti0, tj0, q, agr, agc, bgc int, prefetch bool) error {
 	ti1 := min(ti0+q, agr)
 	tj1 := min(tj0+q, bgc)
+	if prefetch {
+		// Announce the first k-step before pinning the (read-free)
+		// result tiles, so its inputs stream in as vectored batches too.
+		k1 := min(q, agc)
+		a.PrefetchTiles(ti0, ti1, 0, k1)
+		b.PrefetchTiles(0, k1, tj0, tj1)
+	}
 	ctiles, err := pinBlock(t, ti0, ti1, tj0, tj1, true)
 	if err != nil {
 		return err
@@ -285,6 +305,11 @@ func multiplySuperBlock(t, a, b *array.Matrix, ti0, tj0, q, agr, agc, bgc int) e
 		}
 		releaseBlock(atiles)
 		releaseBlock(btiles)
+		if prefetch && tk1 < agc {
+			nk1 := min(tk1+q, agc)
+			a.PrefetchTiles(ti0, ti1, tk1, nk1)
+			b.PrefetchTiles(tk1, nk1, tj0, tj1)
+		}
 	}
 	for _, ct := range ctiles {
 		ct.MarkDirty()

@@ -72,7 +72,7 @@ func TestMatMulTiledWorkersMatchesSequential(t *testing.T) {
 // blowing the frame budget.
 func TestMatMulTiledWorkersRespectsBudget(t *testing.T) {
 	const blockElems = 64
-	const n = 64 // 8x8 grid
+	const n = 64                              // 8x8 grid
 	pool := newParallelPool(blockElems, 6, 2) // only two workers' worth of frames at q=1
 	a, err := array.NewMatrix(pool, "a", n, n, array.Options{Shape: array.SquareTiles})
 	if err != nil {

@@ -124,12 +124,24 @@ func (h *HeapFile) Get(rid RID) ([]float64, error) {
 	return rec, nil
 }
 
+// scanWindow is how many heap pages one Scan readahead hint covers.
+// Extent allocation keeps a window's pages mostly contiguous, so each
+// hint becomes a handful of vectored sequential reads.
+const scanWindow = 16
+
 // Scan visits every record in RID order. The rec slice passed to f is
-// reused between calls; copy it to retain.
+// reused between calls; copy it to retain. When the pool's I/O
+// scheduler is enabled the scan announces upcoming pages a window at a
+// time, so the heap is streamed with bulky sequential reads instead of
+// one page per request.
 func (h *HeapFile) Scan(f func(rid RID, rec []float64) error) error {
+	readahead := h.pool.ReadaheadEnabled()
 	rec := make([]float64, h.arity)
 	var rid RID
 	for p, id := range h.blocks {
+		if readahead && p%scanWindow == 0 {
+			h.pool.Prefetch(h.blocks[p:min(p+scanWindow, len(h.blocks))])
+		}
 		fr, err := h.pool.Pin(id)
 		if err != nil {
 			return err

@@ -101,6 +101,54 @@ func TestHeapScanIsMostlySequential(t *testing.T) {
 	}
 }
 
+// TestHeapScanWithReadahead checks that a heap scan under the I/O
+// scheduler produces the same records, loads its pages through the
+// prefetcher, and stays sequential at the device.
+func TestHeapScanWithReadahead(t *testing.T) {
+	dev := disk.NewDevice(128)
+	// The pool must hold at least two scan windows (2·scanWindow pages)
+	// or the Prefetch clamp truncates the scan's hints.
+	p := buffer.New(dev, 2*scanWindow)
+	p.SetReadahead(buffer.ReadaheadConfig{Enabled: true})
+	h, _ := NewHeapFile(p, "h", 2)
+	const recs = 10000
+	for i := 0; i < recs; i++ {
+		if _, err := h.Append([]float64{float64(i), float64(2 * i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	dev.ResetStats()
+	p.ResetStats()
+	next := 0.0
+	if err := h.Scan(func(rid RID, rec []float64) error {
+		if rec[0] != next || rec[1] != 2*next {
+			t.Fatalf("rid %d: got %v, want [%v %v]", rid, rec, next, 2*next)
+		}
+		next++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if next != recs {
+		t.Fatalf("scanned %v records, want %d", next, recs)
+	}
+	p.DrainPrefetch()
+	ps := p.Stats()
+	if ps.Prefetched == 0 || ps.PrefetchHits == 0 {
+		t.Fatalf("readahead scan used no prefetch: %+v", ps)
+	}
+	s := dev.Stats()
+	if s.RandReads > int64(h.Blocks()/scanWindow+8) {
+		t.Fatalf("readahead heap scan: %d random reads of %d total", s.RandReads, s.BlocksRead)
+	}
+}
+
 func TestHeapArityMismatch(t *testing.T) {
 	p := testPool(16, 4)
 	h, _ := NewHeapFile(p, "h", 2)
