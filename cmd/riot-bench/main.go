@@ -39,10 +39,16 @@ type Result struct {
 	// PrefetchHitPct is the prefetch hit rate in percent (readahead
 	// ablation rows with the scheduler on; 0 elsewhere).
 	PrefetchHitPct float64 `json:"prefetch_hit_pct,omitempty"`
+	// EstBlocks is the physical plan's estimated device traffic in
+	// blocks (planner ablation rows; 0 elsewhere).
+	EstBlocks float64 `json:"est_blocks,omitempty"`
+	// ActualBlocks is the measured device traffic in blocks (planner
+	// ablation rows; 0 elsewhere).
+	ActualBlocks int64 `json:"actual_blocks,omitempty"`
 }
 
 func main() {
-	figure := flag.String("figure", "all", "which experiment: 1, 2, 3a, 3b, validate, workers, readahead, all")
+	figure := flag.String("figure", "all", "which experiment: 1, 2, 3a, 3b, validate, workers, readahead, planner, all")
 	paper := flag.Bool("paper", false, "use the paper's full-scale parameters")
 	jsonPath := flag.String("json", "BENCH_results.json", "write machine-readable results to this file (empty to disable)")
 	flag.Parse()
@@ -188,6 +194,24 @@ func main() {
 				Workers:        r.Workers,
 				RandReads:      r.RandReads,
 				PrefetchHitPct: 100 * safeDiv(float64(r.PrefetchHits), float64(r.Prefetched)),
+			})
+		}
+		return out, nil
+	})
+
+	run("planner", func() ([]Result, error) {
+		rows, err := bench.PlannerAblation(os.Stdout)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Result, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, Result{
+				Name:         fmt.Sprintf("planner/%s/%s", r.Workload, r.Strategy),
+				IOMB:         r.IOMB,
+				SimSec:       r.SimSec,
+				EstBlocks:    r.EstBlocks,
+				ActualBlocks: r.ActualBlocks,
 			})
 		}
 		return out, nil

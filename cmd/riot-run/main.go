@@ -18,6 +18,8 @@ func main() {
 	block := flag.Int("block", 1024, "block/page size in float64 elements (B)")
 	workers := flag.Int("workers", 1, "worker goroutines for the riot backend (1 = deterministic I/O counts, 0 = GOMAXPROCS)")
 	readahead := flag.Bool("readahead", false, "enable the riot backend's I/O scheduler (async readahead + elevator write-back)")
+	planner := flag.String("planner", "heuristic", "riot backend physical planner: heuristic or cost")
+	explain := flag.Bool("explain", false, "print the physical plan of every forced evaluation before it runs (riot backend)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: riot-run [-engine X] [-mem M] [-block B] script.R")
@@ -44,10 +46,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "riot-run: unknown engine %q\n", *backend)
 		os.Exit(2)
 	}
+	var pl riot.Planner
+	switch *planner {
+	case "heuristic":
+		pl = riot.PlannerHeuristic
+	case "cost", "cost-based":
+		pl = riot.PlannerCostBased
+	default:
+		fmt.Fprintf(os.Stderr, "riot-run: unknown planner %q\n", *planner)
+		os.Exit(2)
+	}
 	s := riot.NewSession(riot.Config{
 		Backend: b, MemElems: *mem, BlockElems: *block,
-		Workers: *workers, Readahead: *readahead,
+		Workers: *workers, Readahead: *readahead, Planner: pl,
 	})
+	if *explain {
+		rt, ok := s.Engine().(*engine.RIOT)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "riot-run: -explain requires the riot backend")
+			os.Exit(2)
+		}
+		rt.SetExplainWriter(os.Stdout)
+	}
 	out, err := s.RunScript(string(src))
 	fmt.Print(out)
 	if err != nil {

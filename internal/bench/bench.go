@@ -19,6 +19,7 @@ import (
 	"riot/internal/exec"
 	"riot/internal/linalg"
 	"riot/internal/opt"
+	"riot/internal/plan"
 	"riot/internal/riotdb"
 	"riot/internal/rlang"
 )
@@ -572,6 +573,194 @@ func ReadaheadAblation(maxWorkers int, w io.Writer) ([]ReadaheadRow, error) {
 			fmt.Fprintf(w, "%-8s %7d %-10s %10d %10d %8.1f %8.2f %11d %7d %7d\n",
 				r.Workload, r.Workers, on, r.SeqReads, r.RandReads, r.IOMB, r.SimSec,
 				r.Prefetched, r.PrefetchHits, r.Wasted)
+		}
+	}
+	return rows, nil
+}
+
+// PlannerRow is one configuration of the physical-planner ablation.
+type PlannerRow struct {
+	Workload     string // "scan", "gather", or "chain"
+	Strategy     string // plan.Strategy name
+	EstBlocks    float64
+	ActualBlocks int64
+	IOMB         float64
+	SimSec       float64
+}
+
+// PlannerAblation compares the heuristic and cost-based planner
+// strategies on the three workload shapes the planner's decisions
+// matter for: Example 1's fused scan-and-reduce over two out-of-core
+// vectors, a shared-gather pipeline whose data vector fits in memory
+// (where the cost-based planner skips a useless materialization), and
+// a reordered matrix chain (algorithm selection per multiply). Each row
+// records the plan's estimated device blocks next to the measured
+// count, so the estimate-vs-actual trajectory is tracked in
+// BENCH_results.json.
+func PlannerAblation(w io.Writer) ([]PlannerRow, error) {
+	var rows []PlannerRow
+
+	run := func(workload string, strat plan.Strategy, f func(r *engine.RIOT) (engine.Value, func() error, error), blockElems int, memElems int64) error {
+		r := engine.NewRIOTConfigured(blockElems, memElems, engine.DefaultTimeModel,
+			engine.RIOTOptions{Workers: 1, Planner: strat})
+		v, force, err := f(r)
+		if err != nil {
+			return err
+		}
+		pl, err := r.Plan(v)
+		if err != nil {
+			return err
+		}
+		if err := r.Executor().Pool().DropAll(); err != nil {
+			return err
+		}
+		dev := r.Executor().Pool().Device()
+		dev.ResetStats()
+		if err := force(); err != nil {
+			return err
+		}
+		st := dev.Stats()
+		rows = append(rows, PlannerRow{
+			Workload: workload, Strategy: strat.String(),
+			EstBlocks:    pl.EstBlocks,
+			ActualBlocks: st.TotalBlocks(),
+			IOMB:         st.TotalMB(),
+			SimSec:       disk.DefaultCostModel.Seconds(st),
+		})
+		return nil
+	}
+
+	// Workload 1: Example 1's shape — sum((x-3)²+(y-4)²) with both
+	// vectors 4× the pool. No shared subtree is worth storing; both
+	// strategies must pipeline everything.
+	scan := func(r *engine.RIOT) (engine.Value, func() error, error) {
+		const n = int64(64*4) * 1024
+		x, err := r.NewVector(n, func(i int64) float64 { return float64(i % 97) })
+		if err != nil {
+			return nil, nil, err
+		}
+		y, err := r.NewVector(n, func(i int64) float64 { return float64(i % 89) })
+		if err != nil {
+			return nil, nil, err
+		}
+		xs, err := r.ArithScalar("-", x, 3, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		ys, err := r.ArithScalar("-", y, 4, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		xq, err := r.Arith("*", xs, xs)
+		if err != nil {
+			return nil, nil, err
+		}
+		yq, err := r.Arith("*", ys, ys)
+		if err != nil {
+			return nil, nil, err
+		}
+		d, err := r.Arith("+", xq, yq)
+		if err != nil {
+			return nil, nil, err
+		}
+		return d, func() error { _, err := r.Sum(d); return err }, nil
+	}
+
+	// Workload 2: a shared gather over a memory-resident data vector —
+	// (x[s]-3)² + (x[s]-100)². The heuristic always materializes the
+	// shared gather; the cost-based planner recomputes it from the
+	// buffer pool and saves the temporary's write-back.
+	gather := func(r *engine.RIOT) (engine.Value, func() error, error) {
+		const n = int64(16384)
+		const k = int64(2048)
+		x, err := r.NewVector(n, func(i int64) float64 { return float64(i % 211) })
+		if err != nil {
+			return nil, nil, err
+		}
+		s, err := r.Sample(n, k, 7)
+		if err != nil {
+			return nil, nil, err
+		}
+		g, err := r.IndexBy(x, s)
+		if err != nil {
+			return nil, nil, err
+		}
+		a, err := r.ArithScalar("-", g, 3, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		aq, err := r.Arith("*", a, a)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := r.ArithScalar("-", g, 100, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		bq, err := r.Arith("*", b, b)
+		if err != nil {
+			return nil, nil, err
+		}
+		z, err := r.Arith("+", aq, bq)
+		if err != nil {
+			return nil, nil, err
+		}
+		return z, func() error { _, err := r.Fetch(z, -1); return err }, nil
+	}
+
+	// Workload 3: the Figure 3 skewed chain A(n×n/2) B(n/2×n) C(n×n) at
+	// validation scale; the planner picks the order (via opt's DP) and
+	// the kernel per multiply, and its per-step formula estimates are
+	// compared against the measured tile traffic.
+	chain := func(r *engine.RIOT) (engine.Value, func() error, error) {
+		const n = int64(160)
+		a, err := r.NewMatrix(n, n/2, func(i, j int64) float64 { return float64((i + j) % 7) })
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := r.NewMatrix(n/2, n, func(i, j int64) float64 { return float64((i * j) % 5) })
+		if err != nil {
+			return nil, nil, err
+		}
+		c, err := r.NewMatrix(n, n, func(i, j int64) float64 { return float64((i - j) % 3) })
+		if err != nil {
+			return nil, nil, err
+		}
+		ab, err := r.MatMul(a, b)
+		if err != nil {
+			return nil, nil, err
+		}
+		abc, err := r.MatMul(ab, c)
+		if err != nil {
+			return nil, nil, err
+		}
+		return abc, func() error { _, err := r.ForceMatrix(abc); return err }, nil
+	}
+
+	type workload struct {
+		name       string
+		f          func(r *engine.RIOT) (engine.Value, func() error, error)
+		blockElems int
+		memElems   int64
+	}
+	for _, wl := range []workload{
+		{"scan", scan, 1024, 64 * 1024},
+		{"gather", gather, 1024, 64 * 1024},
+		{"chain", chain, 64, 48 * 64},
+	} {
+		for _, strat := range []plan.Strategy{plan.Heuristic, plan.CostBased} {
+			if err := run(wl.name, strat, wl.f, wl.blockElems, wl.memElems); err != nil {
+				return nil, fmt.Errorf("bench: planner %s/%s: %w", wl.name, strat, err)
+			}
+		}
+	}
+	if w != nil {
+		fmt.Fprintln(w, "Planner ablation: heuristic vs cost-based physical plans")
+		fmt.Fprintf(w, "%-8s %-11s %12s %12s %8s %8s\n",
+			"workload", "strategy", "est-blocks", "actual-blks", "IO-MB", "sim-sec")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-8s %-11s %12.0f %12d %8.2f %8.3f\n",
+				r.Workload, r.Strategy, r.EstBlocks, r.ActualBlocks, r.IOMB, r.SimSec)
 		}
 	}
 	return rows, nil

@@ -102,3 +102,40 @@ func TestValidateModelCloseForSquare(t *testing.T) {
 		}
 	}
 }
+
+// TestPlannerEstimatesWithinFactor is the planner's accuracy property:
+// on every ablation workload the plan's estimated device blocks must be
+// within a factor of two of the measured Reads+Writes, and the
+// cost-based plans must match or beat the heuristic's measured blocks.
+func TestPlannerEstimatesWithinFactor(t *testing.T) {
+	rows, err := PlannerAblation(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := map[string]map[string]int64{}
+	for _, r := range rows {
+		if r.ActualBlocks <= 0 {
+			t.Errorf("%s/%s: no measured I/O", r.Workload, r.Strategy)
+			continue
+		}
+		ratio := r.EstBlocks / float64(r.ActualBlocks)
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("%s/%s: estimated %v blocks vs measured %d (ratio %.2f), want within 2x",
+				r.Workload, r.Strategy, r.EstBlocks, r.ActualBlocks, ratio)
+		}
+		if actual[r.Workload] == nil {
+			actual[r.Workload] = map[string]int64{}
+		}
+		actual[r.Workload][r.Strategy] = r.ActualBlocks
+	}
+	for wl, byStrat := range actual {
+		h, c := byStrat["heuristic"], byStrat["cost-based"]
+		if h == 0 || c == 0 {
+			t.Errorf("%s: missing a strategy row", wl)
+			continue
+		}
+		if c > h {
+			t.Errorf("%s: cost-based measured %d blocks, worse than heuristic's %d", wl, c, h)
+		}
+	}
+}

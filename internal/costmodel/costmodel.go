@@ -13,6 +13,8 @@ package costmodel
 import (
 	"fmt"
 	"math"
+
+	"riot/internal/disk"
 )
 
 // Params carries the machine model.
@@ -244,4 +246,74 @@ func OptOrder(dims []float64) *Tree {
 // C (n × n).
 func SkewedChainDims(n, s float64) []float64 {
 	return []float64{n, n / s, n, n}
+}
+
+// --- Physical-planner decision functions ---
+//
+// The planner (internal/plan) makes its plan-time choices by comparing
+// the formulas above. The two comparisons it needs — which multiply
+// algorithm, and pipeline-vs-materialize for a shared subexpression —
+// live here so their crossover points can be unit-tested against the
+// formulas directly.
+
+// Disk timing used by the planner's time weighting: taken from the
+// simulated device's own cost model (2009 commodity SATA: ~100 MB/s
+// sequential, ~8 ms per random positioning), so tuning
+// disk.DefaultCostModel retunes plan estimates with it.
+var (
+	SeqBytesPerSec = disk.DefaultCostModel.SeqBytesPerSec
+	RandSeekSec    = disk.DefaultCostModel.RandSeekSec
+)
+
+// SeekBlocks returns how many sequentially transferred blocks cost the
+// same time as one random positioning — the weight a random block
+// access carries in planner cost comparisons.
+func SeekBlocks(p Params) float64 {
+	return RandSeekSec * SeqBytesPerSec / (p.BlockElems * 8)
+}
+
+// StreamBlocks returns the blocks occupied by n elements (at least one
+// when n > 0), the sequential cost of streaming or storing them once.
+func StreamBlocks(n float64, p Params) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return math.Ceil(n / p.BlockElems)
+}
+
+// CheaperSquareTiled reports whether the Appendix A square-tiled
+// schedule is predicted no more expensive than the §3 BNLJ-inspired
+// algorithm for an l×m by m×n multiply. The planner flips algorithms
+// exactly where the two formulas cross.
+func CheaperSquareTiled(l, m, n float64, p Params) bool {
+	return SquareTiled(l, m, n, p) <= BNLJ(l, m, n, p)
+}
+
+// MaterializeWins decides Pipeline vs Materialize for a shared vector
+// subexpression: refs is its number of consumers, rows its length, and
+// one full (re)computation of it reads perEvalBlocks blocks of which
+// perEvalRand are random positionings.
+//
+// Materializing pays one evaluation, one write of the temporary, and
+// one read of it per consumer; recomputing pays one evaluation per
+// consumer. Reads that the buffer pool will serve from memory are free:
+// when an evaluation's inputs (or the temporary itself) fit in half the
+// memory budget, their re-reads cost nothing, which is what makes the
+// decision flip with M.
+func MaterializeWins(refs, rows, perEvalBlocks, perEvalRand float64, p Params) bool {
+	if refs <= 1 {
+		return false
+	}
+	// Inputs resident: recomputation is pure CPU after the first pass, a
+	// temporary could only add I/O.
+	if perEvalBlocks*p.BlockElems <= p.MemElems/2 {
+		return false
+	}
+	evalCost := perEvalBlocks + perEvalRand*SeekBlocks(p)
+	out := StreamBlocks(rows, p)
+	readBack := refs * out
+	if out*p.BlockElems <= p.MemElems/2 {
+		readBack = 0 // temporary stays resident
+	}
+	return evalCost+out+readBack < refs*evalCost
 }

@@ -1,0 +1,97 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCheaperSquareTiledCrossover pins the M crossover where the
+// planner flips between the square-tiled and BNLJ-inspired multiply.
+// For a skinny product (l=n=1000, m=10, B=1000) the BNLJ algorithm
+// becomes a near-single-pass scan once memory holds enough rows of A,
+// while the square-tiled cost only shrinks like 1/√M — so small M
+// favors square tiling and large M favors BNLJ.
+func TestCheaperSquareTiledCrossover(t *testing.T) {
+	cases := []struct {
+		name       string
+		l, m, n    float64
+		mem, block float64
+		wantSquare bool
+	}{
+		{"skinny small M", 1000, 10, 1000, 1e4, 1000, true},
+		{"skinny large M", 1000, 10, 1000, 1e6, 1000, false},
+		{"cube modest M", 4096, 4096, 4096, 3 * 1024 * 1024, 1024, true},
+		{"cube small M", 4096, 4096, 4096, 64 * 1024, 1024, true},
+	}
+	for _, c := range cases {
+		p := Params{MemElems: c.mem, BlockElems: c.block}
+		got := CheaperSquareTiled(c.l, c.m, c.n, p)
+		if got != c.wantSquare {
+			t.Errorf("%s: CheaperSquareTiled(%g,%g,%g, M=%g B=%g) = %v, want %v (square=%.0f bnlj=%.0f)",
+				c.name, c.l, c.m, c.n, c.mem, c.block, got, c.wantSquare,
+				SquareTiled(c.l, c.m, c.n, p), BNLJ(c.l, c.m, c.n, p))
+		}
+		// The decision must agree with the formulas it claims to compare.
+		if want := SquareTiled(c.l, c.m, c.n, p) <= BNLJ(c.l, c.m, c.n, p); got != want {
+			t.Errorf("%s: decision disagrees with formulas", c.name)
+		}
+	}
+}
+
+// TestMaterializeWinsCrossover pins the M crossover of the
+// pipeline-vs-materialize decision: once one evaluation's inputs fit in
+// half of memory (M ≥ 2·perEvalBlocks·B), recomputation is served from
+// the buffer pool and pipelining must win; below it, a small shared
+// temporary beats rescanning the inputs per consumer.
+func TestMaterializeWinsCrossover(t *testing.T) {
+	const block = 1024
+	cases := []struct {
+		name            string
+		refs, rows      float64
+		perEval, perRnd float64
+		mem             float64
+		want            bool
+	}{
+		// Crossover at M = 2·4096·1024 = 8388608 elements.
+		{"inputs spill, small temp", 2, 1 << 20, 4096, 0, 8388608 - block, true},
+		{"inputs resident", 2, 1 << 20, 4096, 0, 8388608, false},
+		{"well above crossover", 2, 1 << 20, 4096, 0, 1 << 24, false},
+		// A temporary as large as the recomputation never pays.
+		{"temp as big as inputs", 2, 4 << 20, 4096, 0, 1 << 20, false},
+		// Random-heavy evaluation (a shared gather): seeks dominate, the
+		// one-block temporary wins decisively.
+		{"shared gather", 2, 100, 101, 100, 131072, true},
+		// A single consumer never materializes.
+		{"refs=1", 1, 1 << 20, 1 << 20, 0, 1 << 10, false},
+	}
+	for _, c := range cases {
+		p := Params{MemElems: c.mem, BlockElems: block}
+		if got := MaterializeWins(c.refs, c.rows, c.perEval, c.perRnd, p); got != c.want {
+			t.Errorf("%s: MaterializeWins(refs=%g rows=%g eval=%g rand=%g, M=%g) = %v, want %v",
+				c.name, c.refs, c.rows, c.perEval, c.perRnd, c.mem, got, c.want)
+		}
+	}
+}
+
+// TestSeekBlocks sanity-checks the random-access weight: at B=1024
+// (8 KiB blocks) one 8 ms seek costs the same as ~102 sequential block
+// transfers at 100 MB/s.
+func TestSeekBlocks(t *testing.T) {
+	p := Params{MemElems: 1 << 22, BlockElems: 1024}
+	got := SeekBlocks(p)
+	want := 0.008 * 100 * (1 << 20) / 8192
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("SeekBlocks = %g, want %g", got, want)
+	}
+}
+
+func TestStreamBlocks(t *testing.T) {
+	p := Params{BlockElems: 1024}
+	for _, c := range []struct{ n, want float64 }{
+		{0, 0}, {1, 1}, {1024, 1}, {1025, 2}, {1 << 20, 1024},
+	} {
+		if got := StreamBlocks(c.n, p); got != c.want {
+			t.Errorf("StreamBlocks(%g) = %g, want %g", c.n, got, c.want)
+		}
+	}
+}

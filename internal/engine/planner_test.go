@@ -1,0 +1,130 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"riot/internal/engine"
+	"riot/internal/plan"
+	"riot/internal/rlang"
+)
+
+func runExample1Planner(t *testing.T, strat plan.Strategy, workers int, n int64) (*engine.RIOT, string) {
+	t.Helper()
+	e := engine.NewRIOTConfigured(1024, n, engine.DefaultTimeModel,
+		engine.RIOTOptions{Workers: workers, Planner: strat})
+	in := rlang.New(e)
+	x, err := e.NewVector(n, func(i int64) float64 { return float64(i % 9973) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := e.NewVector(n, func(i int64) float64 { return float64(i % 9967) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.SetVector("x", x)
+	in.SetVector("y", y)
+	e.ResetStats()
+	e.Executor().Pool().ResetStats()
+	if err := in.Run(example1); err != nil {
+		t.Fatal(err)
+	}
+	return e, in.Out.String()
+}
+
+// TestHeuristicPlannerReproducesSeedCounters pins the acceptance
+// criterion directly: Planner heuristic at Workers: 1, Readahead off
+// reproduces the seed's exact Example 1 device and pool counters (the
+// same goldens TestWorkers1ReproducesSeedIOCounts captured from the
+// pre-planner executor).
+func TestHeuristicPlannerReproducesSeedCounters(t *testing.T) {
+	golden := []struct {
+		n                                int64
+		hits, misses, evictions, flushes int64
+		reads, writes                    int64
+	}{
+		{1 << 17, 78, 131, 131, 1, 128, 1},
+		{1 << 18, 84, 125, 125, 1, 122, 1},
+	}
+	for _, g := range golden {
+		e, _ := runExample1Planner(t, plan.Heuristic, 1, g.n)
+		ps := e.Executor().Pool().Stats()
+		if ps.Hits != g.hits || ps.Misses != g.misses || ps.Evictions != g.evictions || ps.Flushes != g.flushes {
+			t.Errorf("n=%d: pool %d/%d/%d/%d, want %d/%d/%d/%d (seed golden)",
+				g.n, ps.Hits, ps.Misses, ps.Evictions, ps.Flushes,
+				g.hits, g.misses, g.evictions, g.flushes)
+		}
+		ds := e.Executor().Pool().Device().Stats()
+		if ds.BlocksRead != g.reads || ds.BlocksWritten != g.writes {
+			t.Errorf("n=%d: device read=%d written=%d, want %d/%d (seed golden)",
+				g.n, ds.BlocksRead, ds.BlocksWritten, g.reads, g.writes)
+		}
+	}
+}
+
+// TestCostBasedPlannerMatchesOutput checks the cost-based strategy is a
+// pure plan change: Example 1's printed values are identical to the
+// heuristic's at one worker and at four.
+func TestCostBasedPlannerMatchesOutput(t *testing.T) {
+	const n = 1 << 18
+	_, want := runExample1Planner(t, plan.Heuristic, 1, n)
+	for _, workers := range []int{1, 4} {
+		_, got := runExample1Planner(t, plan.CostBased, workers, n)
+		if got != want {
+			t.Errorf("cost-based workers=%d: output differs\n got: %.120s\nwant: %.120s", workers, got, want)
+		}
+	}
+}
+
+// TestExplainRendersWithoutExecuting checks Explain returns the plan
+// for the deferred Example 1 expression without performing any device
+// I/O.
+func TestExplainRendersWithoutExecuting(t *testing.T) {
+	const n = 1 << 17
+	e := engine.NewRIOTConfigured(1024, n, engine.DefaultTimeModel,
+		engine.RIOTOptions{Workers: 1, Planner: plan.CostBased})
+	x, err := e.NewVector(n, func(i int64) float64 { return float64(i) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := e.Arith("*", x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ResetStats()
+	before := e.Executor().Pool().Device().Stats().TotalBlocks()
+	out, err := e.Explain(sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := e.Executor().Pool().Device().Stats().TotalBlocks(); after != before {
+		t.Errorf("Explain performed I/O: %d -> %d blocks", before, after)
+	}
+	for _, want := range []string{"physical plan: strategy=cost-based", "output", "total est:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExplainWriterEmitsPerForce checks the riot-run -explain hook: a
+// registered writer receives one rendered plan per forced evaluation.
+func TestExplainWriterEmitsPerForce(t *testing.T) {
+	const n = 1 << 16
+	e := engine.NewRIOTWorkers(1024, n, engine.DefaultTimeModel, 1)
+	var sb strings.Builder
+	e.SetExplainWriter(&sb)
+	x, err := e.NewVector(n, func(i int64) float64 { return float64(i) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Sum(x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Fetch(x, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "physical plan:"); got != 2 {
+		t.Errorf("explain writer saw %d plans, want 2\n%s", got, sb.String())
+	}
+}

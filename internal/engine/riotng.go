@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 
 	"riot/internal/algebra"
@@ -10,6 +11,7 @@ import (
 	"riot/internal/disk"
 	"riot/internal/exec"
 	"riot/internal/opt"
+	"riot/internal/plan"
 	"riot/internal/riotdb"
 )
 
@@ -44,6 +46,11 @@ type RIOTOptions struct {
 	// reads, and elevator write-back. Off, the I/O counters are
 	// identical to the seed engine's.
 	Readahead bool
+	// Planner selects the physical planner strategy. The zero value,
+	// plan.Heuristic, reproduces the seed executor's materialization
+	// rules (and I/O counters) exactly; plan.CostBased decides from the
+	// analytic cost formulas and the live machine parameters.
+	Planner plan.Strategy
 }
 
 // NewRIOTWorkers creates a RIOT engine whose executor and kernels use up
@@ -67,6 +74,7 @@ func NewRIOTConfigured(blockElems int, memElems int64, tm TimeModel, opts RIOTOp
 	}
 	ex := exec.New(pool)
 	ex.Workers = workers
+	ex.Planner = opts.Planner
 	return &RIOT{
 		g:    algebra.NewGraph(),
 		ex:   ex,
@@ -225,6 +233,38 @@ func (r *RIOT) Release(v Value) {
 // optimize runs the rewrite rules on a root.
 func (r *RIOT) optimize(n *algebra.Node) (*algebra.Node, error) {
 	return opt.New(r.g, r.cfg).Optimize(n)
+}
+
+// SetExplainWriter makes every subsequent forced evaluation emit its
+// rendered physical plan to w before executing (nil disables). The
+// plan written is the one the executor interprets — built once, in the
+// Force call itself.
+func (r *RIOT) SetExplainWriter(w io.Writer) { r.ex.ExplainTo = w }
+
+// Plan returns the physical plan for v as a structured object (the
+// benchmarks compare its estimates against measured device counters).
+// Nothing is executed.
+func (r *RIOT) Plan(v Value) (*plan.Plan, error) {
+	n, err := r.node(v)
+	if err != nil {
+		return nil, err
+	}
+	root, err := r.optimize(n)
+	if err != nil {
+		return nil, err
+	}
+	return r.ex.BuildPlan(root), nil
+}
+
+// Explain returns the rendered physical plan for v — the optimized
+// DAG's per-node decisions, materialization and multiply schedule, and
+// per-step I/O estimates — without executing anything.
+func (r *RIOT) Explain(v Value) (string, error) {
+	p, err := r.Plan(v)
+	if err != nil {
+		return "", err
+	}
+	return p.Render(), nil
 }
 
 // Fetch implements Engine.

@@ -33,6 +33,7 @@ package exec
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -40,8 +41,9 @@ import (
 	"riot/internal/algebra"
 	"riot/internal/array"
 	"riot/internal/buffer"
-	"riot/internal/costmodel"
 	"riot/internal/linalg"
+	"riot/internal/plan"
+	"riot/internal/scalarop"
 )
 
 // Stats counts evaluation work.
@@ -51,13 +53,25 @@ type Stats struct {
 	Flops            int64 // scalar arithmetic operations
 }
 
-// Executor evaluates DAGs over a buffer pool.
+// Executor evaluates DAGs over a buffer pool. It is a plan interpreter:
+// every Force call first builds a plan.Plan for the root (per-node
+// Pipeline/Materialize decisions, multiply algorithm selection, the
+// preparation schedule) and then reads that decision table instead of
+// deriving policy on the fly.
 type Executor struct {
 	pool *buffer.Pool
 	seq  atomic.Int64
 	// Workers bounds the goroutines used for full-length evaluation.
 	// 1 (the default) is the sequential, I/O-deterministic executor.
 	Workers int
+	// Planner selects the plan-time decision strategy. The default,
+	// plan.Heuristic, reproduces the seed executor's materialization
+	// rules (and I/O counters) exactly; plan.CostBased decides from the
+	// analytic cost formulas and the live machine parameters.
+	Planner plan.Strategy
+	// ExplainTo, when set, receives the rendered physical plan of every
+	// Force call before it executes (riot-run -explain).
+	ExplainTo io.Writer
 	// FuseElementwise can be disabled to materialize every intermediate
 	// (the ablation that mimics plain R's evaluation inside RIOT).
 	FuseElementwise bool
@@ -78,7 +92,8 @@ type Executor struct {
 	temps      map[*algebra.Node]*array.Vector
 	tempsMu    sync.RWMutex
 	inParallel bool
-	refs       map[*algebra.Node]int
+	// curPlan is the physical plan of the Force call in progress.
+	curPlan *plan.Plan
 }
 
 // New creates an executor with fusion enabled.
@@ -322,9 +337,36 @@ func (e *Executor) ForceMatrix(n *algebra.Node, name string) (*array.Matrix, err
 	return e.forceMatrix(n, name)
 }
 
-func (e *Executor) begin(roots ...*algebra.Node) {
+// PlanOptions returns the planner inputs for this executor: its
+// strategy, ablation knobs, and the live machine parameters of its
+// buffer pool.
+func (e *Executor) PlanOptions() plan.Options {
+	return plan.Options{
+		Strategy: e.Planner,
+		Machine: plan.Machine{
+			MemElems:   e.pool.MemoryElems(),
+			BlockElems: e.pool.Device().BlockElems(),
+			Frames:     e.pool.Capacity(),
+			Workers:    e.Workers,
+			Readahead:  e.pool.ReadaheadEnabled(),
+		},
+		FuseElementwise: e.FuseElementwise,
+		EagerUpdates:    e.EagerUpdates,
+	}
+}
+
+// BuildPlan plans a root without executing it (Explain, and the first
+// half of every Force call).
+func (e *Executor) BuildPlan(root *algebra.Node) *plan.Plan {
+	return plan.Build(root, e.PlanOptions())
+}
+
+func (e *Executor) begin(root *algebra.Node) {
 	e.temps = make(map[*algebra.Node]*array.Vector)
-	e.refs = algebra.CountRefs(roots...)
+	e.curPlan = e.BuildPlan(root)
+	if e.ExplainTo != nil {
+		fmt.Fprint(e.ExplainTo, e.curPlan.Render())
+	}
 }
 
 func (e *Executor) end() {
@@ -332,7 +374,7 @@ func (e *Executor) end() {
 		v.Free()
 	}
 	e.temps = nil
-	e.refs = nil
+	e.curPlan = nil
 }
 
 // streamInto evaluates n block by block into out. With Workers > 1 the
@@ -396,24 +438,11 @@ func (e *Executor) storeTemp(n *algebra.Node, v *array.Vector) *array.Vector {
 	return v
 }
 
-// shouldMaterialize is the materialization policy: shared expensive
-// subexpressions are stored once; the no-fusion ablation stores every
-// interior vector node (exactly like plain R's evaluator); eager-update
-// semantics store the whole updated state.
+// shouldMaterialize reads the materialization policy from the plan's
+// decision table (Heuristic reproduces the seed rules; CostBased
+// decides from the cost formulas).
 func (e *Executor) shouldMaterialize(n *algebra.Node) bool {
-	if n.Op == algebra.OpSourceVec || !n.Shape.Vector {
-		return false
-	}
-	if e.refs[n] > 1 && worthMaterializing(n) {
-		return true
-	}
-	if !e.FuseElementwise && n.Op != algebra.OpReduce {
-		return true
-	}
-	if e.EagerUpdates && n.Op == algebra.OpUpdateMask {
-		return true
-	}
-	return false
+	return e.curPlan.ShouldMaterialize(n)
 }
 
 // materializeNode evaluates n into a fresh stored temporary and
@@ -429,47 +458,21 @@ func (e *Executor) materializeNode(n *algebra.Node) (*array.Vector, error) {
 	return e.storeTemp(n, tmp), nil
 }
 
-// prepareShared runs before a parallel section: it materializes, in
-// dependency order, every subexpression the sequential evaluator would
-// have materialized lazily (plus the random-access source a gather
-// needs), so the memo is read-only while workers run.
+// prepareShared runs before a parallel section: it executes the plan's
+// preparation schedule for the subtree — every subexpression the
+// sequential evaluator would have materialized lazily, plus the
+// random-access sources gathers need, already in dependency order — so
+// the memo is read-only while workers run.
 func (e *Executor) prepareShared(root *algebra.Node) error {
-	seen := make(map[*algebra.Node]bool)
-	var walk func(n *algebra.Node) error
-	walk = func(n *algebra.Node) error {
-		if seen[n] {
-			return nil
+	for _, s := range e.curPlan.PrepareSteps(root) {
+		if _, ok := e.temps[s.Node]; ok {
+			continue
 		}
-		seen[n] = true
-		for _, k := range n.Kids {
-			if err := walk(k); err != nil {
-				return err
-			}
+		if _, err := e.materializeNode(s.Node); err != nil {
+			return err
 		}
-		if !n.Shape.Vector {
-			return nil
-		}
-		if n.Op == algebra.OpGather {
-			// gather needs random access to its data child.
-			if d := n.Kids[0]; d.Op != algebra.OpSourceVec {
-				if _, ok := e.temps[d]; !ok {
-					if _, err := e.materializeNode(d); err != nil {
-						return err
-					}
-				}
-			}
-		}
-		if _, ok := e.temps[n]; ok {
-			return nil
-		}
-		if e.shouldMaterialize(n) {
-			if _, err := e.materializeNode(n); err != nil {
-				return err
-			}
-		}
-		return nil
 	}
-	return walk(root)
+	return nil
 }
 
 // announceRange tells the pool's I/O scheduler which source blocks the
@@ -765,44 +768,19 @@ func (e *Executor) forceMatrix(n *algebra.Node, name string) (*array.Matrix, err
 		}()
 		e.flops.Add(a.Rows() * a.Cols() * b.Cols())
 		e.elementsComputed.Add(a.Rows() * b.Cols())
-		p := costmodel.Params{
-			MemElems:   float64(e.pool.MemoryElems()),
-			BlockElems: float64(e.pool.Device().BlockElems()),
-		}
-		l, m, k := float64(a.Rows()), float64(a.Cols()), float64(b.Cols())
-		atr, atc := a.TileDims()
-		btr, btc := b.TileDims()
-		squareOK := atr == atc && btr == btc && atr == btr
-		if squareOK && costmodel.SquareTiled(l, m, k, p) <= costmodel.BNLJ(l, m, k, p) {
+		// The kernel was selected at plan time from the same cost
+		// formulas the seed consulted here.
+		switch e.curPlan.Algo(n) {
+		case plan.AlgoSquareTiled:
 			return linalg.MatMulTiledWorkers(e.pool, name, a, b, e.Workers)
-		}
-		if squareOK {
+		case plan.AlgoBNLJSquare:
 			// Square tiling but BNLJ is cheaper at this size.
 			return linalg.MatMulBNLJ(e.pool, name, a, b, array.Options{Shape: array.SquareTiles, Lin: a.Lin()})
+		default:
+			return linalg.MatMulBNLJ(e.pool, name, a, b, array.Options{Shape: array.RowTiles})
 		}
-		return linalg.MatMulBNLJ(e.pool, name, a, b, array.Options{Shape: array.RowTiles})
 	}
 	return nil, fmt.Errorf("exec: cannot force matrix op %s", n.Op)
-}
-
-// worthMaterializing gates the shared-subexpression memo. Recomputing a
-// fused elementwise block costs a handful of flops per element, while a
-// temporary costs a full write plus re-read; only subtrees containing
-// genuinely expensive operators (gathers, reductions, multiplies) pay
-// for materialization.
-func worthMaterializing(n *algebra.Node) bool {
-	switch n.Op {
-	case algebra.OpSourceVec, algebra.OpSourceMat:
-		return false
-	case algebra.OpGather, algebra.OpReduce, algebra.OpMatMul:
-		return true
-	}
-	for _, k := range n.Kids {
-		if worthMaterializing(k) {
-			return true
-		}
-	}
-	return false
 }
 
 func readVecRange(v *array.Vector, lo, hi int64, buf []float64) error {
@@ -822,65 +800,6 @@ func readVecRange(v *array.Vector, lo, hi int64, buf []float64) error {
 	return nil
 }
 
-func binFn(op string) (func(a, b float64) float64, error) {
-	switch op {
-	case "+":
-		return func(a, b float64) float64 { return a + b }, nil
-	case "-":
-		return func(a, b float64) float64 { return a - b }, nil
-	case "*":
-		return func(a, b float64) float64 { return a * b }, nil
-	case "/":
-		return func(a, b float64) float64 { return a / b }, nil
-	case "^":
-		return math.Pow, nil
-	case "%%":
-		return math.Mod, nil
-	case "==":
-		return func(a, b float64) float64 { return b2f(a == b) }, nil
-	case "!=":
-		return func(a, b float64) float64 { return b2f(a != b) }, nil
-	case "<":
-		return func(a, b float64) float64 { return b2f(a < b) }, nil
-	case "<=":
-		return func(a, b float64) float64 { return b2f(a <= b) }, nil
-	case ">":
-		return func(a, b float64) float64 { return b2f(a > b) }, nil
-	case ">=":
-		return func(a, b float64) float64 { return b2f(a >= b) }, nil
-	case "&":
-		return func(a, b float64) float64 { return b2f(a != 0 && b != 0) }, nil
-	case "|":
-		return func(a, b float64) float64 { return b2f(a != 0 || b != 0) }, nil
-	}
-	return nil, fmt.Errorf("exec: unknown operator %q", op)
-}
-
-func unaryFn(name string) (func(float64) float64, error) {
-	switch name {
-	case "sqrt":
-		return math.Sqrt, nil
-	case "abs":
-		return math.Abs, nil
-	case "exp":
-		return math.Exp, nil
-	case "log":
-		return math.Log, nil
-	case "sin":
-		return math.Sin, nil
-	case "cos":
-		return math.Cos, nil
-	case "floor":
-		return math.Floor, nil
-	case "ceiling":
-		return math.Ceil, nil
-	}
-	return nil, fmt.Errorf("exec: unknown function %q", name)
-}
-
-func b2f(v bool) float64 {
-	if v {
-		return 1
-	}
-	return 0
-}
+// binFn and unaryFn resolve operators in the shared scalar-op table.
+func binFn(op string) (scalarop.BinFunc, error)       { return scalarop.Bin(op) }
+func unaryFn(name string) (scalarop.UnaryFunc, error) { return scalarop.Unary(name) }

@@ -1,0 +1,662 @@
+// Package plan is RIOT's physical planner (§5): it takes the
+// opt-rewritten expression DAG plus the live machine parameters (buffer
+// pool frames M/B, block size B) and fixes, before execution begins,
+// every decision the executor used to make on the fly:
+//
+//   - per-node evaluation mode — Pipeline (computed inline by the fused
+//     streaming pass), Materialize (stored once into a temporary and
+//     reused by every consumer), or Stream (a stored source read
+//     directly);
+//   - the schedule of materialization steps, in dependency order (the
+//     order the parallel preparation pass runs them in);
+//   - the multiply algorithm for every MatMul node (square-tiled vs the
+//     BNLJ-inspired kernel, by the analytic formulas in
+//     internal/costmodel);
+//   - per-step estimated I/O in blocks and simulated seconds.
+//
+// Two strategies exist. Heuristic reproduces the seed executor's
+// hard-coded rules exactly (shared subtrees containing a gather, reduce
+// or multiply are materialized), in a single memoized pass; it is the
+// deterministic configuration whose I/O counters the golden tests pin.
+// CostBased makes the same choices from the cost formulas, so the
+// decision adapts to the machine: a shared subexpression whose inputs
+// fit in memory is recomputed from the buffer pool instead of written
+// to disk.
+//
+// The executor (internal/exec) is a plan interpreter: it builds a Plan
+// per Force call and reads its decision table instead of re-deriving
+// policy. Explain — plumbed through internal/engine to the public riot
+// API and riot-run — renders the same Plan as text.
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"riot/internal/algebra"
+	"riot/internal/costmodel"
+)
+
+// Strategy selects how plan-time decisions are made.
+type Strategy int
+
+// Planner strategies.
+const (
+	// Heuristic reproduces the seed executor's materialization rules
+	// (worth-materializing subtree test) and is the default.
+	Heuristic Strategy = iota
+	// CostBased decides Pipeline vs Materialize from the analytic I/O
+	// formulas and the live machine parameters.
+	CostBased
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Heuristic:
+		return "heuristic"
+	case CostBased:
+		return "cost-based"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Machine carries the live machine parameters the planner costs
+// against: the same M and B the buffer pool enforces at run time.
+type Machine struct {
+	MemElems   int64 // M: buffer-pool memory in float64 elements
+	BlockElems int   // B: block size in float64 elements
+	Frames     int   // frame budget M/B
+	Workers    int   // executor parallelism (display only)
+	Readahead  bool  // I/O scheduler on: streams count as sequential
+}
+
+func (m Machine) params() costmodel.Params {
+	return costmodel.Params{MemElems: float64(m.MemElems), BlockElems: float64(m.BlockElems)}
+}
+
+// seconds converts estimated block traffic into simulated seconds under
+// the planner's disk timing (costmodel.SeqBytesPerSec/RandSeekSec).
+func (m Machine) seconds(blocks, rand float64) float64 {
+	blockBytes := float64(m.BlockElems) * 8
+	return blocks*blockBytes/costmodel.SeqBytesPerSec + rand*costmodel.RandSeekSec
+}
+
+// Options configures a Build.
+type Options struct {
+	Strategy Strategy
+	Machine  Machine
+	// FuseElementwise=false is the ablation that materializes every
+	// interior vector node (plain R's evaluation inside RIOT); the
+	// planner honors it under both strategies.
+	FuseElementwise bool
+	// EagerUpdates forces materialization of UpdateMask nodes (R /
+	// RIOT-DB update semantics).
+	EagerUpdates bool
+}
+
+// Decision is a node's planned evaluation mode.
+type Decision int
+
+// Node decisions.
+const (
+	// Pipeline: computed inline by the fused streaming pass, no storage.
+	Pipeline Decision = iota
+	// Materialize: evaluated once into a temporary; all consumers reuse
+	// the memo entry.
+	Materialize
+	// Stream: a stored source, read directly.
+	Stream
+)
+
+func (d Decision) String() string {
+	switch d {
+	case Pipeline:
+		return "pipeline"
+	case Materialize:
+		return "materialize"
+	case Stream:
+		return "stream"
+	}
+	return fmt.Sprintf("Decision(%d)", int(d))
+}
+
+// MatMulAlgo is the planned kernel for a MatMul node.
+type MatMulAlgo int
+
+// Multiply algorithms.
+const (
+	AlgoNone MatMulAlgo = iota
+	// AlgoSquareTiled is the Appendix A schedule over square tiles.
+	AlgoSquareTiled
+	// AlgoBNLJSquare is the §3 BNLJ-inspired algorithm on square-tiled
+	// operands (chosen when it is cheaper at this size).
+	AlgoBNLJSquare
+	// AlgoBNLJRow is the BNLJ-inspired algorithm over row tiles, the
+	// fallback for mixed operand layouts.
+	AlgoBNLJRow
+)
+
+func (a MatMulAlgo) String() string {
+	switch a {
+	case AlgoNone:
+		return "none"
+	case AlgoSquareTiled:
+		return "square-tiled"
+	case AlgoBNLJSquare:
+		return "bnlj(square)"
+	case AlgoBNLJRow:
+		return "bnlj(row)"
+	}
+	return fmt.Sprintf("MatMulAlgo(%d)", int(a))
+}
+
+// StepKind classifies a plan step.
+type StepKind int
+
+// Step kinds.
+const (
+	// StepMaterialize stores a shared vector subexpression once.
+	StepMaterialize StepKind = iota
+	// StepGatherSource stores a gather's non-source data child so the
+	// gather has random access to it (scheduled before the gather runs;
+	// the sequential executor performs it lazily at first access).
+	StepGatherSource
+	// StepMatMul runs one out-of-core multiply.
+	StepMatMul
+	// StepOutput is the final fused pass that produces the root.
+	StepOutput
+)
+
+// Step is one scheduled unit of work with its cost estimate.
+type Step struct {
+	Node *algebra.Node
+	Kind StepKind
+	Algo MatMulAlgo // StepMatMul only
+	Refs int        // consumers (StepMaterialize only)
+	// Estimated device traffic for the step, in blocks; EstRandOps of
+	// the reads are random positionings.
+	EstReadBlocks  float64
+	EstWriteBlocks float64
+	EstRandOps     float64
+	// EstSeconds is the step's simulated I/O time.
+	EstSeconds float64
+}
+
+// Plan is the physical plan for one root: the decision table the
+// executor interprets, plus the inspectable schedule Explain renders.
+type Plan struct {
+	Root     *algebra.Node
+	Strategy Strategy
+	Machine  Machine
+	Steps    []Step
+	// EstBlocks is the total estimated device traffic (reads + writes);
+	// EstSeconds the total simulated I/O time.
+	EstBlocks  float64
+	EstSeconds float64
+
+	decisions map[*algebra.Node]Decision
+	algos     map[*algebra.Node]MatMulAlgo
+	refs      map[*algebra.Node]int
+}
+
+// ShouldMaterialize reports the plan's decision for n. Nodes outside
+// the planned DAG (and sources, and matrix nodes) report false.
+func (p *Plan) ShouldMaterialize(n *algebra.Node) bool {
+	return p.decisions[n] == Materialize
+}
+
+// Decision returns the planned evaluation mode for a vector node.
+func (p *Plan) Decision(n *algebra.Node) (Decision, bool) {
+	d, ok := p.decisions[n]
+	return d, ok
+}
+
+// Algo returns the planned kernel for a MatMul node (AlgoNone for
+// anything else).
+func (p *Plan) Algo(n *algebra.Node) MatMulAlgo {
+	return p.algos[n]
+}
+
+// Refs returns the consumer count the planner saw for n.
+func (p *Plan) Refs(n *algebra.Node) int { return p.refs[n] }
+
+// PrepareSteps returns the materialization steps (StepMaterialize and
+// StepGatherSource) needed by the subtree rooted at n, in dependency
+// order — the schedule the parallel preparation pass runs before
+// workers start.
+func (p *Plan) PrepareSteps(n *algebra.Node) []Step {
+	reach := make(map[*algebra.Node]bool)
+	var walk func(m *algebra.Node)
+	walk = func(m *algebra.Node) {
+		if reach[m] {
+			return
+		}
+		reach[m] = true
+		for _, k := range m.Kids {
+			walk(k)
+		}
+	}
+	walk(n)
+	var out []Step
+	for _, s := range p.Steps {
+		if (s.Kind == StepMaterialize || s.Kind == StepGatherSource) && reach[s.Node] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Build plans the DAG rooted at root.
+func Build(root *algebra.Node, opts Options) *Plan {
+	b := &builder{
+		opts:      opts,
+		p:         opts.Machine.params(),
+		refs:      algebra.CountRefs(root),
+		decisions: make(map[*algebra.Node]Decision),
+		algos:     make(map[*algebra.Node]MatMulAlgo),
+		worthMemo: make(map[*algebra.Node]bool),
+		costMemo:  make(map[*algebra.Node]pipeCost),
+		stepped:   make(map[*algebra.Node]bool),
+	}
+	b.decide(root, make(map[*algebra.Node]bool))
+	b.schedule(root, make(map[*algebra.Node]bool))
+	pl := &Plan{
+		Root:      root,
+		Strategy:  opts.Strategy,
+		Machine:   opts.Machine,
+		Steps:     b.steps,
+		decisions: b.decisions,
+		algos:     b.algos,
+		refs:      b.refs,
+	}
+	if root.Shape.Vector {
+		c := b.pipelineCost(root)
+		rand := c.rand
+		if c.streams > 1 && !opts.Machine.Readahead {
+			// Interleaved streams: the device classifies nearly every
+			// block of a multi-stream pipeline as a random positioning.
+			rand = c.blocks
+		}
+		pl.Steps = append(pl.Steps, Step{
+			Node: root, Kind: StepOutput,
+			EstReadBlocks: c.blocks, EstRandOps: rand,
+			EstSeconds: opts.Machine.seconds(c.blocks, rand),
+		})
+	}
+	for _, s := range pl.Steps {
+		pl.EstBlocks += s.EstReadBlocks + s.EstWriteBlocks
+		pl.EstSeconds += s.EstSeconds
+	}
+	return pl
+}
+
+type builder struct {
+	opts      Options
+	p         costmodel.Params
+	refs      map[*algebra.Node]int
+	decisions map[*algebra.Node]Decision
+	algos     map[*algebra.Node]MatMulAlgo
+	worthMemo map[*algebra.Node]bool
+	costMemo  map[*algebra.Node]pipeCost
+	stepped   map[*algebra.Node]bool
+	steps     []Step
+}
+
+// worth is the seed's worthMaterializing gate, memoized: one pass over
+// the DAG instead of the unmemoized recursive descent that was O(n²) on
+// shared subtrees.
+func (b *builder) worth(n *algebra.Node) bool {
+	if v, ok := b.worthMemo[n]; ok {
+		return v
+	}
+	var v bool
+	switch n.Op {
+	case algebra.OpSourceVec, algebra.OpSourceMat:
+		v = false
+	case algebra.OpGather, algebra.OpReduce, algebra.OpMatMul:
+		v = true
+	default:
+		for _, k := range n.Kids {
+			if b.worth(k) {
+				v = true
+				break
+			}
+		}
+	}
+	b.worthMemo[n] = v
+	return v
+}
+
+// decide fills the decision table in post-order, so a node's children
+// are decided (and their pipeline costs final) before its own choice.
+func (b *builder) decide(n *algebra.Node, seen map[*algebra.Node]bool) {
+	if seen[n] {
+		return
+	}
+	seen[n] = true
+	for _, k := range n.Kids {
+		b.decide(k, seen)
+	}
+	if !n.Shape.Vector {
+		if n.Op == algebra.OpMatMul {
+			b.algos[n] = b.algo(n)
+		}
+		return
+	}
+	b.decisions[n] = b.decideVector(n)
+}
+
+func (b *builder) decideVector(n *algebra.Node) Decision {
+	if n.Op == algebra.OpSourceVec {
+		return Stream
+	}
+	// The ablation knobs force materialization under both strategies:
+	// they emulate other systems' semantics, not a cost choice.
+	if !b.opts.FuseElementwise && n.Op != algebra.OpReduce {
+		return Materialize
+	}
+	if b.opts.EagerUpdates && n.Op == algebra.OpUpdateMask {
+		return Materialize
+	}
+	refs := b.refs[n]
+	if refs <= 1 {
+		return Pipeline
+	}
+	switch b.opts.Strategy {
+	case CostBased:
+		c := b.pipelineCost(n)
+		if costmodel.MaterializeWins(float64(refs), float64(n.Shape.Rows), c.blocks, c.rand, b.p) {
+			return Materialize
+		}
+	default: // Heuristic
+		if b.worth(n) {
+			return Materialize
+		}
+	}
+	return Pipeline
+}
+
+// pipeCost estimates one full streaming evaluation of a node: blocks
+// read, how many of them are random positionings, and how many distinct
+// linear streams the pipeline interleaves.
+type pipeCost struct {
+	blocks  float64
+	rand    float64
+	streams int
+}
+
+func (a pipeCost) plus(o pipeCost) pipeCost {
+	return pipeCost{a.blocks + o.blocks, a.rand + o.rand, a.streams + o.streams}
+}
+
+// pipelineCost estimates the cost of evaluating n once, given the
+// decisions already made for its descendants. Distinct sources and
+// materialized temporaries are charged once per evaluation (repeat
+// visits within one pipeline hit the buffer pool).
+func (b *builder) pipelineCost(n *algebra.Node) pipeCost {
+	if c, ok := b.costMemo[n]; ok {
+		return c
+	}
+	c := b.cost(n, make(map[*algebra.Node]bool), true)
+	b.costMemo[n] = c
+	return c
+}
+
+func (b *builder) cost(n *algebra.Node, seen map[*algebra.Node]bool, isRoot bool) pipeCost {
+	if seen[n] {
+		return pipeCost{}
+	}
+	seen[n] = true
+	stream := func(rows int64) pipeCost {
+		return pipeCost{blocks: costmodel.StreamBlocks(float64(rows), b.p), streams: 1}
+	}
+	if !isRoot && b.decisions[n] == Materialize {
+		// Consumers read the temporary sequentially.
+		return stream(n.Shape.Rows)
+	}
+	switch n.Op {
+	case algebra.OpSourceVec:
+		return stream(n.Shape.Rows)
+	case algebra.OpRange:
+		// After pushdown ranges sit on sources or barriers; only the
+		// selected window is touched.
+		k := n.Kids[0]
+		if k.Op == algebra.OpSourceVec || b.decisions[k] == Materialize {
+			return stream(n.Shape.Rows)
+		}
+		sub := b.cost(k, make(map[*algebra.Node]bool), false)
+		frac := 1.0
+		if k.Shape.Rows > 0 {
+			frac = float64(n.Shape.Rows) / float64(k.Shape.Rows)
+		}
+		return pipeCost{blocks: sub.blocks*frac + 1, rand: sub.rand * frac, streams: sub.streams}
+	case algebra.OpGather:
+		idx := b.cost(n.Kids[1], seen, false)
+		data := n.Kids[0]
+		db := costmodel.StreamBlocks(float64(data.Shape.Rows), b.p)
+		touched := expectedDistinct(db, float64(n.Shape.Rows))
+		return pipeCost{blocks: idx.blocks + touched, rand: idx.rand + touched, streams: idx.streams}
+	case algebra.OpReduce:
+		// A separate full pass over the child per evaluation.
+		return b.cost(n.Kids[0], make(map[*algebra.Node]bool), false)
+	case algebra.OpMatMul, algebra.OpSourceMat:
+		// Matrix work is costed as explicit steps, not in pipelines.
+		return pipeCost{}
+	}
+	var c pipeCost
+	for _, k := range n.Kids {
+		c = c.plus(b.cost(k, seen, false))
+	}
+	return c
+}
+
+// expectedDistinct returns the expected number of distinct blocks (of
+// db total) touched by k uniform random accesses.
+func expectedDistinct(db, k float64) float64 {
+	if db <= 0 || k <= 0 {
+		return 0
+	}
+	d := db * (1 - math.Pow(1-1/db, k))
+	return math.Min(math.Max(d, 1), math.Min(db, k))
+}
+
+// algo selects the multiply kernel for a MatMul node from plan-time
+// operand layouts, mirroring the runtime kernels' output layouts so the
+// inference matches what the executor will actually see.
+func (b *builder) algo(n *algebra.Node) MatMulAlgo {
+	if a, ok := b.algos[n]; ok {
+		return a
+	}
+	atr, atc := b.matLayout(n.Kids[0])
+	btr, btc := b.matLayout(n.Kids[1])
+	l := float64(n.Kids[0].Shape.Rows)
+	m := float64(n.Kids[0].Shape.Cols)
+	k := float64(n.Kids[1].Shape.Cols)
+	squareOK := atr == atc && btr == btc && atr == btr
+	var a MatMulAlgo
+	switch {
+	case squareOK && costmodel.CheaperSquareTiled(l, m, k, b.p):
+		a = AlgoSquareTiled
+	case squareOK:
+		a = AlgoBNLJSquare
+	default:
+		a = AlgoBNLJRow
+	}
+	b.algos[n] = a
+	return a
+}
+
+// matLayout returns the tile dimensions a matrix node will have at run
+// time: sources report their stored tiling; multiply results take the
+// layout their planned kernel produces.
+func (b *builder) matLayout(n *algebra.Node) (tr, tc int) {
+	bElems := b.opts.Machine.BlockElems
+	side := int(math.Sqrt(float64(bElems)))
+	if side < 1 {
+		side = 1
+	}
+	switch n.Op {
+	case algebra.OpSourceMat:
+		return n.Mat.TileDims()
+	case algebra.OpMatMul:
+		if b.algo(n) == AlgoBNLJRow {
+			return 1, bElems
+		}
+		return side, side
+	}
+	return side, side
+}
+
+// schedule collects the plan's steps in dependency order: children
+// before parents, gather sources before the materialization of the
+// gather's own subtree — the order the preparation pass executes.
+func (b *builder) schedule(n *algebra.Node, seen map[*algebra.Node]bool) {
+	if seen[n] {
+		return
+	}
+	seen[n] = true
+	for _, k := range n.Kids {
+		b.schedule(k, seen)
+	}
+	if !n.Shape.Vector {
+		if n.Op == algebra.OpMatMul && !b.stepped[n] {
+			b.stepped[n] = true
+			b.steps = append(b.steps, b.matmulStep(n))
+		}
+		return
+	}
+	if n.Op == algebra.OpGather {
+		if d := n.Kids[0]; d.Op != algebra.OpSourceVec && b.decisions[d] != Materialize && !b.stepped[d] {
+			b.stepped[d] = true
+			b.steps = append(b.steps, b.materializeStep(d, StepGatherSource))
+		}
+	}
+	if b.decisions[n] == Materialize && !b.stepped[n] {
+		b.stepped[n] = true
+		b.steps = append(b.steps, b.materializeStep(n, StepMaterialize))
+	}
+}
+
+func (b *builder) materializeStep(n *algebra.Node, kind StepKind) Step {
+	c := b.pipelineCost(n)
+	rand := c.rand
+	if c.streams > 1 && !b.opts.Machine.Readahead {
+		rand = c.blocks
+	}
+	writes := costmodel.StreamBlocks(float64(n.Shape.Rows), b.p)
+	return Step{
+		Node: n, Kind: kind, Refs: b.refs[n],
+		EstReadBlocks: c.blocks, EstWriteBlocks: writes, EstRandOps: rand,
+		EstSeconds: b.opts.Machine.seconds(c.blocks+writes, rand),
+	}
+}
+
+func (b *builder) matmulStep(n *algebra.Node) Step {
+	l := float64(n.Kids[0].Shape.Rows)
+	m := float64(n.Kids[0].Shape.Cols)
+	k := float64(n.Kids[1].Shape.Cols)
+	algo := b.algo(n)
+	var total float64
+	if algo == AlgoSquareTiled {
+		total = costmodel.SquareTiled(l, m, k, b.p)
+	} else {
+		total = costmodel.BNLJ(l, m, k, b.p)
+	}
+	writes := costmodel.StreamBlocks(l*k, b.p)
+	reads := total - writes
+	if reads < 0 {
+		reads = 0
+	}
+	rand := reads
+	if b.opts.Machine.Readahead {
+		rand = 0
+	}
+	return Step{
+		Node: n, Kind: StepMatMul, Algo: algo,
+		EstReadBlocks: reads, EstWriteBlocks: writes, EstRandOps: rand,
+		EstSeconds: b.opts.Machine.seconds(reads+writes, rand),
+	}
+}
+
+// --- Rendering ---
+
+// describe renders a node for Explain output: id, op, shape, and a
+// truncated expression string.
+func describe(n *algebra.Node) string {
+	return fmt.Sprintf("#%d %s %s %s", n.ID, n.Op, n.Shape, truncate(n.String(), 48))
+}
+
+func truncate(s string, max int) string {
+	r := []rune(s)
+	if len(r) <= max {
+		return s
+	}
+	return string(r[:max-1]) + "…"
+}
+
+func (k StepKind) label() string {
+	switch k {
+	case StepMaterialize:
+		return "materialize"
+	case StepGatherSource:
+		return "gather-source"
+	case StepMatMul:
+		return "matmul"
+	case StepOutput:
+		return "output"
+	}
+	return fmt.Sprintf("StepKind(%d)", int(k))
+}
+
+// Render formats the plan for Explain: machine header, the scheduled
+// steps with per-step cost estimates, the totals, and the per-node
+// decision table.
+func (p *Plan) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "physical plan: strategy=%s M=%d B=%d frames=%d workers=%d readahead=%v\n",
+		p.Strategy, p.Machine.MemElems, p.Machine.BlockElems, p.Machine.Frames,
+		p.Machine.Workers, p.Machine.Readahead)
+	fmt.Fprintf(&sb, "root: %s\n", describe(p.Root))
+	fmt.Fprintf(&sb, "steps:\n")
+	for i, s := range p.Steps {
+		fmt.Fprintf(&sb, "  %2d. %-13s %s", i+1, s.Kind.label(), describe(s.Node))
+		if s.Kind == StepMatMul {
+			fmt.Fprintf(&sb, "  algo=%s", s.Algo)
+		}
+		if s.Kind == StepMaterialize {
+			fmt.Fprintf(&sb, "  refs=%d", s.Refs)
+		}
+		fmt.Fprintf(&sb, "  est: read %.0f blk (%.0f rand), write %.0f blk, io %.3fs\n",
+			s.EstReadBlocks, s.EstRandOps, s.EstWriteBlocks, s.EstSeconds)
+	}
+	mb := p.EstBlocks * float64(p.Machine.BlockElems) * 8 / (1 << 20)
+	fmt.Fprintf(&sb, "total est: %.0f blocks (%.2f MB), io %.3fs\n", p.EstBlocks, mb, p.EstSeconds)
+
+	nodes := make([]*algebra.Node, 0, len(p.decisions))
+	for n := range p.decisions {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	fmt.Fprintf(&sb, "decisions:\n")
+	for _, n := range nodes {
+		fmt.Fprintf(&sb, "  %-11s %s", p.decisions[n], describe(n))
+		if r := p.refs[n]; r > 1 {
+			fmt.Fprintf(&sb, "  refs=%d", r)
+		}
+		fmt.Fprintln(&sb)
+	}
+	mats := make([]*algebra.Node, 0, len(p.algos))
+	for n := range p.algos {
+		mats = append(mats, n)
+	}
+	if len(mats) > 0 {
+		sort.Slice(mats, func(i, j int) bool { return mats[i].ID < mats[j].ID })
+		fmt.Fprintf(&sb, "multiplies:\n")
+		for _, n := range mats {
+			fmt.Fprintf(&sb, "  %-13s %s\n", p.algos[n], describe(n))
+		}
+	}
+	return sb.String()
+}

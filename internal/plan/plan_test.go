@@ -1,0 +1,310 @@
+package plan_test
+
+import (
+	"strings"
+	"testing"
+
+	"riot/internal/algebra"
+	"riot/internal/array"
+	"riot/internal/buffer"
+	"riot/internal/disk"
+	"riot/internal/plan"
+)
+
+// harness builds a graph over a real pool so sources are honest.
+type harness struct {
+	t    *testing.T
+	g    *algebra.Graph
+	pool *buffer.Pool
+}
+
+func newHarness(t *testing.T, blockElems, frames int) *harness {
+	t.Helper()
+	dev := disk.NewDevice(blockElems)
+	return &harness{t: t, g: algebra.NewGraph(), pool: buffer.New(dev, frames)}
+}
+
+func (h *harness) machine() plan.Machine {
+	return plan.Machine{
+		MemElems:   h.pool.MemoryElems(),
+		BlockElems: h.pool.Device().BlockElems(),
+		Frames:     h.pool.Capacity(),
+		Workers:    1,
+	}
+}
+
+func (h *harness) opts(s plan.Strategy) plan.Options {
+	return plan.Options{Strategy: s, Machine: h.machine(), FuseElementwise: true}
+}
+
+func (h *harness) vec(name string, n int64) *algebra.Node {
+	h.t.Helper()
+	v, err := array.NewVector(h.pool, name, n)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return h.g.SourceVec(v)
+}
+
+func (h *harness) must(n *algebra.Node, err error) *algebra.Node {
+	h.t.Helper()
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return n
+}
+
+// sharedGatherRoot builds (x[s]-3)*(x[s]-3) + (x[s]-100)*(x[s]-100):
+// a gather with two consumers under a fused elementwise crown.
+func sharedGatherRoot(h *harness, n, k int64) (*algebra.Node, *algebra.Node) {
+	x := h.vec("x", n)
+	s := h.vec("s", k)
+	g := h.must(h.g.Gather(x, s))
+	a := h.must(h.g.ScalarOp("-", g, 3, false))
+	aq := h.must(h.g.ElemBinary("*", a, a))
+	b := h.must(h.g.ScalarOp("-", g, 100, false))
+	bq := h.must(h.g.ElemBinary("*", b, b))
+	return h.must(h.g.ElemBinary("+", aq, bq)), g
+}
+
+// TestHeuristicMatchesSeedPolicy checks the Heuristic strategy encodes
+// the seed executor's exact rules: shared subtrees containing a gather
+// are materialized, shared cheap elementwise subtrees are not, sources
+// stream.
+func TestHeuristicMatchesSeedPolicy(t *testing.T) {
+	h := newHarness(t, 1024, 64)
+	root, g := sharedGatherRoot(h, 16384, 2048)
+	p := plan.Build(root, h.opts(plan.Heuristic))
+
+	if !p.ShouldMaterialize(g) {
+		t.Error("shared gather must materialize under the heuristic")
+	}
+	if d, _ := p.Decision(root); d != plan.Pipeline {
+		t.Errorf("root decision = %v, want pipeline", d)
+	}
+
+	// A shared cheap elementwise node (no gather/reduce/matmul below)
+	// must stay pipelined.
+	x := h.vec("y", 16384)
+	xs := h.must(h.g.ScalarOp("-", x, 3, false))
+	sq := h.must(h.g.ElemBinary("*", xs, xs))
+	p2 := plan.Build(sq, h.opts(plan.Heuristic))
+	if p2.ShouldMaterialize(xs) {
+		t.Error("shared cheap elementwise subtree must pipeline under the heuristic")
+	}
+	if d, _ := p2.Decision(x); d != plan.Stream {
+		t.Error("source must stream")
+	}
+	if p2.Refs(xs) != 2 {
+		t.Errorf("refs(xs) = %d, want 2", p2.Refs(xs))
+	}
+}
+
+// TestCostBasedPipelinesResidentShared checks the M-sensitivity the
+// heuristic lacks: with the gather's data resident in memory, the
+// cost-based strategy recomputes the shared gather instead of storing a
+// temporary; when the data spills, it materializes like the heuristic.
+func TestCostBasedPipelinesResidentShared(t *testing.T) {
+	// 16 data blocks in a 64-frame pool: resident.
+	h := newHarness(t, 1024, 64)
+	root, g := sharedGatherRoot(h, 16384, 2048)
+	p := plan.Build(root, h.opts(plan.CostBased))
+	if p.ShouldMaterialize(g) {
+		t.Error("cost-based planner must pipeline a gather over resident data")
+	}
+
+	// 512 data blocks in an 8-frame pool: spills, temp wins.
+	h2 := newHarness(t, 1024, 8)
+	root2, g2 := sharedGatherRoot(h2, 512*1024, 2048)
+	p2 := plan.Build(root2, h2.opts(plan.CostBased))
+	if !p2.ShouldMaterialize(g2) {
+		t.Error("cost-based planner must materialize a shared gather over spilled data")
+	}
+}
+
+// TestPrepareStepsOrder checks the materialization schedule is in
+// dependency order and reachability-filtered.
+func TestPrepareStepsOrder(t *testing.T) {
+	h := newHarness(t, 1024, 8)
+	// inner = x[s] (shared), outer = inner[s2] (shared) — nested gathers
+	// force two materialize steps where inner must precede outer.
+	x := h.vec("x", 512*1024)
+	s := h.vec("s", 4096)
+	s2 := h.vec("s2", 4096)
+	inner := h.must(h.g.Gather(x, s))
+	outer := h.must(h.g.Gather(inner, s2))
+	oa := h.must(h.g.ScalarOp("-", outer, 1, false))
+	ob := h.must(h.g.ScalarOp("-", outer, 2, false))
+	sum := h.must(h.g.ElemBinary("+", h.must(h.g.ElemBinary("*", oa, oa)), h.must(h.g.ElemBinary("*", ob, ob))))
+
+	p := plan.Build(sum, h.opts(plan.Heuristic))
+	steps := p.PrepareSteps(sum)
+	var idxInner, idxOuter = -1, -1
+	for i, st := range steps {
+		switch st.Node {
+		case inner:
+			idxInner = i
+		case outer:
+			idxOuter = i
+		}
+	}
+	if idxInner == -1 || idxOuter == -1 {
+		t.Fatalf("missing steps: inner=%d outer=%d (steps=%d)", idxInner, idxOuter, len(steps))
+	}
+	if idxInner > idxOuter {
+		t.Errorf("inner gather scheduled at %d after outer at %d", idxInner, idxOuter)
+	}
+	// Reachability filter: preparing only oa's subtree keeps both (outer
+	// is below oa), but preparing s2 alone needs nothing.
+	if got := p.PrepareSteps(s2); len(got) != 0 {
+		t.Errorf("PrepareSteps(source) = %d steps, want 0", len(got))
+	}
+}
+
+// TestGatherSourceStep checks a gather over a non-source data child
+// schedules a gather-source materialization for the parallel prep pass
+// without marking the node Materialize for the fused pipeline.
+func TestGatherSourceStep(t *testing.T) {
+	h := newHarness(t, 1024, 64)
+	x := h.vec("x", 16384)
+	s := h.vec("s", 128)
+	half := h.must(h.g.ScalarOp("/", x, 2, false))
+	gathered := h.must(h.g.Gather(half, s))
+	p := plan.Build(gathered, h.opts(plan.Heuristic))
+
+	var found bool
+	for _, st := range p.PrepareSteps(gathered) {
+		if st.Node == half && st.Kind == plan.StepGatherSource {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing gather-source step for non-source data child")
+	}
+	if p.ShouldMaterialize(half) {
+		t.Error("gather data child must not be marked Materialize for the pipeline")
+	}
+}
+
+// TestMatMulAlgoSelection checks kernel selection per operand layout:
+// square-tiled operands pick the cheaper of the two formulas, mixed
+// layouts fall back to row-tile BNLJ.
+func TestMatMulAlgoSelection(t *testing.T) {
+	h := newHarness(t, 1024, 48)
+	mk := func(name string, r, c int64, shape array.TileShape) *algebra.Node {
+		m, err := array.NewMatrix(h.pool, name, r, c, array.Options{Shape: shape})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h.g.SourceMat(m)
+	}
+	a := mk("a", 256, 256, array.SquareTiles)
+	b := mk("b", 256, 256, array.SquareTiles)
+	ab := h.must(h.g.MatMul(a, b))
+	p := plan.Build(ab, h.opts(plan.Heuristic))
+	if got := p.Algo(ab); got != plan.AlgoSquareTiled {
+		t.Errorf("square operands at tight memory: algo = %v, want square-tiled", got)
+	}
+
+	c := mk("c", 256, 256, array.RowTiles)
+	ac := h.must(h.g.MatMul(a, c))
+	p2 := plan.Build(ac, h.opts(plan.Heuristic))
+	if got := p2.Algo(ac); got != plan.AlgoBNLJRow {
+		t.Errorf("mixed layouts: algo = %v, want bnlj(row)", got)
+	}
+
+	// A chained multiply's intermediate inherits the square layout, so
+	// the outer node must still be eligible for square tiling.
+	d := mk("d", 256, 256, array.SquareTiles)
+	abd := h.must(h.g.MatMul(ab, d))
+	p3 := plan.Build(abd, h.opts(plan.Heuristic))
+	if got := p3.Algo(abd); got == plan.AlgoBNLJRow {
+		t.Errorf("square intermediate: algo = %v, want a square-tile kernel", got)
+	}
+	// Both multiplies appear as steps, children first.
+	var order []plan.MatMulAlgo
+	for _, st := range p3.Steps {
+		if st.Kind == plan.StepMatMul {
+			order = append(order, st.Algo)
+			if st.EstReadBlocks <= 0 || st.EstWriteBlocks <= 0 {
+				t.Errorf("matmul step missing cost estimate: %+v", st)
+			}
+		}
+	}
+	if len(order) != 2 {
+		t.Fatalf("want 2 matmul steps, got %d", len(order))
+	}
+}
+
+// TestAblationKnobs checks the no-fusion and eager-update modes force
+// materialization under both strategies.
+func TestAblationKnobs(t *testing.T) {
+	h := newHarness(t, 1024, 64)
+	x := h.vec("x", 16384)
+	xs := h.must(h.g.ScalarOp("-", x, 3, false))
+	up := h.must(h.g.UpdateMask(xs, ">", 100, 100))
+
+	for _, s := range []plan.Strategy{plan.Heuristic, plan.CostBased} {
+		o := h.opts(s)
+		o.FuseElementwise = false
+		p := plan.Build(up, o)
+		if !p.ShouldMaterialize(xs) || !p.ShouldMaterialize(up) {
+			t.Errorf("%s: no-fusion must materialize every interior node", s)
+		}
+
+		o = h.opts(s)
+		o.EagerUpdates = true
+		p = plan.Build(up, o)
+		if !p.ShouldMaterialize(up) {
+			t.Errorf("%s: eager updates must materialize the UpdateMask", s)
+		}
+		if p.ShouldMaterialize(xs) {
+			t.Errorf("%s: eager updates must not materialize below the update", s)
+		}
+	}
+}
+
+// TestRender spot-checks the Explain rendering: header, steps, totals,
+// and the decision table.
+func TestRender(t *testing.T) {
+	h := newHarness(t, 1024, 64)
+	root, _ := sharedGatherRoot(h, 16384, 2048)
+	p := plan.Build(root, h.opts(plan.Heuristic))
+	out := p.Render()
+	for _, want := range []string{
+		"physical plan: strategy=heuristic",
+		"frames=64",
+		"materialize",
+		"output",
+		"total est:",
+		"decisions:",
+		"stream",
+		"pipeline",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	if p.EstBlocks <= 0 || p.EstSeconds <= 0 {
+		t.Errorf("plan totals not populated: blocks=%g sec=%g", p.EstBlocks, p.EstSeconds)
+	}
+}
+
+// TestWorthMemoization builds a deep shared chain (the shape that made
+// the unmemoized worthMaterializing quadratic) and checks Build stays
+// linear-ish — it completes instantly even at depth 2000 with every
+// node shared twice.
+func TestWorthMemoization(t *testing.T) {
+	h := newHarness(t, 1024, 64)
+	x := h.vec("x", 1024)
+	s := h.vec("s", 64)
+	n := h.must(h.g.Gather(x, s)) // worth=true at the bottom
+	for i := 0; i < 2000; i++ {
+		n = h.must(h.g.ElemBinary("+", n, n)) // every level shares its child twice
+	}
+	root := h.must(h.g.ElemBinary("+", n, n))
+	p := plan.Build(root, h.opts(plan.Heuristic))
+	if !p.ShouldMaterialize(n) {
+		t.Error("deep shared chain over a gather must materialize")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"riot/internal/scalarop"
 )
 
 // exec executes one statement.
@@ -161,41 +163,14 @@ func (in *Interp) evalBin(t binExpr) (Value, error) {
 	}
 }
 
+// scalarBin folds a binary operator over two scalar constants via the
+// shared scalar-op table.
 func scalarBin(op string, a, b float64) float64 {
-	switch op {
-	case "+":
-		return a + b
-	case "-":
-		return a - b
-	case "*":
-		return a * b
-	case "/":
-		return a / b
-	case "^":
-		return math.Pow(a, b)
-	case "%%":
-		return math.Mod(a, b)
-	case "==":
-		return b2f(a == b)
-	case "!=":
-		return b2f(a != b)
-	case "<":
-		return b2f(a < b)
-	case "<=":
-		return b2f(a <= b)
-	case ">":
-		return b2f(a > b)
-	case ">=":
-		return b2f(a >= b)
+	f, err := scalarop.Bin(op)
+	if err != nil {
+		return math.NaN()
 	}
-	return math.NaN()
-}
-
-func b2f(v bool) float64 {
-	if v {
-		return 1
-	}
-	return 0
+	return f(a, b)
 }
 
 // evalIndex handles x[s] and x[a:b] with R's 1-based conventions.
@@ -425,26 +400,14 @@ func (in *Interp) evalCall(t callExpr) (Value, error) {
 	return Value{}, fmt.Errorf("rlang: unknown function %q", t.fn)
 }
 
+// scalarFn folds a unary math function over a scalar constant via the
+// shared scalar-op table.
 func scalarFn(fn string, v float64) float64 {
-	switch fn {
-	case "sqrt":
-		return math.Sqrt(v)
-	case "abs":
-		return math.Abs(v)
-	case "exp":
-		return math.Exp(v)
-	case "log":
-		return math.Log(v)
-	case "sin":
-		return math.Sin(v)
-	case "cos":
-		return math.Cos(v)
-	case "floor":
-		return math.Floor(v)
-	case "ceiling":
-		return math.Ceil(v)
+	f, err := scalarop.Unary(fn)
+	if err != nil {
+		return math.NaN()
 	}
-	return math.NaN()
+	return f(v)
 }
 
 // print forces evaluation (the paper's trigger for computing z) and

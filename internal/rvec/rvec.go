@@ -14,8 +14,8 @@ package rvec
 
 import (
 	"fmt"
-	"math"
 
+	"riot/internal/scalarop"
 	"riot/internal/vmem"
 )
 
@@ -94,47 +94,9 @@ func (e *Engine) NewVector(n int64, gen func(i int64) float64) *Vector {
 // At reads one element (faulting its page if needed).
 func (v *Vector) At(i int64) float64 { return v.arr.At(i) }
 
-// binOps implements R's vectorized arithmetic and comparisons.
-func binOp(op string) (func(a, b float64) float64, error) {
-	switch op {
-	case "+":
-		return func(a, b float64) float64 { return a + b }, nil
-	case "-":
-		return func(a, b float64) float64 { return a - b }, nil
-	case "*":
-		return func(a, b float64) float64 { return a * b }, nil
-	case "/":
-		return func(a, b float64) float64 { return a / b }, nil
-	case "^":
-		return math.Pow, nil
-	case "%%":
-		return math.Mod, nil
-	case "==":
-		return func(a, b float64) float64 { return b2f(a == b) }, nil
-	case "!=":
-		return func(a, b float64) float64 { return b2f(a != b) }, nil
-	case "<":
-		return func(a, b float64) float64 { return b2f(a < b) }, nil
-	case "<=":
-		return func(a, b float64) float64 { return b2f(a <= b) }, nil
-	case ">":
-		return func(a, b float64) float64 { return b2f(a > b) }, nil
-	case ">=":
-		return func(a, b float64) float64 { return b2f(a >= b) }, nil
-	case "&":
-		return func(a, b float64) float64 { return b2f(a != 0 && b != 0) }, nil
-	case "|":
-		return func(a, b float64) float64 { return b2f(a != 0 || b != 0) }, nil
-	}
-	return nil, fmt.Errorf("rvec: unknown operator %q", op)
-}
-
-func b2f(v bool) float64 {
-	if v {
-		return 1
-	}
-	return 0
-}
+// binOp resolves R's vectorized arithmetic and comparisons in the
+// shared scalar-op table.
+func binOp(op string) (scalarop.BinFunc, error) { return scalarop.Bin(op) }
 
 // Arith eagerly computes a op b into a fresh full-length temporary —
 // exactly what R does, and the root of its memory pressure.
@@ -181,28 +143,9 @@ func (e *Engine) ArithScalar(op string, a *Vector, s float64, scalarLeft bool) (
 	return out, nil
 }
 
-// unaryFns are the vectorized math functions.
-func unaryFn(name string) (func(float64) float64, error) {
-	switch name {
-	case "sqrt", "SQRT":
-		return math.Sqrt, nil
-	case "abs", "ABS":
-		return math.Abs, nil
-	case "exp", "EXP":
-		return math.Exp, nil
-	case "log", "LOG":
-		return math.Log, nil
-	case "sin", "SIN":
-		return math.Sin, nil
-	case "cos", "COS":
-		return math.Cos, nil
-	case "floor", "FLOOR":
-		return math.Floor, nil
-	case "ceil", "CEIL", "ceiling":
-		return math.Ceil, nil
-	}
-	return nil, fmt.Errorf("rvec: unknown function %q", name)
-}
+// unaryFn resolves the vectorized math functions (R spellings and the
+// SQL-style uppercase aliases) in the shared scalar-op table.
+func unaryFn(name string) (scalarop.UnaryFunc, error) { return scalarop.Unary(name) }
 
 // Map applies a unary function elementwise into a fresh temporary.
 func (e *Engine) Map(name string, a *Vector) (*Vector, error) {

@@ -1,0 +1,89 @@
+// Package scalarop is the single home of the scalar arithmetic kernels
+// every evaluator shares: the vectorized binary operators (arithmetic,
+// comparisons, logic), the unary math functions, and the R convention
+// that booleans are the floats 0 and 1. The fused DAG executor
+// (internal/exec), the eager plain-R evaluator (internal/rvec, reached
+// through the engine's vmem-backed backend), and the riotscript
+// interpreter's scalar folding (internal/rlang) all resolve operators
+// here, so the operator set cannot drift between backends.
+package scalarop
+
+import (
+	"fmt"
+	"math"
+)
+
+// BinFunc is a vectorizable binary operator over float64.
+type BinFunc func(a, b float64) float64
+
+// UnaryFunc is a vectorizable unary function over float64.
+type UnaryFunc func(x float64) float64
+
+// FromBool converts a comparison result to R's numeric truth values.
+func FromBool(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// Bin resolves a binary operator by its R spelling. Comparisons and
+// logical operators return 0/1 per FromBool.
+func Bin(op string) (BinFunc, error) {
+	switch op {
+	case "+":
+		return func(a, b float64) float64 { return a + b }, nil
+	case "-":
+		return func(a, b float64) float64 { return a - b }, nil
+	case "*":
+		return func(a, b float64) float64 { return a * b }, nil
+	case "/":
+		return func(a, b float64) float64 { return a / b }, nil
+	case "^":
+		return math.Pow, nil
+	case "%%":
+		return math.Mod, nil
+	case "==":
+		return func(a, b float64) float64 { return FromBool(a == b) }, nil
+	case "!=":
+		return func(a, b float64) float64 { return FromBool(a != b) }, nil
+	case "<":
+		return func(a, b float64) float64 { return FromBool(a < b) }, nil
+	case "<=":
+		return func(a, b float64) float64 { return FromBool(a <= b) }, nil
+	case ">":
+		return func(a, b float64) float64 { return FromBool(a > b) }, nil
+	case ">=":
+		return func(a, b float64) float64 { return FromBool(a >= b) }, nil
+	case "&":
+		return func(a, b float64) float64 { return FromBool(a != 0 && b != 0) }, nil
+	case "|":
+		return func(a, b float64) float64 { return FromBool(a != 0 || b != 0) }, nil
+	}
+	return nil, fmt.Errorf("scalarop: unknown operator %q", op)
+}
+
+// Unary resolves a unary math function. Both the R spellings and the
+// SQL-style uppercase aliases the RIOT-DB translation emits are
+// accepted.
+func Unary(name string) (UnaryFunc, error) {
+	switch name {
+	case "sqrt", "SQRT":
+		return math.Sqrt, nil
+	case "abs", "ABS":
+		return math.Abs, nil
+	case "exp", "EXP":
+		return math.Exp, nil
+	case "log", "LOG":
+		return math.Log, nil
+	case "sin", "SIN":
+		return math.Sin, nil
+	case "cos", "COS":
+		return math.Cos, nil
+	case "floor", "FLOOR":
+		return math.Floor, nil
+	case "ceiling", "ceil", "CEIL":
+		return math.Ceil, nil
+	}
+	return nil, fmt.Errorf("scalarop: unknown function %q", name)
+}

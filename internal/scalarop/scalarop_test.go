@@ -1,0 +1,75 @@
+package scalarop
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBinOperators(t *testing.T) {
+	cases := []struct {
+		op   string
+		a, b float64
+		want float64
+	}{
+		{"+", 2, 3, 5},
+		{"-", 2, 3, -1},
+		{"*", 2, 3, 6},
+		{"/", 6, 3, 2},
+		{"^", 2, 10, 1024},
+		{"%%", 7, 3, 1},
+		{"==", 3, 3, 1},
+		{"!=", 3, 3, 0},
+		{"<", 2, 3, 1},
+		{"<=", 3, 3, 1},
+		{">", 2, 3, 0},
+		{">=", 3, 3, 1},
+		{"&", 1, 0, 0},
+		{"|", 1, 0, 1},
+	}
+	for _, c := range cases {
+		f, err := Bin(c.op)
+		if err != nil {
+			t.Fatalf("Bin(%q): %v", c.op, err)
+		}
+		if got := f(c.a, c.b); got != c.want {
+			t.Errorf("%g %s %g = %g, want %g", c.a, c.op, c.b, got, c.want)
+		}
+	}
+	if _, err := Bin("@"); err == nil {
+		t.Error("Bin(@) should fail")
+	}
+}
+
+func TestUnaryAliases(t *testing.T) {
+	for _, name := range []string{"sqrt", "SQRT"} {
+		f, err := Unary(name)
+		if err != nil {
+			t.Fatalf("Unary(%q): %v", name, err)
+		}
+		if got := f(9); got != 3 {
+			t.Errorf("%s(9) = %g, want 3", name, got)
+		}
+	}
+	for _, name := range []string{"ceiling", "ceil", "CEIL"} {
+		f, err := Unary(name)
+		if err != nil {
+			t.Fatalf("Unary(%q): %v", name, err)
+		}
+		if got := f(1.2); got != 2 {
+			t.Errorf("%s(1.2) = %g, want 2", name, got)
+		}
+	}
+	if _, err := Unary("tanhh"); err == nil {
+		t.Error("Unary(tanhh) should fail")
+	}
+	f, _ := Unary("log")
+	if got := f(math.E); math.Abs(got-1) > 1e-12 {
+		t.Errorf("log(e) = %g, want 1", got)
+	}
+}
+
+func TestFromBool(t *testing.T) {
+	if FromBool(true) != 1 || FromBool(false) != 0 {
+		t.Error("FromBool must map true→1, false→0")
+	}
+}

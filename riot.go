@@ -20,6 +20,16 @@
 // underneath it (asynchronous prefetch, vectored device I/O, elevator
 // write-back). The paper-faithful configuration is Workers: 1 with
 // Readahead left false — it reproduces the seed's I/O counters exactly.
+//
+// The RIOT backend evaluates through an explicit physical planner.
+// Config.Planner selects the strategy — PlannerHeuristic (the default,
+// reproducing the paper's hard-coded policy) or PlannerCostBased
+// (decisions derived from the analytic I/O formulas and the live M/B
+// machine parameters) — and Session.Explain (or Vector.Explain /
+// Matrix.Explain) returns the rendered plan for an expression:
+// per-node pipeline/materialize decisions, the materialization and
+// multiply schedule, and per-step estimated I/O in blocks and
+// simulated seconds, all without executing anything.
 package riot
 
 import (
@@ -27,6 +37,7 @@ import (
 	"runtime"
 
 	"riot/internal/engine"
+	"riot/internal/plan"
 	"riot/internal/riotdb"
 	"riot/internal/rlang"
 )
@@ -48,6 +59,26 @@ const (
 	BackendFullDB
 )
 
+// Planner selects the RIOT backend's physical-plan strategy.
+type Planner int
+
+// Available planner strategies.
+const (
+	// PlannerHeuristic is the seed executor's materialization policy,
+	// applied at plan time (default; I/O-deterministic at Workers: 1).
+	PlannerHeuristic Planner = iota
+	// PlannerCostBased derives plan decisions from the paper's analytic
+	// I/O cost formulas and the live machine parameters.
+	PlannerCostBased
+)
+
+func (p Planner) strategy() plan.Strategy {
+	if p == PlannerCostBased {
+		return plan.CostBased
+	}
+	return plan.Heuristic
+}
+
 // Config sizes the simulated machine.
 type Config struct {
 	Backend Backend
@@ -67,6 +98,15 @@ type Config struct {
 	// deterministic and reproduce the paper's measurements exactly.
 	// Other backends are single-threaded and ignore it.
 	Workers int
+	// Planner selects the RIOT backend's physical-plan strategy. The
+	// default, PlannerHeuristic, reproduces the seed executor's
+	// materialization policy (and, at Workers: 1 with Readahead off,
+	// its exact I/O counters). PlannerCostBased derives every
+	// pipeline/materialize decision from the analytic cost formulas and
+	// the live machine parameters, so shared subexpressions whose
+	// inputs fit in memory are recomputed from the buffer pool instead
+	// of written to disk. Other backends ignore it.
+	Planner Planner
 	// Readahead enables the RIOT backend's I/O scheduler: an
 	// asynchronous prefetcher under the buffer pool (explicit hints from
 	// the executor and kernels plus adaptive sequential readahead),
@@ -119,6 +159,7 @@ func NewSession(cfg Config) *Session {
 		e = engine.NewRIOTConfigured(cfg.BlockElems, cfg.MemElems, cfg.Time, engine.RIOTOptions{
 			Workers:   cfg.Workers,
 			Readahead: cfg.Readahead,
+			Planner:   cfg.Planner.strategy(),
 		})
 	}
 	return &Session{eng: e}
@@ -136,6 +177,31 @@ func (s *Session) Report() engine.Report { return s.eng.Report() }
 
 // ResetStats zeroes the usage counters.
 func (s *Session) ResetStats() { s.eng.ResetStats() }
+
+// explain renders the physical plan for an engine value. Only the RIOT
+// backend plans physically; other backends return an error.
+func (s *Session) explain(val engine.Value) (string, error) {
+	rt, ok := s.eng.(*engine.RIOT)
+	if !ok {
+		return "", fmt.Errorf("riot: Explain requires the RIOT backend (engine %q)", s.eng.Name())
+	}
+	return rt.Explain(val)
+}
+
+// Explain returns the rendered physical plan for a vector expression:
+// per-node pipeline/materialize decisions, the materialization and
+// multiply schedule, and per-step estimated I/O in blocks and simulated
+// seconds. Nothing is executed. RIOT backend only.
+func (s *Session) Explain(v *Vector) (string, error) { return s.explain(v.val) }
+
+// Explain renders the physical plan of the deferred expression this
+// handle denotes (see Session.Explain).
+func (v *Vector) Explain() (string, error) { return v.s.explain(v.val) }
+
+// Explain renders the physical plan of the deferred matrix expression,
+// including the multiply algorithm chosen for every %*% node (see
+// Session.Explain).
+func (m *Matrix) Explain() (string, error) { return m.s.explain(m.val) }
 
 // RunScript executes a riotscript program and returns its printed output.
 func (s *Session) RunScript(src string) (string, error) {

@@ -2,8 +2,11 @@ package riot
 
 import (
 	"math"
+	"os"
 	"strings"
 	"testing"
+
+	"riot/internal/engine"
 )
 
 func backends() []Backend {
@@ -242,5 +245,127 @@ func TestSessionWorkersConfig(t *testing.T) {
 	}
 	if math.Abs(gotSum-wantSum) > 1e-9*math.Abs(wantSum) {
 		t.Fatalf("sum=%v, want %v", gotSum, wantSum)
+	}
+}
+
+// TestSessionExplain checks the public Explain surface: the RIOT
+// backend renders a physical plan for vector and matrix expressions
+// without forcing them, and other backends refuse.
+func TestSessionExplain(t *testing.T) {
+	s := NewSession(Config{Backend: BackendRIOT, Planner: PlannerCostBased})
+	x, err := s.SeqVector(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, err := x.Sub(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := xs.Square()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := d.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"physical plan: strategy=cost-based", "total est:", "decisions:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Vector.Explain missing %q:\n%s", want, out)
+		}
+	}
+	if out2, err := s.Explain(d); err != nil || out2 != out {
+		t.Errorf("Session.Explain disagrees with Vector.Explain (err=%v)", err)
+	}
+
+	a, err := s.NewMatrix(64, 64, func(i, j int64) float64 { return float64(i + j) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := a.MatMul(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mout, err := ab.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(mout, "matmul") || !strings.Contains(mout, "multiplies:") {
+		t.Errorf("Matrix.Explain missing multiply plan:\n%s", mout)
+	}
+
+	p := NewSession(Config{Backend: BackendPlainR})
+	v, err := p.SeqVector(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Explain(); err == nil {
+		t.Error("Explain on plain-r backend should fail")
+	}
+}
+
+// TestSessionPlannerConfig checks the Planner knob changes plans but
+// not values: both strategies produce identical results.
+func TestSessionPlannerConfig(t *testing.T) {
+	head := func(p Planner) []float64 {
+		s := NewSession(Config{Backend: BackendRIOT, Planner: p, Workers: 1})
+		x, err := s.SeqVector(1 << 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := s.Sample(1<<16, 100, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := x.Gather(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := g.Sub(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sq, err := a.MulV(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals, err := sq.Head(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vals
+	}
+	h, c := head(PlannerHeuristic), head(PlannerCostBased)
+	for i := range h {
+		if h[i] != c[i] {
+			t.Fatalf("planner strategies disagree at %d: %g vs %g", i, h[i], c[i])
+		}
+	}
+}
+
+// TestGoldenExplainFixture is the local mirror of CI's golden-explain
+// check: the rendered plan for testdata/example1.R (riot-run's default
+// machine: M=1<<22, B=1024, heuristic planner) must match the
+// checked-in fixture byte for byte, minus the script's printed values
+// which follow the plan in the riot-run transcript.
+func TestGoldenExplainFixture(t *testing.T) {
+	src, err := os.ReadFile("testdata/example1.R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/example1_explain.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(Config{Backend: BackendRIOT, Workers: 1})
+	rt := s.Engine().(*engine.RIOT)
+	var plans strings.Builder
+	rt.SetExplainWriter(&plans)
+	out, err := s.RunScript(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plans.String() + out; got != string(want) {
+		t.Errorf("explain transcript drifted from testdata/example1_explain.golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
 }

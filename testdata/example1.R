@@ -1,0 +1,12 @@
+# The paper's Example 1: Euclidean distances from two fixed points,
+# sampled at 100 random positions. Self-contained version for riot-run
+# (inputs built in-script rather than pre-bound).
+n <- 131072
+x <- seq_len(n) %% 9973
+y <- seq_len(n) %% 9967
+xs <- 3; ys <- 4
+xe <- 100; ye <- 200
+d <- sqrt((x-xs)^2+(y-ys)^2) + sqrt((x-xe)^2+(y-ye)^2)
+s <- sample(length(x), 100)
+z <- d[s]
+print(z)
