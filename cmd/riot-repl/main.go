@@ -13,6 +13,7 @@ import (
 
 func main() {
 	s := riot.NewSession(riot.Config{Backend: riot.BackendRIOT})
+	defer s.Close()
 	in := s.Interp()
 	fmt.Println("riot — I/O-efficient numerical computing without SQL (CIDR'09 reproduction)")
 	fmt.Println(`type riotscript statements; ":stats" for counters, ":quit" to exit`)

@@ -81,4 +81,8 @@ func main() {
 	if rt, ok := s.Engine().(*engine.RIOT); ok {
 		fmt.Fprintf(os.Stderr, "[%s] pool: %s\n", s.EngineName(), rt.Executor().Pool().Stats())
 	}
+	if err := s.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "riot-run: close:", err)
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,111 @@
+// riot-serve runs a durable multi-session RIOT database behind a
+// line-protocol server: N concurrent riotscript sessions over one
+// sharded buffer pool, with per-session frame quotas and a named-array
+// catalog in -dir that survives restarts.
+//
+// Server mode (default) listens on -addr until SIGINT/SIGTERM or a
+// client's \shutdown, then checkpoints the catalog and exits. Client
+// mode (-send) connects to a running server, sends each line of the
+// argument ("-" reads stdin) as one request, prints the payloads, and
+// exits non-zero on the first err response.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"riot"
+	"riot/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7227", "listen (or, with -send, connect) address")
+	dir := flag.String("dir", "riot-data", "database directory (catalog persists here)")
+	mem := flag.Int64("mem", 1<<22, "shared memory budget in float64 elements (M)")
+	block := flag.Int("block", 1024, "block size in float64 elements (B)")
+	workers := flag.Int("workers", 0, "worker goroutines per session (0 = GOMAXPROCS)")
+	quota := flag.Int("quota", 0, "per-session pinned-frame quota (0 = pool/4)")
+	maxSessions := flag.Int("max-sessions", 0, "admission bound on concurrent sessions (0 = pool/quota)")
+	readahead := flag.Bool("readahead", false, "enable the I/O scheduler under the shared pool")
+	send := flag.String("send", "", "client mode: statements to send, one request per line ('-' reads stdin)")
+	flag.Parse()
+
+	if *send != "" {
+		os.Exit(clientMain(*addr, *send))
+	}
+
+	db, err := riot.Open(*dir, riot.Config{
+		MemElems:      *mem,
+		BlockElems:    *block,
+		Workers:       *workers,
+		Readahead:     *readahead,
+		SessionFrames: *quota,
+		MaxSessions:   *maxSessions,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "riot-serve:", err)
+		os.Exit(1)
+	}
+	srv := server.New(db)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "riot-serve:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "riot-serve: listening on %s, dir %s, %d names in catalog, quota %d frames, max %d sessions\n",
+		ln.Addr(), *dir, len(db.Names()), db.SessionQuota(), db.MaxSessions())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "riot-serve: signal received, draining sessions")
+		srv.Close()
+	}()
+
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "riot-serve:", err)
+	}
+	if err := db.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "riot-serve: close:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "riot-serve: catalog checkpointed, bye")
+}
+
+func clientMain(addr, script string) int {
+	var lines []string
+	if script == "-" {
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+	} else {
+		lines = strings.Split(script, "\n")
+	}
+	c, err := server.Dial(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "riot-serve:", err)
+		return 1
+	}
+	defer c.Close()
+	for _, line := range lines {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		out, err := c.Do(line)
+		fmt.Print(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "riot-serve: %q: %v\n", line, err)
+			return 1
+		}
+	}
+	return 0
+}

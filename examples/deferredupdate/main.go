@@ -40,5 +40,8 @@ func main() {
 		}
 		fmt.Printf("%-16s %s\n", be.name, s.Report())
 		fmt.Print(in.Out.String())
+		if err := s.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -28,6 +28,7 @@ func main() {
 	// Executed, at laptop scale: the RIOT backend reorders transparently.
 	fmt.Println("\nexecuting A(96x12) %*% B(12x96) %*% C(96x96) on the RIOT backend:")
 	sess := riot.NewSession(riot.Config{Backend: riot.BackendRIOT, BlockElems: 64, MemElems: 4096})
+	defer sess.Close()
 	a, err := sess.NewMatrix(96, 12, func(i, j int64) float64 { return float64((i+j)%5) - 2 })
 	if err != nil {
 		log.Fatal(err)

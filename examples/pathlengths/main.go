@@ -49,5 +49,8 @@ func main() {
 			log.Fatalf("%s: %v", be.name, err)
 		}
 		fmt.Printf("%-18s %s\n", be.name, s.Report())
+		if err := s.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 func main() {
 	s := riot.NewSession(riot.Config{Backend: riot.BackendRIOT})
+	defer s.Close()
 
 	// A million-element vector; nothing is computed yet.
 	x, err := s.SeqVector(1 << 20)

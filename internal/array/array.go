@@ -237,6 +237,25 @@ func (m *Matrix) GridDims() (gr, gc int) { return m.gridR, m.gridC }
 // Lin returns the matrix's linearization.
 func (m *Matrix) Lin() Linearization { return m.lin }
 
+// Shape returns the tile shape, recovered from the tile dimensions.
+func (m *Matrix) Shape() TileShape {
+	switch {
+	case m.tileR == 1 && m.tileC != 1:
+		return RowTiles
+	case m.tileC == 1 && m.tileR != 1:
+		return ColTiles
+	}
+	return SquareTiles
+}
+
+// BaseBlock returns the first block of the matrix's extent; the matrix
+// occupies Blocks() contiguous blocks from it, in linearization order.
+// Two matrices with equal dimensions, tile shape, and linearization have
+// identical geometry, so a block-level copy between their extents is a
+// value-level copy — the catalog's publish and checkpoint paths rely on
+// this.
+func (m *Matrix) BaseBlock() disk.BlockID { return m.base }
+
 // Blocks returns the total number of blocks the matrix occupies.
 func (m *Matrix) Blocks() int { return m.gridR * m.gridC }
 

@@ -45,6 +45,11 @@ func (v *Vector) Name() string { return v.name }
 // Pool returns the vector's buffer pool.
 func (v *Vector) Pool() *buffer.Pool { return v.pool }
 
+// BaseBlock returns the first block of the vector's extent; the vector
+// occupies Blocks() contiguous blocks from it, in index order. The
+// catalog serializes and clones vectors at this level.
+func (v *Vector) BaseBlock() disk.BlockID { return v.base }
+
 // Blocks returns the number of blocks the vector occupies.
 func (v *Vector) Blocks() int {
 	b := int64(v.pool.Device().BlockElems())

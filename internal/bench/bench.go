@@ -69,6 +69,9 @@ func Figure1(sizes []int64, blockElems int, w io.Writer) ([]Figure1Row, error) {
 				return nil, fmt.Errorf("%s n=%d: %w", e.Name(), n, err)
 			}
 			rows = append(rows, Figure1Row{Engine: e.Name(), N: n, IOMB: rep.IOMB(), Seconds: rep.SimSeconds})
+			if err := e.Close(); err != nil {
+				return nil, fmt.Errorf("%s n=%d: close: %w", e.Name(), n, err)
+			}
 		}
 	}
 	if w != nil {
@@ -603,6 +606,7 @@ func PlannerAblation(w io.Writer) ([]PlannerRow, error) {
 	run := func(workload string, strat plan.Strategy, f func(r *engine.RIOT) (engine.Value, func() error, error), blockElems int, memElems int64) error {
 		r := engine.NewRIOTConfigured(blockElems, memElems, engine.DefaultTimeModel,
 			engine.RIOTOptions{Workers: 1, Planner: strat})
+		defer r.Close()
 		v, force, err := f(r)
 		if err != nil {
 			return err

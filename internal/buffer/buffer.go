@@ -158,9 +158,85 @@ type shard struct {
 	lru    *list.List // unpinned frames, front = least recently used
 }
 
-// Pool is a fixed-capacity buffer pool with LRU replacement and pinning,
-// sharded for concurrent access (see the package comment).
+// Pool is a handle to a fixed-capacity buffer pool with LRU replacement
+// and pinning, sharded for concurrent access (see the package comment).
+// A Pool is a view: the root view returned by New/NewSharded owns no
+// per-session state, and Session derives quota'd views that share every
+// frame, shard, and counter with the root while metering their own pins.
 type Pool struct {
+	*core
+	acct *Account
+}
+
+// Account meters one session's pinned frames against a quota. It is
+// shared by every array and executor handle the session creates, so the
+// session's concurrently pinned frames — inputs, outputs, temporaries —
+// are counted as one budget no matter which goroutine pins them.
+type Account struct {
+	quota  int
+	pinned atomic.Int64
+	peak   atomic.Int64
+}
+
+// Quota returns the session's pin budget in frames.
+func (a *Account) Quota() int { return a.quota }
+
+// Pinned returns the session's currently pinned frame count.
+func (a *Account) Pinned() int { return int(a.pinned.Load()) }
+
+// Peak returns the high-water mark of concurrently pinned frames —
+// the number the quota tests compare against the quota.
+func (a *Account) Peak() int { return int(a.peak.Load()) }
+
+// charge reserves one pin against the quota.
+func (a *Account) charge() error {
+	n := a.pinned.Add(1)
+	if int(n) > a.quota {
+		a.pinned.Add(-1)
+		return fmt.Errorf("buffer: session pin quota exceeded (%d frames)", a.quota)
+	}
+	for {
+		peak := a.peak.Load()
+		if n <= peak || a.peak.CompareAndSwap(peak, n) {
+			return nil
+		}
+	}
+}
+
+// release returns one pin to the quota.
+func (a *Account) release() { a.pinned.Add(-1) }
+
+// MinSessionQuota is the smallest useful session quota: every out-of-core
+// algorithm in this repo needs at least three simultaneously pinned
+// frames (two inputs and an output).
+const MinSessionQuota = 3
+
+// Session derives a quota'd view of the pool: the returned Pool shares
+// every frame, shard, and statistic with p, but its Pins are charged
+// against a fresh Account and refused beyond quota frames, and its
+// Capacity/MemoryElems report the quota so kernels and planners size
+// their working sets inside the session's share. The quota is clamped to
+// [MinSessionQuota, pool capacity].
+func (p *Pool) Session(quota int) *Pool {
+	if quota < MinSessionQuota {
+		quota = MinSessionQuota
+	}
+	if quota > p.core.capacity {
+		quota = p.core.capacity
+	}
+	return &Pool{core: p.core, acct: &Account{quota: quota}}
+}
+
+// Account returns the view's pin account (nil on the root view).
+func (p *Pool) Account() *Account { return p.acct }
+
+// Root returns the unmetered root view of the pool: same shared core, no
+// session account. Shared system structures (the catalog) pin through it
+// so their residency is not charged to whichever session touched them.
+func (p *Pool) Root() *Pool { return &Pool{core: p.core} }
+
+// core is the shared state behind every view of one buffer pool.
+type core struct {
 	dev      *disk.Device
 	capacity int // frames, global across shards
 	shards   []*shard
@@ -175,7 +251,16 @@ type Pool struct {
 	// I/O scheduler state (see the package comment). raEnabled gates
 	// every scheduler code path so the disabled pool is byte-for-byte
 	// the seed pool.
-	raEnabled      atomic.Bool
+	raEnabled atomic.Bool
+	// sharedFlush marks a pool shared by concurrent sessions: FlushAll
+	// then skips frames that are pinned at flush time. An unpinned frame
+	// is never mutated by callers (the pool contract), so flushing only
+	// unpinned frames is race-free no matter how many sessions are mid-
+	// operation; the skipped frames stay dirty and are written back on
+	// eviction, by a later flush, or captured by a checkpoint Pin. Off
+	// (the default) FlushAll writes every dirty frame, which is the
+	// seed's deterministic single-session behaviour.
+	sharedFlush    atomic.Bool
 	raCfg          ReadaheadConfig
 	ra             raState
 	drain          drainGroup
@@ -261,7 +346,7 @@ const maxInflightPrefetch = 64
 // the pool is shared between goroutines (it is a setup knob, not a
 // runtime toggle). Disabled (the default) the pool behaves exactly like
 // the seed pool.
-func (p *Pool) SetReadahead(cfg ReadaheadConfig) {
+func (p *core) SetReadahead(cfg ReadaheadConfig) {
 	if cfg.MinWindow <= 0 {
 		cfg.MinWindow = 4
 	}
@@ -292,7 +377,7 @@ func (p *Pool) SetReadahead(cfg ReadaheadConfig) {
 
 // ReadaheadEnabled reports whether the I/O scheduler is on, so callers
 // can skip the work of computing hints when it is not.
-func (p *Pool) ReadaheadEnabled() bool { return p.raEnabled.Load() }
+func (p *core) ReadaheadEnabled() bool { return p.raEnabled.Load() }
 
 // maxShards bounds lock striping; beyond this the per-shard LRU lists
 // become too short to approximate global LRU.
@@ -319,17 +404,17 @@ func NewSharded(dev *disk.Device, capacity, shards int) *Pool {
 	for n > capacity && n > 1 {
 		n >>= 1
 	}
-	p := &Pool{
+	c := &core{
 		dev:      dev,
 		capacity: capacity,
 		shards:   make([]*shard, n),
 		mask:     uint64(n - 1),
 	}
-	for i := range p.shards {
-		p.shards[i] = &shard{frames: make(map[disk.BlockID]*Frame), lru: list.New()}
+	for i := range c.shards {
+		c.shards[i] = &shard{frames: make(map[disk.BlockID]*Frame), lru: list.New()}
 	}
-	p.drain.cond.L = &p.drain.mu
-	return p
+	c.drain.cond.L = &c.drain.mu
+	return &Pool{core: c}
 }
 
 // NewWithMemory creates a single-shard pool sized so it holds memElems
@@ -351,32 +436,41 @@ func NewShardedWithMemory(dev *disk.Device, memElems int64, shards int) *Pool {
 
 // shardOf returns the shard owning block id. This is a pure function of
 // the id, which is what pins a frame to one shard for its lifetime.
-func (p *Pool) shardOf(id disk.BlockID) *shard {
+func (p *core) shardOf(id disk.BlockID) *shard {
 	return p.shards[p.shardIndex(id)]
 }
 
 // shardIndex spreads sequential block IDs across shards with a
 // Fibonacci-style multiplicative hash.
-func (p *Pool) shardIndex(id disk.BlockID) int {
+func (p *core) shardIndex(id disk.BlockID) int {
 	return int((uint64(id) * 0x9E3779B97F4A7C15 >> 32) & p.mask)
 }
 
-// Capacity returns the frame budget.
-func (p *Pool) Capacity() int { return p.capacity }
+// Capacity returns the frame budget of this view: the pool-wide budget
+// on the root view, the session quota on a view made by Session. Kernels
+// and planners size their working sets from it, which is what keeps a
+// quota'd session's algorithms inside the session's share of memory.
+func (p *Pool) Capacity() int {
+	if p.acct != nil && p.acct.quota < p.core.capacity {
+		return p.acct.quota
+	}
+	return p.core.capacity
+}
 
 // Shards returns the number of lock stripes.
-func (p *Pool) Shards() int { return len(p.shards) }
+func (p *core) Shards() int { return len(p.shards) }
 
-// MemoryElems returns the budget expressed in scalar numbers (M).
+// MemoryElems returns this view's budget expressed in scalar numbers
+// (M): the session quota's worth of elements on a quota'd view.
 func (p *Pool) MemoryElems() int64 {
-	return int64(p.capacity) * int64(p.dev.BlockElems())
+	return int64(p.Capacity()) * int64(p.dev.BlockElems())
 }
 
 // Device returns the underlying device.
-func (p *Pool) Device() *disk.Device { return p.dev }
+func (p *core) Device() *disk.Device { return p.dev }
 
 // Stats returns a snapshot of pool counters.
-func (p *Pool) Stats() Stats {
+func (p *core) Stats() Stats {
 	return Stats{
 		Hits:           p.hits.Load(),
 		Misses:         p.misses.Load(),
@@ -389,7 +483,7 @@ func (p *Pool) Stats() Stats {
 }
 
 // ResetStats zeroes the pool counters (resident frames are kept).
-func (p *Pool) ResetStats() {
+func (p *core) ResetStats() {
 	p.hits.Store(0)
 	p.misses.Store(0)
 	p.evictions.Store(0)
@@ -400,7 +494,7 @@ func (p *Pool) ResetStats() {
 }
 
 // Resident returns the number of frames currently held.
-func (p *Pool) Resident() int {
+func (p *core) Resident() int {
 	n := 0
 	for _, s := range p.shards {
 		s.mu.Lock()
@@ -413,7 +507,7 @@ func (p *Pool) Resident() int {
 // Pinned returns how many frames are currently pinned. Frames whose
 // prefetch load is still in flight are not pinned (they hold no caller
 // reference and become evictable the moment they land).
-func (p *Pool) Pinned() int {
+func (p *core) Pinned() int {
 	n := 0
 	for _, s := range p.shards {
 		s.mu.Lock()
@@ -430,9 +524,11 @@ func (p *Pool) Pinned() int {
 // Pin fetches block id into the pool, pins it, and returns its frame.
 // A pinned frame is exempt from eviction until Unpin. Pinning more
 // frames than the capacity is an error: it means an algorithm is using
-// more memory than its budget.
+// more memory than its budget. On a view made by Session, the pin is
+// additionally charged against the session's quota and refused when the
+// quota is exhausted.
 func (p *Pool) Pin(id disk.BlockID) (*Frame, error) {
-	return p.pin(id, false)
+	return p.viewPin(id, false)
 }
 
 // PinNew pins block id without reading it from the device, for blocks
@@ -440,10 +536,26 @@ func (p *Pool) Pin(id disk.BlockID) (*Frame, error) {
 // purposes but performs no read I/O (the paper's write-only traffic for
 // result matrices depends on this).
 func (p *Pool) PinNew(id disk.BlockID) (*Frame, error) {
-	return p.pin(id, true)
+	return p.viewPin(id, true)
 }
 
-func (p *Pool) pin(id disk.BlockID, fresh bool) (*Frame, error) {
+// viewPin charges the view's account (if any) before delegating to the
+// shared core, and refunds the charge when the pin fails.
+func (p *Pool) viewPin(id disk.BlockID, fresh bool) (*Frame, error) {
+	if a := p.acct; a != nil {
+		if err := a.charge(); err != nil {
+			return nil, err
+		}
+		f, err := p.core.pin(id, fresh)
+		if err != nil {
+			a.release()
+		}
+		return f, err
+	}
+	return p.core.pin(id, fresh)
+}
+
+func (p *core) pin(id disk.BlockID, fresh bool) (*Frame, error) {
 	s := p.shardOf(id)
 	s.mu.Lock()
 	if f, ok := s.frames[id]; ok {
@@ -513,7 +625,7 @@ const (
 // hit. It takes over (and releases) s.mu, which the caller holds, and
 // reports what kind of prefetched frame (if any) this pin consumed —
 // the detector's cue to keep readahead running for a stream it started.
-func (p *Pool) pinResident(s *shard, f *Frame) int {
+func (p *core) pinResident(s *shard, f *Frame) int {
 	if f.pins == 0 && f.elem != nil {
 		s.lru.Remove(f.elem)
 		f.elem = nil
@@ -537,7 +649,7 @@ func (p *Pool) pinResident(s *shard, f *Frame) int {
 
 // await blocks until f's contents are loaded (a no-op for frames past
 // their first load).
-func (p *Pool) await(f *Frame) (*Frame, error) {
+func (p *core) await(f *Frame) (*Frame, error) {
 	<-f.ready
 	if f.loadErr != nil {
 		return nil, f.loadErr
@@ -551,7 +663,7 @@ func (p *Pool) await(f *Frame) (*Frame, error) {
 // budget but are not yet evictable) are drained and the reservation
 // retried, so readahead can never fail an algorithm that stays within
 // its budget.
-func (p *Pool) makeRoom(id disk.BlockID) error {
+func (p *core) makeRoom(id disk.BlockID) error {
 	err := p.tryMakeRoom(id)
 	for i := 0; err != nil && p.raEnabled.Load() && i < 3; i++ {
 		p.drain.wait()
@@ -565,7 +677,7 @@ func (p *Pool) makeRoom(id disk.BlockID) error {
 // will receive the new block (preserving exact sequential LRU behaviour
 // in the single-shard case) and falls back to scanning the other shards
 // so one hot shard cannot fail while the pool is globally under budget.
-func (p *Pool) tryMakeRoom(id disk.BlockID) error {
+func (p *core) tryMakeRoom(id disk.BlockID) error {
 	if p.resident.Add(1) <= int64(p.capacity) {
 		return nil
 	}
@@ -622,7 +734,7 @@ func (p *Pool) tryMakeRoom(id disk.BlockID) error {
 // caller holds no locks; the sweep locks the involved shards in index
 // order (the pool's only multi-shard lock site, so the ordering is a
 // total one) to keep the frames stable across the vectored write.
-func (p *Pool) elevatorSweep(afterID disk.BlockID) {
+func (p *core) elevatorSweep(afterID disk.BlockID) {
 	// Collection is bounded so a huge pool does not turn every dirty
 	// eviction into a full O(capacity) scan: examine at most
 	// sweepScanLimit LRU entries across the shards (oldest first within
@@ -712,7 +824,7 @@ func (p *Pool) elevatorSweep(afterID disk.BlockID) {
 // hint is dropped. Prefetch never returns an error: it is advisory, and
 // a block that cannot be loaded is simply read by the Pin that actually
 // needs it.
-func (p *Pool) Prefetch(ids []disk.BlockID) {
+func (p *core) Prefetch(ids []disk.BlockID) {
 	if len(ids) == 0 || !p.raEnabled.Load() {
 		return
 	}
@@ -729,7 +841,7 @@ func (p *Pool) Prefetch(ids []disk.BlockID) {
 // budget, so a drain.wait must not return between a claim and the
 // loader goroutine's registration (a Pin retrying after the wait would
 // spuriously report the pool over budget).
-func (p *Pool) schedulePrefetch(ids []disk.BlockID, hinted bool) {
+func (p *core) schedulePrefetch(ids []disk.BlockID, hinted bool) {
 	if p.inflight.Load() >= maxInflightPrefetch {
 		return
 	}
@@ -754,7 +866,7 @@ func (p *Pool) schedulePrefetch(ids []disk.BlockID, hinted bool) {
 
 // loadPrefetched reads the claimed frames off the hinting goroutine,
 // with one vectored request per contiguous run of block IDs.
-func (p *Pool) loadPrefetched(frames []*Frame) {
+func (p *core) loadPrefetched(frames []*Frame) {
 	sort.Slice(frames, func(i, j int) bool { return frames[i].id < frames[j].id })
 	for lo := 0; lo < len(frames); {
 		hi := lo + 1
@@ -791,7 +903,7 @@ func (p *Pool) loadPrefetched(frames []*Frame) {
 // budget. It returns nil when the block is already resident or loading,
 // or when no frame can be claimed without touching pinned frames — a
 // dropped hint, not an error.
-func (p *Pool) claimForPrefetch(id disk.BlockID, hinted bool) *Frame {
+func (p *core) claimForPrefetch(id disk.BlockID, hinted bool) *Frame {
 	if !p.dev.Readable(id) {
 		// Readahead ran past the end of an extent (or into freed space):
 		// not an error, just nothing to fetch.
@@ -834,7 +946,7 @@ func (p *Pool) claimForPrefetch(id disk.BlockID, hinted bool) *Frame {
 // finishPrefetch publishes a loaded prefetch frame: on success it parks
 // the frame on the LRU (unless a Pin grabbed it mid-load), on failure or
 // doom (Invalidate/DropAll raced the load) it discards the frame.
-func (p *Pool) finishPrefetch(f *Frame, err error) {
+func (p *core) finishPrefetch(f *Frame, err error) {
 	s := p.shardOf(f.id)
 	s.mu.Lock()
 	f.loading = false
@@ -866,7 +978,7 @@ func (p *Pool) finishPrefetch(f *Frame, err error) {
 // reader comes within half a window of the prefetched frontier (the
 // async trigger — refilling on every access would fragment the vectored
 // reads), doubling the window on each refill up to the clamp.
-func (p *Pool) noteAccess(id disk.BlockID) {
+func (p *core) noteAccess(id disk.BlockID) {
 	ra := &p.ra
 	ra.mu.Lock()
 	seq := ra.hasLast && id == ra.last+1
@@ -913,13 +1025,23 @@ func (p *Pool) noteAccess(id disk.BlockID) {
 // measurement; DropAll calls it so a quiesced pool really is quiet. The
 // caller must not race it with new Pins (which could schedule more
 // readahead).
-func (p *Pool) DrainPrefetch() {
+func (p *core) DrainPrefetch() {
 	p.drain.wait()
 }
 
 // Unpin releases one pin on f. When the pin count reaches zero the frame
-// becomes evictable.
+// becomes evictable. On a session view the pin is returned to the
+// session's quota; pins and unpins must go through the same view, which
+// holds naturally because every array handle pins through the pool
+// pointer it was created with.
 func (p *Pool) Unpin(f *Frame) {
+	p.core.unpin(f)
+	if p.acct != nil {
+		p.acct.release()
+	}
+}
+
+func (p *core) unpin(f *Frame) {
 	s := p.shardOf(f.id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -932,18 +1054,31 @@ func (p *Pool) Unpin(f *Frame) {
 	}
 }
 
-// FlushAll writes back every dirty frame (pinned or not) without
-// evicting. It must not run concurrently with writers still mutating
-// pinned frames. With the scheduler enabled each shard's dirty frames go
-// out as one vectored write sorted by BlockID, so contiguous dirty runs
-// are charged sequentially instead of in map-iteration (random) order.
-func (p *Pool) FlushAll() error {
+// SetSharedFlush marks the pool as shared by concurrent sessions: see
+// the sharedFlush field. riot.Open sets it on the server's shared pool;
+// standalone engines leave it off and keep the seed's exact flush
+// counters.
+func (p *core) SetSharedFlush(on bool) { p.sharedFlush.Store(on) }
+
+// FlushAll writes back dirty frames without evicting. In the default
+// (exclusive) mode it writes every dirty frame, pinned or not, and must
+// not run concurrently with writers still mutating pinned frames; in
+// shared mode (SetSharedFlush) pinned frames are skipped, which makes
+// FlushAll safe to call while other sessions are mid-operation. With
+// the scheduler enabled each shard's dirty frames go out as one
+// vectored write sorted by BlockID, so contiguous dirty runs are
+// charged sequentially instead of in map-iteration (random) order.
+func (p *core) FlushAll() error {
 	if p.raEnabled.Load() {
 		return p.flushAllSorted()
 	}
+	shared := p.sharedFlush.Load()
 	for _, s := range p.shards {
 		s.mu.Lock()
 		for _, f := range s.frames {
+			if shared && (f.pins > 0 || f.loading) {
+				continue
+			}
 			if f.dirty.Load() {
 				if err := p.dev.Write(f.id, f.Data); err != nil {
 					s.mu.Unlock()
@@ -962,7 +1097,7 @@ func (p *Pool) FlushAll() error {
 // shards are written in one globally ascending BlockID pass, each under
 // its own shard lock, so contiguous dirty regions leave as sequential
 // runs regardless of how the shard hash scattered them.
-func (p *Pool) flushAllSorted() error {
+func (p *core) flushAllSorted() error {
 	type cand struct {
 		f *Frame
 		s *shard
@@ -978,9 +1113,14 @@ func (p *Pool) flushAllSorted() error {
 		s.mu.Unlock()
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].f.id < cands[j].f.id })
+	shared := p.sharedFlush.Load()
 	for _, c := range cands {
 		c.s.mu.Lock()
 		f := c.f
+		if shared && (f.pins > 0 || f.loading) {
+			c.s.mu.Unlock()
+			continue
+		}
 		if c.s.frames[f.id] == f && f.dirty.Load() {
 			if err := p.dev.Write(f.id, f.Data); err != nil {
 				c.s.mu.Unlock()
@@ -999,7 +1139,7 @@ func (p *Pool) flushAllSorted() error {
 // prefetch load is still in flight is doomed instead of dropped: the
 // prefetcher discards it (and its budget reservation) when the load
 // completes, so racing a Free against readahead is safe.
-func (p *Pool) Invalidate(id disk.BlockID) {
+func (p *core) Invalidate(id disk.BlockID) {
 	s := p.shardOf(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -1032,7 +1172,7 @@ func (p *Pool) Invalidate(id disk.BlockID) {
 // other pool users (experiments call it between runs). In-flight
 // prefetches are drained first, so after DropAll the pool is truly empty
 // and the device truly idle.
-func (p *Pool) DropAll() error {
+func (p *core) DropAll() error {
 	p.DrainPrefetch()
 	if n := p.Pinned(); n > 0 {
 		return fmt.Errorf("buffer: DropAll with %d pinned frames", n)

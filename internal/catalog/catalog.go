@@ -1,0 +1,569 @@
+// Package catalog implements RIOT's durable catalog of named arrays:
+// the layer that moves named numerical objects out of a process's
+// transient heap and into database-grade storage, which is the paper's
+// core argument applied to object lifetime rather than object access.
+//
+// A Catalog binds a host-filesystem directory to the simulated device
+// behind a buffer pool. Named arrays published with PutVector/PutMatrix
+// are copied into catalog-owned extents on the device (so they survive
+// the publishing session), and Checkpoint serializes every entry —
+// metadata page plus raw tile payloads — into the directory with an
+// atomic write-then-rename. Opening the same directory later replays
+// the file into a fresh device, so a new process sees the same named
+// arrays with identical values.
+//
+// Publishing is last-writer-wins: a Put under the catalog lock replaces
+// the table entry in one step, and readers that already hold the old
+// version keep a valid handle (superseded storage is retired, not
+// freed, until Close). All methods are safe for concurrent use by many
+// sessions.
+//
+// # On-disk format
+//
+// One file, catalog.riot, little-endian:
+//
+//	[8]byte  magic "RIOTCAT1"
+//	uint32   block size in float64 elements (must match the device)
+//	uint32   entry count
+//	entries:
+//	  uint32 name length, name bytes
+//	  uint8  kind (0 vector, 1 matrix)
+//	  uint8  tile shape, uint8 linearization, uint8 reserved
+//	  int64  rows, int64 cols
+//	  uint32 block count
+//	  block payloads: count × blockElems × 8 bytes (float64 bits)
+//
+// The format is versioned by its magic; a file whose magic or block
+// size does not match is rejected rather than guessed at.
+package catalog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"riot/internal/array"
+	"riot/internal/buffer"
+	"riot/internal/disk"
+)
+
+// Magic identifies a catalog file (and its format version).
+const Magic = "RIOTCAT1"
+
+// FileName is the catalog file inside the directory.
+const FileName = "catalog.riot"
+
+// Kind distinguishes stored vectors from stored matrices.
+type Kind uint8
+
+// Entry kinds.
+const (
+	KindVector Kind = 0
+	KindMatrix Kind = 1
+)
+
+// Entry is one named array in the catalog. Exactly one of Vec and Mat is
+// non-nil, per Kind. Entries are immutable once published: a new Put
+// under the same name creates a new Entry rather than mutating this one,
+// so a handle obtained from Get stays valid (last-writer-wins for future
+// readers, stable snapshots for current ones).
+type Entry struct {
+	Name    string
+	Kind    Kind
+	Version int64
+	Vec     *array.Vector
+	Mat     *array.Matrix
+}
+
+// Rows returns the row count (the length for vectors).
+func (e *Entry) Rows() int64 {
+	if e.Kind == KindVector {
+		return e.Vec.Len()
+	}
+	return e.Mat.Rows()
+}
+
+// Cols returns the column count (1 for vectors).
+func (e *Entry) Cols() int64 {
+	if e.Kind == KindVector {
+		return 1
+	}
+	return e.Mat.Cols()
+}
+
+// Catalog is a durable, concurrency-safe table of named arrays over one
+// shared device. See the package comment.
+type Catalog struct {
+	dir  string
+	pool *buffer.Pool // unmetered root view of the shared pool
+
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	// retired holds superseded or deleted entries whose storage cannot
+	// be freed yet: sessions may still hold handles. Close frees them —
+	// unless an onRetire hook is installed, in which case the hook's
+	// owner (riot.DB) takes over reclamation.
+	retired  []*Entry
+	onRetire func(*Entry)
+	version  int64
+}
+
+// SetOnRetire hands superseded and deleted entries to fn instead of the
+// internal until-Close list, so an owner that knows session lifetimes
+// (riot.DB) can free retired storage as soon as no session can hold a
+// handle. fn is called with the catalog lock held and must not call
+// back into the catalog. Install before the catalog is shared.
+func (c *Catalog) SetOnRetire(fn func(*Entry)) { c.onRetire = fn }
+
+// FreeStorage drops the entry's resident frames and releases its device
+// extent. Only the reclamation owner calls it, and only once no session
+// can still hold the entry.
+func (e *Entry) FreeStorage() {
+	if e.Vec != nil {
+		e.Vec.Free()
+	}
+	if e.Mat != nil {
+		e.Mat.Free()
+	}
+}
+
+// Open binds dir to the pool's device, loading the catalog file if one
+// exists (restoring every named array into fresh extents) and creating
+// the directory otherwise. pool should be the root (unmetered) view of
+// the shared pool: catalog storage belongs to the system, not to any
+// session's quota.
+func Open(dir string, pool *buffer.Pool) (*Catalog, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	c := &Catalog{dir: dir, pool: pool.Root(), entries: make(map[string]*Entry)}
+	path := filepath.Join(dir, FileName)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	defer f.Close()
+	if err := c.load(bufio.NewReaderSize(f, 1<<20)); err != nil {
+		return nil, fmt.Errorf("catalog: loading %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// Dir returns the directory the catalog persists into.
+func (c *Catalog) Dir() string { return c.dir }
+
+// Len returns the number of named entries.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// List returns the catalog's names, sorted.
+func (c *Catalog) List() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.entries))
+	for n := range c.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Get returns the current entry under name. The returned entry is a
+// stable snapshot: it stays readable even if another session republishes
+// the name afterwards.
+func (c *Catalog) Get(name string) (*Entry, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.entries[name]
+	return e, ok
+}
+
+// owner builds the device owner name for one version of a named entry.
+// Versions are globally unique, so republished names never collide.
+func (c *Catalog) owner(name string, version int64) string {
+	return fmt.Sprintf("cat.%s.v%d", name, version)
+}
+
+// PutVector publishes a copy of src under name, replacing any previous
+// entry (last-writer-wins). The copy lives in catalog-owned storage on
+// the same device, so it outlives the session that built src. The new
+// entry is returned.
+func (c *Catalog) PutVector(name string, src *array.Vector) (*Entry, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.version++
+	dst, err := array.NewVector(c.pool, c.owner(name, c.version), src.Len())
+	if err != nil {
+		return nil, err
+	}
+	if err := c.copyBlocks(src.BaseBlock(), dst.BaseBlock(), src.Blocks()); err != nil {
+		dst.Free()
+		return nil, err
+	}
+	e := &Entry{Name: name, Kind: KindVector, Version: c.version, Vec: dst}
+	c.replace(e)
+	return e, nil
+}
+
+// PutMatrix publishes a copy of src under name (see PutVector). The copy
+// keeps src's tile shape and linearization, so the block-level copy is a
+// value-level copy.
+func (c *Catalog) PutMatrix(name string, src *array.Matrix) (*Entry, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.version++
+	dst, err := array.NewMatrix(c.pool, c.owner(name, c.version), src.Rows(), src.Cols(),
+		array.Options{Shape: src.Shape(), Lin: src.Lin()})
+	if err != nil {
+		return nil, err
+	}
+	if err := c.copyBlocks(src.BaseBlock(), dst.BaseBlock(), src.Blocks()); err != nil {
+		dst.Free()
+		return nil, err
+	}
+	e := &Entry{Name: name, Kind: KindMatrix, Version: c.version, Mat: dst}
+	c.replace(e)
+	return e, nil
+}
+
+// replace installs e and retires any previous holder of the name.
+// Callers hold c.mu.
+func (c *Catalog) replace(e *Entry) {
+	if old, ok := c.entries[e.Name]; ok {
+		c.retire(old)
+	}
+	c.entries[e.Name] = e
+}
+
+// retire routes a superseded entry to the hook or the until-Close list.
+// Callers hold c.mu.
+func (c *Catalog) retire(old *Entry) {
+	if c.onRetire != nil {
+		c.onRetire(old)
+		return
+	}
+	c.retired = append(c.retired, old)
+}
+
+// Delete removes name from the catalog, retiring its storage. It
+// reports whether the name existed.
+func (c *Catalog) Delete(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old, ok := c.entries[name]
+	if ok {
+		c.retire(old)
+		delete(c.entries, name)
+	}
+	return ok
+}
+
+// copyBlocks copies n blocks between two same-geometry extents through
+// the buffer pool. Going through the pool (rather than the raw device)
+// keeps the copy coherent with frames other sessions have resident, and
+// charges honest I/O for cold source blocks.
+func (c *Catalog) copyBlocks(srcBase, dstBase disk.BlockID, n int) error {
+	for k := 0; k < n; k++ {
+		sf, err := c.pool.Pin(srcBase + disk.BlockID(k))
+		if err != nil {
+			return err
+		}
+		df, err := c.pool.PinNew(dstBase + disk.BlockID(k))
+		if err != nil {
+			c.pool.Unpin(sf)
+			return err
+		}
+		copy(df.Data, sf.Data)
+		df.MarkDirty()
+		c.pool.Unpin(df)
+		c.pool.Unpin(sf)
+	}
+	return nil
+}
+
+// Checkpoint serializes the catalog — metadata and every entry's block
+// payloads — into the directory, atomically (write to a temporary file,
+// then rename over the old catalog). The writes go to the host
+// filesystem, a different device from the simulated disk, so they do not
+// perturb the I/O counters; current block contents are read through the
+// buffer pool, so dirty frames are captured without a pool-wide flush.
+func (c *Catalog) Checkpoint() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tmp, err := os.CreateTemp(c.dir, FileName+".tmp*")
+	if err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	w := bufio.NewWriterSize(tmp, 1<<20)
+	if err := c.save(w); err != nil {
+		tmp.Close()
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(c.dir, FileName)); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	return nil
+}
+
+// Close checkpoints the catalog and frees retired storage. After Close
+// the catalog must not be used. Entries' storage stays on the device:
+// the device dies with the process, the file is what persists.
+func (c *Catalog) Close() error {
+	if err := c.Checkpoint(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.retired {
+		e.FreeStorage()
+	}
+	c.retired = nil
+	return nil
+}
+
+// ---- serialization ----
+
+func (c *Catalog) save(w io.Writer) error {
+	blockElems := c.pool.Device().BlockElems()
+	if _, err := w.Write([]byte(Magic)); err != nil {
+		return err
+	}
+	if err := writeU32(w, uint32(blockElems)); err != nil {
+		return err
+	}
+	if err := writeU32(w, uint32(len(c.entries))); err != nil {
+		return err
+	}
+	// Deterministic file layout: entries in name order.
+	names := make([]string, 0, len(c.entries))
+	for n := range c.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	buf := make([]byte, blockElems*8)
+	for _, name := range names {
+		if err := c.saveEntry(w, c.entries[name], buf); err != nil {
+			return fmt.Errorf("entry %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func (c *Catalog) saveEntry(w io.Writer, e *Entry, buf []byte) error {
+	if err := writeU32(w, uint32(len(e.Name))); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte(e.Name)); err != nil {
+		return err
+	}
+	var base disk.BlockID
+	var nblocks int
+	var rows, cols int64
+	var shape array.TileShape
+	var lin array.Linearization
+	if e.Kind == KindVector {
+		base, nblocks = e.Vec.BaseBlock(), e.Vec.Blocks()
+		rows, cols = e.Vec.Len(), 1
+	} else {
+		base, nblocks = e.Mat.BaseBlock(), e.Mat.Blocks()
+		rows, cols = e.Mat.Rows(), e.Mat.Cols()
+		shape, lin = e.Mat.Shape(), e.Mat.Lin()
+	}
+	hdr := []byte{byte(e.Kind), byte(shape), byte(lin), 0}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if err := writeI64(w, rows); err != nil {
+		return err
+	}
+	if err := writeI64(w, cols); err != nil {
+		return err
+	}
+	if err := writeU32(w, uint32(nblocks)); err != nil {
+		return err
+	}
+	for k := 0; k < nblocks; k++ {
+		f, err := c.pool.Pin(base + disk.BlockID(k))
+		if err != nil {
+			return err
+		}
+		for i, v := range f.Data {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+		c.pool.Unpin(f)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Catalog) load(r io.Reader) error {
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return fmt.Errorf("reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return fmt.Errorf("bad magic %q (not a catalog file, or an unsupported version)", magic)
+	}
+	blockElems := c.pool.Device().BlockElems()
+	fileB, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	if int(fileB) != blockElems {
+		return fmt.Errorf("catalog written with block size %d, device uses %d", fileB, blockElems)
+	}
+	count, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, blockElems*8)
+	block := make([]float64, blockElems)
+	for i := uint32(0); i < count; i++ {
+		if err := c.loadEntry(r, buf, block); err != nil {
+			return fmt.Errorf("entry %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// maxNameLen bounds entry names so a corrupt length field cannot drive a
+// giant allocation.
+const maxNameLen = 1 << 16
+
+func (c *Catalog) loadEntry(r io.Reader, buf []byte, block []float64) error {
+	nameLen, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	if nameLen == 0 || nameLen > maxNameLen {
+		return fmt.Errorf("implausible name length %d", nameLen)
+	}
+	nameBytes := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, nameBytes); err != nil {
+		return err
+	}
+	name := string(nameBytes)
+	hdr := make([]byte, 4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return err
+	}
+	kind := Kind(hdr[0])
+	shape := array.TileShape(hdr[1])
+	lin := array.Linearization(hdr[2])
+	rows, err := readI64(r)
+	if err != nil {
+		return err
+	}
+	cols, err := readI64(r)
+	if err != nil {
+		return err
+	}
+	nblocks, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	// Sanity-check before allocating geometry, so a corrupt header
+	// cannot drive a huge allocation.
+	const maxEntryBlocks = 1 << 24
+	blockElems := int64(c.pool.Device().BlockElems())
+	// float64 comparison: corrupt 64-bit dimensions must not overflow
+	// the check that is there to reject them.
+	if rows < 0 || cols < 0 || nblocks > maxEntryBlocks ||
+		float64(rows)*math.Max(float64(cols), 1) > float64(nblocks)*float64(blockElems) {
+		return fmt.Errorf("implausible geometry %dx%d in %d blocks", rows, cols, nblocks)
+	}
+	c.version++
+	e := &Entry{Name: name, Kind: kind, Version: c.version}
+	var base disk.BlockID
+	var want int
+	switch kind {
+	case KindVector:
+		v, err := array.NewVector(c.pool, c.owner(name, c.version), rows)
+		if err != nil {
+			return err
+		}
+		e.Vec, base, want = v, v.BaseBlock(), v.Blocks()
+	case KindMatrix:
+		m, err := array.NewMatrix(c.pool, c.owner(name, c.version), rows, cols,
+			array.Options{Shape: shape, Lin: lin})
+		if err != nil {
+			return err
+		}
+		e.Mat, base, want = m, m.BaseBlock(), m.Blocks()
+	default:
+		return fmt.Errorf("unknown entry kind %d", kind)
+	}
+	if int(nblocks) != want {
+		return fmt.Errorf("entry %q: %d blocks in file, geometry wants %d", name, nblocks, want)
+	}
+	dev := c.pool.Device()
+	for k := 0; k < want; k++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return fmt.Errorf("entry %q: truncated payload: %w", name, err)
+		}
+		for i := range block {
+			block[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+		if err := dev.Import(base+disk.BlockID(k), block); err != nil {
+			return err
+		}
+	}
+	c.entries[name] = e
+	return nil
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func writeI64(w io.Writer, v int64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func readI64(r io.Reader) (int64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(b[:])), nil
+}

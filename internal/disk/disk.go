@@ -280,6 +280,69 @@ func (d *Device) charge(id BlockID, write bool) {
 	}
 }
 
+// Export copies block id into dst without charging any I/O. It is the
+// checkpoint path: the catalog serializes array blocks to the host
+// filesystem, which is a different device from the simulated disk the
+// paper's experiments measure, so the copy must not perturb the
+// counters or the sequential/random classifier. Never-written blocks
+// export as zeros.
+func (d *Device) Export(id BlockID, dst []float64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b, ok := d.blocks[id]
+	if !ok {
+		return fmt.Errorf("disk: export of unallocated or freed block %d", id)
+	}
+	if len(dst) != d.blockElems {
+		return fmt.Errorf("disk: export buffer has %d elems, want %d", len(dst), d.blockElems)
+	}
+	if b == nil {
+		for i := range dst {
+			dst[i] = 0
+		}
+	} else {
+		copy(dst, b)
+	}
+	return nil
+}
+
+// Import copies src into block id without charging any I/O: the restore
+// half of Export, used when riot.Open replays a persisted catalog into a
+// fresh device before any session has run (restored state is the
+// starting condition of a measurement, not part of it).
+func (d *Device) Import(id BlockID, src []float64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.blocks[id]; !ok {
+		return fmt.Errorf("disk: import into unallocated or freed block %d", id)
+	}
+	if len(src) != d.blockElems {
+		return fmt.Errorf("disk: import buffer has %d elems, want %d", len(src), d.blockElems)
+	}
+	b := d.blocks[id]
+	if b == nil {
+		b = make([]float64, d.blockElems)
+		d.blocks[id] = b
+	}
+	copy(b, src)
+	return nil
+}
+
+// OwnerExtents returns a copy of the block IDs the named owner holds, in
+// allocation order. Session teardown walks it to invalidate resident
+// frames before freeing the extent.
+func (d *Device) OwnerExtents(owner string) []BlockID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	es := d.owners[owner]
+	if es == nil {
+		return nil
+	}
+	out := make([]BlockID, len(es.blocks))
+	copy(out, es.blocks)
+	return out
+}
+
 // Readable reports whether id is currently allocated (and not freed),
 // i.e. whether a Read of it would succeed. Prefetchers use it to avoid
 // charging doomed reads past the end of an extent.

@@ -97,4 +97,11 @@ type Engine interface {
 	Report() Report
 	// ResetStats zeroes the usage counters.
 	ResetStats()
+
+	// Close releases the engine's resources: resident buffer-pool
+	// frames, in-flight prefetches, and storage the engine allocated on
+	// its device. Engines over a shared device free only their own
+	// storage. Close is idempotent; using the engine afterwards is an
+	// error.
+	Close() error
 }

@@ -215,3 +215,7 @@ func (p *PlainR) Report() Report {
 func (p *PlainR) ResetStats() { p.eng.ResetStats() }
 
 var _ Engine = (*PlainR)(nil)
+
+// Close implements Engine. Plain R's paged virtual memory is private to
+// the engine and dies with it; there is nothing shared to release.
+func (p *PlainR) Close() error { return nil }

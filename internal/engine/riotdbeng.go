@@ -226,3 +226,8 @@ func (r *RIOTDB) Report() Report {
 func (r *RIOTDB) ResetStats() { r.dev.ResetStats() }
 
 var _ Engine = (*RIOTDB)(nil)
+
+// Close implements Engine. The embedded database's device and pool are
+// private to the engine and die with it; there is nothing shared to
+// release.
+func (r *RIOTDB) Close() error { return nil }

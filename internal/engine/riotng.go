@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
+	"sync/atomic"
 
 	"riot/internal/algebra"
 	"riot/internal/array"
@@ -25,7 +27,16 @@ type RIOT struct {
 	cfg  opt.Config
 	dev  *disk.Device
 	time TimeModel
-	seq  int
+	seq  atomic.Int64
+	// prefix namespaces every owner name this instance allocates on the
+	// device; session-scoped instances over a shared device each get a
+	// distinct prefix so Close can free exactly their storage.
+	prefix string
+	// shared marks an instance created over a caller-owned pool
+	// (NewRIOTWithPool): Close then frees only prefix-owned extents
+	// instead of the whole device.
+	shared bool
+	closed atomic.Bool
 }
 
 // NewRIOT creates a RIOT engine with blockElems-sized blocks and
@@ -51,6 +62,12 @@ type RIOTOptions struct {
 	// rules (and I/O counters) exactly; plan.CostBased decides from the
 	// analytic cost formulas and the live machine parameters.
 	Planner plan.Strategy
+	// Prefix namespaces the owner names of everything the engine stores
+	// on the device (sources, temporaries, forced results). Instances
+	// sharing one device — the server's per-connection sessions — must
+	// each use a distinct non-empty prefix; standalone engines leave it
+	// empty and reproduce the seed's names exactly.
+	Prefix string
 }
 
 // NewRIOTWorkers creates a RIOT engine whose executor and kernels use up
@@ -61,7 +78,8 @@ func NewRIOTWorkers(blockElems int, memElems int64, tm TimeModel, workers int) *
 	return NewRIOTConfigured(blockElems, memElems, tm, RIOTOptions{Workers: workers})
 }
 
-// NewRIOTConfigured creates a RIOT engine with full options.
+// NewRIOTConfigured creates a RIOT engine with full options over its own
+// private device and buffer pool.
 func NewRIOTConfigured(blockElems int, memElems int64, tm TimeModel, opts RIOTOptions) *RIOT {
 	workers := opts.Workers
 	if workers < 1 {
@@ -72,16 +90,72 @@ func NewRIOTConfigured(blockElems int, memElems int64, tm TimeModel, opts RIOTOp
 	if opts.Readahead {
 		pool.SetReadahead(buffer.ReadaheadConfig{Enabled: true})
 	}
-	ex := exec.New(pool)
-	ex.Workers = workers
-	ex.Planner = opts.Planner
-	return &RIOT{
-		g:    algebra.NewGraph(),
-		ex:   ex,
-		cfg:  opt.DefaultConfig(),
-		dev:  dev,
-		time: tm,
+	opts.Workers = workers
+	r := newRIOTOverPool(pool, tm, opts)
+	r.shared = false
+	return r
+}
+
+// NewRIOTWithPool creates a session-scoped RIOT engine over a pool the
+// caller owns — typically a quota'd view of a server's shared pool. The
+// device is the pool's; several instances may share it as long as each
+// uses a distinct opts.Prefix. Close frees only this instance's storage.
+func NewRIOTWithPool(pool *buffer.Pool, tm TimeModel, opts RIOTOptions) *RIOT {
+	if opts.Workers < 1 {
+		opts.Workers = runtime.GOMAXPROCS(0)
 	}
+	r := newRIOTOverPool(pool, tm, opts)
+	r.shared = true
+	return r
+}
+
+func newRIOTOverPool(pool *buffer.Pool, tm TimeModel, opts RIOTOptions) *RIOT {
+	ex := exec.New(pool)
+	ex.Workers = opts.Workers
+	ex.Planner = opts.Planner
+	ex.Prefix = opts.Prefix
+	return &RIOT{
+		g:      algebra.NewGraph(),
+		ex:     ex,
+		cfg:    opt.DefaultConfig(),
+		dev:    pool.Device(),
+		time:   tm,
+		prefix: opts.Prefix,
+	}
+}
+
+// Close releases everything the instance stored on the device: resident
+// frames are invalidated (without write-back — the storage is dying) and
+// the extents freed. A standalone engine frees its whole private device;
+// an engine made by NewRIOTWithPool frees only owners under its prefix,
+// leaving other sessions' storage and the shared catalog untouched.
+// Close is idempotent. It must not race in-flight evaluations on the
+// same instance: callers finish or abandon their work first.
+func (r *RIOT) Close() error {
+	if !r.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	pool := r.ex.Pool()
+	pool.DrainPrefetch()
+	if acct := pool.Account(); acct != nil {
+		if n := acct.Pinned(); n > 0 {
+			// A failed Close must stay retryable: clear the flag so a
+			// later call (after the pins drain) can still free the
+			// engine's storage instead of no-opping forever.
+			r.closed.Store(false)
+			return fmt.Errorf("engine: Close with %d frames still pinned", n)
+		}
+	}
+	for _, owner := range r.dev.Owners() {
+		if r.shared && !strings.HasPrefix(owner, r.prefix) {
+			continue
+		}
+		for _, id := range r.dev.OwnerExtents(owner) {
+			pool.Invalidate(id)
+		}
+		r.dev.Free(owner)
+	}
+	return nil
 }
 
 // Name implements Engine.
@@ -95,8 +169,7 @@ func (r *RIOT) Config() *opt.Config { return &r.cfg }
 func (r *RIOT) Executor() *exec.Executor { return r.ex }
 
 func (r *RIOT) fresh(prefix string) string {
-	r.seq++
-	return fmt.Sprintf("%s%d", prefix, r.seq)
+	return fmt.Sprintf("%s%s%d", r.prefix, prefix, r.seq.Add(1))
 }
 
 func (r *RIOT) node(v Value) (*algebra.Node, error) {
@@ -329,6 +402,34 @@ func (r *RIOT) ForceMatrix(v Value) (*array.Matrix, error) {
 	}
 	return r.forceMat(n)
 }
+
+// ForceVector materializes a vector-valued expression into a stored
+// vector (the catalog's publish path).
+func (r *RIOT) ForceVector(v Value) (*array.Vector, error) {
+	n, err := r.node(v)
+	if err != nil {
+		return nil, err
+	}
+	if !n.Shape.Vector {
+		return nil, fmt.Errorf("riot: ForceVector of matrix value")
+	}
+	root, err := r.optimize(n)
+	if err != nil {
+		return nil, err
+	}
+	return r.ex.ForceVector(root, r.fresh("res"))
+}
+
+// WrapVector lifts a stored vector into the instance's DAG (the
+// catalog's read path). Wrapping the same vector twice returns the same
+// node, so repeated reads share evaluation.
+func (r *RIOT) WrapVector(v *array.Vector) Value { return r.g.SourceVec(v) }
+
+// WrapMatrix lifts a stored matrix into the instance's DAG.
+func (r *RIOT) WrapMatrix(m *array.Matrix) Value { return r.g.SourceMat(m) }
+
+// Pool returns the buffer-pool view the instance evaluates through.
+func (r *RIOT) Pool() *buffer.Pool { return r.ex.Pool() }
 
 // Length implements Engine.
 func (r *RIOT) Length(v Value) int64 {

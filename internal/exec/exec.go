@@ -72,6 +72,11 @@ type Executor struct {
 	// ExplainTo, when set, receives the rendered physical plan of every
 	// Force call before it executes (riot-run -explain).
 	ExplainTo io.Writer
+	// Prefix namespaces the owner names of materialized temporaries on
+	// the device. Executors sharing one device (per-session engines over
+	// a server's shared pool) must use distinct prefixes so one session's
+	// teardown cannot free another's temporaries.
+	Prefix string
 	// FuseElementwise can be disabled to materialize every intermediate
 	// (the ablation that mimics plain R's evaluation inside RIOT).
 	FuseElementwise bool
@@ -121,7 +126,7 @@ func (e *Executor) ResetStats() {
 }
 
 func (e *Executor) fresh(prefix string) string {
-	return fmt.Sprintf("%s#%d", prefix, e.seq.Add(1))
+	return fmt.Sprintf("%s%s#%d", e.Prefix, prefix, e.seq.Add(1))
 }
 
 // workerCount bounds the parallelism for a job of tasks block-sized

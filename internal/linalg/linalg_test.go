@@ -376,3 +376,52 @@ func boolTo(b bool) float64 {
 	}
 	return 0
 }
+
+// TestSolveLUPinCounters is the regression test for the tile-blocked
+// substitution sweeps: the solve must cost O(tiles) pool requests — one
+// pin per triangle tile per sweep — not the O(n²) element-at-a-time
+// pins the Matrix.At path used to charge.
+func TestSolveLUPinCounters(t *testing.T) {
+	const n = 48
+	dev := disk.NewDevice(16) // 4x4 tiles -> a 12x12 tile grid
+	pool := buffer.New(dev, 256)
+	a, _ := array.NewMatrix(pool, "a", n, n, array.Options{Shape: array.SquareTiles})
+	diagDominant(t, a, 7)
+	av := dump(t, a)
+	want := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		want[i] = float64(2*i - 3)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b[i] += av[i][j] * want[j]
+		}
+	}
+	lu, err := LU(pool, "lu", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := pool.Stats()
+	x, err := SolveLU(lu, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-6 {
+			t.Fatalf("x[%d]=%v, want %v", i, x[i], want[i])
+		}
+	}
+	after := pool.Stats()
+	pins := (after.Hits + after.Misses) - (before.Hits + before.Misses)
+	gr, _ := lu.GridDims()
+	wantPins := int64(gr * (gr + 1)) // both triangular sweeps, diagonal twice
+	if pins != wantPins {
+		t.Errorf("solve issued %d pool requests, want exactly %d (grid %dx%d)", pins, wantPins, gr, gr)
+	}
+	// The old element-wise path cost ~n² pins; make the asymptotic claim
+	// explicit too.
+	if pins >= int64(n*n) {
+		t.Errorf("solve pool requests %d not sublinear in elements (%d)", pins, n*n)
+	}
+}

@@ -182,40 +182,72 @@ func subtractProduct(lt, ut, ct *array.Tile) {
 
 // SolveLU solves A·x = b given the packed LU factors, by forward then
 // backward substitution. b has length n; the result is a fresh slice.
+//
+// The substitution sweeps are tile-blocked: each triangular sweep pins
+// every tile of the relevant triangle exactly once and consumes all of
+// its elements while it is pinned, so the solve costs O(tiles) pool
+// requests instead of the O(n²) element-at-a-time pins that Matrix.At
+// would charge. The regression test on the pool counters holds this
+// bound in place.
 func SolveLU(lu *array.Matrix, b []float64) ([]float64, error) {
 	n := lu.Rows()
 	if int64(len(b)) != n {
 		return nil, fmt.Errorf("linalg: rhs length %d for %dx%d system", len(b), n, n)
 	}
+	gr, gc := lu.GridDims()
+	// Ly = b (unit diagonal): walk tile rows top-down; within a tile row
+	// the off-diagonal tiles subtract contributions from already-final
+	// prefix elements, and the diagonal tile — visited last — finalizes
+	// its elements in ascending order, so every y[j] it reads is final.
 	y := make([]float64, n)
-	// Ly = b (unit diagonal).
-	for i := int64(0); i < n; i++ {
-		sum := b[i]
-		for j := int64(0); j < i; j++ {
-			v, err := lu.At(i, j)
+	copy(y, b)
+	for ti := 0; ti < gr; ti++ {
+		for tj := 0; tj <= ti && tj < gc; tj++ {
+			t, err := lu.PinTile(ti, tj)
 			if err != nil {
 				return nil, err
 			}
-			sum -= v * y[j]
+			for i := t.RowLo; i < t.RowHi; i++ {
+				hi := min(t.ColHi, i) // strictly below the diagonal
+				sum := 0.0
+				for j := t.ColLo; j < hi; j++ {
+					sum += t.At(i, j) * y[j]
+				}
+				y[i] -= sum
+			}
+			t.Release()
 		}
-		y[i] = sum
 	}
-	// Ux = y.
-	x := make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		sum := y[i]
-		for j := i + 1; j < n; j++ {
-			v, err := lu.At(i, j)
+	// Ux = y: tile rows bottom-up, tiles right-to-left, so the diagonal
+	// tile again comes last in its row; it finalizes elements in
+	// descending order, dividing by the diagonal only after every
+	// above-diagonal contribution (in-tile and off-tile) is subtracted.
+	x := y
+	for ti := gr - 1; ti >= 0; ti-- {
+		for tj := gc - 1; tj >= ti; tj-- {
+			t, err := lu.PinTile(ti, tj)
 			if err != nil {
 				return nil, err
 			}
-			sum -= v * x[j]
+			if tj > ti {
+				for i := t.RowLo; i < t.RowHi; i++ {
+					sum := 0.0
+					for j := t.ColLo; j < t.ColHi; j++ {
+						sum += t.At(i, j) * x[j]
+					}
+					x[i] -= sum
+				}
+			} else {
+				for i := t.RowHi - 1; i >= t.RowLo; i-- {
+					sum := 0.0
+					for j := i + 1; j < t.ColHi; j++ {
+						sum += t.At(i, j) * x[j]
+					}
+					x[i] = (x[i] - sum) / t.At(i, i)
+				}
+			}
+			t.Release()
 		}
-		d, err := lu.At(i, i)
-		if err != nil {
-			return nil, err
-		}
-		x[i] = sum / d
 	}
 	return x, nil
 }

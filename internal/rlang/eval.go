@@ -2,7 +2,6 @@ package rlang
 
 import (
 	"fmt"
-	"math"
 	"strings"
 
 	"riot/internal/scalarop"
@@ -28,11 +27,18 @@ func (in *Interp) exec(s stmt) error {
 				return err
 			}
 			v.Obj = nv
+			if in.Globals != nil {
+				// Top-level array assignment publishes to the shared
+				// namespace (and a scalar rebinding below un-shadows it).
+				if err := in.Globals.SetGlobal(t.name, v.Obj); err != nil {
+					return err
+				}
+			}
 		}
 		in.env[t.name] = v
 		return nil
 	case maskAssign:
-		cur, ok := in.env[t.name]
+		cur, ok := in.lookup(t.name)
 		if !ok || cur.IsScalar {
 			return fmt.Errorf("rlang: %s is not a vector", t.name)
 		}
@@ -47,6 +53,11 @@ func (in *Interp) exec(s stmt) error {
 		nv, err := in.eng.UpdateWhere(cur.Obj, t.cmpOp, thresh, val)
 		if err != nil {
 			return err
+		}
+		if in.Globals != nil {
+			if err := in.Globals.SetGlobal(t.name, nv); err != nil {
+				return err
+			}
 		}
 		in.env[t.name] = Value{Obj: nv}
 		return nil
@@ -74,7 +85,7 @@ func (in *Interp) eval(e expr) (Value, error) {
 	case numExpr:
 		return scalar(t.v), nil
 	case varExpr:
-		v, ok := in.env[t.name]
+		v, ok := in.lookup(t.name)
 		if !ok {
 			return Value{}, fmt.Errorf("rlang: object %q not found", t.name)
 		}
@@ -141,7 +152,11 @@ func (in *Interp) evalBin(t binExpr) (Value, error) {
 	}
 	switch {
 	case l.IsScalar && r.IsScalar:
-		return scalar(scalarBin(t.op, l.Scalar, r.Scalar)), nil
+		v, err := scalarBin(t.op, l.Scalar, r.Scalar)
+		if err != nil {
+			return Value{}, err
+		}
+		return scalar(v), nil
 	case l.IsScalar:
 		obj, err := in.eng.ArithScalar(t.op, r.Obj, l.Scalar, true)
 		if err != nil {
@@ -164,13 +179,14 @@ func (in *Interp) evalBin(t binExpr) (Value, error) {
 }
 
 // scalarBin folds a binary operator over two scalar constants via the
-// shared scalar-op table.
-func scalarBin(op string, a, b float64) float64 {
+// shared scalar-op table. An unknown operator is the script author's
+// bug, so it surfaces as an interpreter error instead of a silent NaN.
+func scalarBin(op string, a, b float64) (float64, error) {
 	f, err := scalarop.Bin(op)
 	if err != nil {
-		return math.NaN()
+		return 0, fmt.Errorf("rlang: %v", err)
 	}
-	return f(a, b)
+	return f(a, b), nil
 }
 
 // evalIndex handles x[s] and x[a:b] with R's 1-based conventions.
@@ -203,14 +219,27 @@ func (in *Interp) evalIndex(t indexExpr) (Value, error) {
 		return Value{}, err
 	}
 	if sub.IsScalar {
-		// Single-element access.
-		obj, err := in.eng.Range(x.Obj, int64(sub.Scalar)-1, int64(sub.Scalar))
+		// Single-element access, validated against R's 1-based bounds
+		// before anything touches the engine: x[0], x[-1], and x[n+1]
+		// are subscript errors, not a short fetch whose missing element
+		// would panic below.
+		idx := int64(sub.Scalar)
+		n := in.eng.Length(x.Obj)
+		if idx < 1 || idx > n {
+			return Value{}, fmt.Errorf("rlang: subscript out of bounds: %d (object of length %d)", idx, n)
+		}
+		obj, err := in.eng.Range(x.Obj, idx-1, idx)
 		if err != nil {
 			return Value{}, err
 		}
 		vals, err := in.eng.Fetch(obj, 1)
 		if err != nil {
 			return Value{}, err
+		}
+		if len(vals) == 0 {
+			// The engine returned an empty fetch for an in-bounds
+			// subscript; report it rather than indexing into nothing.
+			return Value{}, fmt.Errorf("rlang: subscript %d: empty fetch from backend", idx)
 		}
 		return scalar(vals[0]), nil
 	}
@@ -251,7 +280,11 @@ func (in *Interp) evalCall(t callExpr) (Value, error) {
 			return Value{}, err
 		}
 		if v.IsScalar {
-			return scalar(scalarFn(t.fn, v.Scalar)), nil
+			out, err := scalarFn(t.fn, v.Scalar)
+			if err != nil {
+				return Value{}, err
+			}
+			return scalar(out), nil
 		}
 		obj, err := in.eng.Map(t.fn, v.Obj)
 		if err != nil {
@@ -401,13 +434,14 @@ func (in *Interp) evalCall(t callExpr) (Value, error) {
 }
 
 // scalarFn folds a unary math function over a scalar constant via the
-// shared scalar-op table.
-func scalarFn(fn string, v float64) float64 {
+// shared scalar-op table. Unknown functions are reported, not NaN'd
+// (see scalarBin).
+func scalarFn(fn string, v float64) (float64, error) {
 	f, err := scalarop.Unary(fn)
 	if err != nil {
-		return math.NaN()
+		return 0, fmt.Errorf("rlang: %v", err)
 	}
-	return f(v)
+	return f(v), nil
 }
 
 // print forces evaluation (the paper's trigger for computing z) and

@@ -31,12 +31,29 @@ type Value struct {
 
 func scalar(v float64) Value { return Value{Scalar: v, IsScalar: true} }
 
+// GlobalStore is the interpreter's hook into a shared named-object
+// table (riot-serve's durable catalog). GetGlobal resolves a name to an
+// engine value; SetGlobal publishes a top-level assignment. Both may be
+// called from many interpreters concurrently; implementations
+// synchronize internally.
+type GlobalStore interface {
+	GetGlobal(name string) (engine.Value, bool)
+	SetGlobal(name string, v engine.Value) error
+}
+
 // Interp interprets riotscript over a backend engine.
 type Interp struct {
 	eng  engine.Engine
 	env  map[string]Value
 	Out  *strings.Builder // print output (nil: discarded)
 	seed uint64
+	// Globals, when set, makes the interpreter a window onto a shared
+	// namespace: every top-level assignment of an array publishes it,
+	// and variable reads prefer the shared table over the local
+	// environment, so another session's republish is seen immediately
+	// (last-writer-wins). Scalars stay session-local — only arrays are
+	// catalog objects.
+	Globals GlobalStore
 }
 
 // New creates an interpreter over e.
@@ -49,6 +66,24 @@ func (in *Interp) Engine() engine.Engine { return in.eng }
 
 // Get returns a variable's value.
 func (in *Interp) Get(name string) (Value, bool) {
+	v, ok := in.env[name]
+	return v, ok
+}
+
+// lookup resolves a name for evaluation. A locally bound scalar wins
+// (scalars are session-local and may shadow a published array of the
+// same name); otherwise the shared global table, if any, is consulted
+// before the local environment, so republished arrays are seen with
+// last-writer-wins semantics.
+func (in *Interp) lookup(name string) (Value, bool) {
+	if v, ok := in.env[name]; ok && v.IsScalar {
+		return v, true
+	}
+	if in.Globals != nil {
+		if obj, ok := in.Globals.GetGlobal(name); ok {
+			return Value{Obj: obj}, true
+		}
+	}
 	v, ok := in.env[name]
 	return v, ok
 }

@@ -257,3 +257,131 @@ func TestRunifDeterministicPerInterp(t *testing.T) {
 		t.Fatalf("runif sum out of range: %v", s1.Scalar)
 	}
 }
+
+// TestScalarIndexOutOfBounds: x[0], x[-1], and x[n+1] must be subscript
+// errors on every backend, not a panic from an empty fetch.
+func TestScalarIndexOutOfBounds(t *testing.T) {
+	for _, e := range engines() {
+		in := New(e)
+		if err := in.Run("x <- 1:8"); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		for _, src := range []string{"x[0]", "x[-1]", "x[9]", "x[100]"} {
+			err := in.Run(src)
+			if err == nil {
+				t.Errorf("%s: %q did not error", e.Name(), src)
+				continue
+			}
+			if !strings.Contains(err.Error(), "subscript out of bounds") {
+				t.Errorf("%s: %q error = %v, want subscript out of bounds", e.Name(), src, err)
+			}
+		}
+		// In-bounds edges still work.
+		out, err := in.Run2("print(x[1]); print(x[8])")
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if !strings.Contains(out, "[1] 1\n") || !strings.Contains(out, "[1] 8\n") {
+			t.Errorf("%s: edge reads printed %q", e.Name(), out)
+		}
+	}
+}
+
+// Run2 runs src and returns the output appended since the call started.
+func (in *Interp) Run2(src string) (string, error) {
+	before := in.Out.Len()
+	err := in.Run(src)
+	return in.Out.String()[before:], err
+}
+
+// TestScalarOpErrorsPropagate: unknown operators and functions surface
+// as interpreter errors rather than silent NaN results.
+func TestScalarOpErrorsPropagate(t *testing.T) {
+	if _, err := scalarBin("@@", 1, 2); err == nil {
+		t.Error("scalarBin(@@) did not error")
+	}
+	if v, err := scalarBin("+", 2, 3); err != nil || v != 5 {
+		t.Errorf("scalarBin(+) = %g, %v", v, err)
+	}
+	if _, err := scalarFn("frobnicate", 1); err == nil {
+		t.Error("scalarFn(frobnicate) did not error")
+	}
+	if v, err := scalarFn("sqrt", 9); err != nil || v != 3 {
+		t.Errorf("scalarFn(sqrt) = %g, %v", v, err)
+	}
+}
+
+// fakeGlobals is an in-memory GlobalStore for interpreter tests.
+type fakeGlobals struct {
+	vals map[string]engine.Value
+}
+
+func (f *fakeGlobals) GetGlobal(name string) (engine.Value, bool) {
+	v, ok := f.vals[name]
+	return v, ok
+}
+
+func (f *fakeGlobals) SetGlobal(name string, v engine.Value) error {
+	f.vals[name] = v
+	return nil
+}
+
+// TestGlobalsPublishAndShadow: with a GlobalStore bound, top-level array
+// assignments publish, republished names win over stale local bindings,
+// and local scalars shadow globals.
+func TestGlobalsPublishAndShadow(t *testing.T) {
+	e := engine.NewRIOT(1024, 1<<22, engine.DefaultTimeModel)
+	g := &fakeGlobals{vals: make(map[string]engine.Value)}
+
+	a := New(e)
+	a.Globals = g
+	if err := a.Run("x <- 1:4"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.vals["x"]; !ok {
+		t.Fatal("assignment did not publish x")
+	}
+
+	// A second interpreter over the same store sees x.
+	b := New(e)
+	b.Globals = g
+	out, err := b.Run2("print(sum(x))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[1] 10") {
+		t.Fatalf("b saw %q, want sum 10", out)
+	}
+
+	// b republishes; a reads the new version (last-writer-wins).
+	if err := b.Run("x <- 1:3"); err != nil {
+		t.Fatal(err)
+	}
+	out, err = a.Run2("print(sum(x))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[1] 6") {
+		t.Fatalf("a saw %q after republish, want sum 6", out)
+	}
+
+	// A local scalar shadows the global array.
+	if err := a.Run("x <- 42"); err != nil {
+		t.Fatal(err)
+	}
+	out, err = a.Run2("print(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[1] 42") {
+		t.Fatalf("a saw %q, want shadowing scalar 42", out)
+	}
+	// b still sees the published array.
+	out, err = b.Run2("print(length(x))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[1] 3") {
+		t.Fatalf("b saw %q, want published length 3", out)
+	}
+}

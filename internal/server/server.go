@@ -1,0 +1,258 @@
+// Package server implements riot-serve: a concurrent-session riotscript
+// server over one riot.DB. It is the layer that turns the library into a
+// system — N clients share one device, one sharded buffer pool, and one
+// durable catalog of named arrays, with per-session frame quotas and
+// admission control enforced underneath by the DB.
+//
+// # Protocol
+//
+// The protocol is line-oriented text over a stream connection. Each
+// request is one line: either a riotscript statement (several may be
+// packed with ';') or a server command starting with '\'. The server
+// answers every request with zero or more payload lines, each prefixed
+// "| ", followed by exactly one status line: "ok", or "err <message>".
+// On connect, the server sends one greeting block (payload + status)
+// before the first request; if admission fails the greeting's status is
+// an err and the connection closes.
+//
+// Commands:
+//
+//	\stats       engine report and shared-pool counters
+//	\list        catalog names, one per payload line
+//	\checkpoint  persist the catalog now
+//	\quit        close this connection (its session's storage is freed)
+//	\shutdown    gracefully stop the whole server
+//
+// Each connection owns one DB session and one riotscript interpreter for
+// its whole lifetime, so variables persist across requests, and named
+// arrays published by any connection are visible to all (last-writer-
+// wins through the shared catalog).
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"riot"
+)
+
+// Server serves riotscript sessions from a shared riot.DB.
+type Server struct {
+	db *riot.DB
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    sync.WaitGroup
+	stopping atomic.Bool
+}
+
+// New creates a server over db. The caller retains ownership of db and
+// closes it after Serve returns.
+func New(db *riot.DB) *Server { return &Server{db: db} }
+
+// DB returns the served database.
+func (s *Server) DB() *riot.DB { return s.db }
+
+// Serve accepts connections on ln until Close (or \shutdown) stops the
+// listener, then waits for in-flight connections to finish. It returns
+// nil on a clean stop.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.conns.Wait()
+			if s.stopping.Load() {
+				return nil
+			}
+			return err
+		}
+		s.conns.Add(1)
+		go func() {
+			defer s.conns.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops the listener and waits for connections to drain. It is
+// idempotent and safe to call from any goroutine (including a \shutdown
+// handler).
+func (s *Server) Close() error {
+	if !s.stopping.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	return nil
+}
+
+// reply writes one response block: the payload (split into lines, each
+// prefixed "| ") and the status line.
+func reply(w *bufio.Writer, payload string, err error) error {
+	if payload != "" {
+		for _, line := range strings.Split(strings.TrimRight(payload, "\n"), "\n") {
+			if _, werr := w.WriteString("| " + line + "\n"); werr != nil {
+				return werr
+			}
+		}
+	}
+	status := "ok"
+	if err != nil {
+		status = "err " + strings.ReplaceAll(err.Error(), "\n", " ")
+	}
+	if _, werr := w.WriteString(status + "\n"); werr != nil {
+		return werr
+	}
+	return w.Flush()
+}
+
+// handle runs one connection: admit a session, loop over requests,
+// release the session on the way out.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	w := bufio.NewWriter(conn)
+	sess, err := s.db.NewSession()
+	if err != nil {
+		reply(w, "", fmt.Errorf("admission: %v", err))
+		return
+	}
+	defer sess.Close()
+	in := sess.Interp()
+	greeting := fmt.Sprintf("riot-serve: engine %s, session quota %d frames, %d/%d sessions",
+		sess.EngineName(), s.db.SessionQuota(), s.db.ActiveSessions(), s.db.MaxSessions())
+	if err := reply(w, greeting, nil); err != nil {
+		return
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r")
+		if strings.TrimSpace(line) == "" {
+			if err := reply(w, "", nil); err != nil {
+				return
+			}
+			continue
+		}
+		if strings.HasPrefix(strings.TrimSpace(line), "\\") {
+			if quit := s.command(w, sess, strings.TrimSpace(line)); quit {
+				return
+			}
+			continue
+		}
+		in.Out.Reset() // bound the builder: connections live a long time
+		runErr := in.Run(line)
+		payload := in.Out.String()
+		if err := reply(w, payload, runErr); err != nil {
+			return
+		}
+	}
+}
+
+// command executes one '\' request and reports whether the connection
+// should close.
+func (s *Server) command(w *bufio.Writer, sess *riot.Session, cmd string) (quit bool) {
+	switch cmd {
+	case "\\quit", "\\q":
+		reply(w, "bye", nil)
+		return true
+	case "\\shutdown":
+		// Acknowledge first: the client's Do must complete even though
+		// the listener is about to die.
+		reply(w, "shutting down", nil)
+		go s.Close()
+		return true
+	case "\\checkpoint":
+		reply(w, "", s.db.Checkpoint())
+		return false
+	case "\\list":
+		reply(w, strings.Join(s.db.Names(), "\n"), nil)
+		return false
+	case "\\stats":
+		var b strings.Builder
+		fmt.Fprintf(&b, "engine: %s\n", sess.Report())
+		fmt.Fprintf(&b, "pool:   %s\n", s.db.Pool().Stats())
+		fmt.Fprintf(&b, "device: %s\n", s.db.Pool().Device().Stats())
+		reply(w, b.String(), nil)
+		return false
+	default:
+		reply(w, "", fmt.Errorf("unknown command %q (try \\stats \\list \\checkpoint \\quit \\shutdown)", cmd))
+		return false
+	}
+}
+
+// ---- client ----
+
+// Client is a minimal protocol client, used by riot-serve's -send mode,
+// the CI smoke job, and the tests.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a riot-serve at addr and consumes the greeting. A
+// greeting with err status (admission refused) is returned as an error.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	if _, err := c.readBlock(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Do sends one request line and returns the response payload (without
+// the "| " prefixes). A server err status comes back as a Go error.
+func (c *Client) Do(line string) (string, error) {
+	if strings.ContainsAny(line, "\n\r") {
+		return "", fmt.Errorf("client: request must be a single line")
+	}
+	if _, err := c.w.WriteString(line + "\n"); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	return c.readBlock()
+}
+
+// readBlock consumes payload lines up to and including the status line.
+func (c *Client) readBlock() (string, error) {
+	var payload strings.Builder
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return payload.String(), fmt.Errorf("client: connection lost: %w", err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "ok":
+			return payload.String(), nil
+		case strings.HasPrefix(line, "err "):
+			return payload.String(), fmt.Errorf("%s", line[len("err "):])
+		case strings.HasPrefix(line, "| "):
+			payload.WriteString(line[2:])
+			payload.WriteByte('\n')
+		default:
+			return payload.String(), fmt.Errorf("client: malformed response line %q", line)
+		}
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,255 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"riot"
+)
+
+// startServer spins up a server over a fresh DB in dir and returns the
+// address plus a stop function that drains it and closes the DB.
+func startServer(t *testing.T, dir string, cfg riot.Config) (addr string, stop func()) {
+	t.Helper()
+	db, err := riot.Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	return ln.Addr().String(), func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+		if err := db.Close(); err != nil {
+			t.Errorf("db.Close: %v", err)
+		}
+	}
+}
+
+func smallCfg() riot.Config {
+	return riot.Config{BlockElems: 64, MemElems: 1 << 14}
+}
+
+// TestProtocolBasics: statements evaluate, output comes back, errors
+// come back as err status without killing the connection.
+func TestProtocolBasics(t *testing.T) {
+	addr, stop := startServer(t, t.TempDir(), smallCfg())
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Do("x <- 1:10"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Do("print(sum(x))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[1] 55") {
+		t.Fatalf("sum printed %q", out)
+	}
+	// An error response keeps the session alive; state survives.
+	if _, err := c.Do("print(nope)"); err == nil {
+		t.Fatal("undefined variable did not err")
+	}
+	if _, err := c.Do("x[0]"); err == nil || !strings.Contains(err.Error(), "subscript out of bounds") {
+		t.Fatalf("x[0] error = %v, want subscript out of bounds", err)
+	}
+	out, err = c.Do("print(length(x))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[1] 10") {
+		t.Fatalf("session state lost after error: %q", out)
+	}
+	// Commands.
+	out, err = c.Do("\\list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "x") {
+		t.Fatalf("\\list = %q, want x", out)
+	}
+	if _, err := c.Do("\\stats"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Do("\\bogus"); err == nil {
+		t.Fatal("unknown command did not err")
+	}
+	if _, err := c.Do("\\quit"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerRestartRoundTrip drives the CI smoke scenario end to end in
+// process: run a script over the protocol, shut down (checkpointing),
+// restart over the same directory, and verify the named arrays.
+func TestServerRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	addr, stop := startServer(t, dir, smallCfg())
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stmt := range []string{
+		"base <- 1:100",
+		"dist <- sqrt(base * base + 3 * base)",
+		"\\checkpoint",
+	} {
+		if _, err := c.Do(stmt); err != nil {
+			t.Fatalf("%q: %v", stmt, err)
+		}
+	}
+	want, err := c.Do("print(sum(dist))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	stop() // graceful: drains the session, checkpoints, closes the DB
+
+	// Restart on the same directory.
+	addr2, stop2 := startServer(t, dir, smallCfg())
+	defer stop2()
+	c2, err := Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	out, err := c2.Do("\\list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "base") || !strings.Contains(out, "dist") {
+		t.Fatalf("catalog after restart = %q, want base and dist", out)
+	}
+	got, err := c2.Do("print(sum(dist))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("sum(dist) after restart = %q, want %q", got, want)
+	}
+}
+
+// TestShutdownCommand: \shutdown stops the listener; Serve returns nil.
+func TestShutdownCommand(t *testing.T) {
+	db, err := riot.Open(t.TempDir(), smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Do("\\shutdown"); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("Serve returned %v after \\shutdown", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The catalog file must exist (Close checkpoints).
+	if _, err := riot.Open(db.Catalog().Dir(), smallCfg()); err != nil {
+		t.Fatalf("reopening after shutdown: %v", err)
+	}
+}
+
+// TestConcurrentClients: >= 4 concurrent connections hammer shared names
+// over the protocol (run under -race). Every client completes its mixed
+// workload and sees *some* coherent version of the shared object.
+func TestConcurrentClients(t *testing.T) {
+	cfg := smallCfg()
+	cfg.SessionFrames = 24
+	cfg.MaxSessions = 8
+	addr, stop := startServer(t, t.TempDir(), cfg)
+	defer stop()
+
+	const clients = 6
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			defer c.Close()
+			for round := 0; round < 5; round++ {
+				stmts := []string{
+					fmt.Sprintf("mine%d <- 1:150 + %d", i, round),
+					fmt.Sprintf("shared <- mine%d * 2", i),
+					"print(sum(sqrt(shared * shared)))",
+					"print(length(shared))",
+				}
+				for _, stmt := range stmts {
+					if _, err := c.Do(stmt); err != nil {
+						t.Errorf("client %d round %d %q: %v", i, round, stmt, err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestAdmissionOverProtocol: with MaxSessions 1, a second connection
+// blocks until the first quits, then gets served.
+func TestAdmissionOverProtocol(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MaxSessions = 1
+	addr, stop := startServer(t, t.TempDir(), cfg)
+	defer stop()
+
+	c1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := make(chan error, 1)
+	go func() {
+		c2, err := Dial(addr) // greeting only arrives once admitted
+		if err != nil {
+			second <- err
+			return
+		}
+		defer c2.Close()
+		_, err = c2.Do("print(1 + 1)")
+		second <- err
+	}()
+	select {
+	case err := <-second:
+		t.Fatalf("second client served while first held the only slot (err=%v)", err)
+	default:
+	}
+	if _, err := c1.Do("\\quit"); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	if err := <-second; err != nil {
+		t.Fatalf("second client after slot freed: %v", err)
+	}
+}

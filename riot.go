@@ -35,6 +35,7 @@ package riot
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
 	"riot/internal/engine"
 	"riot/internal/plan"
@@ -120,11 +121,52 @@ type Config struct {
 	Readahead bool
 	// Time is the simulated-hardware model; zero value uses defaults.
 	Time engine.TimeModel
+	// SessionFrames is the pinned-frame quota of each session admitted
+	// by a database opened with Open: the share of the shared buffer
+	// pool one session may hold pinned at once. Default: a quarter of
+	// the pool. Ignored by NewSession, whose session owns its whole
+	// pool.
+	SessionFrames int
+	// MaxSessions bounds how many database sessions may be admitted
+	// concurrently (admission control; DB.NewSession blocks while the
+	// table is full). Default: pool capacity / SessionFrames. Ignored by
+	// NewSession.
+	MaxSessions int
 }
 
-// Session is a handle to one engine instance.
+// Session is a handle to one engine instance. Sessions from NewSession
+// own a private engine; sessions from DB.NewSession share the database's
+// device, buffer pool, and catalog. Either way, Close releases the
+// session's resources — database sessions leak pool frames and storage
+// until it is called.
 type Session struct {
-	eng engine.Engine
+	eng    engine.Engine
+	db     *DB
+	seq    int64 // admission sequence in the DB (0 for standalone)
+	closed atomic.Bool
+}
+
+// Close releases the session: in-flight prefetches are drained, the
+// session's arrays and temporaries are dropped from the buffer pool and
+// their storage freed, and (for database sessions) the admission slot is
+// returned. Close is idempotent; using the session afterwards is an
+// error. Published catalog objects are unaffected — surviving the
+// session is what publishing means.
+func (s *Session) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if err := s.eng.Close(); err != nil {
+		// Still open: the engine refused (frames pinned). Keep the
+		// admission slot and stay retryable rather than returning a
+		// wedged session's share of the pool to the admission counter.
+		s.closed.Store(false)
+		return err
+	}
+	if s.db != nil {
+		s.db.release(s)
+	}
+	return nil
 }
 
 // NewSession creates a session with the given configuration.
@@ -205,7 +247,7 @@ func (m *Matrix) Explain() (string, error) { return m.s.explain(m.val) }
 
 // RunScript executes a riotscript program and returns its printed output.
 func (s *Session) RunScript(src string) (string, error) {
-	in := rlang.New(s.eng)
+	in := s.Interp()
 	if err := in.Run(src); err != nil {
 		return in.Out.String(), err
 	}
@@ -213,8 +255,17 @@ func (s *Session) RunScript(src string) (string, error) {
 }
 
 // Interp returns a fresh riotscript interpreter bound to the session's
-// engine, for callers that want to pre-bind variables.
-func (s *Session) Interp() *rlang.Interp { return rlang.New(s.eng) }
+// engine, for callers that want to pre-bind variables. On a database
+// session the interpreter is additionally bound to the shared catalog:
+// top-level assignments publish named arrays and variable reads see
+// other sessions' published objects (last-writer-wins).
+func (s *Session) Interp() *rlang.Interp {
+	in := rlang.New(s.eng)
+	if s.db != nil {
+		in.Globals = sessionGlobals{s: s}
+	}
+	return in
+}
 
 // Vector is a deferred (or eager, depending on backend) vector handle.
 type Vector struct {
