@@ -40,15 +40,21 @@ type Result struct {
 	// ablation rows with the scheduler on; 0 elsewhere).
 	PrefetchHitPct float64 `json:"prefetch_hit_pct,omitempty"`
 	// EstBlocks is the physical plan's estimated device traffic in
-	// blocks (planner ablation rows; 0 elsewhere).
+	// blocks (planner and sparse ablation rows; 0 elsewhere).
 	EstBlocks float64 `json:"est_blocks,omitempty"`
 	// ActualBlocks is the measured device traffic in blocks (planner
 	// ablation rows; 0 elsewhere).
 	ActualBlocks int64 `json:"actual_blocks,omitempty"`
+	// Density is the stored nonzero fraction of the sparse-ablation
+	// input (0 elsewhere).
+	Density float64 `json:"density,omitempty"`
+	// BlockReads counts device block reads (sparse ablation rows; 0
+	// elsewhere) — the figure's y-axis.
+	BlockReads int64 `json:"block_reads,omitempty"`
 }
 
 func main() {
-	figure := flag.String("figure", "all", "which experiment: 1, 2, 3a, 3b, validate, workers, readahead, planner, all")
+	figure := flag.String("figure", "all", "which experiment: 1, 2, 3a, 3b, validate, workers, readahead, planner, sparse, all")
 	paper := flag.Bool("paper", false, "use the paper's full-scale parameters")
 	jsonPath := flag.String("json", "BENCH_results.json", "write machine-readable results to this file (empty to disable)")
 	flag.Parse()
@@ -212,6 +218,25 @@ func main() {
 				SimSec:       r.SimSec,
 				EstBlocks:    r.EstBlocks,
 				ActualBlocks: r.ActualBlocks,
+			})
+		}
+		return out, nil
+	})
+
+	run("sparse", func() ([]Result, error) {
+		rows, err := bench.SparseAblation(os.Stdout)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Result, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, Result{
+				Name:       fmt.Sprintf("sparse/matmul/d=%.4f/%s", r.Density, r.Mode),
+				IOMB:       r.IOMB,
+				SimSec:     r.SimSec,
+				Density:    r.Density,
+				BlockReads: r.BlockReads,
+				EstBlocks:  r.EstBlocks,
 			})
 		}
 		return out, nil

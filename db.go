@@ -278,6 +278,10 @@ func (s *Session) Publish(name string, v *Vector) error {
 	if err != nil {
 		return err
 	}
+	if sv, ok := rt.SparseVectorOf(v.val); ok {
+		_, err = s.db.cat.PutSparseVector(name, sv)
+		return err
+	}
 	vec, err := rt.ForceVector(v.val)
 	if err != nil {
 		return err
@@ -287,7 +291,9 @@ func (s *Session) Publish(name string, v *Vector) error {
 }
 
 // PublishMatrix forces the matrix expression and publishes the result
-// under name (see Publish).
+// under name (see Publish). Results whose natural kind is sparse — a
+// sparse handle, or a sparse×sparse product — publish as sparse catalog
+// entries, keeping their tile directories across restart.
 func (s *Session) PublishMatrix(name string, m *Matrix) error {
 	if s.db == nil {
 		return fmt.Errorf("riot: PublishMatrix requires a database session (riot.Open)")
@@ -296,8 +302,12 @@ func (s *Session) PublishMatrix(name string, m *Matrix) error {
 	if err != nil {
 		return err
 	}
-	mat, err := rt.ForceMatrix(m.val)
+	mat, smat, err := rt.ForceAnyMatrix(m.val)
 	if err != nil {
+		return err
+	}
+	if smat != nil {
+		_, err = s.db.cat.PutSparseMatrix(name, smat)
 		return err
 	}
 	_, err = s.db.cat.PutMatrix(name, mat)
@@ -319,10 +329,13 @@ func (s *Session) Lookup(name string) (*Vector, error) {
 	if !ok {
 		return nil, fmt.Errorf("riot: object %q not found", name)
 	}
-	if e.Kind != catalog.KindVector {
-		return nil, fmt.Errorf("riot: object %q is a matrix; use LookupMatrix", name)
+	switch e.Kind {
+	case catalog.KindVector:
+		return &Vector{s: s, val: rt.WrapVector(e.Vec)}, nil
+	case catalog.KindSparseVector:
+		return &Vector{s: s, val: rt.WrapSparseVector(e.SVec)}, nil
 	}
-	return &Vector{s: s, val: rt.WrapVector(e.Vec)}, nil
+	return nil, fmt.Errorf("riot: object %q is a matrix; use LookupMatrix", name)
 }
 
 // LookupMatrix returns the named catalog matrix as a session handle
@@ -339,10 +352,13 @@ func (s *Session) LookupMatrix(name string) (*Matrix, error) {
 	if !ok {
 		return nil, fmt.Errorf("riot: object %q not found", name)
 	}
-	if e.Kind != catalog.KindMatrix {
-		return nil, fmt.Errorf("riot: object %q is a vector; use Lookup", name)
+	switch e.Kind {
+	case catalog.KindMatrix:
+		return &Matrix{s: s, val: rt.WrapMatrix(e.Mat)}, nil
+	case catalog.KindSparseMatrix:
+		return &Matrix{s: s, val: rt.WrapSparseMatrix(e.SMat)}, nil
 	}
-	return &Matrix{s: s, val: rt.WrapMatrix(e.Mat)}, nil
+	return nil, fmt.Errorf("riot: object %q is a vector; use Lookup", name)
 }
 
 // sessionGlobals adapts a DB session to the riotscript interpreter's
@@ -361,17 +377,28 @@ func (g sessionGlobals) GetGlobal(name string) (engine.Value, bool) {
 	if !ok {
 		return nil, false
 	}
-	if e.Kind == catalog.KindVector {
+	switch e.Kind {
+	case catalog.KindVector:
 		return rt.WrapVector(e.Vec), true
+	case catalog.KindSparseVector:
+		return rt.WrapSparseVector(e.SVec), true
+	case catalog.KindSparseMatrix:
+		return rt.WrapSparseMatrix(e.SMat), true
 	}
 	return rt.WrapMatrix(e.Mat), true
 }
 
 // SetGlobal implements rlang.GlobalStore: force the expression and
-// publish it under name.
+// publish it under name. Sparse handles publish as sparse entries —
+// their tile directories (and so their density statistics) survive into
+// the catalog and across restarts.
 func (g sessionGlobals) SetGlobal(name string, v engine.Value) error {
 	rt, err := g.s.riotEngine()
 	if err != nil {
+		return err
+	}
+	if sv, ok := rt.SparseVectorOf(v); ok {
+		_, err = g.s.db.cat.PutSparseVector(name, sv)
 		return err
 	}
 	_, _, isVec := rt.Dims(v)
@@ -383,8 +410,12 @@ func (g sessionGlobals) SetGlobal(name string, v engine.Value) error {
 		_, err = g.s.db.cat.PutVector(name, vec)
 		return err
 	}
-	mat, err := rt.ForceMatrix(v)
+	mat, smat, err := rt.ForceAnyMatrix(v)
 	if err != nil {
+		return err
+	}
+	if smat != nil {
+		_, err = g.s.db.cat.PutSparseMatrix(name, smat)
 		return err
 	}
 	_, err = g.s.db.cat.PutMatrix(name, mat)

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"riot/internal/array"
+	"riot/internal/sparse"
 )
 
 // Op enumerates DAG node kinds.
@@ -91,16 +92,55 @@ type Node struct {
 	ScalarLeft bool    // OpScalarOp: scalar is the left operand
 	Lo, Hi     int64   // OpRange bounds [Lo, Hi)
 
-	Vec *array.Vector // OpSourceVec backing store
-	Mat *array.Matrix // OpSourceMat backing store
+	// Exactly one backing store is non-nil on a source node; the array
+	// Kind (dense vs tile-compressed sparse) is a property of the store,
+	// and flows from here through planning, execution, and publishing.
+	Vec  *array.Vector  // OpSourceVec dense backing store
+	Mat  *array.Matrix  // OpSourceMat dense backing store
+	SVec *sparse.Vector // OpSourceVec sparse backing store
+	SMat *sparse.Matrix // OpSourceMat sparse backing store
+}
+
+// MatKind reports the payload kind of a matrix node: the stored kind
+// for sources, and for multiplies the kind their planned kernel
+// produces (sparse only when both operands are sparse — the
+// sparse×sparse kernel is the one whose output stays compressed).
+func (n *Node) MatKind() array.Kind {
+	switch n.Op {
+	case OpSourceMat:
+		if n.SMat != nil {
+			return array.Sparse
+		}
+		return array.Dense
+	case OpMatMul:
+		if n.Kids[0].MatKind() == array.Sparse && n.Kids[1].MatKind() == array.Sparse {
+			return array.Sparse
+		}
+	}
+	return array.Dense
+}
+
+// VecKind reports the payload kind of a vector source (Dense for every
+// derived node: fused pipelines materialize densely).
+func (n *Node) VecKind() array.Kind {
+	if n.Op == OpSourceVec && n.SVec != nil {
+		return array.Sparse
+	}
+	return array.Dense
 }
 
 // String renders the subexpression rooted at the node.
 func (n *Node) String() string {
 	switch n.Op {
 	case OpSourceVec:
+		if n.SVec != nil {
+			return n.SVec.Name()
+		}
 		return n.Vec.Name()
 	case OpSourceMat:
+		if n.SMat != nil {
+			return n.SMat.Name()
+		}
 		return n.Mat.Name()
 	case OpElemBinary:
 		return fmt.Sprintf("(%s %s %s)", n.Kids[0], n.BinOp, n.Kids[1])
@@ -166,6 +206,22 @@ func (g *Graph) SourceVec(v *array.Vector) *Node {
 func (g *Graph) SourceMat(m *array.Matrix) *Node {
 	return g.intern(fmt.Sprintf("m:%p", m), func() *Node {
 		return &Node{Op: OpSourceMat, Mat: m, Shape: Shape{Rows: m.Rows(), Cols: m.Cols()}}
+	})
+}
+
+// SourceSparseVec wraps a stored sparse vector. It is an OpSourceVec
+// like its dense twin — every rewrite rule treats sources opaquely — but
+// carries the sparse store, which the executor and planner branch on.
+func (g *Graph) SourceSparseVec(v *sparse.Vector) *Node {
+	return g.intern(fmt.Sprintf("sv:%p", v), func() *Node {
+		return &Node{Op: OpSourceVec, SVec: v, Shape: Shape{Rows: v.Len(), Cols: 1, Vector: true}}
+	})
+}
+
+// SourceSparseMat wraps a stored sparse matrix.
+func (g *Graph) SourceSparseMat(m *sparse.Matrix) *Node {
+	return g.intern(fmt.Sprintf("sm:%p", m), func() *Node {
+		return &Node{Op: OpSourceMat, SMat: m, Shape: Shape{Rows: m.Rows(), Cols: m.Cols()}}
 	})
 }
 

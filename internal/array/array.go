@@ -13,7 +13,6 @@ package array
 
 import (
 	"fmt"
-	"math"
 
 	"riot/internal/buffer"
 	"riot/internal/disk"
@@ -32,6 +31,7 @@ const (
 	SquareTiles
 )
 
+// String names the tile shape for diagnostics and bench tables.
 func (t TileShape) String() string {
 	switch t {
 	case RowTiles:
@@ -58,6 +58,7 @@ const (
 	HilbertOrder
 )
 
+// String names the linearization for diagnostics and bench tables.
 func (l Linearization) String() string {
 	switch l {
 	case RowOrder:
@@ -97,25 +98,17 @@ type Options struct {
 // NewMatrix allocates a rows×cols matrix from pool's device under the
 // given owner name. The tile dimensions are derived from the device
 // block size and opts.Shape.
+// Degenerate 0×n / n×0 / 0×0 matrices are legal: they occupy no blocks,
+// and every tile loop over their (empty) grid is vacuous — the shape
+// algebra of expressions over empty inputs still has to hold.
 func NewMatrix(pool *buffer.Pool, name string, rows, cols int64, opts Options) (*Matrix, error) {
-	if rows <= 0 || cols <= 0 {
+	if rows < 0 || cols < 0 {
 		return nil, fmt.Errorf("array: invalid dimensions %d×%d", rows, cols)
 	}
 	b := pool.Device().BlockElems()
-	var tr, tc int
-	switch opts.Shape {
-	case RowTiles:
-		tr, tc = 1, b
-	case ColTiles:
-		tr, tc = b, 1
-	case SquareTiles:
-		side := int(math.Sqrt(float64(b)))
-		if side < 1 {
-			side = 1
-		}
-		tr, tc = side, side
-	default:
-		return nil, fmt.Errorf("array: unknown tile shape %v", opts.Shape)
+	tr, tc, err := TileDimsFor(b, opts.Shape)
+	if err != nil {
+		return nil, err
 	}
 	m := &Matrix{
 		pool:  pool,

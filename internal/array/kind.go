@@ -1,0 +1,61 @@
+package array
+
+import "fmt"
+
+// Kind distinguishes the physical payload format of a stored array. It
+// is a first-class property of the array (not of the access path): every
+// layer from the planner to the catalog branches on it, so a sparse
+// array stays sparse through kernels, publishing, and restart.
+type Kind int
+
+const (
+	// Dense arrays materialize every element; each tile occupies one
+	// block regardless of its contents.
+	Dense Kind = iota
+	// Sparse arrays store tiles compressed as (count, index[], value[])
+	// pairs and allocate no block at all for all-zero tiles (see
+	// internal/sparse).
+	Sparse
+)
+
+// String names the payload kind for plans and diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case Dense:
+		return "dense"
+	case Sparse:
+		return "sparse"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Kind reports the matrix's payload format: always Dense for this type.
+func (m *Matrix) Kind() Kind { return Dense }
+
+// Kind reports the vector's payload format: always Dense for this type.
+func (v *Vector) Kind() Kind { return Dense }
+
+// TileDimsFor returns the tile height and width (in elements) that shape
+// produces at the given block size — the same geometry NewMatrix derives,
+// exposed so other payload formats (internal/sparse) tile identically.
+func TileDimsFor(blockElems int, shape TileShape) (tr, tc int, err error) {
+	switch shape {
+	case RowTiles:
+		return 1, blockElems, nil
+	case ColTiles:
+		return blockElems, 1, nil
+	case SquareTiles:
+		side := isqrt(blockElems)
+		return side, side, nil
+	}
+	return 0, 0, fmt.Errorf("array: unknown tile shape %v", shape)
+}
+
+// isqrt returns floor(sqrt(n)), at least 1 for n >= 0.
+func isqrt(n int) int {
+	side := 1
+	for (side+1)*(side+1) <= n {
+		side++
+	}
+	return side
+}

@@ -27,14 +27,21 @@
 //	uint32   entry count
 //	entries:
 //	  uint32 name length, name bytes
-//	  uint8  kind (0 vector, 1 matrix)
+//	  uint8  kind (0 vector, 1 matrix, 2 sparse matrix, 3 sparse vector)
 //	  uint8  tile shape, uint8 linearization, uint8 reserved
 //	  int64  rows, int64 cols
 //	  uint32 block count
-//	  block payloads: count × blockElems × 8 bytes (float64 bits)
+//	  sparse kinds only: uint32 directory length, then that many
+//	    uint32 per-tile (per-chunk) nonzero counts — the density
+//	    statistics the planner reads, persisted with the data
+//	  block payloads: count × blockElems × 8 bytes (float64 bits);
+//	    sparse kinds store only their non-empty tiles' payloads, in
+//	    row-major tile order
 //
 // The format is versioned by its magic; a file whose magic or block
-// size does not match is rejected rather than guessed at.
+// size does not match is rejected rather than guessed at. Sparse
+// entries restore with their directories intact, so an all-zero tile
+// still costs no block after a restart.
 package catalog
 
 import (
@@ -51,6 +58,7 @@ import (
 	"riot/internal/array"
 	"riot/internal/buffer"
 	"riot/internal/disk"
+	"riot/internal/sparse"
 )
 
 // Magic identifies a catalog file (and its format version).
@@ -64,35 +72,48 @@ type Kind uint8
 
 // Entry kinds.
 const (
-	KindVector Kind = 0
-	KindMatrix Kind = 1
+	KindVector       Kind = 0
+	KindMatrix       Kind = 1
+	KindSparseMatrix Kind = 2
+	KindSparseVector Kind = 3
 )
 
-// Entry is one named array in the catalog. Exactly one of Vec and Mat is
-// non-nil, per Kind. Entries are immutable once published: a new Put
-// under the same name creates a new Entry rather than mutating this one,
-// so a handle obtained from Get stays valid (last-writer-wins for future
-// readers, stable snapshots for current ones).
+// Entry is one named array in the catalog. Exactly one of Vec, Mat,
+// SMat, and SVec is non-nil, per Kind. Entries are immutable once
+// published: a new Put under the same name creates a new Entry rather
+// than mutating this one, so a handle obtained from Get stays valid
+// (last-writer-wins for future readers, stable snapshots for current
+// ones).
 type Entry struct {
 	Name    string
 	Kind    Kind
 	Version int64
 	Vec     *array.Vector
 	Mat     *array.Matrix
+	SMat    *sparse.Matrix
+	SVec    *sparse.Vector
 }
 
 // Rows returns the row count (the length for vectors).
 func (e *Entry) Rows() int64 {
-	if e.Kind == KindVector {
+	switch e.Kind {
+	case KindVector:
 		return e.Vec.Len()
+	case KindSparseVector:
+		return e.SVec.Len()
+	case KindSparseMatrix:
+		return e.SMat.Rows()
 	}
 	return e.Mat.Rows()
 }
 
 // Cols returns the column count (1 for vectors).
 func (e *Entry) Cols() int64 {
-	if e.Kind == KindVector {
+	switch e.Kind {
+	case KindVector, KindSparseVector:
 		return 1
+	case KindSparseMatrix:
+		return e.SMat.Cols()
 	}
 	return e.Mat.Cols()
 }
@@ -130,6 +151,12 @@ func (e *Entry) FreeStorage() {
 	}
 	if e.Mat != nil {
 		e.Mat.Free()
+	}
+	if e.SMat != nil {
+		e.SMat.Free()
+	}
+	if e.SVec != nil {
+		e.SVec.Free()
 	}
 }
 
@@ -234,6 +261,36 @@ func (c *Catalog) PutMatrix(name string, src *array.Matrix) (*Entry, error) {
 		return nil, err
 	}
 	e := &Entry{Name: name, Kind: KindMatrix, Version: c.version, Mat: dst}
+	c.replace(e)
+	return e, nil
+}
+
+// PutSparseMatrix publishes a copy of src under name (see PutVector).
+// The copy keeps src's tile directory — and so its density statistics —
+// with its non-empty blocks in one contiguous catalog-owned extent.
+func (c *Catalog) PutSparseMatrix(name string, src *sparse.Matrix) (*Entry, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.version++
+	dst, err := sparse.Clone(c.pool, c.owner(name, c.version), src)
+	if err != nil {
+		return nil, err
+	}
+	e := &Entry{Name: name, Kind: KindSparseMatrix, Version: c.version, SMat: dst}
+	c.replace(e)
+	return e, nil
+}
+
+// PutSparseVector publishes a copy of src under name (see PutVector).
+func (c *Catalog) PutSparseVector(name string, src *sparse.Vector) (*Entry, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.version++
+	dst, err := sparse.CloneVector(c.pool, c.owner(name, c.version), src)
+	if err != nil {
+		return nil, err
+	}
+	e := &Entry{Name: name, Kind: KindSparseVector, Version: c.version, SVec: dst}
 	c.replace(e)
 	return e, nil
 }
@@ -380,18 +437,34 @@ func (c *Catalog) saveEntry(w io.Writer, e *Entry, buf []byte) error {
 	if _, err := w.Write([]byte(e.Name)); err != nil {
 		return err
 	}
-	var base disk.BlockID
-	var nblocks int
+	var ids []disk.BlockID
+	var dir []int32 // sparse kinds: per-tile/per-chunk nonzero counts
 	var rows, cols int64
 	var shape array.TileShape
 	var lin array.Linearization
-	if e.Kind == KindVector {
-		base, nblocks = e.Vec.BaseBlock(), e.Vec.Blocks()
+	switch e.Kind {
+	case KindVector:
 		rows, cols = e.Vec.Len(), 1
-	} else {
-		base, nblocks = e.Mat.BaseBlock(), e.Mat.Blocks()
+		for k := 0; k < e.Vec.Blocks(); k++ {
+			ids = append(ids, e.Vec.BaseBlock()+disk.BlockID(k))
+		}
+	case KindMatrix:
 		rows, cols = e.Mat.Rows(), e.Mat.Cols()
 		shape, lin = e.Mat.Shape(), e.Mat.Lin()
+		for k := 0; k < e.Mat.Blocks(); k++ {
+			ids = append(ids, e.Mat.BaseBlock()+disk.BlockID(k))
+		}
+	case KindSparseMatrix:
+		rows, cols = e.SMat.Rows(), e.SMat.Cols()
+		shape, lin = e.SMat.Shape(), e.SMat.Lin()
+		ids = e.SMat.BlockIDs()
+		dir = e.SMat.TileNNZs()
+	case KindSparseVector:
+		rows, cols = e.SVec.Len(), 1
+		ids = e.SVec.BlockIDs()
+		dir = e.SVec.ChunkNNZs()
+	default:
+		return fmt.Errorf("unknown entry kind %d", e.Kind)
 	}
 	hdr := []byte{byte(e.Kind), byte(shape), byte(lin), 0}
 	if _, err := w.Write(hdr); err != nil {
@@ -403,11 +476,21 @@ func (c *Catalog) saveEntry(w io.Writer, e *Entry, buf []byte) error {
 	if err := writeI64(w, cols); err != nil {
 		return err
 	}
-	if err := writeU32(w, uint32(nblocks)); err != nil {
+	if err := writeU32(w, uint32(len(ids))); err != nil {
 		return err
 	}
-	for k := 0; k < nblocks; k++ {
-		f, err := c.pool.Pin(base + disk.BlockID(k))
+	if dir != nil {
+		if err := writeU32(w, uint32(len(dir))); err != nil {
+			return err
+		}
+		for _, n := range dir {
+			if err := writeU32(w, uint32(n)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, id := range ids {
+		f, err := c.pool.Pin(id)
 		if err != nil {
 			return err
 		}
@@ -456,6 +539,10 @@ func (c *Catalog) load(r io.Reader) error {
 // giant allocation.
 const maxNameLen = 1 << 16
 
+// maxEntryBlocks bounds one entry's block and directory counts, for the
+// same reason.
+const maxEntryBlocks = 1 << 24
+
 func (c *Catalog) loadEntry(r io.Reader, buf []byte, block []float64) error {
 	nameLen, err := readU32(r)
 	if err != nil {
@@ -490,52 +577,126 @@ func (c *Catalog) loadEntry(r io.Reader, buf []byte, block []float64) error {
 	}
 	// Sanity-check before allocating geometry, so a corrupt header
 	// cannot drive a huge allocation.
-	const maxEntryBlocks = 1 << 24
 	blockElems := int64(c.pool.Device().BlockElems())
+	if rows < 0 || cols < 0 || nblocks > maxEntryBlocks {
+		return fmt.Errorf("implausible geometry %dx%d in %d blocks", rows, cols, nblocks)
+	}
+	sparseKind := kind == KindSparseMatrix || kind == KindSparseVector
+	// Dense kinds must hold rows×cols elements in their blocks; sparse
+	// kinds legitimately store fewer (that is the point), and their
+	// directory is validated by the sparse allocator instead.
 	// float64 comparison: corrupt 64-bit dimensions must not overflow
 	// the check that is there to reject them.
-	if rows < 0 || cols < 0 || nblocks > maxEntryBlocks ||
+	if !sparseKind &&
 		float64(rows)*math.Max(float64(cols), 1) > float64(nblocks)*float64(blockElems) {
 		return fmt.Errorf("implausible geometry %dx%d in %d blocks", rows, cols, nblocks)
 	}
+	var dir []int32
+	if sparseKind {
+		dirLen, err := readU32(r)
+		if err != nil {
+			return err
+		}
+		// The sparse twin of the dense plausibility check above: the
+		// directory length must match the grid the dimensions imply
+		// (computed in scalar arithmetic, BEFORE any geometry-sized
+		// allocation, so corrupt dimensions cannot drive one), and the
+		// payload cannot exceed the directory.
+		want, gerr := sparseGridSize(kind, rows, cols, shape, blockElems)
+		if gerr != nil {
+			return gerr
+		}
+		if int64(dirLen) != want || want > maxEntryBlocks || int64(nblocks) > want {
+			return fmt.Errorf("implausible sparse geometry %dx%d: directory %d, %d blocks, grid wants %d",
+				rows, cols, dirLen, nblocks, want)
+		}
+		dir = make([]int32, dirLen)
+		for i := range dir {
+			n, err := readU32(r)
+			if err != nil {
+				return err
+			}
+			dir[i] = int32(n)
+		}
+	}
 	c.version++
 	e := &Entry{Name: name, Kind: kind, Version: c.version}
-	var base disk.BlockID
-	var want int
+	var ids []disk.BlockID
 	switch kind {
 	case KindVector:
 		v, err := array.NewVector(c.pool, c.owner(name, c.version), rows)
 		if err != nil {
 			return err
 		}
-		e.Vec, base, want = v, v.BaseBlock(), v.Blocks()
+		e.Vec = v
+		for k := 0; k < v.Blocks(); k++ {
+			ids = append(ids, v.BaseBlock()+disk.BlockID(k))
+		}
 	case KindMatrix:
 		m, err := array.NewMatrix(c.pool, c.owner(name, c.version), rows, cols,
 			array.Options{Shape: shape, Lin: lin})
 		if err != nil {
 			return err
 		}
-		e.Mat, base, want = m, m.BaseBlock(), m.Blocks()
+		e.Mat = m
+		for k := 0; k < m.Blocks(); k++ {
+			ids = append(ids, m.BaseBlock()+disk.BlockID(k))
+		}
+	case KindSparseMatrix:
+		m, err := sparse.Alloc(c.pool, c.owner(name, c.version), rows, cols,
+			array.Options{Shape: shape, Lin: lin}, dir)
+		if err != nil {
+			return err
+		}
+		e.SMat, ids = m, m.BlockIDs()
+	case KindSparseVector:
+		v, err := sparse.AllocVector(c.pool, c.owner(name, c.version), rows, dir)
+		if err != nil {
+			return err
+		}
+		e.SVec, ids = v, v.BlockIDs()
 	default:
 		return fmt.Errorf("unknown entry kind %d", kind)
 	}
-	if int(nblocks) != want {
-		return fmt.Errorf("entry %q: %d blocks in file, geometry wants %d", name, nblocks, want)
+	if int(nblocks) != len(ids) {
+		return fmt.Errorf("entry %q: %d blocks in file, geometry wants %d", name, nblocks, len(ids))
 	}
 	dev := c.pool.Device()
-	for k := 0; k < want; k++ {
+	for _, id := range ids {
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return fmt.Errorf("entry %q: truncated payload: %w", name, err)
 		}
 		for i := range block {
 			block[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
 		}
-		if err := dev.Import(base+disk.BlockID(k), block); err != nil {
+		if err := dev.Import(id, block); err != nil {
 			return err
 		}
 	}
 	c.entries[name] = e
 	return nil
+}
+
+// sparseGridSize returns the tile (or chunk) count a sparse entry's
+// dimensions imply — the length its directory must have. Pure scalar
+// arithmetic: it allocates nothing, so it is safe to run on corrupt
+// headers.
+func sparseGridSize(kind Kind, rows, cols int64, shape array.TileShape, blockElems int64) (int64, error) {
+	if kind == KindSparseVector {
+		return (rows + blockElems - 1) / blockElems, nil
+	}
+	tr, tc, err := array.TileDimsFor(int(blockElems), shape)
+	if err != nil {
+		return 0, err
+	}
+	gr := (rows + int64(tr) - 1) / int64(tr)
+	gc := (cols + int64(tc) - 1) / int64(tc)
+	// Bound each side before multiplying so corrupt dimensions cannot
+	// overflow the product into a small, plausible-looking value.
+	if gr > maxEntryBlocks || gc > maxEntryBlocks {
+		return 0, fmt.Errorf("implausible sparse grid %d×%d", gr, gc)
+	}
+	return gr * gc, nil
 }
 
 func writeU32(w io.Writer, v uint32) error {

@@ -9,6 +9,7 @@ import (
 	"riot/internal/array"
 	"riot/internal/buffer"
 	"riot/internal/disk"
+	"riot/internal/sparse"
 )
 
 func newPool(t *testing.T, blockElems int, frames int) *buffer.Pool {
@@ -281,5 +282,105 @@ func TestConcurrentPutGet(t *testing.T) {
 	wg.Wait()
 	if _, ok := cat.Get("shared"); !ok {
 		t.Fatal("shared vanished after concurrent puts")
+	}
+}
+
+// TestSparseRestartRoundTrip publishes sparse entries — a banded sparse
+// matrix and a mostly-empty sparse vector — checkpoints, and reopens the
+// directory over a fresh device. Values AND density statistics (nnz,
+// per-tile directory, block count) must survive: an all-zero tile still
+// costs no block after restart.
+func TestSparseRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	const B = 64
+
+	pool := newPool(t, B, 64)
+	cat, err := Open(dir, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msrc := fillMatrix(t, pool, "msrc", 60, 60, func(i, j int64) float64 {
+		d := i - j
+		if d < 0 {
+			d = -d
+		}
+		if d <= 1 {
+			return float64(i + j + 1)
+		}
+		return 0
+	})
+	sm, err := sparse.FromDense(pool, "sm", msrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.PutSparseMatrix("adj", sm); err != nil {
+		t.Fatal(err)
+	}
+	sv, err := sparse.NewVector(pool, "svec", 500, func(lo, hi int64, buf []float64) error {
+		for i := lo; i < hi; i++ {
+			if i%97 == 0 {
+				buf[i-lo] = float64(i + 1)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.PutSparseVector("picks", sv); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	pool2 := newPool(t, B, 64)
+	cat2, err := Open(dir, pool2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := cat2.Get("adj")
+	if !ok || e.Kind != KindSparseMatrix {
+		t.Fatalf("adj restored as %+v", e)
+	}
+	if e.SMat.NNZ() != sm.NNZ() || e.SMat.Blocks() != sm.Blocks() {
+		t.Fatalf("adj stats: nnz=%d blocks=%d, want %d/%d", e.SMat.NNZ(), e.SMat.Blocks(), sm.NNZ(), sm.Blocks())
+	}
+	gr, gc := sm.GridDims()
+	for ti := 0; ti < gr; ti++ {
+		for tj := 0; tj < gc; tj++ {
+			if e.SMat.TileNNZ(ti, tj) != sm.TileNNZ(ti, tj) {
+				t.Fatalf("tile (%d,%d) nnz drifted", ti, tj)
+			}
+		}
+	}
+	for i := int64(0); i < 60; i++ {
+		for j := int64(0); j < 60; j++ {
+			want, _ := msrc.At(i, j)
+			got, err := e.SMat.At(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("adj (%d,%d) = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+	ev, ok := cat2.Get("picks")
+	if !ok || ev.Kind != KindSparseVector {
+		t.Fatalf("picks restored as %+v", ev)
+	}
+	if ev.SVec.NNZ() != sv.NNZ() || ev.SVec.Blocks() != sv.Blocks() {
+		t.Fatalf("picks stats: nnz=%d blocks=%d, want %d/%d", ev.SVec.NNZ(), ev.SVec.Blocks(), sv.NNZ(), sv.Blocks())
+	}
+	for i := int64(0); i < 500; i++ {
+		want, _ := sv.At(i)
+		got, err := ev.SVec.At(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("picks [%d] = %g, want %g", i, got, want)
+		}
 	}
 }

@@ -317,3 +317,54 @@ func MaterializeWins(refs, rows, perEvalBlocks, perEvalRand float64, p Params) b
 	}
 	return evalCost+out+readBack < refs*evalCost
 }
+
+// --- Sparse kernels (tile-compressed arrays) ---
+//
+// The sparse kernels in internal/linalg skip every k-step whose sparse
+// tile is empty, so their I/O is a function of NON-EMPTY tile counts,
+// not of the grid. The planner derives those counts from the operands'
+// tile directories (exact for stored arrays) or propagates them through
+// nested products with the uniform-tile approximations below. All
+// results are in blocks, like every other formula in this package.
+
+// SparseDenseMatMulReads estimates the block reads of the sparse×dense
+// multiply: each of the neA non-empty tiles of A is visited once per
+// output tile column, paired with one B tile read.
+func SparseDenseMatMulReads(neA, outTileCols float64) float64 {
+	return 2 * neA * outTileCols
+}
+
+// DenseSparseMatMulReads is the mirrored estimate for dense×sparse.
+func DenseSparseMatMulReads(neB, outTileRows float64) float64 {
+	return 2 * neB * outTileRows
+}
+
+// SparseSparseMatMul estimates the sparse×sparse multiply: a k-step of
+// output tile (i, j) runs only when tile (i, k) of A and (k, j) of B are
+// both non-empty. With pA and pB the operands' non-empty-tile fractions,
+// the expected number of executed k-steps is agr·bgc·agc·pA·pB (two
+// block reads each), and an output tile is written at all only if at
+// least one of its agc k-steps ran.
+func SparseSparseMatMul(agr, agc, bgc, neA, neB float64) (reads, writes float64) {
+	if agr <= 0 || agc <= 0 || bgc <= 0 {
+		return 0, 0
+	}
+	pA := neA / (agr * agc)
+	pB := neB / (agc * bgc)
+	steps := agr * bgc * agc * pA * pB
+	outNE := agr * bgc * (1 - math.Pow(1-pA*pB, agc))
+	return 2 * steps, outNE
+}
+
+// EstProductNNZ estimates the nonzero count of an l×m by m×n product
+// from its operands' nonzero counts, assuming independent uniform
+// placement: an output cell stays zero only if all m of its addend
+// pairs miss.
+func EstProductNNZ(l, m, n, nnzA, nnzB float64) float64 {
+	if l <= 0 || m <= 0 || n <= 0 {
+		return 0
+	}
+	dA := nnzA / (l * m)
+	dB := nnzB / (m * n)
+	return l * n * (1 - math.Pow(1-dA*dB, m))
+}

@@ -105,3 +105,22 @@ type Engine interface {
 	// error.
 	Close() error
 }
+
+// SparseEngine is the optional capability interface of engines with a
+// tile-compressed sparse array kind. The riotscript builtins sparse(),
+// dense(), and nnz() dispatch through it when the backend offers it and
+// fall back to kind-free semantics otherwise (sparse and dense become
+// identity, nnz counts fetched values) — the same script still runs on
+// every backend, sparsity being a storage property, not a semantic one.
+type SparseEngine interface {
+	// ToSparse forces the value and returns a handle backed by
+	// tile-compressed storage (a no-op on already-sparse handles).
+	ToSparse(v Value) (Value, error)
+	// ToDense is the inverse conversion: the result is backed by dense
+	// tiles. Values whose natural kind is already dense pass through
+	// unforced.
+	ToDense(v Value) (Value, error)
+	// NNZ forces the value and returns its stored nonzero count
+	// (answered from the directory, without I/O, for sparse handles).
+	NNZ(v Value) (int64, error)
+}

@@ -153,8 +153,23 @@ func (p *PlainR) Release(v Value) {
 	}
 }
 
-// Fetch implements Engine.
+// Fetch implements Engine. Matrices fetch row-major, matching the RIOT
+// engine's element order, even though plain R stores them column-major
+// (the paper's §3 layout) — Fetch is an interface contract, not a
+// storage detail.
 func (p *PlainR) Fetch(v Value, limit int64) ([]float64, error) {
+	if m, ok := v.(*rvec.Matrix); ok {
+		rows, cols := m.Dims()
+		count := rows * cols
+		if limit >= 0 && limit < count {
+			count = limit
+		}
+		out := make([]float64, count)
+		for k := int64(0); k < count; k++ {
+			out[k] = m.At(k/cols, k%cols)
+		}
+		return out, nil
+	}
 	av, err := p.vec(v)
 	if err != nil {
 		return nil, err

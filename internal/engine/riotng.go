@@ -347,6 +347,9 @@ func (r *RIOT) Fetch(v Value, limit int64) ([]float64, error) {
 		return nil, err
 	}
 	if !n.Shape.Vector {
+		if n.Op == algebra.OpSourceMat && n.SMat != nil {
+			return fetchSparseMatrix(n.SMat, limit)
+		}
 		m, err := r.forceMat(n)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,317 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// bandMatrix generates a pathlengths-style banded adjacency pattern:
+// nonzeros within `band` of the diagonal, zero elsewhere — most square
+// tiles empty.
+func bandMatrix(n, band int64) func(i, j int64) float64 {
+	return func(i, j int64) float64 {
+		d := i - j
+		if d < 0 {
+			d = -d
+		}
+		if d != 0 && d <= band {
+			return 1
+		}
+		return 0
+	}
+}
+
+// TestSparseMatMulEndToEnd runs A %*% A through the engine twice — dense
+// operands and sparse() operands — and requires identical values with
+// strictly fewer block reads on the sparse path.
+func TestSparseMatMulEndToEnd(t *testing.T) {
+	const n = 512
+	run := func(sparsify bool) ([]float64, int64, *RIOT) {
+		r := NewRIOT(1024, 1<<16, DefaultTimeModel)
+		a, err := r.NewMatrix(n, n, bandMatrix(n, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sparsify {
+			a, err = r.ToSparse(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		p, err := r.MatMul(a, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.ResetStats()
+		vals, err := r.Fetch(p, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := r.Pool().Device().Stats()
+		return vals, st.BlocksRead, r
+	}
+	dense, denseReads, r1 := run(false)
+	sp, sparseReads, r2 := run(true)
+	defer r1.Close()
+	defer r2.Close()
+	if len(dense) != len(sp) {
+		t.Fatalf("result sizes differ: %d vs %d", len(dense), len(sp))
+	}
+	for i := range dense {
+		if dense[i] != sp[i] {
+			t.Fatalf("[%d] dense=%g sparse=%g", i, dense[i], sp[i])
+		}
+	}
+	if sparseReads*4 > denseReads {
+		t.Fatalf("sparse path read %d blocks, dense %d: want at least 4x fewer", sparseReads, denseReads)
+	}
+}
+
+// TestSparseExplainReportsKernel is the acceptance criterion: Explain on
+// a sparse matmul must name the sparse kernel and carry an nnz-based
+// block estimate.
+func TestSparseExplainReportsKernel(t *testing.T) {
+	r := NewRIOT(1024, 1<<16, DefaultTimeModel)
+	defer r.Close()
+	a, err := r.NewMatrix(256, 256, bandMatrix(256, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := r.ToSparse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.MatMul(sa, sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.Explain(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sparse×sparse") {
+		t.Fatalf("Explain missing sparse kernel:\n%s", out)
+	}
+	if !strings.Contains(out, "nnz=") {
+		t.Fatalf("Explain missing nnz estimate:\n%s", out)
+	}
+	// Mixed sparse×dense picks the one-sided kernel.
+	q, err := r.MatMul(sa, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = r.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sparse×dense") {
+		t.Fatalf("Explain missing sparse×dense kernel:\n%s", out)
+	}
+}
+
+// TestSparseVectorFusionSkipsIO pins the union/intersection fusion win:
+// multiplying a dense stream by a mostly-empty sparse vector must read
+// far fewer blocks than the dense×dense pipeline, and sum() over it must
+// agree exactly.
+func TestSparseVectorFusionSkipsIO(t *testing.T) {
+	const n = 1 << 15
+	gen := func(i int64) float64 {
+		// Nonzeros only in the first of every 16 blocks of 1024.
+		if (i/1024)%16 == 0 {
+			return float64(i%7 + 1)
+		}
+		return 0
+	}
+	run := func(sparsify bool) (float64, int64, *RIOT) {
+		r := NewRIOT(1024, 1<<14, DefaultTimeModel)
+		mask, err := r.NewVector(n, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := r.NewVector(n, func(i int64) float64 { return float64(i%13 + 1) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sparsify {
+			mask, err = r.ToSparse(mask)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		prod, err := r.Arith("*", mask, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.ResetStats()
+		s, err := r.Sum(prod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, r.Pool().Device().Stats().BlocksRead, r
+	}
+	wantSum, denseReads, r1 := run(false)
+	gotSum, sparseReads, r2 := run(true)
+	defer r1.Close()
+	defer r2.Close()
+	if gotSum != wantSum {
+		t.Fatalf("sum: sparse %g, dense %g", gotSum, wantSum)
+	}
+	// 15 of 16 mask chunks are empty: the intersection rule skips both
+	// the mask's chunks and x's blocks there.
+	if sparseReads*4 > denseReads {
+		t.Fatalf("sparse pipeline read %d blocks, dense %d: want at least 4x fewer", sparseReads, denseReads)
+	}
+}
+
+// TestSparseConversionsAndNNZ exercises ToSparse/ToDense/NNZ round trips
+// on vectors and matrices, including the all-zero and full cases.
+func TestSparseConversionsAndNNZ(t *testing.T) {
+	r := NewRIOT(64, 1<<12, DefaultTimeModel)
+	defer r.Close()
+	v, err := r.NewVector(300, func(i int64) float64 {
+		if i%3 == 0 {
+			return float64(i + 1)
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, err := r.NNZ(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv != 100 {
+		t.Fatalf("dense vector nnz = %d, want 100", nv)
+	}
+	sv, err := r.ToSparse(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := r.NNZ(sv); n != 100 {
+		t.Fatalf("sparse vector nnz = %d, want 100", n)
+	}
+	back, err := r.ToDense(sv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wv, err := r.Fetch(v, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bv, err := r.Fetch(back, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wv {
+		if wv[i] != bv[i] {
+			t.Fatalf("vector round trip [%d] = %g, want %g", i, bv[i], wv[i])
+		}
+	}
+	// Matrix: all-zero converts to zero blocks; nnz through a product.
+	z, err := r.NewMatrix(32, 32, func(i, j int64) float64 { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz, err := r.ToSparse(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := r.NNZ(sz); n != 0 {
+		t.Fatalf("all-zero matrix nnz = %d", n)
+	}
+	p, err := r.MatMul(sz, sz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := r.NNZ(p); err != nil || n != 0 {
+		t.Fatalf("zero product nnz = %d (%v)", n, err)
+	}
+	vals, err := r.Fetch(p, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range vals {
+		if x != 0 {
+			t.Fatalf("zero product [%d] = %g", i, x)
+		}
+	}
+}
+
+// TestDensifiedSparseProductFreed pins the resource contract of the
+// dense(S %*% S) path: the sparse intermediate behind the densified
+// result is a temporary and its extent must be freed, so repeated
+// evaluations grow the device by the densified result only (one owner
+// per evaluation, not two).
+func TestDensifiedSparseProductFreed(t *testing.T) {
+	r := NewRIOT(1024, 1<<16, DefaultTimeModel)
+	defer r.Close()
+	a, err := r.NewMatrix(128, 128, bandMatrix(128, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := r.ToSparse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.MatMul(sa, sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Fetch(p, 1); err != nil { // densifies the sparse product
+		t.Fatal(err)
+	}
+	base := len(r.dev.Owners())
+	for i := 0; i < 3; i++ {
+		if _, err := r.Fetch(p, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := len(r.dev.Owners()) - base
+	if grown != 3 {
+		t.Fatalf("3 evaluations grew the device by %d owners, want 3 (densified results only; sparse temps must be freed)", grown)
+	}
+}
+
+// TestNNZAndDiscardDoNotGrowDevice pins the measurement APIs' resource
+// contract: repeated NNZ and ForceDiscard evaluations of the same
+// product free their intermediates, so the device owner set stays flat.
+func TestNNZAndDiscardDoNotGrowDevice(t *testing.T) {
+	r := NewRIOT(1024, 1<<16, DefaultTimeModel)
+	defer r.Close()
+	a, err := r.NewMatrix(128, 128, bandMatrix(128, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := r.ToSparse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.MatMul(sa, sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := r.MatMul(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := func() {
+		if _, err := r.NNZ(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.NNZ(dp); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.ForceDiscard(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm()
+	base := len(r.dev.Owners())
+	for i := 0; i < 3; i++ {
+		warm()
+	}
+	if grown := len(r.dev.Owners()) - base; grown != 0 {
+		t.Fatalf("repeated NNZ/ForceDiscard grew the device by %d owners, want 0", grown)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"riot/internal/linalg"
 	"riot/internal/plan"
 	"riot/internal/scalarop"
+	"riot/internal/sparse"
 )
 
 // Stats counts evaluation work.
@@ -187,7 +188,7 @@ func (e *Executor) ForceVector(n *algebra.Node, name string) (*array.Vector, err
 	}
 	e.begin(n)
 	defer e.end()
-	if n.Op == algebra.OpSourceVec {
+	if n.Op == algebra.OpSourceVec && n.Vec != nil {
 		return n.Vec, nil
 	}
 	out, err := array.NewVector(e.pool, name, n.Shape.Rows)
@@ -332,14 +333,54 @@ func (e *Executor) reduce(fn string, n *algebra.Node) (float64, error) {
 	return acc, nil
 }
 
-// ForceMatrix evaluates a matrix-shaped DAG into a stored matrix.
+// ForceMatrix evaluates a matrix-shaped DAG into a stored dense matrix.
+// Results whose natural kind is sparse (a sparse source, or a
+// sparse×sparse product) are densified — the explicit dense(m)
+// conversion; use ForceMatrixAny to keep them compressed. A sparse
+// *intermediate* (temp) is freed after the conversion; a sparse source
+// is not, since it is the caller's stored array.
 func (e *Executor) ForceMatrix(n *algebra.Node, name string) (*array.Matrix, error) {
 	if n.Shape.Vector {
 		return nil, fmt.Errorf("exec: ForceMatrix of vector node")
 	}
 	e.begin(n)
 	defer e.end()
-	return e.forceMatrix(n, name)
+	f, err := e.forceMatAny(n, name)
+	if err != nil {
+		return nil, err
+	}
+	if f.s != nil {
+		d, err := f.s.ToDense(e.pool, e.fresh(name+"_dense"))
+		if f.temp {
+			f.s.Free()
+		}
+		return d, err
+	}
+	return f.d, nil
+}
+
+// ForceMatrixAny evaluates a matrix-shaped DAG into a stored matrix of
+// its natural kind: exactly one of the returned matrices is non-nil.
+func (e *Executor) ForceMatrixAny(n *algebra.Node, name string) (*array.Matrix, *sparse.Matrix, error) {
+	d, s, _, err := e.ForceMatrixOwned(n, name)
+	return d, s, err
+}
+
+// ForceMatrixOwned is ForceMatrixAny plus ownership: temp reports
+// whether the result is a fresh intermediate (not a stored source) —
+// a caller that only inspects the result should free it when temp, so
+// repeated evaluations don't grow the device until session close.
+func (e *Executor) ForceMatrixOwned(n *algebra.Node, name string) (d *array.Matrix, s *sparse.Matrix, temp bool, err error) {
+	if n.Shape.Vector {
+		return nil, nil, false, fmt.Errorf("exec: ForceMatrix of vector node")
+	}
+	e.begin(n)
+	defer e.end()
+	f, err := e.forceMatAny(n, name)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return f.d, f.s, f.temp, nil
 }
 
 // PlanOptions returns the planner inputs for this executor: its
@@ -574,7 +615,11 @@ func (e *Executor) announce(n *algebra.Node, lo, hi int64, seen map[*algebra.Nod
 	}
 	switch n.Op {
 	case algebra.OpSourceVec:
-		n.Vec.PrefetchRange(lo, hi)
+		if n.SVec != nil {
+			n.SVec.PrefetchRange(lo, hi)
+		} else {
+			n.Vec.PrefetchRange(lo, hi)
+		}
 	case algebra.OpRange:
 		e.announce(n.Kids[0], n.Lo+lo, n.Lo+hi, seen)
 	case algebra.OpGather, algebra.OpReduce, algebra.OpMatMul, algebra.OpSourceMat:
@@ -591,6 +636,16 @@ func (e *Executor) announce(n *algebra.Node, lo, hi int64, seen map[*algebra.Nod
 // intermediate storage.
 func (e *Executor) evalRange(n *algebra.Node, lo, hi int64, buf []float64) error {
 	e.elementsComputed.Add(hi - lo)
+	// Sparse short-circuit: a range the zero-propagation rules prove
+	// all-zero is written without reading a single block — the fused
+	// pipeline's union/intersection semantics over sparse operands.
+	// Dense sources never prove zero, so the dense path is untouched.
+	if e.rangeZero(n, lo, hi) {
+		for i := range buf {
+			buf[i] = 0
+		}
+		return nil
+	}
 	// A shared, expensive subexpression is materialized once and then
 	// served from its temporary. Cheap shared elementwise work is
 	// recomputed instead: re-deriving a block costs a few flops, while a
@@ -629,6 +684,9 @@ func (e *Executor) streamIntoRaw(n *algebra.Node, out *array.Vector) error {
 func (e *Executor) evalRangeRaw(n *algebra.Node, lo, hi int64, buf []float64) error {
 	switch n.Op {
 	case algebra.OpSourceVec:
+		if n.SVec != nil {
+			return n.SVec.ReadRange(lo, hi, buf)
+		}
 		return readVecRange(n.Vec, lo, hi, buf)
 	case algebra.OpElemUnary:
 		if err := e.evalRange(n.Kids[0], lo, hi, buf); err != nil {
@@ -718,12 +776,24 @@ func (e *Executor) evalRangeRaw(n *algebra.Node, lo, hi int64, buf []float64) er
 	return fmt.Errorf("exec: unhandled op %s", n.Op)
 }
 
+// indexedVec is the random-access face a gather needs from its data
+// source; dense and sparse stored vectors both wear it (sparse answers
+// hits in empty chunks from the directory, with no I/O).
+type indexedVec interface {
+	Len() int64
+	At(i int64) (float64, error)
+}
+
 // gather fetches data[idx[k]] for each k. The data child is a source
 // after pushdown; anything else is materialized first.
 func (e *Executor) gather(data *algebra.Node, idx []float64, buf []float64) error {
-	var src *array.Vector
+	var src indexedVec
 	if data.Op == algebra.OpSourceVec {
-		src = data.Vec
+		if data.SVec != nil {
+			src = data.SVec
+		} else {
+			src = data.Vec
+		}
 	} else if v, ok := e.lookupTemp(data); ok {
 		src = v
 	} else {
@@ -747,45 +817,150 @@ func (e *Executor) gather(data *algebra.Node, idx []float64, buf []float64) erro
 	return nil
 }
 
-// forceMatrix materializes a matrix node, dispatching multiplies to the
-// cheaper of the square-tiled and BNLJ kernels by analytic cost.
-func (e *Executor) forceMatrix(n *algebra.Node, name string) (*array.Matrix, error) {
+// forcedMat is a matrix operand in whichever kind its producer stored:
+// exactly one of d and s is non-nil. temp marks a fresh intermediate the
+// consuming multiply frees after use (sources are never temp).
+type forcedMat struct {
+	d    *array.Matrix
+	s    *sparse.Matrix
+	temp bool
+}
+
+func (f forcedMat) free() {
+	if !f.temp {
+		return
+	}
+	if f.d != nil {
+		f.d.Free()
+	}
+	if f.s != nil {
+		f.s.Free()
+	}
+}
+
+// rows/cols read the dimensions of whichever store is present.
+func (f forcedMat) rows() int64 {
+	if f.s != nil {
+		return f.s.Rows()
+	}
+	return f.d.Rows()
+}
+
+func (f forcedMat) cols() int64 {
+	if f.s != nil {
+		return f.s.Cols()
+	}
+	return f.d.Cols()
+}
+
+// tileDims reads the tile geometry of whichever store is present.
+func (f forcedMat) tileDims() (tr, tc int) {
+	if f.s != nil {
+		return f.s.TileDims()
+	}
+	return f.d.TileDims()
+}
+
+// densify returns a dense view of the operand, converting (as a fresh
+// temporary) when it is sparse — the fallback for tile geometries the
+// sparse kernels reject. The input is consumed: it is freed (when it
+// was a temporary) whether the conversion succeeds or fails, so the
+// caller's deferred free of the reassigned variable never leaks it.
+func (e *Executor) densify(f forcedMat, name string) (forcedMat, error) {
+	if f.s == nil {
+		return f, nil
+	}
+	d, err := f.s.ToDense(e.pool, e.fresh(name+"_dense"))
+	f.free()
+	if err != nil {
+		return forcedMat{}, err
+	}
+	return forcedMat{d: d, temp: true}, nil
+}
+
+// forceMatAny materializes a matrix node in its natural kind,
+// dispatching multiplies to the kernel matching the operand kinds:
+// sparse operands keep their tile directories all the way into the
+// multiply, which is what lets the kernels skip empty tiles.
+func (e *Executor) forceMatAny(n *algebra.Node, name string) (forcedMat, error) {
 	switch n.Op {
 	case algebra.OpSourceMat:
-		return n.Mat, nil
+		return forcedMat{d: n.Mat, s: n.SMat}, nil
 	case algebra.OpMatMul:
-		a, err := e.forceMatrix(n.Kids[0], e.fresh(name+"_l"))
+		a, err := e.forceMatAny(n.Kids[0], e.fresh(name+"_l"))
 		if err != nil {
-			return nil, err
+			return forcedMat{}, err
 		}
-		b, err := e.forceMatrix(n.Kids[1], e.fresh(name+"_r"))
+		b, err := e.forceMatAny(n.Kids[1], e.fresh(name+"_r"))
 		if err != nil {
-			return nil, err
+			a.free()
+			return forcedMat{}, err
 		}
 		defer func() {
 			// Intermediates (not sources) are freed after use.
-			if n.Kids[0].Op != algebra.OpSourceMat {
-				a.Free()
-			}
-			if n.Kids[1].Op != algebra.OpSourceMat {
-				b.Free()
-			}
+			a.free()
+			b.free()
 		}()
-		e.flops.Add(a.Rows() * a.Cols() * b.Cols())
-		e.elementsComputed.Add(a.Rows() * b.Cols())
+		e.elementsComputed.Add(a.rows() * b.cols())
+		// Sparse kernels need matching square tiles; a mixed-geometry
+		// operand (e.g. a row-tiled BNLJ intermediate against a sparse
+		// source) densifies the sparse side and takes the dense path.
+		if (a.s != nil || b.s != nil) && !sparseTilesAligned(a, b) {
+			if a, err = e.densify(a, name+"_l"); err != nil {
+				return forcedMat{}, err
+			}
+			if b, err = e.densify(b, name+"_r"); err != nil {
+				return forcedMat{}, err
+			}
+		}
+		switch {
+		case a.s != nil && b.s != nil:
+			e.flops.Add(sparseProductFlops(a.s.NNZ(), b.s.NNZ(), a.cols()))
+			t, err := linalg.MatMulSparseSparse(e.pool, name, a.s, b.s)
+			return forcedMat{s: t, temp: true}, err
+		case a.s != nil:
+			e.flops.Add(a.s.NNZ() * b.cols())
+			t, err := linalg.MatMulSparseDense(e.pool, name, a.s, b.d)
+			return forcedMat{d: t, temp: true}, err
+		case b.s != nil:
+			e.flops.Add(b.s.NNZ() * a.rows())
+			t, err := linalg.MatMulDenseSparse(e.pool, name, a.d, b.s)
+			return forcedMat{d: t, temp: true}, err
+		}
+		e.flops.Add(a.rows() * a.cols() * b.cols())
 		// The kernel was selected at plan time from the same cost
 		// formulas the seed consulted here.
+		var t *array.Matrix
 		switch e.curPlan.Algo(n) {
 		case plan.AlgoSquareTiled:
-			return linalg.MatMulTiledWorkers(e.pool, name, a, b, e.Workers)
+			t, err = linalg.MatMulTiledWorkers(e.pool, name, a.d, b.d, e.Workers)
 		case plan.AlgoBNLJSquare:
 			// Square tiling but BNLJ is cheaper at this size.
-			return linalg.MatMulBNLJ(e.pool, name, a, b, array.Options{Shape: array.SquareTiles, Lin: a.Lin()})
+			t, err = linalg.MatMulBNLJ(e.pool, name, a.d, b.d, array.Options{Shape: array.SquareTiles, Lin: a.d.Lin()})
 		default:
-			return linalg.MatMulBNLJ(e.pool, name, a, b, array.Options{Shape: array.RowTiles})
+			t, err = linalg.MatMulBNLJ(e.pool, name, a.d, b.d, array.Options{Shape: array.RowTiles})
 		}
+		return forcedMat{d: t, temp: true}, err
 	}
-	return nil, fmt.Errorf("exec: cannot force matrix op %s", n.Op)
+	return forcedMat{}, fmt.Errorf("exec: cannot force matrix op %s", n.Op)
+}
+
+// sparseTilesAligned reports whether the operands' tile geometries meet
+// the sparse kernels' precondition (equal square tiles).
+func sparseTilesAligned(a, b forcedMat) bool {
+	atr, atc := a.tileDims()
+	btr, btc := b.tileDims()
+	return atr == atc && btr == btc && atr == btr
+}
+
+// sparseProductFlops estimates the scalar multiplications of a
+// sparse×sparse product: each stored nonzero of a meets the nonzeros of
+// one b row (nnzB/m of them on average).
+func sparseProductFlops(nnzA, nnzB, m int64) int64 {
+	if m == 0 {
+		return 0
+	}
+	return nnzA * nnzB / m
 }
 
 func readVecRange(v *array.Vector, lo, hi int64, buf []float64) error {

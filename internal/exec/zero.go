@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"riot/internal/algebra"
+	"riot/internal/scalarop"
+)
+
+// Zero-range propagation: the sparse half of fusion.
+//
+// A sparse vector source knows, from its in-memory chunk directory,
+// which element ranges are entirely zero. rangeZero lifts that knowledge
+// through the fused pipeline using the per-operator classification in
+// internal/scalarop:
+//
+//   - intersection (*): the output range is zero when EITHER operand's
+//     range is — multiplying a dense stream by a sparse mask skips the
+//     dense stream's blocks wherever the mask is empty;
+//   - union (+, -, and any op with f(0,0) == 0): zero when BOTH are;
+//   - unary and scalar ops propagate zero iff they map 0 to 0 (sqrt
+//     yes, exp no — decided by evaluating the operator, per scalarop).
+//
+// When evalRange proves a range zero it writes zeros without reading
+// anything; dense sources never prove zero, so the dense execution path
+// and its golden I/O counters are byte-identical to before.
+func (e *Executor) rangeZero(n *algebra.Node, lo, hi int64) bool {
+	if lo >= hi {
+		return true
+	}
+	switch n.Op {
+	case algebra.OpSourceVec:
+		return n.SVec != nil && n.SVec.RangeEmpty(lo, hi)
+	case algebra.OpElemUnary:
+		return scalarop.UnaryZero(n.Fn) && e.rangeZero(n.Kids[0], lo, hi)
+	case algebra.OpScalarOp:
+		return scalarop.BinZeroWithScalar(n.BinOp, n.Scalar, n.ScalarLeft) &&
+			e.rangeZero(n.Kids[0], lo, hi)
+	case algebra.OpElemBinary:
+		if scalarop.BinZeroEither(n.BinOp) &&
+			(e.rangeZero(n.Kids[0], lo, hi) || e.rangeZero(n.Kids[1], lo, hi)) {
+			return true
+		}
+		return scalarop.BinZeroBoth(n.BinOp) &&
+			e.rangeZero(n.Kids[0], lo, hi) && e.rangeZero(n.Kids[1], lo, hi)
+	case algebra.OpUpdateMask:
+		if !e.rangeZero(n.Kids[0], lo, hi) {
+			return false
+		}
+		// The update rewrites zeros to Scalar2 wherever cmp(0, thresh)
+		// holds; otherwise zeros pass through unchanged.
+		f, err := scalarop.Bin(n.BinOp)
+		if err != nil {
+			return false
+		}
+		if f(0, n.Scalar) != 0 {
+			return n.Scalar2 == 0
+		}
+		return true
+	case algebra.OpRange:
+		return e.rangeZero(n.Kids[0], n.Lo+lo, n.Lo+hi)
+	case algebra.OpReduce:
+		// sum/min/max of an all-zero, non-empty vector are all zero. The
+		// empty-vector reduce keeps its identity semantics, so it is
+		// never claimed zero here.
+		kid := n.Kids[0]
+		return kid.Shape.Rows > 0 && e.rangeZero(kid, 0, kid.Shape.Rows)
+	}
+	// Gathers, matrix ops, and anything unclassified: never proven zero.
+	return false
+}

@@ -74,8 +74,13 @@ func MatMulBNLJ(pool *buffer.Pool, name string, a, b *array.Matrix, opts array.O
 	}
 	// How many rows of A fit: the chunk's A rows and T rows stay in
 	// host buffers (counted against M), plus one block for streaming B.
+	// Degenerate 0-width shapes (m+n == 0) take any chunk size — the
+	// loops below are vacuous either way.
 	memElems := pool.MemoryElems()
-	rows := (memElems - int64(pool.Device().BlockElems())) / (m + n)
+	rows := int64(1)
+	if m+n > 0 {
+		rows = (memElems - int64(pool.Device().BlockElems())) / (m + n)
+	}
 	if rows < 1 {
 		rows = 1
 	}

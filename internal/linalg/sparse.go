@@ -1,0 +1,256 @@
+package linalg
+
+import (
+	"fmt"
+
+	"riot/internal/array"
+	"riot/internal/buffer"
+	"riot/internal/sparse"
+)
+
+// Sparse kernels. All three multiply variants share one schedule — loop
+// output tiles, accumulate across the shared dimension — but the tile
+// directory of a sparse operand lets them skip k-steps outright: an
+// all-zero tile contributes nothing, costs no block read, and (for the
+// sparse×sparse kernel) produces no output block either. Block reads
+// therefore scale with the number of NON-EMPTY tiles rather than with
+// the grid, which is the whole point of the sparse kind: a banded
+// adjacency matrix at 1% density multiplies with a few percent of the
+// dense kernel's I/O.
+//
+// The kernels are sequential and accumulate in row-major, ascending-k
+// order, so their results and I/O counts are deterministic.
+
+// checkSquareAligned verifies the operands use equal square tiles (the
+// same precondition MatMulTiled imposes) and conformable shapes.
+func checkSquareAligned(aRows, aCols, bRows, bCols int64, atr, atc, btr, btc int) error {
+	if aCols != bRows {
+		return fmt.Errorf("linalg: dimension mismatch %dx%d * %dx%d", aRows, aCols, bRows, bCols)
+	}
+	if atr != atc || btr != btc || atr != btr {
+		return fmt.Errorf("linalg: sparse matmul requires matching square tiles (got %dx%d and %dx%d)", atr, atc, btr, btc)
+	}
+	return nil
+}
+
+// MatMulSparseDense multiplies a sparse l×m matrix by a dense m×n matrix
+// into a fresh dense matrix. For each output tile it pins the result and
+// one b tile while iterating the nonzeros of the matching a tile;
+// k-steps whose a tile is empty are skipped before any block is touched.
+func MatMulSparseDense(pool *buffer.Pool, name string, a *sparse.Matrix, b *array.Matrix) (*array.Matrix, error) {
+	atr, atc := a.TileDims()
+	btr, btc := b.TileDims()
+	if err := checkSquareAligned(a.Rows(), a.Cols(), b.Rows(), b.Cols(), atr, atc, btr, btc); err != nil {
+		return nil, err
+	}
+	t, err := array.NewMatrix(pool, name, a.Rows(), b.Cols(), array.Options{Shape: array.SquareTiles, Lin: b.Lin()})
+	if err != nil {
+		return nil, err
+	}
+	agr, agc := a.GridDims()
+	_, bgc := b.GridDims()
+	for ti := 0; ti < agr; ti++ {
+		for tj := 0; tj < bgc; tj++ {
+			ct, err := t.PinTileNew(ti, tj)
+			if err != nil {
+				return nil, err
+			}
+			for tk := 0; tk < agc; tk++ {
+				if a.TileEmpty(ti, tk) {
+					continue
+				}
+				bt, err := b.PinTile(tk, tj)
+				if err != nil {
+					ct.Release()
+					return nil, err
+				}
+				rowLo, _, colLo, _ := a.TileBounds(ti, tk)
+				err = a.IterTile(ti, tk, func(r, c int, v float64) error {
+					i := rowLo + int64(r)
+					k := colLo + int64(c)
+					for j := ct.ColLo; j < ct.ColHi; j++ {
+						ct.Set(i, j, ct.At(i, j)+v*bt.At(k, j))
+					}
+					return nil
+				})
+				bt.Release()
+				if err != nil {
+					ct.Release()
+					return nil, err
+				}
+			}
+			ct.MarkDirty()
+			ct.Release()
+		}
+	}
+	return t, pool.FlushAll()
+}
+
+// MatMulDenseSparse multiplies a dense l×m matrix by a sparse m×n matrix
+// into a fresh dense matrix, skipping k-steps whose b tile is empty.
+func MatMulDenseSparse(pool *buffer.Pool, name string, a *array.Matrix, b *sparse.Matrix) (*array.Matrix, error) {
+	atr, atc := a.TileDims()
+	btr, btc := b.TileDims()
+	if err := checkSquareAligned(a.Rows(), a.Cols(), b.Rows(), b.Cols(), atr, atc, btr, btc); err != nil {
+		return nil, err
+	}
+	t, err := array.NewMatrix(pool, name, a.Rows(), b.Cols(), array.Options{Shape: array.SquareTiles, Lin: a.Lin()})
+	if err != nil {
+		return nil, err
+	}
+	agr, agc := a.GridDims()
+	_, bgc := b.GridDims()
+	for ti := 0; ti < agr; ti++ {
+		for tj := 0; tj < bgc; tj++ {
+			ct, err := t.PinTileNew(ti, tj)
+			if err != nil {
+				return nil, err
+			}
+			for tk := 0; tk < agc; tk++ {
+				if b.TileEmpty(tk, tj) {
+					continue
+				}
+				at, err := a.PinTile(ti, tk)
+				if err != nil {
+					ct.Release()
+					return nil, err
+				}
+				rowLo, _, colLo, _ := b.TileBounds(tk, tj)
+				err = b.IterTile(tk, tj, func(r, c int, v float64) error {
+					k := rowLo + int64(r)
+					j := colLo + int64(c)
+					for i := ct.RowLo; i < ct.RowHi; i++ {
+						ct.Set(i, j, ct.At(i, j)+at.At(i, k)*v)
+					}
+					return nil
+				})
+				at.Release()
+				if err != nil {
+					ct.Release()
+					return nil, err
+				}
+			}
+			ct.MarkDirty()
+			ct.Release()
+		}
+	}
+	return t, pool.FlushAll()
+}
+
+// MatMulSparseSparse multiplies two sparse matrices into a fresh sparse
+// matrix. A k-step runs only when BOTH operand tiles are non-empty
+// (tile-level intersection), and output tiles that stay all-zero are
+// never written — path-length style products of banded or clustered
+// adjacency matrices read and write a small multiple of the band's
+// tiles. Each output tile accumulates in a block-sized host buffer, so
+// at most one frame is pinned at a time.
+func MatMulSparseSparse(pool *buffer.Pool, name string, a, b *sparse.Matrix) (*sparse.Matrix, error) {
+	atr, atc := a.TileDims()
+	btr, btc := b.TileDims()
+	if err := checkSquareAligned(a.Rows(), a.Cols(), b.Rows(), b.Cols(), atr, atc, btr, btc); err != nil {
+		return nil, err
+	}
+	bld, err := sparse.NewBuilder(pool, name, a.Rows(), b.Cols(), array.Options{Shape: array.SquareTiles, Lin: a.Lin()})
+	if err != nil {
+		return nil, err
+	}
+	agr, agc := a.GridDims()
+	_, bgc := b.GridDims()
+	side := atr
+	scratch := make([]float64, side*side) // output tile accumulator
+	bscr := make([]float64, side*side)    // decoded b tile
+	for ti := 0; ti < agr; ti++ {
+		for tj := 0; tj < bgc; tj++ {
+			for i := range scratch {
+				scratch[i] = 0
+			}
+			touched := false
+			for tk := 0; tk < agc; tk++ {
+				if a.TileEmpty(ti, tk) || b.TileEmpty(tk, tj) {
+					continue
+				}
+				touched = true
+				if err := b.ReadTile(tk, tj, bscr); err != nil {
+					bld.Abandon()
+					return nil, err
+				}
+				err := a.IterTile(ti, tk, func(r, c int, v float64) error {
+					brow := bscr[c*side : (c+1)*side]
+					out := scratch[r*side : (r+1)*side]
+					for jj, bv := range brow {
+						if bv != 0 {
+							out[jj] += v * bv
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					bld.Abandon()
+					return nil, err
+				}
+			}
+			if !touched {
+				continue // provably all-zero: no SetTile, no block
+			}
+			if err := bld.SetTile(ti, tj, scratch); err != nil {
+				bld.Abandon()
+				return nil, err
+			}
+		}
+	}
+	return bld.Finish()
+}
+
+// transposeShape flips row tiles to column tiles and vice versa; square
+// tiles transpose onto themselves.
+func transposeShape(s array.TileShape) array.TileShape {
+	switch s {
+	case array.RowTiles:
+		return array.ColTiles
+	case array.ColTiles:
+		return array.RowTiles
+	}
+	return array.SquareTiles
+}
+
+// TransposeSparse produces the sparse transpose of a. The tile grid
+// transposes tile-for-tile (output tile (i, j) is the transpose of input
+// tile (j, i)), so empty input tiles become empty output tiles without
+// any I/O at all — transposing an adjacency matrix touches exactly its
+// non-empty tiles once.
+func TransposeSparse(pool *buffer.Pool, name string, a *sparse.Matrix) (*sparse.Matrix, error) {
+	bld, err := sparse.NewBuilder(pool, name, a.Cols(), a.Rows(),
+		array.Options{Shape: transposeShape(a.Shape()), Lin: a.Lin()})
+	if err != nil {
+		return nil, err
+	}
+	agr, agc := a.GridDims()
+	// Output tile dims are the input's swapped; the scratch is indexed
+	// with the output's column stride (= the input tile height).
+	atr, atc := a.TileDims()
+	otr, otc := atc, atr
+	out := make([]float64, otr*otc)
+	for oi := 0; oi < agc; oi++ { // output tile rows == input tile cols
+		for oj := 0; oj < agr; oj++ {
+			for i := range out {
+				out[i] = 0
+			}
+			if a.TileEmpty(oj, oi) {
+				continue
+			}
+			err := a.IterTile(oj, oi, func(r, c int, v float64) error {
+				out[c*otc+r] = v
+				return nil
+			})
+			if err != nil {
+				bld.Abandon()
+				return nil, err
+			}
+			if err := bld.SetTile(oi, oj, out); err != nil {
+				bld.Abandon()
+				return nil, err
+			}
+		}
+	}
+	return bld.Finish()
+}

@@ -36,6 +36,7 @@ import (
 	"strings"
 
 	"riot/internal/algebra"
+	"riot/internal/array"
 	"riot/internal/costmodel"
 )
 
@@ -52,6 +53,7 @@ const (
 	CostBased
 )
 
+// String names the strategy for Explain headers and logs.
 func (s Strategy) String() string {
 	switch s {
 	case Heuristic:
@@ -110,6 +112,7 @@ const (
 	Stream
 )
 
+// String names the decision for Explain's per-node table.
 func (d Decision) String() string {
 	switch d {
 	case Pipeline:
@@ -136,8 +139,18 @@ const (
 	// AlgoBNLJRow is the BNLJ-inspired algorithm over row tiles, the
 	// fallback for mixed operand layouts.
 	AlgoBNLJRow
+	// AlgoSparseDense is the tile-skipping kernel for a sparse left
+	// operand: k-steps whose A tile is empty cost nothing.
+	AlgoSparseDense
+	// AlgoDenseSparse is its mirror for a sparse right operand.
+	AlgoDenseSparse
+	// AlgoSparseSparse multiplies two sparse operands into a sparse
+	// result, skipping k-steps unless both tiles are non-empty and
+	// writing no block for all-zero output tiles.
+	AlgoSparseSparse
 )
 
+// String names the kernel for Explain's multiply schedule.
 func (a MatMulAlgo) String() string {
 	switch a {
 	case AlgoNone:
@@ -148,8 +161,20 @@ func (a MatMulAlgo) String() string {
 		return "bnlj(square)"
 	case AlgoBNLJRow:
 		return "bnlj(row)"
+	case AlgoSparseDense:
+		return "sparse×dense"
+	case AlgoDenseSparse:
+		return "dense×sparse"
+	case AlgoSparseSparse:
+		return "sparse×sparse"
 	}
 	return fmt.Sprintf("MatMulAlgo(%d)", int(a))
+}
+
+// Sparse reports whether the algorithm is one of the tile-skipping
+// sparse kernels (whose cost estimates are nnz-based).
+func (a MatMulAlgo) Sparse() bool {
+	return a == AlgoSparseDense || a == AlgoDenseSparse || a == AlgoSparseSparse
 }
 
 // StepKind classifies a plan step.
@@ -182,6 +207,11 @@ type Step struct {
 	EstRandOps     float64
 	// EstSeconds is the step's simulated I/O time.
 	EstSeconds float64
+	// EstNNZ is the nonzero estimate behind a sparse step's block
+	// numbers: the sparse operand's stored nnz for sparse×dense and
+	// dense×sparse, the estimated product nnz for sparse×sparse. Zero
+	// for dense steps.
+	EstNNZ float64
 }
 
 // Plan is the physical plan for one root: the decision table the
@@ -258,6 +288,7 @@ func Build(root *algebra.Node, opts Options) *Plan {
 		algos:     make(map[*algebra.Node]MatMulAlgo),
 		worthMemo: make(map[*algebra.Node]bool),
 		costMemo:  make(map[*algebra.Node]pipeCost),
+		matMemo:   make(map[*algebra.Node]matInfo),
 		stepped:   make(map[*algebra.Node]bool),
 	}
 	b.decide(root, make(map[*algebra.Node]bool))
@@ -300,6 +331,7 @@ type builder struct {
 	algos     map[*algebra.Node]MatMulAlgo
 	worthMemo map[*algebra.Node]bool
 	costMemo  map[*algebra.Node]pipeCost
+	matMemo   map[*algebra.Node]matInfo
 	stepped   map[*algebra.Node]bool
 	steps     []Step
 }
@@ -462,51 +494,116 @@ func expectedDistinct(db, k float64) float64 {
 	return math.Min(math.Max(d, 1), math.Min(db, k))
 }
 
-// algo selects the multiply kernel for a MatMul node from plan-time
-// operand layouts, mirroring the runtime kernels' output layouts so the
+// matInfo is the planner's view of a matrix operand: payload kind, tile
+// geometry, and the density statistics the sparse cost formulas need.
+// For stored arrays the non-empty tile count and nnz come straight from
+// the array's directory (exact); for nested products they are
+// propagated estimates.
+type matInfo struct {
+	kind   array.Kind
+	tr, tc int
+	gr, gc int
+	ne     float64 // non-empty tiles (gr·gc for dense)
+	nnz    float64
+}
+
+// matInfo computes (memoized) the plan-time description of a matrix
+// node, mirroring the runtime kernels' output kinds and layouts so the
 // inference matches what the executor will actually see.
+func (b *builder) matInfo(n *algebra.Node) matInfo {
+	if mi, ok := b.matMemo[n]; ok {
+		return mi
+	}
+	bElems := b.opts.Machine.BlockElems
+	// Derive the square side through the same helper array and sparse
+	// use, so the planner's alignment test can never diverge from the
+	// executor's (sparseTilesAligned) on the same geometry.
+	side, _, err := array.TileDimsFor(bElems, array.SquareTiles)
+	if err != nil {
+		side = 1
+	}
+	l := float64(n.Shape.Rows)
+	k := float64(n.Shape.Cols)
+	grid := func(tr, tc int) (int, int) {
+		return int(math.Ceil(l / float64(tr))), int(math.Ceil(k / float64(tc)))
+	}
+	mi := matInfo{kind: array.Dense, tr: side, tc: side}
+	switch n.Op {
+	case algebra.OpSourceMat:
+		if n.SMat != nil {
+			mi.kind = array.Sparse
+			mi.tr, mi.tc = n.SMat.TileDims()
+			mi.gr, mi.gc = n.SMat.GridDims()
+			mi.ne = float64(n.SMat.Blocks())
+			mi.nnz = float64(n.SMat.NNZ())
+			b.matMemo[n] = mi
+			return mi
+		}
+		mi.tr, mi.tc = n.Mat.TileDims()
+		mi.gr, mi.gc = n.Mat.GridDims()
+	case algebra.OpMatMul:
+		switch algo := b.algo(n); {
+		case algo == AlgoSparseSparse:
+			ai := b.matInfo(n.Kids[0])
+			bi := b.matInfo(n.Kids[1])
+			mi.kind = array.Sparse
+			mi.tr, mi.tc = ai.tr, ai.tc
+			mi.gr, mi.gc = grid(mi.tr, mi.tc)
+			m := float64(n.Kids[0].Shape.Cols)
+			_, mi.ne = costmodel.SparseSparseMatMul(
+				float64(ai.gr), float64(ai.gc), float64(bi.gc), ai.ne, bi.ne)
+			mi.nnz = costmodel.EstProductNNZ(l, m, k, ai.nnz, bi.nnz)
+			b.matMemo[n] = mi
+			return mi
+		case algo == AlgoBNLJRow:
+			rtr, rtc, rerr := array.TileDimsFor(bElems, array.RowTiles)
+			if rerr == nil {
+				mi.tr, mi.tc = rtr, rtc
+			}
+		}
+		mi.gr, mi.gc = grid(mi.tr, mi.tc)
+	default:
+		mi.gr, mi.gc = grid(mi.tr, mi.tc)
+	}
+	mi.ne = float64(mi.gr * mi.gc)
+	mi.nnz = l * k
+	b.matMemo[n] = mi
+	return mi
+}
+
+// algo selects the multiply kernel for a MatMul node from plan-time
+// operand kinds and layouts. Sparse operands take a tile-skipping
+// kernel whenever the tile geometries align (the kernels' square-tile
+// precondition — the executor densifies and falls back otherwise,
+// mirrored by the alignment test here); dense pairs choose between the
+// square-tiled and BNLJ kernels by the analytic formulas.
 func (b *builder) algo(n *algebra.Node) MatMulAlgo {
 	if a, ok := b.algos[n]; ok {
 		return a
 	}
-	atr, atc := b.matLayout(n.Kids[0])
-	btr, btc := b.matLayout(n.Kids[1])
+	ai := b.matInfo(n.Kids[0])
+	bi := b.matInfo(n.Kids[1])
 	l := float64(n.Kids[0].Shape.Rows)
 	m := float64(n.Kids[0].Shape.Cols)
 	k := float64(n.Kids[1].Shape.Cols)
-	squareOK := atr == atc && btr == btc && atr == btr
+	aligned := ai.tr == ai.tc && bi.tr == bi.tc && ai.tr == bi.tr
 	var a MatMulAlgo
 	switch {
-	case squareOK && costmodel.CheaperSquareTiled(l, m, k, b.p):
+	case aligned && ai.kind == array.Sparse && bi.kind == array.Sparse:
+		a = AlgoSparseSparse
+	case aligned && ai.kind == array.Sparse:
+		a = AlgoSparseDense
+	case aligned && bi.kind == array.Sparse:
+		a = AlgoDenseSparse
+	case aligned && costmodel.CheaperSquareTiled(l, m, k, b.p):
 		a = AlgoSquareTiled
-	case squareOK:
+	case aligned:
 		a = AlgoBNLJSquare
 	default:
 		a = AlgoBNLJRow
 	}
 	b.algos[n] = a
 	return a
-}
-
-// matLayout returns the tile dimensions a matrix node will have at run
-// time: sources report their stored tiling; multiply results take the
-// layout their planned kernel produces.
-func (b *builder) matLayout(n *algebra.Node) (tr, tc int) {
-	bElems := b.opts.Machine.BlockElems
-	side := int(math.Sqrt(float64(bElems)))
-	if side < 1 {
-		side = 1
-	}
-	switch n.Op {
-	case algebra.OpSourceMat:
-		return n.Mat.TileDims()
-	case algebra.OpMatMul:
-		if b.algo(n) == AlgoBNLJRow {
-			return 1, bElems
-		}
-		return side, side
-	}
-	return side, side
 }
 
 // schedule collects the plan's steps in dependency order: children
@@ -558,23 +655,42 @@ func (b *builder) matmulStep(n *algebra.Node) Step {
 	m := float64(n.Kids[0].Shape.Cols)
 	k := float64(n.Kids[1].Shape.Cols)
 	algo := b.algo(n)
-	var total float64
-	if algo == AlgoSquareTiled {
-		total = costmodel.SquareTiled(l, m, k, b.p)
-	} else {
-		total = costmodel.BNLJ(l, m, k, b.p)
-	}
-	writes := costmodel.StreamBlocks(l*k, b.p)
-	reads := total - writes
-	if reads < 0 {
-		reads = 0
+	var reads, writes, nnz float64
+	switch algo {
+	case AlgoSparseDense:
+		ai, bi := b.matInfo(n.Kids[0]), b.matInfo(n.Kids[1])
+		reads = costmodel.SparseDenseMatMulReads(ai.ne, float64(bi.gc))
+		writes = costmodel.StreamBlocks(l*k, b.p)
+		nnz = ai.nnz
+	case AlgoDenseSparse:
+		ai, bi := b.matInfo(n.Kids[0]), b.matInfo(n.Kids[1])
+		reads = costmodel.DenseSparseMatMulReads(bi.ne, float64(ai.gr))
+		writes = costmodel.StreamBlocks(l*k, b.p)
+		nnz = bi.nnz
+	case AlgoSparseSparse:
+		ai, bi := b.matInfo(n.Kids[0]), b.matInfo(n.Kids[1])
+		reads, writes = costmodel.SparseSparseMatMul(
+			float64(ai.gr), float64(ai.gc), float64(bi.gc), ai.ne, bi.ne)
+		nnz = costmodel.EstProductNNZ(l, m, k, ai.nnz, bi.nnz)
+	default:
+		var total float64
+		if algo == AlgoSquareTiled {
+			total = costmodel.SquareTiled(l, m, k, b.p)
+		} else {
+			total = costmodel.BNLJ(l, m, k, b.p)
+		}
+		writes = costmodel.StreamBlocks(l*k, b.p)
+		reads = total - writes
+		if reads < 0 {
+			reads = 0
+		}
 	}
 	rand := reads
 	if b.opts.Machine.Readahead {
 		rand = 0
 	}
 	return Step{
-		Node: n, Kind: StepMatMul, Algo: algo,
+		Node: n, Kind: StepMatMul, Algo: algo, EstNNZ: nnz,
 		EstReadBlocks: reads, EstWriteBlocks: writes, EstRandOps: rand,
 		EstSeconds: b.opts.Machine.seconds(reads+writes, rand),
 	}
@@ -624,6 +740,11 @@ func (p *Plan) Render() string {
 		fmt.Fprintf(&sb, "  %2d. %-13s %s", i+1, s.Kind.label(), describe(s.Node))
 		if s.Kind == StepMatMul {
 			fmt.Fprintf(&sb, "  algo=%s", s.Algo)
+			if s.Algo.Sparse() {
+				// Sparse kernels are costed from the operands' tile
+				// directories; surface the nnz behind the block numbers.
+				fmt.Fprintf(&sb, " nnz=%.0f", s.EstNNZ)
+			}
 		}
 		if s.Kind == StepMaterialize {
 			fmt.Fprintf(&sb, "  refs=%d", s.Refs)

@@ -9,6 +9,7 @@ import (
 	"riot/internal/buffer"
 	"riot/internal/disk"
 	"riot/internal/plan"
+	"riot/internal/sparse"
 )
 
 // harness builds a graph over a real pool so sources are honest.
@@ -306,5 +307,74 @@ func TestWorthMemoization(t *testing.T) {
 	p := plan.Build(root, h.opts(plan.Heuristic))
 	if !p.ShouldMaterialize(n) {
 		t.Error("deep shared chain over a gather must materialize")
+	}
+}
+
+// TestSparseAlgoSelection checks the planner reads operand kinds and
+// tile directories: sparse operands get tile-skipping kernels with
+// nnz-based block estimates, and the rendered plan names the kernel.
+func TestSparseAlgoSelection(t *testing.T) {
+	h := newHarness(t, 64, 64) // 8×8 square tiles
+	dense, err := array.NewMatrix(h.pool, "d", 64, 64, array.Options{Shape: array.SquareTiles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	band, err := sparse.New(h.pool, "s", 64, 64, array.Options{Shape: array.SquareTiles},
+		func(i, j int64) float64 {
+			if i == j {
+				return 1
+			}
+			return 0
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dn := h.g.SourceMat(dense)
+	sn := h.g.SourceSparseMat(band)
+
+	cases := []struct {
+		name string
+		l, r *algebra.Node
+		want plan.MatMulAlgo
+	}{
+		{"sparse×sparse", sn, sn, plan.AlgoSparseSparse},
+		{"sparse×dense", sn, dn, plan.AlgoSparseDense},
+		{"dense×sparse", dn, sn, plan.AlgoDenseSparse},
+	}
+	for _, c := range cases {
+		root := h.must(h.g.MatMul(c.l, c.r))
+		p := plan.Build(root, h.opts(plan.CostBased))
+		if got := p.Algo(root); got != c.want {
+			t.Errorf("%s: algo = %v, want %v", c.name, got, c.want)
+		}
+		var step *plan.Step
+		for i := range p.Steps {
+			if p.Steps[i].Kind == plan.StepMatMul && p.Steps[i].Node == root {
+				step = &p.Steps[i]
+			}
+		}
+		if step == nil {
+			t.Fatalf("%s: no matmul step", c.name)
+		}
+		if step.EstNNZ <= 0 {
+			t.Errorf("%s: EstNNZ = %g, want > 0", c.name, step.EstNNZ)
+		}
+		if !strings.Contains(p.Render(), c.want.String()) {
+			t.Errorf("%s: rendered plan missing %q:\n%s", c.name, c.want.String(), p.Render())
+		}
+		if !strings.Contains(p.Render(), "nnz=") {
+			t.Errorf("%s: rendered plan missing nnz estimate", c.name)
+		}
+	}
+	// The sparse operand's directory bounds the estimate: the diagonal
+	// sparse matrix stores 8 of 64 tiles, so the sparse×dense read
+	// estimate must undercut the dense square-tiled formula's for the
+	// same shape.
+	sroot := h.must(h.g.MatMul(sn, dn))
+	droot := h.must(h.g.MatMul(dn, dn))
+	sp := plan.Build(sroot, h.opts(plan.CostBased))
+	dp := plan.Build(droot, h.opts(plan.CostBased))
+	if sp.EstBlocks >= dp.EstBlocks {
+		t.Errorf("sparse×dense est %g blocks, dense %g: sparse must be cheaper", sp.EstBlocks, dp.EstBlocks)
 	}
 }

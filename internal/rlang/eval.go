@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"riot/internal/engine"
 	"riot/internal/scalarop"
 )
 
@@ -423,6 +424,69 @@ func (in *Interp) evalCall(t callExpr) (Value, error) {
 			return Value{}, err
 		}
 		return Value{Obj: obj}, nil
+	case "sparse", "dense":
+		// Storage-kind conversions. On a backend with a sparse array
+		// kind (engine.SparseEngine) they convert; on every other
+		// backend they are identities, so the same script still runs
+		// everywhere — sparsity is a storage property, not a semantic
+		// one.
+		if len(t.args) != 1 {
+			return Value{}, fmt.Errorf("rlang: %s takes one argument", t.fn)
+		}
+		v, err := in.eval(t.args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsScalar {
+			return Value{}, fmt.Errorf("rlang: %s() requires an array", t.fn)
+		}
+		se, ok := in.eng.(engine.SparseEngine)
+		if !ok {
+			return v, nil
+		}
+		var obj engine.Value
+		if t.fn == "sparse" {
+			obj, err = se.ToSparse(v.Obj)
+		} else {
+			obj, err = se.ToDense(v.Obj)
+		}
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Obj: obj}, nil
+	case "nnz":
+		if len(t.args) != 1 {
+			return Value{}, fmt.Errorf("rlang: nnz takes one argument")
+		}
+		v, err := in.eval(t.args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsScalar {
+			if v.Scalar != 0 {
+				return scalar(1), nil
+			}
+			return scalar(0), nil
+		}
+		if se, ok := in.eng.(engine.SparseEngine); ok {
+			n, err := se.NNZ(v.Obj)
+			if err != nil {
+				return Value{}, err
+			}
+			return scalar(float64(n)), nil
+		}
+		// Kind-free backend: force and count.
+		vals, err := in.eng.Fetch(v.Obj, -1)
+		if err != nil {
+			return Value{}, err
+		}
+		n := 0
+		for _, x := range vals {
+			if x != 0 {
+				n++
+			}
+		}
+		return scalar(float64(n)), nil
 	case "print":
 		v, err := in.eval(t.args[0])
 		if err != nil {

@@ -11,7 +11,9 @@
 // (1-based, inclusive, as values and as subscripts); x[s], x[a:b],
 // x[x > k] <- v; %*%; and the builtins c, sqrt, abs, exp, log, sin, cos,
 // floor, ceiling, length, sum, min, max, sample, runif, seq_len, matrix,
-// nrow, ncol, print.
+// nrow, ncol, print, and the storage-kind trio sparse, dense, nnz
+// (conversions on backends with a sparse array kind, identities and a
+// nonzero count elsewhere).
 package rlang
 
 import (

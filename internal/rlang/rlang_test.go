@@ -385,3 +385,55 @@ func TestGlobalsPublishAndShadow(t *testing.T) {
 		t.Fatalf("b saw %q, want published length 3", out)
 	}
 }
+
+// TestSparseBuiltinsEveryBackend runs the sparse()/dense()/nnz() script
+// on every backend: engines with the sparse capability convert, the
+// rest treat the conversions as identities — either way the printed
+// values must be identical (sparsity is storage, not semantics).
+func TestSparseBuiltinsEveryBackend(t *testing.T) {
+	const script = `
+y <- seq_len(30)
+y[y < 25] <- 0
+A <- matrix(y, 5, 6)
+S <- sparse(A)
+print(nnz(S))
+D <- dense(S)
+print(nnz(D))
+v <- sparse(y)
+print(nnz(v))
+print(sum(v))
+`
+	var want string
+	for _, e := range engines() {
+		in := New(e)
+		if err := in.Run(script); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		got := in.Out.String()
+		if want == "" {
+			want = got
+			// 6 of 30 values survive the mask; their sum is 25+...+30.
+			if !strings.Contains(want, "[1] 6\n") || !strings.Contains(want, "[1] 165\n") {
+				t.Fatalf("unexpected reference output:\n%s", want)
+			}
+		} else if got != want {
+			t.Fatalf("%s diverged:\n%s\nvs\n%s", e.Name(), got, want)
+		}
+	}
+}
+
+// TestSparseBuiltinErrors pins the builtin's argument contract.
+func TestSparseBuiltinErrors(t *testing.T) {
+	in := New(engine.NewRIOT(64, 1<<16, engine.DefaultTimeModel))
+	if err := in.Run("sparse(3)"); err == nil {
+		t.Fatal("sparse(scalar) did not error")
+	}
+	if err := in.Run("x <- nnz(7); y <- nnz(0)"); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := in.Get("x")
+	y, _ := in.Get("y")
+	if x.Scalar != 1 || y.Scalar != 0 {
+		t.Fatalf("nnz(7)=%g nnz(0)=%g, want 1 and 0", x.Scalar, y.Scalar)
+	}
+}

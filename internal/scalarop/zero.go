@@ -1,0 +1,62 @@
+package scalarop
+
+// Zero-preservation classification.
+//
+// The sparse executor (internal/exec over internal/sparse sources) skips
+// whole output ranges when it can prove they are zero without reading
+// anything. The proofs bottom out in the three predicates below, which
+// classify each operator by what it does to zero operands:
+//
+//   - union semantics (+, -, and any op with f(0,0) == 0): a range is
+//     zero only when BOTH operands are zero there;
+//   - intersection semantics (*): a range is zero when EITHER operand is
+//     zero there;
+//   - unary/scalar ops preserve zero iff f(0) == 0 (sqrt, abs, sin, ...)
+//     respectively f(0, s) == 0 for the bound scalar s.
+//
+// The predicates evaluate the operator itself at zero rather than
+// keeping a parallel table, so a new operator can never silently
+// misclassify. Like the dense kernels' `if v == 0 { continue }` hot-path
+// skips, the classification treats 0·x as 0: an Inf or NaN hiding in a
+// sparse array's implicit zeros region is outside the contract.
+
+// UnaryZero reports whether the unary function maps 0 to 0, i.e. whether
+// an all-zero input range yields an all-zero output range.
+func UnaryZero(name string) bool {
+	f, err := Unary(name)
+	if err != nil {
+		return false
+	}
+	return f(0) == 0
+}
+
+// BinZeroBoth reports whether op maps (0, 0) to 0 — union semantics: the
+// output range is zero wherever both operands are zero.
+func BinZeroBoth(op string) bool {
+	f, err := Bin(op)
+	if err != nil {
+		return false
+	}
+	return f(0, 0) == 0
+}
+
+// BinZeroEither reports whether op maps (0, y) and (x, 0) to 0 for every
+// finite x and y — intersection semantics: the output range is zero
+// wherever either operand is. Only multiplication qualifies (0/y, 0^y,
+// and 0%%y all depend on the other operand's value).
+func BinZeroEither(op string) bool { return op == "*" }
+
+// BinZeroWithScalar reports whether op with the bound scalar s (on the
+// side given by scalarLeft) maps a zero vector element to 0. The answer
+// is exact for the actual s — x*0 preserves zero, x+0 does too, x+1 does
+// not — because it evaluates the operator.
+func BinZeroWithScalar(op string, s float64, scalarLeft bool) bool {
+	f, err := Bin(op)
+	if err != nil {
+		return false
+	}
+	if scalarLeft {
+		return f(s, 0) == 0
+	}
+	return f(0, s) == 0
+}

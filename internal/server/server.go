@@ -27,6 +27,9 @@
 // its whole lifetime, so variables persist across requests, and named
 // arrays published by any connection are visible to all (last-writer-
 // wins through the shared catalog).
+//
+// PROTOCOL.md at the repository root is the normative specification of
+// the wire format for out-of-tree clients.
 package server
 
 import (

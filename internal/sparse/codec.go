@@ -1,0 +1,55 @@
+package sparse
+
+// The tile payload codec. A block either holds a compressed tile —
+//
+//	payload[0]            = nnz
+//	payload[1 .. nnz]     = in-tile row-major element indexes
+//	payload[1+nnz .. 2nnz]= values, in index order
+//
+// — or, when 1+2·nnz would overflow the block, the tile verbatim
+// (row-major, same layout as a dense array tile). The boundary is a
+// pure function of nnz and the block size, so the decoder needs no flag
+// byte: the directory's nnz picks the branch. Indexes are exact small
+// integers (< blockElems <= 2^24 in any plausible configuration), well
+// inside float64's 2^53 integer range.
+
+// compressedFits reports whether a tile with the given nonzero count
+// uses the compressed format in a block of blockElems elements.
+func compressedFits(nnz, blockElems int) bool { return 1+2*nnz <= blockElems }
+
+// encodePayload writes tile (dense row-major, len <= len(dst)) into the
+// block payload dst using the format its nnz selects. The caller has
+// already counted nnz over tile.
+func encodePayload(dst, tile []float64, nnz int) {
+	if !compressedFits(nnz, len(dst)) {
+		n := copy(dst, tile)
+		for i := n; i < len(dst); i++ {
+			dst[i] = 0
+		}
+		return
+	}
+	dst[0] = float64(nnz)
+	k := 0
+	for idx, v := range tile {
+		if v != 0 {
+			dst[1+k] = float64(idx)
+			dst[1+nnz+k] = v
+			k++
+		}
+	}
+	for i := 1 + 2*nnz; i < len(dst); i++ {
+		dst[i] = 0
+	}
+}
+
+// decodePayload adds the payload's nonzeros into tile, which the caller
+// has zero-filled (len(tile) is the logical tile size, <= len(src)).
+func decodePayload(src []float64, nnz int, tile []float64) {
+	if !compressedFits(nnz, len(src)) {
+		copy(tile, src[:len(tile)])
+		return
+	}
+	for k := 0; k < nnz; k++ {
+		tile[int(src[1+k])] = src[1+nnz+k]
+	}
+}

@@ -1,0 +1,562 @@
+// Package sparse implements RIOT's tile-compressed sparse array kind.
+// The LAB abstraction of the paper deliberately leaves the tile payload
+// format open; this package supplies a second payload format beside the
+// dense tiles of internal/array, with the same tile geometry and the
+// same buffer-pool discipline, so every layer above storage (kernels,
+// executor, planner, catalog, language) can treat sparsity as a property
+// of the array rather than a separate type system.
+//
+// # Tile format
+//
+// A sparse matrix partitions into the same tileR×tileC grid its dense
+// twin would use (array.TileDimsFor). Each tile is stored in one of
+// three ways, chosen per tile by its nonzero count:
+//
+//   - nnz == 0: the tile occupies no block at all. The in-memory tile
+//     directory records it as empty, and every read path (kernels,
+//     At, ReadTile) answers from the directory with zero I/O.
+//   - 1+2·nnz <= B: one compressed block — payload[0] holds nnz,
+//     payload[1..nnz] the in-tile row-major element indexes (exact
+//     small integers stored as float64), payload[1+nnz..1+2·nnz] the
+//     values.
+//   - otherwise: one dense block holding the tile row-major (a tile
+//     never exceeds one block, so the fallback caps a pathological
+//     tile's cost at exactly the dense format's).
+//
+// The directory (per-tile nnz and block placement) lives in memory and
+// is persisted by the catalog; nnz decides the payload format, so the
+// codec needs no in-block flag for the dense fallback.
+//
+// Sparse arrays are immutable once built: kernels producing sparse
+// output assemble it through a Builder, tile by tile in row-major tile
+// order, which keeps block allocation deterministic.
+package sparse
+
+import (
+	"fmt"
+
+	"riot/internal/array"
+	"riot/internal/buffer"
+	"riot/internal/disk"
+)
+
+// noBlock marks an all-zero tile (or chunk) in a directory.
+const noBlock = disk.BlockID(-1)
+
+// Matrix is a rows×cols float64 matrix stored as tile-compressed sparse
+// payloads; see the package comment for the format. All I/O goes through
+// the buffer pool, so sparse kernels honor the same memory budget dense
+// ones do.
+type Matrix struct {
+	pool  *buffer.Pool
+	name  string
+	rows  int64
+	cols  int64
+	tileR int
+	tileC int
+	gridR int
+	gridC int
+	lin   array.Linearization
+	// dir maps row-major tile index to the block holding the tile's
+	// payload, noBlock for all-zero tiles.
+	dir []disk.BlockID
+	// tileNNZ is the per-tile nonzero count; it selects the payload
+	// format on both the encode and decode sides.
+	tileNNZ []int32
+	nnz     int64
+}
+
+// Rows returns the row count.
+func (m *Matrix) Rows() int64 { return m.rows }
+
+// Cols returns the column count.
+func (m *Matrix) Cols() int64 { return m.cols }
+
+// Name returns the owner name used for disk accounting.
+func (m *Matrix) Name() string { return m.name }
+
+// Pool returns the buffer pool the matrix is accessed through.
+func (m *Matrix) Pool() *buffer.Pool { return m.pool }
+
+// Kind reports the payload format: always array.Sparse for this type.
+func (m *Matrix) Kind() array.Kind { return array.Sparse }
+
+// TileDims returns the tile height and width in elements.
+func (m *Matrix) TileDims() (tr, tc int) { return m.tileR, m.tileC }
+
+// GridDims returns the tile-grid dimensions.
+func (m *Matrix) GridDims() (gr, gc int) { return m.gridR, m.gridC }
+
+// Lin returns the linearization recorded at construction. Sparse
+// payloads are compacted in row-major tile order regardless; the value
+// is echoed into dense conversions so a round trip preserves layout.
+func (m *Matrix) Lin() array.Linearization { return m.lin }
+
+// Shape returns the tile shape, recovered from the tile dimensions.
+func (m *Matrix) Shape() array.TileShape {
+	switch {
+	case m.tileR == 1 && m.tileC != 1:
+		return array.RowTiles
+	case m.tileC == 1 && m.tileR != 1:
+		return array.ColTiles
+	}
+	return array.SquareTiles
+}
+
+// NNZ returns the stored nonzero count.
+func (m *Matrix) NNZ() int64 { return m.nnz }
+
+// Density returns nnz / (rows·cols), 0 for degenerate shapes.
+func (m *Matrix) Density() float64 {
+	if m.rows == 0 || m.cols == 0 {
+		return 0
+	}
+	return float64(m.nnz) / (float64(m.rows) * float64(m.cols))
+}
+
+// Blocks returns the number of blocks the matrix occupies on the device:
+// one per non-empty tile. (Contrast array.Matrix.Blocks, which counts
+// the whole grid.)
+func (m *Matrix) Blocks() int {
+	n := 0
+	for _, b := range m.dir {
+		if b != noBlock {
+			n++
+		}
+	}
+	return n
+}
+
+// GridTiles returns the total tile count of the grid.
+func (m *Matrix) GridTiles() int { return m.gridR * m.gridC }
+
+// TileNNZ returns the nonzero count of tile (ti, tj).
+func (m *Matrix) TileNNZ(ti, tj int) int { return int(m.tileNNZ[ti*m.gridC+tj]) }
+
+// TileEmpty reports whether tile (ti, tj) is all-zero (and so costs no
+// I/O to read).
+func (m *Matrix) TileEmpty(ti, tj int) bool { return m.dir[ti*m.gridC+tj] == noBlock }
+
+// BlockIDs returns the blocks backing non-empty tiles, in row-major tile
+// order — the order the catalog serializes payloads in.
+func (m *Matrix) BlockIDs() []disk.BlockID {
+	out := make([]disk.BlockID, 0, len(m.dir))
+	for _, b := range m.dir {
+		if b != noBlock {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// TileNNZs returns a copy of the per-tile nonzero directory in row-major
+// tile order (the catalog's metadata page).
+func (m *Matrix) TileNNZs() []int32 {
+	out := make([]int32, len(m.tileNNZ))
+	copy(out, m.tileNNZ)
+	return out
+}
+
+// TileBounds returns the global element rectangle tile (ti, tj) covers:
+// rows [rowLo, rowHi) × cols [colLo, colHi), clipped to the matrix edge.
+func (m *Matrix) TileBounds(ti, tj int) (rowLo, rowHi, colLo, colHi int64) {
+	rowLo = int64(ti) * int64(m.tileR)
+	colLo = int64(tj) * int64(m.tileC)
+	rowHi = min(rowLo+int64(m.tileR), m.rows)
+	colHi = min(colLo+int64(m.tileC), m.cols)
+	return
+}
+
+func (m *Matrix) checkTile(ti, tj int) error {
+	if ti < 0 || ti >= m.gridR || tj < 0 || tj >= m.gridC {
+		return fmt.Errorf("sparse: tile (%d,%d) outside %d×%d grid of %q", ti, tj, m.gridR, m.gridC, m.name)
+	}
+	return nil
+}
+
+// ReadTile decompresses tile (ti, tj) into dst, which must hold
+// tileR·tileC elements (row-major, zero beyond the matrix edge). Empty
+// tiles are answered from the directory with no I/O.
+func (m *Matrix) ReadTile(ti, tj int, dst []float64) error {
+	if err := m.checkTile(ti, tj); err != nil {
+		return err
+	}
+	if len(dst) != m.tileR*m.tileC {
+		return fmt.Errorf("sparse: ReadTile buffer has %d elems, want %d", len(dst), m.tileR*m.tileC)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	t := ti*m.gridC + tj
+	if m.dir[t] == noBlock {
+		return nil
+	}
+	f, err := m.pool.Pin(m.dir[t])
+	if err != nil {
+		return err
+	}
+	decodePayload(f.Data, int(m.tileNNZ[t]), dst)
+	m.pool.Unpin(f)
+	return nil
+}
+
+// IterTile calls fn(r, c, v) for every stored nonzero of tile (ti, tj),
+// with r and c local to the tile, in row-major order. Dense-format tiles
+// skip their explicit zeros, so fn sees only nonzeros either way. Empty
+// tiles return immediately with no I/O.
+func (m *Matrix) IterTile(ti, tj int, fn func(r, c int, v float64) error) error {
+	if err := m.checkTile(ti, tj); err != nil {
+		return err
+	}
+	t := ti*m.gridC + tj
+	if m.dir[t] == noBlock {
+		return nil
+	}
+	f, err := m.pool.Pin(m.dir[t])
+	if err != nil {
+		return err
+	}
+	defer m.pool.Unpin(f)
+	nnz := int(m.tileNNZ[t])
+	if compressedFits(nnz, len(f.Data)) {
+		for k := 0; k < nnz; k++ {
+			idx := int(f.Data[1+k])
+			if err := fn(idx/m.tileC, idx%m.tileC, f.Data[1+nnz+k]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for idx := 0; idx < m.tileR*m.tileC && idx < len(f.Data); idx++ {
+		if v := f.Data[idx]; v != 0 {
+			if err := fn(idx/m.tileC, idx%m.tileC, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// At reads one element through the buffer pool (empty tiles cost no
+// I/O).
+func (m *Matrix) At(i, j int64) (float64, error) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		return 0, fmt.Errorf("sparse: index (%d,%d) outside %d×%d matrix %q", i, j, m.rows, m.cols, m.name)
+	}
+	ti, tj := int(i)/m.tileR, int(j)/m.tileC
+	t := ti*m.gridC + tj
+	if m.dir[t] == noBlock {
+		return 0, nil
+	}
+	f, err := m.pool.Pin(m.dir[t])
+	if err != nil {
+		return 0, err
+	}
+	defer m.pool.Unpin(f)
+	r := int(i) - ti*m.tileR
+	c := int(j) - tj*m.tileC
+	idx := r*m.tileC + c
+	nnz := int(m.tileNNZ[t])
+	if !compressedFits(nnz, len(f.Data)) {
+		return f.Data[idx], nil
+	}
+	for k := 0; k < nnz; k++ {
+		if int(f.Data[1+k]) == idx {
+			return f.Data[1+nnz+k], nil
+		}
+	}
+	return 0, nil
+}
+
+// ToDense materializes the matrix as a dense array.Matrix named name,
+// with the same tile shape and linearization. Empty tiles are written
+// without being read.
+func (m *Matrix) ToDense(pool *buffer.Pool, name string) (*array.Matrix, error) {
+	d, err := array.NewMatrix(pool, name, m.rows, m.cols, array.Options{Shape: m.Shape(), Lin: m.lin})
+	if err != nil {
+		return nil, err
+	}
+	scratch := make([]float64, m.tileR*m.tileC)
+	for ti := 0; ti < m.gridR; ti++ {
+		for tj := 0; tj < m.gridC; tj++ {
+			if err := m.ReadTile(ti, tj, scratch); err != nil {
+				return nil, err
+			}
+			t, err := d.PinTileNew(ti, tj)
+			if err != nil {
+				return nil, err
+			}
+			for i := t.RowLo; i < t.RowHi; i++ {
+				for j := t.ColLo; j < t.ColHi; j++ {
+					t.Set(i, j, scratch[int(i-t.RowLo)*m.tileC+int(j-t.ColLo)])
+				}
+			}
+			t.Release()
+		}
+	}
+	return d, pool.FlushAll()
+}
+
+// Free drops the matrix's resident blocks and releases its disk extent.
+func (m *Matrix) Free() {
+	for _, b := range m.dir {
+		if b != noBlock {
+			m.pool.Invalidate(b)
+		}
+	}
+	m.pool.Device().Free(m.name)
+}
+
+// FromDense converts a dense matrix into a sparse one named name on the
+// same pool, preserving tile geometry. All-zero tiles of src become
+// empty (block-free) tiles of the result.
+func FromDense(pool *buffer.Pool, name string, src *array.Matrix) (*Matrix, error) {
+	b, err := NewBuilder(pool, name, src.Rows(), src.Cols(),
+		array.Options{Shape: src.Shape(), Lin: src.Lin()})
+	if err != nil {
+		return nil, err
+	}
+	gr, gc := src.GridDims()
+	tr, tc := src.TileDims()
+	scratch := make([]float64, tr*tc)
+	for ti := 0; ti < gr; ti++ {
+		for tj := 0; tj < gc; tj++ {
+			t, err := src.PinTile(ti, tj)
+			if err != nil {
+				b.Abandon()
+				return nil, err
+			}
+			for i := range scratch {
+				scratch[i] = 0
+			}
+			for i := t.RowLo; i < t.RowHi; i++ {
+				for j := t.ColLo; j < t.ColHi; j++ {
+					scratch[int(i-t.RowLo)*tc+int(j-t.ColLo)] = t.At(i, j)
+				}
+			}
+			t.Release()
+			if err := b.SetTile(ti, tj, scratch); err != nil {
+				b.Abandon()
+				return nil, err
+			}
+		}
+	}
+	return b.Finish()
+}
+
+// New builds a sparse matrix directly from a generator, tile by tile,
+// without materializing a dense intermediate.
+func New(pool *buffer.Pool, name string, rows, cols int64, opts array.Options, gen func(i, j int64) float64) (*Matrix, error) {
+	b, err := NewBuilder(pool, name, rows, cols, opts)
+	if err != nil {
+		return nil, err
+	}
+	m := b.m
+	scratch := make([]float64, m.tileR*m.tileC)
+	for ti := 0; ti < m.gridR; ti++ {
+		for tj := 0; tj < m.gridC; tj++ {
+			rowLo, rowHi, colLo, colHi := m.TileBounds(ti, tj)
+			for i := range scratch {
+				scratch[i] = 0
+			}
+			for i := rowLo; i < rowHi; i++ {
+				for j := colLo; j < colHi; j++ {
+					scratch[int(i-rowLo)*m.tileC+int(j-colLo)] = gen(i, j)
+				}
+			}
+			if err := b.SetTile(ti, tj, scratch); err != nil {
+				b.Abandon()
+				return nil, err
+			}
+		}
+	}
+	return b.Finish()
+}
+
+// Clone copies src into a fresh sparse matrix named name, identical in
+// geometry and directory, with its non-empty blocks in one contiguous
+// extent (the catalog's publish path). The copy goes through the pool so
+// dirty frames are captured.
+func Clone(pool *buffer.Pool, name string, src *Matrix) (*Matrix, error) {
+	dst, err := Alloc(pool, name, src.rows, src.cols,
+		array.Options{Shape: src.Shape(), Lin: src.lin}, src.TileNNZs())
+	if err != nil {
+		return nil, err
+	}
+	for t := range src.dir {
+		if src.dir[t] == noBlock {
+			continue
+		}
+		sf, err := pool.Pin(src.dir[t])
+		if err != nil {
+			dst.Free()
+			return nil, err
+		}
+		df, err := pool.PinNew(dst.dir[t])
+		if err != nil {
+			pool.Unpin(sf)
+			dst.Free()
+			return nil, err
+		}
+		copy(df.Data, sf.Data)
+		df.MarkDirty()
+		pool.Unpin(df)
+		pool.Unpin(sf)
+	}
+	return dst, nil
+}
+
+// Alloc creates a sparse matrix shell from a per-tile nonzero directory:
+// geometry and directory are final, and one contiguous extent is
+// allocated for the non-empty tiles (row-major tile order, matching
+// BlockIDs), but the payloads are uninitialized. Callers fill them
+// through the pool (Clone) or import them below it (the catalog's
+// restore path).
+func Alloc(pool *buffer.Pool, name string, rows, cols int64, opts array.Options, tileNNZ []int32) (*Matrix, error) {
+	m, err := newShell(pool, name, rows, cols, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(tileNNZ) != m.gridR*m.gridC {
+		return nil, fmt.Errorf("sparse: directory has %d tiles, geometry wants %d", len(tileNNZ), m.gridR*m.gridC)
+	}
+	stored := 0
+	for _, c := range tileNNZ {
+		if c < 0 || int64(c) > int64(m.tileR)*int64(m.tileC) {
+			return nil, fmt.Errorf("sparse: implausible tile nnz %d for %d×%d tiles", c, m.tileR, m.tileC)
+		}
+		if c > 0 {
+			stored++
+		}
+	}
+	copy(m.tileNNZ, tileNNZ)
+	if stored > 0 {
+		base := pool.Device().Alloc(name, stored)
+		k := disk.BlockID(0)
+		for t, c := range tileNNZ {
+			if c > 0 {
+				m.dir[t] = base + k
+				k++
+			}
+			m.nnz += int64(c)
+		}
+	} else {
+		// Own the name even with nothing stored, so Free stays symmetric.
+		pool.Device().Alloc(name, 0)
+	}
+	return m, nil
+}
+
+// newShell builds the geometry of a sparse matrix with an all-empty
+// directory and no storage.
+func newShell(pool *buffer.Pool, name string, rows, cols int64, opts array.Options) (*Matrix, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("sparse: invalid dimensions %d×%d", rows, cols)
+	}
+	tr, tc, err := array.TileDimsFor(pool.Device().BlockElems(), opts.Shape)
+	if err != nil {
+		return nil, err
+	}
+	m := &Matrix{
+		pool:  pool,
+		name:  name,
+		rows:  rows,
+		cols:  cols,
+		tileR: tr,
+		tileC: tc,
+		gridR: int((rows + int64(tr) - 1) / int64(tr)),
+		gridC: int((cols + int64(tc) - 1) / int64(tc)),
+		lin:   opts.Lin,
+	}
+	nt := m.gridR * m.gridC
+	m.dir = make([]disk.BlockID, nt)
+	for i := range m.dir {
+		m.dir[i] = noBlock
+	}
+	m.tileNNZ = make([]int32, nt)
+	return m, nil
+}
+
+// Builder assembles a sparse matrix tile by tile. Tiles should be set in
+// row-major tile order (the order every kernel produces them in), which
+// keeps the block layout deterministic; unset tiles are empty. A tile
+// may be set at most once.
+type Builder struct {
+	m        *Matrix
+	finished bool
+}
+
+// NewBuilder starts building a rows×cols sparse matrix named name.
+func NewBuilder(pool *buffer.Pool, name string, rows, cols int64, opts array.Options) (*Builder, error) {
+	m, err := newShell(pool, name, rows, cols, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Register the owner up front so Abandon/Free work even if no tile
+	// is ever stored.
+	pool.Device().Alloc(name, 0)
+	return &Builder{m: m}, nil
+}
+
+// SetTile stores tile (ti, tj) from its dense row-major payload (length
+// tileR·tileC, zero beyond the matrix edge). All-zero payloads record an
+// empty tile and perform no I/O.
+func (b *Builder) SetTile(ti, tj int, data []float64) error {
+	m := b.m
+	if b.finished {
+		return fmt.Errorf("sparse: SetTile after Finish on %q", m.name)
+	}
+	if err := m.checkTile(ti, tj); err != nil {
+		return err
+	}
+	if len(data) != m.tileR*m.tileC {
+		return fmt.Errorf("sparse: SetTile payload has %d elems, want %d", len(data), m.tileR*m.tileC)
+	}
+	t := ti*m.gridC + tj
+	if m.dir[t] != noBlock || m.tileNNZ[t] != 0 {
+		return fmt.Errorf("sparse: tile (%d,%d) of %q set twice", ti, tj, m.name)
+	}
+	nnz := 0
+	for _, v := range data {
+		if v != 0 {
+			nnz++
+		}
+	}
+	if nnz == 0 {
+		return nil
+	}
+	id := m.pool.Device().Alloc(m.name, 1)
+	f, err := m.pool.PinNew(id)
+	if err != nil {
+		return err
+	}
+	encodePayload(f.Data, data, nnz)
+	f.MarkDirty()
+	m.pool.Unpin(f)
+	m.dir[t] = id
+	m.tileNNZ[t] = int32(nnz)
+	m.nnz += int64(nnz)
+	return nil
+}
+
+// Finish flushes the built tiles and returns the finished matrix.
+func (b *Builder) Finish() (*Matrix, error) {
+	if b.finished {
+		return nil, fmt.Errorf("sparse: Finish called twice on %q", b.m.name)
+	}
+	b.finished = true
+	if err := b.m.pool.FlushAll(); err != nil {
+		return nil, err
+	}
+	return b.m, nil
+}
+
+// Abandon releases everything the builder stored; the matrix is never
+// produced. Safe after any SetTile error.
+func (b *Builder) Abandon() {
+	if b.finished {
+		return
+	}
+	b.finished = true
+	b.m.Free()
+}

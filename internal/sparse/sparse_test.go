@@ -1,0 +1,308 @@
+package sparse
+
+import (
+	"testing"
+
+	"riot/internal/array"
+	"riot/internal/buffer"
+	"riot/internal/disk"
+)
+
+func newPool(blockElems, frames int) *buffer.Pool {
+	return buffer.New(disk.NewDevice(blockElems), frames)
+}
+
+// xorshift is the deterministic generator the property tests draw from.
+type xorshift uint64
+
+func (x *xorshift) next() float64 {
+	*x ^= *x << 13
+	*x ^= *x >> 7
+	*x ^= *x << 17
+	return float64(*x%1000003) / 1000003
+}
+
+// genMatrix fills an n×n dense matrix with ~density fraction nonzero.
+func genMatrix(t *testing.T, pool *buffer.Pool, name string, n int64, density float64, seed uint64) *array.Matrix {
+	t.Helper()
+	rng := xorshift(seed*2654435761 + 1)
+	m, err := array.NewMatrix(pool, name, n, n, array.Options{Shape: array.SquareTiles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fill(func(i, j int64) float64 {
+		if rng.next() < density {
+			return 1 + rng.next()
+		}
+		return 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func densities() []float64 { return []float64{0, 0.01, 0.1, 1.0} }
+
+func TestFromDenseRoundTrip(t *testing.T) {
+	for _, d := range densities() {
+		pool := newPool(64, 32)
+		src := genMatrix(t, pool, "src", 33, d, 7)
+		sm, err := FromDense(pool, "sm", src)
+		if err != nil {
+			t.Fatalf("density %g: %v", d, err)
+		}
+		if sm.Kind() != array.Sparse {
+			t.Fatalf("Kind = %v, want sparse", sm.Kind())
+		}
+		back, err := sm.ToDense(pool, "back")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var nnz int64
+		for i := int64(0); i < 33; i++ {
+			for j := int64(0); j < 33; j++ {
+				want, err := src.At(i, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want != 0 {
+					nnz++
+				}
+				got, err := back.At(i, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("density %g: round-trip (%d,%d) = %g, want %g", d, i, j, got, want)
+				}
+				at, err := sm.At(i, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if at != want {
+					t.Fatalf("density %g: sparse At(%d,%d) = %g, want %g", d, i, j, at, want)
+				}
+			}
+		}
+		if sm.NNZ() != nnz {
+			t.Fatalf("density %g: NNZ = %d, want %d", d, sm.NNZ(), nnz)
+		}
+	}
+}
+
+// TestEmptyTilesCostNothing pins the core storage claim: an all-zero
+// matrix occupies zero payload blocks and reads back with zero device
+// I/O.
+func TestEmptyTilesCostNothing(t *testing.T) {
+	pool := newPool(64, 16)
+	sm, err := New(pool, "z", 100, 100, array.Options{Shape: array.SquareTiles},
+		func(i, j int64) float64 { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Blocks() != 0 || sm.NNZ() != 0 {
+		t.Fatalf("all-zero matrix stores %d blocks, %d nnz", sm.Blocks(), sm.NNZ())
+	}
+	pool.Device().ResetStats()
+	for i := int64(0); i < 100; i += 7 {
+		v, err := sm.At(i, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 0 {
+			t.Fatalf("At(%d,%d) = %g", i, i, v)
+		}
+	}
+	scratch := make([]float64, 8*8)
+	if err := sm.ReadTile(0, 0, scratch); err != nil {
+		t.Fatal(err)
+	}
+	if st := pool.Device().Stats(); st.TotalBlocks() != 0 {
+		t.Fatalf("reading an all-zero matrix cost %d block I/Os", st.TotalBlocks())
+	}
+}
+
+// TestDenseFallbackTile drives a tile past the compressed-format
+// capacity ((B-1)/2 nonzeros) so the dense-payload branch is exercised.
+func TestDenseFallbackTile(t *testing.T) {
+	pool := newPool(64, 16) // 8×8 tiles, compressed capacity 31 nonzeros
+	src := genMatrix(t, pool, "full", 8, 1.0, 3)
+	sm, err := FromDense(pool, "sfull", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.TileNNZ(0, 0) != 64 {
+		t.Fatalf("tile nnz = %d, want 64", sm.TileNNZ(0, 0))
+	}
+	if sm.Blocks() != 1 {
+		t.Fatalf("dense-fallback tile uses %d blocks, want 1", sm.Blocks())
+	}
+	for i := int64(0); i < 8; i++ {
+		for j := int64(0); j < 8; j++ {
+			want, _ := src.At(i, j)
+			got, err := sm.At(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("fallback At(%d,%d) = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestCloneAndAlloc(t *testing.T) {
+	pool := newPool(64, 32)
+	src := genMatrix(t, pool, "src", 40, 0.05, 11)
+	sm, err := FromDense(pool, "sm", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Clone(pool, "clone", sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.NNZ() != sm.NNZ() || cl.Blocks() != sm.Blocks() {
+		t.Fatalf("clone nnz/blocks = %d/%d, want %d/%d", cl.NNZ(), cl.Blocks(), sm.NNZ(), sm.Blocks())
+	}
+	// Clone's extent is contiguous, in BlockIDs order.
+	ids := cl.BlockIDs()
+	for k := 1; k < len(ids); k++ {
+		if ids[k] != ids[k-1]+1 {
+			t.Fatalf("clone blocks not contiguous: %v", ids)
+		}
+	}
+	for i := int64(0); i < 40; i += 3 {
+		for j := int64(0); j < 40; j += 3 {
+			want, _ := sm.At(i, j)
+			got, err := cl.At(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("clone At(%d,%d) = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestZeroDimMatrix(t *testing.T) {
+	pool := newPool(64, 8)
+	for _, dims := range [][2]int64{{0, 0}, {0, 5}, {5, 0}} {
+		sm, err := New(pool, "z", dims[0], dims[1], array.Options{Shape: array.SquareTiles},
+			func(i, j int64) float64 { return 1 })
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		if sm.NNZ() != 0 || sm.Blocks() != 0 {
+			t.Fatalf("%v: nnz=%d blocks=%d", dims, sm.NNZ(), sm.Blocks())
+		}
+		d, err := sm.ToDense(pool, "zd")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Rows() != dims[0] || d.Cols() != dims[1] {
+			t.Fatalf("%v: dense dims %d×%d", dims, d.Rows(), d.Cols())
+		}
+		sm.Free()
+		d.Free()
+	}
+}
+
+func TestSparseVectorRoundTrip(t *testing.T) {
+	for _, d := range densities() {
+		pool := newPool(64, 16)
+		rng := xorshift(99)
+		n := int64(1000)
+		want := make([]float64, n)
+		for i := range want {
+			if rng.next() < d {
+				want[i] = 1 + rng.next()
+			}
+		}
+		sv, err := NewVector(pool, "sv", n, func(lo, hi int64, buf []float64) error {
+			copy(buf, want[lo:hi])
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float64, n)
+		if err := sv.ReadRange(0, n, got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("density %g: [%d] = %g, want %g", d, i, got[i], want[i])
+			}
+		}
+		// Unaligned sub-range.
+		sub := make([]float64, 131)
+		if err := sv.ReadRange(37, 168, sub); err != nil {
+			t.Fatal(err)
+		}
+		for i := range sub {
+			if sub[i] != want[37+int64(i)] {
+				t.Fatalf("density %g: sub[%d] = %g, want %g", d, i, sub[i], want[37+int64(i)])
+			}
+		}
+		dv, err := sv.ToDense(pool, "dv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < n; i += 13 {
+			v, err := dv.At(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != want[i] {
+				t.Fatalf("density %g: dense [%d] = %g, want %g", d, i, v, want[i])
+			}
+		}
+		cl, err := CloneVector(pool, "cl", sv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cl.NNZ() != sv.NNZ() {
+			t.Fatalf("clone nnz %d want %d", cl.NNZ(), sv.NNZ())
+		}
+	}
+}
+
+// TestVectorRangeEmpty checks the directory answers range-emptiness
+// queries without I/O, on chunk-aligned and unaligned bounds.
+func TestVectorRangeEmpty(t *testing.T) {
+	pool := newPool(64, 16)
+	n := int64(64 * 10)
+	// Nonzeros only in chunk 3 and chunk 7.
+	sv, err := NewVector(pool, "sv", n, func(lo, hi int64, buf []float64) error {
+		chunk := lo / 64
+		if chunk == 3 || chunk == 7 {
+			buf[5] = 42
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Device().ResetStats()
+	cases := []struct {
+		lo, hi int64
+		empty  bool
+	}{
+		{0, 64 * 3, true},
+		{0, 64*3 + 1, false},
+		{64 * 4, 64 * 7, true},
+		{64*3 + 10, 64 * 4, false},
+		{64 * 8, n, true},
+		{0, 0, true},
+	}
+	for _, c := range cases {
+		if got := sv.RangeEmpty(c.lo, c.hi); got != c.empty {
+			t.Fatalf("RangeEmpty(%d,%d) = %v, want %v", c.lo, c.hi, got, c.empty)
+		}
+	}
+	if st := pool.Device().Stats(); st.TotalBlocks() != 0 {
+		t.Fatalf("RangeEmpty cost %d block I/Os", st.TotalBlocks())
+	}
+}

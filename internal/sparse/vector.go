@@ -1,0 +1,408 @@
+package sparse
+
+import (
+	"fmt"
+
+	"riot/internal/array"
+	"riot/internal/buffer"
+	"riot/internal/disk"
+)
+
+// Vector is a one-dimensional sparse array. It chunks exactly like a
+// dense array.Vector — B consecutive elements per chunk — but all-zero
+// chunks occupy no block, and non-empty chunks use the same
+// (count, index[], value[]) payload codec as matrix tiles. The fused
+// executor consults RangeEmpty to skip whole output ranges that are
+// provably zero, which is where the union/intersection fusion rules of
+// internal/scalarop pay off.
+type Vector struct {
+	pool     *buffer.Pool
+	name     string
+	n        int64
+	dir      []disk.BlockID
+	chunkNNZ []int32
+	nnz      int64
+}
+
+// Len returns the number of elements.
+func (v *Vector) Len() int64 { return v.n }
+
+// Name returns the owner name used for disk accounting.
+func (v *Vector) Name() string { return v.name }
+
+// Pool returns the vector's buffer pool.
+func (v *Vector) Pool() *buffer.Pool { return v.pool }
+
+// Kind reports the payload format: always array.Sparse for this type.
+func (v *Vector) Kind() array.Kind { return array.Sparse }
+
+// NNZ returns the stored nonzero count.
+func (v *Vector) NNZ() int64 { return v.nnz }
+
+// Density returns nnz/n (0 for the empty vector).
+func (v *Vector) Density() float64 {
+	if v.n == 0 {
+		return 0
+	}
+	return float64(v.nnz) / float64(v.n)
+}
+
+// Chunks returns the logical chunk count (empty chunks included).
+func (v *Vector) Chunks() int { return len(v.dir) }
+
+// Blocks returns the number of blocks the vector occupies: one per
+// non-empty chunk.
+func (v *Vector) Blocks() int {
+	n := 0
+	for _, b := range v.dir {
+		if b != noBlock {
+			n++
+		}
+	}
+	return n
+}
+
+// ChunkNNZs returns a copy of the per-chunk nonzero directory.
+func (v *Vector) ChunkNNZs() []int32 {
+	out := make([]int32, len(v.chunkNNZ))
+	copy(out, v.chunkNNZ)
+	return out
+}
+
+// BlockIDs returns the blocks backing non-empty chunks, in chunk order.
+func (v *Vector) BlockIDs() []disk.BlockID {
+	out := make([]disk.BlockID, 0, len(v.dir))
+	for _, b := range v.dir {
+		if b != noBlock {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func (v *Vector) blockElems() int64 { return int64(v.pool.Device().BlockElems()) }
+
+// RangeEmpty reports whether elements [lo, hi) are all zero, answered
+// from the in-memory directory with no I/O. Out-of-range bounds are
+// clipped.
+func (v *Vector) RangeEmpty(lo, hi int64) bool {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > v.n {
+		hi = v.n
+	}
+	if lo >= hi {
+		return true
+	}
+	b := v.blockElems()
+	for k := lo / b; k <= (hi-1)/b; k++ {
+		if v.dir[k] != noBlock {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadRange decompresses elements [lo, hi) into buf (length hi-lo).
+// Empty chunks contribute zeros with no I/O.
+func (v *Vector) ReadRange(lo, hi int64, buf []float64) error {
+	if lo < 0 || hi > v.n || lo > hi {
+		return fmt.Errorf("sparse: range [%d,%d) outside vector %q of length %d", lo, hi, v.name, v.n)
+	}
+	if int64(len(buf)) != hi-lo {
+		return fmt.Errorf("sparse: ReadRange buffer has %d elems, want %d", len(buf), hi-lo)
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	if lo == hi {
+		return nil
+	}
+	b := v.blockElems()
+	// scratch is only needed for chunks the range covers partially (at
+	// most the first and last); fully covered chunks decode straight
+	// into buf, so block-aligned scans — the fused executor's hot path
+	// — allocate nothing.
+	var scratch []float64
+	for k := lo / b; k <= (hi-1)/b; k++ {
+		if v.dir[k] == noBlock {
+			continue
+		}
+		f, err := v.pool.Pin(v.dir[k])
+		if err != nil {
+			return err
+		}
+		chunkLo := k * b
+		chunkHi := min(chunkLo+b, v.n)
+		if lo <= chunkLo && chunkHi <= hi {
+			decodePayload(f.Data, int(v.chunkNNZ[k]), buf[chunkLo-lo:chunkHi-lo])
+			v.pool.Unpin(f)
+			continue
+		}
+		if scratch == nil {
+			scratch = make([]float64, b)
+		}
+		for i := range scratch[:chunkHi-chunkLo] {
+			scratch[i] = 0
+		}
+		decodePayload(f.Data, int(v.chunkNNZ[k]), scratch[:chunkHi-chunkLo])
+		v.pool.Unpin(f)
+		from := max(lo, chunkLo)
+		to := min(hi, chunkHi)
+		copy(buf[from-lo:to-lo], scratch[from-chunkLo:to-chunkLo])
+	}
+	return nil
+}
+
+// At reads one element: empty chunks answer from the directory with no
+// I/O, compressed chunks by an O(nnz) scan of the payload, dense-format
+// chunks by direct indexing — no decode, no allocation (gathers call
+// this once per index).
+func (v *Vector) At(i int64) (float64, error) {
+	if i < 0 || i >= v.n {
+		return 0, fmt.Errorf("sparse: index %d outside vector %q of length %d", i, v.name, v.n)
+	}
+	b := v.blockElems()
+	k := i / b
+	if v.dir[k] == noBlock {
+		return 0, nil
+	}
+	f, err := v.pool.Pin(v.dir[k])
+	if err != nil {
+		return 0, err
+	}
+	defer v.pool.Unpin(f)
+	idx := int(i - k*b)
+	nnz := int(v.chunkNNZ[k])
+	if !compressedFits(nnz, len(f.Data)) {
+		return f.Data[idx], nil
+	}
+	for j := 0; j < nnz; j++ {
+		if int(f.Data[1+j]) == idx {
+			return f.Data[1+nnz+j], nil
+		}
+	}
+	return 0, nil
+}
+
+// PrefetchRange hints the pool's I/O scheduler at the non-empty blocks
+// holding elements [lo, hi); empty chunks generate no hint. A no-op when
+// the scheduler is disabled.
+func (v *Vector) PrefetchRange(lo, hi int64) {
+	if !v.pool.ReadaheadEnabled() {
+		return
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > v.n {
+		hi = v.n
+	}
+	if lo >= hi {
+		return
+	}
+	b := v.blockElems()
+	var ids []disk.BlockID
+	for k := lo / b; k <= (hi-1)/b; k++ {
+		if v.dir[k] != noBlock {
+			ids = append(ids, v.dir[k])
+		}
+	}
+	if len(ids) > 0 {
+		v.pool.Prefetch(ids)
+	}
+}
+
+// ToDense materializes the vector as a dense array.Vector named name.
+func (v *Vector) ToDense(pool *buffer.Pool, name string) (*array.Vector, error) {
+	d, err := array.NewVector(pool, name, v.n)
+	if err != nil {
+		return nil, err
+	}
+	b := v.blockElems()
+	for k := 0; k < d.Blocks(); k++ {
+		c, err := d.PinChunkNew(k)
+		if err != nil {
+			return nil, err
+		}
+		lo := int64(k) * b
+		hi := min(lo+b, v.n)
+		err = v.ReadRange(lo, hi, c.Data())
+		c.MarkDirty()
+		c.Release()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d, pool.FlushAll()
+}
+
+// Free drops resident blocks and releases the vector's disk extent.
+func (v *Vector) Free() {
+	for _, b := range v.dir {
+		if b != noBlock {
+			v.pool.Invalidate(b)
+		}
+	}
+	v.pool.Device().Free(v.name)
+}
+
+// FromDenseVector converts a dense vector into a sparse one named name.
+func FromDenseVector(pool *buffer.Pool, name string, src *array.Vector) (*Vector, error) {
+	return NewVector(pool, name, src.Len(), func(lo, hi int64, buf []float64) error {
+		return readDenseRange(src, lo, hi, buf)
+	})
+}
+
+// readDenseRange fills buf with src[lo:hi) chunk by chunk.
+func readDenseRange(src *array.Vector, lo, hi int64, buf []float64) error {
+	b := int64(src.Pool().Device().BlockElems())
+	for lo < hi {
+		c, err := src.PinChunk(int(lo / b))
+		if err != nil {
+			return err
+		}
+		n := min(hi, c.Hi) - lo
+		copy(buf[:n], c.Data()[lo-c.Lo:lo-c.Lo+n])
+		c.Release()
+		buf = buf[n:]
+		lo += n
+	}
+	return nil
+}
+
+// NewVector builds a sparse vector by asking read for each chunk's
+// dense contents in order (read fills buf with elements [lo, hi)).
+func NewVector(pool *buffer.Pool, name string, n int64, read func(lo, hi int64, buf []float64) error) (*Vector, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sparse: negative vector length %d", n)
+	}
+	b := int64(pool.Device().BlockElems())
+	chunks := int((n + b - 1) / b)
+	v := &Vector{
+		pool:     pool,
+		name:     name,
+		n:        n,
+		dir:      make([]disk.BlockID, chunks),
+		chunkNNZ: make([]int32, chunks),
+	}
+	for i := range v.dir {
+		v.dir[i] = noBlock
+	}
+	pool.Device().Alloc(name, 0) // own the name even if fully empty
+	scratch := make([]float64, b)
+	for k := 0; k < chunks; k++ {
+		lo := int64(k) * b
+		hi := min(lo+b, n)
+		for i := range scratch {
+			scratch[i] = 0
+		}
+		if err := read(lo, hi, scratch[:hi-lo]); err != nil {
+			v.Free()
+			return nil, err
+		}
+		nnz := 0
+		for _, x := range scratch[:hi-lo] {
+			if x != 0 {
+				nnz++
+			}
+		}
+		if nnz == 0 {
+			continue
+		}
+		id := pool.Device().Alloc(name, 1)
+		f, err := pool.PinNew(id)
+		if err != nil {
+			v.Free()
+			return nil, err
+		}
+		encodePayload(f.Data, scratch[:hi-lo], nnz)
+		f.MarkDirty()
+		pool.Unpin(f)
+		v.dir[k] = id
+		v.chunkNNZ[k] = int32(nnz)
+		v.nnz += int64(nnz)
+	}
+	return v, pool.FlushAll()
+}
+
+// CloneVector copies src into a fresh sparse vector named name with its
+// non-empty blocks in one contiguous extent (the catalog's publish
+// path).
+func CloneVector(pool *buffer.Pool, name string, src *Vector) (*Vector, error) {
+	dst, err := AllocVector(pool, name, src.n, src.ChunkNNZs())
+	if err != nil {
+		return nil, err
+	}
+	for k := range src.dir {
+		if src.dir[k] == noBlock {
+			continue
+		}
+		sf, err := pool.Pin(src.dir[k])
+		if err != nil {
+			dst.Free()
+			return nil, err
+		}
+		df, err := pool.PinNew(dst.dir[k])
+		if err != nil {
+			pool.Unpin(sf)
+			dst.Free()
+			return nil, err
+		}
+		copy(df.Data, sf.Data)
+		df.MarkDirty()
+		pool.Unpin(df)
+		pool.Unpin(sf)
+	}
+	return dst, nil
+}
+
+// AllocVector creates a sparse vector shell from a per-chunk nonzero
+// directory, with one contiguous extent for the non-empty chunks (in
+// chunk order, matching BlockIDs) and uninitialized payloads — the
+// catalog's restore path.
+func AllocVector(pool *buffer.Pool, name string, n int64, chunkNNZ []int32) (*Vector, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sparse: negative vector length %d", n)
+	}
+	b := int64(pool.Device().BlockElems())
+	chunks := int((n + b - 1) / b)
+	if len(chunkNNZ) != chunks {
+		return nil, fmt.Errorf("sparse: directory has %d chunks, geometry wants %d", len(chunkNNZ), chunks)
+	}
+	v := &Vector{
+		pool:     pool,
+		name:     name,
+		n:        n,
+		dir:      make([]disk.BlockID, chunks),
+		chunkNNZ: make([]int32, chunks),
+	}
+	stored := 0
+	for _, c := range chunkNNZ {
+		if c < 0 || int64(c) > b {
+			return nil, fmt.Errorf("sparse: implausible chunk nnz %d for %d-elem chunks", c, b)
+		}
+		if c > 0 {
+			stored++
+		}
+	}
+	copy(v.chunkNNZ, chunkNNZ)
+	for i := range v.dir {
+		v.dir[i] = noBlock
+	}
+	if stored > 0 {
+		base := pool.Device().Alloc(name, stored)
+		k := disk.BlockID(0)
+		for i, c := range chunkNNZ {
+			if c > 0 {
+				v.dir[i] = base + k
+				k++
+			}
+			v.nnz += int64(c)
+		}
+	} else {
+		pool.Device().Alloc(name, 0)
+	}
+	return v, nil
+}

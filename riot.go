@@ -375,6 +375,115 @@ func (v *Vector) Values() ([]float64, error) { return v.s.eng.Fetch(v.val, -1) }
 // Sum forces evaluation of the total.
 func (v *Vector) Sum() (float64, error) { return v.s.eng.Sum(v.val) }
 
+// sparseEng returns the session engine's sparse capability, if any.
+func (s *Session) sparseEng() (engine.SparseEngine, bool) {
+	se, ok := s.eng.(engine.SparseEngine)
+	return se, ok
+}
+
+// Sparse forces the vector and returns a handle backed by
+// tile-compressed sparse storage: all-zero chunks occupy no blocks, and
+// downstream pipelines skip ranges the zero-propagation rules prove
+// empty. On backends without a sparse array kind it is the identity.
+func (v *Vector) Sparse() (*Vector, error) {
+	se, ok := v.s.sparseEng()
+	if !ok {
+		return v, nil
+	}
+	return v.lift(se.ToSparse(v.val))
+}
+
+// Dense converts a sparse vector handle back to dense tiles (identity
+// for dense handles and kind-free backends).
+func (v *Vector) Dense() (*Vector, error) {
+	se, ok := v.s.sparseEng()
+	if !ok {
+		return v, nil
+	}
+	return v.lift(se.ToDense(v.val))
+}
+
+// NNZ forces the vector and returns its nonzero count — answered from
+// the sparse directory, without I/O, for sparse handles.
+func (v *Vector) NNZ() (int64, error) {
+	if se, ok := v.s.sparseEng(); ok {
+		return se.NNZ(v.val)
+	}
+	vals, err := v.Values()
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, x := range vals {
+		if x != 0 {
+			n++
+		}
+	}
+	return n, nil
+}
+
+func (m *Matrix) lift(val engine.Value, err error) (*Matrix, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix{s: m.s, val: val}, nil
+}
+
+// Sparse forces the matrix and returns a tile-compressed sparse handle:
+// all-zero tiles occupy no blocks, multiplies dispatch to tile-skipping
+// sparse kernels, and publishing keeps the compressed form. Identity on
+// backends without a sparse array kind.
+func (m *Matrix) Sparse() (*Matrix, error) {
+	se, ok := m.s.sparseEng()
+	if !ok {
+		return m, nil
+	}
+	return m.lift(se.ToSparse(m.val))
+}
+
+// Dense converts a sparse matrix handle back to dense tiles (identity
+// for dense handles and kind-free backends).
+func (m *Matrix) Dense() (*Matrix, error) {
+	se, ok := m.s.sparseEng()
+	if !ok {
+		return m, nil
+	}
+	return m.lift(se.ToDense(m.val))
+}
+
+// NNZ forces the matrix and returns its nonzero count — free for sparse
+// handles, a full scan for dense ones.
+func (m *Matrix) NNZ() (int64, error) {
+	if se, ok := m.s.sparseEng(); ok {
+		return se.NNZ(m.val)
+	}
+	vals, err := m.Values()
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, x := range vals {
+		if x != 0 {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Force evaluates the deferred matrix expression end to end, in its
+// natural kind, without fetching any elements, then discards the
+// result — the way to measure a kernel's I/O without billing a result
+// scan to it. Repeated calls re-run the evaluation and do not grow the
+// device. Eager backends have nothing to do beyond a zero-length
+// fetch.
+func (m *Matrix) Force() error {
+	if rt, ok := m.s.eng.(*engine.RIOT); ok {
+		return rt.ForceDiscard(m.val)
+	}
+	_, err := m.s.eng.Fetch(m.val, 0)
+	return err
+}
+
 // Dims returns (rows, cols).
 func (m *Matrix) Dims() (int64, int64) {
 	r, c, _ := m.s.eng.Dims(m.val)
