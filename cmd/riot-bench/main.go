@@ -51,10 +51,13 @@ type Result struct {
 	// BlockReads counts device block reads (sparse ablation rows; 0
 	// elsewhere) — the figure's y-axis.
 	BlockReads int64 `json:"block_reads,omitempty"`
+	// PublishesPerSec is catalog publish throughput against the host
+	// filesystem (WAL ablation rows; 0 elsewhere).
+	PublishesPerSec float64 `json:"publishes_per_sec,omitempty"`
 }
 
 func main() {
-	figure := flag.String("figure", "all", "which experiment: 1, 2, 3a, 3b, validate, workers, readahead, planner, sparse, all")
+	figure := flag.String("figure", "all", "which experiment: 1, 2, 3a, 3b, validate, workers, readahead, planner, sparse, wal, all")
 	paper := flag.Bool("paper", false, "use the paper's full-scale parameters")
 	jsonPath := flag.String("json", "BENCH_results.json", "write machine-readable results to this file (empty to disable)")
 	flag.Parse()
@@ -237,6 +240,23 @@ func main() {
 				Density:    r.Density,
 				BlockReads: r.BlockReads,
 				EstBlocks:  r.EstBlocks,
+			})
+		}
+		return out, nil
+	})
+
+	run("wal", func() ([]Result, error) {
+		rows, err := bench.WALAblation(os.Stdout)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Result, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, Result{
+				Name:            fmt.Sprintf("wal/publish/%s", r.Mode),
+				WallNSPerOp:     r.WallNS / int64(r.Publishes),
+				Workers:         r.Sessions,
+				PublishesPerSec: r.PubPerSec,
 			})
 		}
 		return out, nil

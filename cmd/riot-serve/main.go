@@ -33,11 +33,25 @@ func main() {
 	quota := flag.Int("quota", 0, "per-session pinned-frame quota (0 = pool/4)")
 	maxSessions := flag.Int("max-sessions", 0, "admission bound on concurrent sessions (0 = pool/quota)")
 	readahead := flag.Bool("readahead", false, "enable the I/O scheduler under the shared pool")
+	walMode := flag.String("wal", "always", "write-ahead-log durability: always (fsync'd group commit), interval (timed fsync), off (checkpoint-only)")
 	send := flag.String("send", "", "client mode: statements to send, one request per line ('-' reads stdin)")
 	flag.Parse()
 
 	if *send != "" {
 		os.Exit(clientMain(*addr, *send))
+	}
+
+	var walSync riot.WALSync
+	switch *walMode {
+	case "always":
+		walSync = riot.WALSyncAlways
+	case "interval":
+		walSync = riot.WALSyncInterval
+	case "off":
+		walSync = riot.WALSyncOff
+	default:
+		fmt.Fprintf(os.Stderr, "riot-serve: -wal must be always, interval, or off (got %q)\n", *walMode)
+		os.Exit(2)
 	}
 
 	db, err := riot.Open(*dir, riot.Config{
@@ -47,6 +61,7 @@ func main() {
 		Readahead:     *readahead,
 		SessionFrames: *quota,
 		MaxSessions:   *maxSessions,
+		WALSync:       walSync,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "riot-serve:", err)
@@ -58,8 +73,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "riot-serve:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "riot-serve: listening on %s, dir %s, %d names in catalog, quota %d frames, max %d sessions\n",
-		ln.Addr(), *dir, len(db.Names()), db.SessionQuota(), db.MaxSessions())
+	fmt.Fprintf(os.Stderr, "riot-serve: listening on %s, dir %s, %d names in catalog, quota %d frames, max %d sessions, wal %s\n",
+		ln.Addr(), *dir, len(db.Names()), db.SessionQuota(), db.MaxSessions(), *walMode)
+	if st, on := db.WALStats(); on && st.Replayed > 0 {
+		fmt.Fprintf(os.Stderr, "riot-serve: recovered %d WAL records past the last checkpoint\n", st.Replayed)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

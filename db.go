@@ -1,6 +1,7 @@
 package riot
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"riot/internal/catalog"
 	"riot/internal/disk"
 	"riot/internal/engine"
+	"riot/internal/wal"
 )
 
 // DB is a durable, multi-session RIOT database: one simulated device and
@@ -99,7 +101,16 @@ func Open(dir string, cfg Config) (*DB, error) {
 			maxSess = 1
 		}
 	}
-	cat, err := catalog.Open(dir, pool)
+	opts := catalog.Options{FlushInterval: cfg.WALFlushInterval}
+	switch cfg.WALSync {
+	case WALSyncInterval:
+		opts.WAL = catalog.WALInterval
+	case WALSyncOff:
+		opts.WAL = catalog.WALOff
+	default:
+		opts.WAL = catalog.WALAlways
+	}
+	cat, err := catalog.OpenWith(dir, pool, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -230,23 +241,32 @@ func (db *DB) reclaimLocked() {
 }
 
 // Checkpoint persists the catalog to the directory (atomic write-then-
-// rename). Safe to call while sessions are running.
+// rename, incremental when the WAL is on). Safe to call while sessions
+// are running.
 func (db *DB) Checkpoint() error { return db.cat.Checkpoint() }
 
+// WALStats returns a snapshot of the write-ahead log's counters and
+// whether a WAL is active (false under WALSyncOff).
+func (db *DB) WALStats() (wal.Stats, bool) { return db.cat.WALStats() }
+
 // Close checkpoints the catalog and shuts the database. Every session
-// must be closed first; Close refuses otherwise, because tearing the
-// shared pool out from under a running session is never recoverable.
-// Close is idempotent.
+// must be closed first: with sessions still open, Close checkpoints the
+// catalog anyway (so published state is not left silently stale) but
+// refuses to tear down the shared pool, returning an error that names
+// the open-session count — joined with the checkpoint error if that
+// failed too. Close is idempotent.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
 		return nil
 	}
-	if len(db.active) > 0 {
-		n := len(db.active)
+	if n := len(db.active); n > 0 {
 		db.mu.Unlock()
-		return fmt.Errorf("riot: Close with %d open sessions", n)
+		return errors.Join(
+			fmt.Errorf("riot: Close with %d open sessions", n),
+			db.cat.Checkpoint(),
+		)
 	}
 	db.closed = true
 	db.admit.Broadcast()

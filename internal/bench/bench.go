@@ -8,11 +8,13 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"riot/internal/algebra"
 	"riot/internal/array"
 	"riot/internal/buffer"
+	"riot/internal/catalog"
 	"riot/internal/costmodel"
 	"riot/internal/disk"
 	"riot/internal/engine"
@@ -943,4 +945,116 @@ func SparseAblation(w io.Writer) ([]SparseRow, error) {
 		}
 	}
 	return rows, nil
+}
+
+// WALRow is one write-ahead-log ablation measurement: concurrent
+// sessions publishing named vectors under one durability mode.
+type WALRow struct {
+	Mode        string // "off", "interval", "always"
+	Sessions    int
+	Publishes   int
+	WallNS      int64
+	PubPerSec   float64
+	Fsyncs      int64 // log fsyncs over the whole run (0 when off)
+	GroupedAcks int64 // acks satisfied by a shared flush (0 when off)
+}
+
+// WALAblation measures what durability costs: N concurrent publishers
+// against one catalog with the WAL off (checkpoint-only, the seed
+// behavior), on a flush interval, and on fsync-per-commit. The always
+// row is the honest price of crash safety; when the host filesystem's
+// fsync is slower than a publish (any real disk), its fsync count drops
+// below its publish count — the group commit batching concurrent
+// sessions' appends into shared flushes. Host-filesystem wall-clock,
+// not simulated time: the WAL writes real files, and the simulated
+// device counters are identical in every mode by design.
+func WALAblation(w io.Writer) ([]WALRow, error) {
+	const blockElems = 256
+	const frames = 512
+	const vecLen = 2048 // 8 blocks of payload per publish
+	const sessions = 4
+	const perSession = 40
+	fmt.Fprintf(w, "wal ablation: %d sessions × %d publishes of %d-element vectors\n",
+		sessions, perSession, vecLen)
+	fmt.Fprintf(w, "%-10s %12s %12s %12s %14s\n", "mode", "publishes", "pub/s", "fsyncs", "grouped acks")
+
+	modes := []struct {
+		name string
+		mode catalog.WALMode
+	}{
+		{"off", catalog.WALOff},
+		{"interval", catalog.WALInterval},
+		{"always", catalog.WALAlways},
+	}
+	var rows []WALRow
+	for _, m := range modes {
+		dir, err := os.MkdirTemp("", "riot-walbench-*")
+		if err != nil {
+			return nil, err
+		}
+		row, err := walAblationRun(dir, m.name, m.mode, blockElems, frames, vecLen, sessions, perSession)
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "%-10s %12d %12.0f %12d %14d\n",
+			row.Mode, row.Publishes, row.PubPerSec, row.Fsyncs, row.GroupedAcks)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// walAblationRun times one durability mode end to end.
+func walAblationRun(dir, name string, mode catalog.WALMode, blockElems, frames int, vecLen int64, sessions, perSession int) (WALRow, error) {
+	pool := buffer.NewSharded(disk.NewDevice(blockElems), frames, sessions)
+	cat, err := catalog.OpenWith(dir, pool, catalog.Options{WAL: mode})
+	if err != nil {
+		return WALRow{}, err
+	}
+	// One source vector per session, built before the clock starts: the
+	// measured loop is publishing, not filling.
+	srcs := make([]*array.Vector, sessions)
+	for s := range srcs {
+		v, err := array.NewVector(pool, fmt.Sprintf("src%d", s), vecLen)
+		if err != nil {
+			return WALRow{}, err
+		}
+		if err := v.Fill(func(i int64) float64 { return float64(s)*1e6 + float64(i) }); err != nil {
+			return WALRow{}, err
+		}
+		srcs[s] = v
+	}
+	start := time.Now()
+	errs := make(chan error, sessions)
+	for s := 0; s < sessions; s++ {
+		go func(s int) {
+			for i := 0; i < perSession; i++ {
+				if _, err := cat.PutVector(fmt.Sprintf("s%d-x%04d", s, i), srcs[s]); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(s)
+	}
+	for s := 0; s < sessions; s++ {
+		if err := <-errs; err != nil {
+			return WALRow{}, err
+		}
+	}
+	wall := time.Since(start).Nanoseconds()
+	row := WALRow{
+		Mode:      name,
+		Sessions:  sessions,
+		Publishes: sessions * perSession,
+		WallNS:    wall,
+		PubPerSec: float64(sessions*perSession) / (float64(wall) / 1e9),
+	}
+	if st, on := cat.WALStats(); on {
+		row.Fsyncs, row.GroupedAcks = st.Fsyncs, st.GroupedAcks
+	}
+	if err := cat.Close(); err != nil {
+		return WALRow{}, err
+	}
+	return row, nil
 }

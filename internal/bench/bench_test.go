@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"io"
 	"strings"
 	"testing"
 )
@@ -137,5 +138,38 @@ func TestPlannerEstimatesWithinFactor(t *testing.T) {
 		if c > h {
 			t.Errorf("%s: cost-based measured %d blocks, worse than heuristic's %d", wl, c, h)
 		}
+	}
+}
+
+func TestWALAblationShapes(t *testing.T) {
+	rows, err := WALAblation(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3 (off/interval/always)", len(rows))
+	}
+	for _, r := range rows {
+		if r.PubPerSec <= 0 {
+			t.Fatalf("%s: publishes/sec = %g", r.Mode, r.PubPerSec)
+		}
+	}
+	off, always := rows[0], rows[2]
+	if off.Fsyncs != 0 || off.GroupedAcks != 0 {
+		t.Fatalf("off mode recorded WAL activity: %+v", off)
+	}
+	if always.Fsyncs == 0 {
+		t.Fatal("always mode never fsynced")
+	}
+	// Every ack must have gone through a group flush. How much the
+	// flushes batch depends on the host filesystem's fsync latency, so
+	// the deterministic batching assertion lives in the wal package
+	// tests; here we only require the flusher never exceeds one fsync
+	// per publish.
+	if always.GroupedAcks != int64(always.Publishes) {
+		t.Fatalf("grouped acks = %d, want %d", always.GroupedAcks, always.Publishes)
+	}
+	if always.Fsyncs > int64(always.Publishes) {
+		t.Fatalf("%d fsyncs for %d publishes", always.Fsyncs, always.Publishes)
 	}
 }

@@ -539,6 +539,34 @@ func (p *Pool) PinNew(id disk.BlockID) (*Frame, error) {
 	return p.viewPin(id, true)
 }
 
+// Export copies block id's current contents — the resident frame if one
+// exists (dirty frames included), the device otherwise — into dst
+// without pinning, without charging any session quota, and without
+// recording any simulated I/O. It is the durability capture path: the
+// catalog's checkpoint and WAL serialize array blocks to the host
+// filesystem, a different device from the simulated disk the paper's
+// experiments measure, so the copy must not perturb the counters, the
+// pool statistics, or the LRU. Callers must not Export blocks another
+// goroutine may still be writing; catalog entries are immutable once
+// published, which is what makes this safe there.
+func (p *Pool) Export(id disk.BlockID, dst []float64) error {
+	if len(dst) != p.core.dev.BlockElems() {
+		return fmt.Errorf("buffer: export buffer has %d elems, want %d", len(dst), p.core.dev.BlockElems())
+	}
+	s := p.core.shardOf(id)
+	s.mu.Lock()
+	f := s.frames[id]
+	s.mu.Unlock()
+	if f != nil {
+		<-f.ready // an in-flight prefetch load settles first
+		if f.loadErr == nil {
+			copy(dst, f.Data)
+			return nil
+		}
+	}
+	return p.core.dev.Export(id, dst)
+}
+
 // viewPin charges the view's account (if any) before delegating to the
 // shared core, and refunds the charge when the pin fails.
 func (p *Pool) viewPin(id disk.BlockID, fresh bool) (*Frame, error) {

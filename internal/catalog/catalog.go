@@ -8,9 +8,28 @@
 // are copied into catalog-owned extents on the device (so they survive
 // the publishing session), and Checkpoint serializes every entry —
 // metadata page plus raw tile payloads — into the directory with an
-// atomic write-then-rename. Opening the same directory later replays
-// the file into a fresh device, so a new process sees the same named
-// arrays with identical values.
+// atomic write-then-rename (followed by a directory fsync, so the
+// rename itself survives a crash). Opening the same directory later
+// replays the file into a fresh device, so a new process sees the same
+// named arrays with identical values.
+//
+// # Write-ahead logging
+//
+// Checkpoints alone lose everything published since the last explicit
+// Checkpoint call. OpenWith an Options.WAL mode other than WALOff adds
+// a write-ahead log (internal/wal) underneath the catalog: every
+// publish appends a framed, CRC-checked record carrying the entry's
+// full payload, every delete appends its name, and — in WALAlways mode
+// — the publish is acknowledged only after an fsync'd group flush.
+// Open replays the log over the last checkpoint: records at or below
+// the checkpoint's durable LSN are skipped (idempotent replay), torn
+// tails are truncated by checksum, and every acknowledged commit
+// survives a crash at any point, kill -9 included.
+//
+// With a WAL the checkpoint becomes incremental: only entries dirty
+// since the last checkpoint serialize their payloads (into an immutable
+// segment file); clean entries reference the segment that already holds
+// them. A successful checkpoint rotates the WAL down to an empty log.
 //
 // Publishing is last-writer-wins: a Put under the catalog lock replaces
 // the table entry in one step, and readers that already hold the old
@@ -18,9 +37,10 @@
 // freed, until Close). All methods are safe for concurrent use by many
 // sessions.
 //
-// # On-disk format
+// # On-disk formats
 //
-// One file, catalog.riot, little-endian:
+// Checkpoint-only catalogs (WALOff) write one file, catalog.riot,
+// little-endian, exactly as every version of this package has:
 //
 //	[8]byte  magic "RIOTCAT1"
 //	uint32   block size in float64 elements (must match the device)
@@ -38,14 +58,23 @@
 //	    sparse kinds store only their non-empty tiles' payloads, in
 //	    row-major tile order
 //
-// The format is versioned by its magic; a file whose magic or block
-// size does not match is rejected rather than guessed at. Sparse
-// entries restore with their directories intact, so an all-zero tile
-// still costs no block after a restart.
+// WAL-backed catalogs write catalog.riot as a manifest ("RIOTCAT2"):
+// the same per-entry metadata plus the entry's publish LSN and a
+// (segment generation, byte offset) reference into an immutable payload
+// segment file catalog.seg-<gen>.riot ("RIOTSEG1" header, then raw
+// block payloads). The manifest header carries the WAL LSN the
+// checkpoint covers and the segment generation counter. wal.riot is the
+// log itself (see internal/wal for its format).
+//
+// Both formats are versioned by magic; a file whose magic or block size
+// does not match is rejected rather than guessed at. Sparse entries
+// restore with their directories intact, so an all-zero tile still
+// costs no block after a restart.
 package catalog
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -53,19 +82,43 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"riot/internal/array"
 	"riot/internal/buffer"
 	"riot/internal/disk"
 	"riot/internal/sparse"
+	"riot/internal/wal"
 )
 
-// Magic identifies a catalog file (and its format version).
+// Magic identifies a checkpoint-only catalog file (format version 1).
 const Magic = "RIOTCAT1"
 
-// FileName is the catalog file inside the directory.
+// MagicV2 identifies a WAL-backed catalog manifest whose entry payloads
+// live in segment files.
+const MagicV2 = "RIOTCAT2"
+
+// SegMagic identifies a payload segment file.
+const SegMagic = "RIOTSEG1"
+
+// FileName is the catalog (or manifest) file inside the directory.
 const FileName = "catalog.riot"
+
+// segPrefix and segSuffix bracket the generation number in a segment
+// file's name.
+const (
+	segPrefix = "catalog.seg-"
+	segSuffix = ".riot"
+)
+
+// segFileName returns the payload segment file for one checkpoint
+// generation.
+func segFileName(gen uint64) string {
+	return segPrefix + strconv.FormatUint(gen, 10) + segSuffix
+}
 
 // Kind distinguishes stored vectors from stored matrices.
 type Kind uint8
@@ -78,6 +131,34 @@ const (
 	KindSparseVector Kind = 3
 )
 
+// WALMode selects the catalog's write-ahead-log durability mode.
+type WALMode int
+
+// WAL modes.
+const (
+	// WALOff keeps the catalog checkpoint-only: no log file, the
+	// legacy RIOTCAT1 checkpoint format, behavior identical to the
+	// pre-WAL engine.
+	WALOff WALMode = iota
+	// WALAlways acknowledges each publish after an fsync'd group
+	// flush: acknowledged commits survive kill -9.
+	WALAlways
+	// WALInterval acknowledges publishes immediately and fsyncs the
+	// log on a background timer (loss window = the flush interval).
+	WALInterval
+)
+
+// Options configure OpenWith beyond the directory and pool.
+type Options struct {
+	// WAL selects the durability mode (default WALOff: checkpoint-only,
+	// the seed behavior).
+	WAL WALMode
+	// FlushInterval is WALInterval's fsync period (default 50ms).
+	FlushInterval time.Duration
+	// WALInjector intercepts WAL appends for fault-injection tests.
+	WALInjector wal.Injector
+}
+
 // Entry is one named array in the catalog. Exactly one of Vec, Mat,
 // SMat, and SVec is non-nil, per Kind. Entries are immutable once
 // published: a new Put under the same name creates a new Entry rather
@@ -88,10 +169,22 @@ type Entry struct {
 	Name    string
 	Kind    Kind
 	Version int64
-	Vec     *array.Vector
-	Mat     *array.Matrix
-	SMat    *sparse.Matrix
-	SVec    *sparse.Vector
+	// LSN is the WAL sequence number that committed this entry (0 when
+	// the catalog runs without a WAL, or for entries restored from a
+	// pre-WAL checkpoint). Replay uses it for idempotency: records at
+	// or below a checkpoint's durable LSN are never re-applied.
+	LSN  uint64
+	Vec  *array.Vector
+	Mat  *array.Matrix
+	SMat *sparse.Matrix
+	SVec *sparse.Vector
+
+	// segGen/segOff locate the entry's payload in a checkpoint segment
+	// file; segGen 0 means the payload has no durable segment yet (the
+	// entry is dirty and the next incremental checkpoint writes it).
+	// Guarded by the catalog lock.
+	segGen uint64
+	segOff int64
 }
 
 // Rows returns the row count (the length for vectors).
@@ -133,6 +226,13 @@ type Catalog struct {
 	retired  []*Entry
 	onRetire func(*Entry)
 	version  int64
+	gen      uint64 // checkpoint segment generation counter
+
+	log *wal.Log // nil when WALOff
+	// staleWAL marks a WAL (and segments) left by an earlier WAL-mode
+	// process that this WALOff catalog replayed on open; the next full
+	// checkpoint captures their contents and removes them.
+	staleWAL bool
 }
 
 // SetOnRetire hands superseded and deleted entries to fn instead of the
@@ -160,33 +260,139 @@ func (e *Entry) FreeStorage() {
 	}
 }
 
-// Open binds dir to the pool's device, loading the catalog file if one
-// exists (restoring every named array into fresh extents) and creating
-// the directory otherwise. pool should be the root (unmetered) view of
-// the shared pool: catalog storage belongs to the system, not to any
-// session's quota.
+// Open binds dir to the pool's device with the default options
+// (checkpoint-only, no WAL) — the seed engine's behavior, byte for
+// byte. See OpenWith.
 func Open(dir string, pool *buffer.Pool) (*Catalog, error) {
+	return OpenWith(dir, pool, Options{})
+}
+
+// OpenWith binds dir to the pool's device, loading the catalog file if
+// one exists (restoring every named array into fresh extents), creating
+// the directory otherwise, and — when a WAL mode is selected — opening
+// the log and replaying every record past the checkpoint's durable LSN,
+// so acknowledged publishes from a crashed process are visible
+// immediately. pool should be the root (unmetered) view of the shared
+// pool: catalog storage belongs to the system, not to any session's
+// quota.
+func OpenWith(dir string, pool *buffer.Pool, opts Options) (*Catalog, error) {
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, fmt.Errorf("catalog: %w", err)
 	}
 	c := &Catalog{dir: dir, pool: pool.Root(), entries: make(map[string]*Entry)}
 	path := filepath.Join(dir, FileName)
+	checkLSN := uint64(0)
 	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return c, nil
-	}
-	if err != nil {
+	switch {
+	case os.IsNotExist(err):
+		// Fresh directory: nothing to load.
+	case err != nil:
 		return nil, fmt.Errorf("catalog: %w", err)
+	default:
+		checkLSN, err = c.load(bufio.NewReaderSize(f, 1<<20))
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("catalog: loading %s: %w", path, err)
+		}
 	}
-	defer f.Close()
-	if err := c.load(bufio.NewReaderSize(f, 1<<20)); err != nil {
-		return nil, fmt.Errorf("catalog: loading %s: %w", path, err)
+	if err := c.openWAL(opts, checkLSN); err != nil {
+		return nil, err
 	}
 	return c, nil
 }
 
+// openWAL opens (or, for WALOff over a directory that has one, drains)
+// the write-ahead log and replays records past checkLSN.
+func (c *Catalog) openWAL(opts Options, checkLSN uint64) error {
+	walPath := filepath.Join(c.dir, wal.FileName)
+	if opts.WAL == WALOff {
+		// A WAL left by an earlier WAL-mode process still holds
+		// acknowledged commits; replay it so they are not silently
+		// dropped, then leave the file in place until a successful full
+		// checkpoint has captured its contents.
+		if _, err := os.Stat(walPath); os.IsNotExist(err) {
+			return nil
+		}
+		l, recs, err := wal.Open(walPath, wal.Options{})
+		if err != nil {
+			return fmt.Errorf("catalog: %w", err)
+		}
+		if err := c.replay(recs, checkLSN); err != nil {
+			l.Close()
+			return err
+		}
+		c.staleWAL = true
+		return l.Close()
+	}
+	mode := wal.ModeAlways
+	if opts.WAL == WALInterval {
+		mode = wal.ModeInterval
+	}
+	l, recs, err := wal.Open(walPath, wal.Options{
+		Mode:     mode,
+		Interval: opts.FlushInterval,
+		Injector: opts.WALInjector,
+	})
+	if err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if err := c.replay(recs, checkLSN); err != nil {
+		l.Close()
+		return err
+	}
+	c.log = l
+	return nil
+}
+
+// replay applies WAL records newer than the checkpoint's durable LSN.
+// Records at or below it are duplicates of state the checkpoint already
+// holds and are skipped — that is what makes replay idempotent.
+func (c *Catalog) replay(recs []wal.Record, checkLSN uint64) error {
+	if len(recs) > 0 && recs[0].LSN > checkLSN+1 {
+		return fmt.Errorf("catalog: WAL begins at LSN %d but the checkpoint covers only LSN %d: records were lost",
+			recs[0].LSN, checkLSN)
+	}
+	for _, rec := range recs {
+		if rec.LSN <= checkLSN {
+			continue
+		}
+		switch rec.Type {
+		case wal.RecPublish:
+			e, err := c.decodePublish(rec.Payload)
+			if err != nil {
+				return fmt.Errorf("catalog: replaying WAL record %d: %w", rec.LSN, err)
+			}
+			e.LSN = rec.LSN
+			// No session can hold a handle during open, so a replayed
+			// supersede frees the old version on the spot.
+			if old, ok := c.entries[e.Name]; ok {
+				old.FreeStorage()
+			}
+			c.entries[e.Name] = e
+		case wal.RecDelete:
+			name := string(rec.Payload)
+			if old, ok := c.entries[name]; ok {
+				old.FreeStorage()
+				delete(c.entries, name)
+			}
+		default:
+			return fmt.Errorf("catalog: WAL record %d has unknown type %d", rec.LSN, rec.Type)
+		}
+	}
+	return nil
+}
+
 // Dir returns the directory the catalog persists into.
 func (c *Catalog) Dir() string { return c.dir }
+
+// WALStats returns a snapshot of the write-ahead log's counters and
+// whether a WAL is active.
+func (c *Catalog) WALStats() (wal.Stats, bool) {
+	if c.log == nil {
+		return wal.Stats{}, false
+	}
+	return c.log.Stats(), true
+}
 
 // Len returns the number of named entries.
 func (c *Catalog) Len() int {
@@ -226,22 +432,25 @@ func (c *Catalog) owner(name string, version int64) string {
 // PutVector publishes a copy of src under name, replacing any previous
 // entry (last-writer-wins). The copy lives in catalog-owned storage on
 // the same device, so it outlives the session that built src. The new
-// entry is returned.
+// entry is returned. With a WAL, the publish is appended to the log and
+// — in WALAlways mode — acknowledged only after an fsync'd group flush;
+// an error from that wait means the publish is visible to this process
+// but its durability is unknown, and callers should treat it as failed.
 func (c *Catalog) PutVector(name string, src *array.Vector) (*Entry, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.version++
 	dst, err := array.NewVector(c.pool, c.owner(name, c.version), src.Len())
 	if err != nil {
+		c.mu.Unlock()
 		return nil, err
 	}
 	if err := c.copyBlocks(src.BaseBlock(), dst.BaseBlock(), src.Blocks()); err != nil {
 		dst.Free()
+		c.mu.Unlock()
 		return nil, err
 	}
 	e := &Entry{Name: name, Kind: KindVector, Version: c.version, Vec: dst}
-	c.replace(e)
-	return e, nil
+	return c.commit(e)
 }
 
 // PutMatrix publishes a copy of src under name (see PutVector). The copy
@@ -249,20 +458,20 @@ func (c *Catalog) PutVector(name string, src *array.Vector) (*Entry, error) {
 // value-level copy.
 func (c *Catalog) PutMatrix(name string, src *array.Matrix) (*Entry, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.version++
 	dst, err := array.NewMatrix(c.pool, c.owner(name, c.version), src.Rows(), src.Cols(),
 		array.Options{Shape: src.Shape(), Lin: src.Lin()})
 	if err != nil {
+		c.mu.Unlock()
 		return nil, err
 	}
 	if err := c.copyBlocks(src.BaseBlock(), dst.BaseBlock(), src.Blocks()); err != nil {
 		dst.Free()
+		c.mu.Unlock()
 		return nil, err
 	}
 	e := &Entry{Name: name, Kind: KindMatrix, Version: c.version, Mat: dst}
-	c.replace(e)
-	return e, nil
+	return c.commit(e)
 }
 
 // PutSparseMatrix publishes a copy of src under name (see PutVector).
@@ -270,28 +479,56 @@ func (c *Catalog) PutMatrix(name string, src *array.Matrix) (*Entry, error) {
 // with its non-empty blocks in one contiguous catalog-owned extent.
 func (c *Catalog) PutSparseMatrix(name string, src *sparse.Matrix) (*Entry, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.version++
 	dst, err := sparse.Clone(c.pool, c.owner(name, c.version), src)
 	if err != nil {
+		c.mu.Unlock()
 		return nil, err
 	}
 	e := &Entry{Name: name, Kind: KindSparseMatrix, Version: c.version, SMat: dst}
-	c.replace(e)
-	return e, nil
+	return c.commit(e)
 }
 
 // PutSparseVector publishes a copy of src under name (see PutVector).
 func (c *Catalog) PutSparseVector(name string, src *sparse.Vector) (*Entry, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.version++
 	dst, err := sparse.CloneVector(c.pool, c.owner(name, c.version), src)
 	if err != nil {
+		c.mu.Unlock()
 		return nil, err
 	}
 	e := &Entry{Name: name, Kind: KindSparseVector, Version: c.version, SVec: dst}
+	return c.commit(e)
+}
+
+// commit logs the fully-written entry to the WAL (when one is active),
+// installs it in the table, releases the catalog lock, and waits out
+// the durability mode. Callers hold c.mu on entry; commit owns the
+// unlock so the fsync wait never blocks other publishers — that is what
+// lets the flusher batch concurrent sessions into one group commit.
+func (c *Catalog) commit(e *Entry) (*Entry, error) {
+	var ack func() error
+	if c.log != nil {
+		payload, err := c.encodePublish(e)
+		if err == nil {
+			var lsn uint64
+			lsn, ack, err = c.log.Append(wal.RecPublish, payload)
+			e.LSN = lsn
+		}
+		if err != nil {
+			e.FreeStorage()
+			c.mu.Unlock()
+			return nil, fmt.Errorf("catalog: logging publish of %q: %w", e.Name, err)
+		}
+	}
 	c.replace(e)
+	c.mu.Unlock()
+	if ack != nil {
+		if err := ack(); err != nil {
+			return e, fmt.Errorf("catalog: publish of %q logged but not durable: %w", e.Name, err)
+		}
+	}
 	return e, nil
 }
 
@@ -314,17 +551,34 @@ func (c *Catalog) retire(old *Entry) {
 	c.retired = append(c.retired, old)
 }
 
-// Delete removes name from the catalog, retiring its storage. It
-// reports whether the name existed.
-func (c *Catalog) Delete(name string) bool {
+// Delete removes name from the catalog, retiring its storage, and
+// reports whether the name existed. With a WAL the delete is logged
+// (and, in WALAlways mode, fsync'd) like a publish, so a deleted name
+// stays deleted across a crash.
+func (c *Catalog) Delete(name string) (bool, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	old, ok := c.entries[name]
-	if ok {
-		c.retire(old)
-		delete(c.entries, name)
+	if !ok {
+		c.mu.Unlock()
+		return false, nil
 	}
-	return ok
+	var ack func() error
+	if c.log != nil {
+		var err error
+		if _, ack, err = c.log.Append(wal.RecDelete, []byte(name)); err != nil {
+			c.mu.Unlock()
+			return false, fmt.Errorf("catalog: logging delete of %q: %w", name, err)
+		}
+	}
+	c.retire(old)
+	delete(c.entries, name)
+	c.mu.Unlock()
+	if ack != nil {
+		if err := ack(); err != nil {
+			return true, fmt.Errorf("catalog: delete of %q logged but not durable: %w", name, err)
+		}
+	}
+	return true, nil
 }
 
 // copyBlocks copies n blocks between two same-geometry extents through
@@ -350,15 +604,32 @@ func (c *Catalog) copyBlocks(srcBase, dstBase disk.BlockID, n int) error {
 	return nil
 }
 
-// Checkpoint serializes the catalog — metadata and every entry's block
-// payloads — into the directory, atomically (write to a temporary file,
-// then rename over the old catalog). The writes go to the host
-// filesystem, a different device from the simulated disk, so they do not
-// perturb the I/O counters; current block contents are read through the
-// buffer pool, so dirty frames are captured without a pool-wide flush.
+// Checkpoint persists the catalog into the directory atomically (write
+// to a temporary file, rename over the old catalog, fsync the directory
+// so the rename survives a crash). Without a WAL it serializes every
+// entry's payload into one RIOTCAT1 file, exactly as the pre-WAL engine
+// did. With a WAL the checkpoint is incremental: only entries published
+// since the last checkpoint write their payloads (into a fresh
+// immutable segment file); clean entries are referenced where they
+// already are, the manifest records the WAL LSN it covers, and the WAL
+// is rotated down to empty on success. Payload bytes are captured with
+// the pool's uncharged Export — persistence writes to the host
+// filesystem, a different device from the simulated disk, and must not
+// perturb the I/O counters the paper's experiments measure. Safe to
+// call while sessions are running.
 func (c *Catalog) Checkpoint() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.log == nil {
+		return c.checkpointFull()
+	}
+	return c.checkpointIncremental()
+}
+
+// checkpointFull writes the legacy single-file RIOTCAT1 checkpoint.
+// After it lands, any WAL and segment files left by an earlier WAL-mode
+// process are fully captured and removed. Callers hold c.mu.
+func (c *Catalog) checkpointFull() error {
 	tmp, err := os.CreateTemp(c.dir, FileName+".tmp*")
 	if err != nil {
 		return fmt.Errorf("catalog: %w", err)
@@ -383,14 +654,217 @@ func (c *Catalog) Checkpoint() error {
 	if err := os.Rename(tmp.Name(), filepath.Join(c.dir, FileName)); err != nil {
 		return fmt.Errorf("catalog: %w", err)
 	}
+	if err := wal.SyncDir(c.dir); err != nil {
+		return err
+	}
+	if c.staleWAL {
+		// The checkpoint now holds everything the drained WAL did.
+		os.Remove(filepath.Join(c.dir, wal.FileName))
+		c.removeSegmentsExcept(nil)
+		c.staleWAL = false
+		return wal.SyncDir(c.dir)
+	}
 	return nil
 }
 
-// Close checkpoints the catalog and frees retired storage. After Close
-// the catalog must not be used. Entries' storage stays on the device:
-// the device dies with the process, the file is what persists.
+// checkpointIncremental writes dirty payloads to a new segment file,
+// then the RIOTCAT2 manifest, then rotates the WAL. Callers hold c.mu.
+func (c *Catalog) checkpointIncremental() error {
+	durable := c.log.LastLSN()
+	gen := c.gen + 1
+	var dirty []*Entry
+	for _, e := range c.entries {
+		if e.segGen == 0 {
+			dirty = append(dirty, e)
+		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].Name < dirty[j].Name })
+	if len(dirty) > 0 {
+		if err := c.writeSegment(gen, dirty); err != nil {
+			return err
+		}
+	}
+	if err := c.writeManifest(durable, gen); err != nil {
+		return err
+	}
+	c.gen = gen
+	// Everything the manifest references is durable; drop segment files
+	// no entry points at any more, then empty the log.
+	referenced := make(map[uint64]bool, len(c.entries))
+	for _, e := range c.entries {
+		referenced[e.segGen] = true
+	}
+	c.removeSegmentsExcept(referenced)
+	return c.log.Rotate(durable)
+}
+
+// writeSegment persists the dirty entries' payloads into the gen
+// segment file (tmp, fsync, rename, dir fsync) and stamps their
+// segment references. Callers hold c.mu.
+func (c *Catalog) writeSegment(gen uint64, dirty []*Entry) error {
+	tmp, err := os.CreateTemp(c.dir, segFileName(gen)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriterSize(tmp, 1<<20)
+	if _, err := w.Write([]byte(SegMagic)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("catalog: %w", err)
+	}
+	blockElems := c.pool.Device().BlockElems()
+	if err := writeU32(w, uint32(blockElems)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("catalog: %w", err)
+	}
+	off := int64(len(SegMagic) + 4)
+	offsets := make([]int64, len(dirty))
+	buf := make([]byte, blockElems*8)
+	for i, e := range dirty {
+		offsets[i] = off
+		we, err := describeEntry(e)
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("catalog: entry %q: %w", e.Name, err)
+		}
+		if err := c.writePayload(w, we.ids, buf); err != nil {
+			tmp.Close()
+			return fmt.Errorf("catalog: entry %q: %w", e.Name, err)
+		}
+		off += int64(len(we.ids)) * int64(blockElems) * 8
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(c.dir, segFileName(gen))); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if err := wal.SyncDir(c.dir); err != nil {
+		return err
+	}
+	// Only after the segment is durably in place do the entries point
+	// at it; a crash before this line leaves them dirty and the WAL
+	// still authoritative.
+	for i, e := range dirty {
+		e.segGen, e.segOff = gen, offsets[i]
+	}
+	return nil
+}
+
+// writeManifest writes the RIOTCAT2 manifest referencing every entry's
+// segment (tmp, fsync, rename, dir fsync). Callers hold c.mu, and every
+// entry has a segment reference.
+func (c *Catalog) writeManifest(durable, gen uint64) error {
+	tmp, err := os.CreateTemp(c.dir, FileName+".tmp*")
+	if err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriterSize(tmp, 1<<20)
+	werr := func() error {
+		if _, err := w.Write([]byte(MagicV2)); err != nil {
+			return err
+		}
+		if err := writeU32(w, uint32(c.pool.Device().BlockElems())); err != nil {
+			return err
+		}
+		if err := writeU64(w, durable); err != nil {
+			return err
+		}
+		if err := writeU64(w, gen); err != nil {
+			return err
+		}
+		if err := writeU32(w, uint32(len(c.entries))); err != nil {
+			return err
+		}
+		names := make([]string, 0, len(c.entries))
+		for n := range c.entries {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			e := c.entries[name]
+			we, err := describeEntry(e)
+			if err != nil {
+				return fmt.Errorf("entry %q: %w", name, err)
+			}
+			if err := writeMeta(w, we, 1); err != nil {
+				return fmt.Errorf("entry %q: %w", name, err)
+			}
+			if err := writeU64(w, e.LSN); err != nil {
+				return err
+			}
+			if err := writeU64(w, e.segGen); err != nil {
+				return err
+			}
+			if err := writeU64(w, uint64(e.segOff)); err != nil {
+				return err
+			}
+		}
+		return w.Flush()
+	}()
+	if werr != nil {
+		tmp.Close()
+		return fmt.Errorf("catalog: %w", werr)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(c.dir, FileName)); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	return wal.SyncDir(c.dir)
+}
+
+// removeSegmentsExcept deletes segment files whose generation is not in
+// keep (nil keeps nothing). Removal failures are ignored: an orphan
+// segment wastes disk, never correctness.
+func (c *Catalog) removeSegmentsExcept(keep map[uint64]bool) {
+	names, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	for _, de := range names {
+		name := de.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		gen, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		if !keep[gen] {
+			os.Remove(filepath.Join(c.dir, name))
+		}
+	}
+}
+
+// Close checkpoints the catalog, closes the WAL, and frees retired
+// storage. After Close the catalog must not be used. Entries' storage
+// stays on the device: the device dies with the process, the files are
+// what persist. If the checkpoint fails, the WAL is still closed
+// (flushed, not rotated) so every acknowledged commit remains
+// replayable, and the checkpoint error is returned.
 func (c *Catalog) Close() error {
-	if err := c.Checkpoint(); err != nil {
+	err := c.Checkpoint()
+	if c.log != nil {
+		if werr := c.log.Close(); err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
 		return err
 	}
 	c.mu.Lock()
@@ -404,6 +878,143 @@ func (c *Catalog) Close() error {
 
 // ---- serialization ----
 
+// wireEntry is the serializable description of one entry: its geometry
+// plus the device blocks holding its payload, in file order.
+type wireEntry struct {
+	name       string
+	kind       Kind
+	shape      array.TileShape
+	lin        array.Linearization
+	rows, cols int64
+	ids        []disk.BlockID
+	dir        []int32 // sparse kinds: per-tile (per-chunk) nonzero counts
+}
+
+// describeEntry gathers an entry's wire description.
+func describeEntry(e *Entry) (wireEntry, error) {
+	we := wireEntry{name: e.Name, kind: e.Kind}
+	switch e.Kind {
+	case KindVector:
+		we.rows, we.cols = e.Vec.Len(), 1
+		for k := 0; k < e.Vec.Blocks(); k++ {
+			we.ids = append(we.ids, e.Vec.BaseBlock()+disk.BlockID(k))
+		}
+	case KindMatrix:
+		we.rows, we.cols = e.Mat.Rows(), e.Mat.Cols()
+		we.shape, we.lin = e.Mat.Shape(), e.Mat.Lin()
+		for k := 0; k < e.Mat.Blocks(); k++ {
+			we.ids = append(we.ids, e.Mat.BaseBlock()+disk.BlockID(k))
+		}
+	case KindSparseMatrix:
+		we.rows, we.cols = e.SMat.Rows(), e.SMat.Cols()
+		we.shape, we.lin = e.SMat.Shape(), e.SMat.Lin()
+		we.ids = e.SMat.BlockIDs()
+		we.dir = e.SMat.TileNNZs()
+	case KindSparseVector:
+		we.rows, we.cols = e.SVec.Len(), 1
+		we.ids = e.SVec.BlockIDs()
+		we.dir = e.SVec.ChunkNNZs()
+	default:
+		return we, fmt.Errorf("unknown entry kind %d", e.Kind)
+	}
+	return we, nil
+}
+
+// writeMeta writes one entry's metadata in the shared wire layout (the
+// RIOTCAT1 entry header). flag lands in the byte v1 reserved: 0 means
+// the payload follows inline, 1 means a segment reference follows.
+func writeMeta(w io.Writer, we wireEntry, flag byte) error {
+	if err := writeU32(w, uint32(len(we.name))); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte(we.name)); err != nil {
+		return err
+	}
+	hdr := []byte{byte(we.kind), byte(we.shape), byte(we.lin), flag}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if err := writeI64(w, we.rows); err != nil {
+		return err
+	}
+	if err := writeI64(w, we.cols); err != nil {
+		return err
+	}
+	if err := writeU32(w, uint32(len(we.ids))); err != nil {
+		return err
+	}
+	if we.dir != nil {
+		if err := writeU32(w, uint32(len(we.dir))); err != nil {
+			return err
+		}
+		for _, n := range we.dir {
+			if err := writeU32(w, uint32(n)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePayload captures the blocks' current contents (resident frames
+// included, via the pool's uncharged Export) and writes them to w.
+func (c *Catalog) writePayload(w io.Writer, ids []disk.BlockID, buf []byte) error {
+	block := make([]float64, c.pool.Device().BlockElems())
+	for _, id := range ids {
+		if err := c.pool.Export(id, block); err != nil {
+			return err
+		}
+		for i, v := range block {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encodePublish serializes an entry — metadata plus inline payload, the
+// RIOTCAT1 entry layout — into a WAL record body. Callers hold c.mu.
+func (c *Catalog) encodePublish(e *Entry) ([]byte, error) {
+	we, err := describeEntry(e)
+	if err != nil {
+		return nil, err
+	}
+	blockElems := c.pool.Device().BlockElems()
+	var b bytes.Buffer
+	b.Grow(64 + len(we.ids)*blockElems*8)
+	if err := writeMeta(&b, we, 0); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, blockElems*8)
+	if err := c.writePayload(&b, we.ids, buf); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// decodePublish restores an entry from a WAL record body (metadata plus
+// inline payload) into fresh catalog-owned storage.
+func (c *Catalog) decodePublish(payload []byte) (*Entry, error) {
+	r := bytes.NewReader(payload)
+	m, err := c.readMeta(r)
+	if err != nil {
+		return nil, err
+	}
+	e, ids, err := c.allocEntry(m)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.importPayload(r, e.Name, ids); err != nil {
+		e.FreeStorage()
+		return nil, err
+	}
+	return e, nil
+}
+
+// save writes the legacy RIOTCAT1 format: header, then every entry's
+// metadata and inline payload, in name order (deterministic layout).
 func (c *Catalog) save(w io.Writer) error {
 	blockElems := c.pool.Device().BlockElems()
 	if _, err := w.Write([]byte(Magic)); err != nil {
@@ -415,7 +1026,6 @@ func (c *Catalog) save(w io.Writer) error {
 	if err := writeU32(w, uint32(len(c.entries))); err != nil {
 		return err
 	}
-	// Deterministic file layout: entries in name order.
 	names := make([]string, 0, len(c.entries))
 	for n := range c.entries {
 		names = append(names, n)
@@ -423,96 +1033,39 @@ func (c *Catalog) save(w io.Writer) error {
 	sort.Strings(names)
 	buf := make([]byte, blockElems*8)
 	for _, name := range names {
-		if err := c.saveEntry(w, c.entries[name], buf); err != nil {
+		we, err := describeEntry(c.entries[name])
+		if err != nil {
+			return fmt.Errorf("entry %q: %w", name, err)
+		}
+		if err := writeMeta(w, we, 0); err != nil {
+			return fmt.Errorf("entry %q: %w", name, err)
+		}
+		if err := c.writePayload(w, we.ids, buf); err != nil {
 			return fmt.Errorf("entry %q: %w", name, err)
 		}
 	}
 	return nil
 }
 
-func (c *Catalog) saveEntry(w io.Writer, e *Entry, buf []byte) error {
-	if err := writeU32(w, uint32(len(e.Name))); err != nil {
-		return err
-	}
-	if _, err := w.Write([]byte(e.Name)); err != nil {
-		return err
-	}
-	var ids []disk.BlockID
-	var dir []int32 // sparse kinds: per-tile/per-chunk nonzero counts
-	var rows, cols int64
-	var shape array.TileShape
-	var lin array.Linearization
-	switch e.Kind {
-	case KindVector:
-		rows, cols = e.Vec.Len(), 1
-		for k := 0; k < e.Vec.Blocks(); k++ {
-			ids = append(ids, e.Vec.BaseBlock()+disk.BlockID(k))
-		}
-	case KindMatrix:
-		rows, cols = e.Mat.Rows(), e.Mat.Cols()
-		shape, lin = e.Mat.Shape(), e.Mat.Lin()
-		for k := 0; k < e.Mat.Blocks(); k++ {
-			ids = append(ids, e.Mat.BaseBlock()+disk.BlockID(k))
-		}
-	case KindSparseMatrix:
-		rows, cols = e.SMat.Rows(), e.SMat.Cols()
-		shape, lin = e.SMat.Shape(), e.SMat.Lin()
-		ids = e.SMat.BlockIDs()
-		dir = e.SMat.TileNNZs()
-	case KindSparseVector:
-		rows, cols = e.SVec.Len(), 1
-		ids = e.SVec.BlockIDs()
-		dir = e.SVec.ChunkNNZs()
-	default:
-		return fmt.Errorf("unknown entry kind %d", e.Kind)
-	}
-	hdr := []byte{byte(e.Kind), byte(shape), byte(lin), 0}
-	if _, err := w.Write(hdr); err != nil {
-		return err
-	}
-	if err := writeI64(w, rows); err != nil {
-		return err
-	}
-	if err := writeI64(w, cols); err != nil {
-		return err
-	}
-	if err := writeU32(w, uint32(len(ids))); err != nil {
-		return err
-	}
-	if dir != nil {
-		if err := writeU32(w, uint32(len(dir))); err != nil {
-			return err
-		}
-		for _, n := range dir {
-			if err := writeU32(w, uint32(n)); err != nil {
-				return err
-			}
-		}
-	}
-	for _, id := range ids {
-		f, err := c.pool.Pin(id)
-		if err != nil {
-			return err
-		}
-		for i, v := range f.Data {
-			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
-		}
-		c.pool.Unpin(f)
-		if _, err := w.Write(buf); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (c *Catalog) load(r io.Reader) error {
+// load dispatches on the file magic and restores every entry. It
+// returns the WAL LSN the file covers (0 for v1 files, which predate
+// the WAL).
+func (c *Catalog) load(r io.Reader) (uint64, error) {
 	magic := make([]byte, len(Magic))
 	if _, err := io.ReadFull(r, magic); err != nil {
-		return fmt.Errorf("reading magic: %w", err)
+		return 0, fmt.Errorf("reading magic: %w", err)
 	}
-	if string(magic) != Magic {
-		return fmt.Errorf("bad magic %q (not a catalog file, or an unsupported version)", magic)
+	switch string(magic) {
+	case Magic:
+		return 0, c.loadV1(r)
+	case MagicV2:
+		return c.loadV2(r)
 	}
+	return 0, fmt.Errorf("bad magic %q (not a catalog file, or an unsupported version)", magic)
+}
+
+// checkBlockElems validates a file's block size against the device.
+func (c *Catalog) checkBlockElems(r io.Reader) error {
 	blockElems := c.pool.Device().BlockElems()
 	fileB, err := readU32(r)
 	if err != nil {
@@ -521,18 +1074,144 @@ func (c *Catalog) load(r io.Reader) error {
 	if int(fileB) != blockElems {
 		return fmt.Errorf("catalog written with block size %d, device uses %d", fileB, blockElems)
 	}
+	return nil
+}
+
+// loadV1 restores the legacy inline-payload format.
+func (c *Catalog) loadV1(r io.Reader) error {
+	if err := c.checkBlockElems(r); err != nil {
+		return err
+	}
 	count, err := readU32(r)
 	if err != nil {
 		return err
 	}
-	buf := make([]byte, blockElems*8)
-	block := make([]float64, blockElems)
 	for i := uint32(0); i < count; i++ {
-		if err := c.loadEntry(r, buf, block); err != nil {
+		if err := c.loadEntryV1(r); err != nil {
 			return fmt.Errorf("entry %d: %w", i, err)
 		}
 	}
 	return nil
+}
+
+// loadEntryV1 restores one inline entry.
+func (c *Catalog) loadEntryV1(r io.Reader) error {
+	m, err := c.readMeta(r)
+	if err != nil {
+		return err
+	}
+	e, ids, err := c.allocEntry(m)
+	if err != nil {
+		return err
+	}
+	if err := c.importPayload(r, e.Name, ids); err != nil {
+		e.FreeStorage()
+		return err
+	}
+	c.entries[e.Name] = e
+	return nil
+}
+
+// loadV2 restores the manifest format: per-entry metadata with segment
+// references, payloads read from the referenced segment files. It
+// returns the manifest's durable LSN.
+func (c *Catalog) loadV2(r io.Reader) (uint64, error) {
+	if err := c.checkBlockElems(r); err != nil {
+		return 0, err
+	}
+	durable, err := readU64(r)
+	if err != nil {
+		return 0, err
+	}
+	gen, err := readU64(r)
+	if err != nil {
+		return 0, err
+	}
+	count, err := readU32(r)
+	if err != nil {
+		return 0, err
+	}
+	segs := make(map[uint64]*os.File)
+	defer func() {
+		for _, f := range segs {
+			f.Close()
+		}
+	}()
+	for i := uint32(0); i < count; i++ {
+		if err := c.loadEntryV2(r, segs); err != nil {
+			return 0, fmt.Errorf("entry %d: %w", i, err)
+		}
+	}
+	c.gen = gen
+	return durable, nil
+}
+
+// loadEntryV2 restores one manifest entry from its segment.
+func (c *Catalog) loadEntryV2(r io.Reader, segs map[uint64]*os.File) error {
+	m, err := c.readMeta(r)
+	if err != nil {
+		return err
+	}
+	if m.flag != 1 {
+		return fmt.Errorf("entry %q: manifest entry without a segment reference", m.name)
+	}
+	lsn, err := readU64(r)
+	if err != nil {
+		return err
+	}
+	segGen, err := readU64(r)
+	if err != nil {
+		return err
+	}
+	segOff, err := readU64(r)
+	if err != nil {
+		return err
+	}
+	sf := segs[segGen]
+	if sf == nil {
+		sf, err = c.openSegment(segGen)
+		if err != nil {
+			return fmt.Errorf("entry %q: %w", m.name, err)
+		}
+		segs[segGen] = sf
+	}
+	e, ids, err := c.allocEntry(m)
+	if err != nil {
+		return err
+	}
+	blockBytes := c.pool.Device().BlockElems() * 8
+	sr := io.NewSectionReader(sf, int64(segOff), int64(len(ids))*int64(blockBytes))
+	if err := c.importPayload(sr, e.Name, ids); err != nil {
+		e.FreeStorage()
+		return err
+	}
+	e.LSN = lsn
+	e.segGen, e.segOff = segGen, int64(segOff)
+	c.entries[e.Name] = e
+	return nil
+}
+
+// openSegment opens and validates one payload segment file.
+func (c *Catalog) openSegment(gen uint64) (*os.File, error) {
+	path := filepath.Join(c.dir, segFileName(gen))
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("opening segment %d: %w", gen, err)
+	}
+	hdr := make([]byte, len(SegMagic))
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("segment %d: reading magic: %w", gen, err)
+	}
+	if string(hdr) != SegMagic {
+		f.Close()
+		return nil, fmt.Errorf("segment %d: bad magic %q", gen, hdr)
+	}
+	if err := c.checkBlockElems(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("segment %d: %w", gen, err)
+	}
+	return f, nil
 }
 
 // maxNameLen bounds entry names so a corrupt length field cannot drive a
@@ -543,124 +1222,152 @@ const maxNameLen = 1 << 16
 // same reason.
 const maxEntryBlocks = 1 << 24
 
-func (c *Catalog) loadEntry(r io.Reader, buf []byte, block []float64) error {
+// entryMeta is one parsed entry header, validated but not yet
+// allocated.
+type entryMeta struct {
+	name       string
+	kind       Kind
+	shape      array.TileShape
+	lin        array.Linearization
+	flag       byte
+	rows, cols int64
+	nblocks    uint32
+	dir        []int32
+}
+
+// readMeta parses and sanity-checks one entry header in the shared wire
+// layout. Every check runs before any geometry-sized allocation, so a
+// corrupt header cannot drive one.
+func (c *Catalog) readMeta(r io.Reader) (entryMeta, error) {
+	var m entryMeta
 	nameLen, err := readU32(r)
 	if err != nil {
-		return err
+		return m, err
 	}
 	if nameLen == 0 || nameLen > maxNameLen {
-		return fmt.Errorf("implausible name length %d", nameLen)
+		return m, fmt.Errorf("implausible name length %d", nameLen)
 	}
 	nameBytes := make([]byte, nameLen)
 	if _, err := io.ReadFull(r, nameBytes); err != nil {
-		return err
+		return m, err
 	}
-	name := string(nameBytes)
+	m.name = string(nameBytes)
 	hdr := make([]byte, 4)
 	if _, err := io.ReadFull(r, hdr); err != nil {
-		return err
+		return m, err
 	}
-	kind := Kind(hdr[0])
-	shape := array.TileShape(hdr[1])
-	lin := array.Linearization(hdr[2])
-	rows, err := readI64(r)
-	if err != nil {
-		return err
+	m.kind = Kind(hdr[0])
+	m.shape = array.TileShape(hdr[1])
+	m.lin = array.Linearization(hdr[2])
+	m.flag = hdr[3]
+	if m.rows, err = readI64(r); err != nil {
+		return m, err
 	}
-	cols, err := readI64(r)
-	if err != nil {
-		return err
+	if m.cols, err = readI64(r); err != nil {
+		return m, err
 	}
-	nblocks, err := readU32(r)
-	if err != nil {
-		return err
+	if m.nblocks, err = readU32(r); err != nil {
+		return m, err
 	}
-	// Sanity-check before allocating geometry, so a corrupt header
-	// cannot drive a huge allocation.
 	blockElems := int64(c.pool.Device().BlockElems())
-	if rows < 0 || cols < 0 || nblocks > maxEntryBlocks {
-		return fmt.Errorf("implausible geometry %dx%d in %d blocks", rows, cols, nblocks)
+	if m.rows < 0 || m.cols < 0 || m.nblocks > maxEntryBlocks {
+		return m, fmt.Errorf("implausible geometry %dx%d in %d blocks", m.rows, m.cols, m.nblocks)
 	}
-	sparseKind := kind == KindSparseMatrix || kind == KindSparseVector
+	sparseKind := m.kind == KindSparseMatrix || m.kind == KindSparseVector
 	// Dense kinds must hold rows×cols elements in their blocks; sparse
 	// kinds legitimately store fewer (that is the point), and their
 	// directory is validated by the sparse allocator instead.
 	// float64 comparison: corrupt 64-bit dimensions must not overflow
 	// the check that is there to reject them.
 	if !sparseKind &&
-		float64(rows)*math.Max(float64(cols), 1) > float64(nblocks)*float64(blockElems) {
-		return fmt.Errorf("implausible geometry %dx%d in %d blocks", rows, cols, nblocks)
+		float64(m.rows)*math.Max(float64(m.cols), 1) > float64(m.nblocks)*float64(blockElems) {
+		return m, fmt.Errorf("implausible geometry %dx%d in %d blocks", m.rows, m.cols, m.nblocks)
 	}
-	var dir []int32
 	if sparseKind {
 		dirLen, err := readU32(r)
 		if err != nil {
-			return err
+			return m, err
 		}
 		// The sparse twin of the dense plausibility check above: the
-		// directory length must match the grid the dimensions imply
-		// (computed in scalar arithmetic, BEFORE any geometry-sized
-		// allocation, so corrupt dimensions cannot drive one), and the
-		// payload cannot exceed the directory.
-		want, gerr := sparseGridSize(kind, rows, cols, shape, blockElems)
+		// directory length must match the grid the dimensions imply,
+		// and the payload cannot exceed the directory.
+		want, gerr := sparseGridSize(m.kind, m.rows, m.cols, m.shape, blockElems)
 		if gerr != nil {
-			return gerr
+			return m, gerr
 		}
-		if int64(dirLen) != want || want > maxEntryBlocks || int64(nblocks) > want {
-			return fmt.Errorf("implausible sparse geometry %dx%d: directory %d, %d blocks, grid wants %d",
-				rows, cols, dirLen, nblocks, want)
+		if int64(dirLen) != want || want > maxEntryBlocks || int64(m.nblocks) > want {
+			return m, fmt.Errorf("implausible sparse geometry %dx%d: directory %d, %d blocks, grid wants %d",
+				m.rows, m.cols, dirLen, m.nblocks, want)
 		}
-		dir = make([]int32, dirLen)
-		for i := range dir {
+		m.dir = make([]int32, dirLen)
+		for i := range m.dir {
 			n, err := readU32(r)
 			if err != nil {
-				return err
+				return m, err
 			}
-			dir[i] = int32(n)
+			m.dir[i] = int32(n)
 		}
 	}
+	return m, nil
+}
+
+// allocEntry allocates fresh catalog-owned device storage matching the
+// parsed metadata and returns the entry plus its block IDs in file
+// order.
+func (c *Catalog) allocEntry(m entryMeta) (*Entry, []disk.BlockID, error) {
 	c.version++
-	e := &Entry{Name: name, Kind: kind, Version: c.version}
+	e := &Entry{Name: m.name, Kind: m.kind, Version: c.version}
 	var ids []disk.BlockID
-	switch kind {
+	switch m.kind {
 	case KindVector:
-		v, err := array.NewVector(c.pool, c.owner(name, c.version), rows)
+		v, err := array.NewVector(c.pool, c.owner(m.name, c.version), m.rows)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
 		e.Vec = v
 		for k := 0; k < v.Blocks(); k++ {
 			ids = append(ids, v.BaseBlock()+disk.BlockID(k))
 		}
 	case KindMatrix:
-		m, err := array.NewMatrix(c.pool, c.owner(name, c.version), rows, cols,
-			array.Options{Shape: shape, Lin: lin})
+		mat, err := array.NewMatrix(c.pool, c.owner(m.name, c.version), m.rows, m.cols,
+			array.Options{Shape: m.shape, Lin: m.lin})
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
-		e.Mat = m
-		for k := 0; k < m.Blocks(); k++ {
-			ids = append(ids, m.BaseBlock()+disk.BlockID(k))
+		e.Mat = mat
+		for k := 0; k < mat.Blocks(); k++ {
+			ids = append(ids, mat.BaseBlock()+disk.BlockID(k))
 		}
 	case KindSparseMatrix:
-		m, err := sparse.Alloc(c.pool, c.owner(name, c.version), rows, cols,
-			array.Options{Shape: shape, Lin: lin}, dir)
+		sm, err := sparse.Alloc(c.pool, c.owner(m.name, c.version), m.rows, m.cols,
+			array.Options{Shape: m.shape, Lin: m.lin}, m.dir)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
-		e.SMat, ids = m, m.BlockIDs()
+		e.SMat, ids = sm, sm.BlockIDs()
 	case KindSparseVector:
-		v, err := sparse.AllocVector(c.pool, c.owner(name, c.version), rows, dir)
+		sv, err := sparse.AllocVector(c.pool, c.owner(m.name, c.version), m.rows, m.dir)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
-		e.SVec, ids = v, v.BlockIDs()
+		e.SVec, ids = sv, sv.BlockIDs()
 	default:
-		return fmt.Errorf("unknown entry kind %d", kind)
+		return nil, nil, fmt.Errorf("unknown entry kind %d", m.kind)
 	}
-	if int(nblocks) != len(ids) {
-		return fmt.Errorf("entry %q: %d blocks in file, geometry wants %d", name, nblocks, len(ids))
+	if int(m.nblocks) != len(ids) {
+		e.FreeStorage()
+		return nil, nil, fmt.Errorf("entry %q: %d blocks in file, geometry wants %d", m.name, m.nblocks, len(ids))
 	}
+	return e, ids, nil
+}
+
+// importPayload reads len(ids) block payloads from r into the device
+// (uncharged: restored state is the starting condition of a
+// measurement, not part of it).
+func (c *Catalog) importPayload(r io.Reader, name string, ids []disk.BlockID) error {
+	blockElems := c.pool.Device().BlockElems()
+	buf := make([]byte, blockElems*8)
+	block := make([]float64, blockElems)
 	dev := c.pool.Device()
 	for _, id := range ids {
 		if _, err := io.ReadFull(r, buf); err != nil {
@@ -673,7 +1380,6 @@ func (c *Catalog) loadEntry(r io.Reader, buf []byte, block []float64) error {
 			return err
 		}
 	}
-	c.entries[name] = e
 	return nil
 }
 
@@ -706,6 +1412,13 @@ func writeU32(w io.Writer, v uint32) error {
 	return err
 }
 
+func writeU64(w io.Writer, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
 func writeI64(w io.Writer, v int64) error {
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], uint64(v))
@@ -719,6 +1432,14 @@ func readU32(r io.Reader) (uint32, error) {
 		return 0, err
 	}
 	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
 }
 
 func readI64(r io.Reader) (int64, error) {

@@ -156,11 +156,11 @@ func TestDelete(t *testing.T) {
 	if _, err := cat.PutVector("x", v); err != nil {
 		t.Fatal(err)
 	}
-	if !cat.Delete("x") {
-		t.Fatal("Delete(x) = false")
+	if ok, err := cat.Delete("x"); err != nil || !ok {
+		t.Fatalf("Delete(x) = %v, %v", ok, err)
 	}
-	if cat.Delete("x") {
-		t.Fatal("second Delete(x) = true")
+	if ok, err := cat.Delete("x"); err != nil || ok {
+		t.Fatalf("second Delete(x) = %v, %v", ok, err)
 	}
 	if _, ok := cat.Get("x"); ok {
 		t.Fatal("x still visible after delete")

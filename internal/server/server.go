@@ -20,6 +20,7 @@
 //	\stats       engine report and shared-pool counters
 //	\list        catalog names, one per payload line
 //	\checkpoint  persist the catalog now
+//	\wal         write-ahead-log mode and counters ("wal: off" if none)
 //	\quit        close this connection (its session's storage is freed)
 //	\shutdown    gracefully stop the whole server
 //
@@ -188,8 +189,23 @@ func (s *Server) command(w *bufio.Writer, sess *riot.Session, cmd string) (quit 
 		fmt.Fprintf(&b, "device: %s\n", s.db.Pool().Device().Stats())
 		reply(w, b.String(), nil)
 		return false
+	case "\\wal":
+		st, on := s.db.WALStats()
+		if !on {
+			reply(w, "wal: off (checkpoint-only durability)", nil)
+			return false
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "wal: mode=%s\n", st.Mode)
+		fmt.Fprintf(&b, "appends: %d (%d bytes), fsyncs: %d, grouped acks: %d\n",
+			st.Appends, st.AppendedBytes, st.Fsyncs, st.GroupedAcks)
+		fmt.Fprintf(&b, "lsn: last=%d durable=%d\n", st.LastLSN, st.DurableLSN)
+		fmt.Fprintf(&b, "rotations: %d, replayed: %d, truncated bytes: %d\n",
+			st.Rotations, st.Replayed, st.TruncatedBytes)
+		reply(w, b.String(), nil)
+		return false
 	default:
-		reply(w, "", fmt.Errorf("unknown command %q (try \\stats \\list \\checkpoint \\quit \\shutdown)", cmd))
+		reply(w, "", fmt.Errorf("unknown command %q (try \\stats \\list \\checkpoint \\wal \\quit \\shutdown)", cmd))
 		return false
 	}
 }

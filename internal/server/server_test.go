@@ -253,3 +253,45 @@ func TestAdmissionOverProtocol(t *testing.T) {
 		t.Fatalf("second client after slot freed: %v", err)
 	}
 }
+
+// TestWALCommand: \wal reports the log's mode and counters when it is
+// on, and says so plainly when the database runs checkpoint-only.
+func TestWALCommand(t *testing.T) {
+	addr, stop := startServer(t, t.TempDir(), smallCfg()) // WALSyncAlways default
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Do("x <- 1:100"); err != nil { // one publish, one append
+		t.Fatal(err)
+	}
+	out, err := c.Do("\\wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "mode=always") {
+		t.Fatalf("\\wal = %q, want mode=always", out)
+	}
+	if !strings.Contains(out, "appends: 1") {
+		t.Fatalf("\\wal = %q, want appends: 1 after one publish", out)
+	}
+
+	off := smallCfg()
+	off.WALSync = riot.WALSyncOff
+	addrOff, stopOff := startServer(t, t.TempDir(), off)
+	defer stopOff()
+	cOff, err := Dial(addrOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cOff.Close()
+	out, err = cOff.Do("\\wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wal: off") {
+		t.Fatalf("\\wal on a WAL-less database = %q, want wal: off", out)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"riot/internal/engine"
 	"riot/internal/plan"
@@ -79,6 +80,28 @@ func (p Planner) strategy() plan.Strategy {
 	}
 	return plan.Heuristic
 }
+
+// WALSync selects the durability mode of a database's write-ahead log
+// (riot.Open only; NewSession has no catalog to log).
+type WALSync int
+
+// WAL durability modes.
+const (
+	// WALSyncAlways (the default) acknowledges each publish only after
+	// an fsync'd group flush of the log: acknowledged commits survive
+	// kill -9. Concurrent sessions' appends share fsyncs (group
+	// commit), so throughput degrades far less than one-fsync-per-
+	// publish would suggest.
+	WALSyncAlways WALSync = iota
+	// WALSyncInterval acknowledges publishes immediately and fsyncs
+	// the log on a background timer (WALFlushInterval); a crash can
+	// lose at most the last interval's publishes.
+	WALSyncInterval
+	// WALSyncOff disables the log entirely: the database is
+	// checkpoint-only, byte-identical to the pre-WAL engine. Publishes
+	// since the last Checkpoint die with the process.
+	WALSyncOff
+)
 
 // Config sizes the simulated machine.
 type Config struct {
@@ -132,6 +155,17 @@ type Config struct {
 	// table is full). Default: pool capacity / SessionFrames. Ignored by
 	// NewSession.
 	MaxSessions int
+	// WALSync selects the database's write-ahead-log durability mode:
+	// WALSyncAlways (default — every acknowledged publish survives a
+	// crash), WALSyncInterval (bounded loss window), or WALSyncOff
+	// (checkpoint-only, the pre-WAL behavior). The log lives on the
+	// host filesystem next to the catalog; its I/O is never charged to
+	// the simulated device, so the paper's counters are identical in
+	// every mode. Ignored by NewSession.
+	WALSync WALSync
+	// WALFlushInterval is the background fsync period under
+	// WALSyncInterval. Default 50ms. Ignored in other modes.
+	WALFlushInterval time.Duration
 }
 
 // Session is a handle to one engine instance. Sessions from NewSession
