@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"time"
 
 	"riot/internal/bench"
 )
@@ -29,7 +28,8 @@ type Result struct {
 	IOMB float64 `json:"io_mb"`
 	// SimSec is the simulated wall-clock under the 2009 time model.
 	SimSec float64 `json:"sim_sec"`
-	// WallNSPerOp is the real wall-clock of one run of the experiment.
+	// WallNSPerOp is the real wall-clock of the row's own measured
+	// operation (0 for analytic rows, which execute nothing).
 	WallNSPerOp int64 `json:"wall_ns_per_op"`
 	// Workers is the parallelism the measurement ran with.
 	Workers int `json:"workers"`
@@ -54,10 +54,13 @@ type Result struct {
 	// PublishesPerSec is catalog publish throughput against the host
 	// filesystem (WAL ablation rows; 0 elsewhere).
 	PublishesPerSec float64 `json:"publishes_per_sec,omitempty"`
+	// GFlops is arithmetic throughput in 1e9 flop/s (gflops ablation
+	// rows; 0 elsewhere).
+	GFlops float64 `json:"gflops,omitempty"`
 }
 
 func main() {
-	figure := flag.String("figure", "all", "which experiment: 1, 2, 3a, 3b, validate, workers, readahead, planner, sparse, wal, all")
+	figure := flag.String("figure", "all", "which experiment: 1, 2, 3a, 3b, validate, workers, readahead, planner, sparse, wal, gflops, all")
 	paper := flag.Bool("paper", false, "use the paper's full-scale parameters")
 	jsonPath := flag.String("json", "BENCH_results.json", "write machine-readable results to this file (empty to disable)")
 	flag.Parse()
@@ -68,19 +71,12 @@ func main() {
 		if *figure != "all" && *figure != name {
 			return
 		}
-		start := time.Now()
 		rows, err := f()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "riot-bench: figure %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		wall := time.Since(start).Nanoseconds()
 		for i := range rows {
-			if rows[i].WallNSPerOp == 0 {
-				// Experiments that don't time themselves get the whole
-				// run's wall-clock split evenly across their rows.
-				rows[i].WallNSPerOp = wall / int64(len(rows))
-			}
 			if rows[i].Workers == 0 {
 				rows[i].Workers = 1
 			}
@@ -101,9 +97,10 @@ func main() {
 		out := make([]Result, 0, len(rows))
 		for _, r := range rows {
 			out = append(out, Result{
-				Name:   fmt.Sprintf("figure1/%s/n=%d", r.Engine, r.N),
-				IOMB:   r.IOMB,
-				SimSec: r.Seconds,
+				Name:        fmt.Sprintf("figure1/%s/n=%d", r.Engine, r.N),
+				IOMB:        r.IOMB,
+				SimSec:      r.Seconds,
+				WallNSPerOp: r.WallNS,
 			})
 		}
 		return out, nil
@@ -117,8 +114,9 @@ func main() {
 		out := make([]Result, 0, len(rows))
 		for _, r := range rows {
 			out = append(out, Result{
-				Name: fmt.Sprintf("figure2/%s", r.Config),
-				IOMB: float64(r.IOBlocks) * blockElems * 8 / (1 << 20),
+				Name:        fmt.Sprintf("figure2/%s", r.Config),
+				IOMB:        float64(r.IOBlocks) * blockElems * 8 / (1 << 20),
+				WallNSPerOp: r.WallNS,
 			})
 		}
 		return out, nil
@@ -153,8 +151,9 @@ func main() {
 		out := make([]Result, 0, len(rows))
 		for _, r := range rows {
 			out = append(out, Result{
-				Name: fmt.Sprintf("validate/%s/n=%d", r.Kernel, r.N),
-				IOMB: r.Measured * bench.ValidateBlockElems * 8 / (1 << 20),
+				Name:        fmt.Sprintf("validate/%s/n=%d", r.Kernel, r.N),
+				IOMB:        r.Measured * bench.ValidateBlockElems * 8 / (1 << 20),
+				WallNSPerOp: r.WallNS,
 			})
 		}
 		return out, nil
@@ -200,6 +199,7 @@ func main() {
 				Name:           fmt.Sprintf("readahead/%s/%s", r.Workload, mode),
 				IOMB:           r.IOMB,
 				SimSec:         r.SimSec,
+				WallNSPerOp:    r.WallNS,
 				Workers:        r.Workers,
 				RandReads:      r.RandReads,
 				PrefetchHitPct: 100 * safeDiv(float64(r.PrefetchHits), float64(r.Prefetched)),
@@ -219,6 +219,7 @@ func main() {
 				Name:         fmt.Sprintf("planner/%s/%s", r.Workload, r.Strategy),
 				IOMB:         r.IOMB,
 				SimSec:       r.SimSec,
+				WallNSPerOp:  r.WallNS,
 				EstBlocks:    r.EstBlocks,
 				ActualBlocks: r.ActualBlocks,
 			})
@@ -234,12 +235,34 @@ func main() {
 		out := make([]Result, 0, len(rows))
 		for _, r := range rows {
 			out = append(out, Result{
-				Name:       fmt.Sprintf("sparse/matmul/d=%.4f/%s", r.Density, r.Mode),
-				IOMB:       r.IOMB,
-				SimSec:     r.SimSec,
-				Density:    r.Density,
-				BlockReads: r.BlockReads,
-				EstBlocks:  r.EstBlocks,
+				Name:        fmt.Sprintf("sparse/matmul/d=%.4f/%s", r.Density, r.Mode),
+				IOMB:        r.IOMB,
+				SimSec:      r.SimSec,
+				WallNSPerOp: r.WallNS,
+				Density:     r.Density,
+				BlockReads:  r.BlockReads,
+				EstBlocks:   r.EstBlocks,
+			})
+		}
+		return out, nil
+	})
+
+	run("gflops", func() ([]Result, error) {
+		n := int64(1024)
+		if *paper {
+			n = 2048
+		}
+		rows, err := bench.GFlopsAblation(n, os.Stdout)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Result, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, Result{
+				Name:        fmt.Sprintf("gflops/%s/%s/n=%d", r.Kernel, r.Pool, r.N),
+				IOMB:        r.IOMB,
+				WallNSPerOp: r.WallNS,
+				GFlops:      r.GFlops,
 			})
 		}
 		return out, nil

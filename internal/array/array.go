@@ -326,6 +326,21 @@ func (t *Tile) Set(i, j int64, v float64) {
 // Data exposes the raw tile payload in tile-row-major order.
 func (t *Tile) Data() []float64 { return t.frame.Data }
 
+// Pitch returns the row stride of the raw tile payload in elements —
+// the tile's full (unclipped) width. Rows of an edge-clipped tile are
+// shorter than the pitch; Row returns only the valid prefix.
+func (t *Tile) Pitch() int { return t.m.tileC }
+
+// Row returns the raw payload slice of the tile's row at global row
+// index i (which must lie inside the tile), spanning the tile's clipped
+// column range [ColLo, ColHi). Mutating it writes the tile; callers
+// that do must MarkDirty once per tile instead of paying Set's
+// per-element dirty marking.
+func (t *Tile) Row(i int64) []float64 {
+	off := (i - t.RowLo) * int64(t.m.tileC)
+	return t.frame.Data[off : off+(t.ColHi-t.ColLo)]
+}
+
 // PrefetchTiles hints to the pool's I/O scheduler that the tile
 // rectangle [ti0,ti1)×[tj0,tj1) will be read soon. The tiles' blocks are
 // loaded asynchronously; the scheduler sorts them by BlockID, so

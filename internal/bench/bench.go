@@ -42,6 +42,7 @@ type Figure1Row struct {
 	N       int64
 	IOMB    float64
 	Seconds float64
+	WallNS  int64 // real wall-clock of the measured script run
 }
 
 // Figure1 runs Example 1 on every engine for each vector size, with the
@@ -66,11 +67,11 @@ func Figure1(sizes []int64, blockElems int, w io.Writer) ([]Figure1Row, error) {
 			engine.NewRIOT(blockElems, memElems, tm),
 		}
 		for _, e := range engines {
-			rep, err := runExample1(e, n)
+			rep, wall, err := runExample1(e, n)
 			if err != nil {
 				return nil, fmt.Errorf("%s n=%d: %w", e.Name(), n, err)
 			}
-			rows = append(rows, Figure1Row{Engine: e.Name(), N: n, IOMB: rep.IOMB(), Seconds: rep.SimSeconds})
+			rows = append(rows, Figure1Row{Engine: e.Name(), N: n, IOMB: rep.IOMB(), Seconds: rep.SimSeconds, WallNS: wall})
 			if err := e.Close(); err != nil {
 				return nil, fmt.Errorf("%s n=%d: close: %w", e.Name(), n, err)
 			}
@@ -122,23 +123,26 @@ func printFig1(w io.Writer, rows []Figure1Row, metric func(Figure1Row) float64) 
 
 // runExample1 executes the script on e with fresh inputs of size n,
 // measuring only the computation (inputs pre-loaded, as in the paper).
-func runExample1(e engine.Engine, n int64) (engine.Report, error) {
+// It returns the engine's report plus the real wall-clock nanoseconds of
+// the script run.
+func runExample1(e engine.Engine, n int64) (engine.Report, int64, error) {
 	in := rlang.New(e)
 	x, err := e.NewVector(n, func(i int64) float64 { return float64(i % 9973) })
 	if err != nil {
-		return engine.Report{}, err
+		return engine.Report{}, 0, err
 	}
 	y, err := e.NewVector(n, func(i int64) float64 { return float64(i % 9967) })
 	if err != nil {
-		return engine.Report{}, err
+		return engine.Report{}, 0, err
 	}
 	in.SetVector("x", x)
 	in.SetVector("y", y)
 	e.ResetStats()
+	start := time.Now()
 	if err := in.Run(example1Script); err != nil {
-		return engine.Report{}, err
+		return engine.Report{}, 0, err
 	}
-	return e.Report(), nil
+	return e.Report(), time.Since(start).Nanoseconds(), nil
 }
 
 // Figure2Row is one configuration of the update-pushdown experiment.
@@ -146,6 +150,7 @@ type Figure2Row struct {
 	Config   string
 	Elements int64 // elements computed to produce b[1:10]
 	IOBlocks int64
+	WallNS   int64 // real wall-clock of the measured fetch
 }
 
 // Figure2 compares deferred functional updates plus subscript pushdown
@@ -189,14 +194,16 @@ func Figure2(n int64, blockElems int, w io.Writer) ([]Figure2Row, error) {
 			return Figure2Row{}, err
 		}
 		dev.ResetStats()
+		start := time.Now()
 		if _, err := ex.Fetch(root, -1); err != nil {
 			return Figure2Row{}, err
 		}
+		wall := time.Since(start).Nanoseconds()
 		name := "eager update (R / RIOT-DB)"
 		if deferred {
 			name = "deferred update + pushdown (RIOT)"
 		}
-		return Figure2Row{Config: name, Elements: ex.Stats().ElementsComputed, IOBlocks: dev.Stats().TotalBlocks()}, nil
+		return Figure2Row{Config: name, Elements: ex.Stats().ElementsComputed, IOBlocks: dev.Stats().TotalBlocks(), WallNS: wall}, nil
 	}
 	eager, err := run(false)
 	if err != nil {
@@ -314,6 +321,7 @@ type ValidateRow struct {
 	Kernel    string
 	Measured  float64
 	Predicted float64
+	WallNS    int64 // real wall-clock of the measured multiply
 }
 
 // ValidateBlockElems is the device block size ValidateModel uses;
@@ -359,6 +367,7 @@ func ValidateModel(sizes []int64, w io.Writer) ([]ValidateRow, error) {
 				return nil, err
 			}
 			dev.ResetStats()
+			start := time.Now()
 			if kernel == "square-tiled" {
 				_, err = linalg.MatMulTiled(pool, "c", a, b)
 			} else {
@@ -367,6 +376,7 @@ func ValidateModel(sizes []int64, w io.Writer) ([]ValidateRow, error) {
 			if err != nil {
 				return nil, err
 			}
+			wall := time.Since(start).Nanoseconds()
 			p := costmodel.Params{MemElems: float64(pool.MemoryElems()), BlockElems: blockElems}
 			var predicted float64
 			if kernel == "square-tiled" {
@@ -378,6 +388,7 @@ func ValidateModel(sizes []int64, w io.Writer) ([]ValidateRow, error) {
 				N: n, Kernel: kernel,
 				Measured:  float64(dev.Stats().TotalBlocks()),
 				Predicted: predicted,
+				WallNS:    wall,
 			})
 		}
 	}
@@ -400,6 +411,7 @@ type ReadaheadRow struct {
 	RandReads int64
 	IOMB      float64
 	SimSec    float64 // disk.DefaultCostModel over the measured stats
+	WallNS    int64   // real wall-clock of the measured operation
 	// Prefetch effectiveness (zero with readahead off).
 	Prefetched   int64
 	PrefetchHits int64
@@ -476,10 +488,12 @@ func ReadaheadAblation(maxWorkers int, w io.Writer) ([]ReadaheadRow, error) {
 		if err != nil {
 			return ReadaheadRow{}, err
 		}
+		start := time.Now()
 		if _, err := ex.Reduce("sum", d); err != nil {
 			return ReadaheadRow{}, err
 		}
 		pool.DrainPrefetch()
+		wall := time.Since(start).Nanoseconds()
 		st := dev.Stats()
 		ps := pool.Stats()
 		return ReadaheadRow{
@@ -487,6 +501,7 @@ func ReadaheadAblation(maxWorkers int, w io.Writer) ([]ReadaheadRow, error) {
 			SeqReads: st.SeqReads, RandReads: st.RandReads,
 			IOMB:       st.TotalMB(),
 			SimSec:     disk.DefaultCostModel.Seconds(st),
+			WallNS:     wall,
 			Prefetched: ps.Prefetched, PrefetchHits: ps.PrefetchHits, Wasted: ps.WastedPrefetch,
 		}, nil
 	}
@@ -521,11 +536,13 @@ func ReadaheadAblation(maxWorkers int, w io.Writer) ([]ReadaheadRow, error) {
 		}
 		dev.ResetStats()
 		pool.ResetStats()
+		start := time.Now()
 		c, err := linalg.MatMulTiledWorkers(pool, "c", a, b, workers)
 		if err != nil {
 			return ReadaheadRow{}, err
 		}
 		pool.DrainPrefetch()
+		wall := time.Since(start).Nanoseconds()
 		st := dev.Stats()
 		ps := pool.Stats()
 		row := ReadaheadRow{
@@ -533,6 +550,7 @@ func ReadaheadAblation(maxWorkers int, w io.Writer) ([]ReadaheadRow, error) {
 			SeqReads: st.SeqReads, RandReads: st.RandReads,
 			IOMB:       st.TotalMB(),
 			SimSec:     disk.DefaultCostModel.Seconds(st),
+			WallNS:     wall,
 			Prefetched: ps.Prefetched, PrefetchHits: ps.PrefetchHits, Wasted: ps.WastedPrefetch,
 		}
 		// Spot-check the product so the ablation cannot silently trade
@@ -591,6 +609,7 @@ type PlannerRow struct {
 	ActualBlocks int64
 	IOMB         float64
 	SimSec       float64
+	WallNS       int64 // real wall-clock of the forced plan
 }
 
 // PlannerAblation compares the heuristic and cost-based planner
@@ -622,9 +641,11 @@ func PlannerAblation(w io.Writer) ([]PlannerRow, error) {
 		}
 		dev := r.Executor().Pool().Device()
 		dev.ResetStats()
+		start := time.Now()
 		if err := force(); err != nil {
 			return err
 		}
+		wall := time.Since(start).Nanoseconds()
 		st := dev.Stats()
 		rows = append(rows, PlannerRow{
 			Workload: workload, Strategy: strat.String(),
@@ -632,6 +653,7 @@ func PlannerAblation(w io.Writer) ([]PlannerRow, error) {
 			ActualBlocks: st.TotalBlocks(),
 			IOMB:         st.TotalMB(),
 			SimSec:       disk.DefaultCostModel.Seconds(st),
+			WallNS:       wall,
 		})
 		return nil
 	}
@@ -860,6 +882,7 @@ type SparseRow struct {
 	IOMB       float64
 	SimSec     float64 // disk.DefaultCostModel over the measured stats
 	EstBlocks  float64 // the planner's estimate for the multiply step
+	WallNS     int64   // real wall-clock of the forced multiply
 }
 
 // SparseAblation is the headline sparse benchmark: two-hop path counts
@@ -923,9 +946,11 @@ func SparseAblation(w io.Writer) ([]SparseRow, error) {
 			r.ResetStats()
 			// Force the multiply in its natural kind; no result scan, so
 			// the measured I/O is the kernel's alone.
+			start := time.Now()
 			if _, _, err := r.ForceAnyMatrix(p); err != nil {
 				return nil, err
 			}
+			wall := time.Since(start).Nanoseconds()
 			st := r.Pool().Device().Stats()
 			row := SparseRow{
 				Density:    float64(nnz) / float64(n*n),
@@ -935,6 +960,7 @@ func SparseAblation(w io.Writer) ([]SparseRow, error) {
 				IOMB:       st.TotalMB(),
 				SimSec:     disk.DefaultCostModel.Seconds(st),
 				EstBlocks:  est,
+				WallNS:     wall,
 			}
 			rows = append(rows, row)
 			fmt.Fprintf(w, "%-10.4f %-8s %12d %12d %10.1f %10.2f\n",
@@ -1057,4 +1083,120 @@ func walAblationRun(dir, name string, mode catalog.WALMode, blockElems, frames i
 		return WALRow{}, err
 	}
 	return row, nil
+}
+
+// GFlopsRow is one arithmetic-throughput measurement of the tiled
+// multiply: a compute kernel against a cold or warm buffer pool.
+type GFlopsRow struct {
+	Kernel string  // "naive" or "micro"
+	Pool   string  // "cold" (48 frames) or "warm" (everything resident)
+	N      int64
+	WallNS int64
+	GFlops float64 // 2n³ / wall seconds, in 1e9 flop/s
+	IOMB   float64 // device traffic during the multiply (≈0 warm)
+}
+
+// GFlopsAblation isolates the CPU side of the square-tiled multiply: the
+// same super-block I/O schedule runs with the naive tile-at-a-time
+// triple loop and with the packed register-blocked 4×4 microkernel,
+// against a pool far smaller than the inputs (cold: compute interleaves
+// with real block traffic) and a pool that holds all three matrices
+// (warm: pure arithmetic throughput). The warm micro/naive ratio is the
+// microkernel's speedup, asserted in CI; the cold rows show how much of
+// it survives when the I/O schedule also runs. The warm micro rate
+// retunes costmodel.FlopsPerSec, so plan CPU estimates printed after
+// this ablation reflect the measured machine rather than the 2009
+// default.
+func GFlopsAblation(n int64, w io.Writer) ([]GFlopsRow, error) {
+	const blockElems = 4096 // 64×64 tiles
+	const coldFrames = 48
+	flops := 2 * float64(n) * float64(n) * float64(n)
+
+	// The expected spot value at (n/2, n/3), from the fill patterns.
+	var want float64
+	for k := int64(0); k < n; k++ {
+		want += float64(((n/2)+k)%13) * float64((k*(n/3))%11)
+	}
+
+	var rows []GFlopsRow
+	for _, kern := range []linalg.Kernel{linalg.KernelNaive, linalg.KernelMicro} {
+		for _, mode := range []string{"cold", "warm"} {
+			dev := disk.NewDevice(blockElems)
+			frames := coldFrames
+			if mode == "warm" {
+				// Room for both inputs, the result, and slack: the fill
+				// below leaves a and b fully resident, and c's new tiles
+				// never force an eviction.
+				grid := (int(n) + 63) / 64
+				frames = 4 * grid * grid
+			}
+			pool := buffer.New(dev, frames)
+			a, err := array.NewMatrix(pool, "a", n, n, array.Options{Shape: array.SquareTiles})
+			if err != nil {
+				return nil, err
+			}
+			b, err := array.NewMatrix(pool, "b", n, n, array.Options{Shape: array.SquareTiles})
+			if err != nil {
+				return nil, err
+			}
+			if err := a.Fill(func(i, j int64) float64 { return float64((i + j) % 13) }); err != nil {
+				return nil, err
+			}
+			if err := b.Fill(func(i, j int64) float64 { return float64((i * j) % 11) }); err != nil {
+				return nil, err
+			}
+			if mode == "cold" {
+				if err := pool.DropAll(); err != nil {
+					return nil, err
+				}
+			}
+			dev.ResetStats()
+			start := time.Now()
+			c, err := linalg.MatMulTiledKernel(pool, "c", a, b, 1, kern)
+			if err != nil {
+				return nil, err
+			}
+			wall := time.Since(start)
+			ioBytes := dev.Stats().TotalBytes()
+			v, err := c.At(n/2, n/3)
+			if err != nil {
+				return nil, err
+			}
+			if v != want {
+				return nil, fmt.Errorf("bench: gflops %s/%s diverged: %v != %v", kern, mode, v, want)
+			}
+			rows = append(rows, GFlopsRow{
+				Kernel: kern.String(),
+				Pool:   mode,
+				N:      n,
+				WallNS: wall.Nanoseconds(),
+				GFlops: flops / wall.Seconds() / 1e9,
+				IOMB:   float64(ioBytes) / (1 << 20),
+			})
+		}
+	}
+
+	// Calibrate the planner's CPU term from the warm microkernel rate —
+	// the configuration Explain's cpu estimates describe (compute not
+	// hidden behind I/O, production kernel).
+	var calibrated float64
+	for _, r := range rows {
+		if r.Kernel == "micro" && r.Pool == "warm" {
+			calibrated = r.GFlops * 1e9
+			costmodel.Calibrate(calibrated)
+		}
+	}
+
+	if w != nil {
+		fmt.Fprintf(w, "GFLOP/s ablation: %dx%d square-tiled multiply (2n³ = %.2e flops), naive vs microkernel\n", n, n, flops)
+		fmt.Fprintf(w, "%-8s %-6s %14s %10s %10s\n", "kernel", "pool", "wall", "GFLOP/s", "IO-MB")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-8s %-6s %14s %10.2f %10.1f\n",
+				r.Kernel, r.Pool, time.Duration(r.WallNS), r.GFlops, r.IOMB)
+		}
+		if calibrated > 0 {
+			fmt.Fprintf(w, "calibrated costmodel.FlopsPerSec = %.3e flop/s (warm microkernel)\n", calibrated)
+		}
+	}
+	return rows, nil
 }

@@ -265,6 +265,35 @@ var (
 	RandSeekSec    = disk.DefaultCostModel.RandSeekSec
 )
 
+// FlopsPerSec is the sustained scalar arithmetic rate the planner's CPU
+// term divides by. The default matches engine.DefaultTimeModel's
+// interpreter-grade 2e8 flops/s, so estimated CPU seconds land on the
+// same simulated-2009 scale as the I/O seconds; Calibrate retunes it
+// from a measured kernel rate (riot-bench -figure gflops measures the
+// real one).
+var FlopsPerSec = 2e8
+
+// CPUSeconds converts a flop count into estimated seconds under
+// FlopsPerSec. It is kept separate from the I/O seconds of plan steps:
+// compute overlaps I/O only when the scheduler prefetches well, so the
+// planner reports the two terms side by side rather than summing them.
+func CPUSeconds(flops float64) float64 {
+	if flops <= 0 {
+		return 0
+	}
+	return flops / FlopsPerSec
+}
+
+// Calibrate sets FlopsPerSec from a measured rate (flops per second)
+// and returns the previous value, for tests to restore.
+func Calibrate(rate float64) float64 {
+	prev := FlopsPerSec
+	if rate > 0 {
+		FlopsPerSec = rate
+	}
+	return prev
+}
+
 // SeekBlocks returns how many sequentially transferred blocks cost the
 // same time as one random positioning — the weight a random block
 // access carries in planner cost comparisons.

@@ -9,6 +9,8 @@ package engine
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 )
 
 // Value is an engine-specific object handle (dbvector, DAG node, eager
@@ -39,14 +41,31 @@ type Report struct {
 	Flops      int64   // scalar arithmetic operations
 	Tuples     int64   // tuples processed by a DBMS backend (0 otherwise)
 	SimSeconds float64 // simulated wall-clock under the time model
+	// FlopsByOp splits Flops by operator spelling (backends that don't
+	// track the split leave it nil). Rendered by String, and so by the
+	// server's \stats.
+	FlopsByOp map[string]int64
 }
 
 // IOMB returns the traffic in mebibytes (Figure 1a's unit).
 func (r Report) IOMB() float64 { return float64(r.IOBytes) / (1 << 20) }
 
 func (r Report) String() string {
-	return fmt.Sprintf("io=%.1fMB (seq=%d rand=%d) flops=%d sim=%.2fs",
+	s := fmt.Sprintf("io=%.1fMB (seq=%d rand=%d) flops=%d sim=%.2fs",
 		r.IOMB(), r.SeqOps, r.RandOps, r.Flops, r.SimSeconds)
+	if len(r.FlopsByOp) > 0 {
+		ops := make([]string, 0, len(r.FlopsByOp))
+		for op := range r.FlopsByOp {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		parts := make([]string, 0, len(ops))
+		for _, op := range ops {
+			parts = append(parts, fmt.Sprintf("%s=%d", op, r.FlopsByOp[op]))
+		}
+		s += " flops_by_op{" + strings.Join(parts, " ") + "}"
+	}
+	return s
 }
 
 // Engine is the evaluation backend interface. All indices are 0-based;

@@ -455,11 +455,13 @@ func (r *RIOT) Dims(v Value) (int64, int64, bool) {
 func (r *RIOT) Report() Report {
 	r.ex.Pool().DrainPrefetch()
 	st := r.dev.Stats()
+	exStats := r.ex.Stats()
 	rep := Report{
-		IOBytes: st.TotalBytes(),
-		SeqOps:  st.SeqReads + st.SeqWrites,
-		RandOps: st.RandReads + st.RandWrites,
-		Flops:   r.ex.Stats().Flops,
+		IOBytes:   st.TotalBytes(),
+		SeqOps:    st.SeqReads + st.SeqWrites,
+		RandOps:   st.RandReads + st.RandWrites,
+		Flops:     exStats.Flops,
+		FlopsByOp: exStats.FlopsByOp,
 	}
 	blockBytes := float64(r.dev.BlockBytes())
 	seqSec := float64(rep.SeqOps) * blockBytes / (r.time.SeqMBps * (1 << 20))

@@ -52,6 +52,10 @@ type Stats struct {
 	ElementsComputed int64 // elements produced across all node evaluations
 	Materialized     int64 // temporaries written to the store
 	Flops            int64 // scalar arithmetic operations
+	// FlopsByOp splits Flops by the operator that performed them
+	// (binary/unary spellings, "matmul", reduction names). The map is a
+	// copy; mutating it does not affect the executor.
+	FlopsByOp map[string]int64
 }
 
 // Executor evaluates DAGs over a buffer pool. It is a plan interpreter:
@@ -90,6 +94,15 @@ type Executor struct {
 	elementsComputed atomic.Int64
 	materialized     atomic.Int64
 	flops            atomic.Int64
+	// flopsByOp attributes flops to operator spellings. Updated once per
+	// chunk (not per element) under flopsMu, so the lock is cold.
+	flopsByOp map[string]int64
+	flopsMu   sync.Mutex
+	// scratch recycles chunk-sized []float64 buffers across the fused
+	// pipeline's recursive descent (OpElemBinary right operands, gather
+	// index blocks). A sync.Pool rather than per-worker slots because the
+	// recursion can hold several live buffers at once.
+	scratch sync.Pool
 
 	// temps caches materialized shared subexpressions per Force call.
 	// During a parallel section the map is read-only except for the rare
@@ -112,10 +125,17 @@ func (e *Executor) Pool() *buffer.Pool { return e.pool }
 
 // Stats returns the work counters.
 func (e *Executor) Stats() Stats {
+	e.flopsMu.Lock()
+	byOp := make(map[string]int64, len(e.flopsByOp))
+	for op, n := range e.flopsByOp {
+		byOp[op] = n
+	}
+	e.flopsMu.Unlock()
 	return Stats{
 		ElementsComputed: e.elementsComputed.Load(),
 		Materialized:     e.materialized.Load(),
 		Flops:            e.flops.Load(),
+		FlopsByOp:        byOp,
 	}
 }
 
@@ -124,6 +144,35 @@ func (e *Executor) ResetStats() {
 	e.elementsComputed.Store(0)
 	e.materialized.Store(0)
 	e.flops.Store(0)
+	e.flopsMu.Lock()
+	e.flopsByOp = nil
+	e.flopsMu.Unlock()
+}
+
+// addFlops charges n flops to op: the global counter feeds the time
+// model, the per-op split feeds \stats. Called once per chunk.
+func (e *Executor) addFlops(op string, n int64) {
+	e.flops.Add(n)
+	e.flopsMu.Lock()
+	if e.flopsByOp == nil {
+		e.flopsByOp = make(map[string]int64)
+	}
+	e.flopsByOp[op] += n
+	e.flopsMu.Unlock()
+}
+
+// getScratch returns a recycled buffer of length n; putScratch gives it
+// back. Recycling replaces the per-chunk-per-level make in the fused
+// pipeline, whose garbage scaled with DAG depth × chunks × workers.
+func (e *Executor) getScratch(n int) []float64 {
+	if p, ok := e.scratch.Get().(*[]float64); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]float64, n)
+}
+
+func (e *Executor) putScratch(b []float64) {
+	e.scratch.Put(&b)
 }
 
 func (e *Executor) fresh(prefix string) string {
@@ -289,23 +338,16 @@ func (e *Executor) reduce(fn string, n *algebra.Node) (float64, error) {
 			if err := e.evalRange(n, lo, hi, b); err != nil {
 				return err
 			}
+			// The slice kernels fold b into acc in the same element order
+			// as the scalar loops they replaced, so chunked and parallel
+			// reductions stay bit-identical to the sequential sweep.
 			switch fn {
 			case "sum":
-				for _, v := range b {
-					acc += v
-				}
+				acc = scalarop.SumSlice(acc, b)
 			case "min":
-				for _, v := range b {
-					if v < acc {
-						acc = v
-					}
-				}
+				acc = scalarop.MinSlice(acc, b)
 			case "max":
-				for _, v := range b {
-					if v > acc {
-						acc = v
-					}
-				}
+				acc = scalarop.MaxSlice(acc, b)
 			}
 		}
 		partials[worker] = acc
@@ -329,7 +371,7 @@ func (e *Executor) reduce(fn string, n *algebra.Node) (float64, error) {
 			}
 		}
 	}
-	e.flops.Add(nelem)
+	e.addFlops(fn, nelem)
 	return acc, nil
 }
 
@@ -692,51 +734,39 @@ func (e *Executor) evalRangeRaw(n *algebra.Node, lo, hi int64, buf []float64) er
 		if err := e.evalRange(n.Kids[0], lo, hi, buf); err != nil {
 			return err
 		}
-		f, err := unaryFn(n.Fn)
+		f, err := scalarop.UnarySlice(n.Fn)
 		if err != nil {
 			return err
 		}
-		for i := range buf {
-			buf[i] = f(buf[i])
-		}
-		e.flops.Add(hi - lo)
+		f(buf, buf)
+		e.addFlops(n.Fn, hi-lo)
 		return nil
 	case algebra.OpScalarOp:
 		if err := e.evalRange(n.Kids[0], lo, hi, buf); err != nil {
 			return err
 		}
-		f, err := binFn(n.BinOp)
+		f, err := scalarop.BinSliceScalar(n.BinOp, n.ScalarLeft)
 		if err != nil {
 			return err
 		}
-		s := n.Scalar
-		if n.ScalarLeft {
-			for i := range buf {
-				buf[i] = f(s, buf[i])
-			}
-		} else {
-			for i := range buf {
-				buf[i] = f(buf[i], s)
-			}
-		}
-		e.flops.Add(hi - lo)
+		f(buf, buf, n.Scalar)
+		e.addFlops(n.BinOp, hi-lo)
 		return nil
 	case algebra.OpElemBinary:
 		if err := e.evalRange(n.Kids[0], lo, hi, buf); err != nil {
 			return err
 		}
-		rbuf := make([]float64, hi-lo)
+		rbuf := e.getScratch(int(hi - lo))
+		defer e.putScratch(rbuf)
 		if err := e.evalRange(n.Kids[1], lo, hi, rbuf); err != nil {
 			return err
 		}
-		f, err := binFn(n.BinOp)
+		f, err := scalarop.BinSlices(n.BinOp)
 		if err != nil {
 			return err
 		}
-		for i := range buf {
-			buf[i] = f(buf[i], rbuf[i])
-		}
-		e.flops.Add(hi - lo)
+		f(buf, buf, rbuf)
+		e.addFlops(n.BinOp, hi-lo)
 		return nil
 	case algebra.OpUpdateMask:
 		if err := e.evalRange(n.Kids[0], lo, hi, buf); err != nil {
@@ -751,12 +781,13 @@ func (e *Executor) evalRangeRaw(n *algebra.Node, lo, hi int64, buf []float64) er
 				buf[i] = n.Scalar2
 			}
 		}
-		e.flops.Add(hi - lo)
+		e.addFlops("mask"+n.BinOp, hi-lo)
 		return nil
 	case algebra.OpRange:
 		return e.evalRange(n.Kids[0], n.Lo+lo, n.Lo+hi, buf)
 	case algebra.OpGather:
-		idx := make([]float64, hi-lo)
+		idx := e.getScratch(int(hi - lo))
+		defer e.putScratch(idx)
 		if err := e.evalRange(n.Kids[1], lo, hi, idx); err != nil {
 			return err
 		}
@@ -915,19 +946,19 @@ func (e *Executor) forceMatAny(n *algebra.Node, name string) (forcedMat, error) 
 		}
 		switch {
 		case a.s != nil && b.s != nil:
-			e.flops.Add(sparseProductFlops(a.s.NNZ(), b.s.NNZ(), a.cols()))
+			e.addFlops("matmul", sparseProductFlops(a.s.NNZ(), b.s.NNZ(), a.cols()))
 			t, err := linalg.MatMulSparseSparse(e.pool, name, a.s, b.s)
 			return forcedMat{s: t, temp: true}, err
 		case a.s != nil:
-			e.flops.Add(a.s.NNZ() * b.cols())
+			e.addFlops("matmul", a.s.NNZ()*b.cols())
 			t, err := linalg.MatMulSparseDense(e.pool, name, a.s, b.d)
 			return forcedMat{d: t, temp: true}, err
 		case b.s != nil:
-			e.flops.Add(b.s.NNZ() * a.rows())
+			e.addFlops("matmul", b.s.NNZ()*a.rows())
 			t, err := linalg.MatMulDenseSparse(e.pool, name, a.d, b.s)
 			return forcedMat{d: t, temp: true}, err
 		}
-		e.flops.Add(a.rows() * a.cols() * b.cols())
+		e.addFlops("matmul", a.rows()*a.cols()*b.cols())
 		// The kernel was selected at plan time from the same cost
 		// formulas the seed consulted here.
 		var t *array.Matrix

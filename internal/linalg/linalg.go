@@ -153,6 +153,14 @@ func MatMulTiled(pool *buffer.Pool, name string, a, b *array.Matrix) (*array.Mat
 // same order as the sequential schedule, so the result is bit-identical
 // for any worker count. workers <= 1 runs the exact sequential schedule.
 func MatMulTiledWorkers(pool *buffer.Pool, name string, a, b *array.Matrix, workers int) (*array.Matrix, error) {
+	return MatMulTiledKernel(pool, name, a, b, workers, KernelMicro)
+}
+
+// MatMulTiledKernel is MatMulTiledWorkers with an explicit choice of
+// inner kernel. Both kernels run the identical pin/prefetch/flush
+// schedule; the choice only selects the arithmetic between pin and
+// release, which is what the gflops ablation measures.
+func MatMulTiledKernel(pool *buffer.Pool, name string, a, b *array.Matrix, workers int, kern Kernel) (*array.Matrix, error) {
 	if a.Cols() != b.Rows() {
 		return nil, fmt.Errorf("linalg: dimension mismatch %dx%d * %dx%d", a.Rows(), a.Cols(), b.Rows(), b.Cols())
 	}
@@ -203,9 +211,10 @@ func MatMulTiledWorkers(pool *buffer.Pool, name string, a, b *array.Matrix, work
 		if q < 1 {
 			q = 1
 		}
+		var sc mulScratch
 		for ti0 := 0; ti0 < agr; ti0 += q {
 			for tj0 := 0; tj0 < bgc; tj0 += q {
-				if err := multiplySuperBlock(t, a, b, ti0, tj0, q, agr, agc, bgc, true); err != nil {
+				if err := multiplySuperBlock(t, a, b, ti0, tj0, q, agr, agc, bgc, true, kern, &sc); err != nil {
 					return nil, err
 				}
 			}
@@ -214,9 +223,12 @@ func MatMulTiledWorkers(pool *buffer.Pool, name string, a, b *array.Matrix, work
 	}
 
 	// Parallel: workers pull output super-blocks from a shared queue.
+	// Each worker owns one scratch set of packing buffers, reused across
+	// every super-block it processes.
+	scratches := make([]mulScratch, w)
 	var next atomic.Int64
 	var failed atomic.Bool
-	err = runWorkers(w, func(int) error {
+	err = runWorkers(w, func(j int) error {
 		for !failed.Load() {
 			task := int(next.Add(1)) - 1
 			if task >= tasks {
@@ -228,7 +240,7 @@ func MatMulTiledWorkers(pool *buffer.Pool, name string, a, b *array.Matrix, work
 			// worker's three super-blocks pinned the budget has no slack,
 			// and on oversubscribed CPUs one worker's claims evict
 			// another's prefetched tiles before they are consumed.
-			if err := multiplySuperBlock(t, a, b, ti0, tj0, q, agr, agc, bgc, false); err != nil {
+			if err := multiplySuperBlock(t, a, b, ti0, tj0, q, agr, agc, bgc, false, kern, &scratches[j]); err != nil {
 				failed.Store(true)
 				return err
 			}
@@ -271,7 +283,7 @@ func runWorkers(w int, fn func(j int) error) error {
 // schedule and its budget are unchanged) and the next pins collapse onto
 // two sorted vectored reads instead of issuing 2q² single-tile requests
 // interleaved with write-backs.
-func multiplySuperBlock(t, a, b *array.Matrix, ti0, tj0, q, agr, agc, bgc int, prefetch bool) error {
+func multiplySuperBlock(t, a, b *array.Matrix, ti0, tj0, q, agr, agc, bgc int, prefetch bool, kern Kernel, sc *mulScratch) error {
 	ti1 := min(ti0+q, agr)
 	tj1 := min(tj0+q, bgc)
 	if prefetch {
@@ -286,6 +298,21 @@ func multiplySuperBlock(t, a, b *array.Matrix, ti0, tj0, q, agr, agc, bgc int, p
 		return err
 	}
 	defer releaseBlock(ctiles)
+	// Element extents of this super-block. Tiles are square (side×side);
+	// only the last tile row/column of the grid is clipped, so the
+	// super-block's elements are contiguous ranges.
+	side, _ := t.TileDims()
+	var M, N, Np int
+	if kern == KernelMicro {
+		M = int(min(int64(ti1)*int64(side), t.Rows()) - int64(ti0)*int64(side))
+		N = int(min(int64(tj1)*int64(side), t.Cols()) - int64(tj0)*int64(side))
+		Np = roundUp(N, nr)
+		// One C panel accumulates across every k-step, then unpacks once.
+		// Fresh C tiles start zeroed, so panel accumulation performs the
+		// same additions in the same order as accumulating in the tiles.
+		sc.cpack = grow(sc.cpack, roundUp(M, mr)*Np)
+		clear(sc.cpack)
+	}
 	for tk0 := 0; tk0 < agc; tk0 += q {
 		tk1 := min(tk0+q, agc)
 		atiles, err := pinBlock(a, ti0, ti1, tk0, tk1, false)
@@ -297,14 +324,20 @@ func multiplySuperBlock(t, a, b *array.Matrix, ti0, tj0, q, agr, agc, bgc int, p
 			releaseBlock(atiles)
 			return err
 		}
-		// Multiply the pinned super-blocks tile by tile.
-		for ti := ti0; ti < ti1; ti++ {
-			for tj := tj0; tj < tj1; tj++ {
-				ct := ctiles[(ti-ti0)*(tj1-tj0)+(tj-tj0)]
-				for tk := tk0; tk < tk1; tk++ {
-					at := atiles[(ti-ti0)*(tk1-tk0)+(tk-tk0)]
-					bt := btiles[(tk-tk0)*(tj1-tj0)+(tj-tj0)]
-					multiplyTilePair(at, bt, ct)
+		if kern == KernelMicro {
+			K := int(min(int64(tk1)*int64(side), a.Cols()) - int64(tk0)*int64(side))
+			multiplyPanels(sc, atiles, btiles, ti0, ti1, tk0, tk1, tj0, tj1, side, M, N, K)
+		} else {
+			// Naive: multiply the pinned super-blocks tile by tile
+			// through the per-element accessors.
+			for ti := ti0; ti < ti1; ti++ {
+				for tj := tj0; tj < tj1; tj++ {
+					ct := ctiles[(ti-ti0)*(tj1-tj0)+(tj-tj0)]
+					for tk := tk0; tk < tk1; tk++ {
+						at := atiles[(ti-ti0)*(tk1-tk0)+(tk-tk0)]
+						bt := btiles[(tk-tk0)*(tj1-tj0)+(tj-tj0)]
+						multiplyTilePair(at, bt, ct)
+					}
 				}
 			}
 		}
@@ -315,6 +348,9 @@ func multiplySuperBlock(t, a, b *array.Matrix, ti0, tj0, q, agr, agc, bgc int, p
 			a.PrefetchTiles(ti0, ti1, tk1, nk1)
 			b.PrefetchTiles(tk1, nk1, tj0, tj1)
 		}
+	}
+	if kern == KernelMicro {
+		unpackC(sc.cpack, ctiles, ti0, ti1, tj0, tj1, side, Np)
 	}
 	for _, ct := range ctiles {
 		ct.MarkDirty()
@@ -376,28 +412,54 @@ func Transpose(pool *buffer.Pool, name string, a *array.Matrix) (*array.Matrix, 
 // output elements; when two stripes share an output tile, the writes
 // land on different offsets of the (pinned, never-moving) frame and the
 // dirty write-back on eviction keeps partial updates ordered. Each
-// worker holds at most two pinned frames (one source tile, one output
-// tile inside Set), so the in-flight worker count is capped at
+// worker holds at most two pinned frames (one source tile, one
+// overlapping output tile), so the in-flight worker count is capped at
 // capacity/2. workers <= 1 runs the exact sequential loop.
+//
+// Instead of one Matrix.Set per element (a pool request, a grid lookup,
+// and a dirty mark each), every source tile is scattered through raw
+// row slices: each overlapping output tile is pinned once, filled with
+// strided copies out of the source tile's rows, and dirty-marked once.
 func TransposeWorkers(pool *buffer.Pool, name string, a *array.Matrix, workers int) (*array.Matrix, error) {
 	t, err := array.NewMatrix(pool, name, a.Cols(), a.Rows(), array.Options{Shape: array.SquareTiles, Lin: a.Lin()})
 	if err != nil {
 		return nil, err
 	}
 	gr, gc := a.GridDims()
+	dside, _ := t.TileDims()
 	transposeCols := func(tjLo, tjHi int) error {
+		var srows [][]float64
 		for ti := 0; ti < gr; ti++ {
 			for tj := tjLo; tj < tjHi; tj++ {
 				src, err := a.PinTile(ti, tj)
 				if err != nil {
 					return err
 				}
+				srows = srows[:0]
 				for i := src.RowLo; i < src.RowHi; i++ {
-					for j := src.ColLo; j < src.ColHi; j++ {
-						if err := t.Set(j, i, src.At(i, j)); err != nil {
+					srows = append(srows, src.Row(i))
+				}
+				// The source tile lands in the output at rows
+				// [ColLo,ColHi) × cols [RowLo,RowHi); the source may be
+				// row/col/square-tiled, so that region can overlap
+				// several square output tiles.
+				for dti := int(src.ColLo) / dside; dti <= int(src.ColHi-1)/dside; dti++ {
+					for dtj := int(src.RowLo) / dside; dtj <= int(src.RowHi-1)/dside; dtj++ {
+						dst, err := t.PinTile(dti, dtj)
+						if err != nil {
 							src.Release()
 							return err
 						}
+						jLo, jHi := max(dst.RowLo, src.ColLo), min(dst.RowHi, src.ColHi)
+						iLo, iHi := max(dst.ColLo, src.RowLo), min(dst.ColHi, src.RowHi)
+						for j := jLo; j < jHi; j++ {
+							drow := dst.Row(j)
+							for i := iLo; i < iHi; i++ {
+								drow[i-dst.ColLo] = srows[i-src.RowLo][j-src.ColLo]
+							}
+						}
+						dst.MarkDirty()
+						dst.Release()
 					}
 				}
 				src.Release()

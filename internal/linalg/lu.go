@@ -5,6 +5,7 @@ import (
 
 	"riot/internal/array"
 	"riot/internal/buffer"
+	"riot/internal/scalarop"
 )
 
 // LU computes a blocked right-looking LU decomposition of the square
@@ -115,67 +116,78 @@ func LU(pool *buffer.Pool, name string, a *array.Matrix) (*array.Matrix, error) 
 	return lu, pool.FlushAll()
 }
 
-// factorTile performs dense, unpivoted LU inside the diagonal tile.
+// factorTile performs dense, unpivoted LU inside the diagonal tile,
+// working on the tile's raw row slices (the caller marks it dirty).
+// Per-element subtraction order matches the accessor loop it replaced.
 func factorTile(t *array.Tile) error {
 	for p := t.RowLo; p < t.RowHi; p++ {
-		piv := t.At(p, p)
+		prow := t.Row(p)
+		d := p - t.ColLo // diagonal tiles have RowLo == ColLo
+		piv := prow[d]
 		if piv == 0 {
 			return fmt.Errorf("linalg: zero pivot at %d (LU is unpivoted)", p)
 		}
 		for i := p + 1; i < t.RowHi; i++ {
-			l := t.At(i, p) / piv
-			t.Set(i, p, l)
-			for j := p + 1; j < t.ColHi; j++ {
-				t.Set(i, j, t.At(i, j)-l*t.At(p, j))
-			}
+			irow := t.Row(i)
+			l := irow[d] / piv
+			irow[d] = l
+			// y += (-l)·x is bit-identical to y -= l·x under IEEE 754.
+			scalarop.AXPY(irow[d+1:], prow[d+1:], -l)
 		}
 	}
 	return nil
 }
 
 // solveRightUpper solves X · U = T for X in place of T, where U is the
-// upper triangle of the diagonal tile dk.
+// upper triangle of the diagonal tile dk. T's rows are mutated through
+// raw slices; dk's rows are gathered once per call.
 func solveRightUpper(dk, t *array.Tile) {
+	w := int(dk.ColHi - dk.ColLo)
+	drows := make([][]float64, w)
+	for r := range drows {
+		drows[r] = dk.Row(dk.RowLo + int64(r))
+	}
 	for i := t.RowLo; i < t.RowHi; i++ {
-		for j := dk.ColLo; j < dk.ColHi; j++ {
-			sum := t.At(i, j)
-			for p := dk.ColLo; p < j; p++ {
-				sum -= t.At(i, p) * dk.At(dk.RowLo+(p-dk.ColLo), j)
+		trow := t.Row(i)
+		for j := 0; j < w; j++ {
+			sum := trow[j]
+			for p := 0; p < j; p++ {
+				sum -= trow[p] * drows[p][j]
 			}
-			t.Set(i, j, sum/dk.At(dk.RowLo+(j-dk.ColLo), j))
+			trow[j] = sum / drows[j][j]
 		}
 	}
 }
 
 // solveLeftUnitLower solves L · X = T for X in place of T, where L is
-// the unit lower triangle of dk.
+// the unit lower triangle of dk. Rewritten row-wise over raw slices:
+// row r of T receives its p<r subtractions in ascending p, the same
+// per-element order as the accessor loop (rows below the current one
+// are only read after they are final).
 func solveLeftUnitLower(dk, t *array.Tile) {
-	for j := t.ColLo; j < t.ColHi; j++ {
-		for i := dk.RowLo; i < dk.RowHi; i++ {
-			sum := t.At(t.RowLo+(i-dk.RowLo), j)
-			for p := dk.RowLo; p < i; p++ {
-				sum -= dk.At(i, dk.ColLo+(p-dk.RowLo)) * t.At(t.RowLo+(p-dk.RowLo), j)
-			}
-			t.Set(t.RowLo+(i-dk.RowLo), j, sum)
+	h := int(dk.RowHi - dk.RowLo)
+	for r := 1; r < h; r++ {
+		trow := t.Row(t.RowLo + int64(r))
+		drow := dk.Row(dk.RowLo + int64(r))
+		for p := 0; p < r; p++ {
+			scalarop.AXPY(trow, t.Row(t.RowLo+int64(p)), -drow[p])
 		}
 	}
 }
 
-// subtractProduct computes C -= L·U over one tile triple.
+// subtractProduct computes C -= L·U over one tile triple with raw row
+// slices, skipping zero L entries like the accessor loop it replaced.
 func subtractProduct(lt, ut, ct *array.Tile) {
+	pmax := min(int(ut.RowHi-ut.RowLo), int(lt.ColHi-lt.ColLo))
 	for i := ct.RowLo; i < ct.RowHi; i++ {
-		for p := lt.ColLo; p < lt.ColHi; p++ {
-			lv := lt.At(i, p)
+		crow := ct.Row(i)
+		lrow := lt.Row(i)
+		for p := 0; p < pmax; p++ {
+			lv := lrow[p]
 			if lv == 0 {
 				continue
 			}
-			up := ut.RowLo + (p - lt.ColLo)
-			if up >= ut.RowHi {
-				continue
-			}
-			for j := ct.ColLo; j < ct.ColHi; j++ {
-				ct.Set(i, j, ct.At(i, j)-lv*ut.At(up, j))
-			}
+			scalarop.AXPY(crow, ut.Row(ut.RowLo+int64(p)), -lv)
 		}
 	}
 }
@@ -210,8 +222,10 @@ func SolveLU(lu *array.Matrix, b []float64) ([]float64, error) {
 			for i := t.RowLo; i < t.RowHi; i++ {
 				hi := min(t.ColHi, i) // strictly below the diagonal
 				sum := 0.0
-				for j := t.ColLo; j < hi; j++ {
-					sum += t.At(i, j) * y[j]
+				row := t.Row(i)[:hi-t.ColLo]
+				ys := y[t.ColLo:hi]
+				for j, v := range row {
+					sum += v * ys[j]
 				}
 				y[i] -= sum
 			}
@@ -230,20 +244,23 @@ func SolveLU(lu *array.Matrix, b []float64) ([]float64, error) {
 				return nil, err
 			}
 			if tj > ti {
+				xs := x[t.ColLo:t.ColHi]
 				for i := t.RowLo; i < t.RowHi; i++ {
 					sum := 0.0
-					for j := t.ColLo; j < t.ColHi; j++ {
-						sum += t.At(i, j) * x[j]
+					for j, v := range t.Row(i) {
+						sum += v * xs[j]
 					}
 					x[i] -= sum
 				}
 			} else {
 				for i := t.RowHi - 1; i >= t.RowLo; i-- {
+					row := t.Row(i)
 					sum := 0.0
-					for j := i + 1; j < t.ColHi; j++ {
-						sum += t.At(i, j) * x[j]
+					xs := x[i+1 : t.ColHi]
+					for j, v := range row[i+1-t.ColLo:] {
+						sum += v * xs[j]
 					}
-					x[i] = (x[i] - sum) / t.At(i, i)
+					x[i] = (x[i] - sum) / row[i-t.ColLo]
 				}
 			}
 			t.Release()

@@ -1,0 +1,195 @@
+package linalg
+
+import (
+	"riot/internal/array"
+)
+
+// Kernel selects the arithmetic inner loop of the tiled multiply. The
+// I/O schedule (which tiles are pinned, prefetched, and released, and
+// in what order) is identical for every kernel; only the work done
+// between pin and release differs, which is what lets the golden I/O
+// counter tests pin the schedule while the gflops ablation compares the
+// kernels.
+type Kernel int
+
+const (
+	// KernelMicro packs each pinned super-block pair into contiguous
+	// zero-padded panels and accumulates with the register-blocked 4×4
+	// microkernel below. This is the default.
+	KernelMicro Kernel = iota
+	// KernelNaive is the per-element accessor triple loop the
+	// microkernel replaced, kept reachable for the gflops ablation and
+	// the kernel-equivalence property tests.
+	KernelNaive
+)
+
+// String names the kernel for bench tables.
+func (k Kernel) String() string {
+	if k == KernelNaive {
+		return "naive"
+	}
+	return "micro"
+}
+
+// mr and nr are the microkernel's register block: each invocation
+// produces a 4×4 block of C, streaming 4 A lanes and 4 B lanes per k.
+// Panels are zero-padded up to multiples of mr/nr, so the microkernel
+// never branches on bounds — edge work costs a few wasted lanes instead
+// of a scalar cleanup loop.
+const (
+	mr = 4
+	nr = 4
+)
+
+// mulScratch holds one worker's packing buffers, grown on demand and
+// reused across k-steps and super-blocks. The buffers are transient
+// host-side scratch (like MatMulBNLJ's row chunks), bounded by the
+// sizes of the three pinned super-blocks; they are not pool frames and
+// carry no I/O.
+type mulScratch struct {
+	apack []float64 // A panel: row blocks of mr lanes, k-major
+	bpack []float64 // B panel: column blocks of nr lanes, k-major
+	cpack []float64 // C panel: row-major Mp×Np accumulator
+}
+
+// grow returns buf with at least n elements, reallocating if needed.
+// Contents are unspecified; callers overwrite or clear what they use.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// roundUp returns n rounded up to a multiple of block.
+func roundUp(n, block int) int {
+	return (n + block - 1) / block * block
+}
+
+// packA packs the pinned A tile block (tile rows [ti0,ti1), tile cols
+// [tk0,tk1), row-major in atiles) into the panel format the microkernel
+// streams: rows grouped in blocks of mr, k-major within a block, the mr
+// lanes of one k adjacent. Element (m, k) of the logical M×K panel
+// lands at apack[((m/mr)*K+k)*mr + m%mr]. Rows M..Mp-1 are zero pad.
+func packA(apack []float64, atiles []*array.Tile, ti0, ti1, tk0, tk1, side, K int) {
+	for ti := ti0; ti < ti1; ti++ {
+		for tk := tk0; tk < tk1; tk++ {
+			at := atiles[(ti-ti0)*(tk1-tk0)+(tk-tk0)]
+			rbase := (ti - ti0) * side
+			kbase := (tk - tk0) * side
+			for i := at.RowLo; i < at.RowHi; i++ {
+				m := rbase + int(i-at.RowLo)
+				row := at.Row(i)
+				base := (m/mr)*K*mr + m%mr
+				for lk, v := range row {
+					apack[base+(kbase+lk)*mr] = v
+				}
+			}
+		}
+	}
+}
+
+// packB packs the pinned B tile block (tile rows [tk0,tk1), tile cols
+// [tj0,tj1)) into column blocks of nr lanes, k-major: element (k, n) of
+// the logical K×N panel lands at bpack[((n/nr)*K+k)*nr + n%nr].
+// Columns N..Np-1 are zero pad.
+func packB(bpack []float64, btiles []*array.Tile, tk0, tk1, tj0, tj1, side, K int) {
+	for tk := tk0; tk < tk1; tk++ {
+		for tj := tj0; tj < tj1; tj++ {
+			bt := btiles[(tk-tk0)*(tj1-tj0)+(tj-tj0)]
+			kbase := (tk - tk0) * side
+			nbase := (tj - tj0) * side
+			for i := bt.RowLo; i < bt.RowHi; i++ {
+				k := kbase + int(i-bt.RowLo)
+				row := bt.Row(i)
+				for ln, v := range row {
+					n := nbase + ln
+					bpack[((n/nr)*K+k)*nr+n%nr] = v
+				}
+			}
+		}
+	}
+}
+
+// microKernel4x4 accumulates a 4×4 block of C over K steps:
+// c[r][s] += Σ_k a[k*4+r] · b[k*4+s], k ascending. The k-innermost
+// order makes each output element's accumulation sequence identical to
+// the naive per-element loop, so the result is bit-identical on finite
+// inputs (zero-padded lanes add exact zeros). The sixteen accumulators
+// live in registers across the whole K loop; a and b stream
+// sequentially.
+func microKernel4x4(a, b []float64, K int, c []float64, ldc int) {
+	c00, c01, c02, c03 := c[0], c[1], c[2], c[3]
+	c10, c11, c12, c13 := c[ldc], c[ldc+1], c[ldc+2], c[ldc+3]
+	c20, c21, c22, c23 := c[2*ldc], c[2*ldc+1], c[2*ldc+2], c[2*ldc+3]
+	c30, c31, c32, c33 := c[3*ldc], c[3*ldc+1], c[3*ldc+2], c[3*ldc+3]
+	for k := 0; k < K; k++ {
+		a0, a1, a2, a3 := a[4*k], a[4*k+1], a[4*k+2], a[4*k+3]
+		b0, b1, b2, b3 := b[4*k], b[4*k+1], b[4*k+2], b[4*k+3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	c[0], c[1], c[2], c[3] = c00, c01, c02, c03
+	c[ldc], c[ldc+1], c[ldc+2], c[ldc+3] = c10, c11, c12, c13
+	c[2*ldc], c[2*ldc+1], c[2*ldc+2], c[2*ldc+3] = c20, c21, c22, c23
+	c[3*ldc], c[3*ldc+1], c[3*ldc+2], c[3*ldc+3] = c30, c31, c32, c33
+}
+
+// multiplyPanels runs one k-step of a super-block through the packed
+// microkernel: pack the pinned A and B tile blocks into zero-padded
+// panels, then accumulate every 4×4 block of the C panel. M, N are the
+// super-block's element extents, K this k-step's; Mp/Np the padded C
+// panel dims. Pad lanes multiply zeros into discarded C rows/columns.
+func multiplyPanels(sc *mulScratch, atiles, btiles []*array.Tile, ti0, ti1, tk0, tk1, tj0, tj1, side, M, N, K int) {
+	Mp, Np := roundUp(M, mr), roundUp(N, nr)
+	sc.apack = grow(sc.apack, Mp*K)
+	sc.bpack = grow(sc.bpack, Np*K)
+	// Pad lanes live only in the last row/column block; clear just those
+	// (valid lanes are fully overwritten by the packers, pad lanes must
+	// not inherit stale data from a previous, differently-shaped panel).
+	if M < Mp {
+		clear(sc.apack[(Mp/mr-1)*K*mr:])
+	}
+	if N < Np {
+		clear(sc.bpack[(Np/nr-1)*K*nr:])
+	}
+	packA(sc.apack, atiles, ti0, ti1, tk0, tk1, side, K)
+	packB(sc.bpack, btiles, tk0, tk1, tj0, tj1, side, K)
+	for rb := 0; rb < Mp/mr; rb++ {
+		arow := sc.apack[rb*K*mr:]
+		for cb := 0; cb < Np/nr; cb++ {
+			microKernel4x4(arow, sc.bpack[cb*K*nr:], K, sc.cpack[rb*mr*Np+cb*nr:], Np)
+		}
+	}
+}
+
+// unpackC copies the valid region of the C panel into the pinned
+// output tiles with raw row copies. Dirty marking stays with the
+// caller, which marks every C tile once per super-block.
+func unpackC(cpack []float64, ctiles []*array.Tile, ti0, ti1, tj0, tj1, side, Np int) {
+	for ti := ti0; ti < ti1; ti++ {
+		for tj := tj0; tj < tj1; tj++ {
+			ct := ctiles[(ti-ti0)*(tj1-tj0)+(tj-tj0)]
+			rbase := (ti - ti0) * side
+			cbase := (tj - tj0) * side
+			for i := ct.RowLo; i < ct.RowHi; i++ {
+				m := rbase + int(i-ct.RowLo)
+				copy(ct.Row(i), cpack[m*Np+cbase:])
+			}
+		}
+	}
+}

@@ -207,6 +207,13 @@ type Step struct {
 	EstRandOps     float64
 	// EstSeconds is the step's simulated I/O time.
 	EstSeconds float64
+	// EstFlops counts the step's scalar arithmetic (one op per element
+	// per fused compute node; l·m·n for a dense multiply, nnz-scaled for
+	// sparse ones); EstCPUSeconds converts it at costmodel.FlopsPerSec.
+	// CPU time is reported beside EstSeconds, not added to it: with
+	// prefetching the two overlap, so the larger term dominates.
+	EstFlops      float64
+	EstCPUSeconds float64
 	// EstNNZ is the nonzero estimate behind a sparse step's block
 	// numbers: the sparse operand's stored nnz for sparse×dense and
 	// dense×sparse, the estimated product nnz for sparse×sparse. Zero
@@ -222,9 +229,11 @@ type Plan struct {
 	Machine  Machine
 	Steps    []Step
 	// EstBlocks is the total estimated device traffic (reads + writes);
-	// EstSeconds the total simulated I/O time.
-	EstBlocks  float64
-	EstSeconds float64
+	// EstSeconds the total simulated I/O time; EstCPUSeconds the total
+	// estimated compute time (reported separately — see Step.EstFlops).
+	EstBlocks     float64
+	EstSeconds    float64
+	EstCPUSeconds float64
 
 	decisions map[*algebra.Node]Decision
 	algos     map[*algebra.Node]MatMulAlgo
@@ -310,15 +319,19 @@ func Build(root *algebra.Node, opts Options) *Plan {
 			// block of a multi-stream pipeline as a random positioning.
 			rand = c.blocks
 		}
+		flops := b.pipelineFlops(root)
 		pl.Steps = append(pl.Steps, Step{
 			Node: root, Kind: StepOutput,
 			EstReadBlocks: c.blocks, EstRandOps: rand,
-			EstSeconds: opts.Machine.seconds(c.blocks, rand),
+			EstSeconds:    opts.Machine.seconds(c.blocks, rand),
+			EstFlops:      flops,
+			EstCPUSeconds: costmodel.CPUSeconds(flops),
 		})
 	}
 	for _, s := range pl.Steps {
 		pl.EstBlocks += s.EstReadBlocks + s.EstWriteBlocks
 		pl.EstSeconds += s.EstSeconds
+		pl.EstCPUSeconds += s.EstCPUSeconds
 	}
 	return pl
 }
@@ -643,11 +656,61 @@ func (b *builder) materializeStep(n *algebra.Node, kind StepKind) Step {
 		rand = c.blocks
 	}
 	writes := costmodel.StreamBlocks(float64(n.Shape.Rows), b.p)
+	flops := b.pipelineFlops(n)
 	return Step{
 		Node: n, Kind: kind, Refs: b.refs[n],
 		EstReadBlocks: c.blocks, EstWriteBlocks: writes, EstRandOps: rand,
-		EstSeconds: b.opts.Machine.seconds(c.blocks+writes, rand),
+		EstSeconds:    b.opts.Machine.seconds(c.blocks+writes, rand),
+		EstFlops:      flops,
+		EstCPUSeconds: costmodel.CPUSeconds(flops),
 	}
+}
+
+// pipelineFlops estimates the scalar arithmetic of the fused pass that
+// produces n: every compute node the pass evaluates inline (not served
+// from a temporary or its own scheduled step) charges one operation per
+// element, mirroring the executor's flop counters.
+func (b *builder) pipelineFlops(n *algebra.Node) float64 {
+	var total float64
+	seen := make(map[*algebra.Node]bool)
+	elems := func(m *algebra.Node) float64 {
+		if m.Shape.Vector {
+			return float64(m.Shape.Rows)
+		}
+		return float64(m.Shape.Rows) * float64(m.Shape.Cols)
+	}
+	var walk func(m *algebra.Node, root bool)
+	walk = func(m *algebra.Node, root bool) {
+		if seen[m] {
+			return
+		}
+		seen[m] = true
+		if !root && b.decisions[m] == Materialize {
+			return // served from its own step's temporary
+		}
+		switch m.Op {
+		case algebra.OpSourceVec, algebra.OpSourceMat, algebra.OpMatMul:
+			// Sources carry no arithmetic; multiplies are their own steps.
+			return
+		case algebra.OpGather:
+			// The data child is random-accessed (its work is a
+			// gather-source step); only the index child runs in-pipeline.
+			walk(m.Kids[1], false)
+			return
+		case algebra.OpReduce:
+			// The reduction streams its kid once and folds each element.
+			walk(m.Kids[0], false)
+			total += elems(m.Kids[0])
+			return
+		case algebra.OpElemUnary, algebra.OpScalarOp, algebra.OpElemBinary, algebra.OpUpdateMask:
+			total += elems(m)
+		}
+		for _, k := range m.Kids {
+			walk(k, false)
+		}
+	}
+	walk(n, true)
+	return total
 }
 
 func (b *builder) matmulStep(n *algebra.Node) Step {
@@ -689,10 +752,28 @@ func (b *builder) matmulStep(n *algebra.Node) Step {
 	if b.opts.Machine.Readahead {
 		rand = 0
 	}
+	// Flop estimate mirrors the executor's counters: l·m·n for the dense
+	// kernels, nnz-scaled for the sparse ones.
+	var flops float64
+	switch algo {
+	case AlgoSparseDense:
+		flops = b.matInfo(n.Kids[0]).nnz * k
+	case AlgoDenseSparse:
+		flops = b.matInfo(n.Kids[1]).nnz * l
+	case AlgoSparseSparse:
+		ai, bi := b.matInfo(n.Kids[0]), b.matInfo(n.Kids[1])
+		if m > 0 {
+			flops = ai.nnz * bi.nnz / m
+		}
+	default:
+		flops = l * m * k
+	}
 	return Step{
 		Node: n, Kind: StepMatMul, Algo: algo, EstNNZ: nnz,
 		EstReadBlocks: reads, EstWriteBlocks: writes, EstRandOps: rand,
-		EstSeconds: b.opts.Machine.seconds(reads+writes, rand),
+		EstSeconds:    b.opts.Machine.seconds(reads+writes, rand),
+		EstFlops:      flops,
+		EstCPUSeconds: costmodel.CPUSeconds(flops),
 	}
 }
 
@@ -749,11 +830,12 @@ func (p *Plan) Render() string {
 		if s.Kind == StepMaterialize {
 			fmt.Fprintf(&sb, "  refs=%d", s.Refs)
 		}
-		fmt.Fprintf(&sb, "  est: read %.0f blk (%.0f rand), write %.0f blk, io %.3fs\n",
-			s.EstReadBlocks, s.EstRandOps, s.EstWriteBlocks, s.EstSeconds)
+		fmt.Fprintf(&sb, "  est: read %.0f blk (%.0f rand), write %.0f blk, io %.3fs, cpu %.3fs\n",
+			s.EstReadBlocks, s.EstRandOps, s.EstWriteBlocks, s.EstSeconds, s.EstCPUSeconds)
 	}
 	mb := p.EstBlocks * float64(p.Machine.BlockElems) * 8 / (1 << 20)
-	fmt.Fprintf(&sb, "total est: %.0f blocks (%.2f MB), io %.3fs\n", p.EstBlocks, mb, p.EstSeconds)
+	fmt.Fprintf(&sb, "total est: %.0f blocks (%.2f MB), io %.3fs, cpu %.3fs\n",
+		p.EstBlocks, mb, p.EstSeconds, p.EstCPUSeconds)
 
 	nodes := make([]*algebra.Node, 0, len(p.decisions))
 	for n := range p.decisions {

@@ -1,0 +1,243 @@
+package scalarop
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// binOps is the full binary operator table Bin supports; the slice
+// kernels must agree with the scalar functions on every one of them.
+var binOps = []string{"+", "-", "*", "/", "^", "%%", "==", "!=", "<", "<=", ">", ">=", "&", "|"}
+
+// unaryNames covers every unary function plus the SQL-style aliases the
+// RIOT-DB translation emits.
+var unaryNames = []string{
+	"sqrt", "SQRT", "abs", "ABS", "exp", "EXP", "log", "LOG",
+	"sin", "SIN", "cos", "COS", "floor", "FLOOR", "ceiling", "ceil", "CEIL",
+}
+
+// testVec builds a deterministic vector mixing magnitudes, signs, exact
+// zeros, and the special values the kernels must pass through untouched.
+func testVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		switch i % 7 {
+		case 0:
+			out[i] = 0
+		case 1:
+			out[i] = -float64(rng.Intn(100))
+		case 2:
+			out[i] = math.Inf(1)
+		case 3:
+			out[i] = math.NaN()
+		default:
+			out[i] = rng.NormFloat64() * 100
+		}
+	}
+	return out
+}
+
+// eqBits compares slices bit-for-bit (NaN == NaN, -0 != +0).
+func eqBits(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: [%d] = %v (%#x), want %v (%#x)",
+				label, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+func TestBinSlicesMatchScalar(t *testing.T) {
+	a := testVec(257, 1) // odd length: exercises any unrolled tail
+	b := testVec(257, 2)
+	for _, op := range binOps {
+		f, err := BinSlices(op)
+		if err != nil {
+			t.Fatalf("BinSlices(%q): %v", op, err)
+		}
+		g, err := Bin(op)
+		if err != nil {
+			t.Fatalf("Bin(%q): %v", op, err)
+		}
+		want := make([]float64, len(a))
+		for i := range a {
+			want[i] = g(a[i], b[i])
+		}
+		got := make([]float64, len(a))
+		f(got, a, b)
+		eqBits(t, "binary "+op, got, want)
+
+		// In-place aliasing, the executor's actual call shape:
+		// f(buf, buf, rhs).
+		inPlace := append([]float64(nil), a...)
+		f(inPlace, inPlace, b)
+		eqBits(t, "binary-inplace "+op, inPlace, want)
+	}
+}
+
+func TestBinSliceScalarMatchesScalar(t *testing.T) {
+	src := testVec(193, 3)
+	for _, op := range binOps {
+		for _, scalarLeft := range []bool{false, true} {
+			for _, s := range []float64{2.5, 0, -3, math.NaN()} {
+				f, err := BinSliceScalar(op, scalarLeft)
+				if err != nil {
+					t.Fatalf("BinSliceScalar(%q, %v): %v", op, scalarLeft, err)
+				}
+				g, err := Bin(op)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := make([]float64, len(src))
+				for i, v := range src {
+					if scalarLeft {
+						want[i] = g(s, v)
+					} else {
+						want[i] = g(v, s)
+					}
+				}
+				got := append([]float64(nil), src...)
+				f(got, got, s)
+				eqBits(t, "scalar "+op, got, want)
+			}
+		}
+	}
+}
+
+func TestUnarySliceMatchesScalar(t *testing.T) {
+	src := testVec(171, 4)
+	for _, name := range unaryNames {
+		f, err := UnarySlice(name)
+		if err != nil {
+			t.Fatalf("UnarySlice(%q): %v", name, err)
+		}
+		g, err := Unary(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]float64, len(src))
+		for i, v := range src {
+			want[i] = g(v)
+		}
+		got := append([]float64(nil), src...)
+		f(got, got)
+		eqBits(t, "unary "+name, got, want)
+	}
+}
+
+// TestReductionSlicesMatchScalarOrder pins the reduction kernels to the
+// executor's original element-order folds: same bits for sum, and the
+// same NaN and seeding behavior for min/max (a NaN input never displaces
+// the accumulator; the identity seeds pass through untouched).
+func TestReductionSlicesMatchScalarOrder(t *testing.T) {
+	for seed := int64(5); seed < 9; seed++ {
+		xs := testVec(211, seed)
+
+		var sum float64
+		for _, v := range xs {
+			sum += v
+		}
+		if got := SumSlice(0, xs); math.Float64bits(got) != math.Float64bits(sum) {
+			t.Fatalf("SumSlice: %v != %v", got, sum)
+		}
+		// Split folds must chain exactly like one fold.
+		half := SumSlice(SumSlice(0, xs[:100]), xs[100:])
+		if math.Float64bits(half) != math.Float64bits(sum) {
+			t.Fatalf("SumSlice split: %v != %v", half, sum)
+		}
+
+		mn, mx := math.Inf(1), math.Inf(-1)
+		for _, v := range xs {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		if got := MinSlice(math.Inf(1), xs); math.Float64bits(got) != math.Float64bits(mn) {
+			t.Fatalf("MinSlice: %v != %v", got, mn)
+		}
+		if got := MaxSlice(math.Inf(-1), xs); math.Float64bits(got) != math.Float64bits(mx) {
+			t.Fatalf("MaxSlice: %v != %v", got, mx)
+		}
+	}
+	// All-NaN input: the identity seeds survive, as in the scalar loops.
+	nans := []float64{math.NaN(), math.NaN()}
+	if got := MinSlice(math.Inf(1), nans); !math.IsInf(got, 1) {
+		t.Fatalf("MinSlice over NaNs: %v, want +Inf", got)
+	}
+	if got := MaxSlice(math.Inf(-1), nans); !math.IsInf(got, -1) {
+		t.Fatalf("MaxSlice over NaNs: %v, want -Inf", got)
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	x := testVec(129, 6)
+	y0 := testVec(129, 7)
+	for _, a := range []float64{0, 1, -2.5} {
+		want := append([]float64(nil), y0...)
+		for i := range want {
+			want[i] += a * x[i]
+		}
+		got := append([]float64(nil), y0...)
+		AXPY(got, x, a)
+		eqBits(t, "axpy", got, want)
+	}
+}
+
+// benchSlice reports elementwise throughput in GFLOP/s (one flop per
+// element) for a kernel against the buffer-pool chunk size.
+func benchSlice(b *testing.B, f func(dst, a, bb []float64)) {
+	const n = 4096
+	x := testVec(n, 8)
+	y := testVec(n, 9)
+	dst := make([]float64, n)
+	b.SetBytes(3 * 8 * n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(dst, x, y)
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+func BenchmarkAddSlices(b *testing.B) { benchSlice(b, AddSlices) }
+
+func BenchmarkMulSlices(b *testing.B) {
+	f, err := BinSlices("*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSlice(b, f)
+}
+
+func BenchmarkZipFallback(b *testing.B) {
+	g, err := Bin("*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSlice(b, func(dst, x, y []float64) { ZipSlices(dst, x, y, g) })
+}
+
+func BenchmarkSumSlice(b *testing.B) {
+	const n = 4096
+	x := testVec(n, 10)
+	// NaNs poison a sum benchmark's usefulness but not its timing;
+	// replace them so the metric reflects the arithmetic.
+	for i := range x {
+		if math.IsNaN(x[i]) {
+			x[i] = 1
+		}
+	}
+	b.SetBytes(8 * n)
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc = SumSlice(acc, x)
+	}
+	_ = acc
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
