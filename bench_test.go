@@ -1,4 +1,4 @@
-package riot
+package riot_test
 
 // Benchmarks that regenerate the paper's figures, one per table/panel,
 // plus ablations for the optimizations DESIGN.md calls out. Run with:

@@ -57,10 +57,13 @@ type Result struct {
 	// GFlops is arithmetic throughput in 1e9 flop/s (gflops ablation
 	// rows; 0 elsewhere).
 	GFlops float64 `json:"gflops,omitempty"`
+	// CacheHits counts result-cache hits during the measured replays
+	// (cache ablation warm rows; 0 elsewhere).
+	CacheHits int64 `json:"cache_hits,omitempty"`
 }
 
 func main() {
-	figure := flag.String("figure", "all", "which experiment: 1, 2, 3a, 3b, validate, workers, readahead, planner, sparse, wal, gflops, all")
+	figure := flag.String("figure", "all", "which experiment: 1, 2, 3a, 3b, validate, workers, readahead, planner, sparse, wal, gflops, cache, all")
 	paper := flag.Bool("paper", false, "use the paper's full-scale parameters")
 	jsonPath := flag.String("json", "BENCH_results.json", "write machine-readable results to this file (empty to disable)")
 	flag.Parse()
@@ -263,6 +266,24 @@ func main() {
 				IOMB:        r.IOMB,
 				WallNSPerOp: r.WallNS,
 				GFlops:      r.GFlops,
+			})
+		}
+		return out, nil
+	})
+
+	run("cache", func() ([]Result, error) {
+		rows, err := bench.CacheAblation(os.Stdout)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Result, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, Result{
+				Name:        fmt.Sprintf("cache/%s/sessions=%d", r.Mode, r.Sessions),
+				WallNSPerOp: r.WallNS / int64(r.Sessions),
+				Workers:     1,
+				BlockReads:  r.BlockReads,
+				CacheHits:   r.Hits,
 			})
 		}
 		return out, nil

@@ -34,6 +34,8 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, "admission bound on concurrent sessions (0 = pool/quota)")
 	readahead := flag.Bool("readahead", false, "enable the I/O scheduler under the shared pool")
 	walMode := flag.String("wal", "always", "write-ahead-log durability: always (fsync'd group commit), interval (timed fsync), off (checkpoint-only)")
+	cache := flag.Bool("cache", false, "enable the shared cross-session result cache")
+	cacheQuota := flag.Int64("cache-quota", 0, "result-cache budget in float64 elements (0 = mem/4; needs -cache)")
 	send := flag.String("send", "", "client mode: statements to send, one request per line ('-' reads stdin)")
 	flag.Parse()
 
@@ -55,13 +57,15 @@ func main() {
 	}
 
 	db, err := riot.Open(*dir, riot.Config{
-		MemElems:      *mem,
-		BlockElems:    *block,
-		Workers:       *workers,
-		Readahead:     *readahead,
-		SessionFrames: *quota,
-		MaxSessions:   *maxSessions,
-		WALSync:       walSync,
+		MemElems:         *mem,
+		BlockElems:       *block,
+		Workers:          *workers,
+		Readahead:        *readahead,
+		SessionFrames:    *quota,
+		MaxSessions:      *maxSessions,
+		WALSync:          walSync,
+		ResultCache:      *cache,
+		ResultCacheQuota: *cacheQuota,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "riot-serve:", err)

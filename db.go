@@ -10,6 +10,7 @@ import (
 	"riot/internal/catalog"
 	"riot/internal/disk"
 	"riot/internal/engine"
+	"riot/internal/rescache"
 	"riot/internal/wal"
 )
 
@@ -25,10 +26,11 @@ import (
 // frames are metered against a per-session quota, so one greedy session
 // cannot pin the shared pool shut.
 type DB struct {
-	cfg  Config
-	dev  *disk.Device
-	pool *buffer.Pool // root (unmetered) view
-	cat  *catalog.Catalog
+	cfg   Config
+	dev   *disk.Device
+	pool  *buffer.Pool // root (unmetered) view
+	cat   *catalog.Catalog
+	cache *rescache.Cache // shared result cache; nil when disabled
 
 	mu      sync.Mutex
 	admit   *sync.Cond
@@ -124,6 +126,13 @@ func Open(dir string, cfg Config) (*DB, error) {
 		quota:   quota,
 	}
 	db.admit = sync.NewCond(&db.mu)
+	if cfg.ResultCache {
+		cq := cfg.ResultCacheQuota
+		if cq <= 0 {
+			cq = cfg.MemElems / 4
+		}
+		db.cache = rescache.New(pool, cq)
+	}
 	cat.SetOnRetire(db.retireVersion)
 	return db, nil
 }
@@ -189,6 +198,7 @@ func (db *DB) newSession(wait bool) (*Session, error) {
 		Workers: db.cfg.Workers,
 		Planner: db.cfg.Planner.strategy(),
 		Prefix:  prefix,
+		Cache:   db.cache,
 	})
 	return &Session{eng: eng, db: db, seq: seq}, nil
 }
@@ -209,6 +219,16 @@ func (db *DB) release(s *Session) {
 // session seq and queue it. Retiring also reclaims: with no sessions
 // active, a hot publisher's old versions are freed on the spot.
 func (db *DB) retireVersion(e *catalog.Entry) {
+	// Eagerly reclaim cache entries computed from the superseded
+	// version. Correctness never depends on this — the version is part
+	// of every cache key, so stale entries can no longer be looked up —
+	// but their quota is better spent on live results. The old stores
+	// are also unregistered: DAGs still holding them become
+	// cache-ineligible instead of hashing to unreachable keys.
+	db.unregisterEntry(e)
+	if db.cache != nil {
+		db.cache.InvalidateName(e.Name)
+	}
 	db.mu.Lock()
 	db.retired = append(db.retired, retiredVersion{e: e, stamp: db.seq})
 	db.reclaimLocked()
@@ -249,6 +269,64 @@ func (db *DB) Checkpoint() error { return db.cat.Checkpoint() }
 // whether a WAL is active (false under WALSyncOff).
 func (db *DB) WALStats() (wal.Stats, bool) { return db.cat.WALStats() }
 
+// ResultCache exposes the shared result cache, or nil when the database
+// was opened without Config.ResultCache. The server uses it for \cache;
+// most callers want CacheStats.
+func (db *DB) ResultCache() *rescache.Cache { return db.cache }
+
+// CacheStats returns a snapshot of the result cache's counters and
+// whether a cache is active (false unless Config.ResultCache was set).
+func (db *DB) CacheStats() (rescache.Stats, bool) {
+	if db.cache == nil {
+		return rescache.Stats{}, false
+	}
+	return db.cache.Snapshot(), true
+}
+
+// registerEntry teaches the result cache the published identity of a
+// catalog entry's backing stores, so expression DAGs built over handles
+// to this entry hash by (name, version) instead of session-local
+// pointers. Idempotent; no-op when the cache is off.
+func (db *DB) registerEntry(e *catalog.Entry) {
+	if db.cache == nil || e == nil {
+		return
+	}
+	id := rescache.LeafID{Name: e.Name, Version: e.Version}
+	if e.Vec != nil {
+		db.cache.RegisterLeaf(e.Vec, id)
+	}
+	if e.Mat != nil {
+		db.cache.RegisterLeaf(e.Mat, id)
+	}
+	if e.SVec != nil {
+		db.cache.RegisterLeaf(e.SVec, id)
+	}
+	if e.SMat != nil {
+		db.cache.RegisterLeaf(e.SMat, id)
+	}
+}
+
+// unregisterEntry forgets a retired entry's stores. DAGs still holding
+// the old handles become cache-ineligible rather than hashing to a key
+// that can no longer be produced.
+func (db *DB) unregisterEntry(e *catalog.Entry) {
+	if db.cache == nil || e == nil {
+		return
+	}
+	if e.Vec != nil {
+		db.cache.UnregisterLeaf(e.Vec)
+	}
+	if e.Mat != nil {
+		db.cache.UnregisterLeaf(e.Mat)
+	}
+	if e.SVec != nil {
+		db.cache.UnregisterLeaf(e.SVec)
+	}
+	if e.SMat != nil {
+		db.cache.UnregisterLeaf(e.SMat)
+	}
+}
+
 // Close checkpoints the catalog and shuts the database. Every session
 // must be closed first: with sessions still open, Close checkpoints the
 // catalog anyway (so published state is not left silently stale) but
@@ -272,6 +350,9 @@ func (db *DB) Close() error {
 	db.admit.Broadcast()
 	db.reclaimLocked() // no active sessions: frees everything retired
 	db.mu.Unlock()
+	if db.cache != nil {
+		db.cache.Close() // frees every cached temp's storage
+	}
 	db.pool.DrainPrefetch()
 	return db.cat.Close()
 }
@@ -299,14 +380,16 @@ func (s *Session) Publish(name string, v *Vector) error {
 		return err
 	}
 	if sv, ok := rt.SparseVectorOf(v.val); ok {
-		_, err = s.db.cat.PutSparseVector(name, sv)
+		e, err := s.db.cat.PutSparseVector(name, sv)
+		s.db.registerEntry(e)
 		return err
 	}
 	vec, err := rt.ForceVector(v.val)
 	if err != nil {
 		return err
 	}
-	_, err = s.db.cat.PutVector(name, vec)
+	e, err := s.db.cat.PutVector(name, vec)
+	s.db.registerEntry(e)
 	return err
 }
 
@@ -327,10 +410,12 @@ func (s *Session) PublishMatrix(name string, m *Matrix) error {
 		return err
 	}
 	if smat != nil {
-		_, err = s.db.cat.PutSparseMatrix(name, smat)
+		e, err := s.db.cat.PutSparseMatrix(name, smat)
+		s.db.registerEntry(e)
 		return err
 	}
-	_, err = s.db.cat.PutMatrix(name, mat)
+	e, err := s.db.cat.PutMatrix(name, mat)
+	s.db.registerEntry(e)
 	return err
 }
 
@@ -349,6 +434,7 @@ func (s *Session) Lookup(name string) (*Vector, error) {
 	if !ok {
 		return nil, fmt.Errorf("riot: object %q not found", name)
 	}
+	s.db.registerEntry(e)
 	switch e.Kind {
 	case catalog.KindVector:
 		return &Vector{s: s, val: rt.WrapVector(e.Vec)}, nil
@@ -372,6 +458,7 @@ func (s *Session) LookupMatrix(name string) (*Matrix, error) {
 	if !ok {
 		return nil, fmt.Errorf("riot: object %q not found", name)
 	}
+	s.db.registerEntry(e)
 	switch e.Kind {
 	case catalog.KindMatrix:
 		return &Matrix{s: s, val: rt.WrapMatrix(e.Mat)}, nil
@@ -397,6 +484,7 @@ func (g sessionGlobals) GetGlobal(name string) (engine.Value, bool) {
 	if !ok {
 		return nil, false
 	}
+	g.s.db.registerEntry(e)
 	switch e.Kind {
 	case catalog.KindVector:
 		return rt.WrapVector(e.Vec), true
@@ -418,7 +506,8 @@ func (g sessionGlobals) SetGlobal(name string, v engine.Value) error {
 		return err
 	}
 	if sv, ok := rt.SparseVectorOf(v); ok {
-		_, err = g.s.db.cat.PutSparseVector(name, sv)
+		e, err := g.s.db.cat.PutSparseVector(name, sv)
+		g.s.db.registerEntry(e)
 		return err
 	}
 	_, _, isVec := rt.Dims(v)
@@ -427,7 +516,8 @@ func (g sessionGlobals) SetGlobal(name string, v engine.Value) error {
 		if err != nil {
 			return err
 		}
-		_, err = g.s.db.cat.PutVector(name, vec)
+		e, err := g.s.db.cat.PutVector(name, vec)
+		g.s.db.registerEntry(e)
 		return err
 	}
 	mat, smat, err := rt.ForceAnyMatrix(v)
@@ -435,9 +525,11 @@ func (g sessionGlobals) SetGlobal(name string, v engine.Value) error {
 		return err
 	}
 	if smat != nil {
-		_, err = g.s.db.cat.PutSparseMatrix(name, smat)
+		e, err := g.s.db.cat.PutSparseMatrix(name, smat)
+		g.s.db.registerEntry(e)
 		return err
 	}
-	_, err = g.s.db.cat.PutMatrix(name, mat)
+	e, err := g.s.db.cat.PutMatrix(name, mat)
+	g.s.db.registerEntry(e)
 	return err
 }

@@ -1,0 +1,346 @@
+package riot
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"riot/internal/engine"
+)
+
+// cacheCfg is the small simulated machine the result-cache tests run
+// on: 256 frames of 64 elements, cache enabled at its default quota
+// (MemElems/4).
+func cacheCfg() Config {
+	return Config{
+		BlockElems:  64,
+		MemElems:    1 << 14,
+		Workers:     1,
+		ResultCache: true,
+	}
+}
+
+// TestResultCacheWarmReplay is the tentpole acceptance check at DB
+// scope: a second session replaying the first session's expression over
+// a published array is served from the result cache with (near) zero
+// device block reads, and identical values.
+func TestResultCacheWarmReplay(t *testing.T) {
+	db, err := Open(t.TempDir(), cacheCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	pub, err := db.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := pub.NewVector(4000, func(i int64) float64 { return float64(i%97) + 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish("x", x); err != nil {
+		t.Fatal(err)
+	}
+	// Publish a second array bigger than the whole pool so x's frames
+	// are evicted: the cold replay below must really hit the device.
+	flush, err := pub.NewVector(20000, func(i int64) float64 { return float64(i) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish("flush", flush); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// replay runs the shared workload in a fresh session and returns
+	// the result plus the device block reads the run cost.
+	replay := func() []float64 {
+		t.Helper()
+		s, err := db.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		xs, err := s.Lookup("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sq, err := xs.MulV(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x3, err := xs.Mul(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := sq.AddV(x3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := sum.Sqrt()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals, err := d.Values()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vals
+	}
+
+	before := db.Pool().Device().Stats().BlocksRead
+	cold := replay()
+	mid := db.Pool().Device().Stats().BlocksRead
+	warm := replay()
+	after := db.Pool().Device().Stats().BlocksRead
+
+	coldReads := mid - before
+	warmReads := after - mid
+	if coldReads == 0 {
+		t.Fatal("cold replay read nothing from the device — workload too small to measure")
+	}
+	// The issue's acceptance bar: warm replay reads at most 10% of the
+	// cold run's blocks (in practice zero — the cached temp is resident).
+	if warmReads*10 > coldReads {
+		t.Errorf("warm replay read %d blocks, cold read %d — want warm <= 10%%", warmReads, coldReads)
+	}
+	for i := range cold {
+		if cold[i] != warm[i] {
+			t.Fatalf("warm value diverged at %d: %g vs %g", i, warm[i], cold[i])
+		}
+	}
+	st, on := db.CacheStats()
+	if !on {
+		t.Fatal("CacheStats reports cache off")
+	}
+	if st.Hits == 0 || st.Installs == 0 {
+		t.Errorf("expected at least one install and one hit: %+v", st)
+	}
+}
+
+// TestResultCacheExplainShowsHit: with a warm cache, Explain renders the
+// whole expression as a single zero-I/O cached step.
+func TestResultCacheExplainShowsHit(t *testing.T) {
+	db, err := Open(t.TempDir(), cacheCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s, err := db.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	x, err := s.NewVector(1000, func(i int64) float64 { return float64(i) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Publish("x", x); err != nil {
+		t.Fatal(err)
+	}
+	xs, err := s.Lookup("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := xs.Add(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := y.Values(); err != nil { // cold run installs
+		t.Fatal(err)
+	}
+	plan, err := y.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "cached") || !strings.Contains(plan, "result cache hit") {
+		t.Errorf("warm Explain does not show the cached step:\n%s", plan)
+	}
+}
+
+// TestResultCacheInvalidationOnRepublish: republishing a leaf makes the
+// old cached result unreachable (the version is part of the key), so a
+// replay sees the new data, never the stale cache entry.
+func TestResultCacheInvalidationOnRepublish(t *testing.T) {
+	db, err := Open(t.TempDir(), cacheCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	eval := func(s *Session) float64 {
+		t.Helper()
+		xs, err := s.Lookup("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := xs.Add(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals, err := y.Values()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range vals[1:] {
+			if v != vals[0] {
+				t.Fatalf("non-uniform result: %g vs %g", v, vals[0])
+			}
+		}
+		return vals[0]
+	}
+
+	s, err := db.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	pubConst := func(c float64) {
+		t.Helper()
+		v, err := s.NewVector(600, func(int64) float64 { return c })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Publish("x", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pubConst(1)
+	if got := eval(s); got != 2 {
+		t.Fatalf("v1 eval: got %g want 2", got)
+	}
+	eval(s) // warm hit on v1
+	pubConst(5)
+	if got := eval(s); got != 6 {
+		t.Fatalf("post-republish eval served stale data: got %g want 6", got)
+	}
+	st, _ := db.CacheStats()
+	if st.Invalidations == 0 {
+		t.Errorf("republish did not invalidate: %+v", st)
+	}
+}
+
+// TestResultCacheConcurrentSessions is the -race satellite: four
+// sessions replay a shared workload while a writer keeps publishing new
+// versions of the leaf. Every result must be internally consistent with
+// exactly one published version (no stale or torn reads), and each
+// session's peak pinned frames must stay within its quota — the cache's
+// own pins are metered to the cache, not to the sessions reading it.
+func TestResultCacheConcurrentSessions(t *testing.T) {
+	cfg := cacheCfg()
+	cfg.SessionFrames = 24
+	cfg.MaxSessions = 6
+	db, err := Open(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	writer, err := db.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 25
+	pubVersion := func(v int) error {
+		vec, err := writer.NewVector(500, func(int64) float64 { return float64(v) })
+		if err != nil {
+			return err
+		}
+		return writer.Publish("shared", vec)
+	}
+	if err := pubVersion(0); err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 4
+	sessions := make([]*Session, readers)
+	for i := range sessions {
+		if sessions[i], err = db.NewSession(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := 1; v <= rounds; v++ {
+			if err := pubVersion(v); err != nil {
+				t.Errorf("publish v%d: %v", v, err)
+				return
+			}
+		}
+	}()
+	for i, s := range sessions {
+		wg.Add(1)
+		go func(i int, s *Session) {
+			defer wg.Done()
+			for iter := 0; iter < 2*rounds; iter++ {
+				xs, err := s.Lookup("shared")
+				if err != nil {
+					t.Errorf("reader %d: %v", i, err)
+					return
+				}
+				y, err := xs.Mul(2)
+				if err != nil {
+					t.Errorf("reader %d: %v", i, err)
+					return
+				}
+				z, err := y.Add(1)
+				if err != nil {
+					t.Errorf("reader %d: %v", i, err)
+					return
+				}
+				vals, err := z.Values()
+				if err != nil {
+					t.Errorf("reader %d: %v", i, err)
+					return
+				}
+				// Uniform (no torn mix of versions) and equal to
+				// 2v+1 for a version actually published.
+				for k, x := range vals {
+					if x != vals[0] {
+						t.Errorf("reader %d: torn result at %d: %g vs %g", i, k, x, vals[0])
+						return
+					}
+				}
+				v := (vals[0] - 1) / 2
+				if v != float64(int(v)) || v < 0 || v > rounds {
+					t.Errorf("reader %d: value %g matches no published version", i, vals[0])
+					return
+				}
+			}
+		}(i, s)
+	}
+	wg.Wait()
+
+	for i, s := range append(sessions, writer) {
+		rt := s.Engine().(*engine.RIOT)
+		acct := rt.Pool().Account()
+		if acct == nil {
+			t.Fatalf("session %d has no pin account", i)
+		}
+		if acct.Peak() > acct.Quota() {
+			t.Errorf("session %d peak pinned %d exceeded quota %d", i, acct.Peak(), acct.Quota())
+		}
+		if err := s.Close(); err != nil {
+			t.Errorf("closing session %d: %v", i, err)
+		}
+	}
+	st, _ := db.CacheStats()
+	if st.Installs == 0 {
+		t.Error("stress run never installed anything — cache not exercised")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close freed the cache: no rescache-owned extents outlive the DB.
+	for _, owner := range db.Pool().Device().Owners() {
+		if len(owner) >= 8 && owner[:8] == "rescache" {
+			t.Errorf("cache-owned extent %q survived DB close", owner)
+		}
+	}
+}

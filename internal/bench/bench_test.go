@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"io"
 	"strings"
 	"testing"
@@ -171,5 +172,37 @@ func TestWALAblationShapes(t *testing.T) {
 	}
 	if always.Fsyncs > int64(always.Publishes) {
 		t.Fatalf("%d fsyncs for %d publishes", always.Fsyncs, always.Publishes)
+	}
+}
+
+func TestCacheAblationWarmUnderTenPercent(t *testing.T) {
+	rows, err := CacheAblation(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("want 6 rows (cold/warm x 1,4,8 sessions), got %d", len(rows))
+	}
+	byKey := make(map[string]CacheRow, len(rows))
+	for _, r := range rows {
+		byKey[fmt.Sprintf("%s/%d", r.Mode, r.Sessions)] = r
+	}
+	for _, n := range []int{1, 4, 8} {
+		cold := byKey[fmt.Sprintf("cold/%d", n)]
+		warm := byKey[fmt.Sprintf("warm/%d", n)]
+		if cold.BlockReads == 0 {
+			t.Fatalf("cold run at %d sessions read nothing — workload fits the pool", n)
+		}
+		// The issue's acceptance bar, asserted again in CI bench-smoke.
+		if warm.BlockReads*10 > cold.BlockReads {
+			t.Errorf("%d sessions: warm read %d blocks, cold %d — want warm <= 10%%",
+				n, warm.BlockReads, cold.BlockReads)
+		}
+		if warm.Hits < int64(n) {
+			t.Errorf("%d sessions: only %d cache hits", n, warm.Hits)
+		}
+		if cold.Hits != 0 {
+			t.Errorf("cold mode reported cache hits: %+v", cold)
+		}
 	}
 }

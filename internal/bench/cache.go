@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"riot"
+)
+
+// CacheRow is one result-cache ablation measurement: N sessions
+// replaying one shared workload, without the cache ("cold") or against
+// a warmed cache ("warm").
+type CacheRow struct {
+	Mode       string // "cold" (cache off) or "warm" (cache on, after warmup)
+	Sessions   int
+	BlockReads int64 // device block reads across the N measured replays
+	WallNS     int64 // real wall-clock across the N measured replays
+	Hits       int64 // cache hits observed (0 in cold mode)
+	Misses     int64 // cache probes that missed (0 in cold mode)
+}
+
+// CacheAblation measures what the cross-session result cache is worth:
+// N sessions replay one shared workload — a gather of 2000 elements
+// scattered across a published 100k-element vector, roughly 3x the
+// buffer pool, followed by an elementwise pipeline — and we count
+// device block reads and wall-clock. The cold rows run with the cache
+// off: every session re-reads the leaf's blocks, random-access, because
+// the pool cannot hold it. The warm rows run with the cache on after
+// one unmeasured warmup replay: the whole DAG is served from the cached
+// 8-block temp, so the measured replays read (near) zero blocks no
+// matter how many sessions repeat them. Both modes get the same warmup
+// so the comparison is steady-state against steady-state.
+func CacheAblation(w io.Writer) ([]CacheRow, error) {
+	const (
+		blockElems = 256
+		memElems   = 1 << 15 // 128 frames: the leaf cannot stay resident
+		leafLen    = 100_000 // ~391 blocks
+		idxLen     = 2000    // 8-block cached result
+	)
+	fmt.Fprintf(w, "result-cache ablation: gather of %d from %d elements (pool %d blocks)\n",
+		idxLen, leafLen, memElems/blockElems)
+	fmt.Fprintf(w, "%-6s %9s %12s %12s %8s %8s\n", "mode", "sessions", "blk reads", "wall ms", "hits", "misses")
+
+	var rows []CacheRow
+	for _, sessions := range []int{1, 4, 8} {
+		for _, mode := range []string{"cold", "warm"} {
+			row, err := cacheAblationRun(mode, sessions, blockElems, memElems, leafLen, idxLen)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(w, "%-6s %9d %12d %12.2f %8d %8d\n",
+				row.Mode, row.Sessions, row.BlockReads, float64(row.WallNS)/1e6, row.Hits, row.Misses)
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// cacheAblationRun measures one (mode, sessions) cell on a fresh
+// database directory.
+func cacheAblationRun(mode string, sessions, blockElems int, memElems, leafLen, idxLen int64) (CacheRow, error) {
+	dir, err := os.MkdirTemp("", "riot-cachebench-*")
+	if err != nil {
+		return CacheRow{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := riot.Open(dir, riot.Config{
+		BlockElems:  blockElems,
+		MemElems:    memElems,
+		Workers:     1,
+		ResultCache: mode == "warm",
+		MaxSessions: 2,
+	})
+	if err != nil {
+		return CacheRow{}, err
+	}
+	defer db.Close()
+
+	// Publish the shared leaves: the big vector and a scattered index.
+	pub, err := db.NewSession()
+	if err != nil {
+		return CacheRow{}, err
+	}
+	x, err := pub.NewVector(leafLen, func(i int64) float64 { return float64(i%9973) + 1 })
+	if err != nil {
+		return CacheRow{}, err
+	}
+	if err := pub.Publish("x", x); err != nil {
+		return CacheRow{}, err
+	}
+	idx, err := pub.NewVector(idxLen, func(i int64) float64 { return float64((i * 9973) % leafLen) })
+	if err != nil {
+		return CacheRow{}, err
+	}
+	if err := pub.Publish("idx", idx); err != nil {
+		return CacheRow{}, err
+	}
+	if err := pub.Close(); err != nil {
+		return CacheRow{}, err
+	}
+
+	replay := func() error {
+		s, err := db.NewSession()
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		xs, err := s.Lookup("x")
+		if err != nil {
+			return err
+		}
+		is, err := s.Lookup("idx")
+		if err != nil {
+			return err
+		}
+		g, err := xs.Gather(is)
+		if err != nil {
+			return err
+		}
+		y, err := g.Mul(2)
+		if err != nil {
+			return err
+		}
+		d, err := y.Sqrt()
+		if err != nil {
+			return err
+		}
+		_, err = d.Values()
+		return err
+	}
+
+	// One unmeasured warmup in both modes: warm installs the cached
+	// result; cold reaches whatever steady-state pool residency the
+	// workload allows without a cache.
+	if err := replay(); err != nil {
+		return CacheRow{}, err
+	}
+
+	before := db.Pool().Device().Stats().BlocksRead
+	start := time.Now()
+	for i := 0; i < sessions; i++ {
+		if err := replay(); err != nil {
+			return CacheRow{}, err
+		}
+	}
+	row := CacheRow{
+		Mode:       mode,
+		Sessions:   sessions,
+		BlockReads: db.Pool().Device().Stats().BlocksRead - before,
+		WallNS:     time.Since(start).Nanoseconds(),
+	}
+	if st, on := db.CacheStats(); on {
+		row.Hits, row.Misses = st.Hits, st.Misses
+	}
+	return row, nil
+}

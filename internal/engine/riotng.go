@@ -14,6 +14,7 @@ import (
 	"riot/internal/exec"
 	"riot/internal/opt"
 	"riot/internal/plan"
+	"riot/internal/rescache"
 	"riot/internal/riotdb"
 )
 
@@ -68,6 +69,10 @@ type RIOTOptions struct {
 	// each use a distinct non-empty prefix; standalone engines leave it
 	// empty and reproduce the seed's names exactly.
 	Prefix string
+	// Cache attaches the shared cross-session result cache to the
+	// engine's executor. Nil leaves every code path (and every I/O
+	// counter) identical to the cache-free engine.
+	Cache *rescache.Cache
 }
 
 // NewRIOTWorkers creates a RIOT engine whose executor and kernels use up
@@ -114,6 +119,7 @@ func newRIOTOverPool(pool *buffer.Pool, tm TimeModel, opts RIOTOptions) *RIOT {
 	ex.Workers = opts.Workers
 	ex.Planner = opts.Planner
 	ex.Prefix = opts.Prefix
+	ex.Cache = opts.Cache
 	return &RIOT{
 		g:      algebra.NewGraph(),
 		ex:     ex,

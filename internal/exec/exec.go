@@ -43,6 +43,7 @@ import (
 	"riot/internal/buffer"
 	"riot/internal/linalg"
 	"riot/internal/plan"
+	"riot/internal/rescache"
 	"riot/internal/scalarop"
 	"riot/internal/sparse"
 )
@@ -90,6 +91,13 @@ type Executor struct {
 	// modification forces evaluation (§5). RIOT's functional updates
 	// leave it false; Figure 2 compares the two.
 	EagerUpdates bool
+	// Cache is the shared cross-session result cache. Nil (the default)
+	// leaves every code path byte-identical to the cache-free executor;
+	// when set, each Force call probes it for the root (and, on a root
+	// miss, for interior nodes) before planning, serves hits with zero
+	// recomputation, and installs eligible materialized temporaries on
+	// miss.
+	Cache *rescache.Cache
 
 	elementsComputed atomic.Int64
 	materialized     atomic.Int64
@@ -113,6 +121,12 @@ type Executor struct {
 	inParallel bool
 	// curPlan is the physical plan of the Force call in progress.
 	curPlan *plan.Plan
+	// cacheHashes/cacheHits carry the Force call's cache state: the
+	// canonical hashes of the (eligible) DAG and the handles acquired
+	// for every probe that hit. Both are written only in begin and read
+	// concurrently by workers; handles are released in end.
+	cacheHashes *rescache.DAGHashes
+	cacheHits   map[*algebra.Node]*rescache.Handle
 }
 
 // New creates an executor with fusion enabled.
@@ -443,15 +457,29 @@ func (e *Executor) PlanOptions() plan.Options {
 	}
 }
 
-// BuildPlan plans a root without executing it (Explain, and the first
-// half of every Force call).
+// BuildPlan plans a root without executing it (Explain). With a result
+// cache attached it runs the same probe a Force call would, so Explain
+// shows the cached steps the execution will take; the probe's handles
+// are released before returning.
 func (e *Executor) BuildPlan(root *algebra.Node) *plan.Plan {
-	return plan.Build(root, e.PlanOptions())
+	e.beginCache(root)
+	opts := e.PlanOptions()
+	opts.Cache = e.cachePlanView()
+	p := plan.Build(root, opts)
+	for _, h := range e.cacheHits {
+		h.Release()
+	}
+	e.cacheHits = nil
+	e.cacheHashes = nil
+	return p
 }
 
 func (e *Executor) begin(root *algebra.Node) {
 	e.temps = make(map[*algebra.Node]*array.Vector)
-	e.curPlan = e.BuildPlan(root)
+	e.beginCache(root)
+	opts := e.PlanOptions()
+	opts.Cache = e.cachePlanView()
+	e.curPlan = plan.Build(root, opts)
 	if e.ExplainTo != nil {
 		fmt.Fprint(e.ExplainTo, e.curPlan.Render())
 	}
@@ -463,6 +491,123 @@ func (e *Executor) end() {
 	}
 	e.temps = nil
 	e.curPlan = nil
+	for _, h := range e.cacheHits {
+		h.Release()
+	}
+	e.cacheHits = nil
+	e.cacheHashes = nil
+}
+
+// beginCache probes the result cache for the Force call: it hashes the
+// DAG (nil if any leaf is session-local), acquires the root's entry if
+// present, and only on a root miss probes the interior top-down —
+// skipping the subtree under every hit, since nothing below a served
+// node executes. Acquired handles pin their entries against eviction
+// and invalidation-frees until end releases them.
+func (e *Executor) beginCache(root *algebra.Node) {
+	e.cacheHashes = nil
+	e.cacheHits = nil
+	if e.Cache == nil || root.Op == algebra.OpSourceVec || root.Op == algebra.OpSourceMat {
+		return
+	}
+	h := e.Cache.HashDAG(root)
+	if h == nil {
+		return
+	}
+	e.cacheHashes = h
+	e.cacheHits = make(map[*algebra.Node]*rescache.Handle)
+	if k, ok := h.Key(root); ok {
+		if hd, hit := e.Cache.Acquire(k); hit {
+			e.cacheHits[root] = hd
+			return
+		}
+	}
+	seen := make(map[*algebra.Node]bool)
+	var probe func(n *algebra.Node)
+	probe = func(n *algebra.Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		if n != root && n.Op != algebra.OpSourceVec && n.Op != algebra.OpSourceMat {
+			if k, ok := h.Key(n); ok {
+				if hd, hit := e.Cache.Acquire(k); hit {
+					e.cacheHits[n] = hd
+					return
+				}
+			}
+		}
+		for _, k := range n.Kids {
+			probe(k)
+		}
+	}
+	probe(root)
+}
+
+// cacheHit reports the handle acquired for n, if any. The map is
+// written only in begin, so concurrent worker reads are safe.
+func (e *Executor) cacheHit(n *algebra.Node) (*rescache.Handle, bool) {
+	h, ok := e.cacheHits[n]
+	return h, ok
+}
+
+// cachePlanView exposes the probe results to the planner, so the plan's
+// cached steps are exactly the hits the executor will serve.
+func (e *Executor) cachePlanView() *plan.CacheView {
+	if e.cacheHashes == nil {
+		return nil
+	}
+	return &plan.CacheView{
+		Hit: func(n *algebra.Node) bool {
+			_, ok := e.cacheHits[n]
+			return ok
+		},
+		Installable: func(n *algebra.Node) bool {
+			if _, hit := e.cacheHits[n]; hit {
+				return false
+			}
+			if n.Op == algebra.OpSourceVec || n.Op == algebra.OpSourceMat {
+				return false
+			}
+			_, ok := e.cacheHashes.Key(n)
+			return ok
+		},
+		Describe: func(n *algebra.Node) string {
+			if k, ok := e.cacheHashes.Key(n); ok {
+				return k.String()
+			}
+			return ""
+		},
+	}
+}
+
+// maybeInstallVec offers a freshly materialized temporary to the result
+// cache. Best-effort: refused admission, duplicate keys, or I/O errors
+// never fail the query.
+func (e *Executor) maybeInstallVec(n *algebra.Node, v *array.Vector) {
+	if e.Cache == nil || e.cacheHashes == nil {
+		return
+	}
+	if _, hit := e.cacheHits[n]; hit {
+		return
+	}
+	if k, ok := e.cacheHashes.Key(n); ok {
+		_, _ = e.Cache.InstallVector(k, e.cacheHashes.Deps(n), v)
+	}
+}
+
+// maybeInstallMat is maybeInstallVec for dense matrix results (sparse
+// results are not cached).
+func (e *Executor) maybeInstallMat(n *algebra.Node, m *array.Matrix) {
+	if e.Cache == nil || e.cacheHashes == nil || m == nil {
+		return
+	}
+	if _, hit := e.cacheHits[n]; hit {
+		return
+	}
+	if k, ok := e.cacheHashes.Key(n); ok {
+		_, _ = e.Cache.InstallMatrix(k, e.cacheHashes.Deps(n), m)
+	}
 }
 
 // streamInto evaluates n block by block into out. With Workers > 1 the
@@ -543,7 +688,9 @@ func (e *Executor) materializeNode(n *algebra.Node) (*array.Vector, error) {
 	if err := e.streamIntoRaw(n, tmp); err != nil {
 		return nil, err
 	}
-	return e.storeTemp(n, tmp), nil
+	v := e.storeTemp(n, tmp)
+	e.maybeInstallVec(n, v)
+	return v, nil
 }
 
 // prepareShared runs before a parallel section: it executes the plan's
@@ -651,6 +798,12 @@ func (e *Executor) announce(n *algebra.Node, lo, hi int64, seen map[*algebra.Nod
 		return
 	}
 	seen[n] = true
+	if h, ok := e.cacheHit(n); ok {
+		if v := h.Vec(); v != nil {
+			v.PrefetchRange(lo, hi)
+		}
+		return
+	}
 	if v, ok := e.lookupTemp(n); ok {
 		v.PrefetchRange(lo, hi)
 		return
@@ -687,6 +840,11 @@ func (e *Executor) evalRange(n *algebra.Node, lo, hi int64, buf []float64) error
 			buf[i] = 0
 		}
 		return nil
+	}
+	// A result-cache hit serves the node from its cross-session copy:
+	// no recomputation, and (warm pool) no device reads.
+	if h, ok := e.cacheHit(n); ok {
+		return readVecRange(h.Vec(), lo, hi, buf)
 	}
 	// A shared, expensive subexpression is materialized once and then
 	// served from its temporary. Cheap shared elementwise work is
@@ -825,6 +983,8 @@ func (e *Executor) gather(data *algebra.Node, idx []float64, buf []float64) erro
 		} else {
 			src = data.Vec
 		}
+	} else if h, ok := e.cacheHit(data); ok {
+		src = h.Vec()
 	} else if v, ok := e.lookupTemp(data); ok {
 		src = v
 	} else {
@@ -918,6 +1078,18 @@ func (e *Executor) forceMatAny(n *algebra.Node, name string) (forcedMat, error) 
 	case algebra.OpSourceMat:
 		return forcedMat{d: n.Mat, s: n.SMat}, nil
 	case algebra.OpMatMul:
+		if h, ok := e.cacheHit(n); ok && h.Mat() != nil {
+			if n == e.curPlan.Root {
+				// The root result outlives this Force call (and so the
+				// handle released in end); hand the caller a copy it
+				// owns, so a later eviction cannot free blocks under it.
+				cp, err := copyCachedMatrix(e.pool, e.fresh(name+"_hit"), h.Mat())
+				return forcedMat{d: cp, temp: true}, err
+			}
+			// Interior hit: the handle stays held until end, so the
+			// cached store itself is safe to use in place.
+			return forcedMat{d: h.Mat(), temp: false}, nil
+		}
 		a, err := e.forceMatAny(n.Kids[0], e.fresh(name+"_l"))
 		if err != nil {
 			return forcedMat{}, err
@@ -952,10 +1124,16 @@ func (e *Executor) forceMatAny(n *algebra.Node, name string) (forcedMat, error) 
 		case a.s != nil:
 			e.addFlops("matmul", a.s.NNZ()*b.cols())
 			t, err := linalg.MatMulSparseDense(e.pool, name, a.s, b.d)
+			if err == nil {
+				e.maybeInstallMat(n, t)
+			}
 			return forcedMat{d: t, temp: true}, err
 		case b.s != nil:
 			e.addFlops("matmul", b.s.NNZ()*a.rows())
 			t, err := linalg.MatMulDenseSparse(e.pool, name, a.d, b.s)
+			if err == nil {
+				e.maybeInstallMat(n, t)
+			}
 			return forcedMat{d: t, temp: true}, err
 		}
 		e.addFlops("matmul", a.rows()*a.cols()*b.cols())
@@ -971,9 +1149,43 @@ func (e *Executor) forceMatAny(n *algebra.Node, name string) (forcedMat, error) 
 		default:
 			t, err = linalg.MatMulBNLJ(e.pool, name, a.d, b.d, array.Options{Shape: array.RowTiles})
 		}
+		if err == nil {
+			e.maybeInstallMat(n, t)
+		}
 		return forcedMat{d: t, temp: true}, err
 	}
 	return forcedMat{}, fmt.Errorf("exec: cannot force matrix op %s", n.Op)
+}
+
+// copyCachedMatrix tile-copies a cache-owned matrix into a fresh store
+// the caller's session owns (same dims, shape, and linearization).
+func copyCachedMatrix(pool *buffer.Pool, name string, src *array.Matrix) (*array.Matrix, error) {
+	dst, err := array.NewMatrix(pool, name, src.Rows(), src.Cols(),
+		array.Options{Shape: src.Shape(), Lin: src.Lin()})
+	if err != nil {
+		return nil, err
+	}
+	gr, gc := src.GridDims()
+	for ti := 0; ti < gr; ti++ {
+		for tj := 0; tj < gc; tj++ {
+			st, err := src.PinTile(ti, tj)
+			if err != nil {
+				dst.Free()
+				return nil, err
+			}
+			dt, err := dst.PinTileNew(ti, tj)
+			if err != nil {
+				st.Release()
+				dst.Free()
+				return nil, err
+			}
+			copy(dt.Data(), st.Data())
+			dt.MarkDirty()
+			dt.Release()
+			st.Release()
+		}
+	}
+	return dst, nil
 }
 
 // sparseTilesAligned reports whether the operands' tile geometries meet

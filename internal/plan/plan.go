@@ -96,6 +96,43 @@ type Options struct {
 	// EagerUpdates forces materialization of UpdateMask nodes (R /
 	// RIOT-DB update semantics).
 	EagerUpdates bool
+	// Cache is the planner's view of the cross-session result cache for
+	// this Force call. Nil when the cache is off — in which case every
+	// decision below is byte-identical to the cache-free planner.
+	Cache *CacheView
+}
+
+// CacheView is what the planner needs to know about the result cache:
+// which nodes the executor already holds a cached materialization for
+// (the probe happened before planning, so plan and execution agree
+// exactly), and which nodes would be installed on a miss. The planner
+// turns hits into zero-I/O cached steps and prunes their subtrees;
+// install candidacy only steers the root decision and the provenance
+// annotations.
+type CacheView struct {
+	// Hit reports whether n's result is already acquired from the cache.
+	Hit func(n *algebra.Node) bool
+	// Installable reports whether n's result would be installed into the
+	// cache when materialized (the DAG is hashable and n is not a hit).
+	Installable func(n *algebra.Node) bool
+	// Describe renders n's cache key for Explain (short hex), empty if
+	// the node has none.
+	Describe func(n *algebra.Node) string
+}
+
+func (cv *CacheView) hit(n *algebra.Node) bool {
+	return cv != nil && cv.Hit != nil && cv.Hit(n)
+}
+
+func (cv *CacheView) installable(n *algebra.Node) bool {
+	return cv != nil && cv.Installable != nil && cv.Installable(n)
+}
+
+func (cv *CacheView) describe(n *algebra.Node) string {
+	if cv == nil || cv.Describe == nil {
+		return ""
+	}
+	return cv.Describe(n)
 }
 
 // Decision is a node's planned evaluation mode.
@@ -110,6 +147,9 @@ const (
 	Materialize
 	// Stream: a stored source, read directly.
 	Stream
+	// Cached: served from the cross-session result cache — the subtree
+	// below is never executed at all.
+	Cached
 )
 
 // String names the decision for Explain's per-node table.
@@ -121,6 +161,8 @@ func (d Decision) String() string {
 		return "materialize"
 	case Stream:
 		return "stream"
+	case Cached:
+		return "cached"
 	}
 	return fmt.Sprintf("Decision(%d)", int(d))
 }
@@ -192,6 +234,10 @@ const (
 	StepMatMul
 	// StepOutput is the final fused pass that produces the root.
 	StepOutput
+	// StepCached serves a node from the cross-session result cache: the
+	// node's whole subtree is pruned from the schedule and its result
+	// read back with zero device I/O for production.
+	StepCached
 )
 
 // Step is one scheduled unit of work with its cost estimate.
@@ -219,6 +265,12 @@ type Step struct {
 	// dense×sparse, the estimated product nnz for sparse×sparse. Zero
 	// for dense steps.
 	EstNNZ float64
+	// Provenance says why the step exists in this form — why a node was
+	// not pipelined from memory (shared consumers, ablation knobs,
+	// gather's random access), whether its result installs into the
+	// result cache, or which cache key a cached step was served from.
+	// Rendered as the step's "why:" line in Explain.
+	Provenance string
 }
 
 // Plan is the physical plan for one root: the decision table the
@@ -227,7 +279,10 @@ type Plan struct {
 	Root     *algebra.Node
 	Strategy Strategy
 	Machine  Machine
-	Steps    []Step
+	// CacheOn records whether the result cache participated in this
+	// plan (shown in the Explain header).
+	CacheOn bool
+	Steps   []Step
 	// EstBlocks is the total estimated device traffic (reads + writes);
 	// EstSeconds the total simulated I/O time; EstCPUSeconds the total
 	// estimated compute time (reported separately — see Step.EstFlops).
@@ -291,10 +346,12 @@ func (p *Plan) PrepareSteps(n *algebra.Node) []Step {
 func Build(root *algebra.Node, opts Options) *Plan {
 	b := &builder{
 		opts:      opts,
+		root:      root,
 		p:         opts.Machine.params(),
 		refs:      algebra.CountRefs(root),
 		decisions: make(map[*algebra.Node]Decision),
 		algos:     make(map[*algebra.Node]MatMulAlgo),
+		reasons:   make(map[*algebra.Node]string),
 		worthMemo: make(map[*algebra.Node]bool),
 		costMemo:  make(map[*algebra.Node]pipeCost),
 		matMemo:   make(map[*algebra.Node]matInfo),
@@ -306,26 +363,44 @@ func Build(root *algebra.Node, opts Options) *Plan {
 		Root:      root,
 		Strategy:  opts.Strategy,
 		Machine:   opts.Machine,
+		CacheOn:   opts.Cache != nil,
 		Steps:     b.steps,
 		decisions: b.decisions,
 		algos:     b.algos,
 		refs:      b.refs,
 	}
 	if root.Shape.Vector {
-		c := b.pipelineCost(root)
+		var c pipeCost
+		var flops float64
+		why := "fused streaming pass produces the root"
+		switch b.decisions[root] {
+		case Cached:
+			// Production is free; the output pass just reads the cached
+			// result back.
+			c = pipeCost{blocks: costmodel.StreamBlocks(float64(root.Shape.Rows), b.p), streams: 1}
+			why = "streams the cached result"
+		case Materialize:
+			// The root's own materialize step produced the temporary;
+			// the output pass streams it.
+			c = pipeCost{blocks: costmodel.StreamBlocks(float64(root.Shape.Rows), b.p), streams: 1}
+			why = "streams the root's own temporary"
+		default:
+			c = b.pipelineCost(root)
+			flops = b.pipelineFlops(root)
+		}
 		rand := c.rand
 		if c.streams > 1 && !opts.Machine.Readahead {
 			// Interleaved streams: the device classifies nearly every
 			// block of a multi-stream pipeline as a random positioning.
 			rand = c.blocks
 		}
-		flops := b.pipelineFlops(root)
 		pl.Steps = append(pl.Steps, Step{
 			Node: root, Kind: StepOutput,
 			EstReadBlocks: c.blocks, EstRandOps: rand,
 			EstSeconds:    opts.Machine.seconds(c.blocks, rand),
 			EstFlops:      flops,
 			EstCPUSeconds: costmodel.CPUSeconds(flops),
+			Provenance:    why,
 		})
 	}
 	for _, s := range pl.Steps {
@@ -338,10 +413,12 @@ func Build(root *algebra.Node, opts Options) *Plan {
 
 type builder struct {
 	opts      Options
+	root      *algebra.Node
 	p         costmodel.Params
 	refs      map[*algebra.Node]int
 	decisions map[*algebra.Node]Decision
 	algos     map[*algebra.Node]MatMulAlgo
+	reasons   map[*algebra.Node]string
 	worthMemo map[*algebra.Node]bool
 	costMemo  map[*algebra.Node]pipeCost
 	matMemo   map[*algebra.Node]matInfo
@@ -376,11 +453,19 @@ func (b *builder) worth(n *algebra.Node) bool {
 
 // decide fills the decision table in post-order, so a node's children
 // are decided (and their pipeline costs final) before its own choice.
+// A cache hit prunes the descent: the subtree below it never executes,
+// so it gets no decisions and no steps.
 func (b *builder) decide(n *algebra.Node, seen map[*algebra.Node]bool) {
 	if seen[n] {
 		return
 	}
 	seen[n] = true
+	if b.opts.Cache.hit(n) && n.Op != algebra.OpSourceVec && n.Op != algebra.OpSourceMat {
+		if n.Shape.Vector {
+			b.decisions[n] = Cached
+		}
+		return
+	}
 	for _, k := range n.Kids {
 		b.decide(k, seen)
 	}
@@ -400,23 +485,34 @@ func (b *builder) decideVector(n *algebra.Node) Decision {
 	// The ablation knobs force materialization under both strategies:
 	// they emulate other systems' semantics, not a cost choice.
 	if !b.opts.FuseElementwise && n.Op != algebra.OpReduce {
+		b.reasons[n] = "fusion disabled (ablation)"
 		return Materialize
 	}
 	if b.opts.EagerUpdates && n.Op == algebra.OpUpdateMask {
+		b.reasons[n] = "eager update semantics force the new state to storage"
 		return Materialize
 	}
 	refs := b.refs[n]
 	if refs <= 1 {
+		if n == b.root && b.opts.Cache.installable(n) {
+			// A cacheable root is materialized so the result can be
+			// installed for other sessions; the one extra write/read
+			// pass is the cold cost of every future warm replay.
+			b.reasons[n] = "root materialized to install into the result cache"
+			return Materialize
+		}
 		return Pipeline
 	}
 	switch b.opts.Strategy {
 	case CostBased:
 		c := b.pipelineCost(n)
 		if costmodel.MaterializeWins(float64(refs), float64(n.Shape.Rows), c.blocks, c.rand, b.p) {
+			b.reasons[n] = fmt.Sprintf("storing once beats %d pipelined recomputations (cost model)", refs)
 			return Materialize
 		}
 	default: // Heuristic
 		if b.worth(n) {
+			b.reasons[n] = fmt.Sprintf("shared by %d consumers and subtree contains a gather/reduce/multiply", refs)
 			return Materialize
 		}
 	}
@@ -457,6 +553,11 @@ func (b *builder) cost(n *algebra.Node, seen map[*algebra.Node]bool, isRoot bool
 	stream := func(rows int64) pipeCost {
 		return pipeCost{blocks: costmodel.StreamBlocks(float64(rows), b.p), streams: 1}
 	}
+	if b.decisions[n] == Cached {
+		// A cached node is never produced, only read back — the read is
+		// the whole cost, even when the node is the root.
+		return stream(n.Shape.Rows)
+	}
 	if !isRoot && b.decisions[n] == Materialize {
 		// Consumers read the temporary sequentially.
 		return stream(n.Shape.Rows)
@@ -468,7 +569,7 @@ func (b *builder) cost(n *algebra.Node, seen map[*algebra.Node]bool, isRoot bool
 		// After pushdown ranges sit on sources or barriers; only the
 		// selected window is touched.
 		k := n.Kids[0]
-		if k.Op == algebra.OpSourceVec || b.decisions[k] == Materialize {
+		if k.Op == algebra.OpSourceVec || b.decisions[k] == Materialize || b.decisions[k] == Cached {
 			return stream(n.Shape.Rows)
 		}
 		sub := b.cost(k, make(map[*algebra.Node]bool), false)
@@ -621,12 +722,25 @@ func (b *builder) algo(n *algebra.Node) MatMulAlgo {
 
 // schedule collects the plan's steps in dependency order: children
 // before parents, gather sources before the materialization of the
-// gather's own subtree — the order the preparation pass executes.
+// gather's own subtree — the order the preparation pass executes. A
+// cache hit becomes a zero-I/O cached step and its subtree is pruned:
+// nothing below it is scheduled.
 func (b *builder) schedule(n *algebra.Node, seen map[*algebra.Node]bool) {
 	if seen[n] {
 		return
 	}
 	seen[n] = true
+	if b.decisions[n] == Cached || (!n.Shape.Vector && b.opts.Cache.hit(n)) {
+		if !b.stepped[n] {
+			b.stepped[n] = true
+			why := "result cache hit: subtree pruned, zero I/O"
+			if k := b.opts.Cache.describe(n); k != "" {
+				why = fmt.Sprintf("result cache hit %s: subtree pruned, zero I/O", k)
+			}
+			b.steps = append(b.steps, Step{Node: n, Kind: StepCached, Provenance: why})
+		}
+		return
+	}
 	for _, k := range n.Kids {
 		b.schedule(k, seen)
 	}
@@ -638,8 +752,10 @@ func (b *builder) schedule(n *algebra.Node, seen map[*algebra.Node]bool) {
 		return
 	}
 	if n.Op == algebra.OpGather {
-		if d := n.Kids[0]; d.Op != algebra.OpSourceVec && b.decisions[d] != Materialize && !b.stepped[d] {
+		if d := n.Kids[0]; d.Op != algebra.OpSourceVec && b.decisions[d] != Materialize &&
+			b.decisions[d] != Cached && !b.stepped[d] {
 			b.stepped[d] = true
+			b.reasons[d] = "gather needs random access to its data child"
 			b.steps = append(b.steps, b.materializeStep(d, StepGatherSource))
 		}
 	}
@@ -657,12 +773,21 @@ func (b *builder) materializeStep(n *algebra.Node, kind StepKind) Step {
 	}
 	writes := costmodel.StreamBlocks(float64(n.Shape.Rows), b.p)
 	flops := b.pipelineFlops(n)
+	why := b.reasons[n]
+	if b.opts.Cache.installable(n) && !strings.Contains(why, "result cache") {
+		if why != "" {
+			why += "; installs into the result cache"
+		} else {
+			why = "installs into the result cache"
+		}
+	}
 	return Step{
 		Node: n, Kind: kind, Refs: b.refs[n],
 		EstReadBlocks: c.blocks, EstWriteBlocks: writes, EstRandOps: rand,
 		EstSeconds:    b.opts.Machine.seconds(c.blocks+writes, rand),
 		EstFlops:      flops,
 		EstCPUSeconds: costmodel.CPUSeconds(flops),
+		Provenance:    why,
 	}
 }
 
@@ -685,6 +810,9 @@ func (b *builder) pipelineFlops(n *algebra.Node) float64 {
 			return
 		}
 		seen[m] = true
+		if b.decisions[m] == Cached {
+			return // served from the result cache: no arithmetic at all
+		}
 		if !root && b.decisions[m] == Materialize {
 			return // served from its own step's temporary
 		}
@@ -768,12 +896,17 @@ func (b *builder) matmulStep(n *algebra.Node) Step {
 	default:
 		flops = l * m * k
 	}
+	why := "multiply is its own out-of-core pipeline, never fused"
+	if b.opts.Cache.installable(n) {
+		why += "; installs into the result cache"
+	}
 	return Step{
 		Node: n, Kind: StepMatMul, Algo: algo, EstNNZ: nnz,
 		EstReadBlocks: reads, EstWriteBlocks: writes, EstRandOps: rand,
 		EstSeconds:    b.opts.Machine.seconds(reads+writes, rand),
 		EstFlops:      flops,
 		EstCPUSeconds: costmodel.CPUSeconds(flops),
+		Provenance:    why,
 	}
 }
 
@@ -803,6 +936,8 @@ func (k StepKind) label() string {
 		return "matmul"
 	case StepOutput:
 		return "output"
+	case StepCached:
+		return "cached"
 	}
 	return fmt.Sprintf("StepKind(%d)", int(k))
 }
@@ -812,9 +947,9 @@ func (k StepKind) label() string {
 // decision table.
 func (p *Plan) Render() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "physical plan: strategy=%s M=%d B=%d frames=%d workers=%d readahead=%v\n",
+	fmt.Fprintf(&sb, "physical plan: strategy=%s M=%d B=%d frames=%d workers=%d readahead=%v cache=%v\n",
 		p.Strategy, p.Machine.MemElems, p.Machine.BlockElems, p.Machine.Frames,
-		p.Machine.Workers, p.Machine.Readahead)
+		p.Machine.Workers, p.Machine.Readahead, p.CacheOn)
 	fmt.Fprintf(&sb, "root: %s\n", describe(p.Root))
 	fmt.Fprintf(&sb, "steps:\n")
 	for i, s := range p.Steps {
@@ -832,6 +967,9 @@ func (p *Plan) Render() string {
 		}
 		fmt.Fprintf(&sb, "  est: read %.0f blk (%.0f rand), write %.0f blk, io %.3fs, cpu %.3fs\n",
 			s.EstReadBlocks, s.EstRandOps, s.EstWriteBlocks, s.EstSeconds, s.EstCPUSeconds)
+		if s.Provenance != "" {
+			fmt.Fprintf(&sb, "      why: %s\n", s.Provenance)
+		}
 	}
 	mb := p.EstBlocks * float64(p.Machine.BlockElems) * 8 / (1 << 20)
 	fmt.Fprintf(&sb, "total est: %.0f blocks (%.2f MB), io %.3fs, cpu %.3fs\n",

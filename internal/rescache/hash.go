@@ -1,0 +1,229 @@
+// Canonical structural hashing of expression DAGs.
+//
+// Two sessions that build "sqrt(x*x + y)" over the same published
+// arrays must produce the same cache key even though their DAGs live in
+// different graphs, their nodes carry different IDs, and their stored
+// temporaries wear different session prefixes. The hash therefore never
+// looks at node identity, node IDs, variable names, or array owner
+// names: a leaf contributes only the catalog identity of its backing
+// store — (published name, catalog version) — and an interior node
+// contributes its operator, its scalar parameters (exact float64 bits),
+// and its children's hashes. Commutative operators (+, *) sort their
+// operand hashes, so x+y and y+x share one entry; the IEEE results are
+// bit-identical either way, so the shared value is exact, not
+// approximate.
+//
+// The encoding is a fixed byte layout fed to SHA-256 — no Go maps, no
+// pointers, no iteration-order dependence — so a key is stable across
+// processes and machine restarts. Correctness under republication does
+// not rest on invalidation: the catalog version of every leaf is part
+// of the key, so a DAG over a republished array hashes to a different
+// key and can never alias a stale entry.
+package rescache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sort"
+
+	"riot/internal/algebra"
+)
+
+// Key is a canonical DAG hash: the cache's lookup key.
+type Key [32]byte
+
+// String renders the key's first 8 bytes as hex (Explain, \cache).
+func (k Key) String() string { return hex.EncodeToString(k[:8]) }
+
+// LeafID is the stable identity of a catalog-backed leaf array: the
+// published name plus the catalog version that committed it. Version
+// makes every republication a distinct leaf, which is what makes a
+// stale cache hit structurally impossible.
+type LeafID struct {
+	Name    string
+	Version int64
+}
+
+// DAGHashes is the result of hashing one DAG: a canonical key for every
+// node, plus each node's leaf dependencies (the published names whose
+// republication invalidates entries keyed under that node).
+type DAGHashes struct {
+	keys map[*algebra.Node]Key
+	deps map[*algebra.Node][]string
+}
+
+// Key returns the canonical hash for a node in the hashed DAG.
+func (h *DAGHashes) Key(n *algebra.Node) (Key, bool) {
+	if h == nil {
+		return Key{}, false
+	}
+	k, ok := h.keys[n]
+	return k, ok
+}
+
+// Deps returns the sorted published-array names the node depends on.
+func (h *DAGHashes) Deps(n *algebra.Node) []string {
+	if h == nil {
+		return nil
+	}
+	return h.deps[n]
+}
+
+// hashDAG computes canonical hashes for every node reachable from root.
+// resolve maps a leaf's backing store to its catalog identity; if any
+// leaf is unresolvable (a session-local array with no published
+// identity) the whole DAG is ineligible and hashDAG returns nil.
+func hashDAG(root *algebra.Node, resolve func(n *algebra.Node) (LeafID, bool)) *DAGHashes {
+	h := &DAGHashes{
+		keys: make(map[*algebra.Node]Key),
+		deps: make(map[*algebra.Node][]string),
+	}
+	if !h.walk(root, resolve) {
+		return nil
+	}
+	return h
+}
+
+// commutative reports whether an elementwise binary operator may have
+// its operands reordered without changing the IEEE result bits.
+func commutative(op string) bool { return op == "+" || op == "*" }
+
+// walk hashes the subtree rooted at n, memoizing into h. It returns
+// false as soon as an unresolvable leaf is found.
+func (h *DAGHashes) walk(n *algebra.Node, resolve func(n *algebra.Node) (LeafID, bool)) bool {
+	if _, ok := h.keys[n]; ok {
+		return true
+	}
+	for _, k := range n.Kids {
+		if !h.walk(k, resolve) {
+			return false
+		}
+	}
+	enc := sha256.New()
+	put := func(b []byte) { enc.Write(b) }
+	putStr := func(s string) {
+		var lb [8]byte
+		binary.LittleEndian.PutUint64(lb[:], uint64(len(s)))
+		put(lb[:])
+		put([]byte(s))
+	}
+	putU64 := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		put(b[:])
+	}
+	putF64 := func(v float64) { putU64(math.Float64bits(v)) }
+
+	// Every node starts with a kind tag and its shape: the shape is
+	// derivable from leaves and operators, but pinning it keeps a
+	// hypothetical hash collision from ever crossing shapes.
+	putU64(uint64(n.Op))
+	putU64(uint64(n.Shape.Rows))
+	putU64(uint64(n.Shape.Cols))
+	if n.Shape.Vector {
+		putU64(1)
+	} else {
+		putU64(0)
+	}
+
+	var deps []string
+	switch n.Op {
+	case algebra.OpSourceVec, algebra.OpSourceMat:
+		id, ok := resolve(n)
+		if !ok {
+			return false
+		}
+		putStr(id.Name)
+		putU64(uint64(id.Version))
+		deps = []string{id.Name}
+	case algebra.OpElemBinary:
+		putStr(n.BinOp)
+		a, b := h.keys[n.Kids[0]], h.keys[n.Kids[1]]
+		if commutative(n.BinOp) && compareKeys(a, b) > 0 {
+			a, b = b, a
+		}
+		put(a[:])
+		put(b[:])
+		deps = mergeDeps(h.deps[n.Kids[0]], h.deps[n.Kids[1]])
+	case algebra.OpElemUnary, algebra.OpReduce:
+		putStr(n.Fn)
+		k := h.keys[n.Kids[0]]
+		put(k[:])
+		deps = h.deps[n.Kids[0]]
+	case algebra.OpScalarOp:
+		putStr(n.BinOp)
+		putF64(n.Scalar)
+		left := n.ScalarLeft && !commutative(n.BinOp)
+		if left {
+			putU64(1)
+		} else {
+			putU64(0)
+		}
+		k := h.keys[n.Kids[0]]
+		put(k[:])
+		deps = h.deps[n.Kids[0]]
+	case algebra.OpUpdateMask:
+		putStr(n.BinOp)
+		putF64(n.Scalar)
+		putF64(n.Scalar2)
+		k := h.keys[n.Kids[0]]
+		put(k[:])
+		deps = h.deps[n.Kids[0]]
+	case algebra.OpRange:
+		putU64(uint64(n.Lo))
+		putU64(uint64(n.Hi))
+		k := h.keys[n.Kids[0]]
+		put(k[:])
+		deps = h.deps[n.Kids[0]]
+	case algebra.OpGather, algebra.OpMatMul:
+		a, b := h.keys[n.Kids[0]], h.keys[n.Kids[1]]
+		put(a[:])
+		put(b[:])
+		deps = mergeDeps(h.deps[n.Kids[0]], h.deps[n.Kids[1]])
+	default:
+		return false
+	}
+
+	var key Key
+	copy(key[:], enc.Sum(nil))
+	h.keys[n] = key
+	h.deps[n] = deps
+	return true
+}
+
+// compareKeys orders two keys bytewise (the commutative-operand sort).
+func compareKeys(a, b Key) int {
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// mergeDeps unions two sorted dependency lists.
+func mergeDeps(a, b []string) []string {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]string, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Strings(out)
+	j := 0
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[j] {
+			j++
+			out[j] = out[i]
+		}
+	}
+	return out[:j+1]
+}

@@ -17,10 +17,11 @@
 //
 // Commands:
 //
-//	\stats       engine report and shared-pool counters
+//	\stats       engine report, shared-pool and result-cache counters
 //	\list        catalog names, one per payload line
 //	\checkpoint  persist the catalog now
 //	\wal         write-ahead-log mode and counters ("wal: off" if none)
+//	\cache       result-cache entries; "\cache clear" drops them all
 //	\quit        close this connection (its session's storage is freed)
 //	\shutdown    gracefully stop the whole server
 //
@@ -166,6 +167,12 @@ func (s *Server) handle(conn net.Conn) {
 // command executes one '\' request and reports whether the connection
 // should close.
 func (s *Server) command(w *bufio.Writer, sess *riot.Session, cmd string) (quit bool) {
+	// \cache is the one command that takes an argument; match on the
+	// first token so "\cache clear" parses.
+	if fields := strings.Fields(cmd); fields[0] == "\\cache" {
+		s.cacheCmd(w, fields[1:])
+		return false
+	}
 	switch cmd {
 	case "\\quit", "\\q":
 		reply(w, "bye", nil)
@@ -187,6 +194,10 @@ func (s *Server) command(w *bufio.Writer, sess *riot.Session, cmd string) (quit 
 		fmt.Fprintf(&b, "engine: %s\n", sess.Report())
 		fmt.Fprintf(&b, "pool:   %s\n", s.db.Pool().Stats())
 		fmt.Fprintf(&b, "device: %s\n", s.db.Pool().Device().Stats())
+		if st, on := s.db.CacheStats(); on {
+			fmt.Fprintf(&b, "cache:  cache_hits=%d cache_misses=%d cache_bytes=%d cache_evictions=%d\n",
+				st.Hits, st.Misses, st.Bytes, st.Evictions)
+		}
 		reply(w, b.String(), nil)
 		return false
 	case "\\wal":
@@ -205,8 +216,38 @@ func (s *Server) command(w *bufio.Writer, sess *riot.Session, cmd string) (quit 
 		reply(w, b.String(), nil)
 		return false
 	default:
-		reply(w, "", fmt.Errorf("unknown command %q (try \\stats \\list \\checkpoint \\wal \\quit \\shutdown)", cmd))
+		reply(w, "", fmt.Errorf("unknown command %q (try \\stats \\list \\checkpoint \\wal \\cache \\quit \\shutdown)", cmd))
 		return false
+	}
+}
+
+// cacheCmd serves \cache: with no argument it lists the result cache's
+// counters and resident entries; "clear" drops every unreferenced entry.
+func (s *Server) cacheCmd(w *bufio.Writer, args []string) {
+	cache := s.db.ResultCache()
+	if cache == nil {
+		reply(w, "cache: off (enable with -cache)", nil)
+		return
+	}
+	switch {
+	case len(args) == 0:
+		st := cache.Snapshot()
+		var b strings.Builder
+		fmt.Fprintf(&b, "cache: entries=%d bytes=%d quota_bytes=%d\n", st.Entries, st.Bytes, st.QuotaBytes)
+		fmt.Fprintf(&b, "cache_hits=%d cache_misses=%d cache_bytes=%d cache_evictions=%d\n",
+			st.Hits, st.Misses, st.Bytes, st.Evictions)
+		fmt.Fprintf(&b, "installs=%d invalidations=%d rejected=%d\n",
+			st.Installs, st.Invalidations, st.Rejected)
+		for _, line := range cache.Describe() {
+			fmt.Fprintf(&b, "%s\n", line)
+		}
+		reply(w, b.String(), nil)
+	case len(args) == 1 && args[0] == "clear":
+		before := cache.Snapshot().Entries
+		cache.Clear()
+		reply(w, fmt.Sprintf("cache cleared (%d entries dropped)", before), nil)
+	default:
+		reply(w, "", fmt.Errorf("usage: \\cache [clear]"))
 	}
 }
 

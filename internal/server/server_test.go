@@ -295,3 +295,126 @@ func TestWALCommand(t *testing.T) {
 		t.Fatalf("\\wal on a WAL-less database = %q, want wal: off", out)
 	}
 }
+
+// TestCacheCommand: \cache reports off without Config.ResultCache; with
+// the cache on, a replayed expression shows up as a hit in \stats and a
+// resident entry in \cache, and \cache clear empties it.
+func TestCacheCommand(t *testing.T) {
+	addr, stop := startServer(t, t.TempDir(), smallCfg())
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	out, err := c.Do("\\cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cache: off") {
+		t.Fatalf("\\cache on a cache-less database = %q, want cache: off", out)
+	}
+
+	on := smallCfg()
+	on.ResultCache = true
+	addrOn, stopOn := startServer(t, t.TempDir(), on)
+	defer stopOn()
+	cOn, err := Dial(addrOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cOn.Close()
+	// Publish a leaf, then evaluate the same expression twice: the
+	// second run must be served from the cache.
+	for _, stmt := range []string{"x <- 1:300", "y <- sqrt(x * x); print(sum(y))", "y <- sqrt(x * x); print(sum(y))"} {
+		if _, err := cOn.Do(stmt); err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+	}
+	stats, err := cOn.Do("\\stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stats, "cache_hits=") {
+		t.Fatalf("\\stats lacks cache counters: %q", stats)
+	}
+	var hits, misses int
+	for _, f := range strings.Fields(stats) {
+		fmt.Sscanf(f, "cache_hits=%d", &hits)
+		fmt.Sscanf(f, "cache_misses=%d", &misses)
+	}
+	if hits == 0 {
+		t.Fatalf("replay produced no cache hit: %q", stats)
+	}
+	out, err = cOn.Do("\\cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "entries=") || strings.Contains(out, "entries=0") {
+		t.Fatalf("\\cache shows no resident entries after install: %q", out)
+	}
+	if out, err = cOn.Do("\\cache clear"); err != nil || !strings.Contains(out, "cache cleared") {
+		t.Fatalf("\\cache clear = %q, %v", out, err)
+	}
+	if out, err = cOn.Do("\\cache"); err != nil || !strings.Contains(out, "entries=0") {
+		t.Fatalf("\\cache after clear = %q, %v (want entries=0)", out, err)
+	}
+	if _, err := cOn.Do("\\cache bogus"); err == nil {
+		t.Fatal("\\cache bogus should be a usage error")
+	}
+}
+
+// TestCacheConcurrentClients: several connections replay one workload
+// over a shared published array while another republished it; the
+// server must stay consistent (every print is a sane value) and the
+// cache must register cross-connection hits.
+func TestCacheConcurrentClients(t *testing.T) {
+	cfg := smallCfg()
+	cfg.ResultCache = true
+	cfg.MaxSessions = 8
+	addr, stop := startServer(t, t.TempDir(), cfg)
+	defer stop()
+
+	seed, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seed.Do("shared <- 1:200"); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 4
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			defer c.Close()
+			for round := 0; round < 10; round++ {
+				out, err := c.Do("z <- shared * 2; print(max(z))")
+				if err != nil {
+					t.Errorf("client %d round %d: %v", i, round, err)
+					return
+				}
+				if !strings.Contains(out, "400") {
+					t.Errorf("client %d round %d: unexpected output %q", i, round, out)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	stats, err := seed.Do("\\stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stats, "cache_hits=") {
+		t.Fatalf("\\stats lacks cache counters: %q", stats)
+	}
+	seed.Close()
+}

@@ -166,6 +166,22 @@ type Config struct {
 	// WALFlushInterval is the background fsync period under
 	// WALSyncInterval. Default 50ms. Ignored in other modes.
 	WALFlushInterval time.Duration
+	// ResultCache enables the database's shared cross-session result
+	// cache: materialized intermediates are memoized under a canonical
+	// structural hash of their expression DAG plus the catalog version
+	// of every published leaf, so sessions replaying a shared workload
+	// serve each other's results with zero device reads. Republishing
+	// or deleting a leaf changes the versions in the key, so stale hits
+	// are structurally impossible. Off by default — with the cache off
+	// every code path and I/O counter is byte-identical to the
+	// cache-free engine. Ignored by NewSession (no catalog, no
+	// published leaves, nothing cacheable).
+	ResultCache bool
+	// ResultCacheQuota is the result cache's storage budget in float64
+	// elements, charged to the shared buffer pool as a dedicated
+	// admission-controlled share and reclaimed by LRU eviction. Default
+	// MemElems/4. Ignored unless ResultCache is set.
+	ResultCacheQuota int64
 }
 
 // Session is a handle to one engine instance. Sessions from NewSession
