@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"riot/internal/bench"
 )
@@ -63,17 +64,21 @@ type Result struct {
 }
 
 func main() {
-	figure := flag.String("figure", "all", "which experiment: 1, 2, 3a, 3b, validate, workers, readahead, planner, sparse, wal, gflops, cache, all")
+	figure := flag.String("figure", "all", "which experiment: 1, 2, 3a, 3b, validate, workers, readahead, planner, sparse, semiring, wal, gflops, cache, all")
 	paper := flag.Bool("paper", false, "use the paper's full-scale parameters")
 	jsonPath := flag.String("json", "BENCH_results.json", "write machine-readable results to this file (empty to disable)")
 	flag.Parse()
 
 	var results []Result
+	var known []string
+	matched := false
 
 	run := func(name string, f func() ([]Result, error)) {
+		known = append(known, name)
 		if *figure != "all" && *figure != name {
 			return
 		}
+		matched = true
 		rows, err := f()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "riot-bench: figure %s: %v\n", name, err)
@@ -305,6 +310,31 @@ func main() {
 		}
 		return out, nil
 	})
+
+	run("semiring", func() ([]Result, error) {
+		rows, err := bench.SemiringAblation(os.Stdout)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Result, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, Result{
+				Name:        fmt.Sprintf("semiring/minplus-closure/d=%.4f/%s", r.Density, r.Mode),
+				IOMB:        r.IOMB,
+				SimSec:      r.SimSec,
+				WallNSPerOp: r.WallNS,
+				Density:     r.Density,
+				BlockReads:  r.BlockReads,
+			})
+		}
+		return out, nil
+	})
+
+	if !matched {
+		fmt.Fprintf(os.Stderr, "riot-bench: unknown figure %q (known: %s, all)\n",
+			*figure, strings.Join(known, ", "))
+		os.Exit(2)
+	}
 
 	if *jsonPath != "" && len(results) > 0 {
 		merged := mergeResults(*jsonPath, results)

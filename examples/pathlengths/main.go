@@ -1,116 +1,169 @@
-// Pathlengths is the canonical sparse demo: path counting through a
-// sparse adjacency matrix. A ring of points where each point connects
-// only to its nearest neighbours yields a banded adjacency matrix whose
-// square tiles are almost all empty — exactly the workload the paper's
-// future-work section points at. The demo multiplies A %*% A (two-hop
-// path counts) twice, once with dense tiles and once with the
-// tile-compressed sparse kind, and prints the I/O each pays: block
-// reads drop roughly in proportion to density, because empty tiles
-// cost no blocks and the sparse kernels skip them outright.
+// Pathlengths is the canonical graph demo: all-pairs shortest paths as
+// linear algebra over the (min,+) semi-ring. A sparse weighted digraph
+// becomes an adjacency matrix whose absent entries mean "no edge"
+// (+Inf in min-plus); the reflexive-transitive closure A* — repeated
+// squaring X ← X ⊕ (X ⊗ X) — then holds the exact shortest-path
+// distance between every pair of nodes. The demo runs the closure on
+// both array kinds (dense tiles and the tile-compressed sparse kind),
+// verifies each against an in-memory Floyd–Warshall, and prints the
+// I/O each pays: the sparse closure's block reads follow the graph's
+// reachability structure, not the tile grid.
 //
-// The riotscript section shows the same surface syntax — sparse(),
-// dense(), nnz() — running unchanged on every backend: engines without
-// a sparse array kind treat the conversions as identities, so sparsity
-// stays a storage property, never a semantic one. The tail exercises
-// the empty-graph edge cases (all-zero and 0×0 adjacency) through
-// matmul and reductions.
+// The riotscript section shows the same surface syntax —
+// closure(S, ring="minplus"), matmul(A, B, ring="minplus") — running
+// unchanged on every backend: engines without semi-ring kernels fall
+// back to an in-memory evaluator with the same storage convention
+// (stored zero = no edge), so the ring, like sparsity, stays a storage
+// and kernel property, never a semantic one. The tail exercises the
+// empty-graph edge cases (all-zero and 0×0 adjacency) through the
+// closure.
 package main
 
 import (
 	"fmt"
 	"log"
+	"math"
 
 	"riot"
 )
 
-// adjacency is the ring-with-neighbours graph: i and j are connected
-// when they are within `band` of each other (but not equal).
-func adjacency(band int64) func(i, j int64) float64 {
-	return func(i, j int64) float64 {
-		d := i - j
-		if d < 0 {
-			d = -d
-		}
-		if d != 0 && d <= band {
-			return 1
-		}
+const (
+	n       = 96
+	edgeMod = 8 // edge when hash%256 < edgeMod: ~3.1% density
+)
+
+// weight is the deterministic random digraph: a hash of (i,j) decides
+// whether the edge exists and what integer weight in [1,9] it carries.
+// Integer weights keep multi-hop sums exact in float64, so the closure
+// must match Floyd–Warshall bit for bit. Stored 0 means "no edge".
+func weight(i, j int64) float64 {
+	if i == j {
 		return 0
+	}
+	h := uint64(i*n+j)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	if h%256 < edgeMod {
+		return float64(1 + (h>>8)%9)
+	}
+	return 0
+}
+
+// floydWarshall is the in-memory reference: O(n³) relaxation over the
+// verbatim min-plus domain (+Inf = unreachable, 0 diagonal).
+func floydWarshall() [][]float64 {
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			switch w := weight(int64(i), int64(j)); {
+			case i == j:
+				dist[i][j] = 0
+			case w != 0:
+				dist[i][j] = w
+			default:
+				dist[i][j] = math.Inf(1)
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d := dist[i][k] + dist[k][j]; d < dist[i][j] {
+					dist[i][j] = d
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// checkClosure fetches a closure result and demands exact equality with
+// the Floyd–Warshall distances.
+func checkClosure(kind string, c *riot.Matrix, dist [][]float64) {
+	vals, err := c.Values()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if got := vals[i*n+j]; got != dist[i][j] {
+				log.Fatalf("%s closure disagrees with Floyd–Warshall at (%d,%d): %g vs %g",
+					kind, i, j, got, dist[i][j])
+			}
+		}
 	}
 }
 
 func main() {
-	const n, band = 512, 2
-
-	// --- Dense vs sparse two-hop path counts on the RIOT engine ---
+	// --- Min-plus closure on both kinds, verified against FW ---
 	s := riot.NewSession(riot.Config{MemElems: 1 << 16, Workers: 1})
-	a, err := s.NewMatrix(n, n, adjacency(band))
+	a, err := s.NewMatrix(n, n, weight)
 	if err != nil {
 		log.Fatal(err)
 	}
-	dnnz, err := a.NNZ()
+	nnz, err := a.NNZ()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("adjacency: %d×%d, nnz=%d (density %.2f%%)\n", n, n, dnnz, 100*float64(dnnz)/float64(n*n))
+	fmt.Printf("digraph: %d nodes, %d weighted edges (density %.2f%%)\n",
+		n, nnz, 100*float64(nnz)/float64(n*n))
 
-	// Correctness first (unmeasured): both kinds must count the same
-	// two-hop pairs. NNZ on a deferred product forces the multiply
-	// either way; the count itself is then a full result scan on the
-	// dense side but free — from the tile directory — on the sparse
-	// side.
-	p2, err := a.MatMul(a)
+	dist := floydWarshall()
+	reach, finite := 0, 0.0
+	for i := range dist {
+		for j := range dist[i] {
+			if i != j && !math.IsInf(dist[i][j], 1) {
+				reach++
+				finite += dist[i][j]
+			}
+		}
+	}
+	fmt.Printf("Floyd–Warshall: %d of %d ordered pairs connected, mean distance %.3f\n",
+		reach, n*(n-1), finite/float64(reach))
+
+	s.ResetStats()
+	dc, err := a.Closure("minplus")
 	if err != nil {
 		log.Fatal(err)
 	}
-	densePaths, err := p2.NNZ()
-	if err != nil {
-		log.Fatal(err)
-	}
+	checkClosure("dense", dc, dist)
+	fmt.Printf("dense  closure(A, minplus): matches FW exactly, %s\n", s.Report())
+
 	sa, err := a.Sparse()
 	if err != nil {
 		log.Fatal(err)
 	}
-	sp2, err := sa.MatMul(sa)
+	s.ResetStats()
+	sc, err := sa.Closure("minplus")
 	if err != nil {
 		log.Fatal(err)
 	}
-	sparsePaths, err := sp2.NNZ()
-	if err != nil {
-		log.Fatal(err)
-	}
-	if sparsePaths != densePaths {
-		log.Fatalf("sparse result disagrees with dense: %d vs %d", sparsePaths, densePaths)
-	}
-	// Now the measured comparison: Force() runs the multiply alone (no
-	// result scan on either side), so the reports are kernel vs kernel.
-	s.ResetStats()
-	if err := p2.Force(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("dense  A%%*%%A: %d node pairs linked by 2-hop paths, %s\n", densePaths, s.Report())
-	s.ResetStats()
-	if err := sp2.Force(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("sparse A%%*%%A: %d node pairs linked by 2-hop paths, %s\n", sparsePaths, s.Report())
-	if expl, err := sp2.Explain(); err == nil {
-		fmt.Printf("\nsparse plan:\n%s\n", expl)
+	checkClosure("sparse", sc, dist)
+	fmt.Printf("sparse closure(A, minplus): matches FW exactly, %s\n", s.Report())
+
+	for _, pair := range [][2]int64{{0, 1}, {0, n / 2}, {3, n - 1}} {
+		d, err := sc.At(pair[0], pair[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  shortest %d → %d: %g\n", pair[0], pair[1], d)
 	}
 	if err := s.Close(); err != nil {
 		log.Fatal(err)
 	}
 
-	// --- The same script, every backend: sparse() is a storage hint ---
+	// --- The same script, every backend: the ring is a kernel choice ---
 	script := `
-y <- runif(36)
-y[y < 0.7] <- 0
-A <- matrix(y, 6, 6)
-S <- sparse(A)
-print(nnz(S))
-P <- S %*% S
+y <- floor(runif(64) * 10)
+y[y < 7] <- 0
+A <- matrix(y, 8, 8)
+P <- matmul(A, A, ring="minplus")
 print(nnz(P))
-D <- dense(P)
-print(nnz(D))
+C <- closure(sparse(A), ring="minplus")
+print(nnz(C))
+print(min(C))
 `
 	backends := []struct {
 		name string
@@ -142,45 +195,44 @@ print(nnz(D))
 
 	// --- Empty-graph edge cases: all-zero and 0×0 adjacency ---
 	es := riot.NewSession(riot.Config{MemElems: 1 << 14})
-	zero, err := es.NewMatrix(64, 64, func(i, j int64) float64 { return 0 })
+	zero, err := es.NewMatrix(16, 16, func(i, j int64) float64 { return 0 })
 	if err != nil {
 		log.Fatal(err)
 	}
-	szero, err := zero.Sparse()
+	zc, err := zero.Closure("minplus")
 	if err != nil {
 		log.Fatal(err)
 	}
-	zp, err := szero.MatMul(szero)
+	zvals, err := zc.Values()
 	if err != nil {
 		log.Fatal(err)
 	}
-	znnz, err := zp.NNZ()
-	if err != nil {
-		log.Fatal(err)
+	diag, inf := 0, 0
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			switch v := zvals[i*16+j]; {
+			case i == j && v == 0:
+				diag++
+			case i != j && math.IsInf(v, 1):
+				inf++
+			}
+		}
 	}
-	vals, err := zp.Values()
-	if err != nil {
-		log.Fatal(err)
-	}
-	var zsum float64
-	for _, v := range vals {
-		zsum += v
-	}
-	fmt.Printf("\nempty graph: nnz(A%%*%%A)=%d, sum=%g\n", znnz, zsum)
+	fmt.Printf("\nempty graph closure: %d zero diagonal entries, %d unreachable pairs\n", diag, inf)
 
 	void, err := es.NewMatrix(0, 0, func(i, j int64) float64 { return 0 })
 	if err != nil {
 		log.Fatal(err)
 	}
-	vp, err := void.MatMul(void)
+	vc, err := void.Closure("minplus")
 	if err != nil {
 		log.Fatal(err)
 	}
-	vvals, err := vp.Values()
+	vvals, err := vc.Values()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("0×0 graph: A%%*%%A has %d elements\n", len(vvals))
+	fmt.Printf("0×0 graph: closure has %d elements\n", len(vvals))
 	if err := es.Close(); err != nil {
 		log.Fatal(err)
 	}

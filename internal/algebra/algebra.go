@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"riot/internal/array"
+	"riot/internal/scalarop"
 	"riot/internal/sparse"
 )
 
@@ -91,6 +92,7 @@ type Node struct {
 	Scalar2    float64 // OpUpdateMask replacement value
 	ScalarLeft bool    // OpScalarOp: scalar is the left operand
 	Lo, Hi     int64   // OpRange bounds [Lo, Hi)
+	Ring       string  // OpMatMul semi-ring name; "" is the standard ring
 
 	// Exactly one backing store is non-nil on a source node; the array
 	// Kind (dense vs tile-compressed sparse) is a property of the store,
@@ -158,6 +160,9 @@ func (n *Node) String() string {
 	case OpRange:
 		return fmt.Sprintf("%s[%d:%d]", n.Kids[0], n.Lo, n.Hi)
 	case OpMatMul:
+		if n.Ring != "" {
+			return fmt.Sprintf("(%s %%*%%[%s] %s)", n.Kids[0], n.Ring, n.Kids[1])
+		}
 		return fmt.Sprintf("(%s %%*%% %s)", n.Kids[0], n.Kids[1])
 	case OpReduce:
 		return fmt.Sprintf("%s(%s)", n.Fn, n.Kids[0])
@@ -302,8 +307,15 @@ func (g *Graph) Range(x *Node, lo, hi int64) (*Node, error) {
 	}), nil
 }
 
-// MatMul models a %*% b.
+// MatMul models a %*% b over the standard (+, ×) ring.
 func (g *Graph) MatMul(x, y *Node) (*Node, error) {
+	return g.MatMulRing(x, y, "")
+}
+
+// MatMulRing models a %*% b over the named semi-ring; "" and "standard"
+// intern onto the same node, so the default ring's DAG (and every key
+// derived from it) is unchanged.
+func (g *Graph) MatMulRing(x, y *Node, ring string) (*Node, error) {
 	if x.Shape.Vector || y.Shape.Vector {
 		return nil, fmt.Errorf("algebra: %%*%% requires matrices")
 	}
@@ -311,9 +323,18 @@ func (g *Graph) MatMul(x, y *Node) (*Node, error) {
 		return nil, fmt.Errorf("algebra: dimension mismatch %dx%d %%*%% %dx%d",
 			x.Shape.Rows, x.Shape.Cols, y.Shape.Rows, y.Shape.Cols)
 	}
+	if ring == "standard" {
+		ring = ""
+	}
+	if _, err := scalarop.Ring(ring); err != nil {
+		return nil, err
+	}
 	key := fmt.Sprintf("mm:%d:%d", x.ID, y.ID)
+	if ring != "" {
+		key = fmt.Sprintf("mm[%s]:%d:%d", ring, x.ID, y.ID)
+	}
 	return g.intern(key, func() *Node {
-		return &Node{Op: OpMatMul, Kids: []*Node{x, y},
+		return &Node{Op: OpMatMul, Kids: []*Node{x, y}, Ring: ring,
 			Shape: Shape{Rows: x.Shape.Rows, Cols: y.Shape.Cols}}
 	}), nil
 }

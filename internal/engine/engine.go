@@ -131,6 +131,23 @@ type Engine interface {
 // fall back to kind-free semantics otherwise (sparse and dense become
 // identity, nnz counts fetched values) — the same script still runs on
 // every backend, sparsity being a storage property, not a semantic one.
+// RingEngine is the optional capability interface of engines whose
+// matrix product generalizes over a semi-ring (⊕, ⊗). The riotscript
+// builtins matmul(a, b, ring=...) and closure(a, ring=...) dispatch
+// through it when the backend offers it; other backends get in-memory
+// fallback semantics from the interpreter, so the same script runs
+// everywhere. Ring names are the scalarop registry's ("standard",
+// "minplus", "maxplus", "boolean"); "" means standard.
+type RingEngine interface {
+	// MatMulRing is Engine.MatMul over the named semi-ring.
+	MatMulRing(a, b Value, ring string) (Value, error)
+	// Closure computes the reflexive-transitive ⊗-closure of a square
+	// matrix by repeated squaring — over minplus, all-pairs shortest
+	// path distances (diagonal 0). The result is dense: the closure of
+	// anything connected is.
+	Closure(a Value, ring string) (Value, error)
+}
+
 type SparseEngine interface {
 	// ToSparse forces the value and returns a handle backed by
 	// tile-compressed storage (a no-op on already-sparse handles).

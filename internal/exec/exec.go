@@ -165,6 +165,12 @@ func (e *Executor) ResetStats() {
 
 // addFlops charges n flops to op: the global counter feeds the time
 // model, the per-op split feeds \stats. Called once per chunk.
+// ChargeFlops adds n operations under the given op label — for
+// engine-level composites (like the semi-ring closure's ⊕-merges) that
+// run kernels outside a DAG force but should still appear in
+// flops_by_op.
+func (e *Executor) ChargeFlops(op string, n int64) { e.addFlops(op, n) }
+
 func (e *Executor) addFlops(op string, n int64) {
 	e.flops.Add(n)
 	e.flopsMu.Lock()
@@ -1105,6 +1111,17 @@ func (e *Executor) forceMatAny(n *algebra.Node, name string) (forcedMat, error) 
 			b.free()
 		}()
 		e.elementsComputed.Add(a.rows() * b.cols())
+		// The node's ring selects the kernel arithmetic; the Ring kernel
+		// variants delegate to the legacy code paths verbatim for the
+		// standard ring, and the flop counter is labelled per ring.
+		ring, err := scalarop.Ring(n.Ring)
+		if err != nil {
+			return forcedMat{}, err
+		}
+		matmulOp := "matmul"
+		if n.Ring != "" {
+			matmulOp = "matmul[" + n.Ring + "]"
+		}
 		// Sparse kernels need matching square tiles; a mixed-geometry
 		// operand (e.g. a row-tiled BNLJ intermediate against a sparse
 		// source) densifies the sparse side and takes the dense path.
@@ -1118,36 +1135,50 @@ func (e *Executor) forceMatAny(n *algebra.Node, name string) (forcedMat, error) 
 		}
 		switch {
 		case a.s != nil && b.s != nil:
-			e.addFlops("matmul", sparseProductFlops(a.s.NNZ(), b.s.NNZ(), a.cols()))
-			t, err := linalg.MatMulSparseSparse(e.pool, name, a.s, b.s)
+			e.addFlops(matmulOp, sparseProductFlops(a.s.NNZ(), b.s.NNZ(), a.cols()))
+			t, err := linalg.MatMulSparseSparseRing(e.pool, name, a.s, b.s, ring)
 			return forcedMat{s: t, temp: true}, err
 		case a.s != nil:
-			e.addFlops("matmul", a.s.NNZ()*b.cols())
-			t, err := linalg.MatMulSparseDense(e.pool, name, a.s, b.d)
+			e.addFlops(matmulOp, a.s.NNZ()*b.cols())
+			t, err := linalg.MatMulSparseDenseRing(e.pool, name, a.s, b.d, ring)
 			if err == nil {
 				e.maybeInstallMat(n, t)
 			}
 			return forcedMat{d: t, temp: true}, err
 		case b.s != nil:
-			e.addFlops("matmul", b.s.NNZ()*a.rows())
-			t, err := linalg.MatMulDenseSparse(e.pool, name, a.d, b.s)
+			e.addFlops(matmulOp, b.s.NNZ()*a.rows())
+			t, err := linalg.MatMulDenseSparseRing(e.pool, name, a.d, b.s, ring)
 			if err == nil {
 				e.maybeInstallMat(n, t)
 			}
 			return forcedMat{d: t, temp: true}, err
 		}
-		e.addFlops("matmul", a.rows()*a.cols()*b.cols())
+		e.addFlops(matmulOp, a.rows()*a.cols()*b.cols())
 		// The kernel was selected at plan time from the same cost
 		// formulas the seed consulted here.
 		var t *array.Matrix
-		switch e.curPlan.Algo(n) {
-		case plan.AlgoSquareTiled:
-			t, err = linalg.MatMulTiledWorkers(e.pool, name, a.d, b.d, e.Workers)
-		case plan.AlgoBNLJSquare:
-			// Square tiling but BNLJ is cheaper at this size.
-			t, err = linalg.MatMulBNLJ(e.pool, name, a.d, b.d, array.Options{Shape: array.SquareTiles, Lin: a.d.Lin()})
-		default:
-			t, err = linalg.MatMulBNLJ(e.pool, name, a.d, b.d, array.Options{Shape: array.RowTiles})
+		if !ring.IsStandard() {
+			// Non-standard rings have no BNLJ or packed path: take the
+			// tiled ring schedule when the tiling permits it, else the
+			// naive triple loop.
+			atr, atc := a.d.TileDims()
+			btr, btc := b.d.TileDims()
+			if atr == atc && btr == btc && atr == btr {
+				t, err = linalg.MatMulTiledRing(e.pool, name, a.d, b.d, e.Workers, ring)
+			} else {
+				t, err = linalg.MatMulNaiveRing(e.pool, name, a.d, b.d,
+					array.Options{Shape: array.SquareTiles, Lin: a.d.Lin()}, ring)
+			}
+		} else {
+			switch e.curPlan.Algo(n) {
+			case plan.AlgoSquareTiled:
+				t, err = linalg.MatMulTiledWorkers(e.pool, name, a.d, b.d, e.Workers)
+			case plan.AlgoBNLJSquare:
+				// Square tiling but BNLJ is cheaper at this size.
+				t, err = linalg.MatMulBNLJ(e.pool, name, a.d, b.d, array.Options{Shape: array.SquareTiles, Lin: a.d.Lin()})
+			default:
+				t, err = linalg.MatMulBNLJ(e.pool, name, a.d, b.d, array.Options{Shape: array.RowTiles})
+			}
 		}
 		if err == nil {
 			e.maybeInstallMat(n, t)

@@ -24,6 +24,7 @@ import (
 
 	"riot/internal/array"
 	"riot/internal/buffer"
+	"riot/internal/scalarop"
 )
 
 // MatMulNaive multiplies a (l×m) by b (m×n) into a fresh matrix with
@@ -161,6 +162,15 @@ func MatMulTiledWorkers(pool *buffer.Pool, name string, a, b *array.Matrix, work
 // schedule; the choice only selects the arithmetic between pin and
 // release, which is what the gflops ablation measures.
 func MatMulTiledKernel(pool *buffer.Pool, name string, a, b *array.Matrix, workers int, kern Kernel) (*array.Matrix, error) {
+	return matMulTiledRing(pool, name, a, b, workers, kern, scalarop.Standard)
+}
+
+// matMulTiledRing runs the tiled schedule over an arbitrary semi-ring.
+// The schedule — super-block sizing, pin/prefetch/flush order, worker
+// clamping — is ring-independent; the ring only selects the arithmetic
+// between pin and release, exactly like the Kernel choice. The standard
+// ring takes the legacy code paths verbatim.
+func matMulTiledRing(pool *buffer.Pool, name string, a, b *array.Matrix, workers int, kern Kernel, ring *scalarop.Semiring) (*array.Matrix, error) {
 	if a.Cols() != b.Rows() {
 		return nil, fmt.Errorf("linalg: dimension mismatch %dx%d * %dx%d", a.Rows(), a.Cols(), b.Rows(), b.Cols())
 	}
@@ -214,7 +224,7 @@ func MatMulTiledKernel(pool *buffer.Pool, name string, a, b *array.Matrix, worke
 		var sc mulScratch
 		for ti0 := 0; ti0 < agr; ti0 += q {
 			for tj0 := 0; tj0 < bgc; tj0 += q {
-				if err := multiplySuperBlock(t, a, b, ti0, tj0, q, agr, agc, bgc, true, kern, &sc); err != nil {
+				if err := multiplySuperBlock(t, a, b, ti0, tj0, q, agr, agc, bgc, true, kern, &sc, ring); err != nil {
 					return nil, err
 				}
 			}
@@ -240,7 +250,7 @@ func MatMulTiledKernel(pool *buffer.Pool, name string, a, b *array.Matrix, worke
 			// worker's three super-blocks pinned the budget has no slack,
 			// and on oversubscribed CPUs one worker's claims evict
 			// another's prefetched tiles before they are consumed.
-			if err := multiplySuperBlock(t, a, b, ti0, tj0, q, agr, agc, bgc, false, kern, &scratches[j]); err != nil {
+			if err := multiplySuperBlock(t, a, b, ti0, tj0, q, agr, agc, bgc, false, kern, &scratches[j], ring); err != nil {
 				failed.Store(true)
 				return err
 			}
@@ -283,7 +293,7 @@ func runWorkers(w int, fn func(j int) error) error {
 // schedule and its budget are unchanged) and the next pins collapse onto
 // two sorted vectored reads instead of issuing 2q² single-tile requests
 // interleaved with write-backs.
-func multiplySuperBlock(t, a, b *array.Matrix, ti0, tj0, q, agr, agc, bgc int, prefetch bool, kern Kernel, sc *mulScratch) error {
+func multiplySuperBlock(t, a, b *array.Matrix, ti0, tj0, q, agr, agc, bgc int, prefetch bool, kern Kernel, sc *mulScratch, ring *scalarop.Semiring) error {
 	ti1 := min(ti0+q, agr)
 	tj1 := min(tj0+q, bgc)
 	if prefetch {
@@ -336,7 +346,11 @@ func multiplySuperBlock(t, a, b *array.Matrix, ti0, tj0, q, agr, agc, bgc int, p
 					for tk := tk0; tk < tk1; tk++ {
 						at := atiles[(ti-ti0)*(tk1-tk0)+(tk-tk0)]
 						bt := btiles[(tk-tk0)*(tj1-tj0)+(tj-tj0)]
-						multiplyTilePair(at, bt, ct)
+						if ring.IsStandard() {
+							multiplyTilePair(at, bt, ct)
+						} else {
+							multiplyTilePairRing(at, bt, ct, ring)
+						}
 					}
 				}
 			}

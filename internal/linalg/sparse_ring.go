@@ -1,0 +1,343 @@
+package linalg
+
+import (
+	"fmt"
+
+	"riot/internal/array"
+	"riot/internal/buffer"
+	"riot/internal/scalarop"
+	"riot/internal/sparse"
+)
+
+// Ring-generic sparse kernels. The sparse format's zero-skipping is the
+// semi-ring annihilation law in I/O form, so the same tile-directory
+// schedules carry over with one convention change: under a non-standard
+// ring an ABSENT element denotes the ring's Zero (for minplus, a missing
+// edge reads as +Inf), and stored values are ring elements taken
+// verbatim. The storage cannot represent a STORED element equal to
+// float64 0 (the builder drops exact zeros), so a computed ring value of
+// exactly 0 collapses to absent/Zero — harmless for the standard and
+// boolean rings where 0 IS the Zero, and avoided for the tropical rings
+// by keeping the ⊗-identity diagonal implicit until the final densify
+// (off-diagonal exact-0 values only arise from mixed-sign edge weights).
+
+// MatMulSparseDenseRing is MatMulSparseDense over a semi-ring: skipped
+// k-steps are justified by ring annihilation (an absent a tile is all
+// ring.Zero), and the output accumulates in the storage domain (0 =
+// absent = ring.Zero), so fresh zeroed tiles need no identity seeding.
+func MatMulSparseDenseRing(pool *buffer.Pool, name string, a *sparse.Matrix, b *array.Matrix, ring *scalarop.Semiring) (*array.Matrix, error) {
+	if ring.IsStandard() {
+		return MatMulSparseDense(pool, name, a, b)
+	}
+	atr, atc := a.TileDims()
+	btr, btc := b.TileDims()
+	if err := checkSquareAligned(a.Rows(), a.Cols(), b.Rows(), b.Cols(), atr, atc, btr, btc); err != nil {
+		return nil, err
+	}
+	t, err := array.NewMatrix(pool, name, a.Rows(), b.Cols(), array.Options{Shape: array.SquareTiles, Lin: b.Lin()})
+	if err != nil {
+		return nil, err
+	}
+	agr, agc := a.GridDims()
+	_, bgc := b.GridDims()
+	for ti := 0; ti < agr; ti++ {
+		for tj := 0; tj < bgc; tj++ {
+			ct, err := t.PinTileNew(ti, tj)
+			if err != nil {
+				return nil, err
+			}
+			for tk := 0; tk < agc; tk++ {
+				if a.TileEmpty(ti, tk) {
+					continue
+				}
+				bt, err := b.PinTile(tk, tj)
+				if err != nil {
+					ct.Release()
+					return nil, err
+				}
+				rowLo, _, colLo, _ := a.TileBounds(ti, tk)
+				err = a.IterTile(ti, tk, func(r, c int, v float64) error {
+					if v == ring.Zero {
+						return nil
+					}
+					i := rowLo + int64(r)
+					k := colLo + int64(c)
+					for j := ct.ColLo; j < ct.ColHi; j++ {
+						bv := bt.At(k, j)
+						if bv == 0 || bv == ring.Zero {
+							continue
+						}
+						m := ring.Mul(v, bv)
+						if m == ring.Zero {
+							continue
+						}
+						if cur := ct.At(i, j); cur == 0 {
+							ct.Set(i, j, m)
+						} else {
+							ct.Set(i, j, ring.Add(cur, m))
+						}
+					}
+					return nil
+				})
+				bt.Release()
+				if err != nil {
+					ct.Release()
+					return nil, err
+				}
+			}
+			ct.MarkDirty()
+			ct.Release()
+		}
+	}
+	return t, pool.FlushAll()
+}
+
+// MatMulDenseSparseRing is MatMulDenseSparse over a semi-ring.
+func MatMulDenseSparseRing(pool *buffer.Pool, name string, a *array.Matrix, b *sparse.Matrix, ring *scalarop.Semiring) (*array.Matrix, error) {
+	if ring.IsStandard() {
+		return MatMulDenseSparse(pool, name, a, b)
+	}
+	atr, atc := a.TileDims()
+	btr, btc := b.TileDims()
+	if err := checkSquareAligned(a.Rows(), a.Cols(), b.Rows(), b.Cols(), atr, atc, btr, btc); err != nil {
+		return nil, err
+	}
+	t, err := array.NewMatrix(pool, name, a.Rows(), b.Cols(), array.Options{Shape: array.SquareTiles, Lin: a.Lin()})
+	if err != nil {
+		return nil, err
+	}
+	agr, agc := a.GridDims()
+	_, bgc := b.GridDims()
+	for ti := 0; ti < agr; ti++ {
+		for tj := 0; tj < bgc; tj++ {
+			ct, err := t.PinTileNew(ti, tj)
+			if err != nil {
+				return nil, err
+			}
+			for tk := 0; tk < agc; tk++ {
+				if b.TileEmpty(tk, tj) {
+					continue
+				}
+				at, err := a.PinTile(ti, tk)
+				if err != nil {
+					ct.Release()
+					return nil, err
+				}
+				rowLo, _, colLo, _ := b.TileBounds(tk, tj)
+				err = b.IterTile(tk, tj, func(r, c int, v float64) error {
+					if v == ring.Zero {
+						return nil
+					}
+					k := rowLo + int64(r)
+					j := colLo + int64(c)
+					for i := ct.RowLo; i < ct.RowHi; i++ {
+						av := at.At(i, k)
+						if av == 0 || av == ring.Zero {
+							continue
+						}
+						m := ring.Mul(av, v)
+						if m == ring.Zero {
+							continue
+						}
+						if cur := ct.At(i, j); cur == 0 {
+							ct.Set(i, j, m)
+						} else {
+							ct.Set(i, j, ring.Add(cur, m))
+						}
+					}
+					return nil
+				})
+				at.Release()
+				if err != nil {
+					ct.Release()
+					return nil, err
+				}
+			}
+			ct.MarkDirty()
+			ct.Release()
+		}
+	}
+	return t, pool.FlushAll()
+}
+
+// MatMulSparseSparseRing is MatMulSparseSparse over a semi-ring. The
+// accumulator works in the storage domain — float64 0 means absent,
+// i.e. ring.Zero — so a slot holds either 0 (no path contributes) or a
+// genuine ring value that later contributions ⊕-merge into.
+func MatMulSparseSparseRing(pool *buffer.Pool, name string, a, b *sparse.Matrix, ring *scalarop.Semiring) (*sparse.Matrix, error) {
+	if ring.IsStandard() {
+		return MatMulSparseSparse(pool, name, a, b)
+	}
+	atr, atc := a.TileDims()
+	btr, btc := b.TileDims()
+	if err := checkSquareAligned(a.Rows(), a.Cols(), b.Rows(), b.Cols(), atr, atc, btr, btc); err != nil {
+		return nil, err
+	}
+	bld, err := sparse.NewBuilder(pool, name, a.Rows(), b.Cols(), array.Options{Shape: array.SquareTiles, Lin: a.Lin()})
+	if err != nil {
+		return nil, err
+	}
+	agr, agc := a.GridDims()
+	_, bgc := b.GridDims()
+	side := atr
+	scratch := make([]float64, side*side) // output tile accumulator, 0 = absent
+	bscr := make([]float64, side*side)    // decoded b tile, 0 = absent
+	for ti := 0; ti < agr; ti++ {
+		for tj := 0; tj < bgc; tj++ {
+			for i := range scratch {
+				scratch[i] = 0
+			}
+			touched := false
+			for tk := 0; tk < agc; tk++ {
+				if a.TileEmpty(ti, tk) || b.TileEmpty(tk, tj) {
+					continue
+				}
+				touched = true
+				if err := b.ReadTile(tk, tj, bscr); err != nil {
+					bld.Abandon()
+					return nil, err
+				}
+				err := a.IterTile(ti, tk, func(r, c int, v float64) error {
+					if v == ring.Zero {
+						return nil
+					}
+					brow := bscr[c*side : (c+1)*side]
+					out := scratch[r*side : (r+1)*side]
+					for jj, bv := range brow {
+						if bv == 0 {
+							continue // absent ⇒ ring.Zero ⇒ product annihilates
+						}
+						m := ring.Mul(v, bv)
+						if m == ring.Zero {
+							continue
+						}
+						if out[jj] == 0 {
+							out[jj] = m
+						} else {
+							out[jj] = ring.Add(out[jj], m)
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					bld.Abandon()
+					return nil, err
+				}
+			}
+			if !touched {
+				continue // provably all-Zero: no SetTile, no block
+			}
+			if err := bld.SetTile(ti, tj, scratch); err != nil {
+				bld.Abandon()
+				return nil, err
+			}
+		}
+	}
+	return bld.Finish()
+}
+
+// AddSparseRing ⊕-merges two aligned sparse matrices tile by tile: an
+// element absent from one side takes the other's value (x ⊕ Zero = x),
+// present in both sides ⊕-combines. Output tiles empty on both sides
+// cost no I/O and produce no block — the union of the operands' tile
+// directories bounds the work.
+func AddSparseRing(pool *buffer.Pool, name string, a, b *sparse.Matrix, ring *scalarop.Semiring) (*sparse.Matrix, error) {
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+		return nil, fmt.Errorf("linalg: shape mismatch %dx%d vs %dx%d", a.Rows(), a.Cols(), b.Rows(), b.Cols())
+	}
+	atr, atc := a.TileDims()
+	btr, btc := b.TileDims()
+	if atr != btr || atc != btc {
+		return nil, fmt.Errorf("linalg: tile mismatch %dx%d vs %dx%d", atr, atc, btr, btc)
+	}
+	bld, err := sparse.NewBuilder(pool, name, a.Rows(), a.Cols(), array.Options{Shape: array.SquareTiles, Lin: a.Lin()})
+	if err != nil {
+		return nil, err
+	}
+	agr, agc := a.GridDims()
+	out := make([]float64, atr*atc)
+	bscr := make([]float64, atr*atc)
+	for ti := 0; ti < agr; ti++ {
+		for tj := 0; tj < agc; tj++ {
+			ae, be := a.TileEmpty(ti, tj), b.TileEmpty(ti, tj)
+			if ae && be {
+				continue
+			}
+			for i := range out {
+				out[i] = 0
+			}
+			if !ae {
+				if err := a.ReadTile(ti, tj, out); err != nil {
+					bld.Abandon()
+					return nil, err
+				}
+			}
+			if !be {
+				if err := b.ReadTile(ti, tj, bscr); err != nil {
+					bld.Abandon()
+					return nil, err
+				}
+				for i, bv := range bscr {
+					if bv == 0 {
+						continue
+					}
+					if out[i] == 0 {
+						out[i] = bv
+					} else {
+						out[i] = ring.Add(out[i], bv)
+					}
+				}
+			}
+			if err := bld.SetTile(ti, tj, out); err != nil {
+				bld.Abandon()
+				return nil, err
+			}
+		}
+	}
+	return bld.Finish()
+}
+
+// DensifyRing materializes a sparse matrix as dense under the ring's
+// storage convention: absent elements become ring.Zero. With oneDiag
+// set it also ⊕-merges the ring's One onto the diagonal — the final
+// step of the sparse closure, where the implicit "every vertex reaches
+// itself" diagonal becomes explicit.
+func DensifyRing(pool *buffer.Pool, name string, a *sparse.Matrix, ring *scalarop.Semiring, oneDiag bool) (*array.Matrix, error) {
+	t, err := array.NewMatrix(pool, name, a.Rows(), a.Cols(), array.Options{Shape: array.SquareTiles, Lin: a.Lin()})
+	if err != nil {
+		return nil, err
+	}
+	agr, agc := a.GridDims()
+	for ti := 0; ti < agr; ti++ {
+		for tj := 0; tj < agc; tj++ {
+			ct, err := t.PinTileNew(ti, tj)
+			if err != nil {
+				return nil, err
+			}
+			if ring.Zero != 0 {
+				fillTilesZero([]*array.Tile{ct}, ring)
+			}
+			if !a.TileEmpty(ti, tj) {
+				rowLo, _, colLo, _ := a.TileBounds(ti, tj)
+				err = a.IterTile(ti, tj, func(r, c int, v float64) error {
+					ct.Set(rowLo+int64(r), colLo+int64(c), v)
+					return nil
+				})
+				if err != nil {
+					ct.Release()
+					return nil, err
+				}
+			}
+			if oneDiag {
+				lo := max(ct.RowLo, ct.ColLo)
+				hi := min(ct.RowHi, ct.ColHi)
+				for d := lo; d < hi; d++ {
+					ct.Set(d, d, ring.Add(ct.At(d, d), ring.One))
+				}
+			}
+			ct.MarkDirty()
+			ct.Release()
+		}
+	}
+	return t, pool.FlushAll()
+}

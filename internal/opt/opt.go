@@ -103,7 +103,7 @@ func (o *Optimizer) clone(n *algebra.Node, kids []*algebra.Node) (*algebra.Node,
 	case algebra.OpRange:
 		return o.g.Range(kids[0], n.Lo, n.Hi)
 	case algebra.OpMatMul:
-		return o.g.MatMul(kids[0], kids[1])
+		return o.g.MatMulRing(kids[0], kids[1], n.Ring)
 	case algebra.OpReduce:
 		return o.g.Reduce(n.Fn, kids[0])
 	}
@@ -230,28 +230,36 @@ func (o *Optimizer) reorderChain(n *algebra.Node, memo map[*algebra.Node]*algebr
 		dims[i+1] = float64(l.Shape.Cols)
 	}
 	tree := costmodel.OptOrder(dims)
-	return o.buildTree(tree, opt)
+	return o.buildTree(tree, opt, n.Ring)
 }
 
-func (o *Optimizer) buildTree(t *costmodel.Tree, leaves []*algebra.Node) (*algebra.Node, error) {
+func (o *Optimizer) buildTree(t *costmodel.Tree, leaves []*algebra.Node, ring string) (*algebra.Node, error) {
 	if t.IsLeaf() {
 		return leaves[t.Leaf], nil
 	}
-	l, err := o.buildTree(t.L, leaves)
+	l, err := o.buildTree(t.L, leaves, ring)
 	if err != nil {
 		return nil, err
 	}
-	r, err := o.buildTree(t.R, leaves)
+	r, err := o.buildTree(t.R, leaves, ring)
 	if err != nil {
 		return nil, err
 	}
-	return o.g.MatMul(l, r)
+	return o.g.MatMulRing(l, r, ring)
 }
 
 // flattenChain returns the in-order leaves of a maximal MatMul tree.
+// Reordering leans only on ⊗-associativity, which every semi-ring has,
+// so a chain may be flattened exactly as far as its ring is uniform: a
+// MatMul kid over a different ring stays a leaf (and is optimized as
+// its own chain when the rewriter reaches it).
 func flattenChain(n *algebra.Node) []*algebra.Node {
-	if n.Op != algebra.OpMatMul {
+	return flattenChainRing(n, n.Ring)
+}
+
+func flattenChainRing(n *algebra.Node, ring string) []*algebra.Node {
+	if n.Op != algebra.OpMatMul || n.Ring != ring {
 		return []*algebra.Node{n}
 	}
-	return append(flattenChain(n.Kids[0]), flattenChain(n.Kids[1])...)
+	return append(flattenChainRing(n.Kids[0], ring), flattenChainRing(n.Kids[1], ring)...)
 }

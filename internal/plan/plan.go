@@ -897,6 +897,9 @@ func (b *builder) matmulStep(n *algebra.Node) Step {
 		flops = l * m * k
 	}
 	why := "multiply is its own out-of-core pipeline, never fused"
+	if n.Ring != "" {
+		why += "; ring=" + n.Ring + " semi-ring kernel (⊕/⊗ swapped in, same schedule)"
+	}
 	if b.opts.Cache.installable(n) {
 		why += "; installs into the result cache"
 	}

@@ -178,6 +178,12 @@ func (h *DAGHashes) walk(n *algebra.Node, resolve func(n *algebra.Node) (LeafID,
 		put(k[:])
 		deps = h.deps[n.Kids[0]]
 	case algebra.OpGather, algebra.OpMatMul:
+		// A non-standard ring changes the result, so it must feed the
+		// key; the default ring appends nothing, keeping every existing
+		// hash byte-identical.
+		if n.Ring != "" {
+			putStr("ring:" + n.Ring)
+		}
 		a, b := h.keys[n.Kids[0]], h.keys[n.Kids[1]]
 		put(a[:])
 		put(b[:])

@@ -85,6 +85,8 @@ func (in *Interp) eval(e expr) (Value, error) {
 	switch t := e.(type) {
 	case numExpr:
 		return scalar(t.v), nil
+	case strExpr:
+		return Value{}, fmt.Errorf("rlang: string %q is only valid as a named argument (e.g. ring=%q)", t.v, t.v)
 	case varExpr:
 		v, ok := in.lookup(t.name)
 		if !ok {
@@ -487,6 +489,8 @@ func (in *Interp) evalCall(t callExpr) (Value, error) {
 			}
 		}
 		return scalar(float64(n)), nil
+	case "matmul", "closure":
+		return in.evalRingCall(t)
 	case "print":
 		v, err := in.eval(t.args[0])
 		if err != nil {
@@ -495,6 +499,186 @@ func (in *Interp) evalCall(t callExpr) (Value, error) {
 		return v, in.print(v)
 	}
 	return Value{}, fmt.Errorf("rlang: unknown function %q", t.fn)
+}
+
+// evalRingCall handles matmul(a, b, ring="...") and closure(a,
+// ring="..."). On a backend with semi-ring kernels (engine.RingEngine)
+// the ring travels into the engine; on every other backend the
+// interpreter computes the ring product in memory and hands the result
+// back as a stored matrix, so the same script runs everywhere.
+func (in *Interp) evalRingCall(t callExpr) (Value, error) {
+	ring := ""
+	var pos []expr
+	for i, a := range t.args {
+		name := ""
+		if i < len(t.names) {
+			name = t.names[i]
+		}
+		switch name {
+		case "":
+			pos = append(pos, a)
+		case "ring":
+			s, ok := a.(strExpr)
+			if !ok {
+				return Value{}, fmt.Errorf("rlang: %s: ring= takes a string literal", t.fn)
+			}
+			ring = s.v
+		default:
+			return Value{}, fmt.Errorf("rlang: %s: unknown argument %q", t.fn, name)
+		}
+	}
+	sr, err := scalarop.Ring(ring)
+	if err != nil {
+		return Value{}, fmt.Errorf("rlang: %s: %v", t.fn, err)
+	}
+	want := 2
+	if t.fn == "closure" {
+		want = 1
+	}
+	if len(pos) != want {
+		return Value{}, fmt.Errorf("rlang: %s takes %d matrix argument(s) plus optional ring=", t.fn, want)
+	}
+	vals := make([]Value, len(pos))
+	for i, a := range pos {
+		v, err := in.eval(a)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsScalar {
+			return Value{}, fmt.Errorf("rlang: %s requires matrices", t.fn)
+		}
+		vals[i] = v
+	}
+	re, hasRing := in.eng.(engine.RingEngine)
+	if t.fn == "matmul" {
+		if sr.IsStandard() && !hasRing {
+			obj, err := in.eng.MatMul(vals[0].Obj, vals[1].Obj)
+			if err != nil {
+				return Value{}, err
+			}
+			return Value{Obj: obj}, nil
+		}
+		if hasRing {
+			obj, err := re.MatMulRing(vals[0].Obj, vals[1].Obj, ring)
+			if err != nil {
+				return Value{}, err
+			}
+			return Value{Obj: obj}, nil
+		}
+		return in.memRingMatMul(vals[0], vals[1], sr)
+	}
+	if hasRing {
+		obj, err := re.Closure(vals[0].Obj, ring)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Obj: obj}, nil
+	}
+	return in.memRingClosure(vals[0], sr)
+}
+
+// fetchMat reads a matrix value into memory (row-major, the Fetch
+// contract) along with its dims.
+func (in *Interp) fetchMat(v Value) ([]float64, int64, int64, error) {
+	r, c, vec := in.eng.Dims(v.Obj)
+	if vec {
+		return nil, 0, 0, fmt.Errorf("rlang: expected a matrix, got a vector")
+	}
+	vals, err := in.eng.Fetch(v.Obj, -1)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if int64(len(vals)) != r*c {
+		return nil, 0, 0, fmt.Errorf("rlang: short matrix fetch: %d of %d", len(vals), r*c)
+	}
+	return vals, r, c, nil
+}
+
+// memRingMatMul is the kind-free fallback ring product. Stored zeros
+// denote the ring's Zero (the same convention the sparse kernels use),
+// so a minplus product of an adjacency matrix means what it does on the
+// RIOT backend.
+func (in *Interp) memRingMatMul(a, b Value, ring *scalarop.Semiring) (Value, error) {
+	av, l, m, err := in.fetchMat(a)
+	if err != nil {
+		return Value{}, err
+	}
+	bv, m2, n, err := in.fetchMat(b)
+	if err != nil {
+		return Value{}, err
+	}
+	if m != m2 {
+		return Value{}, fmt.Errorf("rlang: dimension mismatch %dx%d %%*%% %dx%d", l, m, m2, n)
+	}
+	conv := func(x float64) float64 {
+		if x == 0 {
+			return ring.Zero
+		}
+		return x
+	}
+	out := make([]float64, l*n)
+	for i := int64(0); i < l; i++ {
+		for j := int64(0); j < n; j++ {
+			acc := ring.Zero
+			for k := int64(0); k < m; k++ {
+				acc = ring.Add(acc, ring.Mul(conv(av[i*m+k]), conv(bv[k*n+j])))
+			}
+			if acc == ring.Zero {
+				acc = 0 // store Zero as absent, matching the kernels
+			}
+			out[i*n+j] = acc
+		}
+	}
+	obj, err := in.eng.NewMatrix(l, n, func(i, j int64) float64 { return out[i*n+j] })
+	if err != nil {
+		return Value{}, err
+	}
+	return Value{Obj: obj}, nil
+}
+
+// memRingClosure is the kind-free fallback closure: repeated squaring
+// of the reflexive seed, entirely in memory.
+func (in *Interp) memRingClosure(a Value, ring *scalarop.Semiring) (Value, error) {
+	av, r, c, err := in.fetchMat(a)
+	if err != nil {
+		return Value{}, err
+	}
+	if r != c {
+		return Value{}, fmt.Errorf("rlang: closure requires a square matrix, got %dx%d", r, c)
+	}
+	n := r
+	x := make([]float64, n*n)
+	for i := int64(0); i < n; i++ {
+		for j := int64(0); j < n; j++ {
+			v := av[i*n+j]
+			if v == 0 {
+				v = ring.Zero
+			}
+			if i == j {
+				v = ring.Add(v, ring.One)
+			}
+			x[i*n+j] = v
+		}
+	}
+	y := make([]float64, n*n)
+	for span := int64(1); span < n-1; span *= 2 {
+		for i := int64(0); i < n; i++ {
+			for j := int64(0); j < n; j++ {
+				acc := ring.Zero
+				for k := int64(0); k < n; k++ {
+					acc = ring.Add(acc, ring.Mul(x[i*n+k], x[k*n+j]))
+				}
+				y[i*n+j] = acc
+			}
+		}
+		x, y = y, x
+	}
+	out := x
+	obj, err := in.eng.NewMatrix(n, n, func(i, j int64) float64 { return out[i*n+j] })
+	if err != nil {
+		return Value{}, err
+	}
+	return Value{Obj: obj}, nil
 }
 
 // scalarFn folds a unary math function over a scalar constant via the

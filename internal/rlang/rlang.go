@@ -142,6 +142,7 @@ func (exprStmt) stmt()   {}
 type expr interface{ expr() }
 
 type numExpr struct{ v float64 }
+type strExpr struct{ v string }
 type varExpr struct{ name string }
 type binExpr struct {
 	op   string
@@ -151,6 +152,9 @@ type unaryExpr struct{ x expr }
 type callExpr struct {
 	fn   string
 	args []expr
+	// names[i] labels args[i] when the call site wrote name=value
+	// (R-style named arguments); "" marks a positional argument.
+	names []string
 }
 type indexExpr struct {
 	x   expr
@@ -159,6 +163,7 @@ type indexExpr struct {
 type rangeExpr struct{ lo, hi expr } // a:b inclusive
 
 func (numExpr) expr()   {}
+func (strExpr) expr()   {}
 func (varExpr) expr()   {}
 func (binExpr) expr()   {}
 func (unaryExpr) expr() {}
@@ -514,20 +519,47 @@ func (p *rparser) parsePrimary() (expr, error) {
 			return nil, fmt.Errorf("rlang: bad number %q", p.src[start:p.pos])
 		}
 		return numExpr{v: v}, nil
+	case c == '"':
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != '"' && p.src[p.pos] != '\n' {
+			p.pos++
+		}
+		if p.pos >= len(p.src) || p.src[p.pos] != '"' {
+			return nil, fmt.Errorf("rlang: unterminated string at %d", start-1)
+		}
+		s := p.src[start:p.pos]
+		p.pos++
+		return strExpr{v: s}, nil
 	case isAlpha(c) || c == '.':
 		name, _ := p.tryIdent()
 		p.ws()
 		if p.peek() == '(' {
 			p.pos++
 			var args []expr
+			var names []string
 			p.ws()
 			if p.peek() != ')' {
 				for {
+					// An ident followed by a single '=' labels the
+					// argument R-style; '==' is a comparison, rewind.
+					argName := ""
+					save := p.pos
+					if id, ok := p.tryIdent(); ok {
+						p.ws()
+						if p.peek() == '=' && !(p.pos+1 < len(p.src) && p.src[p.pos+1] == '=') {
+							p.pos++
+							argName = id
+						} else {
+							p.pos = save
+						}
+					}
 					a, err := p.parseExpr()
 					if err != nil {
 						return nil, err
 					}
 					args = append(args, a)
+					names = append(names, argName)
 					p.ws()
 					if !p.eat(",") {
 						break
@@ -537,7 +569,7 @@ func (p *rparser) parsePrimary() (expr, error) {
 			if !p.eat(")") {
 				return nil, fmt.Errorf("rlang: missing ) after %s(", name)
 			}
-			return callExpr{fn: name, args: args}, nil
+			return callExpr{fn: name, args: args, names: names}, nil
 		}
 		return varExpr{name: name}, nil
 	}

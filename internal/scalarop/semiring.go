@@ -1,0 +1,165 @@
+package scalarop
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Semi-ring algebra. A semi-ring (⊕, ⊗) generalizes the (+, ×) pair the
+// kernels were written against: ⊕ is associative and commutative with
+// identity Zero, ⊗ is associative with identity One, ⊗ distributes over
+// ⊕, and Zero annihilates under ⊗ (Zero ⊗ x = Zero). Those are exactly
+// the laws the engine's sparse machinery already leans on — an absent
+// tile contributes nothing to a product because its values annihilate,
+// and skipping a k-step is sound because ⊕-ing Zero changes nothing —
+// so any registered ring rides the same I/O schedules the standard ring
+// does. Matrix multiplication over minplus is all-pairs shortest paths;
+// over boolean it is reachability.
+//
+// Convention for sparse storage under a non-standard ring: an absent
+// (implicitly zero) element denotes the ring's Zero, not 0.0 — for
+// minplus a missing edge reads as +Inf. Stored values are taken
+// verbatim, so kernels must never produce a stored element equal to
+// float64 0 that means anything other than the ring's Zero (the
+// closure kernels keep the ⊗-identity diagonal implicit for exactly
+// this reason).
+
+// Semiring is one (⊕, ⊗) algebra: Add is ⊕ with identity Zero, Mul is
+// ⊗ with identity One and annihilator Zero.
+type Semiring struct {
+	Name string
+	Zero float64 // ⊕-identity and ⊗-annihilator
+	One  float64 // ⊗-identity
+	Add  BinFunc // ⊕
+	Mul  BinFunc // ⊗
+}
+
+// IsStandard reports whether this is the (+, ×) ring the legacy kernels
+// hard-code — the fast paths (packed microkernel, fused slice loops)
+// apply only to it.
+func (r *Semiring) IsStandard() bool { return r.Name == "standard" }
+
+// ringMin and ringMax fold with the same NaN discipline as the
+// MinSlice/MaxSlice kernels: a NaN never displaces the accumulator, so
+// seeding with the ring identity (±Inf) behaves like the executor's
+// reductions.
+func ringMin(a, b float64) float64 {
+	if b < a {
+		return b
+	}
+	return a
+}
+
+func ringMax(a, b float64) float64 {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// rings is the registry of built-in semi-rings. Registration is static:
+// the set of rings is part of the engine's semantics (it appears in
+// plan provenance, cache hashes, and the wire protocol), so it is not
+// extensible at runtime.
+var rings = map[string]*Semiring{
+	"standard": {
+		Name: "standard", Zero: 0, One: 1,
+		Add: func(a, b float64) float64 { return a + b },
+		Mul: func(a, b float64) float64 { return a * b },
+	},
+	"minplus": {
+		Name: "minplus", Zero: math.Inf(1), One: 0,
+		Add: ringMin,
+		Mul: func(a, b float64) float64 { return a + b },
+	},
+	"maxplus": {
+		Name: "maxplus", Zero: math.Inf(-1), One: 0,
+		Add: ringMax,
+		Mul: func(a, b float64) float64 { return a + b },
+	},
+	"boolean": {
+		Name: "boolean", Zero: 0, One: 1,
+		Add: func(a, b float64) float64 { return FromBool(a != 0 || b != 0) },
+		Mul: func(a, b float64) float64 { return FromBool(a != 0 && b != 0) },
+	},
+}
+
+// Standard is the (+, ×) ring every legacy code path assumes.
+var Standard = rings["standard"]
+
+// Ring resolves a semi-ring by name. The empty string is the standard
+// ring, so callers can thread a zero-value ring name end to end without
+// special cases.
+func Ring(name string) (*Semiring, error) {
+	if name == "" {
+		return Standard, nil
+	}
+	if r, ok := rings[name]; ok {
+		return r, nil
+	}
+	return nil, fmt.Errorf("scalarop: unknown semi-ring %q (known: %v)", name, RingNames())
+}
+
+// RingNames returns the registered ring names, sorted.
+func RingNames() []string {
+	out := make([]string, 0, len(rings))
+	for name := range rings {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddSlices is the ring's vectorized ⊕: dst[i] = a[i] ⊕ b[i]. The
+// standard ring takes the fused AddSlices loop; other rings map the
+// ring's Add.
+func (r *Semiring) AddSlices(dst, a, b []float64) {
+	if r.IsStandard() {
+		AddSlices(dst, a, b)
+		return
+	}
+	ZipSlices(dst, a, b, r.Add)
+}
+
+// AXPY is the ring's fused multiply-accumulate: y[i] = y[i] ⊕ (a ⊗
+// x[i]) — for minplus, relaxation of y by the shifted x. The standard
+// ring takes the fused AXPY loop.
+func (r *Semiring) AXPY(y, x []float64, a float64) {
+	if r.IsStandard() {
+		AXPY(y, x, a)
+		return
+	}
+	_ = x[len(y)-1]
+	for i := range y {
+		y[i] = r.Add(y[i], r.Mul(a, x[i]))
+	}
+}
+
+// FoldAdd folds xs into acc under ⊕, left to right. Seed acc with Zero
+// for a whole-slice reduction: the standard ring reduces to SumSlice,
+// minplus to MinSlice seeded +Inf, maxplus to MaxSlice seeded -Inf —
+// the identities the fold kernels were already written to respect.
+func (r *Semiring) FoldAdd(acc float64, xs []float64) float64 {
+	switch r.Name {
+	case "standard":
+		return SumSlice(acc, xs)
+	case "minplus":
+		return MinSlice(acc, xs)
+	case "maxplus":
+		return MaxSlice(acc, xs)
+	}
+	for _, v := range xs {
+		acc = r.Add(acc, v)
+	}
+	return acc
+}
+
+// FillZero sets every element of dst to the ring's Zero — the seed a
+// fresh ⊕-accumulator needs (fresh dense tiles arrive zeroed, which is
+// only correct for rings whose Zero is float64 0).
+func (r *Semiring) FillZero(dst []float64) {
+	for i := range dst {
+		dst[i] = r.Zero
+	}
+}

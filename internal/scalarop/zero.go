@@ -40,11 +40,35 @@ func BinZeroBoth(op string) bool {
 	return f(0, 0) == 0
 }
 
-// BinZeroEither reports whether op maps (0, y) and (x, 0) to 0 for every
-// finite x and y — intersection semantics: the output range is zero
-// wherever either operand is. Only multiplication qualifies (0/y, 0^y,
-// and 0%%y all depend on the other operand's value).
-func BinZeroEither(op string) bool { return op == "*" }
+// annihilatorProbes are the sample operands BinZeroEither evaluates an
+// operator against: zero itself (an op that maps (0,0) away from 0,
+// like ==, can never have intersection semantics), both signs, a
+// fraction, and large magnitudes. Inf and NaN are deliberately absent —
+// like the dense kernels' `if v == 0 { continue }` skips, the
+// classification treats 0·x as 0, and 0·Inf = NaN is outside the
+// contract (see the package comment above).
+var annihilatorProbes = [...]float64{0, 1, -1, 0.5, 2, 1e300, -1e300}
+
+// BinZeroEither reports whether zero annihilates under op — op maps
+// (0, y) and (x, 0) to 0 for every finite x and y — i.e. intersection
+// semantics: the output range is zero wherever either operand is. The
+// answer is derived by evaluating the operator against the probe set
+// rather than from a hard-coded list, the same way a semi-ring's Zero
+// is defined by annihilating under its ⊗: multiplication qualifies, and
+// so does "&" (0 & x is 0 whatever x is), while 0/y, 0^y, and 0%%y all
+// depend on the other operand's value.
+func BinZeroEither(op string) bool {
+	f, err := Bin(op)
+	if err != nil {
+		return false
+	}
+	for _, p := range annihilatorProbes {
+		if f(0, p) != 0 || f(p, 0) != 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // BinZeroWithScalar reports whether op with the bound scalar s (on the
 // side given by scalarLeft) maps a zero vector element to 0. The answer

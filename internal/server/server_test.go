@@ -418,3 +418,59 @@ func TestCacheConcurrentClients(t *testing.T) {
 	}
 	seed.Close()
 }
+
+// TestRingOverProtocol: the semi-ring surface — matmul(ring=) and
+// closure(ring=) — passes through the line protocol unchanged, and the
+// per-ring kernel work shows up in \stats as flops_by_op entries keyed
+// by "op[ring]".
+func TestRingOverProtocol(t *testing.T) {
+	addr, stop := startServer(t, t.TempDir(), smallCfg())
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// A 4-node weighted path graph 1 →2→ 2 →3→ 3 →4→ 4 (column-major).
+	if _, err := c.Do("w <- c(0,0,0,0, 2,0,0,0, 0,3,0,0, 0,0,4,0); A <- matrix(w, 4, 4)"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Do(`P <- matmul(A, A, ring="minplus"); print(nnz(P))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[1] 2") { // exactly two 2-hop paths
+		t.Fatalf("minplus matmul nnz = %q, want 2", out)
+	}
+	out, err = c.Do(`C <- closure(sparse(A), ring="minplus"); print(nnz(C))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The closure is verbatim: 4 zero diagonal entries out of 16, the
+	// rest finite distances or +Inf — all nonzero.
+	if !strings.Contains(out, "[1] 12") {
+		t.Fatalf("minplus closure nnz = %q, want 12", out)
+	}
+	if out, err = c.Do(`print(min(C))`); err != nil || !strings.Contains(out, "[1] 0") {
+		t.Fatalf("min(closure) = %q, %v; want 0", out, err)
+	}
+
+	stats, err := c.Do("\\stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, counter := range []string{"matmul[minplus]=", "closure[minplus]="} {
+		if !strings.Contains(stats, counter) {
+			t.Fatalf("\\stats lacks per-ring counter %s: %q", counter, stats)
+		}
+	}
+
+	// Unknown rings fail with the known-ring list; the session survives.
+	if _, err := c.Do(`matmul(A, A, ring="nope")`); err == nil || !strings.Contains(err.Error(), "minplus") {
+		t.Fatalf("unknown ring error = %v, want list of known rings", err)
+	}
+	if _, err := c.Do("print(nnz(A))"); err != nil {
+		t.Fatalf("session dead after ring error: %v", err)
+	}
+}

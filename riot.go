@@ -549,6 +549,32 @@ func (m *Matrix) MatMul(o *Matrix) (*Matrix, error) {
 	return &Matrix{s: m.s, val: v}, nil
 }
 
+// MatMulRing multiplies two matrices over a named semi-ring ("standard",
+// "minplus", "maxplus", "boolean"; "" means standard). On backends with
+// semi-ring kernels the ring travels into the engine's plans and
+// kernels; other backends reject non-standard rings.
+func (m *Matrix) MatMulRing(o *Matrix, ring string) (*Matrix, error) {
+	if re, ok := m.s.eng.(engine.RingEngine); ok {
+		return m.lift(re.MatMulRing(m.val, o.val, ring))
+	}
+	if ring == "" || ring == "standard" {
+		return m.MatMul(o)
+	}
+	return nil, fmt.Errorf("riot: engine %s has no semi-ring kernels", m.s.eng.Name())
+}
+
+// Closure computes the reflexive-transitive closure of a square matrix
+// over a named semi-ring by repeated squaring — over "minplus", the
+// all-pairs shortest-path distances of the weighted graph the matrix
+// encodes (absent/zero entries mean "no edge", the diagonal comes out
+// 0). The result is dense.
+func (m *Matrix) Closure(ring string) (*Matrix, error) {
+	if re, ok := m.s.eng.(engine.RingEngine); ok {
+		return m.lift(re.Closure(m.val, ring))
+	}
+	return nil, fmt.Errorf("riot: engine %s has no semi-ring kernels", m.s.eng.Name())
+}
+
 // Values fetches the full matrix row-major, forcing evaluation.
 func (m *Matrix) Values() ([]float64, error) { return m.s.eng.Fetch(m.val, -1) }
 
