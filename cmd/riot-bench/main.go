@@ -61,10 +61,20 @@ type Result struct {
 	// CacheHits counts result-cache hits during the measured replays
 	// (cache ablation warm rows; 0 elsewhere).
 	CacheHits int64 `json:"cache_hits,omitempty"`
+	// Nodes is the cluster size the row ran on (cluster ablation rows;
+	// 0 elsewhere).
+	Nodes int `json:"nodes,omitempty"`
+	// NetMB is the coordinator's interconnect traffic in mebibytes
+	// (cluster ablation rows; 0 elsewhere and for single-node rows).
+	NetMB float64 `json:"net_mb,omitempty"`
+	// MaxNodeIOMB is the largest single node's engine I/O in mebibytes
+	// (cluster ablation rows; 0 elsewhere) — the per-node load the
+	// balance assertion checks against IOMB, the cluster total.
+	MaxNodeIOMB float64 `json:"max_node_io_mb,omitempty"`
 }
 
 func main() {
-	figure := flag.String("figure", "all", "which experiment: 1, 2, 3a, 3b, validate, workers, readahead, planner, sparse, semiring, wal, gflops, cache, all")
+	figure := flag.String("figure", "all", "which experiment: 1, 2, 3a, 3b, validate, workers, readahead, planner, sparse, semiring, wal, gflops, cache, cluster, all")
 	paper := flag.Bool("paper", false, "use the paper's full-scale parameters")
 	jsonPath := flag.String("json", "BENCH_results.json", "write machine-readable results to this file (empty to disable)")
 	flag.Parse()
@@ -289,6 +299,26 @@ func main() {
 				Workers:     1,
 				BlockReads:  r.BlockReads,
 				CacheHits:   r.Hits,
+			})
+		}
+		return out, nil
+	})
+
+	run("cluster", func() ([]Result, error) {
+		rows, err := bench.ClusterAblation(os.Stdout)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Result, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, Result{
+				Name:        fmt.Sprintf("cluster/%s/nodes=%d", r.Mode, r.Nodes),
+				IOMB:        float64(r.TotalIOBytes) / (1 << 20),
+				WallNSPerOp: r.WallNS,
+				Workers:     1,
+				Nodes:       r.Nodes,
+				NetMB:       float64(r.NetBytes) / (1 << 20),
+				MaxNodeIOMB: float64(r.MaxNodeIOBytes) / (1 << 20),
 			})
 		}
 		return out, nil

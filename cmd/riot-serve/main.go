@@ -8,6 +8,12 @@
 // mode (-send) connects to a running server, sends each line of the
 // argument ("-" reads stdin) as one request, prints the payloads, and
 // exits non-zero on the first err response.
+//
+// With -remote ADDR the server additionally speaks the binary
+// remote-frame protocol (PROTOCOL.md §Remote frames) on ADDR, joining
+// the process to a RIOT cluster as a tile-holding node: coordinators
+// push operand tile bands to it, run partial multiplies where the
+// tiles live, and fetch the results back.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"syscall"
 
 	"riot"
+	"riot/internal/cluster"
 	"riot/internal/server"
 )
 
@@ -37,6 +44,8 @@ func main() {
 	cache := flag.Bool("cache", false, "enable the shared cross-session result cache")
 	cacheQuota := flag.Int64("cache-quota", 0, "result-cache budget in float64 elements (0 = mem/4; needs -cache)")
 	send := flag.String("send", "", "client mode: statements to send, one request per line ('-' reads stdin)")
+	remote := flag.String("remote", "", "also serve the binary remote-frame protocol (cluster tile push/exec/fetch) on this address")
+	nodeID := flag.String("node-id", "", "cluster node identity announced in remote-frame Hellos (default the -remote address)")
 	flag.Parse()
 
 	if *send != "" {
@@ -83,6 +92,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "riot-serve: recovered %d WAL records past the last checkpoint\n", st.Replayed)
 	}
 
+	var stopRemote func()
+	if *remote != "" {
+		id := *nodeID
+		if id == "" {
+			id = *remote
+		}
+		// The cluster node occupies one ordinary session slot: its tile
+		// work is metered and admission-controlled like any client's.
+		nodeSess, err := db.NewSession()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "riot-serve: remote session:", err)
+			os.Exit(1)
+		}
+		node := cluster.NewNode(id, nodeSess)
+		rln, err := net.Listen("tcp", *remote)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "riot-serve: remote listen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "riot-serve: remote frames on %s as node %q\n", rln.Addr(), id)
+		go node.ServeListener(rln)
+		stopRemote = func() {
+			node.Close()
+			rln.Close()
+			nodeSess.Close()
+		}
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
@@ -93,6 +130,9 @@ func main() {
 
 	if err := srv.Serve(ln); err != nil {
 		fmt.Fprintln(os.Stderr, "riot-serve:", err)
+	}
+	if stopRemote != nil {
+		stopRemote()
 	}
 	if err := db.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "riot-serve: close:", err)

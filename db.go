@@ -165,21 +165,53 @@ func (db *DB) ActiveSessions() int {
 // are metered against the per-session quota, its storage is namespaced
 // so Close frees exactly its own arrays and temporaries, and its
 // riotscript interpreter reads and writes the shared catalog.
-func (db *DB) NewSession() (*Session, error) { return db.newSession(true) }
+func (db *DB) NewSession() (*Session, error) { return db.newSession(true, nil) }
 
 // TryNewSession is NewSession without the wait: it errors immediately
 // when the session table is full.
-func (db *DB) TryNewSession() (*Session, error) { return db.newSession(false) }
+func (db *DB) TryNewSession() (*Session, error) { return db.newSession(false, nil) }
+
+// NewSessionCancel is NewSession with an abort signal: if cancel closes
+// while the caller is still queued for admission, the wait ends and an
+// error returns instead of a session. A server uses this to stop
+// camping on the session table when the client behind the wait has
+// already vanished — before it, such a client leaked its queue slot
+// (and its handler goroutine) until the whole process exited.
+func (db *DB) NewSessionCancel(cancel <-chan struct{}) (*Session, error) {
+	if cancel != nil {
+		// Wake the admission queue when cancel fires; the broadcast is
+		// taken under db.mu so a waiter cannot miss it between its
+		// cancellation check and re-arming Wait.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-cancel:
+				db.mu.Lock()
+				db.admit.Broadcast()
+				db.mu.Unlock()
+			case <-stop:
+			}
+		}()
+	}
+	return db.newSession(true, cancel)
+}
 
 // newSession admits under one lock hold, so TryNewSession's fullness
 // check and the admission are atomic.
-func (db *DB) newSession(wait bool) (*Session, error) {
+func (db *DB) newSession(wait bool, cancel <-chan struct{}) (*Session, error) {
 	db.mu.Lock()
 	for len(db.active) >= db.maxSess && !db.closed {
 		if !wait {
 			n := len(db.active)
 			db.mu.Unlock()
 			return nil, fmt.Errorf("riot: session table full (%d active, max %d)", n, db.maxSess)
+		}
+		select {
+		case <-cancel:
+			db.mu.Unlock()
+			return nil, fmt.Errorf("riot: session admission canceled")
+		default:
 		}
 		db.admit.Wait()
 	}

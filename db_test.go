@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"riot/internal/engine"
 )
@@ -513,4 +514,53 @@ func TestSparsePublishRestartRoundTrip(t *testing.T) {
 func mustVal(t *testing.T, m *Matrix) engine.Value {
 	t.Helper()
 	return m.val
+}
+
+// NewSessionCancel aborts a queued admission when the cancel channel
+// closes — the primitive the server uses to shed handlers whose client
+// vanished while waiting for a slot.
+func TestNewSessionCancel(t *testing.T) {
+	db, err := Open(t.TempDir(), Config{BlockElems: 64, MemElems: 1 << 14, MaxSessions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	holder, err := db.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cancel := make(chan struct{})
+	got := make(chan error, 1)
+	go func() {
+		s, err := db.NewSessionCancel(cancel)
+		if s != nil {
+			s.Close()
+		}
+		got <- err
+	}()
+	// The waiter must be parked, not failed: nothing arrives yet.
+	select {
+	case err := <-got:
+		t.Fatalf("queued admission returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(cancel)
+	select {
+	case err := <-got:
+		if err == nil {
+			t.Fatal("canceled admission returned a session")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled admission never returned")
+	}
+
+	// The slot is untouched: closing the holder admits a fresh session,
+	// and a nil cancel channel still blocks-then-admits normally.
+	holder.Close()
+	s2, err := db.NewSessionCancel(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
 }

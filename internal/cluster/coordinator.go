@@ -1,0 +1,620 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"riot"
+	"riot/internal/array"
+	"riot/internal/plan"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// ID names the coordinator in its Hello frames.
+	ID string
+	// Seed salts the placement ring; coordinators sharing a seed and a
+	// peer list derive identical placements in different processes.
+	Seed string
+	// Replicas is the ring's virtual-node count (0 = DefaultReplicas).
+	Replicas int
+	// BlockElems is the tile block size (B) used to derive band
+	// geometry and network-block estimates; it should match the peer
+	// sessions' configuration. Default 1024.
+	BlockElems int
+	// MemElems is the per-node memory budget (M) used for remote-exec
+	// cost estimates in Explain. Default 1<<22.
+	MemElems int64
+	// Timeout bounds each remote round trip; a peer that neither
+	// answers nor fails within it is treated as dead. Default 30s.
+	Timeout time.Duration
+	// Retries is how many times a failed shard is re-placed onto the
+	// surviving peers before the query aborts. Default 0: fail fast
+	// with a descriptive error (the harness fault tests pin both
+	// behaviours).
+	Retries int
+}
+
+// NetStats counts the coordinator's interconnect traffic.
+type NetStats struct {
+	BytesSent int64 // frame payload + header bytes shipped to peers
+	BytesRecv int64 // frame payload + header bytes gathered back
+	Frames    int64 // request/response round trips
+}
+
+// Coordinator owns a peer list and a placement ring, and executes
+// distributed tiled matrix multiplies: the larger operand's tile bands
+// are scattered to their ring owners, the smaller operand is shipped to
+// every participating node ("ship the smaller operand to where the
+// larger one lives"), each node reduces its partial products locally
+// over the whole k dimension, and the result bands are gathered and
+// assembled here. Results are bit-identical to the single-node kernels
+// because k is never sharded and every band runs the same tiled
+// schedule. Safe for concurrent queries; each peer connection serves
+// one round trip at a time.
+type Coordinator struct {
+	sess *riot.Session
+	opts Options
+	ring *Ring
+
+	mu    sync.Mutex
+	peers map[string]*Peer
+	seq   atomic.Int64
+
+	bytesSent atomic.Int64
+	bytesRecv atomic.Int64
+	frames    atomic.Int64
+}
+
+// Peer is one live connection to a cluster node.
+type Peer struct {
+	id   string
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	mu   sync.Mutex
+	c    *Coordinator
+}
+
+// NewCoordinator builds a coordinator over the session that will hold
+// gathered results. The caller keeps ownership of the session.
+func NewCoordinator(sess *riot.Session, opts Options) *Coordinator {
+	if opts.ID == "" {
+		opts.ID = "coordinator"
+	}
+	if opts.BlockElems <= 0 {
+		opts.BlockElems = 1024
+	}
+	if opts.MemElems <= 0 {
+		opts.MemElems = 1 << 22
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	return &Coordinator{
+		sess:  sess,
+		opts:  opts,
+		ring:  NewRing(opts.Seed, opts.Replicas),
+		peers: make(map[string]*Peer),
+	}
+}
+
+// Ring exposes the placement ring (tests inspect ownership through it).
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+// NetStats returns the cumulative interconnect counters.
+func (c *Coordinator) NetStats() NetStats {
+	return NetStats{
+		BytesSent: c.bytesSent.Load(),
+		BytesRecv: c.bytesRecv.Load(),
+		Frames:    c.frames.Load(),
+	}
+}
+
+// AddPeer performs the handshake over conn and joins the node to the
+// placement ring. The node's Hello must match the expected id: placement
+// is derived from ids, so a mismatched peer would silently own the
+// wrong tiles.
+func (c *Coordinator) AddPeer(id string, conn net.Conn) error {
+	p := &Peer{id: id, conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn), c: c}
+	if err := p.handshake(c.opts.ID, c.opts.Timeout); err != nil {
+		conn.Close()
+		return fmt.Errorf("cluster: add peer %s: %w", id, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.peers[id]; ok {
+		conn.Close()
+		return fmt.Errorf("cluster: peer %s already joined", id)
+	}
+	c.peers[id] = p
+	c.ring.Add(id)
+	return nil
+}
+
+// RemovePeer drops a node from the ring and closes its connection;
+// subsequent placements land on the survivors.
+func (c *Coordinator) RemovePeer(id string) {
+	c.mu.Lock()
+	p := c.peers[id]
+	delete(c.peers, id)
+	c.mu.Unlock()
+	c.ring.Remove(id)
+	if p != nil {
+		p.conn.Close()
+	}
+}
+
+// Peers returns the live peer ids, sorted.
+func (c *Coordinator) Peers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.peers))
+	for id := range c.peers {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close closes every peer connection.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	peers := c.peers
+	c.peers = make(map[string]*Peer)
+	c.mu.Unlock()
+	for id, p := range peers {
+		p.conn.Close()
+		c.ring.Remove(id)
+	}
+	return nil
+}
+
+// handshake speaks the coordinator side: magic + Hello, then the
+// node's magic + Hello back.
+func (p *Peer) handshake(coordID string, timeout time.Duration) error {
+	p.conn.SetDeadline(time.Now().Add(timeout))
+	defer p.conn.SetDeadline(time.Time{})
+	if _, err := p.w.WriteString(Magic); err != nil {
+		return err
+	}
+	var h wbuf
+	h.str(coordID)
+	if err := WriteFrame(p.w, FrameHello, h.b); err != nil {
+		return err
+	}
+	if err := p.w.Flush(); err != nil {
+		return err
+	}
+	magic := make([]byte, len(Magic))
+	if _, err := ioReadFull(p.r, magic); err != nil {
+		return fmt.Errorf("read magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return fmt.Errorf("bad magic %q", magic)
+	}
+	t, payload, err := ReadFrame(p.r)
+	if err != nil || t != FrameHello {
+		return fmt.Errorf("expected Hello, got type %#x (%v)", t, err)
+	}
+	var r rbuf
+	r.b = payload
+	if got := r.str(); got != p.id {
+		return fmt.Errorf("node identifies as %q, expected %q", got, p.id)
+	}
+	return nil
+}
+
+// rpc runs one framed round trip under the peer's deadline. A FrameErr
+// answer comes back as a Go error; transport failures mean the peer is
+// dead for this query.
+func (p *Peer) rpc(t FrameType, payload []byte) (FrameType, []byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.conn.SetDeadline(time.Now().Add(p.c.opts.Timeout))
+	defer p.conn.SetDeadline(time.Time{})
+	if err := WriteFrame(p.w, t, payload); err != nil {
+		return 0, nil, err
+	}
+	if err := p.w.Flush(); err != nil {
+		return 0, nil, err
+	}
+	p.c.bytesSent.Add(int64(len(payload) + 5))
+	rt, body, err := ReadFrame(p.r)
+	if err != nil {
+		return 0, nil, err
+	}
+	p.c.bytesRecv.Add(int64(len(body) + 5))
+	p.c.frames.Add(1)
+	if rt == FrameErr {
+		var r rbuf
+		r.b = body
+		return 0, nil, fmt.Errorf("%s", r.str())
+	}
+	return rt, body, nil
+}
+
+// Ping round-trips a liveness probe to the named peer.
+func (c *Coordinator) Ping(id string) error {
+	c.mu.Lock()
+	p := c.peers[id]
+	c.mu.Unlock()
+	if p == nil {
+		return fmt.Errorf("cluster: no peer %s", id)
+	}
+	t, _, err := p.rpc(FramePing, nil)
+	if err != nil {
+		return fmt.Errorf("cluster: peer %s: ping: %w", id, err)
+	}
+	if t != FramePong {
+		return fmt.Errorf("cluster: peer %s: ping answered %#x", id, t)
+	}
+	return nil
+}
+
+// bandSpec is one tile band of the sharded operand: rows of A under
+// shard-left, columns of B under shard-right.
+type bandSpec struct {
+	idx    int
+	lo, hi int64
+}
+
+// MatMul runs a distributed multiply over the standard ring.
+func (c *Coordinator) MatMul(a, b *riot.Matrix) (*riot.Matrix, error) {
+	return c.MatMulRing(a, b, "")
+}
+
+// MatMulRing runs C = A ⊗ B across the cluster over the named semi-ring
+// ("" means standard). The larger operand is sharded by tile band onto
+// the ring, the smaller shipped to every participating node; partial
+// products reduce locally (k is whole on every node) and the result is
+// gathered and assembled in the coordinator's session. On a peer
+// failure the shard is re-placed onto the survivors up to Options.
+// Retries times; the result is never published partially — either every
+// band arrived or an error names the dead peer and the failed step.
+func (c *Coordinator) MatMulRing(a, b *riot.Matrix, ring string) (*riot.Matrix, error) {
+	l, m := a.Dims()
+	m2, k := b.Dims()
+	if m != m2 {
+		return nil, fmt.Errorf("cluster: matmul dims %dx%d · %dx%d", l, m, m2, k)
+	}
+	if c.ring.Len() == 0 {
+		return nil, fmt.Errorf("cluster: no peers joined")
+	}
+	shipLeft := l*m >= m*k // shard the larger operand, broadcast the smaller
+	av, err := a.Values()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: force left operand: %w", err)
+	}
+	bv, err := b.Values()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: force right operand: %w", err)
+	}
+	aKind, err := a.Kind()
+	if err != nil {
+		return nil, err
+	}
+	bKind, err := b.Kind()
+	if err != nil {
+		return nil, err
+	}
+	q := fmt.Sprintf("q%d", c.seq.Add(1))
+	out := make([]float64, l*k)
+	bands, label := c.bands(l, k, m, shipLeft)
+	if len(bands) > 0 {
+		if err := c.scatterGather(q, label, bands, shipLeft, ring,
+			av, bv, aKind, bKind, l, m, k, out); err != nil {
+			return nil, err
+		}
+	}
+	res, err := c.sess.NewMatrix(l, k, func(i, j int64) float64 { return out[i*k+j] })
+	if err != nil {
+		return nil, fmt.Errorf("cluster: assemble result: %w", err)
+	}
+	return res, nil
+}
+
+// bands splits the sharded dimension into tile bands of the session's
+// square-tile side and returns the placement label hashing keys use.
+func (c *Coordinator) bands(l, k, m int64, shipLeft bool) ([]bandSpec, string) {
+	side, _, err := array.TileDimsFor(c.opts.BlockElems, array.SquareTiles)
+	if err != nil || side < 1 {
+		side = 1
+	}
+	span := l
+	tag := "L"
+	if !shipLeft {
+		span = k
+		tag = "R"
+	}
+	var bands []bandSpec
+	for lo := int64(0); lo < span; lo += int64(side) {
+		hi := lo + int64(side)
+		if hi > span {
+			hi = span
+		}
+		bands = append(bands, bandSpec{idx: len(bands), lo: lo, hi: hi})
+	}
+	label := fmt.Sprintf("matmul/%s/%dx%dx%d", tag, l, m, k)
+	return bands, label
+}
+
+// place groups bands by ring owner. Owners must exist in the peer
+// table; a band whose owner has no live connection is an error (the
+// ring and peer list are kept in sync by Add/RemovePeer).
+func (c *Coordinator) place(label string, bands []bandSpec) (map[string][]bandSpec, error) {
+	assign := make(map[string][]bandSpec)
+	for _, band := range bands {
+		owner, ok := c.ring.Owner(label, band.idx)
+		if !ok {
+			return nil, fmt.Errorf("cluster: placement ring is empty")
+		}
+		assign[owner] = append(assign[owner], band)
+	}
+	return assign, nil
+}
+
+// scatterGather is one distributed multiply attempt loop: scatter the
+// bands and the broadcast operand, exec and fetch each band, fill the
+// result buffer. Failed peers are removed and their bands re-placed
+// until Retries is exhausted.
+func (c *Coordinator) scatterGather(q, label string, bands []bandSpec, shipLeft bool,
+	ring string, av, bv []float64, aKind, bKind string, l, m, k int64, out []float64) error {
+	pending := bands
+	pushedBcast := make(map[string]bool)
+	for attempt := 0; ; attempt++ {
+		assign, err := c.place(label, pending)
+		if err != nil {
+			return err
+		}
+		type peerErr struct {
+			id    string
+			bands []bandSpec
+			err   error
+		}
+		var wg sync.WaitGroup
+		errCh := make(chan peerErr, len(assign))
+		for id, share := range assign {
+			c.mu.Lock()
+			p := c.peers[id]
+			c.mu.Unlock()
+			if p == nil {
+				errCh <- peerErr{id, share, fmt.Errorf("no live connection")}
+				continue
+			}
+			wg.Add(1)
+			go func(p *Peer, share []bandSpec) {
+				defer wg.Done()
+				if err := c.runShare(p, q, share, shipLeft, ring, av, bv, aKind, bKind,
+					l, m, k, out, pushedBcast); err != nil {
+					errCh <- peerErr{p.id, share, err}
+				}
+			}(p, share)
+		}
+		wg.Wait()
+		close(errCh)
+		var failed []bandSpec
+		var firstErr error
+		for pe := range errCh {
+			failed = append(failed, pe.bands...)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: peer %s: %w", pe.id, pe.err)
+			}
+			c.RemovePeer(pe.id)
+			delete(pushedBcast, pe.id)
+		}
+		if firstErr == nil {
+			c.dropQuery(q)
+			return nil
+		}
+		if attempt >= c.opts.Retries {
+			c.dropQuery(q)
+			return fmt.Errorf("%w (after %d attempt(s); result not published)", firstErr, attempt+1)
+		}
+		if c.ring.Len() == 0 {
+			return fmt.Errorf("cluster: no live peers remain: %w", firstErr)
+		}
+		pending = failed
+	}
+}
+
+// runShare executes one peer's share of a query: push the broadcast
+// operand once, then push, exec, and fetch each band. Bands write into
+// disjoint regions of out, so shares fill it concurrently without
+// synchronization.
+func (c *Coordinator) runShare(p *Peer, q string, share []bandSpec, shipLeft bool,
+	ring string, av, bv []float64, aKind, bKind string, l, m, k int64, out []float64,
+	pushedBcast map[string]bool) error {
+	bcName := q + ".bc"
+	c.mu.Lock()
+	pushed := pushedBcast[p.id]
+	pushedBcast[p.id] = true
+	c.mu.Unlock()
+	if !pushed {
+		var vals []float64
+		var rows, cols int64
+		var kind string
+		if shipLeft {
+			vals, rows, cols, kind = bv, m, k, bKind // broadcast B
+		} else {
+			vals, rows, cols, kind = av, l, m, aKind // broadcast A
+		}
+		if err := c.push(p, bcName, kind, rows, cols, 0, vals); err != nil {
+			return fmt.Errorf("broadcast %s: %w", bcName, err)
+		}
+	}
+	for _, band := range share {
+		shName := fmt.Sprintf("%s.sh.%d", q, band.idx)
+		outName := fmt.Sprintf("%s.out.%d", q, band.idx)
+		n := band.hi - band.lo
+		var vals []float64
+		var rows, cols int64
+		var kind string
+		var aName, bName string
+		if shipLeft {
+			vals, rows, cols, kind = av[band.lo*m:band.hi*m], n, m, aKind
+			aName, bName = shName, bcName
+		} else {
+			// Column band of B: strided copy out of the row-major buffer.
+			vals = make([]float64, m*n)
+			for i := int64(0); i < m; i++ {
+				copy(vals[i*n:(i+1)*n], bv[i*k+band.lo:i*k+band.hi])
+			}
+			rows, cols, kind = m, n, bKind
+			aName, bName = bcName, shName
+		}
+		if err := c.push(p, shName, kind, rows, cols, band.lo, vals); err != nil {
+			return fmt.Errorf("scatter %s: %w", shName, err)
+		}
+		var e wbuf
+		e.str(outName)
+		e.str(aName)
+		e.str(bName)
+		e.str(ring)
+		if _, _, err := p.rpc(FrameExec, e.b); err != nil {
+			return fmt.Errorf("exec %s: %w", outName, err)
+		}
+		var f wbuf
+		f.str(outName)
+		t, body, err := p.rpc(FrameFetch, f.b)
+		if err != nil {
+			return fmt.Errorf("gather %s: %w", outName, err)
+		}
+		if t != FrameTileData {
+			return fmt.Errorf("gather %s: unexpected frame %#x", outName, t)
+		}
+		var r rbuf
+		r.b = body
+		gr, gc := int64(r.u64()), int64(r.u64())
+		got := r.f64s(int(gr * gc))
+		if r.fail() {
+			return fmt.Errorf("gather %s: %w", outName, r.err)
+		}
+		if shipLeft {
+			if gr != n || gc != k {
+				return fmt.Errorf("gather %s: got %dx%d, want %dx%d", outName, gr, gc, n, k)
+			}
+			copy(out[band.lo*k:band.hi*k], got)
+		} else {
+			if gr != l || gc != n {
+				return fmt.Errorf("gather %s: got %dx%d, want %dx%d", outName, gr, gc, l, n)
+			}
+			for i := int64(0); i < l; i++ {
+				copy(out[i*k+band.lo:i*k+band.hi], got[i*n:(i+1)*n])
+			}
+		}
+	}
+	return nil
+}
+
+// push ships one operand band in a FrameTilePush.
+func (c *Coordinator) push(p *Peer, name, kind string, rows, cols, off int64, vals []float64) error {
+	var w wbuf
+	w.str(name)
+	if kind == "sparse" {
+		w.u8(kindSparse)
+	} else {
+		w.u8(kindDense)
+	}
+	w.u64(uint64(rows))
+	w.u64(uint64(cols))
+	w.u64(uint64(off))
+	w.f64s(vals)
+	_, _, err := p.rpc(FrameTilePush, w.b)
+	return err
+}
+
+// dropQuery frees the query's namespace on every live peer,
+// best-effort: a peer that died keeps nothing we can reach anyway.
+func (c *Coordinator) dropQuery(q string) {
+	c.mu.Lock()
+	peers := make([]*Peer, 0, len(c.peers))
+	for _, p := range c.peers {
+		peers = append(peers, p)
+	}
+	c.mu.Unlock()
+	for _, p := range peers {
+		var w wbuf
+		w.str(q + ".")
+		p.rpc(FrameDrop, w.b)
+	}
+}
+
+// PeerStats fetches the named peer session's cumulative I/O counters.
+func (c *Coordinator) PeerStats(id string) (ioBytes, seqOps, randOps, flops int64, err error) {
+	c.mu.Lock()
+	p := c.peers[id]
+	c.mu.Unlock()
+	if p == nil {
+		return 0, 0, 0, 0, fmt.Errorf("cluster: no peer %s", id)
+	}
+	t, body, err := p.rpc(FrameStats, nil)
+	if err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("cluster: peer %s: stats: %w", id, err)
+	}
+	if t != FrameStatsData {
+		return 0, 0, 0, 0, fmt.Errorf("cluster: peer %s: stats answered %#x", id, t)
+	}
+	var r rbuf
+	r.b = body
+	ioBytes, seqOps = int64(r.u64()), int64(r.u64())
+	randOps, flops = int64(r.u64()), int64(r.u64())
+	return ioBytes, seqOps, randOps, flops, r.err
+}
+
+// Explain renders the distributed physical plan for C = A ⊗ B under the
+// current ring, without executing anything: the per-site scatter,
+// remote-exec, and gather steps with io, cpu, and network-block
+// estimates (plan.DistMatMul).
+func (c *Coordinator) Explain(a, b *riot.Matrix, ring string) (string, error) {
+	l, m := a.Dims()
+	m2, k := b.Dims()
+	if m != m2 {
+		return "", fmt.Errorf("cluster: matmul dims %dx%d · %dx%d", l, m, m2, k)
+	}
+	shipLeft := l*m >= m*k
+	bands, label := c.bands(l, k, m, shipLeft)
+	assign, err := c.place(label, bands)
+	if err != nil {
+		return "", err
+	}
+	sites := make([]string, 0, len(assign))
+	for id := range assign {
+		sites = append(sites, id)
+	}
+	sort.Strings(sites)
+	shards := make([]plan.DistShard, 0, len(sites))
+	for _, id := range sites {
+		var span int64
+		for _, band := range assign[id] {
+			span += band.hi - band.lo
+		}
+		shards = append(shards, plan.DistShard{Site: id, Bands: len(assign[id]), Span: span})
+	}
+	mach := plan.Machine{
+		MemElems:   c.opts.MemElems,
+		BlockElems: c.opts.BlockElems,
+		Frames:     int(c.opts.MemElems) / c.opts.BlockElems,
+		Workers:    1,
+	}
+	return plan.DistMatMul(l, m, k, shards, shipLeft, mach, ring).Render(), nil
+}
+
+// ioReadFull is io.ReadFull, aliased so the import list stays tidy in
+// this file's hot section.
+func ioReadFull(r *bufio.Reader, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := r.Read(buf[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,151 @@
+// Package cluster shards RIOT's tiled arrays across riot-serve nodes
+// and executes matrix work where the tiles live: a consistent-hash Ring
+// places (array, tile) extents onto node IDs, a Node serves the binary
+// remote-frame protocol (PROTOCOL.md §Remote frames) over any net.Conn,
+// and a Coordinator scatters operand tile bands to their owners, runs
+// the partial multiplies remotely, and gathers the result — the
+// scatter-gather execution the ROADMAP's horizontal-scale item calls
+// for. The k dimension of a multiply is never sharded, so every partial
+// product reduces locally on its node and the distributed result is
+// bit-identical to the single-node kernels (asserted by the harness
+// tests in internal/cluster/harness).
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefaultReplicas is the virtual-node count per physical node on the
+// ring. More vnodes smooth the tile distribution; the default keeps a
+// join's movement close to the ideal tiles/N.
+const DefaultReplicas = 64
+
+// Ring is a consistent-hash ring placing (array, tile) keys onto node
+// IDs. Placement is a pure function of (seed, replicas, member IDs):
+// two rings built with the same parameters in different processes agree
+// on every owner, which is what lets a coordinator and its peers derive
+// the same placement without talking. Safe for concurrent use.
+type Ring struct {
+	seed     string
+	replicas int
+
+	mu     sync.RWMutex
+	nodes  map[string]struct{}
+	points []ringPoint // sorted by hash
+}
+
+// ringPoint is one virtual node on the ring.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring with the given placement seed and virtual-node
+// count (replicas <= 0 uses DefaultReplicas) over the initial members.
+func NewRing(seed string, replicas int, nodes ...string) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{seed: seed, replicas: replicas, nodes: make(map[string]struct{})}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	return r
+}
+
+// hash64 is FNV-1a over the seed and the given parts, separated by NUL
+// so distinct part boundaries cannot collide into the same preimage.
+// The sum is passed through a 64-bit avalanche finalizer: raw FNV-1a
+// places keys that differ only in their final bytes — adjacent tile
+// indices — at nearby ring positions, which collapses a whole band
+// range onto one owner; the finalizer disperses them uniformly.
+func (r *Ring) hash64(parts ...string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(r.seed))
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche so every
+// input bit flips each output bit with probability ~1/2.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec86
+	x ^= x >> 33
+	return x
+}
+
+// Add inserts a node's virtual points. Adding a member twice is a no-op.
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; ok {
+		return
+	}
+	r.nodes[node] = struct{}{}
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{r.hash64("vnode", node, strconv.Itoa(i)), node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a node and all its virtual points; keys it owned move
+// to their clockwise successors. Removing a non-member is a no-op.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	keep := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			keep = append(keep, p)
+		}
+	}
+	r.points = keep
+}
+
+// Nodes returns the current members, sorted.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Owner places one tile extent of the named array: the first virtual
+// point clockwise of the key's hash. ok is false on an empty ring.
+func (r *Ring) Owner(array string, tile int) (node string, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := r.hash64("tile", array, strconv.Itoa(tile))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node, true
+}

@@ -265,6 +265,22 @@ var (
 	RandSeekSec    = disk.DefaultCostModel.RandSeekSec
 )
 
+// Network timing for distributed plans, on the same simulated-2009
+// scale as the disk model: gigabit Ethernet moves ~125 MB/s and a
+// LAN round trip costs ~200 µs. A "network block" is the same B·8
+// bytes as a device block, so Explain's net column reads in the same
+// unit as its io column.
+var (
+	NetBytesPerSec = 125e6
+	NetRTTSec      = 0.0002
+)
+
+// NetSeconds converts shipped blocks plus request round trips into
+// estimated interconnect time.
+func NetSeconds(blocks, rtts float64, p Params) float64 {
+	return blocks*(p.BlockElems*8)/NetBytesPerSec + rtts*NetRTTSec
+}
+
 // FlopsPerSec is the sustained scalar arithmetic rate the planner's CPU
 // term divides by. The default matches engine.DefaultTimeModel's
 // interpreter-grade 2e8 flops/s, so estimated CPU seconds land on the

@@ -1,0 +1,110 @@
+package plan
+
+import (
+	"fmt"
+
+	"riot/internal/costmodel"
+)
+
+// DistShard is one remote site's share of a distributed multiply: how
+// many tile bands of the sharded operand it owns and the total rows
+// (shard-left) or columns (shard-right) those bands span.
+type DistShard struct {
+	Site  string
+	Bands int
+	Span  int64
+}
+
+// DistMatMul builds the physical plan for a distributed tiled multiply
+// C(l×k) = A(l×m) ⊗ B(m×k) over the given placement: per site, a
+// scatter step shipping the broadcast operand plus the site's bands, a
+// remote-exec step costed as that site's local tiled multiply, and a
+// gather step pulling the partial result back. shipLeft means A is
+// sharded by tile-row band (B broadcast); otherwise B is sharded by
+// tile-col band (A broadcast). The k dimension is never sharded, so no
+// cross-site reduction step exists — partials reduce entirely locally.
+//
+// Network traffic is costed in device-sized blocks (B·8 bytes) at
+// costmodel.NetBytesPerSec with one round trip per frame, rendered in
+// Explain's net column alongside each step's io and cpu estimates.
+func DistMatMul(l, m, k int64, shards []DistShard, shipLeft bool, mach Machine, ring string) *Plan {
+	p := &Plan{
+		Strategy: CostBased,
+		Machine:  mach,
+		Steps:    make([]Step, 0, 3*len(shards)),
+	}
+	cp := mach.params()
+	ringName := ring
+	if ringName == "" {
+		ringName = "standard"
+	}
+	var bcastElems, bcastDesc = int64(0), ""
+	if shipLeft {
+		bcastElems = m * k
+		bcastDesc = fmt.Sprintf("B %dx%d", m, k)
+	} else {
+		bcastElems = l * m
+		bcastDesc = fmt.Sprintf("A %dx%d", l, m)
+	}
+	bcastBlocks := costmodel.StreamBlocks(float64(bcastElems), cp)
+	for _, sh := range shards {
+		var shardElems, outElems int64
+		var shardDesc, execDesc string
+		var el, em, ek float64 // the site's local multiply dims
+		if shipLeft {
+			shardElems = sh.Span * m
+			outElems = sh.Span * k
+			shardDesc = fmt.Sprintf("A rows [%d bands, %d rows]", sh.Bands, sh.Span)
+			el, em, ek = float64(sh.Span), float64(m), float64(k)
+		} else {
+			shardElems = m * sh.Span
+			outElems = l * sh.Span
+			shardDesc = fmt.Sprintf("B cols [%d bands, %d cols]", sh.Bands, sh.Span)
+			el, em, ek = float64(l), float64(m), float64(sh.Span)
+		}
+		execDesc = fmt.Sprintf("partial %s multiply %.0fx%.0f · %.0fx%.0f", ringName, el, em, em, ek)
+		shardBlocks := costmodel.StreamBlocks(float64(shardElems), cp)
+		outBlocks := costmodel.StreamBlocks(float64(outElems), cp)
+
+		scatterNet := bcastBlocks + shardBlocks
+		p.Steps = append(p.Steps, Step{
+			Kind:          StepScatter,
+			Site:          sh.Site,
+			Desc:          fmt.Sprintf("ship %s + %s", bcastDesc, shardDesc),
+			EstNetBlocks:  scatterNet,
+			EstNetSeconds: costmodel.NetSeconds(scatterNet, float64(sh.Bands+1), cp),
+			Provenance:    "broadcast the smaller operand to where the larger one's tiles live",
+		})
+
+		execRead := costmodel.SquareTiled(el, em, ek, cp)
+		flops := el * em * ek
+		p.Steps = append(p.Steps, Step{
+			Kind:           StepRemoteExec,
+			Site:           sh.Site,
+			Desc:           execDesc,
+			EstReadBlocks:  execRead,
+			EstWriteBlocks: outBlocks,
+			EstSeconds:     mach.seconds(execRead+outBlocks, 0),
+			EstFlops:       flops,
+			EstCPUSeconds:  costmodel.CPUSeconds(flops),
+			Provenance:     "k is whole on every site: partial products reduce locally, no cross-site combine",
+		})
+
+		p.Steps = append(p.Steps, Step{
+			Kind:          StepGather,
+			Site:          sh.Site,
+			Desc:          fmt.Sprintf("collect C band [%d elems]", outElems),
+			EstNetBlocks:  outBlocks,
+			EstNetSeconds: costmodel.NetSeconds(outBlocks, float64(sh.Bands), cp),
+			Provenance:    "assemble the result at the coordinator",
+		})
+	}
+	for _, s := range p.Steps {
+		p.EstBlocks += s.EstReadBlocks + s.EstWriteBlocks
+		p.EstSeconds += s.EstSeconds
+		p.EstCPUSeconds += s.EstCPUSeconds
+		p.EstNetBlocks += s.EstNetBlocks
+		p.EstNetSeconds += s.EstNetSeconds
+	}
+	return p
+}

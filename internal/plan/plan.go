@@ -238,6 +238,15 @@ const (
 	// node's whole subtree is pruned from the schedule and its result
 	// read back with zero device I/O for production.
 	StepCached
+	// StepScatter ships operand tile bands to a remote site (distributed
+	// plans only; its traffic is network blocks, not device blocks).
+	StepScatter
+	// StepRemoteExec runs a partial multiply on a remote site; its io and
+	// cpu estimates are that site's local work.
+	StepRemoteExec
+	// StepGather pulls a remote site's partial result back to the
+	// coordinator over the network.
+	StepGather
 )
 
 // Step is one scheduled unit of work with its cost estimate.
@@ -265,6 +274,17 @@ type Step struct {
 	// dense×sparse, the estimated product nnz for sparse×sparse. Zero
 	// for dense steps.
 	EstNNZ float64
+	// Site names the remote node a distributed step runs against; empty
+	// for local steps. EstNetBlocks/EstNetSeconds estimate the step's
+	// interconnect traffic in device-sized blocks (B·8 bytes each) and
+	// simulated seconds under costmodel.NetBytesPerSec — rendered in
+	// Explain's net column alongside io and cpu.
+	Site          string
+	EstNetBlocks  float64
+	EstNetSeconds float64
+	// Desc describes steps with no algebra node behind them (distributed
+	// scatter/exec/gather); describe() uses it when Node is nil.
+	Desc string
 	// Provenance says why the step exists in this form — why a node was
 	// not pipelined from memory (shared consumers, ablation knobs,
 	// gather's random access), whether its result installs into the
@@ -289,6 +309,11 @@ type Plan struct {
 	EstBlocks     float64
 	EstSeconds    float64
 	EstCPUSeconds float64
+	// EstNetBlocks/EstNetSeconds total the distributed steps' estimated
+	// interconnect traffic; zero for single-node plans, whose Explain
+	// output is unchanged by their existence.
+	EstNetBlocks  float64
+	EstNetSeconds float64
 
 	decisions map[*algebra.Node]Decision
 	algos     map[*algebra.Node]MatMulAlgo
@@ -941,6 +966,12 @@ func (k StepKind) label() string {
 		return "output"
 	case StepCached:
 		return "cached"
+	case StepScatter:
+		return "scatter"
+	case StepRemoteExec:
+		return "remote-exec"
+	case StepGather:
+		return "gather"
 	}
 	return fmt.Sprintf("StepKind(%d)", int(k))
 }
@@ -953,10 +984,19 @@ func (p *Plan) Render() string {
 	fmt.Fprintf(&sb, "physical plan: strategy=%s M=%d B=%d frames=%d workers=%d readahead=%v cache=%v\n",
 		p.Strategy, p.Machine.MemElems, p.Machine.BlockElems, p.Machine.Frames,
 		p.Machine.Workers, p.Machine.Readahead, p.CacheOn)
-	fmt.Fprintf(&sb, "root: %s\n", describe(p.Root))
+	if p.Root != nil {
+		fmt.Fprintf(&sb, "root: %s\n", describe(p.Root))
+	}
 	fmt.Fprintf(&sb, "steps:\n")
 	for i, s := range p.Steps {
-		fmt.Fprintf(&sb, "  %2d. %-13s %s", i+1, s.Kind.label(), describe(s.Node))
+		desc := s.Desc
+		if s.Node != nil {
+			desc = describe(s.Node)
+		}
+		fmt.Fprintf(&sb, "  %2d. %-13s %s", i+1, s.Kind.label(), desc)
+		if s.Site != "" {
+			fmt.Fprintf(&sb, "  @%s", s.Site)
+		}
 		if s.Kind == StepMatMul {
 			fmt.Fprintf(&sb, "  algo=%s", s.Algo)
 			if s.Algo.Sparse() {
@@ -968,15 +1008,28 @@ func (p *Plan) Render() string {
 		if s.Kind == StepMaterialize {
 			fmt.Fprintf(&sb, "  refs=%d", s.Refs)
 		}
-		fmt.Fprintf(&sb, "  est: read %.0f blk (%.0f rand), write %.0f blk, io %.3fs, cpu %.3fs\n",
+		fmt.Fprintf(&sb, "  est: read %.0f blk (%.0f rand), write %.0f blk, io %.3fs, cpu %.3fs",
 			s.EstReadBlocks, s.EstRandOps, s.EstWriteBlocks, s.EstSeconds, s.EstCPUSeconds)
+		if s.EstNetBlocks > 0 {
+			fmt.Fprintf(&sb, ", net %.0f blk %.3fs", s.EstNetBlocks, s.EstNetSeconds)
+		}
+		fmt.Fprintln(&sb)
 		if s.Provenance != "" {
 			fmt.Fprintf(&sb, "      why: %s\n", s.Provenance)
 		}
 	}
 	mb := p.EstBlocks * float64(p.Machine.BlockElems) * 8 / (1 << 20)
-	fmt.Fprintf(&sb, "total est: %.0f blocks (%.2f MB), io %.3fs, cpu %.3fs\n",
+	fmt.Fprintf(&sb, "total est: %.0f blocks (%.2f MB), io %.3fs, cpu %.3fs",
 		p.EstBlocks, mb, p.EstSeconds, p.EstCPUSeconds)
+	if p.EstNetBlocks > 0 {
+		fmt.Fprintf(&sb, ", net %.0f blk %.3fs", p.EstNetBlocks, p.EstNetSeconds)
+	}
+	fmt.Fprintln(&sb)
+	if p.Root == nil {
+		// Distributed plans have no algebra DAG behind them: no decision
+		// table to render.
+		return sb.String()
+	}
 
 	nodes := make([]*algebra.Node, 0, len(p.decisions))
 	for n := range p.decisions {

@@ -43,6 +43,7 @@ import (
 	"sync/atomic"
 
 	"riot"
+	"riot/internal/rlang"
 )
 
 // Server serves riotscript sessions from a shared riot.DB.
@@ -124,10 +125,27 @@ func reply(w *bufio.Writer, payload string, err error) error {
 
 // handle runs one connection: admit a session, loop over requests,
 // release the session on the way out.
+//
+// Admission is cancelable: a watcher peeks at the connection's first
+// byte, and if the client vanishes (or sends EOF) while this handler is
+// still queued behind MaxSessions, the wait aborts and the goroutine
+// exits instead of camping on the session table forever. Clients speak
+// only after the greeting, so the peek cannot steal request bytes; the
+// scanner below reads from the same buffered reader the peek primed.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	w := bufio.NewWriter(conn)
-	sess, err := s.db.NewSession()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	vanished := make(chan struct{})
+	peeked := make(chan error, 1)
+	go func() {
+		_, err := br.Peek(1)
+		if err != nil {
+			close(vanished)
+		}
+		peeked <- err
+	}()
+	sess, err := s.db.NewSessionCancel(vanished)
 	if err != nil {
 		reply(w, "", fmt.Errorf("admission: %v", err))
 		return
@@ -139,7 +157,13 @@ func (s *Server) handle(conn net.Conn) {
 	if err := reply(w, greeting, nil); err != nil {
 		return
 	}
-	sc := bufio.NewScanner(conn)
+	// Join the peek before touching br from this goroutine: bufio.Reader
+	// is not concurrency-safe, and the watcher is done with it exactly
+	// when Peek returns.
+	if err := <-peeked; err != nil {
+		return
+	}
+	sc := bufio.NewScanner(br)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimRight(sc.Text(), "\r")
@@ -156,12 +180,24 @@ func (s *Server) handle(conn net.Conn) {
 			continue
 		}
 		in.Out.Reset() // bound the builder: connections live a long time
-		runErr := in.Run(line)
+		runErr := s.run(in, line)
 		payload := in.Out.String()
 		if err := reply(w, payload, runErr); err != nil {
 			return
 		}
 	}
+}
+
+// run executes one statement, converting an interpreter panic into an
+// error so a malformed statement cannot take the whole server down with
+// it — the session and its quota are released normally.
+func (s *Server) run(in *rlang.Interp, line string) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("statement panicked: %v", r)
+		}
+	}()
+	return in.Run(line)
 }
 
 // command executes one '\' request and reports whether the connection

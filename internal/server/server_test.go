@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"riot"
 )
@@ -474,3 +475,97 @@ func TestRingOverProtocol(t *testing.T) {
 		t.Fatalf("session dead after ring error: %v", err)
 	}
 }
+
+// A client that vanishes while queued for admission must release its
+// place in line: before NewSessionCancel, its handler goroutine camped
+// in NewSession forever and \shutdown could never drain connections —
+// this test deadlocked on stop().
+func TestVanishedQueuedClientReleasesAdmission(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MaxSessions = 1
+	addr, stop := startServer(t, t.TempDir(), cfg)
+	holder, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queue a second client behind MaxSessions=1 and vanish without
+	// ever speaking. Its handler is blocked in session admission; the
+	// close must abort that wait.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The handler only notices the peer is gone via its first-byte
+	// peek; an abrupt close delivers that immediately.
+	raw.Close()
+
+	if _, err := holder.Do("\\quit"); err != nil {
+		t.Fatal(err)
+	}
+	holder.Close()
+	done := make(chan struct{})
+	go func() {
+		stop() // waits for every handler goroutine to exit
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("shutdown hung: vanished queued client camped on the session table")
+	}
+}
+
+// A client that vanishes mid-conversation releases its session quota:
+// the next client admits promptly instead of queueing behind a ghost.
+func TestVanishMidStatementReleasesQuota(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MaxSessions = 1
+	db, err := riot.Open(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close()
+		<-done
+		db.Close()
+	}()
+	addr := ln.Addr().String()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fire a statement and vanish without reading the response.
+	if _, err := fmt.Fprintf(cRawConn(c), "x <- 1:100; print(sum(x))\n"); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for db.ActiveSessions() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("session quota never released: %d active", db.ActiveSessions())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// And the slot is genuinely reusable.
+	c2, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("slot not reusable after vanish: %v", err)
+	}
+	if _, err := c2.Do("print(1+1)"); err != nil {
+		t.Fatal(err)
+	}
+	c2.Close()
+}
+
+// cRawConn exposes a client's connection for tests that need to vanish
+// uncleanly.
+func cRawConn(c *Client) net.Conn { return c.conn }

@@ -491,6 +491,25 @@ func (m *Matrix) Sparse() (*Matrix, error) {
 	return m.lift(se.ToSparse(m.val))
 }
 
+// Kind forces the matrix and reports its natural storage kind, "dense"
+// or "sparse". Kind-free backends always answer "dense". Cluster
+// coordinators use this to ship a shard in the same kind its owner
+// holds, so remote kernels see the storage the local ones would.
+func (m *Matrix) Kind() (string, error) {
+	rt, ok := m.s.eng.(*engine.RIOT)
+	if !ok {
+		return "dense", nil
+	}
+	_, sp, err := rt.ForceAnyMatrix(m.val)
+	if err != nil {
+		return "", err
+	}
+	if sp != nil {
+		return "sparse", nil
+	}
+	return "dense", nil
+}
+
 // Dense converts a sparse matrix handle back to dense tiles (identity
 // for dense handles and kind-free backends).
 func (m *Matrix) Dense() (*Matrix, error) {
